@@ -1,0 +1,102 @@
+// Regenerates Fig. 11: Redis QPS timeline under InPlaceTP (left) and
+// MigrationTP (right). VM: 2 vCPU / 8 GB on M1, transplant triggered
+// mid-run. Paper shapes: InPlaceTP shows a ~9 s service gap (network
+// re-init included) then ~37% higher QPS on KVM; MigrationTP shows the
+// classic pre-copy degradation (~78 s) with negligible downtime.
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/core/factory.h"
+#include "src/core/inplace.h"
+#include "src/core/migration_tp.h"
+#include "src/workload/throughput.h"
+
+namespace hypertp {
+namespace {
+
+VmConfig RedisVm() {
+  VmConfig config = VmConfig::Small("redis");
+  config.vcpus = 2;
+  config.memory_bytes = 8ull << 30;
+  return config;
+}
+
+void PrintSeries(const TimeSeries& series, SimDuration step, SimDuration window) {
+  // Coarse timeline: mean QPS per `window`, rendered as columns.
+  for (SimTime t = 0; t + window <= series.points().back().time; t += window) {
+    const double mean = series.MeanInWindow(t, t + window);
+    const int bars = static_cast<int>(mean / 2500.0);
+    std::string bar(static_cast<size_t>(std::max(bars, 0)), '#');
+    bench::Row("t=%5.0fs %8.0f qps %s", bench::Sec(t), mean, bar.c_str());
+  }
+  (void)step;
+}
+
+void RunInPlace() {
+  bench::Section("InPlaceTP (trigger at t=50 s)");
+  Machine machine(MachineProfile::M1(), 1);
+  std::unique_ptr<Hypervisor> xen = MakeHypervisor(HypervisorKind::kXen, machine);
+  auto id = xen->CreateVm(RedisVm());
+  if (!id.ok()) {
+    return;
+  }
+  auto result = InPlaceTransplant::Run(std::move(xen), HypervisorKind::kKvm, InPlaceOptions{});
+  if (!result.ok()) {
+    return;
+  }
+  // Redis serves network clients: the NIC re-init gap is part of its outage.
+  auto schedule =
+      InterferenceSchedule::ForInPlace(result->report, Seconds(50), /*network_sensitive=*/true);
+  Rng rng(11);
+  TimeSeries series = GenerateThroughput(ThroughputModel::Redis(), Seconds(200), Seconds(1),
+                                         schedule, true, rng, "redis-inplace");
+  PrintSeries(series, Seconds(1), Seconds(10));
+  const double before = series.MeanInWindow(Seconds(10), Seconds(45));
+  const double after = series.MeanInWindow(Seconds(80), Seconds(190));
+  bench::Row("steady QPS before %.0f, after %.0f (+%.0f%%; paper: +37%%)", before, after,
+             (after / before - 1.0) * 100.0);
+  bench::Row("service gap: %.1f s (paper: ~9 s including network re-init)",
+             bench::Sec(series.LongestGapBelow(100.0)));
+}
+
+void RunMigration() {
+  bench::Section("MigrationTP (trigger at t=46 s)");
+  Machine src_machine(MachineProfile::M1(), 2);
+  Machine dst_machine(MachineProfile::M1(), 3);
+  std::unique_ptr<Hypervisor> xen = MakeHypervisor(HypervisorKind::kXen, src_machine);
+  std::unique_ptr<Hypervisor> kvm = MakeHypervisor(HypervisorKind::kKvm, dst_machine);
+  auto id = xen->CreateVm(RedisVm());
+  if (!id.ok()) {
+    return;
+  }
+  MigrationConfig config;
+  config.dirty_pages_per_sec = 8000.0;  // Redis writes keys continuously.
+  auto result = MigrationTransplant::Run(*xen, {*id}, *kvm, NetworkLink{1.0}, config);
+  if (!result.ok()) {
+    return;
+  }
+  auto schedule = InterferenceSchedule::ForMigration(result->migrations[0], Seconds(46), 0.55);
+  Rng rng(12);
+  TimeSeries series = GenerateThroughput(ThroughputModel::Redis(), Seconds(250), Seconds(1),
+                                         schedule, true, rng, "redis-migration");
+  PrintSeries(series, Seconds(1), Seconds(10));
+  const SimDuration precopy = result->migrations[0].total_time - result->migrations[0].downtime;
+  bench::Row("pre-copy window %.1f s (paper: ~78 s), downtime %.2f ms (negligible)",
+             bench::Sec(precopy), bench::Ms(result->migrations[0].downtime));
+}
+
+void Run() {
+  bench::Banner("Fig. 11 — Redis under InPlaceTP and MigrationTP (2 vCPU / 8 GB, M1)",
+                "redis-benchmark QPS, 1 s sampling; '#' columns are 2.5 kQPS each.");
+  RunInPlace();
+  RunMigration();
+}
+
+}  // namespace
+}  // namespace hypertp
+
+int main() {
+  hypertp::Run();
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Regenerates Fig. 14: HyperTP's memory overhead — PRAM metadata and
+// serialized UISR sizes across the Fig. 7 sweeps. Paper: PRAM 16 KB (1 GB VM)
+// to 60 KB (12 GB VM), 148 KB for 12 x 1 GB VMs; UISR 5 KB (1 vCPU) to 38 KB
+// (10 vCPUs); total 21-98 KB per VM; ~4 KB/GB metadata with 2M pages vs
+// ~2 MB/GB with 4K pages.
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/core/factory.h"
+#include "src/hv/hypervisor.h"
+#include "src/pram/pram.h"
+#include "src/uisr/codec.h"
+
+namespace hypertp {
+namespace {
+
+// Builds the PRAM structure for the VMs currently on `hv` and returns the
+// metadata size in bytes.
+uint64_t PramBytesFor(Hypervisor& hv, bool huge_pages) {
+  PramBuilder builder(hv.machine().memory());
+  for (VmId id : hv.ListVms()) {
+    auto info = hv.GetVmInfo(id);
+    auto map = hv.GuestMemoryMap(id);
+    if (!info.ok() || !map.ok()) {
+      return 0;
+    }
+    std::vector<std::pair<Gfn, Mfn>> pairs;
+    for (const GuestMapping& m : *map) {
+      for (uint64_t i = 0; i < m.frames; ++i) {
+        pairs.emplace_back(m.gfn + i, m.mfn + i);
+      }
+    }
+    auto added = builder.AddFile("vm:" + std::to_string(info->uid), info->memory_bytes,
+                                 huge_pages, BuildPageEntries(pairs, huge_pages));
+    if (!added.ok()) {
+      return 0;
+    }
+  }
+  return builder.MetadataPagesNeeded() * kPageSize;
+}
+
+uint64_t UisrBytesFor(Hypervisor& hv) {
+  uint64_t total = 0;
+  FixupLog log;
+  for (VmId id : hv.ListVms()) {
+    (void)hv.PrepareVmForTransplant(id);
+    (void)hv.PauseVm(id);
+    auto uisr = hv.SaveVmToUisr(id, &log);
+    if (uisr.ok()) {
+      total += EncodeUisrVm(*uisr).size();
+    }
+    (void)hv.ResumeVm(id);
+  }
+  return total;
+}
+
+void Run() {
+  bench::Banner("Fig. 14 — HyperTP memory overhead (PRAM metadata + UISR blobs)",
+                "Paper: PRAM 16->60 KB across 1-12 GB, 148 KB for 12 VMs; UISR 5->38 KB "
+                "across 1-10 vCPUs; total 21-98 KB per VM.");
+
+  bench::Section("UISR size vs vCPU count (1 GB VM)");
+  bench::Row("%-8s %12s %12s", "vCPUs", "UISR (KB)", "paper");
+  for (uint32_t vcpus : {1u, 2u, 4u, 6u, 8u, 10u}) {
+    Machine machine(MachineProfile::M1(), vcpus);
+    std::unique_ptr<Hypervisor> xen = MakeHypervisor(HypervisorKind::kXen, machine);
+    VmConfig config = VmConfig::Small("uisr");
+    config.vcpus = vcpus;
+    (void)xen->CreateVm(config);
+    bench::Row("%-8u %12.1f %12s", vcpus, UisrBytesFor(*xen) / 1024.0,
+               vcpus == 1 ? "5 KB" : (vcpus == 10 ? "38 KB" : "-"));
+  }
+
+  bench::Section("PRAM metadata vs VM memory size (1 VM, 2M huge pages)");
+  bench::Row("%-8s %12s %12s", "GiB", "PRAM (KB)", "paper");
+  for (uint64_t gib : {1ull, 2ull, 4ull, 6ull, 8ull, 10ull, 12ull}) {
+    Machine machine(MachineProfile::M1(), 100 + gib);
+    std::unique_ptr<Hypervisor> xen = MakeHypervisor(HypervisorKind::kXen, machine);
+    VmConfig config = VmConfig::Small("pram");
+    config.memory_bytes = gib << 30;
+    (void)xen->CreateVm(config);
+    bench::Row("%-8llu %12.1f %12s", static_cast<unsigned long long>(gib),
+               PramBytesFor(*xen, true) / 1024.0,
+               gib == 1 ? "16 KB" : (gib == 12 ? "60 KB" : "-"));
+  }
+
+  bench::Section("PRAM metadata vs VM count (1 GB each, 2M huge pages)");
+  bench::Row("%-8s %12s %12s", "#VMs", "PRAM (KB)", "paper");
+  for (int vms : {2, 4, 6, 8, 10, 12}) {
+    Machine machine(MachineProfile::M1(), 200 + vms);
+    std::unique_ptr<Hypervisor> xen = MakeHypervisor(HypervisorKind::kXen, machine);
+    for (int i = 0; i < vms; ++i) {
+      (void)xen->CreateVm(VmConfig::Small("pram-" + std::to_string(i)));
+    }
+    bench::Row("%-8d %12.1f %12s", vms, PramBytesFor(*xen, true) / 1024.0,
+               vms == 12 ? "148 KB" : "-");
+  }
+
+  bench::Section("Worst-case metadata density (paper §5.5)");
+  {
+    Machine machine(MachineProfile::M1(), 300);
+    std::unique_ptr<Hypervisor> xen = MakeHypervisor(HypervisorKind::kXen, machine);
+    VmConfig config = VmConfig::Small("density");
+    config.memory_bytes = 1ull << 30;
+    (void)xen->CreateVm(config);
+    const double huge_kb = PramBytesFor(*xen, true) / 1024.0;
+    const double small_kb = PramBytesFor(*xen, false) / 1024.0;
+    bench::Row("all-2M pages: %8.1f KB per GB (paper: ~4 KB/GB)", huge_kb);
+    bench::Row("all-4K pages: %8.1f KB per GB (paper: ~2 MB/GB)", small_kb);
+  }
+}
+
+}  // namespace
+}  // namespace hypertp
+
+int main() {
+  hypertp::Run();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Regenerates Fig. 6: InPlaceTP time breakdown on M1 and M2 for Xen -> KVM
+// with a single 1 vCPU / 1 GB VM, plus the separately-reported network
+// re-initialization time.
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/core/factory.h"
+#include "src/core/inplace.h"
+
+namespace hypertp {
+namespace {
+
+struct PaperRow {
+  double pram, translation, reboot, restoration, downtime, total, network;
+};
+
+void RunMachine(const MachineProfile& profile, const PaperRow& paper) {
+  Machine machine(profile, 1);
+  std::unique_ptr<Hypervisor> xen = MakeHypervisor(HypervisorKind::kXen, machine);
+  auto id = xen->CreateVm(VmConfig::Small("fig6-vm"));
+  if (!id.ok()) {
+    bench::Row("VM creation failed: %s", id.error().ToString().c_str());
+    return;
+  }
+  auto result = InPlaceTransplant::Run(std::move(xen), HypervisorKind::kKvm, InPlaceOptions{});
+  if (!result.ok()) {
+    bench::Row("transplant failed: %s", result.error().ToString().c_str());
+    return;
+  }
+  const TransplantReport& r = result->report;
+  bench::Section(profile.name.c_str());
+  bench::Row("%-22s %10s %10s", "phase", "measured", "paper");
+  bench::Row("%-22s %9.2fs %9.2fs", "PRAM (pre-pause)", bench::Sec(r.phases.pram), paper.pram);
+  bench::Row("%-22s %9.2fs %9.2fs", "Translation", bench::Sec(r.phases.translation),
+             paper.translation);
+  bench::Row("%-22s %9.2fs %9.2fs", "Reboot (incl. parse)", bench::Sec(r.phases.reboot),
+             paper.reboot);
+  bench::Row("%-22s %9.2fs %9.2fs", "Restoration", bench::Sec(r.phases.restoration),
+             paper.restoration);
+  bench::Row("%-22s %9.2fs %9.2fs", "VM downtime", bench::Sec(r.downtime), paper.downtime);
+  bench::Row("%-22s %9.2fs %9.2fs", "Total transplant", bench::Sec(r.total_time), paper.total);
+  bench::Row("%-22s %9.2fs %9.2fs", "Network interruption", bench::Sec(r.network_downtime),
+             paper.network);
+  bench::Row("reboot share of total: %.0f%% (paper: ~70%%)",
+             100.0 * bench::Sec(r.phases.reboot) / bench::Sec(r.total_time));
+}
+
+void Run() {
+  bench::Banner("Fig. 6 — InPlaceTP time breakdown (Xen -> KVM, 1 vCPU / 1 GB VM)",
+                "Phases: PRAM construction (before pause), UISR translation, micro-reboot, "
+                "restoration; downtime = translation + reboot + restoration.");
+  // Paper values: M1 total 2.15 s (.45/.08/1.52/.12), downtime 1.7 s,
+  // network 8.1 s overall with 6.6 s NIC wait; M2 total 3.56 s
+  // (.5/.24/2.40/.34), downtime 3.01 s, network wait 2.3 s.
+  RunMachine(MachineProfile::M1(), {0.45, 0.08, 1.52, 0.12, 1.70, 2.15, 6.77});
+  RunMachine(MachineProfile::M2(), {0.50, 0.24, 2.40, 0.34, 3.01, 3.56, 2.64});
+}
+
+}  // namespace
+}  // namespace hypertp
+
+int main() {
+  hypertp::Run();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Regenerates Fig. 7: InPlaceTP (Xen -> KVM) scalability on M1 and M2 while
+// sweeping (a/d) vCPU count, (b/e) memory size, (c/f) number of VMs.
+// Expected shapes (paper §5.2.2):
+//   - vCPUs: flat (no phase depends on vCPU count materially);
+//   - memory: PRAM and Reboot (early-boot parse) grow, Restoration flat;
+//   - #VMs: PRAM grows faster on M1 than M2 (fewer cores to parallelize).
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/core/factory.h"
+#include "src/core/inplace.h"
+
+namespace hypertp {
+namespace {
+
+TransplantReport RunOnce(const MachineProfile& profile, int vms, uint32_t vcpus,
+                         uint64_t mem_bytes) {
+  Machine machine(profile, 1);
+  std::unique_ptr<Hypervisor> xen = MakeHypervisor(HypervisorKind::kXen, machine);
+  for (int i = 0; i < vms; ++i) {
+    VmConfig config = VmConfig::Small("sweep-" + std::to_string(i));
+    config.vcpus = vcpus;
+    config.memory_bytes = mem_bytes;
+    auto id = xen->CreateVm(config);
+    if (!id.ok()) {
+      std::fprintf(stderr, "create failed: %s\n", id.error().ToString().c_str());
+      return {};
+    }
+  }
+  auto result = InPlaceTransplant::Run(std::move(xen), HypervisorKind::kKvm, InPlaceOptions{});
+  if (!result.ok()) {
+    std::fprintf(stderr, "transplant failed: %s\n", result.error().ToString().c_str());
+    return {};
+  }
+  return result->report;
+}
+
+void PrintHeader() {
+  bench::Row("%-10s %8s %8s %8s %8s %10s %8s", "x", "pram(s)", "transl", "reboot", "restore",
+             "downtime", "total");
+}
+
+void PrintRow(const std::string& x, const TransplantReport& r) {
+  bench::Row("%-10s %8.2f %8.2f %8.2f %8.2f %10.2f %8.2f", x.c_str(), bench::Sec(r.phases.pram),
+             bench::Sec(r.phases.translation), bench::Sec(r.phases.reboot),
+             bench::Sec(r.phases.restoration), bench::Sec(r.downtime), bench::Sec(r.total_time));
+}
+
+void Sweep(const MachineProfile& profile) {
+  bench::Section((profile.name + " a) vCPU sweep (1 VM, 1 GB)").c_str());
+  PrintHeader();
+  for (uint32_t vcpus : {1u, 2u, 4u, 6u, 8u, 10u}) {
+    PrintRow(std::to_string(vcpus) + " vcpu", RunOnce(profile, 1, vcpus, 1ull << 30));
+  }
+
+  bench::Section((profile.name + " b) memory sweep (1 VM, 1 vCPU)").c_str());
+  PrintHeader();
+  for (uint64_t gib : {2ull, 4ull, 6ull, 8ull, 10ull, 12ull}) {
+    PrintRow(std::to_string(gib) + " GiB", RunOnce(profile, 1, 1, gib << 30));
+  }
+
+  bench::Section((profile.name + " c) VM-count sweep (1 vCPU / 1 GB each)").c_str());
+  PrintHeader();
+  for (int vms : {2, 4, 6, 8, 10, 12}) {
+    PrintRow(std::to_string(vms) + " VMs", RunOnce(profile, vms, 1, 1ull << 30));
+  }
+}
+
+void Run() {
+  bench::Banner("Fig. 7 — InPlaceTP scalability, Xen -> KVM",
+                "Paper reference: downtime stays within 1.7-3.6 s on M1 and 2.94-4.28 s on "
+                "M2 across all sweeps; reboot grows 1.55 -> ~2.46 s with memory on M1.");
+  Sweep(MachineProfile::M1());
+  Sweep(MachineProfile::M2());
+}
+
+}  // namespace
+}  // namespace hypertp
+
+int main() {
+  hypertp::Run();
+  return 0;
+}

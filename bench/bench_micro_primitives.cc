@@ -1,0 +1,108 @@
+// google-benchmark microbenchmarks for HyperTP's hot primitives: UISR
+// encode/decode, per-vCPU format translation, PRAM build/parse, CRC32.
+// These measure the real (host) cost of the state-manipulation code paths —
+// the parts of HyperTP that would run inside the paper's downtime window.
+
+#include <benchmark/benchmark.h>
+
+#include "src/base/crc32.h"
+#include "src/hw/physical_memory.h"
+#include "src/kvm/kvm_uisr.h"
+#include "src/pram/pram.h"
+#include "src/uisr/codec.h"
+#include "src/xen/xen_uisr.h"
+
+namespace hypertp {
+namespace {
+
+UisrVm MakeVm(uint32_t vcpus) {
+  UisrVm vm;
+  vm.vm_uid = 1;
+  vm.name = "bench";
+  vm.memory.memory_bytes = 1ull << 30;
+  for (uint32_t i = 0; i < vcpus; ++i) {
+    vm.vcpus.push_back(MakeSyntheticVcpu(1, i));
+  }
+  vm.ioapic.num_pins = 48;
+  return vm;
+}
+
+void BM_UisrEncode(benchmark::State& state) {
+  const UisrVm vm = MakeVm(static_cast<uint32_t>(state.range(0)));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    auto blob = EncodeUisrVm(vm);
+    bytes = blob.size();
+    benchmark::DoNotOptimize(blob);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_UisrEncode)->Arg(1)->Arg(4)->Arg(10);
+
+void BM_UisrDecode(benchmark::State& state) {
+  const auto blob = EncodeUisrVm(MakeVm(static_cast<uint32_t>(state.range(0))));
+  for (auto _ : state) {
+    auto vm = DecodeUisrVm(blob);
+    benchmark::DoNotOptimize(vm);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(blob.size()));
+}
+BENCHMARK(BM_UisrDecode)->Arg(1)->Arg(4)->Arg(10);
+
+void BM_XenVcpuTranslation(benchmark::State& state) {
+  const UisrVcpu vcpu = MakeSyntheticVcpu(2, 0);
+  FixupLog log;
+  for (auto _ : state) {
+    auto xen = XenVcpuFromUisr(vcpu, 2, &log);
+    auto back = XenVcpuToUisr(*xen);
+    benchmark::DoNotOptimize(back);
+    log.clear();
+  }
+}
+BENCHMARK(BM_XenVcpuTranslation);
+
+void BM_KvmVcpuTranslation(benchmark::State& state) {
+  const UisrVcpu vcpu = MakeSyntheticVcpu(3, 0);
+  for (auto _ : state) {
+    auto kvm = KvmVcpuFromUisr(vcpu);
+    auto back = KvmVcpuToUisr(*kvm);
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_KvmVcpuTranslation);
+
+void BM_PramBuildParse(benchmark::State& state) {
+  const uint64_t gib = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    PhysicalMemory ram((gib + 2) << 30);
+    const uint64_t frames = gib << 18;
+    Mfn base = ram.Alloc(frames, kFramesPerHugePage, FrameOwner{FrameOwnerKind::kGuest, 1})
+                   .value();
+    std::vector<PramPageEntry> entries;
+    for (uint64_t i = 0; i < frames; i += kFramesPerHugePage) {
+      entries.push_back({i, base + i, kHugePageOrder});
+    }
+    PramBuilder builder(ram);
+    (void)builder.AddFile("vm", gib << 30, true, std::move(entries));
+    auto handle = builder.Finalize();
+    auto image = ParsePram(ram, handle->root_mfn);
+    benchmark::DoNotOptimize(image);
+  }
+}
+BENCHMARK(BM_PramBuildParse)->Arg(1)->Arg(4)->Arg(12);
+
+void BM_Crc32Page(benchmark::State& state) {
+  std::vector<uint8_t> page(4096, 0xA5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32(page));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_Crc32Page);
+
+}  // namespace
+}  // namespace hypertp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+// Shared helpers for the benchmark binaries: aligned table printing and the
+// standard experiment banner. Each bench regenerates one of the paper's
+// tables/figures and prints the simulated values next to the paper's
+// reference numbers where the paper states them.
+
+#ifndef HYPERTP_BENCH_BENCH_UTIL_H_
+#define HYPERTP_BENCH_BENCH_UTIL_H_
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace hypertp {
+namespace bench {
+
+inline void Banner(const char* experiment, const char* description) {
+  std::printf("==============================================================================\n");
+  std::printf("%s\n%s\n", experiment, description);
+  std::printf("==============================================================================\n");
+}
+
+inline void Section(const char* title) { std::printf("\n--- %s ---\n", title); }
+
+// printf-style row helper.
+inline void Row(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  std::vfprintf(stdout, format, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+inline double Sec(SimDuration d) { return ToSeconds(d); }
+inline double Ms(SimDuration d) { return ToMillis(d); }
+
+}  // namespace bench
+}  // namespace hypertp
+
+#endif  // HYPERTP_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,65 @@
+// Quantifies Fig. 1: exposure under traditional patching vs hypervisor
+// transplant, for the CVEs the paper names and for the whole dataset.
+
+#include "bench/bench_util.h"
+#include "src/vulndb/window_model.h"
+
+namespace hypertp {
+namespace {
+
+void Run() {
+  bench::Banner("Fig. 1 quantified — vulnerability-window exposure, patch-wait vs HyperTP",
+                "Fleet: 100 hosts, 10 s per-host InPlaceTP, 10 hosts in parallel; patch "
+                "policy: 7 days from release to fleet-wide application.");
+
+  const std::vector<HypervisorKind> pool = {HypervisorKind::kXen, HypervisorKind::kKvm,
+                                            HypervisorKind::kBhyve};
+  PatchPolicy policy;
+  FleetProfile fleet;
+  bench::Row("fleet transplant completes in %s",
+             FormatDuration(FleetTransplantTime(fleet)).c_str());
+
+  bench::Section("named CVEs");
+  bench::Row("%-16s %10s %16s %16s %12s", "CVE", "window(d)", "patch-wait(d)", "HyperTP(d)",
+             "reduction");
+  for (const char* id :
+       {"CVE-2016-6258", "CVE-2013-0311", "CVE-2017-12188", "CVE-2015-3456"}) {
+    const CveRecord* cve = nullptr;
+    for (const CveRecord& r : VulnDatabase()) {
+      if (r.id == id) {
+        cve = &r;
+      }
+    }
+    if (cve == nullptr) {
+      continue;
+    }
+    const HypervisorKind current =
+        cve->affects_xen ? HypervisorKind::kXen : HypervisorKind::kKvm;
+    const ExposureComparison c = CompareExposure(*cve, current, pool, policy, fleet);
+    if (c.transplant_applicable) {
+      bench::Row("%-16s %10d %16.1f %16.4f %11.0fx", cve->id.c_str(), cve->window_days,
+                 c.traditional_exposure_days, c.hypertp_exposure_days, c.reduction_factor);
+    } else {
+      bench::Row("%-16s %10d %16.1f %16s %12s", cve->id.c_str(), cve->window_days,
+                 c.traditional_exposure_days, "(no safe target)", "1x");
+    }
+  }
+
+  bench::Section("fleet-wide annual savings (critical flaws, 2013-2019 average)");
+  for (HypervisorKind current : pool) {
+    const double saved =
+        AnnualExposureReduction(VulnDatabase(), current, pool, policy, fleet);
+    bench::Row("running %-6s fleet: %8.0f exposure-days avoided per year",
+               std::string(HypervisorKindName(current)).c_str(), saved);
+  }
+  bench::Row("(the paper's argument in §1: windows of days-to-months shrink to the "
+             "minutes a fleet transplant takes, whenever a safe alternate exists)");
+}
+
+}  // namespace
+}  // namespace hypertp
+
+int main() {
+  hypertp::Run();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Workload impact explorer: what does a tenant actually feel? Runs a
+// Redis-like service through both transplant approaches and prints the QPS
+// timeline plus the darknet-trainer view — the paper's §5.3 story in one
+// executable.
+//
+//   $ ./build/examples/workload_impact
+
+#include <cstdio>
+#include <memory>
+
+#include "src/core/factory.h"
+#include "src/core/inplace.h"
+#include "src/core/migration_tp.h"
+#include "src/workload/darknet.h"
+#include "src/workload/throughput.h"
+
+using namespace hypertp;
+
+namespace {
+
+void PrintTimeline(const TimeSeries& series) {
+  for (SimTime t = 0; t + Seconds(10) <= series.points().back().time; t += Seconds(10)) {
+    const double mean = series.MeanInWindow(t, t + Seconds(10));
+    std::string bar(static_cast<size_t>(mean / 2500.0), '#');
+    std::printf("  t=%4.0fs %8.0f qps %s\n", ToSeconds(t), mean, bar.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  VmConfig config = VmConfig::Small("redis");
+  config.vcpus = 2;
+  config.memory_bytes = 8ull << 30;
+
+  std::printf("== InPlaceTP: a few seconds of darkness, then faster on KVM ==\n");
+  {
+    Machine machine(MachineProfile::M1(), 1);
+    std::unique_ptr<Hypervisor> xen = MakeHypervisor(HypervisorKind::kXen, machine);
+    (void)xen->CreateVm(config);
+    auto result = InPlaceTransplant::Run(std::move(xen), HypervisorKind::kKvm, InPlaceOptions{});
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.error().ToString().c_str());
+      return 1;
+    }
+    auto schedule = InterferenceSchedule::ForInPlace(result->report, Seconds(50), true);
+    Rng rng(5);
+    TimeSeries series = GenerateThroughput(ThroughputModel::Redis(), Seconds(160), Seconds(1),
+                                           schedule, true, rng, "redis");
+    PrintTimeline(series);
+    std::printf("  gap: %s; downtime (CPU view): %s\n",
+                FormatDuration(series.LongestGapBelow(100.0)).c_str(),
+                FormatDuration(result->report.downtime).c_str());
+  }
+
+  std::printf("\n== MigrationTP: no darkness, but a long degraded window ==\n");
+  {
+    Machine src_machine(MachineProfile::M1(), 2);
+    Machine dst_machine(MachineProfile::M1(), 3);
+    std::unique_ptr<Hypervisor> xen = MakeHypervisor(HypervisorKind::kXen, src_machine);
+    std::unique_ptr<Hypervisor> kvm = MakeHypervisor(HypervisorKind::kKvm, dst_machine);
+    auto id = xen->CreateVm(config);
+    MigrationConfig mig;
+    mig.dirty_pages_per_sec = 8000.0;
+    auto result = MigrationTransplant::Run(*xen, {*id}, *kvm, NetworkLink{1.0}, mig);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.error().ToString().c_str());
+      return 1;
+    }
+    auto schedule = InterferenceSchedule::ForMigration(result->migrations[0], Seconds(46), 0.55);
+    Rng rng(6);
+    TimeSeries series = GenerateThroughput(ThroughputModel::Redis(), Seconds(220), Seconds(1),
+                                           schedule, true, rng, "redis");
+    PrintTimeline(series);
+    std::printf("  copy window: %s; downtime: %s\n",
+                FormatDuration(result->migrations[0].total_time -
+                               result->migrations[0].downtime)
+                    .c_str(),
+                FormatDuration(result->migrations[0].downtime).c_str());
+  }
+
+  std::printf("\n== The ML trainer's view (Table 6) ==\n");
+  {
+    TransplantReport report;
+    report.phases.pram = SecondsF(0.6);
+    report.downtime = SecondsF(2.9);
+    report.network_downtime = SecondsF(6.9);
+    auto schedule = InterferenceSchedule::ForInPlace(report, Seconds(100), false);
+    DarknetRun run = RunDarknetTraining(DarknetConfig{}, schedule);
+    std::printf("  100 iterations: avg %.3f s, longest %.3f s "
+                "(one iteration absorbs the whole pause)\n",
+                run.average(), run.longest());
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Little-endian byte encoding/decoding helpers used by the UISR wire format.
+
+#ifndef HYPERTP_SRC_BASE_BYTES_H_
+#define HYPERTP_SRC_BASE_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/result.h"
+
+namespace hypertp {
+
+// Appends fixed-width little-endian integers and length-prefixed blobs to a
+// growing byte buffer.
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutBytes(std::span<const uint8_t> bytes);
+  // Writes a u32 length prefix followed by the raw bytes.
+  void PutLengthPrefixed(std::span<const uint8_t> bytes);
+  // Writes a u32 length prefix followed by the string bytes (no terminator).
+  void PutString(std::string_view s);
+
+  size_t size() const { return buf_.size(); }
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+  std::vector<uint8_t> TakeBytes() { return std::move(buf_); }
+
+  // Overwrites 4 bytes at `offset` with `v`; used to back-patch section sizes.
+  void PatchU32(size_t offset, uint32_t v);
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+// Reads fixed-width little-endian integers from a byte span with bounds checks.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> data) : data_(data) {}
+
+  Result<uint8_t> ReadU8();
+  Result<uint16_t> ReadU16();
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  // Reads exactly `n` raw bytes.
+  Result<std::vector<uint8_t>> ReadBytes(size_t n);
+  // Reads a u32 length prefix then that many bytes.
+  Result<std::vector<uint8_t>> ReadLengthPrefixed();
+  Result<std::string> ReadString();
+  // Skips `n` bytes.
+  Result<void> Skip(size_t n);
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  Result<void> Require(size_t n);
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace hypertp
+
+#endif  // HYPERTP_SRC_BASE_BYTES_H_

@@ -1,0 +1,39 @@
+#include "src/base/crc32.h"
+
+#include <array>
+
+namespace hypertp {
+namespace {
+
+// Table for the reflected IEEE polynomial 0xEDB88320, generated at startup.
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t seed, std::span<const uint8_t> data) {
+  const auto& table = Table();
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (uint8_t byte : data) {
+    c = table[(c ^ byte) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32(std::span<const uint8_t> data) { return Crc32Update(0, data); }
+
+}  // namespace hypertp

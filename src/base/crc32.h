@@ -1,0 +1,20 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) used to protect UISR payloads and
+// PRAM metadata pages against corruption across the micro-reboot.
+
+#ifndef HYPERTP_SRC_BASE_CRC32_H_
+#define HYPERTP_SRC_BASE_CRC32_H_
+
+#include <cstdint>
+#include <span>
+
+namespace hypertp {
+
+// One-shot CRC-32 of `data` (initial value 0).
+uint32_t Crc32(std::span<const uint8_t> data);
+
+// Incremental form: pass the previous return value as `seed` to continue.
+uint32_t Crc32Update(uint32_t seed, std::span<const uint8_t> data);
+
+}  // namespace hypertp
+
+#endif  // HYPERTP_SRC_BASE_CRC32_H_

@@ -1,0 +1,51 @@
+// Minimal JSON writer used for telemetry export (no parsing, no DOM —
+// reports are write-only documents consumed by fleet monitoring).
+
+#ifndef HYPERTP_SRC_BASE_JSON_H_
+#define HYPERTP_SRC_BASE_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hypertp {
+
+// Streaming JSON builder with correct string escaping and comma placement.
+// Usage:
+//   JsonWriter j;
+//   j.BeginObject();
+//   j.Key("downtime_ms").Number(4.96);
+//   j.Key("fixups").BeginArray(); ... j.EndArray();
+//   j.EndObject();
+//   std::string doc = j.Take();
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(std::string_view key);
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Number(double value);
+  JsonWriter& Number(int64_t value);
+  JsonWriter& Number(uint64_t value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void Separator();
+  void Escape(std::string_view s);
+
+  std::string out_;
+  // Tracks whether a value was already emitted at each nesting level.
+  std::vector<bool> needs_comma_ = {false};
+  bool after_key_ = false;
+};
+
+}  // namespace hypertp
+
+#endif  // HYPERTP_SRC_BASE_JSON_H_

@@ -1,0 +1,63 @@
+#include "src/base/logging.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace hypertp {
+namespace {
+
+std::mutex g_log_mutex;
+LogSink g_sink;  // Empty means "default stderr sink".
+LogSeverity g_min_severity = LogSeverity::kWarning;
+
+void DefaultSink(LogSeverity severity, std::string_view component, std::string_view msg) {
+  std::fprintf(stderr, "[%-5s %s] %.*s\n", std::string(LogSeverityName(severity)).c_str(),
+               std::string(component).c_str(), static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace
+
+std::string_view LogSeverityName(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kDebug:
+      return "DEBUG";
+    case LogSeverity::kInfo:
+      return "INFO";
+    case LogSeverity::kWarning:
+      return "WARN";
+    case LogSeverity::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+LogSink SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  LogSink previous = std::move(g_sink);
+  g_sink = std::move(sink);
+  return previous;
+}
+
+void SetMinLogSeverity(LogSeverity severity) {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  g_min_severity = severity;
+}
+
+LogSeverity MinLogSeverity() {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  return g_min_severity;
+}
+
+void LogMessage(LogSeverity severity, std::string_view component, std::string_view message) {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  if (severity < g_min_severity) {
+    return;
+  }
+  if (g_sink) {
+    g_sink(severity, component, message);
+  } else {
+    DefaultSink(severity, component, message);
+  }
+}
+
+}  // namespace hypertp

@@ -1,0 +1,62 @@
+// Minimal structured logging for the HyperTP library.
+//
+// Log lines carry a severity and a component tag, e.g.
+//   [INFO  kexec] staging kernel image 'kvmish-5.3' (24 MiB)
+// The default sink writes to stderr; tests can install a capturing sink.
+
+#ifndef HYPERTP_SRC_BASE_LOGGING_H_
+#define HYPERTP_SRC_BASE_LOGGING_H_
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace hypertp {
+
+enum class LogSeverity { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+std::string_view LogSeverityName(LogSeverity severity);
+
+// Receives every emitted log record. Must be callable from multiple threads.
+using LogSink = std::function<void(LogSeverity, std::string_view component, std::string_view msg)>;
+
+// Replaces the global sink; returns the previous one. Passing nullptr restores
+// the default stderr sink.
+LogSink SetLogSink(LogSink sink);
+
+// Messages below this severity are dropped before reaching the sink.
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+// Emits one record through the current sink (if severity passes the filter).
+void LogMessage(LogSeverity severity, std::string_view component, std::string_view message);
+
+// Stream-style logging helper:
+//   HYPERTP_LOG(kInfo, "pram") << "built " << n << " entries";
+namespace log_internal {
+class LogLine {
+ public:
+  LogLine(LogSeverity severity, std::string_view component)
+      : severity_(severity), component_(component) {}
+  ~LogLine() { LogMessage(severity_, component_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogSeverity severity_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace log_internal
+
+#define HYPERTP_LOG(severity, component) \
+  ::hypertp::log_internal::LogLine(::hypertp::LogSeverity::severity, component)
+
+}  // namespace hypertp
+
+#endif  // HYPERTP_SRC_BASE_LOGGING_H_

@@ -1,0 +1,42 @@
+#include "src/bhyve/bhyve_formats.h"
+
+namespace hypertp {
+
+uint32_t PackVmxAccessRights(const UisrSegment& seg) {
+  return static_cast<uint32_t>((seg.type & 0xF) | ((seg.s & 1) << 4) | ((seg.dpl & 3) << 5) |
+                               ((seg.present & 1) << 7) | ((seg.avl & 1) << 12) |
+                               ((seg.l & 1) << 13) | ((seg.db & 1) << 14) |
+                               ((seg.g & 1) << 15) | ((seg.unusable & 1) << 16));
+}
+
+void UnpackVmxAccessRights(uint32_t access, UisrSegment& seg) {
+  seg.type = access & 0xF;
+  seg.s = (access >> 4) & 1;
+  seg.dpl = (access >> 5) & 3;
+  seg.present = (access >> 7) & 1;
+  seg.avl = (access >> 12) & 1;
+  seg.l = (access >> 13) & 1;
+  seg.db = (access >> 14) & 1;
+  seg.g = (access >> 15) & 1;
+  seg.unusable = (access >> 16) & 1;
+}
+
+BhyveSegDesc ToBhyveSegDesc(const UisrSegment& seg) {
+  BhyveSegDesc desc;
+  desc.base = seg.base;
+  desc.limit = seg.limit;
+  desc.access = PackVmxAccessRights(seg);
+  desc.selector = seg.selector;
+  return desc;
+}
+
+UisrSegment FromBhyveSegDesc(const BhyveSegDesc& desc) {
+  UisrSegment seg;
+  seg.base = desc.base;
+  seg.limit = desc.limit;
+  seg.selector = desc.selector;
+  UnpackVmxAccessRights(desc.access, seg);
+  return seg;
+}
+
+}  // namespace hypertp

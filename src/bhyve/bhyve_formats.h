@@ -1,0 +1,114 @@
+// BhyveVisor's native VM state representation — the third format in the
+// repertoire, again deliberately different from both Xen's and KVM's:
+//   - GPRs in bhyve's vm_reg_name enumeration order (argument registers
+//     first), not Xen's member order nor KVM's;
+//   - segments as seg_desc structs with a 32-bit VMX access-rights word
+//     (vs Xen's packed 16-bit word and KVM's discrete byte fields);
+//   - GDTR/IDTR also stored as seg_desc (access unused) — a bhyve-ism;
+//   - well-known MSRs in fixed slots *including PAT* (the third PAT home:
+//     Xen keeps it in the MTRR record, KVM in the MSR list);
+//   - CR8 stored directly (like KVM), LAPIC page carried alongside;
+//   - a 32-pin IOAPIC and NO PIT AT ALL — bhyve guests run from the HPET, so
+//     transplants into bhyve drop PIT state (with a fixup) and transplants
+//     out synthesize reset defaults.
+
+#ifndef HYPERTP_SRC_BHYVE_BHYVE_FORMATS_H_
+#define HYPERTP_SRC_BHYVE_BHYVE_FORMATS_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/uisr/fxsave.h"
+#include "src/uisr/records.h"
+
+namespace hypertp {
+
+// VMX access-rights layout:
+//   type[3:0] s[4] dpl[6:5] p[7] avl[12] l[13] db[14] g[15] unusable[16]
+uint32_t PackVmxAccessRights(const UisrSegment& seg);
+void UnpackVmxAccessRights(uint32_t access, UisrSegment& seg);
+
+struct BhyveSegDesc {
+  uint64_t base = 0;
+  uint32_t limit = 0;
+  uint32_t access = 0;
+  uint16_t selector = 0;
+
+  bool operator==(const BhyveSegDesc&) const = default;
+};
+
+BhyveSegDesc ToBhyveSegDesc(const UisrSegment& seg);
+UisrSegment FromBhyveSegDesc(const BhyveSegDesc& desc);
+
+// GPR slot order in BhyveVcpu::gpr (vm_reg_name-style; argument registers
+// first). Conversions must permute against UISR's KVM-member order.
+enum BhyveGprSlot : size_t {
+  kBhyveRdi = 0,
+  kBhyveRsi,
+  kBhyveRdx,
+  kBhyveRcx,
+  kBhyveR8,
+  kBhyveR9,
+  kBhyveRax,
+  kBhyveRbx,
+  kBhyveRbp,
+  kBhyveR10,
+  kBhyveR11,
+  kBhyveR12,
+  kBhyveR13,
+  kBhyveR14,
+  kBhyveR15,
+  kBhyveRsp,
+  kBhyveGprCount,
+};
+
+struct BhyveVcpu {
+  uint32_t vcpu_id = 0;
+  uint8_t online = 1;
+  std::array<uint64_t, kBhyveGprCount> gpr{};
+  uint64_t rip = 0, rflags = 0;
+  uint64_t cr0 = 0, cr2 = 0, cr3 = 0, cr4 = 0, cr8 = 0;
+  BhyveSegDesc cs, ds, es, fs, gs, ss, tr, ldtr;
+  BhyveSegDesc gdtr, idtr;  // Only base/limit meaningful.
+  // Fixed MSR slots (no generic list), PAT included.
+  uint64_t msr_efer = 0, msr_star = 0, msr_lstar = 0, msr_cstar = 0, msr_sfmask = 0;
+  uint64_t msr_kgsbase = 0, msr_pat = 0;
+  uint64_t sysenter_cs = 0, sysenter_esp = 0, sysenter_eip = 0;
+  uint64_t tsc = 0, misc_enable = 0;
+  FxsaveArea fpu{};
+  uint64_t xcr0 = 0;
+  std::vector<uint8_t> xsave_area;
+  uint64_t apic_base = 0;
+  uint64_t tsc_deadline = 0;
+  std::array<uint8_t, kLapicRegsSize> lapic_page{};
+  // MTRRs as split base/mask arrays.
+  uint64_t mtrr_cap = 0, mtrr_def_type = 0;
+  std::array<uint64_t, kMtrrFixedCount> mtrr_fixed{};
+  std::array<uint64_t, kMtrrVariableCount> mtrr_var_base{};
+  std::array<uint64_t, kMtrrVariableCount> mtrr_var_mask{};
+
+  bool operator==(const BhyveVcpu&) const = default;
+};
+
+inline constexpr uint32_t kBhyveIoapicPins = 32;
+struct BhyveIoapic {
+  uint32_t id = 0;
+  uint64_t base_address = 0xFEC00000;
+  std::array<uint64_t, kBhyveIoapicPins> redirtbl{};
+
+  bool operator==(const BhyveIoapic&) const = default;
+};
+
+// The whole platform: vCPUs + IOAPIC + HPET. No PIT.
+struct BhyvePlatform {
+  std::vector<BhyveVcpu> vcpus;
+  BhyveIoapic ioapic;
+  uint64_t hpet_counter = 0;
+
+  bool operator==(const BhyvePlatform&) const = default;
+};
+
+}  // namespace hypertp
+
+#endif  // HYPERTP_SRC_BHYVE_BHYVE_FORMATS_H_

@@ -1,0 +1,286 @@
+#include "src/bhyve/bhyve_uisr.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hypertp {
+namespace {
+
+// MSR indices with fixed slots in BhyveVcpu.
+constexpr uint32_t kMsrTsc = 0x00000010;
+constexpr uint32_t kMsrSysenterCs = 0x00000174;
+constexpr uint32_t kMsrSysenterEsp = 0x00000175;
+constexpr uint32_t kMsrSysenterEip = 0x00000176;
+constexpr uint32_t kMsrMiscEnable = 0x000001A0;
+constexpr uint32_t kMsrEfer = 0xC0000080;
+constexpr uint32_t kMsrStar = 0xC0000081;
+constexpr uint32_t kMsrLstar = 0xC0000082;
+constexpr uint32_t kMsrCstar = 0xC0000083;
+constexpr uint32_t kMsrSfmask = 0xC0000084;
+constexpr uint32_t kMsrFsBase = 0xC0000100;
+constexpr uint32_t kMsrGsBase = 0xC0000101;
+constexpr uint32_t kMsrKernelGsBase = 0xC0000102;
+
+constexpr size_t kLapicTprOffset = 0x80;
+
+// UISR gpr order: rax rbx rcx rdx rsi rdi rsp rbp r8..r15 (KVM member order).
+// Bhyve slot for each UISR index:
+constexpr BhyveGprSlot kUisrToBhyve[16] = {
+    kBhyveRax, kBhyveRbx, kBhyveRcx, kBhyveRdx, kBhyveRsi, kBhyveRdi, kBhyveRsp, kBhyveRbp,
+    kBhyveR8,  kBhyveR9,  kBhyveR10, kBhyveR11, kBhyveR12, kBhyveR13, kBhyveR14, kBhyveR15,
+};
+
+}  // namespace
+
+Result<UisrVcpu> BhyveVcpuToUisr(const BhyveVcpu& b) {
+  UisrVcpu v;
+  v.id = b.vcpu_id;
+  v.online = b.online != 0;
+
+  for (size_t i = 0; i < 16; ++i) {
+    v.regs.gpr[i] = b.gpr[kUisrToBhyve[i]];
+  }
+  v.regs.rip = b.rip;
+  v.regs.rflags = b.rflags;
+
+  v.sregs.cs = FromBhyveSegDesc(b.cs);
+  v.sregs.ds = FromBhyveSegDesc(b.ds);
+  v.sregs.es = FromBhyveSegDesc(b.es);
+  v.sregs.fs = FromBhyveSegDesc(b.fs);
+  v.sregs.gs = FromBhyveSegDesc(b.gs);
+  v.sregs.ss = FromBhyveSegDesc(b.ss);
+  v.sregs.tr = FromBhyveSegDesc(b.tr);
+  v.sregs.ldt = FromBhyveSegDesc(b.ldtr);
+  v.sregs.gdt = {b.gdtr.base, static_cast<uint16_t>(b.gdtr.limit)};
+  v.sregs.idt = {b.idtr.base, static_cast<uint16_t>(b.idtr.limit)};
+  v.sregs.cr0 = b.cr0;
+  v.sregs.cr2 = b.cr2;
+  v.sregs.cr3 = b.cr3;
+  v.sregs.cr4 = b.cr4;
+  v.sregs.cr8 = b.cr8;
+  v.sregs.efer = b.msr_efer;
+  v.sregs.apic_base = b.apic_base;
+
+  // Canonical sorted MSR list from the fixed slots (PAT stays structural).
+  v.msrs = {
+      {kMsrTsc, b.tsc},
+      {kMsrSysenterCs, b.sysenter_cs},
+      {kMsrSysenterEsp, b.sysenter_esp},
+      {kMsrSysenterEip, b.sysenter_eip},
+      {kMsrMiscEnable, b.misc_enable},
+      {kMsrEfer, b.msr_efer},
+      {kMsrStar, b.msr_star},
+      {kMsrLstar, b.msr_lstar},
+      {kMsrCstar, b.msr_cstar},
+      {kMsrSfmask, b.msr_sfmask},
+      {kMsrFsBase, b.fs.base},
+      {kMsrGsBase, b.gs.base},
+      {kMsrKernelGsBase, b.msr_kgsbase},
+  };
+
+  v.fpu = UnpackFxsave(b.fpu);
+
+  v.lapic.apic_base_msr = b.apic_base;
+  v.lapic.tsc_deadline = b.tsc_deadline;
+  v.lapic.regs = b.lapic_page;
+
+  v.mtrr.cap = b.mtrr_cap;
+  v.mtrr.def_type = b.mtrr_def_type;
+  v.mtrr.fixed = b.mtrr_fixed;
+  v.mtrr.var_base = b.mtrr_var_base;
+  v.mtrr.var_mask = b.mtrr_var_mask;
+  v.mtrr.pat = b.msr_pat;  // The third PAT home.
+
+  v.xsave.xcr0 = b.xcr0;
+  v.xsave.area = b.xsave_area;
+  return v;
+}
+
+Result<BhyveVcpu> BhyveVcpuFromUisr(const UisrVcpu& vcpu, uint64_t vm_uid, FixupLog* log) {
+  BhyveVcpu b;
+  b.vcpu_id = vcpu.id;
+  b.online = vcpu.online ? 1 : 0;
+
+  for (size_t i = 0; i < 16; ++i) {
+    b.gpr[kUisrToBhyve[i]] = vcpu.regs.gpr[i];
+  }
+  b.rip = vcpu.regs.rip;
+  b.rflags = vcpu.regs.rflags;
+
+  b.cs = ToBhyveSegDesc(vcpu.sregs.cs);
+  b.ds = ToBhyveSegDesc(vcpu.sregs.ds);
+  b.es = ToBhyveSegDesc(vcpu.sregs.es);
+  b.fs = ToBhyveSegDesc(vcpu.sregs.fs);
+  b.gs = ToBhyveSegDesc(vcpu.sregs.gs);
+  b.ss = ToBhyveSegDesc(vcpu.sregs.ss);
+  b.tr = ToBhyveSegDesc(vcpu.sregs.tr);
+  b.ldtr = ToBhyveSegDesc(vcpu.sregs.ldt);
+  b.gdtr.base = vcpu.sregs.gdt.base;
+  b.gdtr.limit = vcpu.sregs.gdt.limit;
+  b.idtr.base = vcpu.sregs.idt.base;
+  b.idtr.limit = vcpu.sregs.idt.limit;
+  b.cr0 = vcpu.sregs.cr0;
+  b.cr2 = vcpu.sregs.cr2;
+  b.cr3 = vcpu.sregs.cr3;
+  b.cr4 = vcpu.sregs.cr4;
+  b.cr8 = vcpu.sregs.cr8;
+  b.msr_efer = vcpu.sregs.efer;
+  b.apic_base = vcpu.lapic.apic_base_msr;
+
+  for (const UisrMsr& m : vcpu.msrs) {
+    switch (m.index) {
+      case kMsrTsc:
+        b.tsc = m.value;
+        break;
+      case kMsrSysenterCs:
+        b.sysenter_cs = m.value;
+        break;
+      case kMsrSysenterEsp:
+        b.sysenter_esp = m.value;
+        break;
+      case kMsrSysenterEip:
+        b.sysenter_eip = m.value;
+        break;
+      case kMsrMiscEnable:
+        b.misc_enable = m.value;
+        break;
+      case kMsrEfer:
+        break;  // Carried in sregs.efer.
+      case kMsrStar:
+        b.msr_star = m.value;
+        break;
+      case kMsrLstar:
+        b.msr_lstar = m.value;
+        break;
+      case kMsrCstar:
+        b.msr_cstar = m.value;
+        break;
+      case kMsrSfmask:
+        b.msr_sfmask = m.value;
+        break;
+      case kMsrFsBase:
+        b.fs.base = m.value;
+        break;
+      case kMsrGsBase:
+        b.gs.base = m.value;
+        break;
+      case kMsrKernelGsBase:
+        b.msr_kgsbase = m.value;
+        break;
+      default:
+        if (log != nullptr) {
+          char buf[64];
+          std::snprintf(buf, sizeof(buf), "MSR 0x%X has no bhyve slot; dropped", m.index);
+          log->push_back({vm_uid, "cpu", buf});
+        }
+        break;
+    }
+  }
+
+  b.fpu = PackFxsave(vcpu.fpu);
+
+  b.tsc_deadline = vcpu.lapic.tsc_deadline;
+  b.lapic_page = vcpu.lapic.regs;
+  // Like KVM: CR8 authoritative, TPR page synchronized.
+  b.lapic_page[kLapicTprOffset] = static_cast<uint8_t>((vcpu.sregs.cr8 & 0xF) << 4);
+
+  b.mtrr_cap = vcpu.mtrr.cap;
+  b.mtrr_def_type = vcpu.mtrr.def_type;
+  b.mtrr_fixed = vcpu.mtrr.fixed;
+  b.mtrr_var_base = vcpu.mtrr.var_base;
+  b.mtrr_var_mask = vcpu.mtrr.var_mask;
+  b.msr_pat = vcpu.mtrr.pat;
+
+  b.xcr0 = vcpu.xsave.xcr0;
+  b.xsave_area = vcpu.xsave.area;
+  return b;
+}
+
+Result<BhyvePlatform> BhyvePlatformFromUisr(const UisrVm& vm, FixupLog* log,
+                                            bool remap_high_pins) {
+  BhyvePlatform platform;
+  for (const UisrVcpu& v : vm.vcpus) {
+    HYPERTP_ASSIGN_OR_RETURN(BhyveVcpu b, BhyveVcpuFromUisr(v, vm.vm_uid, log));
+    platform.vcpus.push_back(std::move(b));
+  }
+
+  platform.ioapic.id = vm.ioapic.id;
+  platform.ioapic.base_address = vm.ioapic.base_address;
+  const uint32_t copied = std::min(vm.ioapic.num_pins, kBhyveIoapicPins);
+  for (uint32_t i = 0; i < copied; ++i) {
+    platform.ioapic.redirtbl[i] = vm.ioapic.redirection[i];
+  }
+  for (uint32_t i = kBhyveIoapicPins; i < vm.ioapic.num_pins; ++i) {
+    if (vm.ioapic.redirection[i] == 0) {
+      continue;
+    }
+    char buf[96];
+    if (remap_high_pins) {
+      uint32_t free_pin = kBhyveIoapicPins;
+      for (uint32_t candidate = 16; candidate < kBhyveIoapicPins; ++candidate) {
+        if (platform.ioapic.redirtbl[candidate] == 0) {
+          free_pin = candidate;
+          break;
+        }
+      }
+      if (free_pin < kBhyveIoapicPins) {
+        platform.ioapic.redirtbl[free_pin] = vm.ioapic.redirection[i];
+        if (log != nullptr) {
+          std::snprintf(buf, sizeof(buf),
+                        "IOAPIC pin %u remapped to pin %u; guest notified of GSI change", i,
+                        free_pin);
+          log->push_back({vm.vm_uid, "ioapic", buf});
+        }
+        continue;
+      }
+    }
+    if (log != nullptr) {
+      std::snprintf(buf, sizeof(buf),
+                    "IOAPIC pin %u active on source; disconnected (bhyve has %u pins)", i,
+                    kBhyveIoapicPins);
+      log->push_back({vm.vm_uid, "ioapic", buf});
+    }
+  }
+
+  // bhyve has no PIT: drop the state, note the fixup if the PIT was live
+  // (programmed mode or pending load — the reset default of count=0x10000,
+  // mode 0 does not count).
+  bool pit_live = vm.pit.speaker_data_on != 0;
+  for (const UisrPitChannel& channel : vm.pit.channels) {
+    pit_live |= channel.mode != 0 || channel.count_load_time != 0;
+  }
+  if (pit_live && log != nullptr) {
+    log->push_back({vm.vm_uid, "pit",
+                    "PIT state dropped: bhyve has no i8254 model; guest timekeeping "
+                    "falls back to the HPET"});
+  }
+  // Seed the HPET from the PIT's last load time so time appears continuous.
+  platform.hpet_counter = vm.pit.channels[0].count_load_time;
+  return platform;
+}
+
+Result<void> BhyvePlatformToUisr(const BhyvePlatform& platform, UisrVm& out, FixupLog* log) {
+  out.vcpus.clear();
+  for (const BhyveVcpu& b : platform.vcpus) {
+    HYPERTP_ASSIGN_OR_RETURN(UisrVcpu v, BhyveVcpuToUisr(b));
+    out.vcpus.push_back(std::move(v));
+  }
+
+  out.ioapic.id = platform.ioapic.id;
+  out.ioapic.base_address = platform.ioapic.base_address;
+  out.ioapic.num_pins = kBhyveIoapicPins;
+  out.ioapic.redirection.fill(0);
+  std::copy(platform.ioapic.redirtbl.begin(), platform.ioapic.redirtbl.end(),
+            out.ioapic.redirection.begin());
+
+  // Synthesize a reset-default PIT: the target hypervisor's guest will
+  // re-program it; meanwhile timekeeping continues on the HPET-derived TSC.
+  out.pit = UisrPit{};
+  out.pit.channels[0].count_load_time = platform.hpet_counter;
+  if (log != nullptr) {
+    log->push_back({out.vm_uid, "pit", "PIT synthesized with reset defaults (bhyve source)"});
+  }
+  return OkResult();
+}
+
+}  // namespace hypertp

@@ -1,0 +1,108 @@
+#include "src/core/checkpoint.h"
+
+#include "src/base/bytes.h"
+#include "src/base/crc32.h"
+#include "src/uisr/codec.h"
+
+namespace hypertp {
+namespace {
+
+constexpr uint32_t kCheckpointMagic = 0x50435448;  // "HTCP"
+constexpr uint16_t kCheckpointVersion = 1;
+
+}  // namespace
+
+Result<std::vector<uint8_t>> SaveVmCheckpoint(Hypervisor& hv, VmId id) {
+  HYPERTP_ASSIGN_OR_RETURN(VmInfo info, hv.GetVmInfo(id));
+  if (info.run_state != VmRunState::kPaused) {
+    return FailedPreconditionError("checkpoint: VM must be paused (suspend first)");
+  }
+  FixupLog log;
+  HYPERTP_ASSIGN_OR_RETURN(UisrVm uisr, hv.SaveVmToUisr(id, &log));
+  HYPERTP_ASSIGN_OR_RETURN(auto pages, hv.DumpGuestContent(id));
+
+  ByteWriter w;
+  w.PutU32(kCheckpointMagic);
+  w.PutU16(kCheckpointVersion);
+  w.PutU16(0);  // Flags.
+  w.PutLengthPrefixed(EncodeUisrVm(uisr));
+  w.PutU64(pages.size());
+  for (const auto& [gfn, word] : pages) {
+    w.PutU64(gfn);
+    w.PutU64(word);
+  }
+  const uint32_t crc = Crc32(w.bytes());
+  w.PutU32(crc);
+  return w.TakeBytes();
+}
+
+namespace {
+
+// Shared header/body parsing for inspect + restore.
+struct ParsedCheckpoint {
+  UisrVm uisr;
+  std::vector<std::pair<Gfn, uint64_t>> pages;
+};
+
+Result<ParsedCheckpoint> ParseCheckpoint(std::span<const uint8_t> blob) {
+  if (blob.size() < 12) {
+    return DataLossError("checkpoint: truncated header");
+  }
+  // CRC covers everything except the 4-byte trailer.
+  ByteReader trailer(blob.subspan(blob.size() - 4));
+  HYPERTP_ASSIGN_OR_RETURN(uint32_t stored_crc, trailer.ReadU32());
+  if (Crc32(blob.subspan(0, blob.size() - 4)) != stored_crc) {
+    return DataLossError("checkpoint: CRC mismatch");
+  }
+
+  ByteReader r(blob.subspan(0, blob.size() - 4));
+  HYPERTP_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
+  if (magic != kCheckpointMagic) {
+    return DataLossError("checkpoint: bad magic");
+  }
+  HYPERTP_ASSIGN_OR_RETURN(uint16_t version, r.ReadU16());
+  if (version > kCheckpointVersion) {
+    return UnimplementedError("checkpoint: version " + std::to_string(version));
+  }
+  HYPERTP_RETURN_IF_ERROR(r.Skip(2));
+
+  ParsedCheckpoint parsed;
+  HYPERTP_ASSIGN_OR_RETURN(auto uisr_blob, r.ReadLengthPrefixed());
+  HYPERTP_ASSIGN_OR_RETURN(parsed.uisr, DecodeUisrVm(uisr_blob));
+  HYPERTP_ASSIGN_OR_RETURN(uint64_t page_count, r.ReadU64());
+  parsed.pages.reserve(page_count);
+  for (uint64_t i = 0; i < page_count; ++i) {
+    HYPERTP_ASSIGN_OR_RETURN(uint64_t gfn, r.ReadU64());
+    HYPERTP_ASSIGN_OR_RETURN(uint64_t word, r.ReadU64());
+    parsed.pages.emplace_back(gfn, word);
+  }
+  return parsed;
+}
+
+}  // namespace
+
+Result<VmId> RestoreVmCheckpoint(Hypervisor& hv, std::span<const uint8_t> blob) {
+  HYPERTP_ASSIGN_OR_RETURN(ParsedCheckpoint parsed, ParseCheckpoint(blob));
+  FixupLog log;
+  GuestMemoryBinding binding;
+  binding.mode = GuestMemoryBinding::Mode::kAllocate;
+  HYPERTP_ASSIGN_OR_RETURN(VmId id, hv.RestoreVmFromUisr(parsed.uisr, binding, &log));
+  for (const auto& [gfn, word] : parsed.pages) {
+    HYPERTP_RETURN_IF_ERROR(hv.WriteGuestPage(id, gfn, word));
+  }
+  return id;
+}
+
+Result<CheckpointInfo> InspectCheckpoint(std::span<const uint8_t> blob) {
+  HYPERTP_ASSIGN_OR_RETURN(ParsedCheckpoint parsed, ParseCheckpoint(blob));
+  CheckpointInfo info;
+  info.vm_uid = parsed.uisr.vm_uid;
+  info.name = parsed.uisr.name;
+  info.source_hypervisor = parsed.uisr.source_hypervisor;
+  info.memory_bytes = parsed.uisr.memory.memory_bytes;
+  info.vcpus = static_cast<uint32_t>(parsed.uisr.vcpus.size());
+  info.page_count = parsed.pages.size();
+  return info;
+}
+
+}  // namespace hypertp

@@ -1,0 +1,21 @@
+#include "src/core/factory.h"
+
+#include "src/bhyve/bhyve_host.h"
+#include "src/kvm/kvm_host.h"
+#include "src/xen/xenvisor.h"
+
+namespace hypertp {
+
+std::unique_ptr<Hypervisor> MakeHypervisor(HypervisorKind kind, Machine& machine) {
+  switch (kind) {
+    case HypervisorKind::kXen:
+      return std::make_unique<XenVisor>(machine);
+    case HypervisorKind::kKvm:
+      return std::make_unique<KvmHost>(machine);
+    case HypervisorKind::kBhyve:
+      return std::make_unique<BhyveVisor>(machine);
+  }
+  return nullptr;
+}
+
+}  // namespace hypertp

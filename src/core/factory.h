@@ -1,0 +1,19 @@
+// Hypervisor construction by kind — the datacenter's hypervisor repertoire.
+
+#ifndef HYPERTP_SRC_CORE_FACTORY_H_
+#define HYPERTP_SRC_CORE_FACTORY_H_
+
+#include <memory>
+
+#include "src/hv/hypervisor.h"
+#include "src/hw/machine.h"
+
+namespace hypertp {
+
+// Boots a hypervisor of the requested kind on `machine` (allocates its HV
+// State). The machine must have enough free RAM for the hypervisor itself.
+std::unique_ptr<Hypervisor> MakeHypervisor(HypervisorKind kind, Machine& machine);
+
+}  // namespace hypertp
+
+#endif  // HYPERTP_SRC_CORE_FACTORY_H_

@@ -1,0 +1,391 @@
+#include "src/core/inplace.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+#include "src/core/factory.h"
+#include "src/kexec/kexec.h"
+#include "src/pram/pram.h"
+#include "src/sim/executor.h"
+#include "src/uisr/codec.h"
+
+namespace hypertp {
+namespace {
+
+// Splits a guest memory map into PRAM page entries, emitting 2 MiB entries
+// wherever both address spaces are huge-aligned.
+std::vector<PramPageEntry> EntriesFromMappings(const std::vector<GuestMapping>& mappings,
+                                               bool huge_pages) {
+  std::vector<PramPageEntry> entries;
+  for (const GuestMapping& m : mappings) {
+    Gfn gfn = m.gfn;
+    Mfn mfn = m.mfn;
+    uint64_t left = m.frames;
+    while (left > 0) {
+      if (huge_pages && gfn % kFramesPerHugePage == 0 && mfn % kFramesPerHugePage == 0 &&
+          left >= kFramesPerHugePage) {
+        entries.push_back(PramPageEntry{gfn, mfn, kHugePageOrder});
+        gfn += kFramesPerHugePage;
+        mfn += kFramesPerHugePage;
+        left -= kFramesPerHugePage;
+      } else {
+        entries.push_back(PramPageEntry{gfn, mfn, 0});
+        ++gfn;
+        ++mfn;
+        --left;
+      }
+    }
+  }
+  return entries;
+}
+
+Result<Mfn> TranslateInMap(const std::vector<GuestMapping>& map, Gfn gfn) {
+  for (const GuestMapping& m : map) {
+    if (gfn >= m.gfn && gfn < m.gfn_end()) {
+      return m.mfn + (gfn - m.gfn);
+    }
+  }
+  return NotFoundError("gfn " + std::to_string(gfn) + " unmapped");
+}
+
+double ToGiB(uint64_t bytes) { return static_cast<double>(bytes) / static_cast<double>(1ull << 30); }
+
+SimDuration Scale(SimDuration per_gb, double gib) {
+  return static_cast<SimDuration>(static_cast<double>(per_gb) * gib);
+}
+
+struct VmSnapshot {
+  VmId id = 0;
+  VmInfo info;
+  std::vector<GuestMapping> map;
+  uint64_t vm_file_id = 0;
+  std::vector<Gfn> sample_gfns;
+  std::vector<uint64_t> sample_words;
+  std::vector<Mfn> sample_mfns;
+  std::vector<uint8_t> uisr_blob;
+  std::vector<FrameExtent> uisr_frames;
+};
+
+}  // namespace
+
+Result<InPlaceResult> InPlaceTransplant::Run(std::unique_ptr<Hypervisor> source,
+                                             HypervisorKind target,
+                                             const InPlaceOptions& options,
+                                             std::unique_ptr<Hypervisor>* aborted_source) {
+  if (source == nullptr) {
+    return InvalidArgumentError("inplace: null source hypervisor");
+  }
+  Machine& machine = source->machine();
+  const HostCostProfile& costs = machine.profile().costs;
+  const int workers = options.parallel_translation ? machine.worker_threads() : 1;
+
+  TransplantReport report;
+  report.source_hypervisor = std::string(source->name());
+
+  std::vector<VmId> paused;  // For the abort path.
+  auto abort = [&](const Error& cause) -> Error {
+    for (VmId id : paused) {
+      (void)source->ResumeVm(id);
+    }
+    // Release everything the aborted attempt staged: PRAM metadata, parked
+    // UISR blobs, and the kexec kernel image. The source hypervisor keeps
+    // running as if nothing happened.
+    for (FrameOwnerKind kind :
+         {FrameOwnerKind::kPramMeta, FrameOwnerKind::kUisr, FrameOwnerKind::kKernelImage}) {
+      for (const FrameExtent& ext : machine.memory().ExtentsOfKind(kind)) {
+        (void)machine.memory().Free(ext.base, ext.count);
+      }
+    }
+    if (aborted_source != nullptr) {
+      *aborted_source = std::move(source);
+    }
+    return AbortedError("inplace transplant aborted before micro-reboot: " + cause.ToString());
+  };
+
+  // ❶ Stage the target kernel image (no downtime).
+  KexecController kexec(machine);
+  const KernelImage image = KernelImage::For(target);
+  report.target_hypervisor = image.name;
+  if (auto staged = kexec.LoadImage(image); !staged.ok()) {
+    return abort(staged.error());
+  }
+
+  // --- Preparation: PRAM construction, guest-cooperative device prep. ------
+  // Runs before the pause when the prepare_before_pause optimization is on.
+  std::vector<VmSnapshot> vms;
+  PramBuilder builder(machine.memory());
+  std::vector<SimDuration> pram_costs;
+  for (VmId id : source->ListVms()) {
+    VmSnapshot snap;
+    snap.id = id;
+    auto info = source->GetVmInfo(id);
+    if (!info.ok()) {
+      return abort(info.error());
+    }
+    snap.info = *info;
+    if (auto prep = source->PrepareVmForTransplant(id); !prep.ok()) {
+      return abort(prep.error());
+    }
+    auto map = source->GuestMemoryMap(id);
+    if (!map.ok()) {
+      return abort(map.error());
+    }
+    snap.map = std::move(*map);
+
+    const bool huge = options.use_huge_pages && snap.info.huge_pages;
+    auto file_id = builder.AddFile("vm:" + std::to_string(snap.info.uid),
+                                   snap.info.memory_bytes, huge,
+                                   EntriesFromMappings(snap.map, huge));
+    if (!file_id.ok()) {
+      return abort(file_id.error());
+    }
+    snap.vm_file_id = *file_id;
+
+    // Verification samples: spread gfns across the address space.
+    if (options.verify_guest_memory) {
+      const uint64_t pages = snap.info.memory_bytes / kPageSize;
+      const int n = std::max(options.verify_sample_pages, 1);
+      for (int i = 0; i < n; ++i) {
+        const Gfn gfn = (pages * static_cast<uint64_t>(i)) / static_cast<uint64_t>(n);
+        auto word = source->ReadGuestPage(id, gfn);
+        auto mfn = TranslateInMap(snap.map, gfn);
+        if (!word.ok() || !mfn.ok()) {
+          return abort(word.ok() ? mfn.error() : word.error());
+        }
+        snap.sample_gfns.push_back(gfn);
+        snap.sample_words.push_back(*word);
+        snap.sample_mfns.push_back(*mfn);
+      }
+    }
+
+    pram_costs.push_back(costs.pram_fixed + Scale(costs.pram_per_gb, ToGiB(snap.info.memory_bytes)));
+    vms.push_back(std::move(snap));
+  }
+  report.vm_count = static_cast<int>(vms.size());
+  report.phases.pram = ParallelMakespan(pram_costs, workers);
+
+  // ❷ Pause all guests.
+  for (VmSnapshot& snap : vms) {
+    if (auto pause = source->PauseVm(snap.id); !pause.ok()) {
+      return abort(pause.error());
+    }
+    paused.push_back(snap.id);
+  }
+
+  // ❸ Translate VM_i States to UISR; park the blobs in RAM as PRAM files.
+  if (options.inject_fault == InPlaceOptions::Fault::kTranslationFailure) {
+    return abort(InternalError("injected translation fault"));
+  }
+  std::vector<SimDuration> translate_costs;
+  for (VmSnapshot& snap : vms) {
+    auto uisr = source->SaveVmToUisr(snap.id, &report.fixups);
+    if (!uisr.ok()) {
+      return abort(uisr.error());
+    }
+    uisr->memory.pram_file_id = snap.vm_file_id;
+    snap.uisr_blob = EncodeUisrVm(*uisr);
+    report.uisr_total_bytes += snap.uisr_blob.size();
+    report.vms.push_back(VmTransplantRecord{snap.info.uid, snap.info.name, snap.info.vcpus,
+                                            snap.info.memory_bytes, snap.uisr_blob.size()});
+
+    // Write the blob into dedicated frames so it survives the reboot.
+    const uint64_t blob_frames = (snap.uisr_blob.size() + kPageSize - 1) / kPageSize;
+    const FrameOwner owner{FrameOwnerKind::kUisr, snap.info.uid};
+    auto base = machine.memory().Alloc(blob_frames, 1, owner);
+    if (!base.ok()) {
+      return abort(base.error());
+    }
+    std::vector<PramPageEntry> blob_entries;
+    for (uint64_t i = 0; i < blob_frames; ++i) {
+      const size_t begin = i * kPageSize;
+      const size_t end = std::min(begin + kPageSize, snap.uisr_blob.size());
+      std::vector<uint8_t> page(snap.uisr_blob.begin() + static_cast<ptrdiff_t>(begin),
+                                snap.uisr_blob.begin() + static_cast<ptrdiff_t>(end));
+      if (auto wrote = machine.memory().WritePage(*base + i, std::move(page)); !wrote.ok()) {
+        return abort(wrote.error());
+      }
+      blob_entries.push_back(PramPageEntry{i, *base + i, 0});
+    }
+    snap.uisr_frames.push_back(FrameExtent{*base, blob_frames, owner});
+    auto uisr_file = builder.AddFile("uisr:" + std::to_string(snap.info.uid),
+                                     snap.uisr_blob.size(), false, blob_entries);
+    if (!uisr_file.ok()) {
+      return abort(uisr_file.error());
+    }
+
+    translate_costs.push_back(costs.translate_per_vm +
+                              costs.translate_per_vcpu * static_cast<int>(snap.info.vcpus) +
+                              Scale(costs.translate_per_gb, ToGiB(snap.info.memory_bytes)));
+  }
+  report.phases.translation = ParallelMakespan(translate_costs, workers);
+
+  auto pram_handle = builder.Finalize();
+  if (!pram_handle.ok()) {
+    return abort(pram_handle.error());
+  }
+  report.pram_metadata_bytes = pram_handle->metadata_bytes();
+
+  if (options.inject_fault == InPlaceOptions::Fault::kPramCorruptionBeforeReboot) {
+    // Clobber the PRAM root page: models a stray hypervisor write between
+    // translation and the kexec jump.
+    (void)machine.memory().WritePage(pram_handle->root_mfn, std::vector<uint8_t>(64, 0xFF));
+  }
+  if (options.inject_fault == InPlaceOptions::Fault::kUisrCorruptionBeforeReboot &&
+      !vms.empty() && !vms.front().uisr_frames.empty()) {
+    // Flip bytes inside the first VM's parked UISR blob. The PRAM structure
+    // stays valid (guest memory survives), but the blob's CRC must catch
+    // this at restore time.
+    const Mfn victim = vms.front().uisr_frames.front().base;
+    auto page = machine.memory().ReadPage(victim);
+    if (page.ok() && !page->empty()) {
+      (*page)[page->size() / 2] ^= 0xFF;
+      (void)machine.memory().WritePage(victim, std::move(*page));
+    }
+  }
+
+  // ❹ Micro-reboot into the target kernel. Point of no return.
+  source->DetachForMicroReboot();
+  source.reset();
+  auto boot = kexec.Reboot(FormatKexecCmdline(pram_handle->root_mfn));
+  if (!boot.ok()) {
+    return DataLossError("inplace: micro-reboot lost the guests: " + boot.error().ToString());
+  }
+  report.phases.reboot = boot->reboot_time;
+  report.phases.pram_parse = boot->pram_parse_time;
+  report.phases.network = boot->network_ready;
+  report.frames_scrubbed = boot->frames_scrubbed;
+
+  // ❺ + ❻ Construct the target hypervisor; restore and relink every VM.
+  std::unique_ptr<Hypervisor> hv = MakeHypervisor(target, machine);
+  if (hv == nullptr) {
+    return InternalError("inplace: unknown target hypervisor kind");
+  }
+
+  InPlaceResult result;
+  std::vector<SimDuration> restore_costs;
+  for (const PramFile& file : boot->pram.files) {
+    if (!file.name.starts_with("uisr:")) {
+      continue;
+    }
+    // Reassemble the UISR blob from its in-RAM pages.
+    std::vector<uint8_t> blob;
+    blob.reserve(file.size_bytes);
+    for (const PramPageEntry& e : file.entries) {
+      auto page = machine.memory().ReadPage(e.mfn);
+      if (!page.ok()) {
+        return DataLossError("inplace: UISR page lost: " + page.error().ToString());
+      }
+      blob.insert(blob.end(), page->begin(), page->end());
+    }
+    blob.resize(file.size_bytes);
+    auto uisr = DecodeUisrVm(blob);
+    if (!uisr.ok()) {
+      return DataLossError("inplace: UISR blob for '" + file.name +
+                           "' corrupt after reboot: " + uisr.error().ToString());
+    }
+
+    const PramFile* vm_file = boot->pram.FindFile(uisr->memory.pram_file_id);
+    if (vm_file == nullptr) {
+      return DataLossError("inplace: PRAM memory file " +
+                           std::to_string(uisr->memory.pram_file_id) + " missing");
+    }
+    GuestMemoryBinding binding;
+    binding.mode = GuestMemoryBinding::Mode::kAdoptInPlace;
+    binding.entries = vm_file->entries;
+    binding.remap_high_ioapic_pins = options.remap_high_ioapic_pins;
+    auto vm_id = hv->RestoreVmFromUisr(*uisr, binding, &report.fixups);
+    if (!vm_id.ok()) {
+      return DataLossError("inplace: restore of uid " + std::to_string(uisr->vm_uid) +
+                           " failed: " + vm_id.error().ToString());
+    }
+    result.restored_vms.push_back(*vm_id);
+
+    SimDuration cost = costs.restore_per_vm +
+                       costs.restore_per_vcpu * static_cast<int>(uisr->vcpus.size()) +
+                       Scale(costs.restore_per_gb, ToGiB(uisr->memory.memory_bytes));
+    if (target == HypervisorKind::kXen) {
+      cost *= 2;  // xl/libxl domain creation is heavier than kvmtool's.
+    }
+    restore_costs.push_back(cost);
+  }
+  report.phases.restoration = ParallelMakespan(restore_costs, workers);
+  if (!options.early_restoration) {
+    // Without the early-restoration optimization, restores wait for the full
+    // service startup window instead of overlapping the late boot phase.
+    report.phases.restoration += costs.boot_linux / 5;
+  }
+
+  // ❼ Resume all guests, advancing their clocks past the pause so guest
+  // time never runs backwards.
+  const SimDuration pause_span = (options.prepare_before_pause ? 0 : report.phases.pram) +
+                                 report.phases.translation + report.phases.reboot +
+                                 report.phases.restoration;
+  for (VmId id : result.restored_vms) {
+    if (auto advanced = hv->AdvanceGuestClocks(id, pause_span); !advanced.ok()) {
+      return DataLossError("inplace: clock adjust failed: " + advanced.error().ToString());
+    }
+    if (auto resumed = hv->ResumeVm(id); !resumed.ok()) {
+      return DataLossError("inplace: resume failed: " + resumed.error().ToString());
+    }
+  }
+  report.phases.resume = Millis(2) * report.vm_count;
+
+  // Cleanup: the PRAM metadata and parked UISR blobs are ephemeral.
+  for (const FrameExtent& ext : machine.memory().ExtentsOfKind(FrameOwnerKind::kPramMeta)) {
+    (void)machine.memory().Free(ext.base, ext.count);
+  }
+  for (const FrameExtent& ext : machine.memory().ExtentsOfKind(FrameOwnerKind::kUisr)) {
+    (void)machine.memory().Free(ext.base, ext.count);
+  }
+  report.phases.cleanup = Millis(20);
+
+  // Verification: guest memory must be byte-identical AND in place.
+  if (options.verify_guest_memory) {
+    for (const VmSnapshot& snap : vms) {
+      auto new_id = [&]() -> Result<VmId> {
+        for (VmId id : result.restored_vms) {
+          auto info = hv->GetVmInfo(id);
+          if (info.ok() && info->uid == snap.info.uid) {
+            return id;
+          }
+        }
+        return NotFoundError("restored vm for uid " + std::to_string(snap.info.uid));
+      }();
+      if (!new_id.ok()) {
+        return DataLossError("inplace: " + new_id.error().ToString());
+      }
+      auto new_map = hv->GuestMemoryMap(*new_id);
+      if (!new_map.ok()) {
+        return DataLossError("inplace: " + new_map.error().ToString());
+      }
+      for (size_t i = 0; i < snap.sample_gfns.size(); ++i) {
+        auto word = hv->ReadGuestPage(*new_id, snap.sample_gfns[i]);
+        auto mfn = TranslateInMap(*new_map, snap.sample_gfns[i]);
+        if (!word.ok() || !mfn.ok() || *word != snap.sample_words[i] ||
+            *mfn != snap.sample_mfns[i]) {
+          return DataLossError("inplace: guest memory verification failed for uid " +
+                               std::to_string(snap.info.uid) + " at gfn " +
+                               std::to_string(snap.sample_gfns[i]));
+        }
+      }
+    }
+    report.notes.push_back("guest memory verified in place (content + MFN samples)");
+  }
+
+  // --- Assemble the timing summary. ----------------------------------------
+  report.downtime = (options.prepare_before_pause ? 0 : report.phases.pram) +
+                    report.phases.translation + report.phases.reboot +
+                    report.phases.restoration + report.phases.resume;
+  report.total_time = report.phases.pram + report.phases.translation + report.phases.reboot +
+                      report.phases.restoration + report.phases.resume;
+  // NIC re-init starts at the kexec jump and overlaps the remaining phases.
+  report.network_downtime =
+      std::max(report.downtime, report.phases.translation + report.phases.network);
+
+  HYPERTP_LOG(kInfo, "inplace") << report.ToString();
+  result.report = std::move(report);
+  result.hypervisor = std::move(hv);
+  return result;
+}
+
+}  // namespace hypertp

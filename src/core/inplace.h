@@ -1,0 +1,50 @@
+// InPlaceTP: in-place micro-reboot-based hypervisor transplant (paper §3.2).
+//
+// Workflow (Fig. 3): ❶ stage the target kernel, ❷ pause guests, ❸ translate
+// VM_i States to UISR (and describe guest memory in PRAM), ❹ micro-reboot
+// into the target hypervisor, ❺ restore VM_i States from UISR, ❻ relink VMs,
+// ❼ resume. Guest State never moves: the PRAM reservation carries it through
+// the reboot in place.
+//
+// The implementation is functional (state really crosses the reboot through
+// RAM) and timed (each phase charges the calibrated per-machine costs), so
+// both correctness invariants and the Fig. 6/7/10 timings come out of one
+// code path.
+
+#ifndef HYPERTP_SRC_CORE_INPLACE_H_
+#define HYPERTP_SRC_CORE_INPLACE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/core/report.h"
+#include "src/hv/hypervisor.h"
+
+namespace hypertp {
+
+struct InPlaceResult {
+  std::unique_ptr<Hypervisor> hypervisor;  // The target, with VMs running.
+  std::vector<VmId> restored_vms;
+  TransplantReport report;
+};
+
+class InPlaceTransplant {
+ public:
+  // Transplants every VM on `source`'s machine onto a fresh `target`-kind
+  // hypervisor via micro-reboot. Consumes `source`.
+  //
+  // Failure semantics:
+  //  - Before the micro-reboot (PRAM/translation errors): returns kAborted;
+  //    VMs are resumed under the source hypervisor, which is handed back
+  //    through `aborted_source` (when non-null) so the caller keeps a
+  //    working host.
+  //  - After the micro-reboot: failures are kDataLoss (the old world is gone).
+  static Result<InPlaceResult> Run(std::unique_ptr<Hypervisor> source, HypervisorKind target,
+                                   const InPlaceOptions& options,
+                                   std::unique_ptr<Hypervisor>* aborted_source = nullptr);
+};
+
+}  // namespace hypertp
+
+#endif  // HYPERTP_SRC_CORE_INPLACE_H_

@@ -1,0 +1,35 @@
+#include "src/core/migration_tp.h"
+
+#include <algorithm>
+
+namespace hypertp {
+
+Result<MigrationTpResult> MigrationTransplant::Run(Hypervisor& source,
+                                                   const std::vector<VmId>& vm_ids,
+                                                   Hypervisor& destination,
+                                                   const NetworkLink& link,
+                                                   const MigrationConfig& config) {
+  MigrationEngine engine(link);
+  HYPERTP_ASSIGN_OR_RETURN(std::vector<MigrationResult> migrations,
+                           engine.MigrateMany(source, vm_ids, destination, config));
+
+  MigrationTpResult result;
+  result.report.source_hypervisor = std::string(source.name());
+  result.report.target_hypervisor = std::string(destination.name());
+  result.report.vm_count = static_cast<int>(migrations.size());
+  for (const MigrationResult& m : migrations) {
+    result.report.downtime = std::max(result.report.downtime, m.downtime);
+    result.report.total_time = std::max(result.report.total_time, m.total_time);
+    result.report.uisr_total_bytes += m.uisr_bytes;
+    result.report.fixups.insert(result.report.fixups.end(), m.fixups.begin(), m.fixups.end());
+  }
+  // MigrationTP needs no PRAM: memory maps are implicitly rebuilt at the
+  // destination as pages stream in (paper §4.3).
+  result.report.pram_metadata_bytes = 0;
+  result.report.network_downtime = result.report.downtime;
+  result.report.notes.push_back("migration-based transplant: guest pages streamed by pre-copy");
+  result.migrations = std::move(migrations);
+  return result;
+}
+
+}  // namespace hypertp

@@ -1,0 +1,36 @@
+// MigrationTP: live-migration-based hypervisor transplant (paper §3.3).
+//
+// A thin orchestration layer over the migration engine: the same UISR
+// translation as InPlaceTP, but the UISR travels over the network through
+// source/destination proxies instead of being parked in RAM, and guest pages
+// are streamed by pre-copy instead of staying in place.
+
+#ifndef HYPERTP_SRC_CORE_MIGRATION_TP_H_
+#define HYPERTP_SRC_CORE_MIGRATION_TP_H_
+
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/core/report.h"
+#include "src/hv/hypervisor.h"
+#include "src/migrate/migrate.h"
+
+namespace hypertp {
+
+struct MigrationTpResult {
+  std::vector<MigrationResult> migrations;  // Per-VM engine results.
+  TransplantReport report;                  // Aggregated transplant view.
+};
+
+class MigrationTransplant {
+ public:
+  // Transplants `vm_ids` from `source` to the (heterogeneous or homogeneous)
+  // `destination` host over `link`. On success the VMs run on `destination`.
+  static Result<MigrationTpResult> Run(Hypervisor& source, const std::vector<VmId>& vm_ids,
+                                       Hypervisor& destination, const NetworkLink& link,
+                                       const MigrationConfig& config = {});
+};
+
+}  // namespace hypertp
+
+#endif  // HYPERTP_SRC_CORE_MIGRATION_TP_H_

@@ -1,0 +1,97 @@
+// Transplant options and reports — the operator-facing telemetry HyperTP
+// produces, structured like the paper's Fig. 6 breakdown.
+
+#ifndef HYPERTP_SRC_CORE_REPORT_H_
+#define HYPERTP_SRC_CORE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/hv/hypervisor.h"
+#include "src/sim/time.h"
+
+namespace hypertp {
+
+// Options controlling the InPlaceTP optimizations of paper §4.2.5. The
+// defaults are the paper's configuration; the ablation benches flip them.
+struct InPlaceOptions {
+  // "Preparation work without pausing the guest": build PRAM before pause.
+  bool prepare_before_pause = true;
+  // "Parallelization": one worker per free core for PRAM + translation.
+  bool parallel_translation = true;
+  // "Huge page support": 2 MiB PRAM entries where alignment permits.
+  bool use_huge_pages = true;
+  // "Early restoration": start restores while late boot services come up.
+  bool early_restoration = true;
+  // Extra safety: sample guest pages before/after and compare (content and
+  // machine frame numbers must both be identical for InPlaceTP).
+  bool verify_guest_memory = true;
+  int verify_sample_pages = 32;
+  // §4.2.1 future-work extension: renegotiate IOAPIC pins the target cannot
+  // host instead of disconnecting them.
+  bool remap_high_ioapic_pins = false;
+
+  // Fault injection for testing the recovery paths. kTranslationFailure
+  // fires after the guests are paused but before the point of no return
+  // (expects a clean abort); kPramCorruptionAfterStage clobbers the PRAM
+  // root just before the micro-reboot (expects kDataLoss, guests lost).
+  // kUisrCorruptionBeforeReboot clobbers one parked UISR page (the PRAM
+  // itself stays intact, so guests survive the scrub but their platform
+  // state cannot be decoded — also kDataLoss).
+  enum class Fault : uint8_t {
+    kNone,
+    kTranslationFailure,
+    kPramCorruptionBeforeReboot,
+    kUisrCorruptionBeforeReboot,
+  };
+  Fault inject_fault = Fault::kNone;
+};
+
+// Per-phase durations (Fig. 6's stacked bars).
+struct PhaseBreakdown {
+  SimDuration pram = 0;         // PRAM structure construction.
+  SimDuration translation = 0;  // VM_i State -> UISR (incl. PRAM finalize).
+  SimDuration reboot = 0;       // kexec jump + kernel boot(s) + PRAM parse.
+  SimDuration pram_parse = 0;   // Early-boot part of `reboot`.
+  SimDuration restoration = 0;  // UISR -> target format + VM relink.
+  SimDuration resume = 0;       // Unpausing guests.
+  SimDuration cleanup = 0;      // Freeing PRAM/UISR ephemeral frames.
+  SimDuration network = 0;      // NIC re-initialization (overlaps reboot).
+};
+
+// One transplanted VM's record inside the report.
+struct VmTransplantRecord {
+  uint64_t uid = 0;
+  std::string name;
+  uint32_t vcpus = 0;
+  uint64_t memory_bytes = 0;
+  size_t uisr_bytes = 0;
+};
+
+struct TransplantReport {
+  std::string source_hypervisor;
+  std::string target_hypervisor;
+  int vm_count = 0;
+  std::vector<VmTransplantRecord> vms;
+  PhaseBreakdown phases;
+  // VMs are paused for: [pram if not prepared early +] translation + reboot
+  // + visible restoration + resume.
+  SimDuration downtime = 0;
+  // Wall-clock of the whole operation (prep included).
+  SimDuration total_time = 0;
+  // Downtime as seen by network-dependent applications: until the NIC is
+  // back up (Fig. 6 reports this separately from the transplant phases).
+  SimDuration network_downtime = 0;
+  uint64_t pram_metadata_bytes = 0;
+  uint64_t uisr_total_bytes = 0;
+  uint64_t frames_scrubbed = 0;
+  FixupLog fixups;
+  std::vector<std::string> notes;
+
+  // Multi-line human-readable rendering.
+  std::string ToString() const;
+};
+
+}  // namespace hypertp
+
+#endif  // HYPERTP_SRC_CORE_REPORT_H_

@@ -1,0 +1,91 @@
+#include "src/core/telemetry.h"
+
+#include "src/base/json.h"
+
+namespace hypertp {
+namespace {
+
+void EmitFixups(JsonWriter& j, const FixupLog& fixups) {
+  j.Key("fixups").BeginArray();
+  for (const StateFixup& fixup : fixups) {
+    j.BeginObject();
+    j.Key("vm_uid").Number(fixup.vm_uid);
+    j.Key("component").String(fixup.component);
+    j.Key("description").String(fixup.description);
+    j.EndObject();
+  }
+  j.EndArray();
+}
+
+}  // namespace
+
+std::string TransplantReportToJson(const TransplantReport& report) {
+  JsonWriter j;
+  j.BeginObject();
+  j.Key("kind").String("inplace_transplant");
+  j.Key("source").String(report.source_hypervisor);
+  j.Key("target").String(report.target_hypervisor);
+  j.Key("vm_count").Number(static_cast<int64_t>(report.vm_count));
+  j.Key("phases_ms").BeginObject();
+  j.Key("pram").Number(ToMillis(report.phases.pram));
+  j.Key("translation").Number(ToMillis(report.phases.translation));
+  j.Key("reboot").Number(ToMillis(report.phases.reboot));
+  j.Key("pram_parse").Number(ToMillis(report.phases.pram_parse));
+  j.Key("restoration").Number(ToMillis(report.phases.restoration));
+  j.Key("resume").Number(ToMillis(report.phases.resume));
+  j.Key("cleanup").Number(ToMillis(report.phases.cleanup));
+  j.Key("network").Number(ToMillis(report.phases.network));
+  j.EndObject();
+  j.Key("downtime_ms").Number(ToMillis(report.downtime));
+  j.Key("total_ms").Number(ToMillis(report.total_time));
+  j.Key("network_downtime_ms").Number(ToMillis(report.network_downtime));
+  j.Key("pram_metadata_bytes").Number(report.pram_metadata_bytes);
+  j.Key("uisr_total_bytes").Number(report.uisr_total_bytes);
+  j.Key("frames_scrubbed").Number(report.frames_scrubbed);
+  j.Key("vms").BeginArray();
+  for (const VmTransplantRecord& vm : report.vms) {
+    j.BeginObject();
+    j.Key("uid").Number(vm.uid);
+    j.Key("name").String(vm.name);
+    j.Key("vcpus").Number(static_cast<int64_t>(vm.vcpus));
+    j.Key("memory_bytes").Number(vm.memory_bytes);
+    j.Key("uisr_bytes").Number(static_cast<uint64_t>(vm.uisr_bytes));
+    j.EndObject();
+  }
+  j.EndArray();
+  EmitFixups(j, report.fixups);
+  j.Key("notes").BeginArray();
+  for (const std::string& note : report.notes) {
+    j.String(note);
+  }
+  j.EndArray();
+  j.EndObject();
+  return j.Take();
+}
+
+std::string MigrationResultToJson(const MigrationResult& result) {
+  JsonWriter j;
+  j.BeginObject();
+  j.Key("kind").String("migration");
+  j.Key("dest_vm_id").Number(result.dest_vm_id);
+  j.Key("total_ms").Number(ToMillis(result.total_time));
+  j.Key("downtime_ms").Number(ToMillis(result.downtime));
+  j.Key("queue_wait_ms").Number(ToMillis(result.queue_wait));
+  j.Key("bytes_transferred").Number(result.bytes_transferred);
+  j.Key("uisr_bytes").Number(result.uisr_bytes);
+  j.Key("rounds").Number(static_cast<int64_t>(result.rounds));
+  j.Key("converged").Bool(result.converged);
+  j.Key("round_log").BeginArray();
+  for (const MigrationRound& round : result.round_log) {
+    j.BeginObject();
+    j.Key("pages").Number(round.pages);
+    j.Key("duration_ms").Number(ToMillis(round.duration));
+    j.EndObject();
+  }
+  j.EndArray();
+  EmitFixups(j, result.fixups);
+  j.EndObject();
+  return j.Take();
+}
+
+}  // namespace hypertp

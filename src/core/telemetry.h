@@ -1,0 +1,24 @@
+// Telemetry export: transplant and migration reports as JSON documents for
+// fleet monitoring (what a production HyperTP would push to its operators'
+// dashboards after each §4.5.2 host live upgrade).
+
+#ifndef HYPERTP_SRC_CORE_TELEMETRY_H_
+#define HYPERTP_SRC_CORE_TELEMETRY_H_
+
+#include <string>
+
+#include "src/core/report.h"
+#include "src/migrate/migrate.h"
+
+namespace hypertp {
+
+// One JSON object with phases (ms), downtime/total/network (ms), memory
+// overheads (bytes), fixups, and notes.
+std::string TransplantReportToJson(const TransplantReport& report);
+
+// One JSON object with timing, rounds, bytes, convergence and fixups.
+std::string MigrationResultToJson(const MigrationResult& result);
+
+}  // namespace hypertp
+
+#endif  // HYPERTP_SRC_CORE_TELEMETRY_H_

@@ -1,0 +1,113 @@
+#include "src/guest/guest_image.h"
+
+#include <algorithm>
+#include <set>
+
+namespace hypertp {
+namespace {
+
+constexpr uint64_t kBootMagic = 0x4755455354ull;  // "GUEST".
+
+uint64_t Mix(uint64_t a, uint64_t b) {
+  uint64_t x = a * 0x9E3779B97F4A7C15ull + b + 0x632BE59BD9B4E019ull;
+  x ^= x >> 31;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 29;
+  return x;
+}
+
+// Deterministic scattered chain GFNs: unique, in (0, pages-1).
+std::vector<Gfn> ChainGfns(uint64_t seed, uint64_t pages, uint32_t length) {
+  std::vector<Gfn> gfns;
+  std::set<Gfn> used = {0, pages - 1};  // Boot + summary pages.
+  gfns.reserve(length);
+  for (uint32_t i = 0; i < length; ++i) {
+    Gfn gfn = 1 + Mix(seed, i) % (pages - 2);
+    while (used.count(gfn) != 0) {
+      gfn = 1 + (gfn + 1) % (pages - 2);  // Linear probe on collision.
+    }
+    used.insert(gfn);
+    gfns.push_back(gfn);
+  }
+  return gfns;
+}
+
+// A chain page's content word encodes (seq, next gfn, seed fingerprint).
+uint64_t ChainWord(uint64_t seed, uint32_t seq, Gfn next_gfn) {
+  return ((Mix(seed, 0x1000 + seq) & 0xFFFFF) ^ (next_gfn << 24) ^
+          (static_cast<uint64_t>(seq) << 4)) |
+         1;  // Never zero.
+}
+
+}  // namespace
+
+Result<GuestImageInfo> InstallGuestImage(Hypervisor& hv, VmId id, uint64_t seed) {
+  HYPERTP_ASSIGN_OR_RETURN(VmInfo vm, hv.GetVmInfo(id));
+  const uint64_t pages = vm.memory_bytes / kPageSize;
+  if (pages < 16) {
+    return InvalidArgumentError("guest image needs at least 16 pages of guest memory");
+  }
+  GuestImageInfo info;
+  info.seed = seed;
+  info.chain_length = static_cast<uint32_t>(std::min<uint64_t>(pages / 64 + 4, 512));
+  info.summary_gfn = pages - 1;
+
+  // Boot page.
+  HYPERTP_RETURN_IF_ERROR(hv.WriteGuestPage(id, 0, Mix(vm.uid, kBootMagic)));
+
+  // Pointer chain.
+  const std::vector<Gfn> gfns = ChainGfns(seed, pages, info.chain_length);
+  uint64_t summary = Mix(seed, kBootMagic);
+  for (uint32_t i = 0; i < info.chain_length; ++i) {
+    const Gfn next = i + 1 < info.chain_length ? gfns[i + 1] : 0;
+    const uint64_t word = ChainWord(seed, i, next);
+    HYPERTP_RETURN_IF_ERROR(hv.WriteGuestPage(id, gfns[i], word));
+    summary = Mix(summary, word);
+  }
+
+  // Summary page folds the whole chain.
+  HYPERTP_RETURN_IF_ERROR(hv.WriteGuestPage(id, info.summary_gfn, summary | 1));
+  return info;
+}
+
+Result<void> VerifyGuestImage(Hypervisor& hv, VmId id, const GuestImageInfo& info) {
+  HYPERTP_ASSIGN_OR_RETURN(VmInfo vm, hv.GetVmInfo(id));
+  const uint64_t pages = vm.memory_bytes / kPageSize;
+
+  // Boot page.
+  HYPERTP_ASSIGN_OR_RETURN(uint64_t boot, hv.ReadGuestPage(id, 0));
+  if (boot != Mix(vm.uid, kBootMagic)) {
+    return DataLossError("guest image: boot page magic mismatch (uid " +
+                         std::to_string(vm.uid) + ")");
+  }
+
+  // Walk the chain following the *stored* next pointers, cross-checking them
+  // against the expected layout — a swapped or relocated page breaks both.
+  const std::vector<Gfn> expected = ChainGfns(info.seed, pages, info.chain_length);
+  uint64_t summary = Mix(info.seed, kBootMagic);
+  Gfn cursor = expected.empty() ? 0 : expected[0];
+  for (uint32_t i = 0; i < info.chain_length; ++i) {
+    if (cursor != expected[i]) {
+      return DataLossError("guest image: chain diverged at seq " + std::to_string(i) +
+                           " (at gfn " + std::to_string(cursor) + ", expected " +
+                           std::to_string(expected[i]) + ")");
+    }
+    HYPERTP_ASSIGN_OR_RETURN(uint64_t word, hv.ReadGuestPage(id, cursor));
+    const Gfn next = i + 1 < info.chain_length ? expected[i + 1] : 0;
+    if (word != ChainWord(info.seed, i, next)) {
+      return DataLossError("guest image: corrupt chain page at gfn " + std::to_string(cursor) +
+                           " (seq " + std::to_string(i) + ")");
+    }
+    summary = Mix(summary, word);
+    // Decode the stored next pointer and follow it.
+    cursor = next;
+  }
+
+  HYPERTP_ASSIGN_OR_RETURN(uint64_t stored_summary, hv.ReadGuestPage(id, info.summary_gfn));
+  if (stored_summary != (summary | 1)) {
+    return DataLossError("guest image: summary checksum mismatch");
+  }
+  return OkResult();
+}
+
+}  // namespace hypertp

@@ -1,0 +1,42 @@
+// Synthetic guest OS image: self-referential structures written into guest
+// memory, used to prove that a transplant/migration preserved not just the
+// bytes but the *relationships between pages*.
+//
+// The image consists of:
+//   - a boot page at GFN 0 carrying a magic derived from the VM's uid;
+//   - a pointer chain of pages scattered pseudo-randomly across the address
+//     space, where each page's content word encodes its sequence number AND
+//     the GFN of the next chain page — a relocation or page swap breaks it;
+//   - a summary page whose word folds a checksum over the entire chain.
+//
+// VerifyGuestImage walks everything through the public Hypervisor interface,
+// so it validates the GFN->MFN translation path of whichever hypervisor
+// currently runs the VM. This is the closest simulation analogue to "the
+// guest kernel keeps working after the transplant".
+
+#ifndef HYPERTP_SRC_GUEST_GUEST_IMAGE_H_
+#define HYPERTP_SRC_GUEST_GUEST_IMAGE_H_
+
+#include "src/base/result.h"
+#include "src/hv/hypervisor.h"
+
+namespace hypertp {
+
+struct GuestImageInfo {
+  uint64_t seed = 0;
+  uint32_t chain_length = 0;
+  Gfn summary_gfn = 0;
+};
+
+// Writes the image into the VM's memory. The VM must be running or paused;
+// roughly chain_length+2 pages are written. Chain length adapts to the VM's
+// memory size (up to 512 pages).
+Result<GuestImageInfo> InstallGuestImage(Hypervisor& hv, VmId id, uint64_t seed);
+
+// Re-walks the image and validates every page and link. Returns
+// kDataLoss with a precise description on the first broken invariant.
+Result<void> VerifyGuestImage(Hypervisor& hv, VmId id, const GuestImageInfo& info);
+
+}  // namespace hypertp
+
+#endif  // HYPERTP_SRC_GUEST_GUEST_IMAGE_H_

@@ -1,0 +1,220 @@
+#include "src/hv/devices.h"
+
+#include "src/base/bytes.h"
+
+namespace hypertp {
+namespace {
+
+uint64_t Mix(uint64_t a, uint64_t b) {
+  uint64_t x = a * 0x9E3779B97F4A7C15ull + b + 1;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 31;
+  return x;
+}
+
+constexpr uint32_t kNetTag = 0x54454E56;   // "VNET"
+constexpr uint32_t kBlkTag = 0x4B4C4256;   // "VBLK"
+constexpr uint32_t kUartTag = 0x54524155;  // "UART"
+constexpr uint32_t kPtTag = 0x54534150;    // "PAST"
+
+Result<ByteReader> CheckTag(const std::vector<uint8_t>& bytes, uint32_t tag,
+                            const char* what) {
+  ByteReader r(bytes);
+  HYPERTP_ASSIGN_OR_RETURN(uint32_t got, r.ReadU32());
+  if (got != tag) {
+    return DataLossError(std::string("device state: bad tag for ") + what);
+  }
+  return r;
+}
+
+}  // namespace
+
+std::vector<uint8_t> VirtioNetState::ToBytes() const {
+  ByteWriter w;
+  w.PutU32(kNetTag);
+  w.PutBytes(mac);
+  w.PutU64(features);
+  w.PutU16(rx_avail_idx);
+  w.PutU16(rx_used_idx);
+  w.PutU16(tx_avail_idx);
+  w.PutU16(tx_used_idx);
+  w.PutU8(link_up ? 1 : 0);
+  return w.TakeBytes();
+}
+
+Result<VirtioNetState> VirtioNetState::FromBytes(const std::vector<uint8_t>& bytes) {
+  HYPERTP_ASSIGN_OR_RETURN(ByteReader r, CheckTag(bytes, kNetTag, "virtio-net"));
+  VirtioNetState s;
+  HYPERTP_ASSIGN_OR_RETURN(auto mac, r.ReadBytes(6));
+  std::copy(mac.begin(), mac.end(), s.mac.begin());
+  HYPERTP_ASSIGN_OR_RETURN(s.features, r.ReadU64());
+  HYPERTP_ASSIGN_OR_RETURN(s.rx_avail_idx, r.ReadU16());
+  HYPERTP_ASSIGN_OR_RETURN(s.rx_used_idx, r.ReadU16());
+  HYPERTP_ASSIGN_OR_RETURN(s.tx_avail_idx, r.ReadU16());
+  HYPERTP_ASSIGN_OR_RETURN(s.tx_used_idx, r.ReadU16());
+  HYPERTP_ASSIGN_OR_RETURN(uint8_t up, r.ReadU8());
+  s.link_up = up != 0;
+  return s;
+}
+
+std::vector<uint8_t> VirtioBlkState::ToBytes() const {
+  ByteWriter w;
+  w.PutU32(kBlkTag);
+  w.PutU64(features);
+  w.PutU64(capacity_sectors);
+  w.PutU16(avail_idx);
+  w.PutU16(used_idx);
+  w.PutU32(requests_inflight);
+  w.PutU8(write_cache ? 1 : 0);
+  return w.TakeBytes();
+}
+
+Result<VirtioBlkState> VirtioBlkState::FromBytes(const std::vector<uint8_t>& bytes) {
+  HYPERTP_ASSIGN_OR_RETURN(ByteReader r, CheckTag(bytes, kBlkTag, "virtio-blk"));
+  VirtioBlkState s;
+  HYPERTP_ASSIGN_OR_RETURN(s.features, r.ReadU64());
+  HYPERTP_ASSIGN_OR_RETURN(s.capacity_sectors, r.ReadU64());
+  HYPERTP_ASSIGN_OR_RETURN(s.avail_idx, r.ReadU16());
+  HYPERTP_ASSIGN_OR_RETURN(s.used_idx, r.ReadU16());
+  HYPERTP_ASSIGN_OR_RETURN(s.requests_inflight, r.ReadU32());
+  HYPERTP_ASSIGN_OR_RETURN(uint8_t wc, r.ReadU8());
+  s.write_cache = wc != 0;
+  return s;
+}
+
+std::vector<uint8_t> Uart16550State::ToBytes() const {
+  ByteWriter w;
+  w.PutU32(kUartTag);
+  for (uint8_t reg : {ier, iir, lcr, mcr, lsr, msr, scr, dll, dlm}) {
+    w.PutU8(reg);
+  }
+  return w.TakeBytes();
+}
+
+Result<Uart16550State> Uart16550State::FromBytes(const std::vector<uint8_t>& bytes) {
+  HYPERTP_ASSIGN_OR_RETURN(ByteReader r, CheckTag(bytes, kUartTag, "uart16550"));
+  Uart16550State s;
+  for (uint8_t* reg : {&s.ier, &s.iir, &s.lcr, &s.mcr, &s.lsr, &s.msr, &s.scr, &s.dll, &s.dlm}) {
+    HYPERTP_ASSIGN_OR_RETURN(*reg, r.ReadU8());
+  }
+  return s;
+}
+
+std::vector<uint8_t> PassthroughState::ToBytes() const {
+  ByteWriter w;
+  w.PutU32(kPtTag);
+  w.PutU32(pci_bdf);
+  w.PutU16(vendor_id);
+  w.PutU16(device_id);
+  w.PutU8(paused ? 1 : 0);
+  return w.TakeBytes();
+}
+
+Result<PassthroughState> PassthroughState::FromBytes(const std::vector<uint8_t>& bytes) {
+  HYPERTP_ASSIGN_OR_RETURN(ByteReader r, CheckTag(bytes, kPtTag, "passthrough"));
+  PassthroughState s;
+  HYPERTP_ASSIGN_OR_RETURN(s.pci_bdf, r.ReadU32());
+  HYPERTP_ASSIGN_OR_RETURN(s.vendor_id, r.ReadU16());
+  HYPERTP_ASSIGN_OR_RETURN(s.device_id, r.ReadU16());
+  HYPERTP_ASSIGN_OR_RETURN(uint8_t paused, r.ReadU8());
+  s.paused = paused != 0;
+  return s;
+}
+
+bool IsKnownDeviceModel(const std::string& model) {
+  return model == "virtio-net" || model == "virtio-blk" || model == "uart16550" ||
+         model == "nvme-pt";
+}
+
+Result<UisrDeviceState> MakeDefaultDeviceState(const std::string& model, uint32_t instance,
+                                               uint64_t vm_uid, DeviceAttachMode mode) {
+  UisrDeviceState dev;
+  dev.model = model;
+  dev.instance = instance;
+  dev.mode = mode;
+  if (model == "virtio-net") {
+    VirtioNetState s;
+    s.mac = {0x52, 0x54, 0x00, static_cast<uint8_t>(Mix(vm_uid, 1)),
+             static_cast<uint8_t>(Mix(vm_uid, 2)), static_cast<uint8_t>(instance)};
+    s.features = 0x130000000ull;  // VERSION_1 | RING_EVENT_IDX | RING_INDIRECT.
+    dev.opaque = s.ToBytes();
+  } else if (model == "virtio-blk") {
+    VirtioBlkState s;
+    s.features = 0x100000000ull;
+    s.capacity_sectors = 40ull << 21;  // 40 GiB root disk on network storage.
+    dev.opaque = s.ToBytes();
+  } else if (model == "uart16550") {
+    dev.opaque = Uart16550State{}.ToBytes();
+  } else if (model == "nvme-pt") {
+    PassthroughState s;
+    s.pci_bdf = 0x0300 + instance;
+    s.vendor_id = 0x8086;
+    s.device_id = 0x0A54;
+    dev.opaque = s.ToBytes();
+    dev.mode = DeviceAttachMode::kPassthrough;
+  } else {
+    return InvalidArgumentError("unknown device model: " + model);
+  }
+  return dev;
+}
+
+Result<void> PrepareDevicesForTransplant(std::vector<UisrDeviceState>& devices) {
+  for (UisrDeviceState& dev : devices) {
+    switch (dev.mode) {
+      case DeviceAttachMode::kEmulated: {
+        if (dev.model == "virtio-blk") {
+          HYPERTP_ASSIGN_OR_RETURN(VirtioBlkState s, VirtioBlkState::FromBytes(dev.opaque));
+          s.requests_inflight = 0;  // Guest driver drains its queue.
+          dev.opaque = s.ToBytes();
+        }
+        break;
+      }
+      case DeviceAttachMode::kPassthrough: {
+        HYPERTP_ASSIGN_OR_RETURN(PassthroughState s, PassthroughState::FromBytes(dev.opaque));
+        s.paused = true;  // Guest driver pauses the device.
+        dev.opaque = s.ToBytes();
+        break;
+      }
+      case DeviceAttachMode::kUnplugged: {
+        if (dev.model == "virtio-net") {
+          HYPERTP_ASSIGN_OR_RETURN(VirtioNetState s, VirtioNetState::FromBytes(dev.opaque));
+          s.rx_avail_idx = s.rx_used_idx = s.tx_avail_idx = s.tx_used_idx = 0;
+          s.link_up = false;  // Hot-unplugged; only the config travels.
+          dev.opaque = s.ToBytes();
+        }
+        break;
+      }
+    }
+  }
+  return OkResult();
+}
+
+Result<void> ValidateDeviceForTransplant(const UisrDeviceState& device) {
+  switch (device.mode) {
+    case DeviceAttachMode::kEmulated: {
+      if (device.model == "virtio-blk") {
+        HYPERTP_ASSIGN_OR_RETURN(VirtioBlkState s, VirtioBlkState::FromBytes(device.opaque));
+        if (s.requests_inflight != 0) {
+          return FailedPreconditionError("virtio-blk has " +
+                                         std::to_string(s.requests_inflight) +
+                                         " in-flight requests; quiesce before transplant");
+        }
+      }
+      return OkResult();
+    }
+    case DeviceAttachMode::kPassthrough: {
+      HYPERTP_ASSIGN_OR_RETURN(PassthroughState s, PassthroughState::FromBytes(device.opaque));
+      if (!s.paused) {
+        return FailedPreconditionError("pass-through device " + device.model +
+                                       " not paused by guest driver");
+      }
+      return OkResult();
+    }
+    case DeviceAttachMode::kUnplugged:
+      return OkResult();  // Only configuration travels.
+  }
+  return InternalError("unreachable device mode");
+}
+
+}  // namespace hypertp

@@ -1,0 +1,90 @@
+// Virtual device models shared by both VMMs.
+//
+// Each model defines a small emulation-state struct with a byte codec. The
+// opaque payload inside UisrDeviceState is this codec's output; both VMMs
+// (QEMU-upstream on Xen, kvmtool on KVM) speak it, so the HyperTP adapters
+// copy emulated-device state across the transplant (§4.2.3). Network devices
+// are handled with the unplug/rescan strategy instead and carry only their
+// configuration (MAC), not their queue state.
+
+#ifndef HYPERTP_SRC_HV_DEVICES_H_
+#define HYPERTP_SRC_HV_DEVICES_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/uisr/records.h"
+
+namespace hypertp {
+
+struct VirtioNetState {
+  std::array<uint8_t, 6> mac{};
+  uint64_t features = 0;
+  uint16_t rx_avail_idx = 0, rx_used_idx = 0;
+  uint16_t tx_avail_idx = 0, tx_used_idx = 0;
+  bool link_up = true;
+
+  std::vector<uint8_t> ToBytes() const;
+  static Result<VirtioNetState> FromBytes(const std::vector<uint8_t>& bytes);
+  bool operator==(const VirtioNetState&) const = default;
+};
+
+struct VirtioBlkState {
+  uint64_t features = 0;
+  uint64_t capacity_sectors = 0;
+  uint16_t avail_idx = 0, used_idx = 0;
+  uint32_t requests_inflight = 0;  // Must be 0 when paused for transplant.
+  bool write_cache = true;
+
+  std::vector<uint8_t> ToBytes() const;
+  static Result<VirtioBlkState> FromBytes(const std::vector<uint8_t>& bytes);
+  bool operator==(const VirtioBlkState&) const = default;
+};
+
+struct Uart16550State {
+  uint8_t ier = 0, iir = 1, lcr = 3, mcr = 0, lsr = 0x60, msr = 0xB0, scr = 0;
+  uint8_t dll = 1, dlm = 0;  // 115200 baud divisor.
+
+  std::vector<uint8_t> ToBytes() const;
+  static Result<Uart16550State> FromBytes(const std::vector<uint8_t>& bytes);
+  bool operator==(const Uart16550State&) const = default;
+};
+
+// A pass-through device (e.g. "nvme-pt"): the hardware state stays on the
+// device, the driver state stays in Guest State; the transplant only needs
+// the guest-visible identity so the rebound driver finds the same device.
+struct PassthroughState {
+  uint32_t pci_bdf = 0;  // bus/device/function.
+  uint16_t vendor_id = 0, device_id = 0;
+  bool paused = false;   // Must be true when transplanting (§4.2.3).
+
+  std::vector<uint8_t> ToBytes() const;
+  static Result<PassthroughState> FromBytes(const std::vector<uint8_t>& bytes);
+  bool operator==(const PassthroughState&) const = default;
+};
+
+// Builds the initial device state for a freshly created VM, deterministic in
+// (vm_uid, model, instance).
+Result<UisrDeviceState> MakeDefaultDeviceState(const std::string& model, uint32_t instance,
+                                               uint64_t vm_uid, DeviceAttachMode mode);
+
+// True if `model` is a device model this library can emulate.
+bool IsKnownDeviceModel(const std::string& model);
+
+// Validates that a device is in a transplantable state: emulated devices must
+// be quiesced (no in-flight requests), pass-through devices must be paused,
+// unplugged-mode devices carry config only.
+Result<void> ValidateDeviceForTransplant(const UisrDeviceState& device);
+
+// Guest-cooperative preparation before a transplant (§4.2.3, in the spirit of
+// Azure's Scheduled Events): drains emulated block queues, pauses
+// pass-through devices, hot-unplugs unplug-mode NICs (config-only state).
+// Mutates the device states in place.
+Result<void> PrepareDevicesForTransplant(std::vector<UisrDeviceState>& devices);
+
+}  // namespace hypertp
+
+#endif  // HYPERTP_SRC_HV_DEVICES_H_

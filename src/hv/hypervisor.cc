@@ -1,0 +1,62 @@
+#include "src/hv/hypervisor.h"
+
+#include <atomic>
+
+#include "src/hv/devices.h"
+
+namespace hypertp {
+
+uint64_t AllocateVmUid() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1);
+}
+
+std::string_view HypervisorKindName(HypervisorKind kind) {
+  switch (kind) {
+    case HypervisorKind::kXen:
+      return "xen";
+    case HypervisorKind::kKvm:
+      return "kvm";
+    case HypervisorKind::kBhyve:
+      return "bhyve";
+  }
+  return "?";
+}
+
+Result<void> ValidateVmConfig(const VmConfig& config, uint32_t max_vcpus) {
+  if (config.name.empty()) {
+    return InvalidArgumentError("vm config: name required");
+  }
+  if (config.vcpus == 0 || config.vcpus > max_vcpus) {
+    return InvalidArgumentError("vm config: vcpus must be in [1, " + std::to_string(max_vcpus) +
+                                "]");
+  }
+  if (config.memory_bytes == 0 || config.memory_bytes % kPageSize != 0) {
+    return InvalidArgumentError("vm config: memory must be a positive multiple of 4 KiB");
+  }
+  if (config.huge_pages && config.memory_bytes % kHugePageSize != 0) {
+    return InvalidArgumentError("vm config: huge-page VMs need 2 MiB-multiple memory");
+  }
+  for (const DeviceConfig& dev : config.devices) {
+    if (!IsKnownDeviceModel(dev.model)) {
+      return InvalidArgumentError("vm config: unknown device model " + dev.model);
+    }
+  }
+  return OkResult();
+}
+
+VmConfig VmConfig::Small(std::string name) {
+  VmConfig config;
+  config.name = std::move(name);
+  config.vcpus = 1;
+  config.memory_bytes = 1ull << 30;
+  config.huge_pages = true;
+  config.devices = {
+      DeviceConfig{"uart16550", DeviceAttachMode::kEmulated},
+      DeviceConfig{"virtio-blk", DeviceAttachMode::kEmulated},
+      DeviceConfig{"virtio-net", DeviceAttachMode::kUnplugged},
+  };
+  return config;
+}
+
+}  // namespace hypertp

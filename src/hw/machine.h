@@ -1,0 +1,90 @@
+// Simulated physical server: CPU topology, RAM, NIC, and the per-machine cost
+// profile that calibrates how long host-side operations take on it.
+
+#ifndef HYPERTP_SRC_HW_MACHINE_H_
+#define HYPERTP_SRC_HW_MACHINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/hw/physical_memory.h"
+#include "src/sim/time.h"
+
+namespace hypertp {
+
+// Per-machine unit costs for host-side operations. The defaults for M1/M2 are
+// calibrated so that the simulated phase durations land on the paper's Fig. 6
+// numbers for a 1 vCPU / 1 GiB VM; every scaling behaviour (Fig. 7/10) then
+// emerges from the mechanics (parallel workers, per-GB walks, sequential
+// early-boot parsing) rather than from further fitting.
+struct HostCostProfile {
+  // PRAM construction: walking a VM's P2M/memslots and emitting page entries.
+  SimDuration pram_fixed = Millis(50);
+  SimDuration pram_per_gb = Millis(400);
+
+  // UISR translation of one VM's platform + device state.
+  SimDuration translate_per_vm = Millis(60);
+  SimDuration translate_per_vcpu = Millis(15);
+  SimDuration translate_per_gb = Millis(5);  // Finalizing the PRAM file entry.
+
+  // UISR restoration into the target hypervisor's native format.
+  SimDuration restore_per_vm = Millis(100);
+  SimDuration restore_per_vcpu = Millis(10);
+  SimDuration restore_per_gb = Millis(10);
+
+  // Micro-reboot components.
+  SimDuration kexec_jump = Millis(90);        // Quiesce + jump to new kernel.
+  SimDuration boot_linux = Millis(1350);      // Linux/KVM host kernel boot.
+  SimDuration boot_xen = Millis(4000);        // Xen core boot (type-I, stage 1).
+  SimDuration boot_dom0 = Millis(2800);       // dom0 kernel boot (type-I, stage 2).
+  SimDuration pram_parse_per_gb = Millis(80); // Sequential early-boot PRAM parse.
+
+  // Physical NIC re-initialization after the micro-reboot (Fig. 6 "Network").
+  SimDuration nic_init = SecondsF(6.6);
+};
+
+struct MachineProfile {
+  std::string name;
+  int sockets = 1;
+  int cores = 4;           // Physical cores, total across sockets.
+  int threads = 8;         // Hardware threads, total.
+  double base_ghz = 2.5;
+  uint64_t ram_bytes = 16ull << 30;
+  double network_gbps = 1.0;
+  HostCostProfile costs;
+
+  // Paper Table 3: Intel i5-8400H, 4c/8t 2.5 GHz, 16 GB RAM, 1 Gbps.
+  static MachineProfile M1();
+  // Paper Table 3: 2x Xeon E5-2650L v4, 14c/28t 1.7 GHz, 64 GB RAM, 1 Gbps.
+  static MachineProfile M2();
+  // Paper §5.1 cluster node: 2x Xeon E5-2630 v3, 96 GB RAM, 10 Gbps.
+  static MachineProfile C1();
+};
+
+// A physical server in the simulated datacenter.
+class Machine {
+ public:
+  Machine(MachineProfile profile, uint64_t id);
+
+  uint64_t id() const { return id_; }
+  const MachineProfile& profile() const { return profile_; }
+  const std::string& hostname() const { return hostname_; }
+  PhysicalMemory& memory() { return memory_; }
+  const PhysicalMemory& memory() const { return memory_; }
+
+  // The paper reserves 2 CPUs for the administration OS (dom0 / host Linux);
+  // host-side parallel work (PRAM construction, translation) uses the rest.
+  int admin_threads() const { return 2; }
+  int worker_threads() const { return profile_.threads > 2 ? profile_.threads - 2 : 1; }
+
+ private:
+  MachineProfile profile_;
+  uint64_t id_;
+  std::string hostname_;
+  PhysicalMemory memory_;
+};
+
+}  // namespace hypertp
+
+#endif  // HYPERTP_SRC_HW_MACHINE_H_

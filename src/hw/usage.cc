@@ -1,0 +1,48 @@
+#include "src/hw/usage.h"
+
+#include <cstdio>
+
+namespace hypertp {
+
+uint64_t MachineUsage::bytes_of(FrameOwnerKind kind) const {
+  auto it = by_kind.find(kind);
+  return it == by_kind.end() ? 0 : it->second;
+}
+
+std::string MachineUsage::ToString() const {
+  std::string out;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "RAM %llu MiB total, %llu MiB free\n",
+                static_cast<unsigned long long>(total_bytes >> 20),
+                static_cast<unsigned long long>(free_bytes >> 20));
+  out += buf;
+  for (const auto& [kind, bytes] : by_kind) {
+    std::snprintf(buf, sizeof(buf), "  %-14s %8.1f MiB\n",
+                  std::string(FrameOwnerKindName(kind)).c_str(),
+                  static_cast<double>(bytes) / (1 << 20));
+    out += buf;
+  }
+  for (const auto& [uid, bytes] : by_vm) {
+    std::snprintf(buf, sizeof(buf), "  vm uid %-6llu %8.1f MiB\n",
+                  static_cast<unsigned long long>(uid), static_cast<double>(bytes) / (1 << 20));
+    out += buf;
+  }
+  return out;
+}
+
+MachineUsage DescribeMachineUsage(const Machine& machine) {
+  MachineUsage usage;
+  usage.total_bytes = machine.memory().total_bytes();
+  usage.free_bytes = machine.memory().free_frames() * kPageSize;
+  for (const FrameExtent& ext : machine.memory().AllocatedExtents()) {
+    const uint64_t bytes = ext.count * kPageSize;
+    usage.by_kind[ext.owner.kind] += bytes;
+    if (ext.owner.kind == FrameOwnerKind::kGuest || ext.owner.kind == FrameOwnerKind::kVmState ||
+        ext.owner.kind == FrameOwnerKind::kVmm) {
+      usage.by_vm[ext.owner.id] += bytes;
+    }
+  }
+  return usage;
+}
+
+}  // namespace hypertp

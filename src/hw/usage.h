@@ -1,0 +1,33 @@
+// Machine memory-usage accounting: a per-owner-kind breakdown of physical
+// RAM, i.e. the memory-separation view of Fig. 2 measured live. Used by
+// operator tooling and by tests asserting that transplants leak nothing.
+
+#ifndef HYPERTP_SRC_HW_USAGE_H_
+#define HYPERTP_SRC_HW_USAGE_H_
+
+#include <map>
+#include <string>
+
+#include "src/hw/machine.h"
+
+namespace hypertp {
+
+struct MachineUsage {
+  uint64_t total_bytes = 0;
+  uint64_t free_bytes = 0;
+  // Bytes per owner kind (Fig. 2's categories: Guest State, VM_i State,
+  // HV State, plus the HyperTP ephemera).
+  std::map<FrameOwnerKind, uint64_t> by_kind;
+  // Bytes per VM uid across guest + VM-state + VMM ownership.
+  std::map<uint64_t, uint64_t> by_vm;
+
+  uint64_t bytes_of(FrameOwnerKind kind) const;
+  // Multi-line operator-facing rendering.
+  std::string ToString() const;
+};
+
+MachineUsage DescribeMachineUsage(const Machine& machine);
+
+}  // namespace hypertp
+
+#endif  // HYPERTP_SRC_HW_USAGE_H_

@@ -1,0 +1,87 @@
+// Kexec: micro-reboot of the simulated machine (paper §4.2.4).
+//
+// A target kernel image is staged into RAM ahead of time (step ❶ of the
+// InPlaceTP workflow). Reboot() then models the kexec jump: the PRAM pointer
+// travels on the new kernel's command line; the new kernel's early boot
+// parses the PRAM structure, reserves every frame it describes, and scrubs
+// all other RAM — so a missing or corrupt PRAM reservation really does
+// destroy guest memory, exactly as on hardware.
+
+#ifndef HYPERTP_SRC_KEXEC_KEXEC_H_
+#define HYPERTP_SRC_KEXEC_KEXEC_H_
+
+#include <optional>
+#include <string>
+
+#include "src/base/result.h"
+#include "src/hv/hypervisor.h"
+#include "src/hw/machine.h"
+#include "src/pram/pram.h"
+#include "src/sim/time.h"
+
+namespace hypertp {
+
+struct KernelImage {
+  std::string name;  // "kvmish-5.3", "xenvisor-4.12+dom0".
+  HypervisorKind kind = HypervisorKind::kKvm;
+  uint64_t size_bytes = 24ull << 20;
+
+  // The stock images for the repertoire. The Xen image bundles the Xen core
+  // and the dom0 kernel (type-I boots two kernels).
+  static KernelImage Kvm();
+  static KernelImage Xen();
+  static KernelImage Bhyve();
+  static KernelImage For(HypervisorKind kind);
+};
+
+// Builds/parses the kernel command line carrying the PRAM pointer, e.g.
+// "console=ttyS0 pram=0x1a2b". root_mfn 0 means "no PRAM".
+std::string FormatKexecCmdline(Mfn pram_root);
+Result<Mfn> ParsePramPointer(const std::string& cmdline);
+
+struct KexecBootResult {
+  // Time from the kexec jump until the new kernel can run restorations:
+  // jump + kernel boot(s) + sequential early-boot PRAM parse.
+  SimDuration reboot_time = 0;
+  // Of which: the early-boot PRAM parse (sequential, no monitoring possible).
+  SimDuration pram_parse_time = 0;
+  // When (relative to the jump) the physical NIC is usable again.
+  SimDuration network_ready = 0;
+  uint64_t frames_scrubbed = 0;
+  // The parsed PRAM image the new kernel found (empty when none was passed).
+  PramImage pram;
+  Mfn pram_root = 0;
+  std::string booted_kernel;
+};
+
+class KexecController {
+ public:
+  explicit KexecController(Machine& machine) : machine_(&machine) {}
+
+  // Stages `image` into RAM (owner kKernelImage). Runs while VMs execute;
+  // costs no downtime. Staging twice replaces the previous image.
+  Result<void> LoadImage(const KernelImage& image);
+
+  bool HasStagedImage() const { return staged_.has_value(); }
+  const KernelImage* staged_image() const { return staged_ ? &*staged_ : nullptr; }
+
+  // Performs the micro-reboot. The caller must have detached the old
+  // hypervisor (its frames are reclaimed by the scrub). On success the
+  // machine is "running" the staged kernel and the staged image is consumed.
+  //
+  // Fails with kFailedPrecondition when no image is staged, and with
+  // kDataLoss when the command line names a PRAM pointer whose structure
+  // does not parse — in which case the scrub has already destroyed all
+  // unreserved RAM, like a real botched reboot would.
+  Result<KexecBootResult> Reboot(const std::string& cmdline);
+
+ private:
+  Machine* machine_;
+  std::optional<KernelImage> staged_;
+  Mfn staged_base_ = 0;
+  uint64_t staged_frames_ = 0;
+};
+
+}  // namespace hypertp
+
+#endif  // HYPERTP_SRC_KEXEC_KEXEC_H_

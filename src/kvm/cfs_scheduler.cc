@@ -1,0 +1,61 @@
+#include "src/kvm/cfs_scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hypertp {
+
+CfsScheduler::CfsScheduler(int cpus) {
+  assert(cpus >= 1);
+  runqueues_.resize(static_cast<size_t>(cpus));
+}
+
+uint64_t CfsScheduler::MinVruntime() const {
+  uint64_t min_vr = 0;
+  bool any = false;
+  for (const auto& queue : runqueues_) {
+    for (const CfsTask& t : queue) {
+      if (!any || t.vruntime < min_vr) {
+        min_vr = t.vruntime;
+        any = true;
+      }
+    }
+  }
+  return min_vr;
+}
+
+void CfsScheduler::AddTask(uint64_t vm_uid, uint32_t vcpu, uint32_t weight) {
+  auto it = std::min_element(
+      runqueues_.begin(), runqueues_.end(),
+      [](const auto& a, const auto& b) { return a.size() < b.size(); });
+  it->push_back(CfsTask{vm_uid, vcpu, MinVruntime(), weight});
+}
+
+void CfsScheduler::RemoveVm(uint64_t vm_uid) {
+  for (auto& queue : runqueues_) {
+    std::erase_if(queue, [vm_uid](const CfsTask& t) { return t.vm_uid == vm_uid; });
+  }
+}
+
+void CfsScheduler::Tick(uint64_t period_ns) {
+  for (auto& queue : runqueues_) {
+    if (queue.empty()) {
+      continue;
+    }
+    auto next = std::min_element(
+        queue.begin(), queue.end(),
+        [](const CfsTask& a, const CfsTask& b) { return a.vruntime < b.vruntime; });
+    // vruntime advances inversely to weight (heavier tasks age slower).
+    next->vruntime += period_ns * 1024 / std::max<uint32_t>(next->weight, 1);
+  }
+}
+
+size_t CfsScheduler::total_tasks() const {
+  size_t n = 0;
+  for (const auto& queue : runqueues_) {
+    n += queue.size();
+  }
+  return n;
+}
+
+}  // namespace hypertp

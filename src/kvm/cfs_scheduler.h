@@ -1,0 +1,48 @@
+// KVMish's host scheduler model: vCPU threads under a CFS-like policy.
+// Like Xen's credit scheduler, this is VM Management State — rebuilt after a
+// transplant, never translated.
+
+#ifndef HYPERTP_SRC_KVM_CFS_SCHEDULER_H_
+#define HYPERTP_SRC_KVM_CFS_SCHEDULER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace hypertp {
+
+struct CfsTask {
+  uint64_t vm_uid = 0;
+  uint32_t vcpu = 0;
+  uint64_t vruntime = 0;
+  uint32_t weight = 1024;  // nice 0.
+
+  bool operator==(const CfsTask&) const = default;
+};
+
+class CfsScheduler {
+ public:
+  explicit CfsScheduler(int cpus);
+
+  // New tasks start at the current minimum vruntime (CFS placement rule).
+  void AddTask(uint64_t vm_uid, uint32_t vcpu, uint32_t weight = 1024);
+  void RemoveVm(uint64_t vm_uid);
+
+  // One scheduling period: the lowest-vruntime task on each CPU runs and
+  // accumulates weighted vruntime.
+  void Tick(uint64_t period_ns = 4'000'000);
+
+  size_t total_tasks() const;
+  int cpus() const { return static_cast<int>(runqueues_.size()); }
+  const std::vector<std::vector<CfsTask>>& runqueues() const { return runqueues_; }
+
+ private:
+  uint64_t MinVruntime() const;
+
+  std::vector<std::vector<CfsTask>> runqueues_;
+};
+
+}  // namespace hypertp
+
+#endif  // HYPERTP_SRC_KVM_CFS_SCHEDULER_H_

@@ -1,0 +1,338 @@
+#include "src/kvm/kvm_uisr.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hypertp {
+namespace {
+
+KvmSegment ToKvmSegment(const UisrSegment& s) {
+  KvmSegment k;
+  k.base = s.base;
+  k.limit = s.limit;
+  k.selector = s.selector;
+  k.type = s.type;
+  k.present = s.present;
+  k.dpl = s.dpl;
+  k.db = s.db;
+  k.s = s.s;
+  k.l = s.l;
+  k.g = s.g;
+  k.avl = s.avl;
+  k.unusable = s.unusable;
+  return k;
+}
+
+UisrSegment FromKvmSegment(const KvmSegment& k) {
+  UisrSegment s;
+  s.base = k.base;
+  s.limit = k.limit;
+  s.selector = k.selector;
+  s.type = k.type;
+  s.present = k.present;
+  s.dpl = k.dpl;
+  s.db = k.db;
+  s.s = k.s;
+  s.l = k.l;
+  s.g = k.g;
+  s.avl = k.avl;
+  s.unusable = k.unusable;
+  return s;
+}
+
+bool IsMtrrVariableMsr(uint32_t index) {
+  return index >= kMsrMtrrPhysBase0 && index < kMsrMtrrPhysBase0 + 2 * kMtrrVariableCount;
+}
+
+bool IsMtrrFixedMsr(uint32_t index) {
+  return index == kMsrMtrrFix64k || index == kMsrMtrrFix16k0 || index == kMsrMtrrFix16k1 ||
+         (index >= kMsrMtrrFix4k0 && index <= kMsrMtrrFix4k0 + 7);
+}
+
+// Maps an MTRR fixed-range MSR index to its slot in UisrMtrr::fixed.
+size_t MtrrFixedSlot(uint32_t index) {
+  if (index == kMsrMtrrFix64k) {
+    return 0;
+  }
+  if (index == kMsrMtrrFix16k0) {
+    return 1;
+  }
+  if (index == kMsrMtrrFix16k1) {
+    return 2;
+  }
+  return 3 + (index - kMsrMtrrFix4k0);
+}
+
+uint32_t MtrrFixedIndex(size_t slot) {
+  switch (slot) {
+    case 0:
+      return kMsrMtrrFix64k;
+    case 1:
+      return kMsrMtrrFix16k0;
+    case 2:
+      return kMsrMtrrFix16k1;
+    default:
+      return kMsrMtrrFix4k0 + static_cast<uint32_t>(slot - 3);
+  }
+}
+
+}  // namespace
+
+Result<UisrVcpu> KvmVcpuToUisr(const KvmVcpuState& state) {
+  UisrVcpu v;
+  v.id = state.id;
+  v.online = state.online != 0;
+
+  const KvmRegs& r = state.regs;
+  v.regs.gpr = {r.rax, r.rbx, r.rcx, r.rdx, r.rsi, r.rdi, r.rsp, r.rbp,
+                r.r8,  r.r9,  r.r10, r.r11, r.r12, r.r13, r.r14, r.r15};
+  v.regs.rip = r.rip;
+  v.regs.rflags = r.rflags;
+
+  const KvmSregs& s = state.sregs;
+  v.sregs.cs = FromKvmSegment(s.cs);
+  v.sregs.ds = FromKvmSegment(s.ds);
+  v.sregs.es = FromKvmSegment(s.es);
+  v.sregs.fs = FromKvmSegment(s.fs);
+  v.sregs.gs = FromKvmSegment(s.gs);
+  v.sregs.ss = FromKvmSegment(s.ss);
+  v.sregs.tr = FromKvmSegment(s.tr);
+  v.sregs.ldt = FromKvmSegment(s.ldt);
+  v.sregs.gdt = {s.gdt.base, s.gdt.limit};
+  v.sregs.idt = {s.idt.base, s.idt.limit};
+  v.sregs.cr0 = s.cr0;
+  v.sregs.cr2 = s.cr2;
+  v.sregs.cr3 = s.cr3;
+  v.sregs.cr4 = s.cr4;
+  v.sregs.cr8 = s.cr8;
+  v.sregs.efer = s.efer;
+  v.sregs.apic_base = s.apic_base;
+  v.lapic.apic_base_msr = s.apic_base;
+
+  // Lift structural MSRs out of the generic list.
+  for (const KvmMsrEntry& m : state.msrs) {
+    if (m.index == kMsrApicBase) {
+      if (m.data != s.apic_base) {
+        return DataLossError("kvm: APIC base MSR disagrees with sregs.apic_base");
+      }
+      v.lapic.apic_base_msr = m.data;
+    } else if (m.index == kMsrTscDeadline) {
+      v.lapic.tsc_deadline = m.data;
+    } else if (m.index == kMsrPat) {
+      v.mtrr.pat = m.data;
+    } else if (m.index == kMsrMtrrCap) {
+      v.mtrr.cap = m.data;
+    } else if (m.index == kMsrMtrrDefType) {
+      v.mtrr.def_type = m.data;
+    } else if (IsMtrrFixedMsr(m.index)) {
+      v.mtrr.fixed[MtrrFixedSlot(m.index)] = m.data;
+    } else if (IsMtrrVariableMsr(m.index)) {
+      const uint32_t off = m.index - kMsrMtrrPhysBase0;
+      if (off % 2 == 0) {
+        v.mtrr.var_base[off / 2] = m.data;
+      } else {
+        v.mtrr.var_mask[off / 2] = m.data;
+      }
+    } else {
+      v.msrs.push_back(UisrMsr{m.index, m.data});
+    }
+  }
+  std::sort(v.msrs.begin(), v.msrs.end(),
+            [](const UisrMsr& a, const UisrMsr& b) { return a.index < b.index; });
+
+  v.fpu.fpr = state.fpu.fpr;
+  v.fpu.fcw = state.fpu.fcw;
+  v.fpu.fsw = state.fpu.fsw;
+  v.fpu.ftwx = state.fpu.ftwx;
+  v.fpu.last_opcode = state.fpu.last_opcode;
+  v.fpu.last_ip = state.fpu.last_ip;
+  v.fpu.last_dp = state.fpu.last_dp;
+  v.fpu.xmm = state.fpu.xmm;
+  v.fpu.mxcsr = state.fpu.mxcsr;
+
+  v.lapic.regs = state.lapic.regs;
+
+  v.xsave.xcr0 = state.xcrs.xcr0;
+  v.xsave.area = state.xsave.data;
+  return v;
+}
+
+Result<KvmVcpuState> KvmVcpuFromUisr(const UisrVcpu& vcpu) {
+  KvmVcpuState k;
+  k.id = vcpu.id;
+  k.online = vcpu.online ? 1 : 0;
+
+  const auto& g = vcpu.regs.gpr;
+  k.regs = {g[0], g[1], g[2],  g[3],  g[4],  g[5],  g[6],  g[7],
+            g[8], g[9], g[10], g[11], g[12], g[13], g[14], g[15],
+            vcpu.regs.rip, vcpu.regs.rflags};
+
+  k.sregs.cs = ToKvmSegment(vcpu.sregs.cs);
+  k.sregs.ds = ToKvmSegment(vcpu.sregs.ds);
+  k.sregs.es = ToKvmSegment(vcpu.sregs.es);
+  k.sregs.fs = ToKvmSegment(vcpu.sregs.fs);
+  k.sregs.gs = ToKvmSegment(vcpu.sregs.gs);
+  k.sregs.ss = ToKvmSegment(vcpu.sregs.ss);
+  k.sregs.tr = ToKvmSegment(vcpu.sregs.tr);
+  k.sregs.ldt = ToKvmSegment(vcpu.sregs.ldt);
+  k.sregs.gdt = {vcpu.sregs.gdt.base, vcpu.sregs.gdt.limit};
+  k.sregs.idt = {vcpu.sregs.idt.base, vcpu.sregs.idt.limit};
+  k.sregs.cr0 = vcpu.sregs.cr0;
+  k.sregs.cr2 = vcpu.sregs.cr2;
+  k.sregs.cr3 = vcpu.sregs.cr3;
+  k.sregs.cr4 = vcpu.sregs.cr4;
+  k.sregs.cr8 = vcpu.sregs.cr8;
+  k.sregs.efer = vcpu.sregs.efer;
+  k.sregs.apic_base = vcpu.lapic.apic_base_msr;
+
+  // Assemble the MSR list: generic MSRs plus the structural ones.
+  std::vector<KvmMsrEntry> msrs;
+  msrs.reserve(vcpu.msrs.size() + 8 + kMtrrFixedCount + 2 * kMtrrVariableCount);
+  for (const UisrMsr& m : vcpu.msrs) {
+    msrs.push_back(KvmMsrEntry{m.index, m.value});
+  }
+  msrs.push_back({kMsrApicBase, vcpu.lapic.apic_base_msr});
+  msrs.push_back({kMsrTscDeadline, vcpu.lapic.tsc_deadline});
+  msrs.push_back({kMsrPat, vcpu.mtrr.pat});
+  msrs.push_back({kMsrMtrrCap, vcpu.mtrr.cap});
+  msrs.push_back({kMsrMtrrDefType, vcpu.mtrr.def_type});
+  for (size_t i = 0; i < kMtrrFixedCount; ++i) {
+    msrs.push_back({MtrrFixedIndex(i), vcpu.mtrr.fixed[i]});
+  }
+  for (size_t i = 0; i < kMtrrVariableCount; ++i) {
+    msrs.push_back({kMsrMtrrPhysBase0 + static_cast<uint32_t>(2 * i), vcpu.mtrr.var_base[i]});
+    msrs.push_back({kMsrMtrrPhysBase0 + static_cast<uint32_t>(2 * i + 1), vcpu.mtrr.var_mask[i]});
+  }
+  std::sort(msrs.begin(), msrs.end(),
+            [](const KvmMsrEntry& a, const KvmMsrEntry& b) { return a.index < b.index; });
+  k.msrs = std::move(msrs);
+
+  k.fpu.fpr = vcpu.fpu.fpr;
+  k.fpu.fcw = vcpu.fpu.fcw;
+  k.fpu.fsw = vcpu.fpu.fsw;
+  k.fpu.ftwx = vcpu.fpu.ftwx;
+  k.fpu.last_opcode = vcpu.fpu.last_opcode;
+  k.fpu.last_ip = vcpu.fpu.last_ip;
+  k.fpu.last_dp = vcpu.fpu.last_dp;
+  k.fpu.xmm = vcpu.fpu.xmm;
+  k.fpu.mxcsr = vcpu.fpu.mxcsr;
+
+  k.lapic.regs = vcpu.lapic.regs;
+  // KVM keeps the TPR in both the LAPIC page and CR8; synchronize from CR8.
+  k.lapic.regs[0x80] = static_cast<uint8_t>((vcpu.sregs.cr8 & 0xF) << 4);
+
+  k.xcrs.xcr0 = vcpu.xsave.xcr0;
+  k.xsave.data = vcpu.xsave.area;
+  return k;
+}
+
+Result<void> KvmPlatformToUisr(const std::vector<KvmVcpuState>& vcpus,
+                               const KvmIoapicState& ioapic, const KvmPitState2& pit,
+                               UisrVm& out) {
+  out.vcpus.clear();
+  for (const KvmVcpuState& kv : vcpus) {
+    HYPERTP_ASSIGN_OR_RETURN(UisrVcpu v, KvmVcpuToUisr(kv));
+    out.vcpus.push_back(std::move(v));
+  }
+
+  out.ioapic.id = ioapic.id;
+  out.ioapic.base_address = ioapic.base_address;
+  out.ioapic.num_pins = kKvmIoapicPins;
+  out.ioapic.redirection.fill(0);
+  std::copy(ioapic.redirtbl.begin(), ioapic.redirtbl.end(), out.ioapic.redirection.begin());
+
+  for (size_t i = 0; i < 3; ++i) {
+    const KvmPitChannelState& kc = pit.channels[i];
+    UisrPitChannel& uc = out.pit.channels[i];
+    uc.count = kc.count;
+    uc.latched_count = kc.latched_count;
+    uc.count_latched = kc.count_latched;
+    uc.status_latched = kc.status_latched;
+    uc.status = kc.status;
+    uc.read_state = kc.read_state;
+    uc.write_state = kc.write_state;
+    uc.write_latch = kc.write_latch;
+    uc.rw_mode = kc.rw_mode;
+    uc.mode = kc.mode;
+    uc.bcd = kc.bcd;
+    uc.gate = kc.gate;
+    uc.count_load_time = static_cast<uint64_t>(kc.count_load_time);
+  }
+  // PIT2's flags word has no UISR equivalent; it is host bookkeeping
+  // (KVM_PIT_FLAGS_HPET_LEGACY) and is re-derived on restore.
+  out.pit.speaker_data_on = 0;
+  return OkResult();
+}
+
+Result<KvmPlatform> KvmPlatformFromUisr(const UisrVm& vm, FixupLog* log,
+                                        bool remap_high_pins) {
+  KvmPlatform platform;
+  for (const UisrVcpu& v : vm.vcpus) {
+    HYPERTP_ASSIGN_OR_RETURN(KvmVcpuState kv, KvmVcpuFromUisr(v));
+    platform.vcpus.push_back(std::move(kv));
+  }
+
+  platform.ioapic.id = vm.ioapic.id;
+  platform.ioapic.base_address = vm.ioapic.base_address;
+  const uint32_t copied = std::min(vm.ioapic.num_pins, kKvmIoapicPins);
+  for (uint32_t i = 0; i < copied; ++i) {
+    platform.ioapic.redirtbl[i] = vm.ioapic.redirection[i];
+  }
+  // Pins beyond KVM's IOAPIC width: remap to free low pins (future-work
+  // extension) or disconnect (paper §4.2.1 default).
+  for (uint32_t i = kKvmIoapicPins; i < vm.ioapic.num_pins; ++i) {
+    if (vm.ioapic.redirection[i] == 0) {
+      continue;
+    }
+    char buf[96];
+    if (remap_high_pins) {
+      uint32_t free_pin = kKvmIoapicPins;
+      // Pins 0-15 carry legacy ISA identity mappings; renegotiate into 16-23.
+      for (uint32_t candidate = 16; candidate < kKvmIoapicPins; ++candidate) {
+        if (platform.ioapic.redirtbl[candidate] == 0) {
+          free_pin = candidate;
+          break;
+        }
+      }
+      if (free_pin < kKvmIoapicPins) {
+        platform.ioapic.redirtbl[free_pin] = vm.ioapic.redirection[i];
+        if (log != nullptr) {
+          std::snprintf(buf, sizeof(buf),
+                        "IOAPIC pin %u remapped to pin %u; guest notified of GSI change", i,
+                        free_pin);
+          log->push_back({vm.vm_uid, "ioapic", buf});
+        }
+        continue;
+      }
+      // No free pin: fall through to disconnection.
+    }
+    if (log != nullptr) {
+      std::snprintf(buf, sizeof(buf),
+                    "IOAPIC pin %u active on source; disconnected (KVM has %u pins)", i,
+                    kKvmIoapicPins);
+      log->push_back({vm.vm_uid, "ioapic", buf});
+    }
+  }
+
+  for (size_t i = 0; i < 3; ++i) {
+    const UisrPitChannel& uc = vm.pit.channels[i];
+    KvmPitChannelState& kc = platform.pit.channels[i];
+    kc.count = uc.count;
+    kc.latched_count = uc.latched_count;
+    kc.count_latched = uc.count_latched;
+    kc.status_latched = uc.status_latched;
+    kc.status = uc.status;
+    kc.read_state = uc.read_state;
+    kc.write_state = uc.write_state;
+    kc.write_latch = uc.write_latch;
+    kc.rw_mode = uc.rw_mode;
+    kc.mode = uc.mode;
+    kc.bcd = uc.bcd;
+    kc.gate = uc.gate;
+    kc.count_load_time = static_cast<int64_t>(uc.count_load_time);
+  }
+  platform.pit.flags = 0;
+  return platform;
+}
+
+}  // namespace hypertp

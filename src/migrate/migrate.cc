@@ -1,0 +1,237 @@
+#include "src/migrate/migrate.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+#include "src/uisr/codec.h"
+
+namespace hypertp {
+
+SimDuration NetworkLink::TransferTime(uint64_t bytes) const {
+  return rtt + static_cast<SimDuration>(static_cast<double>(bytes) / bytes_per_second() * 1e9);
+}
+
+MigrationEngine::PrecopyPlan MigrationEngine::PlanPrecopy(uint64_t memory_bytes,
+                                                          const MigrationConfig& config,
+                                                          double bandwidth_share) const {
+  PrecopyPlan plan;
+  const double bw = link_.bytes_per_second() * bandwidth_share;
+  const uint64_t total_pages = memory_bytes / kPageSize;
+  const uint64_t wss = config.writable_working_set_pages != 0
+                           ? config.writable_working_set_pages
+                           : std::max<uint64_t>(total_pages / 20, 1);
+  const uint64_t page_wire_bytes = static_cast<uint64_t>(
+      (kPageSize + config.per_page_overhead_bytes) / std::max(config.compression_ratio, 1.0));
+  const uint64_t threshold_pages =
+      std::max<uint64_t>(config.stop_copy_threshold_bytes / kPageSize, 1);
+
+  uint64_t to_send = total_pages;  // Round 0 sends everything.
+  for (int round = 0; round < config.max_rounds; ++round) {
+    const uint64_t bytes = to_send * page_wire_bytes;
+    const SimDuration t =
+        static_cast<SimDuration>(static_cast<double>(bytes) / bw * 1e9) + link_.rtt;
+    plan.rounds.push_back(MigrationRound{to_send, t});
+    plan.bytes += bytes;
+    plan.duration += t;
+
+    // Pages dirtied while this round was on the wire, capped at the WSS.
+    const uint64_t dirtied = std::min<uint64_t>(
+        static_cast<uint64_t>(config.dirty_pages_per_sec * ToSeconds(t)), wss);
+    if (dirtied <= threshold_pages) {
+      plan.residual_pages = dirtied;
+      return plan;
+    }
+    // Non-convergence: the dirty rate outruns the link; sending more rounds
+    // cannot shrink the set, so force stop-and-copy with the whole WSS.
+    if (dirtied >= to_send && round > 0) {
+      plan.residual_pages = dirtied;
+      plan.converged = false;
+      return plan;
+    }
+    to_send = dirtied;
+  }
+  plan.residual_pages = to_send;
+  plan.converged = false;
+  return plan;
+}
+
+Result<MigrationResult> MigrationEngine::MigrateVm(Hypervisor& src, VmId src_id, Hypervisor& dst,
+                                                   const MigrationConfig& config) {
+  auto results = MigrateMany(src, {src_id}, dst, config);
+  if (!results.ok()) {
+    return results.error();
+  }
+  return std::move((*results)[0]);
+}
+
+Result<std::vector<MigrationResult>> MigrationEngine::MigrateMany(
+    Hypervisor& src, const std::vector<VmId>& src_ids, Hypervisor& dst,
+    const MigrationConfig& config) {
+  if (src_ids.empty()) {
+    return std::vector<MigrationResult>{};
+  }
+  if (&src == &dst) {
+    return InvalidArgumentError("migrate: source and destination are the same host");
+  }
+  const MigrationTraits traits = dst.migration_traits();
+  const double share = 1.0 / static_cast<double>(src_ids.size());
+  const bool postcopy = config.mode == MigrationMode::kPostcopy;
+  // Stop-and-copy runs after the shared pre-copy phase: it gets the full link.
+  const double final_bw = link_.bytes_per_second();
+  const uint64_t page_wire_bytes = static_cast<uint64_t>(
+      (kPageSize + config.per_page_overhead_bytes) / std::max(config.compression_ratio, 1.0));
+
+  // --- Phase 1: concurrent pre-copy streams (source VMs keep running). -----
+  struct InFlight {
+    VmId src_id = 0;
+    VmInfo info;
+    PrecopyPlan plan;
+    std::vector<std::pair<Gfn, uint64_t>> content;  // Destination-proxy buffer.
+    MigrationResult result;
+  };
+  std::vector<InFlight> flights(src_ids.size());
+  for (size_t i = 0; i < src_ids.size(); ++i) {
+    InFlight& f = flights[i];
+    f.src_id = src_ids[i];
+    HYPERTP_ASSIGN_OR_RETURN(f.info, src.GetVmInfo(f.src_id));
+    if (f.info.has_passthrough) {
+      return FailedPreconditionError("migrate: vm uid " + std::to_string(f.info.uid) +
+                                     " has a pass-through device; live migration is "
+                                     "impossible (use InPlaceTP)");
+    }
+    // Guest-cooperative device preparation happens while the VM runs.
+    HYPERTP_RETURN_IF_ERROR(src.PrepareVmForTransplant(f.src_id));
+    HYPERTP_RETURN_IF_ERROR(src.EnableDirtyLogging(f.src_id));
+
+    if (postcopy) {
+      // Post-copy sends nothing up front; execution moves immediately.
+      f.plan = PrecopyPlan{};
+      f.result.rounds = 0;
+      f.result.converged = true;
+    } else {
+      f.plan = PlanPrecopy(f.info.memory_bytes, config, share);
+      f.result.rounds = static_cast<int>(f.plan.rounds.size());
+      f.result.round_log = f.plan.rounds;
+      f.result.converged = f.plan.converged;
+      f.result.bytes_transferred = f.plan.bytes;
+    }
+
+    // Functionally, the destination proxy's buffer now holds the guest image:
+    // everything written so far plus whatever the dirty log accumulates until
+    // the pause (folded into the final read below).
+    f.content = std::move(src.DumpGuestContent(f.src_id)).value_or({});
+  }
+
+  // --- Phase 2: stop-and-copy through the destination's receiver slots. ----
+  // Pre-copy streams finish in src_ids order (equal shares, similar sizes
+  // differ only in plan.duration). The destination grants
+  // `traits.receive_concurrency` slots; later VMs wait, running and dirtying.
+  std::vector<SimDuration> slot_free(
+      static_cast<size_t>(std::max(traits.receive_concurrency, 1)), 0);
+  std::vector<MigrationResult> results;
+  results.reserve(flights.size());
+
+  for (InFlight& f : flights) {
+    const SimDuration precopy_end = f.plan.duration;
+    auto slot = std::min_element(slot_free.begin(), slot_free.end());
+    const SimDuration start_final = std::max(precopy_end, *slot);
+    f.result.queue_wait = start_final - precopy_end;
+
+    // Extra dirtying while queued, capped at the WSS.
+    const uint64_t total_pages = f.info.memory_bytes / kPageSize;
+    const uint64_t wss = config.writable_working_set_pages != 0
+                             ? config.writable_working_set_pages
+                             : std::max<uint64_t>(total_pages / 20, 1);
+    const uint64_t extra = std::min<uint64_t>(
+        static_cast<uint64_t>(config.dirty_pages_per_sec * ToSeconds(f.result.queue_wait)),
+        wss > f.plan.residual_pages ? wss - f.plan.residual_pages : 0);
+    // Post-copy pauses immediately: nothing is copied synchronously beyond
+    // the VM_i State; all pages stream (or fault in) after the resume.
+    const uint64_t final_pages = postcopy ? 0 : f.plan.residual_pages + extra;
+
+    // Functional stop-and-copy: pause, drain the dirty log into the buffer,
+    // translate VM_i State through UISR via the proxies.
+    HYPERTP_RETURN_IF_ERROR(src.PauseVm(f.src_id));
+    HYPERTP_ASSIGN_OR_RETURN(std::vector<Gfn> dirty, src.FetchAndClearDirtyLog(f.src_id));
+    for (Gfn gfn : dirty) {
+      HYPERTP_ASSIGN_OR_RETURN(uint64_t word, src.ReadGuestPage(f.src_id, gfn));
+      auto it = std::lower_bound(
+          f.content.begin(), f.content.end(), gfn,
+          [](const std::pair<Gfn, uint64_t>& p, Gfn g) { return p.first < g; });
+      if (it != f.content.end() && it->first == gfn) {
+        it->second = word;
+      } else {
+        f.content.insert(it, {gfn, word});
+      }
+    }
+    HYPERTP_RETURN_IF_ERROR(src.DisableDirtyLogging(f.src_id));
+
+    auto uisr = src.SaveVmToUisr(f.src_id, &f.result.fixups);
+    if (!uisr.ok()) {
+      // Before the point of no return: resume the source and bail out.
+      (void)src.ResumeVm(f.src_id);
+      return uisr.error();
+    }
+    const std::vector<uint8_t> blob = EncodeUisrVm(*uisr);
+    f.result.uisr_bytes = blob.size();
+
+    // Destination proxy: decode, restore, apply buffered pages.
+    auto decoded = DecodeUisrVm(blob);
+    if (!decoded.ok()) {
+      (void)src.ResumeVm(f.src_id);
+      return decoded.error();
+    }
+    GuestMemoryBinding binding;
+    binding.mode = GuestMemoryBinding::Mode::kAllocate;
+    binding.remap_high_ioapic_pins = config.remap_high_ioapic_pins;
+    auto dst_id = dst.RestoreVmFromUisr(*decoded, binding, &f.result.fixups);
+    if (!dst_id.ok()) {
+      (void)src.ResumeVm(f.src_id);
+      return dst_id.error();
+    }
+    for (const auto& [gfn, word] : f.content) {
+      HYPERTP_RETURN_IF_ERROR(dst.WriteGuestPage(*dst_id, gfn, word));
+    }
+    // Compute the stop-and-copy span first (needed for the clock adjust).
+    const SimDuration final_copy_est = static_cast<SimDuration>(
+        static_cast<double>(final_pages * page_wire_bytes) / final_bw * 1e9) + link_.rtt;
+    HYPERTP_RETURN_IF_ERROR(dst.AdvanceGuestClocks(
+        *dst_id, final_copy_est + traits.resume_fixed +
+                     traits.resume_per_vcpu * static_cast<int>(f.info.vcpus)));
+    HYPERTP_RETURN_IF_ERROR(dst.ResumeVm(*dst_id));
+    // Point of no return passed: tear down the source VM.
+    HYPERTP_RETURN_IF_ERROR(src.DestroyVm(f.src_id));
+
+    // Timing: final copy at full link bandwidth + destination restore.
+    const SimDuration final_copy = final_copy_est;
+    const SimDuration restore =
+        traits.resume_fixed + traits.resume_per_vcpu * static_cast<int>(f.info.vcpus);
+    // The VM runs while queued (dirtying extra pages); downtime starts at
+    // the pause, so it is the final copy — inflated by the queue-time dirt —
+    // plus the destination restore.
+    f.result.downtime = final_copy + restore;
+    f.result.bytes_transferred += final_pages * page_wire_bytes + f.result.uisr_bytes;
+    f.result.total_time = start_final + final_copy + restore;
+    if (postcopy) {
+      // Background page streaming: the VM runs at the destination while its
+      // memory faults in over the link.
+      const uint64_t total_pages_all = f.info.memory_bytes / kPageSize;
+      const SimDuration stream = static_cast<SimDuration>(
+          static_cast<double>(total_pages_all * page_wire_bytes) / final_bw * 1e9);
+      f.result.postcopy_fault_window = stream;
+      f.result.total_time += stream;
+      f.result.bytes_transferred += total_pages_all * page_wire_bytes;
+    }
+    f.result.dest_vm_id = *dst_id;
+    *slot = start_final + final_copy + restore;
+
+    HYPERTP_LOG(kInfo, "migrate") << "vm uid " << f.info.uid << ": "
+                                  << FormatDuration(f.result.total_time) << " total, "
+                                  << FormatDuration(f.result.downtime) << " downtime, "
+                                  << f.result.rounds << " rounds";
+    results.push_back(std::move(f.result));
+  }
+  return results;
+}
+
+}  // namespace hypertp

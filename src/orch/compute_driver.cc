@@ -1,0 +1,77 @@
+#include "src/orch/compute_driver.h"
+
+#include "src/base/logging.h"
+#include "src/core/checkpoint.h"
+
+namespace hypertp {
+
+LibvirtDriver::LibvirtDriver(std::unique_ptr<Hypervisor> hypervisor)
+    : hypervisor_(std::move(hypervisor)) {}
+
+Result<VmId> LibvirtDriver::Spawn(const VmConfig& config) {
+  return hypervisor_->CreateVm(config);
+}
+
+Result<void> LibvirtDriver::Suspend(VmId id) { return hypervisor_->PauseVm(id); }
+
+Result<void> LibvirtDriver::Resume(VmId id) { return hypervisor_->ResumeVm(id); }
+
+Result<void> LibvirtDriver::Destroy(VmId id) { return hypervisor_->DestroyVm(id); }
+
+std::vector<VmInfo> LibvirtDriver::ListInstances() const {
+  std::vector<VmInfo> instances;
+  for (VmId id : hypervisor_->ListVms()) {
+    auto info = hypervisor_->GetVmInfo(id);
+    if (info.ok()) {
+      instances.push_back(*info);
+    }
+  }
+  return instances;
+}
+
+Result<VmInfo> LibvirtDriver::GetInstance(VmId id) const { return hypervisor_->GetVmInfo(id); }
+
+uint64_t LibvirtDriver::FreeGuestMemoryBytes() const {
+  return hypervisor_->machine().memory().free_frames() * kPageSize;
+}
+
+Result<MigrationResult> LibvirtDriver::LiveMigrate(VmId id, ComputeDriver& destination,
+                                                   const NetworkLink& link) {
+  auto* dest = dynamic_cast<LibvirtDriver*>(&destination);
+  if (dest == nullptr) {
+    return UnimplementedError("libvirt: migration to a foreign driver type");
+  }
+  MigrationEngine engine(link);
+  return engine.MigrateVm(*hypervisor_, id, dest->hypervisor(), MigrationConfig{});
+}
+
+Result<TransplantReport> LibvirtDriver::HostLiveUpgrade(HypervisorKind target,
+                                                        const InPlaceOptions& options) {
+  HYPERTP_LOG(kInfo, "libvirt") << "host live upgrade to " << HypervisorKindName(target);
+  std::unique_ptr<Hypervisor> aborted;
+  auto result = InPlaceTransplant::Run(std::move(hypervisor_), target, options, &aborted);
+  if (!result.ok()) {
+    if (aborted != nullptr) {
+      hypervisor_ = std::move(aborted);  // Clean abort: keep running the old one.
+    }
+    return result.error();
+  }
+  hypervisor_ = std::move(result->hypervisor);
+  return result->report;
+}
+
+Result<std::vector<uint8_t>> LibvirtDriver::CheckpointInstance(VmId id) {
+  HYPERTP_RETURN_IF_ERROR(hypervisor_->PrepareVmForTransplant(id));
+  HYPERTP_RETURN_IF_ERROR(hypervisor_->PauseVm(id));
+  HYPERTP_ASSIGN_OR_RETURN(auto blob, SaveVmCheckpoint(*hypervisor_, id));
+  HYPERTP_RETURN_IF_ERROR(hypervisor_->DestroyVm(id));
+  return blob;
+}
+
+Result<VmId> LibvirtDriver::RestoreInstance(std::span<const uint8_t> blob) {
+  HYPERTP_ASSIGN_OR_RETURN(VmId id, RestoreVmCheckpoint(*hypervisor_, blob));
+  HYPERTP_RETURN_IF_ERROR(hypervisor_->ResumeVm(id));
+  return id;
+}
+
+}  // namespace hypertp

@@ -1,0 +1,91 @@
+// Generic VM-management driver layer (paper §4.5.1).
+//
+// Cloud orchestrators talk to hypervisors exclusively through a generic
+// library (libvirt in practice — category G2 in the paper's study); no
+// sysadmin touches xl or kvmtool directly. LibvirtDriver is that layer here:
+// it wraps whichever Hypervisor currently runs a host and exposes uniform
+// operations, plus the HyperTP extensions of §4.5.2 (guest state saving,
+// loading the new kernel, restoring — packaged as one host-live-upgrade op).
+
+#ifndef HYPERTP_SRC_ORCH_COMPUTE_DRIVER_H_
+#define HYPERTP_SRC_ORCH_COMPUTE_DRIVER_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/core/inplace.h"
+#include "src/core/report.h"
+#include "src/hv/hypervisor.h"
+#include "src/migrate/migrate.h"
+
+namespace hypertp {
+
+// The ComputeDriver interface Nova consumes (paper Fig. 5).
+class ComputeDriver {
+ public:
+  virtual ~ComputeDriver() = default;
+
+  virtual std::string_view driver_name() const = 0;
+  virtual HypervisorKind hypervisor_kind() const = 0;
+
+  virtual Result<VmId> Spawn(const VmConfig& config) = 0;
+  virtual Result<void> Suspend(VmId id) = 0;
+  virtual Result<void> Resume(VmId id) = 0;
+  virtual Result<void> Destroy(VmId id) = 0;
+  virtual std::vector<VmInfo> ListInstances() const = 0;
+  virtual Result<VmInfo> GetInstance(VmId id) const = 0;
+  // Capacity probe used by the Nova scheduler.
+  virtual uint64_t FreeGuestMemoryBytes() const = 0;
+
+  // Existing Nova operation HyperTP reuses for non-transplantable guests.
+  virtual Result<MigrationResult> LiveMigrate(VmId id, ComputeDriver& destination,
+                                              const NetworkLink& link) = 0;
+
+  // The new "host live upgrade" operation (§4.5.2): transplants every VM on
+  // this host onto a `target`-kind hypervisor via InPlaceTP.
+  virtual Result<TransplantReport> HostLiveUpgrade(HypervisorKind target,
+                                                   const InPlaceOptions& options) = 0;
+
+  // Suspends the VM and packages its complete state (Nova's suspend-to-disk
+  // shape); the VM is destroyed on success. The blob restores on any driver.
+  virtual Result<std::vector<uint8_t>> CheckpointInstance(VmId id) = 0;
+  virtual Result<VmId> RestoreInstance(std::span<const uint8_t> blob) = 0;
+};
+
+// libvirt-equivalent driver over the simulated hypervisors.
+class LibvirtDriver : public ComputeDriver {
+ public:
+  explicit LibvirtDriver(std::unique_ptr<Hypervisor> hypervisor);
+
+  std::string_view driver_name() const override { return "libvirt"; }
+  HypervisorKind hypervisor_kind() const override { return hypervisor_->kind(); }
+
+  Result<VmId> Spawn(const VmConfig& config) override;
+  Result<void> Suspend(VmId id) override;
+  Result<void> Resume(VmId id) override;
+  Result<void> Destroy(VmId id) override;
+  std::vector<VmInfo> ListInstances() const override;
+  Result<VmInfo> GetInstance(VmId id) const override;
+  uint64_t FreeGuestMemoryBytes() const override;
+  Result<MigrationResult> LiveMigrate(VmId id, ComputeDriver& destination,
+                                      const NetworkLink& link) override;
+  Result<TransplantReport> HostLiveUpgrade(HypervisorKind target,
+                                           const InPlaceOptions& options) override;
+  Result<std::vector<uint8_t>> CheckpointInstance(VmId id) override;
+  Result<VmId> RestoreInstance(std::span<const uint8_t> blob) override;
+
+  // Escape hatch for tests and the migration path (not used by Nova code,
+  // mirroring the paper's finding that nobody scripts hypervisors directly).
+  Hypervisor& hypervisor() { return *hypervisor_; }
+  const Hypervisor& hypervisor() const { return *hypervisor_; }
+
+ private:
+  std::unique_ptr<Hypervisor> hypervisor_;
+};
+
+}  // namespace hypertp
+
+#endif  // HYPERTP_SRC_ORCH_COMPUTE_DRIVER_H_

@@ -1,0 +1,204 @@
+#include "src/orch/nova.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+
+namespace hypertp {
+
+size_t NovaManager::RegisterHost(std::unique_ptr<ComputeDriver> driver) {
+  hosts_.push_back(std::move(driver));
+  return hosts_.size() - 1;
+}
+
+uint64_t NovaManager::UsedMemory(size_t host) const {
+  uint64_t used = 0;
+  for (const auto& [uid, inst] : instances_) {
+    if (inst.host == host) {
+      auto info = hosts_[host]->GetInstance(inst.vm_id);
+      if (info.ok()) {
+        used += info->memory_bytes;
+      }
+    }
+  }
+  return used;
+}
+
+Result<size_t> NovaManager::ScheduleFor(bool hypertp_capable, uint32_t vcpus,
+                                        uint64_t memory_bytes) const {
+  (void)vcpus;
+  size_t best = hosts_.size();
+  int best_score = -1;
+  for (size_t h = 0; h < hosts_.size(); ++h) {
+    // Capacity filter: leave 1 GiB of host headroom.
+    if (hosts_[h]->FreeGuestMemoryBytes() < memory_bytes + (1ull << 30)) {
+      continue;
+    }
+    // TransplantableTogether filter (§4.5.2 item 4): score hosts by how
+    // uniform the resulting population would be.
+    int same = 0, different = 0;
+    for (const auto& [uid, inst] : instances_) {
+      if (inst.host == h) {
+        (inst.hypertp_capable == hypertp_capable ? same : different) += 1;
+      }
+    }
+    int score = different > 0 ? 0 : (same > 0 ? 2 : 1);
+    // Tie-break toward emptier hosts.
+    score = score * 1000 - same - different;
+    if (score > best_score) {
+      best_score = score;
+      best = h;
+    }
+  }
+  if (best == hosts_.size()) {
+    return ResourceExhaustedError("nova: no host satisfies the request");
+  }
+  return best;
+}
+
+Result<uint64_t> NovaManager::Boot(const VmConfig& config, bool hypertp_capable) {
+  HYPERTP_ASSIGN_OR_RETURN(size_t host,
+                           ScheduleFor(hypertp_capable, config.vcpus, config.memory_bytes));
+  HYPERTP_ASSIGN_OR_RETURN(VmId vm_id, hosts_[host]->Spawn(config));
+  HYPERTP_ASSIGN_OR_RETURN(VmInfo info, hosts_[host]->GetInstance(vm_id));
+
+  NovaInstance instance;
+  instance.uid = info.uid;
+  instance.name = config.name;
+  instance.host = host;
+  instance.vm_id = vm_id;
+  instance.hypertp_capable = hypertp_capable;
+  instances_[instance.uid] = instance;
+  return instance.uid;
+}
+
+Result<void> NovaManager::Delete(uint64_t uid) {
+  auto it = instances_.find(uid);
+  if (it == instances_.end()) {
+    return NotFoundError("nova: no instance " + std::to_string(uid));
+  }
+  HYPERTP_RETURN_IF_ERROR(hosts_[it->second.host]->Destroy(it->second.vm_id));
+  instances_.erase(it);
+  return OkResult();
+}
+
+Result<const NovaInstance*> NovaManager::GetInstance(uint64_t uid) const {
+  auto it = instances_.find(uid);
+  if (it == instances_.end()) {
+    return NotFoundError("nova: no instance " + std::to_string(uid));
+  }
+  return &it->second;
+}
+
+std::vector<NovaInstance> NovaManager::InstancesOn(size_t host) const {
+  std::vector<NovaInstance> out;
+  for (const auto& [uid, inst] : instances_) {
+    if (inst.host == host) {
+      out.push_back(inst);
+    }
+  }
+  return out;
+}
+
+Result<int> NovaManager::EvacuateHost(size_t host, const NetworkLink& link) {
+  if (host >= hosts_.size()) {
+    return InvalidArgumentError("nova: no host " + std::to_string(host));
+  }
+  int moved = 0;
+  for (const NovaInstance& inst : InstancesOn(host)) {
+    size_t dest = hosts_.size();
+    auto info = hosts_[host]->GetInstance(inst.vm_id);
+    for (size_t h = 0; h < hosts_.size(); ++h) {
+      if (h != host && info.ok() &&
+          hosts_[h]->FreeGuestMemoryBytes() > info->memory_bytes + (1ull << 30)) {
+        dest = h;
+        break;
+      }
+    }
+    if (dest == hosts_.size()) {
+      return ResourceExhaustedError("nova: no capacity to evacuate instance " +
+                                    std::to_string(inst.uid));
+    }
+    HYPERTP_ASSIGN_OR_RETURN(MigrationResult migration,
+                             hosts_[host]->LiveMigrate(inst.vm_id, *hosts_[dest], link));
+    instances_[inst.uid].host = dest;
+    instances_[inst.uid].vm_id = migration.dest_vm_id;
+    ++moved;
+  }
+  return moved;
+}
+
+Result<void> NovaManager::ColdMigrate(uint64_t uid, size_t dest_host) {
+  auto it = instances_.find(uid);
+  if (it == instances_.end()) {
+    return NotFoundError("nova: no instance " + std::to_string(uid));
+  }
+  if (dest_host >= hosts_.size()) {
+    return InvalidArgumentError("nova: no host " + std::to_string(dest_host));
+  }
+  if (dest_host == it->second.host) {
+    return InvalidArgumentError("nova: instance already on host " + std::to_string(dest_host));
+  }
+  HYPERTP_ASSIGN_OR_RETURN(auto blob, hosts_[it->second.host]->CheckpointInstance(it->second.vm_id));
+  HYPERTP_ASSIGN_OR_RETURN(VmId new_id, hosts_[dest_host]->RestoreInstance(blob));
+  it->second.host = dest_host;
+  it->second.vm_id = new_id;
+  return OkResult();
+}
+
+Result<HostUpgradeOutcome> NovaManager::HostLiveUpgrade(size_t host, HypervisorKind target,
+                                                        const NetworkLink& link,
+                                                        const InPlaceOptions& options) {
+  if (host >= hosts_.size()) {
+    return InvalidArgumentError("nova: no host " + std::to_string(host));
+  }
+  HostUpgradeOutcome outcome;
+
+  // Step 1 (§4.5.2 item 3): migrate away instances that do not support
+  // HyperTP, using the existing live_migration operation.
+  for (const NovaInstance& inst : InstancesOn(host)) {
+    if (inst.hypertp_capable) {
+      continue;
+    }
+    // Pick any other host with room, preferring non-capable company.
+    size_t dest = hosts_.size();
+    for (size_t h = 0; h < hosts_.size(); ++h) {
+      auto info = hosts_[host]->GetInstance(inst.vm_id);
+      if (h != host && info.ok() &&
+          hosts_[h]->FreeGuestMemoryBytes() > info->memory_bytes + (1ull << 30)) {
+        dest = h;
+        break;
+      }
+    }
+    if (dest == hosts_.size()) {
+      return ResourceExhaustedError("nova: cannot evacuate non-HyperTP instance " +
+                                    std::to_string(inst.uid));
+    }
+    HYPERTP_ASSIGN_OR_RETURN(MigrationResult migration,
+                             hosts_[host]->LiveMigrate(inst.vm_id, *hosts_[dest], link));
+    instances_[inst.uid].host = dest;
+    instances_[inst.uid].vm_id = migration.dest_vm_id;
+    ++outcome.migrated_away;
+  }
+
+  // Step 2: trigger the in-place upgrade; the driver performs the whole
+  // HyperTP workflow.
+  HYPERTP_ASSIGN_OR_RETURN(outcome.report, hosts_[host]->HostLiveUpgrade(target, options));
+
+  // Step 3: update Nova's database — instances kept their uid but have new
+  // hypervisor-local ids.
+  for (const VmInfo& info : hosts_[host]->ListInstances()) {
+    auto it = instances_.find(info.uid);
+    if (it != instances_.end() && it->second.host == host) {
+      it->second.vm_id = info.id;
+      ++outcome.transplanted_in_place;
+    }
+  }
+  HYPERTP_LOG(kInfo, "nova") << "host " << host << " upgraded to "
+                             << HypervisorKindName(target) << ": " << outcome.migrated_away
+                             << " migrated away, " << outcome.transplanted_in_place
+                             << " transplanted in place";
+  return outcome;
+}
+
+}  // namespace hypertp

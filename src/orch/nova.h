@@ -1,0 +1,87 @@
+// Nova-like cloud orchestrator with HyperTP integration (paper §4.5.2).
+//
+// Implements the five integration points the paper lists: (1) the extended
+// ComputeDriver interface (src/orch/compute_driver.h); (2) the driver
+// implementation; (3) a host-live-upgrade compute API that first migrates
+// away VMs that do not support HyperTP, then triggers the in-place upgrade
+// and updates the instance database; (4) a scheduler filter that keeps
+// transplantable VMs together; (5) the operator-facing API below.
+
+#ifndef HYPERTP_SRC_ORCH_NOVA_H_
+#define HYPERTP_SRC_ORCH_NOVA_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/orch/compute_driver.h"
+
+namespace hypertp {
+
+// Nova's view of one instance.
+struct NovaInstance {
+  uint64_t uid = 0;
+  std::string name;
+  size_t host = 0;
+  VmId vm_id = 0;
+  // Flavor metadata: whether the image/agent supports riding a transplant
+  // (guests needing hot-unplug cooperation may not).
+  bool hypertp_capable = true;
+};
+
+struct HostUpgradeOutcome {
+  TransplantReport report;
+  int migrated_away = 0;       // Non-capable instances evacuated first.
+  int transplanted_in_place = 0;
+};
+
+class NovaManager {
+ public:
+  // Registers a compute host; Nova owns the driver.
+  size_t RegisterHost(std::unique_ptr<ComputeDriver> driver);
+
+  size_t host_count() const { return hosts_.size(); }
+  ComputeDriver& driver(size_t host) { return *hosts_[host]; }
+
+  // Boots an instance. The scheduler's TransplantableTogether filter prefers
+  // hosts whose current instances share the new instance's capability, so a
+  // later host upgrade handles a uniform population (§4.5.2 item 4).
+  Result<uint64_t> Boot(const VmConfig& config, bool hypertp_capable);
+
+  Result<void> Delete(uint64_t uid);
+  Result<const NovaInstance*> GetInstance(uint64_t uid) const;
+  std::vector<NovaInstance> InstancesOn(size_t host) const;
+
+  // The one-click "host live upgrade" API: evacuates non-capable instances
+  // to other hosts over `link`, transplants the rest in place, and updates
+  // the instance database to the new hypervisor.
+  Result<HostUpgradeOutcome> HostLiveUpgrade(size_t host, HypervisorKind target,
+                                             const NetworkLink& link,
+                                             const InPlaceOptions& options = {});
+
+  // Live-migrates every instance off `host` (Nova's Evacuate API, which the
+  // paper's §4.5.2 host-live-upgrade flow builds on). Returns the number of
+  // instances moved.
+  Result<int> EvacuateHost(size_t host, const NetworkLink& link);
+
+  // Cold-migrates an instance by checkpoint+restore: the fallback when live
+  // migration is impossible (e.g. pass-through devices pin the VM, §4.2.3)
+  // and the operator accepts a stop-the-world move.
+  Result<void> ColdMigrate(uint64_t uid, size_t dest_host);
+
+  // Scheduler filter, exposed for tests: the host Boot() would pick.
+  Result<size_t> ScheduleFor(bool hypertp_capable, uint32_t vcpus, uint64_t memory_bytes) const;
+
+ private:
+  // Capacity probe: free memory estimate for a host.
+  uint64_t UsedMemory(size_t host) const;
+
+  std::vector<std::unique_ptr<ComputeDriver>> hosts_;
+  std::map<uint64_t, NovaInstance> instances_;  // Keyed by uid.
+};
+
+}  // namespace hypertp
+
+#endif  // HYPERTP_SRC_ORCH_NOVA_H_

@@ -1,0 +1,392 @@
+#include "src/pram/pram.h"
+
+#include <algorithm>
+
+#include "src/base/bytes.h"
+#include "src/base/crc32.h"
+#include "src/base/logging.h"
+
+namespace hypertp {
+namespace {
+
+constexpr uint32_t kRootMagic = 0x4D415250;  // "PRAM"
+constexpr uint32_t kFileMagic = 0x49465250;  // "PRFI"
+constexpr uint32_t kNodeMagic = 0x444E5250;  // "PRND"
+
+// Page header: magic u32 + crc u32.
+constexpr size_t kPageHeaderSize = 8;
+// Root page: header + next u64 + count u32.
+constexpr size_t kRootHeaderSize = kPageHeaderSize + 8 + 4;
+constexpr size_t kRootCapacity = (kPageSize - kRootHeaderSize) / 8;
+// Node page: header + next u64 + count u32.
+constexpr size_t kNodeHeaderSize = kPageHeaderSize + 8 + 4;
+constexpr size_t kNodeCapacity = (kPageSize - kNodeHeaderSize) / 8;
+
+// 8-byte packed page entry:
+//   bits 63..60  type: 0 = map, 1 = skip
+//   map:  bits 51..48 order, bits 47..0 mfn
+//   skip: bits 47..0 gfn delta (pages)
+constexpr uint64_t kEntryTypeShift = 60;
+constexpr uint64_t kEntryTypeMap = 0;
+constexpr uint64_t kEntryTypeSkip = 1;
+constexpr uint64_t kEntryOrderShift = 48;
+constexpr uint64_t kEntryOrderMask = 0xF;
+constexpr uint64_t kEntryValueMask = 0xFFFFFFFFFFFFull;  // Low 48 bits.
+
+uint64_t PackMapEntry(Mfn mfn, uint8_t order) {
+  return (kEntryTypeMap << kEntryTypeShift) |
+         ((static_cast<uint64_t>(order) & kEntryOrderMask) << kEntryOrderShift) |
+         (mfn & kEntryValueMask);
+}
+
+uint64_t PackSkipEntry(uint64_t delta_pages) {
+  return (kEntryTypeSkip << kEntryTypeShift) | (delta_pages & kEntryValueMask);
+}
+
+// Finishes a metadata page: computes the CRC over the payload (with the CRC
+// field still zero), patches it in, and writes the page to RAM.
+Result<void> CommitPage(PhysicalMemory& ram, Mfn mfn, ByteWriter&& w) {
+  std::vector<uint8_t> bytes = w.TakeBytes();
+  const uint32_t crc = Crc32(bytes);
+  for (int i = 0; i < 4; ++i) {
+    bytes[4 + static_cast<size_t>(i)] = static_cast<uint8_t>(crc >> (8 * i));
+  }
+  return ram.WritePage(mfn, std::move(bytes));
+}
+
+// Reads a metadata page and validates magic + CRC.
+Result<std::vector<uint8_t>> LoadPage(const PhysicalMemory& ram, Mfn mfn,
+                                      uint32_t expected_magic) {
+  HYPERTP_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ram.ReadPage(mfn));
+  if (bytes.size() < kPageHeaderSize) {
+    return DataLossError("pram: metadata page at mfn " + std::to_string(mfn) +
+                         " is empty or scrubbed");
+  }
+  ByteReader r(bytes);
+  HYPERTP_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
+  if (magic != expected_magic) {
+    return DataLossError("pram: bad magic at mfn " + std::to_string(mfn));
+  }
+  HYPERTP_ASSIGN_OR_RETURN(uint32_t stored_crc, r.ReadU32());
+  std::vector<uint8_t> zeroed = bytes;
+  for (size_t i = 4; i < 8; ++i) {
+    zeroed[i] = 0;
+  }
+  if (Crc32(zeroed) != stored_crc) {
+    return DataLossError("pram: CRC mismatch at mfn " + std::to_string(mfn));
+  }
+  return bytes;
+}
+
+uint64_t NodePagesFor(const PramFile& file) {
+  // One packed word per entry, plus one skip word per GFN discontinuity.
+  uint64_t words = 0;
+  Gfn cursor = 0;
+  for (const PramPageEntry& e : file.entries) {
+    if (e.gfn != cursor) {
+      ++words;
+    }
+    ++words;
+    cursor = e.gfn + e.frame_count();
+  }
+  return (words + kNodeCapacity - 1) / kNodeCapacity;
+}
+
+}  // namespace
+
+const PramFile* PramImage::FindFile(uint64_t file_id) const {
+  for (const PramFile& f : files) {
+    if (f.file_id == file_id) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+Result<uint64_t> PramBuilder::AddFile(std::string name, uint64_t size_bytes, bool huge_pages,
+                                      std::vector<PramPageEntry> entries) {
+  if (finalized_) {
+    return FailedPreconditionError("pram builder already finalized");
+  }
+  if (name.size() > kPramMaxNameLength) {
+    return InvalidArgumentError("pram file name too long: " + name);
+  }
+  Gfn prev_end = 0;
+  bool first = true;
+  for (const PramPageEntry& e : entries) {
+    if (e.order > 12) {
+      return InvalidArgumentError("pram entry order " + std::to_string(e.order) + " implausible");
+    }
+    if (e.gfn % e.frame_count() != 0 || e.mfn % e.frame_count() != 0) {
+      return InvalidArgumentError("pram entry gfn/mfn not aligned to its order");
+    }
+    if (!first && e.gfn < prev_end) {
+      return InvalidArgumentError("pram entries overlap or are not sorted by gfn");
+    }
+    prev_end = e.gfn + e.frame_count();
+    first = false;
+  }
+  PramFile file;
+  file.file_id = next_file_id_++;
+  file.name = std::move(name);
+  file.size_bytes = size_bytes;
+  file.huge_pages = huge_pages;
+  file.entries = std::move(entries);
+  image_.files.push_back(std::move(file));
+  return image_.files.back().file_id;
+}
+
+uint64_t PramBuilder::MetadataPagesNeeded() const {
+  // One file-info page per file, node pages per file, and root pages holding
+  // one pointer per file.
+  uint64_t pages = 0;
+  for (const PramFile& f : image_.files) {
+    pages += 1 + NodePagesFor(f);
+  }
+  const uint64_t roots =
+      image_.files.empty() ? 1 : (image_.files.size() + kRootCapacity - 1) / kRootCapacity;
+  return pages + roots;
+}
+
+Result<PramHandle> PramBuilder::Finalize() {
+  if (finalized_) {
+    return FailedPreconditionError("pram builder already finalized");
+  }
+  finalized_ = true;
+
+  PramHandle handle;
+  const FrameOwner owner{FrameOwnerKind::kPramMeta, 0};
+  auto alloc_page = [&]() -> Result<Mfn> {
+    HYPERTP_ASSIGN_OR_RETURN(Mfn mfn, ram_->AllocFrame(owner));
+    handle.extents.push_back(FrameExtent{mfn, 1, owner});
+    ++handle.metadata_pages;
+    return mfn;
+  };
+
+  // Lay out per-file node chains and file-info pages first, then the roots.
+  std::vector<Mfn> file_info_mfns;
+  for (const PramFile& file : image_.files) {
+    // Pack entries into words.
+    std::vector<uint64_t> words;
+    Gfn cursor = 0;
+    for (const PramPageEntry& e : file.entries) {
+      if (e.gfn != cursor) {
+        words.push_back(PackSkipEntry(e.gfn - cursor));
+      }
+      words.push_back(PackMapEntry(e.mfn, e.order));
+      cursor = e.gfn + e.frame_count();
+    }
+
+    // Node chain, written back-to-front so each page knows its successor.
+    Mfn next_node = 0;
+    const size_t node_count = (words.size() + kNodeCapacity - 1) / kNodeCapacity;
+    for (size_t page = node_count; page-- > 0;) {
+      const size_t begin = page * kNodeCapacity;
+      const size_t end = std::min(begin + kNodeCapacity, words.size());
+      HYPERTP_ASSIGN_OR_RETURN(Mfn node_mfn, alloc_page());
+      ByteWriter w;
+      w.PutU32(kNodeMagic);
+      w.PutU32(0);  // CRC placeholder.
+      w.PutU64(next_node);
+      w.PutU32(static_cast<uint32_t>(end - begin));
+      for (size_t i = begin; i < end; ++i) {
+        w.PutU64(words[i]);
+      }
+      HYPERTP_RETURN_IF_ERROR(CommitPage(*ram_, node_mfn, std::move(w)));
+      next_node = node_mfn;
+    }
+
+    HYPERTP_ASSIGN_OR_RETURN(Mfn info_mfn, alloc_page());
+    ByteWriter w;
+    w.PutU32(kFileMagic);
+    w.PutU32(0);
+    w.PutU64(file.file_id);
+    w.PutString(file.name);
+    w.PutU64(file.size_bytes);
+    w.PutU8(file.huge_pages ? 1 : 0);
+    w.PutU64(next_node);
+    w.PutU64(file.entries.size());
+    HYPERTP_RETURN_IF_ERROR(CommitPage(*ram_, info_mfn, std::move(w)));
+    file_info_mfns.push_back(info_mfn);
+  }
+
+  // Root directory chain, also written back-to-front.
+  Mfn next_root = 0;
+  const size_t root_count =
+      file_info_mfns.empty() ? 1 : (file_info_mfns.size() + kRootCapacity - 1) / kRootCapacity;
+  for (size_t page = root_count; page-- > 0;) {
+    const size_t begin = page * kRootCapacity;
+    const size_t end = std::min(begin + kRootCapacity, file_info_mfns.size());
+    HYPERTP_ASSIGN_OR_RETURN(Mfn root_mfn, alloc_page());
+    ByteWriter w;
+    w.PutU32(kRootMagic);
+    w.PutU32(0);
+    w.PutU64(next_root);
+    w.PutU32(static_cast<uint32_t>(end - begin));
+    for (size_t i = begin; i < end; ++i) {
+      w.PutU64(file_info_mfns[i]);
+    }
+    HYPERTP_RETURN_IF_ERROR(CommitPage(*ram_, root_mfn, std::move(w)));
+    next_root = root_mfn;
+  }
+  handle.root_mfn = next_root;
+
+  HYPERTP_LOG(kInfo, "pram") << "finalized " << image_.files.size() << " files, "
+                             << handle.metadata_pages << " metadata pages, root mfn "
+                             << handle.root_mfn;
+  return handle;
+}
+
+Result<PramImage> ParsePram(const PhysicalMemory& ram, Mfn root_mfn) {
+  PramImage image;
+  Mfn root = root_mfn;
+  while (root != 0) {
+    HYPERTP_ASSIGN_OR_RETURN(auto root_bytes, LoadPage(ram, root, kRootMagic));
+    ByteReader r(root_bytes);
+    HYPERTP_RETURN_IF_ERROR(r.Skip(kPageHeaderSize));
+    HYPERTP_ASSIGN_OR_RETURN(Mfn next_root, r.ReadU64());
+    HYPERTP_ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
+    if (count > kRootCapacity) {
+      return DataLossError("pram: root page entry count out of range");
+    }
+    for (uint32_t i = 0; i < count; ++i) {
+      HYPERTP_ASSIGN_OR_RETURN(Mfn info_mfn, r.ReadU64());
+      HYPERTP_ASSIGN_OR_RETURN(auto info_bytes, LoadPage(ram, info_mfn, kFileMagic));
+      ByteReader fr(info_bytes);
+      HYPERTP_RETURN_IF_ERROR(fr.Skip(kPageHeaderSize));
+      PramFile file;
+      HYPERTP_ASSIGN_OR_RETURN(file.file_id, fr.ReadU64());
+      HYPERTP_ASSIGN_OR_RETURN(file.name, fr.ReadString());
+      HYPERTP_ASSIGN_OR_RETURN(file.size_bytes, fr.ReadU64());
+      HYPERTP_ASSIGN_OR_RETURN(uint8_t huge, fr.ReadU8());
+      file.huge_pages = huge != 0;
+      HYPERTP_ASSIGN_OR_RETURN(Mfn node_mfn, fr.ReadU64());
+      HYPERTP_ASSIGN_OR_RETURN(uint64_t entry_count, fr.ReadU64());
+
+      Gfn cursor = 0;
+      while (node_mfn != 0) {
+        HYPERTP_ASSIGN_OR_RETURN(auto node_bytes, LoadPage(ram, node_mfn, kNodeMagic));
+        ByteReader nr(node_bytes);
+        HYPERTP_RETURN_IF_ERROR(nr.Skip(kPageHeaderSize));
+        HYPERTP_ASSIGN_OR_RETURN(Mfn next_node, nr.ReadU64());
+        HYPERTP_ASSIGN_OR_RETURN(uint32_t word_count, nr.ReadU32());
+        if (word_count > kNodeCapacity) {
+          return DataLossError("pram: node page word count out of range");
+        }
+        for (uint32_t j = 0; j < word_count; ++j) {
+          HYPERTP_ASSIGN_OR_RETURN(uint64_t word, nr.ReadU64());
+          const uint64_t type = word >> kEntryTypeShift;
+          if (type == kEntryTypeSkip) {
+            cursor += word & kEntryValueMask;
+          } else if (type == kEntryTypeMap) {
+            PramPageEntry e;
+            e.mfn = word & kEntryValueMask;
+            e.order = static_cast<uint8_t>((word >> kEntryOrderShift) & kEntryOrderMask);
+            e.gfn = cursor;
+            cursor += e.frame_count();
+            file.entries.push_back(e);
+          } else {
+            return DataLossError("pram: unknown entry type " + std::to_string(type));
+          }
+        }
+        node_mfn = next_node;
+      }
+      if (file.entries.size() != entry_count) {
+        return DataLossError("pram: file '" + file.name + "' declares " +
+                             std::to_string(entry_count) + " entries, found " +
+                             std::to_string(file.entries.size()));
+      }
+      image.files.push_back(std::move(file));
+    }
+    root = next_root;
+  }
+  return image;
+}
+
+Result<std::vector<FrameExtent>> PramPreservationList(const PhysicalMemory& ram, Mfn root_mfn,
+                                                      const PramImage& image) {
+  std::vector<FrameExtent> raw;
+
+  // Metadata pages: re-walk the chains.
+  Mfn root = root_mfn;
+  while (root != 0) {
+    raw.push_back(FrameExtent{root, 1, FrameOwner{FrameOwnerKind::kPramMeta, 0}});
+    HYPERTP_ASSIGN_OR_RETURN(auto root_bytes, LoadPage(ram, root, kRootMagic));
+    ByteReader r(root_bytes);
+    HYPERTP_RETURN_IF_ERROR(r.Skip(kPageHeaderSize));
+    HYPERTP_ASSIGN_OR_RETURN(Mfn next_root, r.ReadU64());
+    HYPERTP_ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
+    for (uint32_t i = 0; i < count; ++i) {
+      HYPERTP_ASSIGN_OR_RETURN(Mfn info_mfn, r.ReadU64());
+      raw.push_back(FrameExtent{info_mfn, 1, FrameOwner{FrameOwnerKind::kPramMeta, 0}});
+      HYPERTP_ASSIGN_OR_RETURN(auto info_bytes, LoadPage(ram, info_mfn, kFileMagic));
+      ByteReader fr(info_bytes);
+      HYPERTP_RETURN_IF_ERROR(fr.Skip(kPageHeaderSize));
+      HYPERTP_RETURN_IF_ERROR(fr.Skip(8));  // file_id
+      HYPERTP_ASSIGN_OR_RETURN(std::string name, fr.ReadString());
+      (void)name;
+      HYPERTP_RETURN_IF_ERROR(fr.Skip(8 + 1));  // size + huge flag
+      HYPERTP_ASSIGN_OR_RETURN(Mfn node_mfn, fr.ReadU64());
+      while (node_mfn != 0) {
+        raw.push_back(FrameExtent{node_mfn, 1, FrameOwner{FrameOwnerKind::kPramMeta, 0}});
+        HYPERTP_ASSIGN_OR_RETURN(auto node_bytes, LoadPage(ram, node_mfn, kNodeMagic));
+        ByteReader nr(node_bytes);
+        HYPERTP_RETURN_IF_ERROR(nr.Skip(kPageHeaderSize));
+        HYPERTP_ASSIGN_OR_RETURN(node_mfn, nr.ReadU64());
+      }
+    }
+    root = next_root;
+  }
+
+  // Guest frames named by page entries.
+  for (const PramFile& file : image.files) {
+    for (const PramPageEntry& e : file.entries) {
+      raw.push_back(
+          FrameExtent{e.mfn, e.frame_count(), FrameOwner{FrameOwnerKind::kGuest, file.file_id}});
+    }
+  }
+
+  // Sort and coalesce adjacent/overlapping extents so a guest allocation that
+  // spans many PRAM entries is covered by one preserved extent.
+  std::sort(raw.begin(), raw.end(),
+            [](const FrameExtent& a, const FrameExtent& b) { return a.base < b.base; });
+  std::vector<FrameExtent> merged;
+  for (const FrameExtent& e : raw) {
+    if (!merged.empty() && e.base <= merged.back().end()) {
+      merged.back().count = std::max(merged.back().end(), e.end()) - merged.back().base;
+    } else {
+      merged.push_back(e);
+    }
+  }
+  return merged;
+}
+
+std::vector<PramPageEntry> BuildPageEntries(const std::vector<std::pair<Gfn, Mfn>>& map,
+                                            bool huge_pages) {
+  std::vector<PramPageEntry> entries;
+  size_t i = 0;
+  while (i < map.size()) {
+    const auto [gfn, mfn] = map[i];
+    if (huge_pages && gfn % kFramesPerHugePage == 0 && mfn % kFramesPerHugePage == 0 &&
+        i + kFramesPerHugePage <= map.size()) {
+      // Check the next 512 mappings are contiguous in both spaces.
+      bool contiguous = true;
+      for (uint64_t j = 1; j < kFramesPerHugePage; ++j) {
+        if (map[i + j].first != gfn + j || map[i + j].second != mfn + j) {
+          contiguous = false;
+          break;
+        }
+      }
+      if (contiguous) {
+        entries.push_back(PramPageEntry{gfn, mfn, kHugePageOrder});
+        i += kFramesPerHugePage;
+        continue;
+      }
+    }
+    entries.push_back(PramPageEntry{gfn, mfn, 0});
+    ++i;
+  }
+  return entries;
+}
+
+}  // namespace hypertp

@@ -1,0 +1,63 @@
+#include "src/sim/executor.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hypertp {
+
+void SimExecutor::ScheduleAt(SimTime t, std::function<void()> fn) {
+  assert(t >= now_ && "cannot schedule in the past");
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void SimExecutor::ScheduleAfter(SimDuration d, std::function<void()> fn) {
+  assert(d >= 0);
+  ScheduleAt(now_ + d, std::move(fn));
+}
+
+void SimExecutor::Run() {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+  }
+}
+
+void SimExecutor::RunUntil(SimTime t) {
+  assert(t >= now_);
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_ && queue_.top().time <= t) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+  }
+  if (!stopped_) {
+    now_ = t;
+  }
+}
+
+void SimExecutor::AdvanceTo(SimTime t) {
+  assert(t >= now_);
+  assert((queue_.empty() || queue_.top().time >= t) && "AdvanceTo would skip pending events");
+  now_ = t;
+}
+
+SimDuration ParallelMakespan(std::vector<SimDuration> costs, int workers) {
+  assert(workers >= 1);
+  if (costs.empty()) {
+    return 0;
+  }
+  // LPT greedy: sort descending, always assign to the least-loaded worker.
+  std::sort(costs.begin(), costs.end(), std::greater<>());
+  std::vector<SimDuration> load(static_cast<size_t>(workers), 0);
+  for (SimDuration c : costs) {
+    auto it = std::min_element(load.begin(), load.end());
+    *it += c;
+  }
+  return *std::max_element(load.begin(), load.end());
+}
+
+}  // namespace hypertp

@@ -1,0 +1,75 @@
+// Discrete-event simulation executor.
+//
+// The executor owns the simulated clock. Components schedule closures at
+// absolute or relative simulated times; Run() dispatches them in time order
+// (FIFO among equal timestamps). Cost models "charge" time by scheduling
+// completions in the future, so concurrency (e.g. a migration overlapping a
+// running workload) falls out of event interleaving.
+
+#ifndef HYPERTP_SRC_SIM_EXECUTOR_H_
+#define HYPERTP_SRC_SIM_EXECUTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace hypertp {
+
+class SimExecutor {
+ public:
+  SimExecutor() = default;
+  SimExecutor(const SimExecutor&) = delete;
+  SimExecutor& operator=(const SimExecutor&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` at absolute simulated time `t` (>= now).
+  void ScheduleAt(SimTime t, std::function<void()> fn);
+  // Schedules `fn` `d` nanoseconds from now.
+  void ScheduleAfter(SimDuration d, std::function<void()> fn);
+
+  // Dispatches events until the queue is empty or Stop() is called.
+  void Run();
+  // Dispatches events with timestamp <= t; the clock ends exactly at t.
+  void RunUntil(SimTime t);
+  // Moves the clock forward without dispatching (asserts no earlier events).
+  void AdvanceTo(SimTime t);
+
+  // Makes Run()/RunUntil() return after the current event completes.
+  void Stop() { stopped_ = true; }
+
+  size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;  // Tie-breaker: FIFO among equal times.
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  bool stopped_ = false;
+};
+
+// Computes the makespan of running `costs` (per-item durations) on `workers`
+// identical workers with greedy longest-processing-time-first scheduling.
+// Models the paper's parallelized per-VM translation/PRAM construction
+// (one worker thread per free core).
+SimDuration ParallelMakespan(std::vector<SimDuration> costs, int workers);
+
+}  // namespace hypertp
+
+#endif  // HYPERTP_SRC_SIM_EXECUTOR_H_

@@ -1,0 +1,106 @@
+#include "src/sim/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace hypertp {
+
+void StatAccumulator::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double StatAccumulator::mean() const { return count_ == 0 ? 0.0 : mean_; }
+double StatAccumulator::min() const { return min_; }
+double StatAccumulator::max() const { return max_; }
+
+double StatAccumulator::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double StatAccumulator::stddev() const { return std::sqrt(variance()); }
+
+std::string BoxplotSummary::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "min=%.3f q1=%.3f med=%.3f q3=%.3f max=%.3f (n=%zu)", min, q1,
+                median, q3, max, count);
+  return buf;
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double s : samples_) {
+    sum += s;
+  }
+  return sum / static_cast<double>(samples_.size());
+}
+
+double SampleSet::stddev() const {
+  if (samples_.size() < 2) {
+    return 0.0;
+  }
+  const double m = mean();
+  double m2 = 0.0;
+  for (double s : samples_) {
+    m2 += (s - m) * (s - m);
+  }
+  return std::sqrt(m2 / static_cast<double>(samples_.size() - 1));
+}
+
+double SampleSet::min() const {
+  return samples_.empty() ? 0.0 : *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleSet::max() const {
+  return samples_.empty() ? 0.0 : *std::max_element(samples_.begin(), samples_.end());
+}
+
+double SampleSet::Percentile(double p) const {
+  assert(p >= 0.0 && p <= 100.0);
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) {
+    return sorted[0];
+  }
+  const double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+BoxplotSummary SampleSet::Boxplot() const {
+  BoxplotSummary box;
+  box.count = samples_.size();
+  if (samples_.empty()) {
+    return box;
+  }
+  box.min = min();
+  box.q1 = Percentile(25.0);
+  box.median = Percentile(50.0);
+  box.q3 = Percentile(75.0);
+  box.max = max();
+  return box;
+}
+
+}  // namespace hypertp

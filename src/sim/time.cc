@@ -1,0 +1,23 @@
+#include "src/sim/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace hypertp {
+
+std::string FormatDuration(SimDuration d) {
+  char buf[64];
+  const double abs_d = std::abs(static_cast<double>(d));
+  if (abs_d >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", static_cast<double>(d) / 1e9);
+  } else if (abs_d >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", static_cast<double>(d) / 1e6);
+  } else if (abs_d >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", static_cast<double>(d) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld ns", static_cast<long long>(d));
+  }
+  return buf;
+}
+
+}  // namespace hypertp

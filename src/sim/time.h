@@ -1,0 +1,41 @@
+// Simulated-time representation.
+//
+// All durations and timestamps inside the simulated datacenter are integer
+// nanoseconds. Simulated time advances only when the discrete-event executor
+// (src/sim/executor.h) dispatches events or when cost models charge time.
+
+#ifndef HYPERTP_SRC_SIM_TIME_H_
+#define HYPERTP_SRC_SIM_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace hypertp {
+
+// A point in simulated time (nanoseconds since simulation start).
+using SimTime = int64_t;
+// A span of simulated time in nanoseconds.
+using SimDuration = int64_t;
+
+inline constexpr SimDuration kNanosecond = 1;
+inline constexpr SimDuration kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimDuration kSecond = 1000 * kMillisecond;
+
+constexpr SimDuration Nanos(int64_t n) { return n * kNanosecond; }
+constexpr SimDuration Micros(int64_t n) { return n * kMicrosecond; }
+constexpr SimDuration Millis(int64_t n) { return n * kMillisecond; }
+constexpr SimDuration Seconds(int64_t n) { return n * kSecond; }
+// Fractional seconds, e.g. SecondsF(1.52) == 1520 ms.
+constexpr SimDuration SecondsF(double s) { return static_cast<SimDuration>(s * 1e9); }
+constexpr SimDuration MillisF(double ms) { return static_cast<SimDuration>(ms * 1e6); }
+
+constexpr double ToSeconds(SimDuration d) { return static_cast<double>(d) / 1e9; }
+constexpr double ToMillis(SimDuration d) { return static_cast<double>(d) / 1e6; }
+
+// Renders a duration with an adaptive unit: "1.700 s", "4.96 ms", "820 us".
+std::string FormatDuration(SimDuration d);
+
+}  // namespace hypertp
+
+#endif  // HYPERTP_SRC_SIM_TIME_H_

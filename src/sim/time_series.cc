@@ -1,0 +1,66 @@
+#include "src/sim/time_series.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hypertp {
+
+double TimeSeries::MeanInWindow(SimTime from, SimTime to) const {
+  double sum = 0.0;
+  size_t n = 0;
+  for (const auto& p : points_) {
+    if (p.time >= from && p.time < to) {
+      sum += p.value;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double TimeSeries::MinInWindow(SimTime from, SimTime to) const {
+  double best = 0.0;
+  bool any = false;
+  for (const auto& p : points_) {
+    if (p.time >= from && p.time < to) {
+      best = any ? std::min(best, p.value) : p.value;
+      any = true;
+    }
+  }
+  return any ? best : 0.0;
+}
+
+SimDuration TimeSeries::LongestGapBelow(double threshold) const {
+  if (points_.size() < 2) {
+    return 0;
+  }
+  // Estimate the sampling interval from the median gap between samples.
+  SimDuration interval = points_[1].time - points_[0].time;
+
+  SimDuration longest = 0;
+  SimTime run_start = -1;
+  SimTime run_end = -1;
+  for (const auto& p : points_) {
+    if (p.value <= threshold) {
+      if (run_start < 0) {
+        run_start = p.time;
+      }
+      run_end = p.time;
+      longest = std::max(longest, run_end - run_start + interval);
+    } else {
+      run_start = -1;
+    }
+  }
+  return longest;
+}
+
+std::string TimeSeries::ToTsv() const {
+  std::string out;
+  char buf[64];
+  for (const auto& p : points_) {
+    std::snprintf(buf, sizeof(buf), "%.3f\t%.3f\n", ToSeconds(p.time), p.value);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace hypertp

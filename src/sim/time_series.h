@@ -1,0 +1,51 @@
+// Time-series recording for workload metrics (QPS, latency, iteration time),
+// used to regenerate the paper's Fig. 11/12 timelines.
+
+#ifndef HYPERTP_SRC_SIM_TIME_SERIES_H_
+#define HYPERTP_SRC_SIM_TIME_SERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace hypertp {
+
+struct TimeSeriesPoint {
+  SimTime time = 0;
+  double value = 0.0;
+};
+
+// A named sequence of (time, value) samples, appended in time order.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  void Add(SimTime t, double value) { points_.push_back({t, value}); }
+
+  const std::string& name() const { return name_; }
+  const std::vector<TimeSeriesPoint>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+  size_t size() const { return points_.size(); }
+
+  // Mean of values with time in [from, to).
+  double MeanInWindow(SimTime from, SimTime to) const;
+  // Smallest value in [from, to); 0 if the window is empty.
+  double MinInWindow(SimTime from, SimTime to) const;
+  // Longest run of consecutive samples with value <= threshold, as a duration
+  // (distance between the first and last sample time of the run, plus one
+  // sampling interval estimated from neighbors). Used to measure service gaps.
+  SimDuration LongestGapBelow(double threshold) const;
+
+  // Renders "t_seconds value" lines, one per point, for gnuplot-style output.
+  std::string ToTsv() const;
+
+ private:
+  std::string name_;
+  std::vector<TimeSeriesPoint> points_;
+};
+
+}  // namespace hypertp
+
+#endif  // HYPERTP_SRC_SIM_TIME_SERIES_H_

@@ -1,0 +1,56 @@
+// UISR wire format: a versioned, CRC-protected TLV container.
+//
+// Layout:
+//   u32 magic "UISR" | u16 version | u16 flags
+//   repeated sections: u16 type | u32 length | payload
+//   end section: type=kEnd, length=4, payload=CRC32 of all preceding bytes
+//
+// The format plays the role XDR plays for network data (paper §3.1): each
+// hypervisor only needs to speak UISR, not every other hypervisor's format.
+
+#ifndef HYPERTP_SRC_UISR_CODEC_H_
+#define HYPERTP_SRC_UISR_CODEC_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/uisr/records.h"
+
+namespace hypertp {
+
+enum class UisrSectionType : uint16_t {
+  kVmHeader = 1,
+  kVcpu = 2,
+  kIoapic = 3,
+  kPit = 4,
+  kDevice = 5,
+  kEnd = 0xFFFF,
+};
+
+// Per-section byte counts of an encoded UISR blob (drives Fig. 14).
+struct UisrSizeBreakdown {
+  size_t header = 0;
+  size_t vcpus = 0;
+  size_t ioapic = 0;
+  size_t pit = 0;
+  size_t devices = 0;
+  size_t framing = 0;  // Magic/version + section headers + CRC trailer.
+
+  size_t total() const { return header + vcpus + ioapic + pit + devices + framing; }
+};
+
+// Serializes a UisrVm into its wire form.
+std::vector<uint8_t> EncodeUisrVm(const UisrVm& vm);
+
+// Parses and validates a UISR blob. Fails with kDataLoss on bad magic,
+// truncation or CRC mismatch, and kUnimplemented on a newer version.
+Result<UisrVm> DecodeUisrVm(std::span<const uint8_t> data);
+
+// Computes the per-section size breakdown of `vm` without retaining the blob.
+UisrSizeBreakdown MeasureUisrVm(const UisrVm& vm);
+
+}  // namespace hypertp
+
+#endif  // HYPERTP_SRC_UISR_CODEC_H_

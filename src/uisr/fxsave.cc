@@ -1,0 +1,78 @@
+#include "src/uisr/fxsave.h"
+
+#include <cstring>
+
+namespace hypertp {
+namespace {
+
+void PutLe16(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+}
+void PutLe32(uint8_t* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    p[i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+void PutLe64(uint8_t* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+uint16_t GetLe16(const uint8_t* p) { return static_cast<uint16_t>(p[0] | (p[1] << 8)); }
+uint32_t GetLe32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+uint64_t GetLe64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+FxsaveArea PackFxsave(const UisrFpu& fpu) {
+  FxsaveArea a{};
+  PutLe16(&a[0], fpu.fcw);
+  PutLe16(&a[2], fpu.fsw);
+  a[4] = fpu.ftwx;
+  // a[5] reserved.
+  PutLe16(&a[6], fpu.last_opcode);
+  PutLe64(&a[8], fpu.last_ip);
+  PutLe64(&a[16], fpu.last_dp);
+  PutLe32(&a[24], fpu.mxcsr);
+  PutLe32(&a[28], 0x0000FFFF);  // MXCSR_MASK.
+  for (size_t i = 0; i < fpu.fpr.size(); ++i) {
+    std::memcpy(&a[32 + i * 16], fpu.fpr[i].data(), 16);
+  }
+  for (size_t i = 0; i < fpu.xmm.size(); ++i) {
+    std::memcpy(&a[160 + i * 16], fpu.xmm[i].data(), 16);
+  }
+  return a;
+}
+
+UisrFpu UnpackFxsave(const FxsaveArea& a) {
+  UisrFpu fpu;
+  fpu.fcw = GetLe16(&a[0]);
+  fpu.fsw = GetLe16(&a[2]);
+  fpu.ftwx = a[4];
+  fpu.last_opcode = GetLe16(&a[6]);
+  fpu.last_ip = GetLe64(&a[8]);
+  fpu.last_dp = GetLe64(&a[16]);
+  fpu.mxcsr = GetLe32(&a[24]);
+  for (size_t i = 0; i < fpu.fpr.size(); ++i) {
+    std::memcpy(fpu.fpr[i].data(), &a[32 + i * 16], 16);
+  }
+  for (size_t i = 0; i < fpu.xmm.size(); ++i) {
+    std::memcpy(fpu.xmm[i].data(), &a[160 + i * 16], 16);
+  }
+  return fpu;
+}
+
+}  // namespace hypertp

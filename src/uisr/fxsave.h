@@ -1,0 +1,21 @@
+// The 512-byte FXSAVE area codec (legacy x87/SSE state layout), shared by
+// every hypervisor that stores FPU state as a raw FXSAVE blob.
+
+#ifndef HYPERTP_SRC_UISR_FXSAVE_H_
+#define HYPERTP_SRC_UISR_FXSAVE_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/uisr/records.h"
+
+namespace hypertp {
+
+using FxsaveArea = std::array<uint8_t, 512>;
+
+FxsaveArea PackFxsave(const UisrFpu& fpu);
+UisrFpu UnpackFxsave(const FxsaveArea& area);
+
+}  // namespace hypertp
+
+#endif  // HYPERTP_SRC_UISR_FXSAVE_H_

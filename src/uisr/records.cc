@@ -1,0 +1,147 @@
+#include "src/uisr/records.h"
+
+namespace hypertp {
+namespace {
+
+// Small deterministic mixer so synthetic state is unique per (vm, vcpu, slot).
+uint64_t Mix(uint64_t a, uint64_t b, uint64_t c) {
+  uint64_t x = a * 0x9E3779B97F4A7C15ull + b * 0xC2B2AE3D27D4EB4Full + c + 1;
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  return x;
+}
+
+UisrSegment CodeSegment64() {
+  UisrSegment s;
+  s.selector = 0x10;
+  s.base = 0;
+  s.limit = 0xFFFFFFFF;
+  s.type = 0xB;  // Execute/read, accessed.
+  s.s = 1;
+  s.present = 1;
+  s.l = 1;
+  s.g = 1;
+  return s;
+}
+
+UisrSegment DataSegment() {
+  UisrSegment s;
+  s.selector = 0x18;
+  s.base = 0;
+  s.limit = 0xFFFFFFFF;
+  s.type = 0x3;  // Read/write, accessed.
+  s.s = 1;
+  s.present = 1;
+  s.db = 1;
+  s.g = 1;
+  return s;
+}
+
+}  // namespace
+
+std::string_view DeviceAttachModeName(DeviceAttachMode mode) {
+  switch (mode) {
+    case DeviceAttachMode::kEmulated:
+      return "emulated";
+    case DeviceAttachMode::kPassthrough:
+      return "passthrough";
+    case DeviceAttachMode::kUnplugged:
+      return "unplugged";
+  }
+  return "?";
+}
+
+UisrVcpu MakeSyntheticVcpu(uint64_t vm_uid, uint32_t vcpu_id) {
+  UisrVcpu v;
+  v.id = vcpu_id;
+  v.online = true;
+
+  for (size_t i = 0; i < v.regs.gpr.size(); ++i) {
+    v.regs.gpr[i] = Mix(vm_uid, vcpu_id, i);
+  }
+  v.regs.rip = 0xFFFFFFFF81000000ull + (Mix(vm_uid, vcpu_id, 100) & 0xFFFFF0);
+  v.regs.rflags = 0x246;  // IF | ZF | PF | reserved bit 1.
+
+  v.sregs.cs = CodeSegment64();
+  v.sregs.ds = v.sregs.es = v.sregs.ss = DataSegment();
+  v.sregs.fs = DataSegment();
+  v.sregs.fs.base = Mix(vm_uid, vcpu_id, 101) & 0x7FFFFFFFF000ull;
+  v.sregs.gs = DataSegment();
+  v.sregs.gs.base = Mix(vm_uid, vcpu_id, 102) & 0x7FFFFFFFF000ull;
+  v.sregs.tr.selector = 0x40;
+  v.sregs.tr.type = 0xB;  // Busy 64-bit TSS.
+  v.sregs.tr.present = 1;
+  v.sregs.tr.limit = 0x67;
+  v.sregs.gdt.base = 0xFFFFFFFF82000000ull;
+  v.sregs.gdt.limit = 0x7F;
+  v.sregs.idt.base = 0xFFFFFFFF83000000ull;
+  v.sregs.idt.limit = 0xFFF;
+  v.sregs.cr0 = 0x80050033;  // PG | WP | NE | ET | MP | PE.
+  v.sregs.cr3 = Mix(vm_uid, vcpu_id, 103) & 0xFFFFFF000ull;
+  v.sregs.cr4 = 0x3606E0;    // Typical 64-bit Linux CR4.
+  v.sregs.efer = 0xD01;      // LME | LMA | SCE | NXE.
+  v.sregs.apic_base = 0xFEE00800 | (vcpu_id == 0 ? 0x100 : 0);  // Enable | BSP.
+
+  // The canonical UISR MSR set (sorted by index): the registers both
+  // hypervisors must carry across a transplant (§4.2.1). Xen stores these in
+  // fixed slots of its HVM CPU record; KVM stores them as a {index, value}
+  // list — the adapters convert both ways.
+  v.msrs = {
+      {0x00000010, Mix(vm_uid, vcpu_id, 107)},           // TSC.
+      {0x00000174, 0x10},                                // SYSENTER_CS.
+      {0x00000175, Mix(vm_uid, vcpu_id, 105)},           // SYSENTER_ESP.
+      {0x00000176, Mix(vm_uid, vcpu_id, 106)},           // SYSENTER_EIP.
+      {0x000001A0, 0x850089},                            // MISC_ENABLE.
+      {0xC0000080, v.sregs.efer},                        // EFER.
+      {0xC0000081, 0x23001000000000ull},                 // STAR.
+      {0xC0000082, 0xFFFFFFFF81800000ull},               // LSTAR.
+      {0xC0000083, 0xFFFFFFFF81800100ull},               // CSTAR.
+      {0xC0000084, 0x47700},                             // SFMASK.
+      {0xC0000100, v.sregs.fs.base},                     // FS_BASE.
+      {0xC0000101, v.sregs.gs.base},                     // GS_BASE.
+      {0xC0000102, Mix(vm_uid, vcpu_id, 104)},           // KERNEL_GS_BASE.
+  };
+
+  for (size_t i = 0; i < v.fpu.fpr.size(); ++i) {
+    for (size_t j = 0; j < 10; ++j) {  // 80-bit values; pad bytes stay zero.
+      v.fpu.fpr[i][j] = static_cast<uint8_t>(Mix(vm_uid, vcpu_id, 200 + i * 16 + j));
+    }
+  }
+  for (size_t i = 0; i < v.fpu.xmm.size(); ++i) {
+    for (size_t j = 0; j < 16; ++j) {
+      v.fpu.xmm[i][j] = static_cast<uint8_t>(Mix(vm_uid, vcpu_id, 400 + i * 16 + j));
+    }
+  }
+  v.fpu.fsw = static_cast<uint16_t>(Mix(vm_uid, vcpu_id, 108) & 0x3F00);
+  v.fpu.last_ip = Mix(vm_uid, vcpu_id, 109);
+
+  v.lapic.apic_base_msr = v.sregs.apic_base;
+  for (size_t i = 0; i < kLapicRegsSize; ++i) {
+    // Sparse register page: only aligned registers carry data.
+    v.lapic.regs[i] = (i % 16 == 0) ? static_cast<uint8_t>(Mix(vm_uid, vcpu_id, 600 + i)) : 0;
+  }
+  v.lapic.regs[0x20] = static_cast<uint8_t>(vcpu_id << 4);  // APIC ID register.
+  // The TPR (offset 0x80) mirrors CR8 architecturally; keep them consistent
+  // (CR8 defaults to 0) so adapters need no synchronization fixup.
+  v.lapic.regs[0x80] = static_cast<uint8_t>((v.sregs.cr8 & 0xF) << 4);
+  v.lapic.tsc_deadline = Mix(vm_uid, vcpu_id, 110);
+
+  v.mtrr.def_type = 0xC06;  // Enabled, fixed enabled, WB default.
+  for (size_t i = 0; i < kMtrrFixedCount; ++i) {
+    v.mtrr.fixed[i] = 0x0606060606060606ull;
+  }
+  v.mtrr.var_base[0] = 0x80000000 | 0x6;
+  v.mtrr.var_mask[0] = 0xFFFFC0000800ull;
+  v.mtrr.pat = 0x0007040600070406ull;
+
+  v.xsave.xcr0 = 0x7;  // x87 | SSE | AVX.
+  v.xsave.area.resize(2048);
+  for (size_t i = 0; i < v.xsave.area.size(); i += 64) {
+    v.xsave.area[i] = static_cast<uint8_t>(Mix(vm_uid, vcpu_id, 800 + i));
+  }
+
+  return v;
+}
+
+}  // namespace hypertp

@@ -1,0 +1,370 @@
+#include "src/vulndb/vulndb.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace hypertp {
+namespace {
+
+// Table 1, per year: {xen_crit, xen_med, kvm_crit, kvm_med, common_crit,
+// common_med}. Common vulnerabilities are counted inside both hypervisors'
+// columns as in the paper (they "share" the flaw).
+struct YearRow {
+  int year;
+  int xen_crit, xen_med, kvm_crit, kvm_med, common_crit, common_med;
+};
+constexpr YearRow kTable1[] = {
+    {2013, 3, 38, 3, 21, 0, 0},  //
+    {2014, 4, 27, 1, 12, 0, 0},  //
+    {2015, 11, 20, 1, 4, 1, 2},  //
+    {2016, 6, 12, 3, 3, 0, 0},   //
+    {2017, 17, 38, 1, 7, 0, 0},  //
+    {2018, 7, 21, 2, 5, 0, 0},   //
+    {2019, 7, 15, 2, 4, 0, 0},   //
+};
+
+// §2.2: 24 KVM vulnerabilities with known report->patch windows; mean 71
+// days, 14/24 above 60 days, extremes 8 (CVE-2013-0311) and 180
+// (CVE-2017-12188).
+constexpr int kKvmWindows[24] = {8,  15, 20,  25,  30,  35,  40,  45,  50,  58,  62,  65,
+                                 70, 75, 80,  85,  90,  95,  100, 105, 110, 115, 146, 180};
+
+// Deterministic component assignment approximating §2.1's shares.
+VulnComponent XenCriticalComponent(int index) {
+  // 38.4% PV, 28.2% resource, 15.3% hardware, 7.5% toolstack, 10.2% QEMU.
+  const int r = index % 13;  // 5/13=38%, 4/13=31%, 2/13=15%, 1/13=8%, 1/13=8%.
+  if (r < 5) {
+    return VulnComponent::kPvInterface;
+  }
+  if (r < 9) {
+    return VulnComponent::kResourceMgmt;
+  }
+  if (r < 11) {
+    return VulnComponent::kHardware;
+  }
+  if (r < 12) {
+    return VulnComponent::kToolstack;
+  }
+  return VulnComponent::kQemu;
+}
+
+VulnComponent KvmCriticalComponent(int index) {
+  // ~27% ioctls, ~36% hardware, ~27% QEMU, ~9% resource management.
+  const int r = index % 11;
+  if (r < 3) {
+    return VulnComponent::kIoctl;
+  }
+  if (r < 7) {
+    return VulnComponent::kHardware;
+  }
+  if (r < 10) {
+    return VulnComponent::kQemu;
+  }
+  return VulnComponent::kResourceMgmt;
+}
+
+VulnComponent MediumComponent(int index) {
+  switch (index % 4) {
+    case 0:
+      return VulnComponent::kResourceMgmt;
+    case 1:
+      return VulnComponent::kHardware;
+    case 2:
+      return VulnComponent::kQemu;
+    default:
+      return VulnComponent::kPvInterface;
+  }
+}
+
+std::string SynthId(int year, int serial) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "CVE-%d-%04d", year, 10000 + serial);
+  return buf;
+}
+
+std::vector<CveRecord> BuildDatabase() {
+  std::vector<CveRecord> db;
+  int serial = 0;
+  int xen_crit_index = 0;
+  int kvm_crit_index = 0;
+  int kvm_window_index = 0;
+  auto next_kvm_window = [&kvm_window_index]() {
+    // Windows cycle through the §2.2 sample; only some KVM records carry one
+    // (Red Hat's tracker covers 24 of the 69 KVM vulnerabilities).
+    const int w = kKvmWindows[kvm_window_index % 24];
+    ++kvm_window_index;
+    return w;
+  };
+
+  for (const YearRow& row : kTable1) {
+    // --- Common records first (they count toward both columns). ----------
+    int common_crit_left = row.common_crit;
+    int common_med_left = row.common_med;
+    if (row.year == 2015) {
+      db.push_back(CveRecord{"CVE-2015-3456", 2015, 7.7, true, true, VulnComponent::kQemu,
+                             "VENOM: QEMU virtual floppy controller missing bounds check, "
+                             "buffer overflow (the single common critical flaw)",
+                             37});
+      --common_crit_left;
+      db.push_back(CveRecord{"CVE-2015-8104", 2015, 5.5, true, true, VulnComponent::kHardware,
+                             "DoS via Debug Exception (#DB) infinite loop in guest", 64});
+      --common_med_left;
+      db.push_back(CveRecord{"CVE-2015-5307", 2015, 5.5, true, true, VulnComponent::kHardware,
+                             "DoS via Alignment Check (#AC) infinite loop in guest", 61});
+      --common_med_left;
+    }
+    assert(common_crit_left == 0 && common_med_left == 0 &&
+           "Table 1 lists common flaws only in 2015");
+
+    // --- Xen-only criticals. ----------------------------------------------
+    int xen_crit_left = row.xen_crit - row.common_crit;
+    if (row.year == 2016 && xen_crit_left > 0) {
+      db.push_back(CveRecord{"CVE-2016-6258", 2016, 7.2, true, false,
+                             VulnComponent::kPvInterface,
+                             "Xen PV pagetable fast-path privilege escalation; patch released "
+                             "7 days after discovery (§2.2)",
+                             7});
+      --xen_crit_left;
+      ++xen_crit_index;
+    }
+    for (int i = 0; i < xen_crit_left; ++i) {
+      CveRecord r;
+      r.id = SynthId(row.year, ++serial);
+      r.year = row.year;
+      r.cvss_v2 = 7.2 + 0.3 * (i % 8);
+      r.affects_xen = true;
+      r.component = XenCriticalComponent(xen_crit_index++);
+      r.description = std::string("Xen critical flaw in ") +
+                      std::string(VulnComponentName(r.component));
+      db.push_back(std::move(r));
+    }
+
+    // --- Xen-only mediums. -------------------------------------------------
+    for (int i = 0; i < row.xen_med - row.common_med; ++i) {
+      CveRecord r;
+      r.id = SynthId(row.year, ++serial);
+      r.year = row.year;
+      r.cvss_v2 = 4.0 + 0.25 * (i % 12);
+      r.affects_xen = true;
+      r.component = MediumComponent(i);
+      r.description = std::string("Xen medium flaw in ") +
+                      std::string(VulnComponentName(r.component));
+      db.push_back(std::move(r));
+    }
+
+    // --- KVM-only criticals. ------------------------------------------------
+    int kvm_crit_left = row.kvm_crit - row.common_crit;
+    for (int i = 0; i < kvm_crit_left; ++i) {
+      CveRecord r;
+      if (row.year == 2013 && i == 0) {
+        r.id = "CVE-2013-0311";
+        r.description = "KVM vhost descriptor translation privilege escalation "
+                        "(shortest observed window: 8 days)";
+        r.window_days = 8;
+        ++kvm_window_index;  // Consumes the first window sample (8).
+      } else if (row.year == 2017 && i == 0) {
+        r.id = "CVE-2017-12188";
+        r.description = "KVM nested MMU page-table walk overflow "
+                        "(longest observed window: 180 days)";
+        r.window_days = 180;
+      } else {
+        r.id = SynthId(row.year, ++serial);
+        r.description = "KVM critical flaw";
+        r.window_days = next_kvm_window();
+      }
+      r.year = row.year;
+      r.cvss_v2 = 7.2 + 0.3 * (i % 6);
+      r.affects_kvm = true;
+      r.component = KvmCriticalComponent(kvm_crit_index++);
+      if (r.description == "KVM critical flaw") {
+        r.description += std::string(" in ") + std::string(VulnComponentName(r.component));
+      }
+      db.push_back(std::move(r));
+    }
+
+    // --- KVM-only mediums. ---------------------------------------------------
+    for (int i = 0; i < row.kvm_med - row.common_med; ++i) {
+      CveRecord r;
+      r.id = SynthId(row.year, ++serial);
+      r.year = row.year;
+      r.cvss_v2 = 4.0 + 0.25 * (i % 12);
+      r.affects_kvm = true;
+      r.component = MediumComponent(i + 1);
+      r.description = std::string("KVM medium flaw in ") +
+                      std::string(VulnComponentName(r.component));
+      // Only a subset has tracked windows; give one to every third record
+      // until the 24 samples are exhausted.
+      if (kvm_window_index < 24 && i % 3 == 0) {
+        r.window_days = next_kvm_window();
+      }
+      db.push_back(std::move(r));
+    }
+  }
+  return db;
+}
+
+}  // namespace
+
+std::string_view VulnComponentName(VulnComponent component) {
+  switch (component) {
+    case VulnComponent::kPvInterface:
+      return "pv-interface";
+    case VulnComponent::kResourceMgmt:
+      return "resource-management";
+    case VulnComponent::kHardware:
+      return "hardware-handling";
+    case VulnComponent::kToolstack:
+      return "toolstack";
+    case VulnComponent::kQemu:
+      return "qemu";
+    case VulnComponent::kIoctl:
+      return "ioctl";
+  }
+  return "?";
+}
+
+VulnSeverity SeverityFromCvss(double cvss_v2) {
+  if (cvss_v2 >= 7.0) {
+    return VulnSeverity::kCritical;
+  }
+  if (cvss_v2 >= 4.0) {
+    return VulnSeverity::kMedium;
+  }
+  return VulnSeverity::kLow;
+}
+
+const std::vector<CveRecord>& VulnDatabase() {
+  static const std::vector<CveRecord> db = BuildDatabase();
+  return db;
+}
+
+VulnTable CountByYear(const std::vector<CveRecord>& records) {
+  VulnTable table;
+  for (const CveRecord& r : records) {
+    YearCounts& row = table.by_year[r.year];
+    const bool critical = r.severity() == VulnSeverity::kCritical;
+    const bool medium = r.severity() == VulnSeverity::kMedium;
+    if (r.affects_xen) {
+      row.xen_critical += critical;
+      row.xen_medium += medium;
+    }
+    if (r.affects_kvm) {
+      row.kvm_critical += critical;
+      row.kvm_medium += medium;
+    }
+    if (r.common()) {
+      row.common_critical += critical;
+      row.common_medium += medium;
+    }
+  }
+  for (const auto& [year, row] : table.by_year) {
+    table.totals.xen_critical += row.xen_critical;
+    table.totals.xen_medium += row.xen_medium;
+    table.totals.kvm_critical += row.kvm_critical;
+    table.totals.kvm_medium += row.kvm_medium;
+    table.totals.common_critical += row.common_critical;
+    table.totals.common_medium += row.common_medium;
+  }
+  return table;
+}
+
+std::map<VulnComponent, double> CriticalComponentShares(const std::vector<CveRecord>& records,
+                                                        HypervisorKind kind) {
+  std::map<VulnComponent, int> counts;
+  int total = 0;
+  for (const CveRecord& r : records) {
+    if (r.severity() == VulnSeverity::kCritical && r.Affects(kind)) {
+      ++counts[r.component];
+      ++total;
+    }
+  }
+  std::map<VulnComponent, double> shares;
+  for (const auto& [component, n] : counts) {
+    shares[component] = static_cast<double>(n) / std::max(total, 1);
+  }
+  return shares;
+}
+
+WindowStats WindowStatsFor(const std::vector<CveRecord>& records, HypervisorKind kind) {
+  WindowStats stats;
+  long sum = 0;
+  int over_60 = 0;
+  for (const CveRecord& r : records) {
+    if (!r.Affects(kind) || r.window_days < 0) {
+      continue;
+    }
+    if (stats.samples == 0) {
+      stats.min_days = stats.max_days = r.window_days;
+    }
+    stats.min_days = std::min(stats.min_days, r.window_days);
+    stats.max_days = std::max(stats.max_days, r.window_days);
+    sum += r.window_days;
+    over_60 += r.window_days > 60;
+    ++stats.samples;
+  }
+  if (stats.samples > 0) {
+    stats.mean_days = static_cast<double>(sum) / stats.samples;
+    stats.fraction_over_60_days = static_cast<double>(over_60) / stats.samples;
+  }
+  return stats;
+}
+
+TransplantDecision DecideTransplant(HypervisorKind current,
+                                    const std::vector<ActiveVulnerability>& active,
+                                    const std::vector<HypervisorKind>& pool) {
+  TransplantDecision decision;
+
+  bool current_affected = false;
+  for (const ActiveVulnerability& v : active) {
+    current_affected |= v.record != nullptr && v.record->Affects(current) &&
+                        v.record->severity() == VulnSeverity::kCritical;
+  }
+  if (!current_affected) {
+    decision.rationale = "no active critical vulnerability affects the running hypervisor; "
+                         "apply patches through the normal cycle";
+    return decision;
+  }
+
+  // Candidates: pool members (other than current) untouched by every active
+  // vulnerability — the paper's "safe alternate hypervisor".
+  std::vector<HypervisorKind> safe;
+  for (HypervisorKind candidate : pool) {
+    if (candidate == current) {
+      continue;
+    }
+    bool affected = false;
+    for (const ActiveVulnerability& v : active) {
+      affected |= v.record != nullptr && v.record->Affects(candidate);
+    }
+    if (!affected) {
+      safe.push_back(candidate);
+    }
+  }
+  if (safe.empty()) {
+    decision.rationale = "every hypervisor in the repertoire is affected (common flaw); "
+                         "transplant cannot shrink the vulnerability window";
+    return decision;
+  }
+
+  // Tie-break: the historically least critical-prone candidate.
+  auto history_criticals = [](HypervisorKind kind) {
+    int n = 0;
+    for (const CveRecord& r : VulnDatabase()) {
+      n += r.Affects(kind) && r.severity() == VulnSeverity::kCritical;
+    }
+    return n;
+  };
+  std::sort(safe.begin(), safe.end(), [&](HypervisorKind a, HypervisorKind b) {
+    return history_criticals(a) < history_criticals(b);
+  });
+
+  decision.transplant_recommended = true;
+  decision.target = safe.front();
+  decision.rationale = std::string("transplant to ") +
+                       std::string(HypervisorKindName(*decision.target)) +
+                       ": unaffected by all active disclosures";
+  return decision;
+}
+
+}  // namespace hypertp

@@ -1,0 +1,55 @@
+#include "src/vulndb/window_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hypertp {
+
+SimDuration FleetTransplantTime(const FleetProfile& fleet) {
+  const int parallel = std::max(fleet.parallel_hosts, 1);
+  const int waves = (fleet.hosts + parallel - 1) / parallel;
+  return fleet.per_host_transplant * waves;
+}
+
+ExposureComparison CompareExposure(const CveRecord& cve, HypervisorKind current,
+                                   const std::vector<HypervisorKind>& pool,
+                                   const PatchPolicy& policy, const FleetProfile& fleet,
+                                   double fallback_window_days) {
+  ExposureComparison comparison;
+  const double window_days =
+      cve.window_days >= 0 ? static_cast<double>(cve.window_days) : fallback_window_days;
+  comparison.traditional_exposure_days = window_days + policy.apply_delay_days;
+
+  const auto decision = DecideTransplant(current, {{&cve}}, pool);
+  comparison.transplant_applicable = decision.transplant_recommended;
+  if (comparison.transplant_applicable) {
+    comparison.hypertp_exposure_days =
+        ToSeconds(FleetTransplantTime(fleet)) / (24.0 * 3600.0);
+  } else {
+    comparison.hypertp_exposure_days = comparison.traditional_exposure_days;
+  }
+  comparison.reduction_factor =
+      comparison.hypertp_exposure_days > 0.0
+          ? comparison.traditional_exposure_days / comparison.hypertp_exposure_days
+          : 0.0;
+  return comparison;
+}
+
+double AnnualExposureReduction(const std::vector<CveRecord>& records, HypervisorKind current,
+                               const std::vector<HypervisorKind>& pool,
+                               const PatchPolicy& policy, const FleetProfile& fleet,
+                               int years) {
+  double saved_days = 0.0;
+  for (const CveRecord& cve : records) {
+    if (cve.severity() != VulnSeverity::kCritical || !cve.Affects(current)) {
+      continue;
+    }
+    const ExposureComparison c = CompareExposure(cve, current, pool, policy, fleet);
+    if (c.transplant_applicable) {
+      saved_days += c.traditional_exposure_days - c.hypertp_exposure_days;
+    }
+  }
+  return saved_days / std::max(years, 1);
+}
+
+}  // namespace hypertp

@@ -1,0 +1,60 @@
+// Vulnerability-window exposure model: quantifies Fig. 1's comparison
+// between traditional mitigation (wait for patch release + apply it) and
+// hypervisor transplant (exposed only while the fleet transplants).
+
+#ifndef HYPERTP_SRC_VULNDB_WINDOW_MODEL_H_
+#define HYPERTP_SRC_VULNDB_WINDOW_MODEL_H_
+
+#include "src/sim/time.h"
+#include "src/vulndb/vulndb.h"
+
+namespace hypertp {
+
+// The operator's patching posture.
+struct PatchPolicy {
+  // Days between patch availability and fleet-wide application (change
+  // windows, canarying, reboot scheduling).
+  double apply_delay_days = 7.0;
+};
+
+// How the datacenter executes a fleet-wide transplant.
+struct FleetProfile {
+  int hosts = 100;
+  // Per-host InPlaceTP wall-clock (staging + transplant; seconds).
+  SimDuration per_host_transplant = Seconds(10);
+  // Hosts transplanted concurrently (bounded by blast-radius policy).
+  int parallel_hosts = 10;
+};
+
+// Time to transplant the whole fleet: ceil(hosts/parallel) waves.
+SimDuration FleetTransplantTime(const FleetProfile& fleet);
+
+struct ExposureComparison {
+  // Fig. 1(a): discovery -> patch release -> patch applied.
+  double traditional_exposure_days = 0.0;
+  // Fig. 1(b): discovery -> fleet transplanted (then exposure ends until the
+  // transplant back, which happens after the patch — no further exposure).
+  double hypertp_exposure_days = 0.0;
+  double reduction_factor = 0.0;  // traditional / hypertp.
+  bool transplant_applicable = false;  // False for common flaws.
+};
+
+// Compares exposure for one disclosed vulnerability. Uses the CVE's recorded
+// report->patch window when known, otherwise `fallback_window_days`.
+// Transplant is only applicable when the policy finds a safe target in
+// `pool` (common flaws leave the fleet exposed either way).
+ExposureComparison CompareExposure(const CveRecord& cve, HypervisorKind current,
+                                   const std::vector<HypervisorKind>& pool,
+                                   const PatchPolicy& policy, const FleetProfile& fleet,
+                                   double fallback_window_days = 60.0);
+
+// Expected exposure-days avoided per year if HyperTP is applied to every
+// critical vulnerability affecting `current` in the dataset.
+double AnnualExposureReduction(const std::vector<CveRecord>& records, HypervisorKind current,
+                               const std::vector<HypervisorKind>& pool,
+                               const PatchPolicy& policy, const FleetProfile& fleet,
+                               int years = 7);
+
+}  // namespace hypertp
+
+#endif  // HYPERTP_SRC_VULNDB_WINDOW_MODEL_H_

@@ -1,0 +1,58 @@
+#include "src/workload/darknet.h"
+
+#include <algorithm>
+
+#include "src/sim/rng.h"
+
+namespace hypertp {
+
+double DarknetRun::average() const {
+  if (iteration_seconds.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double s : iteration_seconds) {
+    sum += s;
+  }
+  return sum / static_cast<double>(iteration_seconds.size());
+}
+
+double DarknetRun::longest() const {
+  return iteration_seconds.empty()
+             ? 0.0
+             : *std::max_element(iteration_seconds.begin(), iteration_seconds.end());
+}
+
+double DarknetRun::total() const {
+  double sum = 0.0;
+  for (double s : iteration_seconds) {
+    sum += s;
+  }
+  return sum;
+}
+
+DarknetRun RunDarknetTraining(const DarknetConfig& config,
+                              const InterferenceSchedule& schedule) {
+  DarknetRun run;
+  run.iteration_seconds.reserve(static_cast<size_t>(config.iterations));
+  Rng rng(config.seed ^ 0x4441524Bull);  // "DARK".
+
+  constexpr SimDuration kStep = Millis(10);
+  SimTime now = 0;
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    const double work_needed =
+        config.base_iteration_seconds * (1.0 + config.noise_frac * rng.NextGaussian());
+    const SimTime started = now;
+    double work_done = 0.0;
+    while (work_done < work_needed) {
+      // Work advances at the current interference factor: zero while paused,
+      // fractional during pre-copy.
+      work_done += schedule.FactorAt(now) * ToSeconds(kStep);
+      now += kStep;
+    }
+    run.iteration_seconds.push_back(ToSeconds(now - started));
+  }
+  return run;
+}
+
+}  // namespace hypertp

@@ -1,0 +1,42 @@
+// Darknet-style neural-network training workload (paper Table 6).
+//
+// 100 fixed-cost training iterations (MNIST-sized). A transplant or
+// migration in the middle stretches the iteration it lands in: InPlaceTP
+// adds its full downtime to one iteration; MigrationTP adds its (tiny)
+// downtime plus pre-copy overhead spread over the copy window.
+
+#ifndef HYPERTP_SRC_WORKLOAD_DARKNET_H_
+#define HYPERTP_SRC_WORKLOAD_DARKNET_H_
+
+#include <vector>
+
+#include "src/core/report.h"
+#include "src/migrate/migrate.h"
+#include "src/workload/interference.h"
+
+namespace hypertp {
+
+struct DarknetConfig {
+  int iterations = 100;
+  double base_iteration_seconds = 2.044;  // Table 6 "Default".
+  double noise_frac = 0.01;
+  uint64_t seed = 7;
+};
+
+struct DarknetRun {
+  std::vector<double> iteration_seconds;
+
+  double average() const;
+  double longest() const;
+  double total() const;
+};
+
+// Runs the training loop under an interference schedule (empty schedule =
+// the "Default" row of Table 6). Iterations advance work only while the
+// interference factor is positive; a pause stretches the current iteration.
+DarknetRun RunDarknetTraining(const DarknetConfig& config,
+                              const InterferenceSchedule& schedule);
+
+}  // namespace hypertp
+
+#endif  // HYPERTP_SRC_WORKLOAD_DARKNET_H_

@@ -1,0 +1,57 @@
+#include "src/workload/interference.h"
+
+#include <algorithm>
+
+namespace hypertp {
+
+void InterferenceSchedule::AddInterval(SimTime start, SimTime end, double factor) {
+  intervals_.push_back(Interval{start, end, factor});
+}
+
+double InterferenceSchedule::FactorAt(SimTime t) const {
+  double factor = 1.0;
+  for (const Interval& interval : intervals_) {
+    if (t >= interval.start && t < interval.end) {
+      factor = std::min(factor, interval.factor);
+    }
+  }
+  return factor;
+}
+
+InterferenceSchedule InterferenceSchedule::ForInPlace(const TransplantReport& report,
+                                                      SimTime trigger, bool network_sensitive) {
+  InterferenceSchedule schedule;
+  // Preparation (PRAM build, device prep) runs with guests live; a small
+  // contention factor models the host-side copy threads.
+  schedule.AddInterval(trigger, trigger + report.phases.pram, 0.95);
+  const SimTime pause_start = trigger + report.phases.pram;
+  schedule.AddPause(pause_start, pause_start + report.downtime);
+  if (network_sensitive) {
+    schedule.AddPause(pause_start, pause_start + report.network_downtime);
+  }
+  schedule.set_switch_time(pause_start + report.downtime);
+  return schedule;
+}
+
+InterferenceSchedule InterferenceSchedule::ForMigration(const MigrationResult& result,
+                                                        SimTime trigger, double precopy_factor) {
+  InterferenceSchedule schedule;
+  const SimDuration precopy = result.total_time - result.downtime;
+  schedule.AddInterval(trigger, trigger + precopy, precopy_factor);
+  schedule.AddPause(trigger + precopy, trigger + precopy + result.downtime);
+  schedule.set_switch_time(trigger + result.total_time);
+  return schedule;
+}
+
+InterferenceSchedule InterferenceSchedule::ForPostcopyMigration(const MigrationResult& result,
+                                                                SimTime trigger,
+                                                                double fault_factor) {
+  InterferenceSchedule schedule;
+  schedule.AddPause(trigger, trigger + result.downtime);
+  schedule.AddInterval(trigger + result.downtime,
+                       trigger + result.downtime + result.postcopy_fault_window, fault_factor);
+  schedule.set_switch_time(trigger + result.downtime);
+  return schedule;
+}
+
+}  // namespace hypertp

@@ -1,0 +1,65 @@
+// Interference schedules: how a transplant/migration event shapes a guest
+// workload's performance over time.
+//
+// A schedule is a set of intervals with a throughput factor: 0 while the VM
+// is paused, a degradation factor (< 1) during pre-copy, 1 otherwise. The
+// factory functions derive the intervals from a TransplantReport or a
+// MigrationResult, so the Fig. 11/12 timelines are shaped by the same
+// numbers the transplant engines computed.
+
+#ifndef HYPERTP_SRC_WORKLOAD_INTERFERENCE_H_
+#define HYPERTP_SRC_WORKLOAD_INTERFERENCE_H_
+
+#include <vector>
+
+#include "src/core/report.h"
+#include "src/migrate/migrate.h"
+#include "src/sim/time.h"
+
+namespace hypertp {
+
+class InterferenceSchedule {
+ public:
+  // Intervals may overlap; the lowest factor wins.
+  void AddInterval(SimTime start, SimTime end, double factor);
+  void AddPause(SimTime start, SimTime end) { AddInterval(start, end, 0.0); }
+
+  // Throughput factor at `t` (1.0 when unaffected).
+  double FactorAt(SimTime t) const;
+
+  // Time at which the VM switches hypervisors (performance profile changes);
+  // -1 when no switch happens.
+  SimTime switch_time() const { return switch_time_; }
+  void set_switch_time(SimTime t) { switch_time_ = t; }
+
+  // An InPlaceTP triggered at `trigger`: guests run during preparation, then
+  // pause for the downtime. Network-sensitive workloads stay down until the
+  // NIC is back (report.network_downtime).
+  static InterferenceSchedule ForInPlace(const TransplantReport& report, SimTime trigger,
+                                         bool network_sensitive);
+
+  // A MigrationTP (or classic live migration) triggered at `trigger`:
+  // degraded to `precopy_factor` during the pre-copy rounds, paused for the
+  // downtime, then running on the destination.
+  static InterferenceSchedule ForMigration(const MigrationResult& result, SimTime trigger,
+                                           double precopy_factor);
+
+  // A post-copy migration: a near-instant pause, then execution continues on
+  // the destination degraded to `fault_factor` while the working set faults
+  // in over the link (result.postcopy_fault_window).
+  static InterferenceSchedule ForPostcopyMigration(const MigrationResult& result,
+                                                   SimTime trigger, double fault_factor);
+
+ private:
+  struct Interval {
+    SimTime start;
+    SimTime end;
+    double factor;
+  };
+  std::vector<Interval> intervals_;
+  SimTime switch_time_ = -1;
+};
+
+}  // namespace hypertp
+
+#endif  // HYPERTP_SRC_WORKLOAD_INTERFERENCE_H_

@@ -1,0 +1,57 @@
+// SPECrate 2017-style CPU workload suite (paper Table 5).
+//
+// The 23 kernels' native execution times on KVM and Xen are embedded from
+// the paper's measurements; a run under a transplant scenario splits the
+// work across the two hypervisors (each at its own speed), adds the pause,
+// and reports the paper's degradation metric:
+//   deg = max((T - T_xen)/T_xen, (T - T_kvm)/T_kvm).
+
+#ifndef HYPERTP_SRC_WORKLOAD_SPEC_H_
+#define HYPERTP_SRC_WORKLOAD_SPEC_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/core/report.h"
+#include "src/migrate/migrate.h"
+
+namespace hypertp {
+
+struct SpecBenchmark {
+  const char* name;
+  double kvm_seconds;  // Native execution time on KVM (Table 5).
+  double xen_seconds;  // Native execution time on Xen (Table 5).
+};
+
+// The 23 SPECrate 2017 int+fp kernels with the paper's native times.
+std::span<const SpecBenchmark> SpecRate2017();
+
+enum class SpecScenario {
+  kPureXen,      // Entire run on Xen.
+  kPureKvm,      // Entire run on KVM.
+  kInPlaceTp,    // Xen -> KVM in-place transplant at mid-run.
+  kMigrationTp,  // Xen -> KVM migration transplant at mid-run.
+};
+
+struct SpecRunResult {
+  std::string name;
+  double seconds = 0.0;
+  // Paper's metric; 0 for the pure runs.
+  double degradation_pct = 0.0;
+};
+
+// Runs the whole suite under `scenario`. For the transplant scenarios the
+// corresponding report supplies the timing (downtime / pre-copy length).
+// `seed` feeds the per-benchmark measurement jitter.
+std::vector<SpecRunResult> RunSpecSuite(SpecScenario scenario,
+                                        const TransplantReport* inplace_report,
+                                        const MigrationResult* migration_result, uint64_t seed);
+
+// Largest degradation across the suite (paper: 4.19% InPlaceTP, 4.81%
+// MigrationTP).
+double MaxDegradationPct(const std::vector<SpecRunResult>& results);
+
+}  // namespace hypertp
+
+#endif  // HYPERTP_SRC_WORKLOAD_SPEC_H_

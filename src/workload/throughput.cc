@@ -1,0 +1,60 @@
+#include "src/workload/throughput.h"
+
+#include <algorithm>
+
+namespace hypertp {
+
+ThroughputModel ThroughputModel::Redis() {
+  ThroughputModel model;
+  model.base_rate = 28000.0;  // redis-benchmark GET/SET mix on Xen (Fig. 11).
+  model.kvm_multiplier = 1.37;
+  model.noise_frac = 0.04;
+  return model;
+}
+
+ThroughputModel ThroughputModel::Mysql() {
+  ThroughputModel model;
+  model.base_rate = 1400.0;  // Sysbench OLTP QPS (Fig. 12).
+  model.kvm_multiplier = 1.05;
+  model.noise_frac = 0.05;
+  return model;
+}
+
+TimeSeries GenerateThroughput(const ThroughputModel& model, SimDuration total, SimDuration step,
+                              const InterferenceSchedule& schedule, bool starts_on_xen, Rng& rng,
+                              const std::string& name) {
+  TimeSeries series(name);
+  for (SimTime t = 0; t < total; t += step) {
+    const bool on_xen = starts_on_xen == (schedule.switch_time() < 0 || t < schedule.switch_time());
+    const double hv_factor = on_xen ? 1.0 : model.kvm_multiplier;
+    const double interference = schedule.FactorAt(t);
+    double value = 0.0;
+    if (interference > 0.0) {
+      const double noise = 1.0 + model.noise_frac * rng.NextGaussian();
+      value = std::max(0.0, model.base_rate * hv_factor * interference * noise);
+    }
+    series.Add(t, value);
+  }
+  return series;
+}
+
+TimeSeries GenerateLatency(const ThroughputModel& model, double base_latency_ms,
+                           SimDuration total, SimDuration step,
+                           const InterferenceSchedule& schedule, bool starts_on_xen, Rng& rng,
+                           const std::string& name) {
+  TimeSeries series(name);
+  for (SimTime t = 0; t < total; t += step) {
+    const bool on_xen = starts_on_xen == (schedule.switch_time() < 0 || t < schedule.switch_time());
+    const double hv_factor = on_xen ? 1.0 : model.kvm_multiplier;
+    const double interference = schedule.FactorAt(t);
+    double value = 0.0;  // Paused: the injector records no completed request.
+    if (interference > 0.0) {
+      const double noise = 1.0 + model.noise_frac * rng.NextGaussian();
+      value = std::max(0.05, base_latency_ms / (hv_factor * interference) * noise);
+    }
+    series.Add(t, value);
+  }
+  return series;
+}
+
+}  // namespace hypertp

@@ -1,0 +1,82 @@
+#include "src/xen/credit_scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hypertp {
+namespace {
+
+constexpr int32_t kCreditsPerEpoch = 300;  // Xen's CSCHED_CREDITS_PER_ACCT.
+
+}  // namespace
+
+CreditScheduler::CreditScheduler(int pcpus) {
+  assert(pcpus >= 1);
+  runqueues_.resize(static_cast<size_t>(pcpus));
+}
+
+void CreditScheduler::AddVcpu(uint32_t domid, uint32_t vcpu, uint32_t weight) {
+  auto it = std::min_element(
+      runqueues_.begin(), runqueues_.end(),
+      [](const auto& a, const auto& b) { return a.size() < b.size(); });
+  it->push_back(CreditEntry{domid, vcpu, weight, kCreditsPerEpoch});
+}
+
+void CreditScheduler::RemoveDomain(uint32_t domid) {
+  for (auto& queue : runqueues_) {
+    std::erase_if(queue, [domid](const CreditEntry& e) { return e.domid == domid; });
+  }
+}
+
+void CreditScheduler::Tick() {
+  // Total weight for proportional refill.
+  uint64_t total_weight = 0;
+  for (const auto& queue : runqueues_) {
+    for (const CreditEntry& e : queue) {
+      total_weight += e.weight;
+    }
+  }
+  if (total_weight == 0) {
+    return;
+  }
+  for (auto& queue : runqueues_) {
+    if (queue.empty()) {
+      continue;
+    }
+    // The head runs and burns credits; everyone refills by weight share.
+    queue.front().credits -= kCreditsPerEpoch;
+    for (CreditEntry& e : queue) {
+      e.credits += static_cast<int32_t>(kCreditsPerEpoch * e.weight / total_weight);
+    }
+    // Exhausted head goes to the tail (OVER priority).
+    if (queue.front().credits < 0 && queue.size() > 1) {
+      std::rotate(queue.begin(), queue.begin() + 1, queue.end());
+    }
+  }
+}
+
+void CreditScheduler::Rebalance() {
+  for (;;) {
+    auto longest = std::max_element(
+        runqueues_.begin(), runqueues_.end(),
+        [](const auto& a, const auto& b) { return a.size() < b.size(); });
+    auto shortest = std::min_element(
+        runqueues_.begin(), runqueues_.end(),
+        [](const auto& a, const auto& b) { return a.size() < b.size(); });
+    if (longest->size() <= shortest->size() + 1) {
+      return;
+    }
+    shortest->push_back(longest->back());
+    longest->pop_back();
+  }
+}
+
+size_t CreditScheduler::total_vcpus() const {
+  size_t n = 0;
+  for (const auto& queue : runqueues_) {
+    n += queue.size();
+  }
+  return n;
+}
+
+}  // namespace hypertp

@@ -1,0 +1,53 @@
+// XenVisor's credit scheduler — an instance of "VM Management State"
+// (paper §3.1): hypervisor-dependent, references VM_i State, and is never
+// translated across a transplant; the target hypervisor rebuilds its own
+// scheduler from the restored VM_i States.
+
+#ifndef HYPERTP_SRC_XEN_CREDIT_SCHEDULER_H_
+#define HYPERTP_SRC_XEN_CREDIT_SCHEDULER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/result.h"
+
+namespace hypertp {
+
+// A schedulable vCPU with its credit balance.
+struct CreditEntry {
+  uint32_t domid = 0;
+  uint32_t vcpu = 0;
+  uint32_t weight = 256;
+  int32_t credits = 0;
+
+  bool operator==(const CreditEntry&) const = default;
+};
+
+class CreditScheduler {
+ public:
+  // `pcpus` is the number of physical CPUs available to guests.
+  explicit CreditScheduler(int pcpus);
+
+  // Registers a vCPU; it is placed on the least-loaded runqueue.
+  void AddVcpu(uint32_t domid, uint32_t vcpu, uint32_t weight);
+  // Removes all of a domain's vCPUs (domain destruction / transplant save).
+  void RemoveDomain(uint32_t domid);
+
+  // One accounting epoch: burns credits of queue heads and refills
+  // proportionally to weight, rotating exhausted vCPUs to the tail.
+  void Tick();
+
+  // Moves vCPUs between runqueues until queue lengths differ by at most 1.
+  void Rebalance();
+
+  int pcpus() const { return static_cast<int>(runqueues_.size()); }
+  size_t total_vcpus() const;
+  const std::vector<std::vector<CreditEntry>>& runqueues() const { return runqueues_; }
+
+ private:
+  std::vector<std::vector<CreditEntry>> runqueues_;
+};
+
+}  // namespace hypertp
+
+#endif  // HYPERTP_SRC_XEN_CREDIT_SCHEDULER_H_

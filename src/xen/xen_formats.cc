@@ -1,0 +1,42 @@
+#include "src/xen/xen_formats.h"
+
+
+namespace hypertp {
+uint16_t PackXenSegmentAttributes(const UisrSegment& seg) {
+  return static_cast<uint16_t>((seg.type & 0xF) | ((seg.s & 1) << 4) | ((seg.dpl & 3) << 5) |
+                               ((seg.present & 1) << 7) | ((seg.avl & 1) << 8) |
+                               ((seg.l & 1) << 9) | ((seg.db & 1) << 10) | ((seg.g & 1) << 11) |
+                               ((seg.unusable & 1) << 12));
+}
+
+void UnpackXenSegmentAttributes(uint16_t attr, UisrSegment& seg) {
+  seg.type = attr & 0xF;
+  seg.s = (attr >> 4) & 1;
+  seg.dpl = (attr >> 5) & 3;
+  seg.present = (attr >> 7) & 1;
+  seg.avl = (attr >> 8) & 1;
+  seg.l = (attr >> 9) & 1;
+  seg.db = (attr >> 10) & 1;
+  seg.g = (attr >> 11) & 1;
+  seg.unusable = (attr >> 12) & 1;
+}
+
+XenSegmentReg ToXenSegment(const UisrSegment& seg) {
+  XenSegmentReg x;
+  x.base = seg.base;
+  x.limit = seg.limit;
+  x.sel = seg.selector;
+  x.attr = PackXenSegmentAttributes(seg);
+  return x;
+}
+
+UisrSegment FromXenSegment(const XenSegmentReg& seg) {
+  UisrSegment u;
+  u.base = seg.base;
+  u.limit = seg.limit;
+  u.selector = seg.sel;
+  UnpackXenSegmentAttributes(seg.attr, u);
+  return u;
+}
+
+}  // namespace hypertp

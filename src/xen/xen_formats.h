@@ -1,0 +1,146 @@
+// XenVisor's native VM state representation.
+//
+// These structs mirror the *shape* of Xen's HVM save records (hvm_hw_cpu,
+// hvm_hw_lapic, hvm_hw_mtrr, ...): named GPR fields in Xen's member order,
+// segment attributes packed into a 16-bit word, the well-known MSRs stored in
+// fixed slots rather than a list, the FPU as a raw 512-byte FXSAVE area, PAT
+// inside the MTRR record, CR8 derived from the LAPIC TPR, and a 48-pin
+// IOAPIC. Everything here is deliberately *not* UISR so the translation layer
+// (xen_uisr.h) has real work to do, exactly as in the paper.
+
+#ifndef HYPERTP_SRC_XEN_XEN_FORMATS_H_
+#define HYPERTP_SRC_XEN_XEN_FORMATS_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/uisr/fxsave.h"
+#include "src/uisr/records.h"
+
+namespace hypertp {
+
+// Segment register with VMX-style packed attribute word:
+//   type[3:0] s[4] dpl[6:5] p[7] avl[8] l[9] db[10] g[11] unusable[12]
+struct XenSegmentReg {
+  uint64_t base = 0;
+  uint32_t limit = 0;
+  uint16_t sel = 0;
+  uint16_t attr = 0;
+
+  bool operator==(const XenSegmentReg&) const = default;
+};
+
+uint16_t PackXenSegmentAttributes(const UisrSegment& seg);
+void UnpackXenSegmentAttributes(uint16_t attr, UisrSegment& seg);
+XenSegmentReg ToXenSegment(const UisrSegment& seg);
+UisrSegment FromXenSegment(const XenSegmentReg& seg);
+
+// FXSAVE codec shared with other hypervisors that store raw FXSAVE blobs.
+// (Declared in src/uisr/fxsave.h; re-exported here for Xen's record types.)
+
+// Equivalent of Xen's hvm_hw_cpu: one vCPU's architectural state.
+struct XenHvmCpu {
+  // GPRs as named fields, in Xen's member order (rbp before rsi/rdi).
+  uint64_t rax = 0, rbx = 0, rcx = 0, rdx = 0, rbp = 0, rsi = 0, rdi = 0, rsp = 0;
+  uint64_t r8 = 0, r9 = 0, r10 = 0, r11 = 0, r12 = 0, r13 = 0, r14 = 0, r15 = 0;
+  uint64_t rip = 0, rflags = 0;
+  uint64_t cr0 = 0, cr2 = 0, cr3 = 0, cr4 = 0;
+  // No cr8 field: Xen keeps the TPR in the LAPIC register page.
+  XenSegmentReg cs, ds, es, fs, gs, ss, tr, ldtr;
+  uint64_t gdtr_base = 0, idtr_base = 0;
+  uint32_t gdtr_limit = 0, idtr_limit = 0;
+  uint64_t sysenter_cs = 0, sysenter_esp = 0, sysenter_eip = 0;
+  // Well-known MSRs in fixed slots (no generic list in Xen's record).
+  uint64_t msr_efer = 0, msr_star = 0, msr_lstar = 0, msr_cstar = 0;
+  uint64_t msr_syscall_mask = 0;  // SFMASK.
+  uint64_t shadow_gs = 0;         // KERNEL_GS_BASE.
+  uint64_t msr_misc_enable = 0;
+  uint64_t tsc = 0;
+  FxsaveArea fxsave{};  // FPU/SSE state as a raw FXSAVE area.
+  uint8_t online = 1;
+
+  bool operator==(const XenHvmCpu&) const = default;
+};
+
+// Equivalent of hvm_hw_lapic + the register page. The APIC base MSR lives
+// here (Table 2: Xen "LAPIC" maps to KVM "MSRS").
+struct XenLapic {
+  uint64_t apic_base_msr = 0;
+  uint64_t tsc_deadline = 0;
+  std::array<uint8_t, kLapicRegsSize> regs{};
+
+  bool operator==(const XenLapic&) const = default;
+};
+
+// Equivalent of hvm_hw_mtrr: MTRRs plus PAT in one record.
+struct XenMtrr {
+  uint64_t msr_mtrr_cap = 0;
+  uint64_t msr_mtrr_def_type = 0;
+  std::array<uint64_t, kMtrrFixedCount> fixed{};
+  // Variable MTRRs interleaved base/mask, as in Xen's msr_mtrr_var array.
+  std::array<uint64_t, kMtrrVariableCount * 2> var{};
+  uint64_t msr_pat_cr = 0;
+
+  bool operator==(const XenMtrr&) const = default;
+};
+
+struct XenXsave {
+  uint64_t xcr0 = 0;
+  uint64_t xcr0_accum = 0;  // Xen-only bookkeeping; not part of UISR.
+  std::vector<uint8_t> area;
+
+  bool operator==(const XenXsave&) const = default;
+};
+
+inline constexpr uint32_t kXenIoapicPins = 48;
+struct XenIoapic {
+  uint8_t id = 0;
+  uint64_t base_address = 0xFEC00000;
+  std::array<uint64_t, kXenIoapicPins> redirtbl{};
+
+  bool operator==(const XenIoapic&) const = default;
+};
+
+struct XenPitChannel {
+  uint32_t count = 0;
+  uint16_t latched_count = 0;
+  uint8_t count_latched = 0, status_latched = 0, status = 0;
+  uint8_t read_state = 0, write_state = 0, write_latch = 0;
+  uint8_t rw_mode = 0, mode = 0, bcd = 0, gate = 0;
+  int64_t count_load_time = 0;  // Signed in Xen's record.
+
+  bool operator==(const XenPitChannel&) const = default;
+};
+
+struct XenPit {
+  std::array<XenPitChannel, 3> channels{};
+  uint8_t speaker_data_on = 0;
+
+  bool operator==(const XenPit&) const = default;
+};
+
+// Per-vCPU bundle of records.
+struct XenVcpuContext {
+  uint32_t vcpu_id = 0;
+  XenHvmCpu cpu;
+  XenLapic lapic;
+  XenMtrr mtrr;
+  XenXsave xsave;
+
+  bool operator==(const XenVcpuContext&) const = default;
+};
+
+// The full HVM context blob, equivalent of xc_domain_hvm_getcontext output.
+struct XenHvmContext {
+  std::vector<XenVcpuContext> vcpus;
+  XenIoapic ioapic;
+  XenPit pit;
+
+  bool operator==(const XenHvmContext&) const = default;
+};
+
+}  // namespace hypertp
+
+#endif  // HYPERTP_SRC_XEN_XEN_FORMATS_H_

@@ -1,0 +1,190 @@
+// Unit tests for src/base: Result, logging, CRC32 and byte codecs.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/base/crc32.h"
+#include "src/base/logging.h"
+#include "src/base/result.h"
+
+namespace hypertp {
+namespace {
+
+TEST(ResultTest, ValueRoundTrip) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, ErrorCarriesCodeAndMessage) {
+  Result<int> r = NotFoundError("vm 3 not found");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(r.error().message(), "vm 3 not found");
+  EXPECT_EQ(r.error().ToString(), "NOT_FOUND: vm 3 not found");
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, VoidSuccessAndFailure) {
+  Result<void> ok = OkResult();
+  EXPECT_TRUE(ok.ok());
+  Result<void> bad = DataLossError("checksum");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code(), ErrorCode::kDataLoss);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(9);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 9);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) {
+    return InvalidArgumentError("odd");
+  }
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  HYPERTP_ASSIGN_OR_RETURN(int h, Half(x));
+  HYPERTP_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  auto good = Quarter(8);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 2);
+
+  auto bad = Quarter(6);  // 6/2 = 3, second Half fails.
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(ResultTest, AllErrorCodesHaveNames) {
+  for (ErrorCode code :
+       {ErrorCode::kInvalidArgument, ErrorCode::kNotFound, ErrorCode::kAlreadyExists,
+        ErrorCode::kFailedPrecondition, ErrorCode::kOutOfRange, ErrorCode::kResourceExhausted,
+        ErrorCode::kUnimplemented, ErrorCode::kInternal, ErrorCode::kDataLoss,
+        ErrorCode::kUnavailable, ErrorCode::kAborted}) {
+    EXPECT_NE(ErrorCodeName(code), "UNKNOWN");
+  }
+}
+
+TEST(LoggingTest, SinkReceivesMessagesAboveThreshold) {
+  std::vector<std::string> lines;
+  LogSink old = SetLogSink([&lines](LogSeverity sev, std::string_view comp, std::string_view msg) {
+    lines.push_back(std::string(LogSeverityName(sev)) + "/" + std::string(comp) + "/" +
+                    std::string(msg));
+  });
+  SetMinLogSeverity(LogSeverity::kInfo);
+
+  HYPERTP_LOG(kDebug, "test") << "dropped";
+  HYPERTP_LOG(kInfo, "test") << "kept " << 42;
+  HYPERTP_LOG(kError, "other") << "error";
+
+  SetMinLogSeverity(LogSeverity::kWarning);
+  SetLogSink(std::move(old));
+
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "INFO/test/kept 42");
+  EXPECT_EQ(lines[1], "ERROR/other/error");
+}
+
+TEST(Crc32Test, KnownVectors) {
+  // Standard check value for "123456789".
+  const char* s = "123456789";
+  std::vector<uint8_t> data(s, s + std::strlen(s));
+  EXPECT_EQ(Crc32(data), 0xCBF43926u);
+
+  EXPECT_EQ(Crc32(std::span<const uint8_t>{}), 0u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  std::vector<uint8_t> data;
+  for (int i = 0; i < 1000; ++i) {
+    data.push_back(static_cast<uint8_t>(i * 37));
+  }
+  const uint32_t whole = Crc32(data);
+  uint32_t inc = 0;
+  inc = Crc32Update(inc, std::span<const uint8_t>(data).subspan(0, 400));
+  inc = Crc32Update(inc, std::span<const uint8_t>(data).subspan(400));
+  EXPECT_EQ(inc, whole);
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::vector<uint8_t> data(64, 0xAB);
+  const uint32_t before = Crc32(data);
+  data[17] ^= 0x04;
+  EXPECT_NE(Crc32(data), before);
+}
+
+TEST(BytesTest, IntegerRoundTrip) {
+  ByteWriter w;
+  w.PutU8(0x12);
+  w.PutU16(0x3456);
+  w.PutU32(0x789ABCDE);
+  w.PutU64(0x0123456789ABCDEFull);
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.ReadU8().value(), 0x12);
+  EXPECT_EQ(r.ReadU16().value(), 0x3456);
+  EXPECT_EQ(r.ReadU32().value(), 0x789ABCDEu);
+  EXPECT_EQ(r.ReadU64().value(), 0x0123456789ABCDEFull);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, LittleEndianLayout) {
+  ByteWriter w;
+  w.PutU32(0x01020304);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.bytes()[0], 0x04);
+  EXPECT_EQ(w.bytes()[3], 0x01);
+}
+
+TEST(BytesTest, StringsAndBlobs) {
+  ByteWriter w;
+  w.PutString("hypertp");
+  std::vector<uint8_t> blob = {1, 2, 3};
+  w.PutLengthPrefixed(blob);
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.ReadString().value(), "hypertp");
+  EXPECT_EQ(r.ReadLengthPrefixed().value(), blob);
+}
+
+TEST(BytesTest, TruncationIsDataLoss) {
+  ByteWriter w;
+  w.PutU16(7);
+  ByteReader r(w.bytes());
+  auto res = r.ReadU32();
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.error().code(), ErrorCode::kDataLoss);
+}
+
+TEST(BytesTest, PatchU32BackfillsSectionSize) {
+  ByteWriter w;
+  w.PutU32(0);  // Placeholder.
+  w.PutU64(99);
+  w.PatchU32(0, static_cast<uint32_t>(w.size()));
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.ReadU32().value(), 12u);
+}
+
+TEST(BytesTest, SkipAdvancesAndBoundsChecks) {
+  ByteWriter w;
+  w.PutU64(1);
+  ByteReader r(w.bytes());
+  EXPECT_TRUE(r.Skip(4).ok());
+  EXPECT_EQ(r.remaining(), 4u);
+  EXPECT_FALSE(r.Skip(5).ok());
+}
+
+}  // namespace
+}  // namespace hypertp

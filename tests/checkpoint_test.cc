@@ -1,0 +1,173 @@
+// Tests for VM checkpointing: heterogeneous cold restore, integrity, and
+// the guest-image invariant across a save/destroy/restore cycle.
+
+#include <gtest/gtest.h>
+
+#include "src/core/checkpoint.h"
+#include "src/core/factory.h"
+#include "src/guest/guest_image.h"
+#include "src/kvm/kvm_host.h"
+#include "src/xen/xenvisor.h"
+
+namespace hypertp {
+namespace {
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  CheckpointTest()
+      : xen_machine_(MachineProfile::M1(), 1),
+        kvm_machine_(MachineProfile::M1(), 2),
+        xen_(xen_machine_),
+        kvm_(kvm_machine_) {}
+
+  Machine xen_machine_, kvm_machine_;
+  XenVisor xen_;
+  KvmHost kvm_;
+};
+
+TEST_F(CheckpointTest, RequiresPausedVm) {
+  auto id = xen_.CreateVm(VmConfig::Small("cp"));
+  ASSERT_TRUE(id.ok());
+  auto blob = SaveVmCheckpoint(xen_, *id);
+  ASSERT_FALSE(blob.ok());
+  EXPECT_EQ(blob.error().code(), ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(CheckpointTest, SaveDestroyRestoreSameHypervisor) {
+  auto id = xen_.CreateVm(VmConfig::Small("cp"));
+  ASSERT_TRUE(id.ok());
+  auto image = InstallGuestImage(xen_, *id, 42);
+  ASSERT_TRUE(image.ok());
+  const uint64_t uid = xen_.GetVmInfo(*id)->uid;
+
+  ASSERT_TRUE(xen_.PrepareVmForTransplant(*id).ok());
+  ASSERT_TRUE(xen_.PauseVm(*id).ok());
+  auto blob = SaveVmCheckpoint(xen_, *id);
+  ASSERT_TRUE(blob.ok()) << blob.error().ToString();
+  ASSERT_TRUE(xen_.DestroyVm(*id).ok());
+  EXPECT_TRUE(xen_.ListVms().empty());
+
+  auto restored = RestoreVmCheckpoint(xen_, *blob);
+  ASSERT_TRUE(restored.ok()) << restored.error().ToString();
+  EXPECT_EQ(xen_.GetVmInfo(*restored)->uid, uid);
+  ASSERT_TRUE(xen_.ResumeVm(*restored).ok());
+  EXPECT_TRUE(VerifyGuestImage(xen_, *restored, *image).ok());
+}
+
+TEST_F(CheckpointTest, HeterogeneousColdRestore) {
+  // Save on Xen, restore on KVM — the cold-transplant path.
+  auto id = xen_.CreateVm(VmConfig::Small("cold"));
+  ASSERT_TRUE(id.ok());
+  auto image = InstallGuestImage(xen_, *id, 9);
+  ASSERT_TRUE(image.ok());
+  ASSERT_TRUE(xen_.PrepareVmForTransplant(*id).ok());
+  ASSERT_TRUE(xen_.PauseVm(*id).ok());
+  auto blob = SaveVmCheckpoint(xen_, *id);
+  ASSERT_TRUE(blob.ok());
+  ASSERT_TRUE(xen_.DestroyVm(*id).ok());
+
+  auto restored = RestoreVmCheckpoint(kvm_, *blob);
+  ASSERT_TRUE(restored.ok()) << restored.error().ToString();
+  ASSERT_TRUE(kvm_.ResumeVm(*restored).ok());
+  auto verified = VerifyGuestImage(kvm_, *restored, *image);
+  EXPECT_TRUE(verified.ok()) << verified.error().ToString();
+}
+
+TEST_F(CheckpointTest, InspectWithoutRestore) {
+  VmConfig config = VmConfig::Small("peek");
+  config.vcpus = 3;
+  auto id = xen_.CreateVm(config);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(xen_.WriteGuestPage(*id, 10, 1).ok());
+  ASSERT_TRUE(xen_.PrepareVmForTransplant(*id).ok());
+  ASSERT_TRUE(xen_.PauseVm(*id).ok());
+  auto blob = SaveVmCheckpoint(xen_, *id);
+  ASSERT_TRUE(blob.ok());
+
+  auto info = InspectCheckpoint(*blob);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->name, "peek");
+  EXPECT_EQ(info->vcpus, 3u);
+  EXPECT_EQ(info->source_hypervisor, "xenvisor-4.12");
+  EXPECT_GE(info->page_count, 1u);
+}
+
+TEST_F(CheckpointTest, CorruptBlobRejected) {
+  auto id = xen_.CreateVm(VmConfig::Small("c"));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(xen_.PrepareVmForTransplant(*id).ok());
+  ASSERT_TRUE(xen_.PauseVm(*id).ok());
+  auto blob = SaveVmCheckpoint(xen_, *id);
+  ASSERT_TRUE(blob.ok());
+  ASSERT_TRUE(xen_.DestroyVm(*id).ok());
+
+  // Every sampled single-byte corruption must be caught by the CRC.
+  for (size_t i = 0; i < blob->size(); i += 211) {
+    auto corrupted = *blob;
+    corrupted[i] ^= 0x20;
+    auto result = RestoreVmCheckpoint(xen_, corrupted);
+    ASSERT_FALSE(result.ok()) << "corruption at " << i << " undetected";
+  }
+  // Truncations too.
+  std::vector<uint8_t> cut(blob->begin(), blob->begin() + static_cast<ptrdiff_t>(8));
+  EXPECT_FALSE(RestoreVmCheckpoint(xen_, cut).ok());
+}
+
+TEST_F(CheckpointTest, DuplicateUidRejected) {
+  auto id = xen_.CreateVm(VmConfig::Small("dup"));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(xen_.PrepareVmForTransplant(*id).ok());
+  ASSERT_TRUE(xen_.PauseVm(*id).ok());
+  auto blob = SaveVmCheckpoint(xen_, *id);
+  ASSERT_TRUE(blob.ok());
+  // VM still exists: restoring alongside it must fail.
+  auto clone = RestoreVmCheckpoint(xen_, *blob);
+  ASSERT_FALSE(clone.ok());
+  EXPECT_EQ(clone.error().code(), ErrorCode::kAlreadyExists);
+}
+
+// Parameterized matrix: checkpoints restore across every hypervisor pair.
+struct CheckpointPair {
+  HypervisorKind save_on;
+  HypervisorKind restore_on;
+};
+
+class CheckpointMatrixTest : public ::testing::TestWithParam<CheckpointPair> {};
+
+TEST_P(CheckpointMatrixTest, RestoresAcrossKinds) {
+  Machine src_machine(MachineProfile::M1(), 11);
+  Machine dst_machine(MachineProfile::M1(), 12);
+  std::unique_ptr<Hypervisor> src = MakeHypervisor(GetParam().save_on, src_machine);
+  std::unique_ptr<Hypervisor> dst = MakeHypervisor(GetParam().restore_on, dst_machine);
+
+  auto id = src->CreateVm(VmConfig::Small("cpm"));
+  ASSERT_TRUE(id.ok());
+  auto image = InstallGuestImage(*src, *id, 55);
+  ASSERT_TRUE(image.ok());
+  ASSERT_TRUE(src->PrepareVmForTransplant(*id).ok());
+  ASSERT_TRUE(src->PauseVm(*id).ok());
+  auto blob = SaveVmCheckpoint(*src, *id);
+  ASSERT_TRUE(blob.ok()) << blob.error().ToString();
+  ASSERT_TRUE(src->DestroyVm(*id).ok());
+
+  auto restored = RestoreVmCheckpoint(*dst, *blob);
+  ASSERT_TRUE(restored.ok()) << restored.error().ToString();
+  ASSERT_TRUE(dst->ResumeVm(*restored).ok());
+  auto verified = VerifyGuestImage(*dst, *restored, *image);
+  EXPECT_TRUE(verified.ok()) << verified.error().ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, CheckpointMatrixTest,
+    ::testing::Values(CheckpointPair{HypervisorKind::kXen, HypervisorKind::kBhyve},
+                      CheckpointPair{HypervisorKind::kBhyve, HypervisorKind::kKvm},
+                      CheckpointPair{HypervisorKind::kKvm, HypervisorKind::kBhyve},
+                      CheckpointPair{HypervisorKind::kBhyve, HypervisorKind::kXen},
+                      CheckpointPair{HypervisorKind::kBhyve, HypervisorKind::kBhyve}),
+    [](const ::testing::TestParamInfo<CheckpointPair>& info) {
+      return std::string(HypervisorKindName(info.param.save_on)) + "_to_" +
+             std::string(HypervisorKindName(info.param.restore_on));
+    });
+
+}  // namespace
+}  // namespace hypertp

@@ -1,0 +1,109 @@
+// Tests for guest clock continuity: the TSC (and TSC-deadline timers) must
+// advance monotonically across transplants and migrations — a guest must
+// never observe time running backwards.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/factory.h"
+#include "src/core/inplace.h"
+#include "src/kvm/kvm_host.h"
+#include "src/migrate/migrate.h"
+#include "src/xen/xenvisor.h"
+
+namespace hypertp {
+namespace {
+
+constexpr uint32_t kMsrTsc = 0x10;
+
+// Reads vCPU 0's TSC through the UISR save path (pausing and resuming).
+uint64_t ReadTsc(Hypervisor& hv, VmId id) {
+  const VmRunState state = hv.GetVmInfo(id)->run_state;
+  (void)hv.PauseVm(id);
+  FixupLog log;
+  auto uisr = hv.SaveVmToUisr(id, &log);
+  uint64_t tsc = 0;
+  if (uisr.ok()) {
+    for (const UisrMsr& msr : uisr->vcpus[0].msrs) {
+      if (msr.index == kMsrTsc) {
+        tsc = msr.value;
+      }
+    }
+  }
+  if (state == VmRunState::kRunning) {
+    (void)hv.ResumeVm(id);
+  }
+  return tsc;
+}
+
+TEST(ClockContinuityTest, AdvanceGuestClocksMovesTscForward) {
+  Machine machine(MachineProfile::M1(), 1);
+  XenVisor xen(machine);
+  auto id = xen.CreateVm(VmConfig::Small("clock"));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(xen.PrepareVmForTransplant(*id).ok());
+
+  const uint64_t before = ReadTsc(xen, *id);
+  ASSERT_TRUE(xen.AdvanceGuestClocks(*id, Seconds(2)).ok());
+  const uint64_t after = ReadTsc(xen, *id);
+  EXPECT_EQ(after, before + static_cast<uint64_t>(Seconds(2)));
+}
+
+TEST(ClockContinuityTest, KvmAdvanceAlsoMovesDeadlineTimer) {
+  Machine machine(MachineProfile::M1(), 1);
+  KvmHost kvm(machine);
+  auto id = kvm.CreateVm(VmConfig::Small("clock"));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(kvm.PrepareVmForTransplant(*id).ok());
+  ASSERT_TRUE(kvm.PauseVm(*id).ok());
+  FixupLog log;
+  auto before = kvm.SaveVmToUisr(*id, &log);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(kvm.AdvanceGuestClocks(*id, Millis(500)).ok());
+  auto after = kvm.SaveVmToUisr(*id, &log);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->vcpus[0].lapic.tsc_deadline,
+            before->vcpus[0].lapic.tsc_deadline + static_cast<uint64_t>(Millis(500)));
+}
+
+TEST(ClockContinuityTest, InPlaceTransplantAdvancesTscByPause) {
+  Machine machine(MachineProfile::M1(), 1);
+  std::unique_ptr<Hypervisor> xen = MakeHypervisor(HypervisorKind::kXen, machine);
+  auto id = xen->CreateVm(VmConfig::Small("tsc"));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(xen->PrepareVmForTransplant(*id).ok());
+  const uint64_t before = ReadTsc(*xen, *id);
+
+  auto result = InPlaceTransplant::Run(std::move(xen), HypervisorKind::kKvm, InPlaceOptions{});
+  ASSERT_TRUE(result.ok());
+  const uint64_t after = ReadTsc(*result->hypervisor, result->restored_vms[0]);
+
+  // TSC advanced by at least the pause span (translation + reboot +
+  // restoration, ~1.7 s on M1) and by no more than the total operation.
+  EXPECT_GE(after, before + static_cast<uint64_t>(SecondsF(1.5)));
+  EXPECT_LE(after, before + static_cast<uint64_t>(SecondsF(3.0)));
+}
+
+TEST(ClockContinuityTest, MigrationAdvancesTscByDowntime) {
+  Machine src_machine(MachineProfile::M1(), 1);
+  Machine dst_machine(MachineProfile::M1(), 2);
+  XenVisor xen(src_machine);
+  KvmHost kvm(dst_machine);
+  auto id = xen.CreateVm(VmConfig::Small("mig-tsc"));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(xen.PrepareVmForTransplant(*id).ok());
+  const uint64_t before = ReadTsc(xen, *id);
+
+  MigrationEngine engine(NetworkLink{1.0});
+  auto result = engine.MigrateVm(xen, *id, kvm, MigrationConfig{});
+  ASSERT_TRUE(result.ok());
+  const uint64_t after = ReadTsc(kvm, result->dest_vm_id);
+
+  // Advanced by ~the downtime (a few ms), never backwards.
+  EXPECT_GT(after, before);
+  EXPECT_LE(after, before + static_cast<uint64_t>(Millis(100)));
+}
+
+}  // namespace
+}  // namespace hypertp

@@ -1,0 +1,200 @@
+// Cross-hypervisor translation properties: the invariants in DESIGN.md §5.
+//
+// These are the tests that prove UISR does its job: a VM's architectural
+// state survives Xen -> UISR -> KVM -> UISR -> Xen bit-exactly (modulo the
+// documented lossy fixups), and the serialized UISR blob produced by one
+// hypervisor is consumable by the other.
+
+#include <gtest/gtest.h>
+
+#include "src/kvm/kvm_host.h"
+#include "src/kvm/kvm_uisr.h"
+#include "src/uisr/codec.h"
+#include "src/xen/xen_uisr.h"
+#include "src/xen/xenvisor.h"
+
+namespace hypertp {
+namespace {
+
+TEST(CrossHypervisorTest, VcpuXenToKvmToXenBitExact) {
+  // Property over several VMs and vCPUs.
+  for (uint64_t uid : {1ull, 42ull, 987654ull}) {
+    for (uint32_t vcpu_id : {0u, 2u}) {
+      const UisrVcpu golden = MakeSyntheticVcpu(uid, vcpu_id);
+
+      FixupLog log;
+      auto xen1 = XenVcpuFromUisr(golden, uid, &log);
+      ASSERT_TRUE(xen1.ok());
+      auto uisr1 = XenVcpuToUisr(*xen1);
+      ASSERT_TRUE(uisr1.ok());
+
+      auto kvm = KvmVcpuFromUisr(*uisr1);
+      ASSERT_TRUE(kvm.ok());
+      auto uisr2 = KvmVcpuToUisr(*kvm);
+      ASSERT_TRUE(uisr2.ok());
+
+      auto xen2 = XenVcpuFromUisr(*uisr2, uid, &log);
+      ASSERT_TRUE(xen2.ok());
+
+      EXPECT_EQ(*uisr2, golden) << "UISR drifted through the KVM leg";
+      EXPECT_EQ(*xen2, *xen1) << "Xen state drifted through a full round trip";
+      EXPECT_TRUE(log.empty());
+    }
+  }
+}
+
+TEST(CrossHypervisorTest, SegmentFormatsDifferButConvert) {
+  // The two hypervisors genuinely store segments differently: packed 16-bit
+  // attribute word (Xen) vs discrete fields (KVM).
+  UisrSegment seg = MakeSyntheticVcpu(1, 0).sregs.cs;
+  XenSegmentReg xen_seg = ToXenSegment(seg);
+  EXPECT_NE(xen_seg.attr, 0);  // Attributes are packed into one word.
+  auto kvm = KvmVcpuFromUisr(MakeSyntheticVcpu(1, 0));
+  ASSERT_TRUE(kvm.ok());
+  EXPECT_EQ(kvm->sregs.cs.l, 1);  // And unpacked on the KVM side.
+  EXPECT_EQ((xen_seg.attr >> 9) & 1, 1);
+}
+
+TEST(CrossHypervisorTest, MsrStorageStrategiesDiffer) {
+  const UisrVcpu golden = MakeSyntheticVcpu(5, 0);
+  FixupLog log;
+  auto xen = XenVcpuFromUisr(golden, 5, &log);
+  ASSERT_TRUE(xen.ok());
+  auto kvm = KvmVcpuFromUisr(golden);
+  ASSERT_TRUE(kvm.ok());
+  // Xen: fixed slots; KVM: a list that also carries MTRR/PAT/APIC entries.
+  EXPECT_EQ(xen->cpu.msr_lstar, 0xFFFFFFFF81800000ull);
+  EXPECT_GT(kvm->msrs.size(), golden.msrs.size());
+}
+
+TEST(CrossHypervisorTest, UisrBlobFromXenSideDecodesForKvmSide) {
+  // End-to-end through the wire format, as MigrationTP's proxies do.
+  Machine machine(MachineProfile::M1(), 1);
+  XenVisor xen(machine);
+  VmConfig config = VmConfig::Small("wire");
+  config.vcpus = 2;
+  auto id = xen.CreateVm(config);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(xen.PrepareVmForTransplant(*id).ok());
+  ASSERT_TRUE(xen.PauseVm(*id).ok());
+  FixupLog log;
+  auto uisr = xen.SaveVmToUisr(*id, &log);
+  ASSERT_TRUE(uisr.ok());
+
+  const std::vector<uint8_t> blob = EncodeUisrVm(*uisr);
+  auto decoded = DecodeUisrVm(blob);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, *uisr);
+
+  FixupLog kvm_log;
+  auto platform = KvmPlatformFromUisr(*decoded, &kvm_log);
+  ASSERT_TRUE(platform.ok());
+  EXPECT_EQ(platform->vcpus.size(), 2u);
+  // Xen wires virtio to pins >= 24, so the KVM side must log disconnects.
+  EXPECT_FALSE(kvm_log.empty());
+  for (const StateFixup& fixup : kvm_log) {
+    EXPECT_EQ(fixup.component, "ioapic");
+  }
+}
+
+TEST(CrossHypervisorTest, FullVmTransplantXenToKvmOnDifferentMachines) {
+  // The "migration-shaped" state path: save on a Xen host, restore on a KVM
+  // host with freshly allocated memory. (The memory contents move separately
+  // — tested in the migrate module.)
+  Machine xen_machine(MachineProfile::M1(), 1);
+  Machine kvm_machine(MachineProfile::M1(), 2);
+  XenVisor xen(xen_machine);
+  KvmHost kvm(kvm_machine);
+
+  VmConfig config = VmConfig::Small("traveler");
+  config.vcpus = 2;
+  auto src_id = xen.CreateVm(config);
+  ASSERT_TRUE(src_id.ok());
+  ASSERT_TRUE(xen.PrepareVmForTransplant(*src_id).ok());
+  ASSERT_TRUE(xen.PauseVm(*src_id).ok());
+  FixupLog log;
+  auto uisr = xen.SaveVmToUisr(*src_id, &log);
+  ASSERT_TRUE(uisr.ok());
+
+  GuestMemoryBinding binding;
+  binding.mode = GuestMemoryBinding::Mode::kAllocate;
+  auto dst_id = kvm.RestoreVmFromUisr(*uisr, binding, &log);
+  ASSERT_TRUE(dst_id.ok()) << dst_id.error().ToString();
+
+  auto info = kvm.GetVmInfo(*dst_id);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->uid, uisr->vm_uid);
+  EXPECT_EQ(info->vcpus, 2u);
+  EXPECT_EQ(info->memory_bytes, config.memory_bytes);
+  EXPECT_EQ(info->run_state, VmRunState::kPaused);
+  ASSERT_TRUE(kvm.ResumeVm(*dst_id).ok());
+  EXPECT_EQ(kvm.GetVmInfo(*dst_id)->run_state, VmRunState::kRunning);
+}
+
+TEST(CrossHypervisorTest, KvmToXenVcpuSurvives) {
+  // The reverse direction: a KVM-born VM's state restores under Xen.
+  Machine kvm_machine(MachineProfile::M1(), 1);
+  KvmHost kvm(kvm_machine);
+  auto id = kvm.CreateVm(VmConfig::Small("reverse"));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(kvm.PrepareVmForTransplant(*id).ok());
+  ASSERT_TRUE(kvm.PauseVm(*id).ok());
+  FixupLog log;
+  auto uisr = kvm.SaveVmToUisr(*id, &log);
+  ASSERT_TRUE(uisr.ok());
+  EXPECT_EQ(uisr->ioapic.num_pins, 24u);
+
+  FixupLog xen_log;
+  auto xen_platform = XenPlatformFromUisr(*uisr, &xen_log);
+  ASSERT_TRUE(xen_platform.ok());
+  // 24 -> 48 pins is a widening: no fixups needed.
+  EXPECT_TRUE(xen_log.empty());
+  // And the vCPU state is bit-identical through the KVM -> Xen leg.
+  auto back = XenVcpuToUisr(xen_platform->vcpus[0]);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, uisr->vcpus[0]);
+}
+
+TEST(CrossHypervisorTest, LossyIoapicFixupIsExactlyTheDocumentedOne) {
+  // Xen -> KVM drops active pins >= 24 and nothing else. Build a VM with
+  // every Xen pin active and verify the loss is exactly pins 24..47.
+  UisrVm vm;
+  vm.vm_uid = 8;
+  vm.vcpus.push_back(MakeSyntheticVcpu(8, 0));
+  vm.ioapic.num_pins = 48;
+  for (uint32_t p = 0; p < 48; ++p) {
+    vm.ioapic.redirection[p] = 0x20000 + p;
+  }
+  FixupLog log;
+  auto platform = KvmPlatformFromUisr(vm, &log);
+  ASSERT_TRUE(platform.ok());
+  EXPECT_EQ(log.size(), 24u);
+  for (uint32_t p = 0; p < 24; ++p) {
+    EXPECT_EQ(platform->ioapic.redirtbl[p], 0x20000u + p);
+  }
+}
+
+TEST(CrossHypervisorTest, GuestUidIsStableAcrossHypervisors) {
+  Machine m1(MachineProfile::M1(), 1);
+  Machine m2(MachineProfile::M1(), 2);
+  XenVisor xen(m1);
+  KvmHost kvm(m2);
+
+  auto xen_id = xen.CreateVm(VmConfig::Small("uid-check"));
+  ASSERT_TRUE(xen_id.ok());
+  const uint64_t uid = xen.GetVmInfo(*xen_id)->uid;
+
+  ASSERT_TRUE(xen.PrepareVmForTransplant(*xen_id).ok());
+  ASSERT_TRUE(xen.PauseVm(*xen_id).ok());
+  FixupLog log;
+  auto uisr = xen.SaveVmToUisr(*xen_id, &log);
+  ASSERT_TRUE(uisr.ok());
+  GuestMemoryBinding binding;
+  auto kvm_id = kvm.RestoreVmFromUisr(*uisr, binding, &log);
+  ASSERT_TRUE(kvm_id.ok());
+  EXPECT_EQ(kvm.GetVmInfo(*kvm_id)->uid, uid);
+  EXPECT_TRUE(kvm.FindVmByUid(uid).ok());
+}
+
+}  // namespace
+}  // namespace hypertp

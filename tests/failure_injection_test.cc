@@ -1,0 +1,139 @@
+// Fault-injection tests for InPlaceTP's recovery semantics (DESIGN.md §5:
+// "Transplant aborts cleanly ... on any translation failure before the point
+// of no return") and for the catastrophic post-pause failure mode.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/factory.h"
+#include "src/core/inplace.h"
+#include "src/guest/guest_image.h"
+
+namespace hypertp {
+namespace {
+
+TEST(FailureInjectionTest, TranslationFaultAbortsCleanly) {
+  Machine machine(MachineProfile::M1(), 1);
+  std::unique_ptr<Hypervisor> xen = MakeHypervisor(HypervisorKind::kXen, machine);
+
+  std::vector<std::pair<VmId, GuestImageInfo>> images;
+  for (int i = 0; i < 4; ++i) {
+    auto id = xen->CreateVm(VmConfig::Small("ft-" + std::to_string(i)));
+    ASSERT_TRUE(id.ok());
+    auto image = InstallGuestImage(*xen, *id, 200 + static_cast<uint64_t>(i));
+    ASSERT_TRUE(image.ok());
+    images.emplace_back(*id, *image);
+  }
+  const uint64_t frames_before = machine.memory().allocated_frames();
+
+  InPlaceOptions options;
+  options.inject_fault = InPlaceOptions::Fault::kTranslationFailure;
+  std::unique_ptr<Hypervisor> survivor;
+  auto result = InPlaceTransplant::Run(std::move(xen), HypervisorKind::kKvm, options, &survivor);
+
+  // The transplant reports a clean abort...
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kAborted);
+  // ...the source hypervisor is handed back, still operating...
+  ASSERT_NE(survivor, nullptr);
+  EXPECT_EQ(survivor->kind(), HypervisorKind::kXen);
+  // ...every VM is running again with its guest structures intact...
+  for (const auto& [id, image] : images) {
+    auto info = survivor->GetVmInfo(id);
+    ASSERT_TRUE(info.ok());
+    EXPECT_EQ(info->run_state, VmRunState::kRunning);
+    EXPECT_TRUE(VerifyGuestImage(*survivor, id, image).ok());
+  }
+  // ...and nothing leaked: the staged kernel image, PRAM metadata and UISR
+  // frames were all released.
+  EXPECT_EQ(machine.memory().allocated_frames(), frames_before);
+  EXPECT_TRUE(machine.memory().ExtentsOfKind(FrameOwnerKind::kKernelImage).empty());
+  EXPECT_TRUE(machine.memory().ExtentsOfKind(FrameOwnerKind::kPramMeta).empty());
+  EXPECT_TRUE(machine.memory().ExtentsOfKind(FrameOwnerKind::kUisr).empty());
+}
+
+TEST(FailureInjectionTest, AbortedHostCanRetryAndSucceed) {
+  Machine machine(MachineProfile::M1(), 1);
+  std::unique_ptr<Hypervisor> xen = MakeHypervisor(HypervisorKind::kXen, machine);
+  auto id = xen->CreateVm(VmConfig::Small("retry"));
+  ASSERT_TRUE(id.ok());
+  auto image = InstallGuestImage(*xen, *id, 300);
+  ASSERT_TRUE(image.ok());
+
+  InPlaceOptions faulty;
+  faulty.inject_fault = InPlaceOptions::Fault::kTranslationFailure;
+  std::unique_ptr<Hypervisor> survivor;
+  ASSERT_FALSE(InPlaceTransplant::Run(std::move(xen), HypervisorKind::kKvm, faulty, &survivor)
+                   .ok());
+  ASSERT_NE(survivor, nullptr);
+
+  // Second attempt without the fault must succeed on the same machine.
+  auto result = InPlaceTransplant::Run(std::move(survivor), HypervisorKind::kKvm,
+                                       InPlaceOptions{});
+  ASSERT_TRUE(result.ok()) << result.error().ToString();
+  ASSERT_EQ(result->restored_vms.size(), 1u);
+  EXPECT_TRUE(VerifyGuestImage(*result->hypervisor, result->restored_vms[0], *image).ok());
+}
+
+TEST(FailureInjectionTest, PramCorruptionAfterPauseIsDataLoss) {
+  // Past the point of no return there is no abort: a corrupted PRAM root
+  // means the micro-reboot scrubs the guests, exactly like real hardware.
+  Machine machine(MachineProfile::M1(), 1);
+  std::unique_ptr<Hypervisor> xen = MakeHypervisor(HypervisorKind::kXen, machine);
+  ASSERT_TRUE(xen->CreateVm(VmConfig::Small("doomed")).ok());
+
+  InPlaceOptions options;
+  options.inject_fault = InPlaceOptions::Fault::kPramCorruptionBeforeReboot;
+  std::unique_ptr<Hypervisor> survivor;
+  auto result = InPlaceTransplant::Run(std::move(xen), HypervisorKind::kKvm, options, &survivor);
+
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kDataLoss);
+  EXPECT_EQ(survivor, nullptr);  // No survivor: the old world rebooted away.
+  // The scrub reclaimed the guests (nothing preserved without valid PRAM).
+  EXPECT_TRUE(machine.memory().ExtentsOfKind(FrameOwnerKind::kGuest).empty());
+}
+
+TEST(FailureInjectionTest, UisrCorruptionAfterRebootIsDetectedByCrc) {
+  // The PRAM reservation holds, so guest memory survives the scrub — but
+  // the VM's platform state blob fails its CRC and the restore reports
+  // data loss instead of resuming a corrupt vCPU.
+  Machine machine(MachineProfile::M1(), 1);
+  std::unique_ptr<Hypervisor> xen = MakeHypervisor(HypervisorKind::kXen, machine);
+  ASSERT_TRUE(xen->CreateVm(VmConfig::Small("corrupt-uisr")).ok());
+
+  InPlaceOptions options;
+  options.inject_fault = InPlaceOptions::Fault::kUisrCorruptionBeforeReboot;
+  auto result = InPlaceTransplant::Run(std::move(xen), HypervisorKind::kKvm, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kDataLoss);
+  EXPECT_NE(result.error().message().find("UISR"), std::string::npos);
+  // Unlike the PRAM-corruption case, the guest frames themselves survived.
+  EXPECT_FALSE(machine.memory().ExtentsOfKind(FrameOwnerKind::kGuest).empty());
+}
+
+TEST(FailureInjectionTest, OutOfMemoryDuringStagingAborts) {
+  // Organic (non-injected) failure: no room to stage the kernel image.
+  Machine machine(MachineProfile::M1(), 1);
+  std::unique_ptr<Hypervisor> xen = MakeHypervisor(HypervisorKind::kXen, machine);
+  auto id = xen->CreateVm(VmConfig::Small("oom"));
+  ASSERT_TRUE(id.ok());
+  // Hog all remaining RAM.
+  uint64_t chunk = machine.memory().free_frames();
+  while (machine.memory().free_frames() > 0 && chunk > 0) {
+    if (!machine.memory().Alloc(chunk, 1, FrameOwner{FrameOwnerKind::kVmm, 424242}).ok()) {
+      chunk /= 2;
+    }
+  }
+  std::unique_ptr<Hypervisor> survivor;
+  auto result =
+      InPlaceTransplant::Run(std::move(xen), HypervisorKind::kKvm, InPlaceOptions{}, &survivor);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kAborted);
+  ASSERT_NE(survivor, nullptr);
+  EXPECT_EQ(survivor->GetVmInfo(*id)->run_state, VmRunState::kRunning);
+}
+
+}  // namespace
+}  // namespace hypertp

@@ -1,0 +1,98 @@
+// Tests for the synthetic guest image: installation, verification, and
+// tamper detection.
+
+#include <gtest/gtest.h>
+
+#include "src/guest/guest_image.h"
+#include "src/kvm/kvm_host.h"
+#include "src/xen/xenvisor.h"
+
+namespace hypertp {
+namespace {
+
+class GuestImageTest : public ::testing::Test {
+ protected:
+  GuestImageTest() : machine_(MachineProfile::M1(), 1), xen_(machine_) {
+    auto id = xen_.CreateVm(VmConfig::Small("img"));
+    EXPECT_TRUE(id.ok());
+    vm_ = *id;
+  }
+
+  Machine machine_;
+  XenVisor xen_;
+  VmId vm_ = 0;
+};
+
+TEST_F(GuestImageTest, InstallThenVerify) {
+  auto info = InstallGuestImage(xen_, vm_, 1234);
+  ASSERT_TRUE(info.ok()) << info.error().ToString();
+  EXPECT_GT(info->chain_length, 4u);
+  auto ok = VerifyGuestImage(xen_, vm_, *info);
+  EXPECT_TRUE(ok.ok()) << ok.error().ToString();
+}
+
+TEST_F(GuestImageTest, DifferentSeedsProduceDifferentImages) {
+  auto a = InstallGuestImage(xen_, vm_, 1);
+  ASSERT_TRUE(a.ok());
+  // Verification against the wrong seed must fail.
+  GuestImageInfo wrong = *a;
+  wrong.seed = 2;
+  auto bad = VerifyGuestImage(xen_, vm_, wrong);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code(), ErrorCode::kDataLoss);
+}
+
+TEST_F(GuestImageTest, ContentTamperDetected) {
+  auto info = InstallGuestImage(xen_, vm_, 7);
+  ASSERT_TRUE(info.ok());
+  // Flip the summary page.
+  auto word = xen_.ReadGuestPage(vm_, info->summary_gfn);
+  ASSERT_TRUE(word.ok());
+  ASSERT_TRUE(xen_.WriteGuestPage(vm_, info->summary_gfn, *word ^ 0x100).ok());
+  auto bad = VerifyGuestImage(xen_, vm_, *info);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.error().message().find("summary"), std::string::npos);
+}
+
+TEST_F(GuestImageTest, BootPageTamperDetected) {
+  auto info = InstallGuestImage(xen_, vm_, 7);
+  ASSERT_TRUE(info.ok());
+  ASSERT_TRUE(xen_.WriteGuestPage(vm_, 0, 0xBAD).ok());
+  auto bad = VerifyGuestImage(xen_, vm_, *info);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.error().message().find("boot page"), std::string::npos);
+}
+
+TEST_F(GuestImageTest, TooSmallVmRejected) {
+  VmConfig config = VmConfig::Small("tiny");
+  config.memory_bytes = 8 * kPageSize;
+  config.huge_pages = false;
+  auto id = xen_.CreateVm(config);
+  ASSERT_TRUE(id.ok());
+  EXPECT_FALSE(InstallGuestImage(xen_, *id, 1).ok());
+}
+
+TEST(GuestImagePortabilityTest, SameImageVerifiesOnBothHypervisors) {
+  // The image only uses the public Hypervisor interface, so it behaves
+  // identically regardless of the hypervisor species.
+  Machine m1(MachineProfile::M1(), 1);
+  Machine m2(MachineProfile::M1(), 2);
+  XenVisor xen(m1);
+  KvmHost kvm(m2);
+  VmConfig config = VmConfig::Small("port");
+  config.uid = 777000;
+  auto xen_vm = xen.CreateVm(config);
+  config.uid = 777001;
+  auto kvm_vm = kvm.CreateVm(config);
+  ASSERT_TRUE(xen_vm.ok());
+  ASSERT_TRUE(kvm_vm.ok());
+  auto xi = InstallGuestImage(xen, *xen_vm, 5);
+  auto ki = InstallGuestImage(kvm, *kvm_vm, 5);
+  ASSERT_TRUE(xi.ok());
+  ASSERT_TRUE(ki.ok());
+  EXPECT_TRUE(VerifyGuestImage(xen, *xen_vm, *xi).ok());
+  EXPECT_TRUE(VerifyGuestImage(kvm, *kvm_vm, *ki).ok());
+}
+
+}  // namespace
+}  // namespace hypertp

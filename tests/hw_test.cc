@@ -1,0 +1,184 @@
+// Unit tests for src/hw: frame allocator, content words, scrubbing, machines.
+
+#include <gtest/gtest.h>
+
+#include "src/hw/machine.h"
+#include "src/hw/physical_memory.h"
+
+namespace hypertp {
+namespace {
+
+constexpr FrameOwner kGuest1{FrameOwnerKind::kGuest, 1};
+constexpr FrameOwner kGuest2{FrameOwnerKind::kGuest, 2};
+constexpr FrameOwner kHv{FrameOwnerKind::kHypervisor, 0};
+constexpr FrameOwner kPram{FrameOwnerKind::kPramMeta, 0};
+
+TEST(PhysicalMemoryTest, FreshRamIsAllFree) {
+  PhysicalMemory ram(1 << 20);  // 1 MiB = 256 frames.
+  EXPECT_EQ(ram.total_frames(), 256u);
+  EXPECT_EQ(ram.free_frames(), 255u);  // Frame 0 is reserved.
+  EXPECT_EQ(ram.allocated_frames(), 1u);
+}
+
+TEST(PhysicalMemoryTest, AllocThenFreeRestoresState) {
+  PhysicalMemory ram(1 << 20);
+  auto mfn = ram.Alloc(16, 1, kGuest1);
+  ASSERT_TRUE(mfn.ok());
+  EXPECT_EQ(ram.free_frames(), 239u);
+  EXPECT_TRUE(ram.IsAllocated(*mfn));
+  EXPECT_TRUE(ram.Free(*mfn, 16).ok());
+  EXPECT_EQ(ram.free_frames(), 255u);
+  EXPECT_FALSE(ram.IsAllocated(*mfn));
+}
+
+TEST(PhysicalMemoryTest, AlignmentRespected) {
+  PhysicalMemory ram(16 << 20);
+  // Misalign the heap with a single frame first.
+  ASSERT_TRUE(ram.AllocFrame(kHv).ok());
+  auto huge = ram.AllocHugePage(kGuest1);
+  ASSERT_TRUE(huge.ok());
+  EXPECT_EQ(*huge % kFramesPerHugePage, 0u);
+}
+
+TEST(PhysicalMemoryTest, ExhaustionIsReported) {
+  PhysicalMemory ram(64 * kPageSize);
+  auto big = ram.Alloc(64, 1, kGuest1);  // Frame 0 is reserved, only 63 free.
+  ASSERT_FALSE(big.ok());
+  EXPECT_EQ(big.error().code(), ErrorCode::kResourceExhausted);
+  // Fragmentation: allocate all, free every other frame, then ask for 2.
+  std::vector<Mfn> frames;
+  for (int i = 0; i < 63; ++i) {
+    frames.push_back(ram.AllocFrame(kHv).value());
+  }
+  for (size_t i = 0; i < frames.size(); i += 2) {
+    ASSERT_TRUE(ram.Free(frames[i], 1).ok());
+  }
+  EXPECT_EQ(ram.free_frames(), 32u);
+  EXPECT_FALSE(ram.Alloc(2, 1, kGuest1).ok());
+}
+
+TEST(PhysicalMemoryTest, FreeCoalescesNeighbors) {
+  PhysicalMemory ram(64 * kPageSize);
+  Mfn a = ram.Alloc(8, 1, kHv).value();
+  Mfn b = ram.Alloc(8, 1, kHv).value();
+  Mfn c = ram.Alloc(8, 1, kHv).value();
+  ASSERT_TRUE(ram.Free(a, 8).ok());
+  ASSERT_TRUE(ram.Free(c, 8).ok());
+  ASSERT_TRUE(ram.Free(b, 8).ok());
+  // After coalescing we can allocate all usable RAM contiguously again.
+  EXPECT_TRUE(ram.Alloc(63, 1, kGuest1).ok());
+}
+
+TEST(PhysicalMemoryTest, DoubleFreeRejected) {
+  PhysicalMemory ram(1 << 20);
+  Mfn m = ram.Alloc(4, 1, kGuest1).value();
+  ASSERT_TRUE(ram.Free(m, 4).ok());
+  EXPECT_FALSE(ram.Free(m, 4).ok());
+}
+
+TEST(PhysicalMemoryTest, PartialFreeRejected) {
+  PhysicalMemory ram(1 << 20);
+  Mfn m = ram.Alloc(4, 1, kGuest1).value();
+  EXPECT_FALSE(ram.Free(m, 2).ok());
+  EXPECT_FALSE(ram.Free(m + 1, 3).ok());
+}
+
+TEST(PhysicalMemoryTest, ContentWordsRoundTrip) {
+  PhysicalMemory ram(1 << 20);
+  Mfn m = ram.Alloc(2, 1, kGuest1).value();
+  EXPECT_EQ(ram.ReadWord(m).value(), 0u);  // Fresh frame reads zero.
+  ASSERT_TRUE(ram.WriteWord(m, 0xDEADBEEF).ok());
+  EXPECT_EQ(ram.ReadWord(m).value(), 0xDEADBEEFu);
+  EXPECT_EQ(ram.ReadWord(m + 1).value(), 0u);
+}
+
+TEST(PhysicalMemoryTest, WriteToFreeFrameRejected) {
+  PhysicalMemory ram(1 << 20);
+  EXPECT_FALSE(ram.WriteWord(10, 1).ok());
+}
+
+TEST(PhysicalMemoryTest, FreeErasesContent) {
+  PhysicalMemory ram(1 << 20);
+  Mfn m = ram.Alloc(1, 1, kGuest1).value();
+  ASSERT_TRUE(ram.WriteWord(m, 77).ok());
+  ASSERT_TRUE(ram.Free(m, 1).ok());
+  Mfn m2 = ram.Alloc(1, 1, kGuest2).value();
+  ASSERT_EQ(m, m2);  // First fit reuses the hole.
+  EXPECT_EQ(ram.ReadWord(m2).value(), 0u);
+}
+
+TEST(PhysicalMemoryTest, OwnerTracking) {
+  PhysicalMemory ram(1 << 20);
+  Mfn g = ram.Alloc(8, 1, kGuest1).value();
+  ram.Alloc(8, 1, kHv).value();
+  EXPECT_EQ(ram.OwnerOf(g + 3).value(), kGuest1);
+  EXPECT_EQ(ram.ExtentsOfKind(FrameOwnerKind::kGuest).size(), 1u);
+  EXPECT_EQ(ram.FreeAllOwnedBy(kGuest1), 8u);
+  EXPECT_FALSE(ram.OwnerOf(g).ok());
+}
+
+TEST(PhysicalMemoryTest, ScrubPreservesOnlyListedExtents) {
+  PhysicalMemory ram(1 << 20);
+  Mfn guest = ram.Alloc(8, 1, kGuest1).value();
+  Mfn hv = ram.Alloc(8, 1, kHv).value();
+  Mfn pram = ram.Alloc(2, 1, kPram).value();
+  ASSERT_TRUE(ram.WriteWord(guest, 0x1111).ok());
+  ASSERT_TRUE(ram.WriteWord(hv, 0x2222).ok());
+
+  uint64_t scrubbed = ram.ScrubExcept({FrameExtent{guest, 8, kGuest1}, FrameExtent{pram, 2, kPram}});
+  EXPECT_EQ(scrubbed, 8u);  // Only the hypervisor extent.
+  EXPECT_EQ(ram.ReadWord(guest).value(), 0x1111u);  // Guest memory kept in place.
+  EXPECT_EQ(ram.ReadWord(hv).value(), 0u);          // HV state destroyed.
+  EXPECT_FALSE(ram.IsAllocated(hv));
+  EXPECT_TRUE(ram.IsAllocated(pram));
+}
+
+TEST(PhysicalMemoryTest, ScrubWithoutReservationDestroysGuest) {
+  // The negative test from DESIGN.md: forgetting the PRAM reservation loses
+  // guest memory, as it would on real hardware.
+  PhysicalMemory ram(1 << 20);
+  Mfn guest = ram.Alloc(8, 1, kGuest1).value();
+  ASSERT_TRUE(ram.WriteWord(guest, 0xAAAA).ok());
+  ram.ScrubExcept({});
+  EXPECT_EQ(ram.ReadWord(guest).value(), 0u);
+  EXPECT_FALSE(ram.IsAllocated(guest));
+}
+
+TEST(PhysicalMemoryTest, ReassignChangesOwner) {
+  PhysicalMemory ram(1 << 20);
+  Mfn m = ram.Alloc(4, 1, kGuest1).value();
+  ASSERT_TRUE(ram.Reassign(m, 4, kGuest2).ok());
+  EXPECT_EQ(ram.OwnerOf(m).value(), kGuest2);
+  EXPECT_FALSE(ram.Reassign(m, 3, kGuest1).ok());
+}
+
+TEST(MachineTest, ProfilesMatchTable3) {
+  MachineProfile m1 = MachineProfile::M1();
+  EXPECT_EQ(m1.threads, 8);
+  EXPECT_EQ(m1.ram_bytes, 16ull << 30);
+  EXPECT_DOUBLE_EQ(m1.network_gbps, 1.0);
+
+  MachineProfile m2 = MachineProfile::M2();
+  EXPECT_EQ(m2.threads, 28);
+  EXPECT_EQ(m2.ram_bytes, 64ull << 30);
+
+  MachineProfile c1 = MachineProfile::C1();
+  EXPECT_EQ(c1.ram_bytes, 96ull << 30);
+  EXPECT_DOUBLE_EQ(c1.network_gbps, 10.0);
+}
+
+TEST(MachineTest, WorkerThreadsExcludeAdminReservation) {
+  Machine m1(MachineProfile::M1(), 1);
+  EXPECT_EQ(m1.worker_threads(), 6);  // 8 threads - 2 reserved.
+  Machine m2(MachineProfile::M2(), 2);
+  EXPECT_EQ(m2.worker_threads(), 26);
+}
+
+TEST(MachineTest, MemoryMatchesProfile) {
+  Machine m(MachineProfile::M1(), 7);
+  EXPECT_EQ(m.memory().total_bytes(), 16ull << 30);
+  EXPECT_EQ(m.hostname(), "M1-7");
+}
+
+}  // namespace
+}  // namespace hypertp

@@ -1,0 +1,113 @@
+// Tests for the IOAPIC pin renegotiation extension (§4.2.1 future work):
+// instead of disconnecting active pins >= 24 when landing on KVM, remap them
+// onto free low pins and notify the guest.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/factory.h"
+#include "src/core/inplace.h"
+#include "src/kvm/kvm_uisr.h"
+
+namespace hypertp {
+namespace {
+
+UisrVm XenShapedVm(std::initializer_list<uint32_t> active_high_pins) {
+  UisrVm vm;
+  vm.vm_uid = 50;
+  vm.vcpus.push_back(MakeSyntheticVcpu(50, 0));
+  vm.ioapic.num_pins = 48;
+  vm.ioapic.redirection[4] = 0x10004;
+  for (uint32_t pin : active_high_pins) {
+    vm.ioapic.redirection[pin] = 0x20000 + pin;
+  }
+  return vm;
+}
+
+TEST(IoapicRemapTest, DefaultModeDisconnects) {
+  UisrVm vm = XenShapedVm({30, 40});
+  FixupLog log;
+  auto platform = KvmPlatformFromUisr(vm, &log, /*remap_high_pins=*/false);
+  ASSERT_TRUE(platform.ok());
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_NE(log[0].description.find("disconnected"), std::string::npos);
+  // Nothing landed on the low pins beyond what was already there.
+  for (uint32_t p = 16; p < kKvmIoapicPins; ++p) {
+    EXPECT_EQ(platform->ioapic.redirtbl[p], 0u);
+  }
+}
+
+TEST(IoapicRemapTest, RemapMovesEntriesToFreeLowPins) {
+  UisrVm vm = XenShapedVm({30, 40});
+  FixupLog log;
+  auto platform = KvmPlatformFromUisr(vm, &log, /*remap_high_pins=*/true);
+  ASSERT_TRUE(platform.ok());
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_NE(log[0].description.find("remapped"), std::string::npos);
+  EXPECT_NE(log[0].description.find("guest notified"), std::string::npos);
+  // The redirection entries moved intact to pins 16 and 17.
+  EXPECT_EQ(platform->ioapic.redirtbl[16], 0x20000u + 30);
+  EXPECT_EQ(platform->ioapic.redirtbl[17], 0x20000u + 40);
+  // Legacy ISA pins untouched.
+  EXPECT_EQ(platform->ioapic.redirtbl[4], 0x10004u);
+}
+
+TEST(IoapicRemapTest, FallsBackToDisconnectWhenNoFreePins) {
+  UisrVm vm = XenShapedVm({});
+  // Saturate pins 16..23 and add 9 active high pins: 8 remap, 1 disconnects.
+  for (uint32_t p = 24; p < 33; ++p) {
+    vm.ioapic.redirection[p] = 0x30000 + p;
+  }
+  FixupLog log;
+  auto platform = KvmPlatformFromUisr(vm, &log, true);
+  ASSERT_TRUE(platform.ok());
+  int remapped = 0, disconnected = 0;
+  for (const StateFixup& fixup : log) {
+    remapped += fixup.description.find("remapped") != std::string::npos;
+    disconnected += fixup.description.find("disconnected") != std::string::npos;
+  }
+  EXPECT_EQ(remapped, 8);
+  EXPECT_EQ(disconnected, 1);
+}
+
+TEST(IoapicRemapTest, EndToEndThroughInPlaceTransplant) {
+  // XenVisor wires virtio devices to pins >= 24; with the option on, the
+  // transplant report shows remaps instead of disconnects.
+  Machine machine(MachineProfile::M1(), 1);
+  std::unique_ptr<Hypervisor> xen = MakeHypervisor(HypervisorKind::kXen, machine);
+  ASSERT_TRUE(xen->CreateVm(VmConfig::Small("remap")).ok());
+
+  InPlaceOptions options;
+  options.remap_high_ioapic_pins = true;
+  auto result = InPlaceTransplant::Run(std::move(xen), HypervisorKind::kKvm, options);
+  ASSERT_TRUE(result.ok()) << result.error().ToString();
+
+  bool saw_remap = false, saw_disconnect = false;
+  for (const StateFixup& fixup : result->report.fixups) {
+    if (fixup.component == "ioapic") {
+      saw_remap |= fixup.description.find("remapped") != std::string::npos;
+      saw_disconnect |= fixup.description.find("disconnected") != std::string::npos;
+    }
+  }
+  EXPECT_TRUE(saw_remap);
+  EXPECT_FALSE(saw_disconnect);
+}
+
+TEST(IoapicRemapTest, RemapSurvivesReturnTripToXen) {
+  // Remapped pins live below 24, so transplanting back to Xen needs no
+  // further fixups for them.
+  UisrVm vm = XenShapedVm({30});
+  FixupLog log;
+  auto platform = KvmPlatformFromUisr(vm, &log, true);
+  ASSERT_TRUE(platform.ok());
+  UisrVm back;
+  back.vm_uid = vm.vm_uid;
+  auto to_uisr = KvmPlatformToUisr(platform->vcpus, platform->ioapic, platform->pit, back);
+  ASSERT_TRUE(to_uisr.ok());
+  EXPECT_EQ(back.ioapic.num_pins, kKvmIoapicPins);
+  EXPECT_EQ(back.ioapic.redirection[16], 0x20000u + 30);
+}
+
+}  // namespace
+}  // namespace hypertp

@@ -1,0 +1,155 @@
+// Unit tests for the kexec micro-reboot controller.
+
+#include <gtest/gtest.h>
+
+#include "src/kexec/kexec.h"
+#include "src/pram/pram.h"
+
+namespace hypertp {
+namespace {
+
+constexpr FrameOwner kGuest{FrameOwnerKind::kGuest, 1};
+
+TEST(KexecCmdlineTest, FormatAndParse) {
+  EXPECT_EQ(FormatKexecCmdline(0), "console=ttyS0 ro");
+  const std::string cmdline = FormatKexecCmdline(0x1A2B);
+  EXPECT_NE(cmdline.find("pram=0x1a2b"), std::string::npos);
+  EXPECT_EQ(ParsePramPointer(cmdline).value(), 0x1A2Bu);
+  EXPECT_EQ(ParsePramPointer("console=ttyS0").value(), 0u);
+  EXPECT_FALSE(ParsePramPointer("pram=zzz").ok());
+}
+
+TEST(KernelImageTest, XenImageIsTwoKernelBundle) {
+  EXPECT_GT(KernelImage::Xen().size_bytes, KernelImage::Kvm().size_bytes);
+  EXPECT_EQ(KernelImage::Xen().kind, HypervisorKind::kXen);
+}
+
+class KexecTest : public ::testing::Test {
+ protected:
+  KexecTest() : machine_(MachineProfile::M1(), 1), kexec_(machine_) {}
+
+  Machine machine_;
+  KexecController kexec_;
+};
+
+TEST_F(KexecTest, RebootWithoutImageFails) {
+  auto boot = kexec_.Reboot("console=ttyS0");
+  ASSERT_FALSE(boot.ok());
+  EXPECT_EQ(boot.error().code(), ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(KexecTest, LoadImageStagesFrames) {
+  ASSERT_TRUE(kexec_.LoadImage(KernelImage::Kvm()).ok());
+  EXPECT_TRUE(kexec_.HasStagedImage());
+  EXPECT_FALSE(machine_.memory().ExtentsOfKind(FrameOwnerKind::kKernelImage).empty());
+  // Restaging replaces the previous image without leaking frames.
+  ASSERT_TRUE(kexec_.LoadImage(KernelImage::Xen()).ok());
+  uint64_t staged = 0;
+  for (const auto& ext : machine_.memory().ExtentsOfKind(FrameOwnerKind::kKernelImage)) {
+    staged += ext.count;
+  }
+  EXPECT_EQ(staged, KernelImage::Xen().size_bytes / kPageSize);
+}
+
+TEST_F(KexecTest, RebootWithoutPramScrubsEverything) {
+  Mfn guest = machine_.memory().Alloc(64, 1, kGuest).value();
+  ASSERT_TRUE(machine_.memory().WriteWord(guest, 0x1234).ok());
+  ASSERT_TRUE(kexec_.LoadImage(KernelImage::Kvm()).ok());
+
+  auto boot = kexec_.Reboot("console=ttyS0");
+  ASSERT_TRUE(boot.ok()) << boot.error().ToString();
+  EXPECT_FALSE(machine_.memory().IsAllocated(guest));
+  EXPECT_EQ(machine_.memory().ReadWord(guest).value(), 0u);
+  EXPECT_EQ(machine_.memory().allocated_frames(), 1u);  // Only reserved frame 0.
+  EXPECT_TRUE(boot->pram.files.empty());
+  EXPECT_FALSE(kexec_.HasStagedImage());  // Image consumed by the jump.
+}
+
+TEST_F(KexecTest, RebootWithPramPreservesDescribedMemory) {
+  Mfn guest = machine_.memory().Alloc(64, 1, kGuest).value();
+  ASSERT_TRUE(machine_.memory().WriteWord(guest + 10, 0xCAFE).ok());
+  Mfn hv = machine_.memory().Alloc(64, 1, FrameOwner{FrameOwnerKind::kHypervisor, 0}).value();
+
+  PramBuilder builder(machine_.memory());
+  std::vector<PramPageEntry> entries;
+  for (uint64_t i = 0; i < 64; ++i) {
+    entries.push_back({i, guest + i, 0});
+  }
+  ASSERT_TRUE(builder.AddFile("vm:1", 64 * kPageSize, false, entries).ok());
+  auto handle = builder.Finalize();
+  ASSERT_TRUE(handle.ok());
+
+  ASSERT_TRUE(kexec_.LoadImage(KernelImage::Kvm()).ok());
+  auto boot = kexec_.Reboot(FormatKexecCmdline(handle->root_mfn));
+  ASSERT_TRUE(boot.ok()) << boot.error().ToString();
+
+  EXPECT_EQ(machine_.memory().ReadWord(guest + 10).value(), 0xCAFEu);
+  EXPECT_FALSE(machine_.memory().IsAllocated(hv));  // HV state reclaimed.
+  ASSERT_EQ(boot->pram.files.size(), 1u);
+  EXPECT_EQ(boot->pram.files[0].name, "vm:1");
+  EXPECT_EQ(boot->pram.files[0].entries, entries);
+}
+
+TEST_F(KexecTest, CorruptPramPointerIsDataLoss) {
+  Mfn guest = machine_.memory().Alloc(8, 1, kGuest).value();
+  ASSERT_TRUE(machine_.memory().WriteWord(guest, 0xDEAD).ok());
+  ASSERT_TRUE(kexec_.LoadImage(KernelImage::Kvm()).ok());
+
+  // Point pram= at an arbitrary frame that holds no PRAM structure.
+  auto boot = kexec_.Reboot(FormatKexecCmdline(guest));
+  ASSERT_FALSE(boot.ok());
+  EXPECT_EQ(boot.error().code(), ErrorCode::kDataLoss);
+  // The botched reboot destroyed the guests, as it would on hardware.
+  EXPECT_EQ(machine_.memory().ReadWord(guest).value(), 0u);
+}
+
+TEST_F(KexecTest, BootTimingsFollowKernelKind) {
+  const HostCostProfile& costs = machine_.profile().costs;
+
+  ASSERT_TRUE(kexec_.LoadImage(KernelImage::Kvm()).ok());
+  auto kvm_boot = kexec_.Reboot("console=ttyS0");
+  ASSERT_TRUE(kvm_boot.ok());
+  EXPECT_EQ(kvm_boot->reboot_time, costs.kexec_jump + costs.boot_linux);
+
+  ASSERT_TRUE(kexec_.LoadImage(KernelImage::Xen()).ok());
+  auto xen_boot = kexec_.Reboot("console=ttyS0");
+  ASSERT_TRUE(xen_boot.ok());
+  // Type-I boots two kernels: Xen core then dom0.
+  EXPECT_EQ(xen_boot->reboot_time, costs.kexec_jump + costs.boot_xen + costs.boot_dom0);
+  EXPECT_GT(xen_boot->reboot_time, kvm_boot->reboot_time * 3);
+}
+
+TEST_F(KexecTest, PramParseTimeScalesWithPreservedMemory) {
+  auto boot_with_guest_gb = [&](uint64_t gib) -> SimDuration {
+    Machine machine(MachineProfile::M1(), 99);
+    KexecController kexec(machine);
+    const uint64_t frames = gib << 18;  // GiB -> 4K frames.
+    Mfn guest = machine.memory().Alloc(frames, 1, kGuest).value();
+    PramBuilder builder(machine.memory());
+    std::vector<PramPageEntry> entries;
+    for (uint64_t i = 0; i < frames; i += kFramesPerHugePage) {
+      entries.push_back({i, guest + i, kHugePageOrder});
+    }
+    // Align: the alloc is not huge-aligned, so use order-0 entries instead
+    // when misaligned.
+    if (guest % kFramesPerHugePage != 0) {
+      entries.clear();
+      for (uint64_t i = 0; i < frames; ++i) {
+        entries.push_back({i, guest + i, 0});
+      }
+    }
+    EXPECT_TRUE(builder.AddFile("vm", gib << 30, true, entries).ok());
+    auto handle = builder.Finalize();
+    EXPECT_TRUE(handle.ok());
+    EXPECT_TRUE(kexec.LoadImage(KernelImage::Kvm()).ok());
+    auto boot = kexec.Reboot(FormatKexecCmdline(handle->root_mfn));
+    EXPECT_TRUE(boot.ok());
+    return boot->pram_parse_time;
+  };
+  const SimDuration one = boot_with_guest_gb(1);
+  const SimDuration four = boot_with_guest_gb(4);
+  EXPECT_EQ(four, one * 4);  // Sequential early-boot parse: linear in size.
+}
+
+}  // namespace
+}  // namespace hypertp

@@ -1,0 +1,233 @@
+// Unit and integration tests for the pre-copy migration engine.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/kvm/kvm_host.h"
+#include "src/migrate/migrate.h"
+#include "src/xen/xenvisor.h"
+
+namespace hypertp {
+namespace {
+
+NetworkLink GigabitLink() { return NetworkLink{1.0, Micros(200), 0.94}; }
+
+class MigrateTest : public ::testing::Test {
+ protected:
+  MigrateTest()
+      : src_machine_(MachineProfile::M1(), 1),
+        dst_machine_(MachineProfile::M1(), 2),
+        xen_(src_machine_),
+        kvm_(dst_machine_) {}
+
+  Machine src_machine_;
+  Machine dst_machine_;
+  XenVisor xen_;
+  KvmHost kvm_;
+};
+
+TEST(NetworkLinkTest, TransferTimeMatchesBandwidth) {
+  NetworkLink link = GigabitLink();
+  // 1 GiB at ~117.5 MB/s effective: about 9.1 s.
+  const SimDuration t = link.TransferTime(1ull << 30);
+  EXPECT_GT(t, SecondsF(8.5));
+  EXPECT_LT(t, SecondsF(9.8));
+}
+
+TEST_F(MigrateTest, SingleVmXenToKvmMovesStateAndContent) {
+  auto src_id = xen_.CreateVm(VmConfig::Small("mig"));
+  ASSERT_TRUE(src_id.ok());
+  ASSERT_TRUE(xen_.WriteGuestPage(*src_id, 100, 0xAAAA).ok());
+  ASSERT_TRUE(xen_.WriteGuestPage(*src_id, 200000, 0xBBBB).ok());
+  const uint64_t uid = xen_.GetVmInfo(*src_id)->uid;
+
+  MigrationEngine engine(GigabitLink());
+  MigrationConfig config;
+  auto result = engine.MigrateVm(xen_, *src_id, kvm_, config);
+  ASSERT_TRUE(result.ok()) << result.error().ToString();
+
+  // Source VM is gone; destination VM runs with identical content.
+  EXPECT_TRUE(xen_.ListVms().empty());
+  auto info = kvm_.GetVmInfo(result->dest_vm_id);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->uid, uid);
+  EXPECT_EQ(info->run_state, VmRunState::kRunning);
+  EXPECT_EQ(kvm_.ReadGuestPage(result->dest_vm_id, 100).value(), 0xAAAAu);
+  EXPECT_EQ(kvm_.ReadGuestPage(result->dest_vm_id, 200000).value(), 0xBBBBu);
+  EXPECT_EQ(kvm_.ReadGuestPage(result->dest_vm_id, 5000).value(), 0u);
+}
+
+TEST_F(MigrateTest, TotalTimeDominatedByMemoryCopy) {
+  // 1 GiB over 1 Gbps: the paper's Table 4 reports ~9.6 s total.
+  auto src_id = xen_.CreateVm(VmConfig::Small("timing"));
+  ASSERT_TRUE(src_id.ok());
+  MigrationEngine engine(GigabitLink());
+  auto result = engine.MigrateVm(xen_, *src_id, kvm_, MigrationConfig{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->total_time, SecondsF(8.5));
+  EXPECT_LT(result->total_time, SecondsF(11.5));
+  EXPECT_GE(result->rounds, 2);
+  EXPECT_TRUE(result->converged);
+}
+
+TEST_F(MigrateTest, DowntimeToKvmtoolIsMilliseconds) {
+  // Table 4: MigrationTP downtime 4.96 ms (kvmtool restore is lightweight).
+  auto src_id = xen_.CreateVm(VmConfig::Small("dt"));
+  ASSERT_TRUE(src_id.ok());
+  MigrationEngine engine(GigabitLink());
+  auto result = engine.MigrateVm(xen_, *src_id, kvm_, MigrationConfig{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->downtime, MillisF(10.0));
+  EXPECT_GT(result->downtime, MillisF(2.0));
+}
+
+TEST_F(MigrateTest, DowntimeToXenIsTwoOrdersHigher) {
+  // Table 4: Xen->Xen live migration downtime 133.59 ms.
+  Machine dst2(MachineProfile::M1(), 3);
+  XenVisor xen_dst(dst2);
+  auto src_id = xen_.CreateVm(VmConfig::Small("xx"));
+  ASSERT_TRUE(src_id.ok());
+  MigrationEngine engine(GigabitLink());
+  auto result = engine.MigrateVm(xen_, *src_id, xen_dst, MigrationConfig{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->downtime, MillisF(110.0));
+  EXPECT_LT(result->downtime, MillisF(170.0));
+}
+
+TEST_F(MigrateTest, PassthroughDeviceForbidsMigration) {
+  VmConfig config = VmConfig::Small("pt");
+  config.devices.push_back({"nvme-pt", DeviceAttachMode::kPassthrough});
+  auto src_id = xen_.CreateVm(config);
+  ASSERT_TRUE(src_id.ok());
+  MigrationEngine engine(GigabitLink());
+  auto result = engine.MigrateVm(xen_, *src_id, kvm_, MigrationConfig{});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kFailedPrecondition);
+  // The VM is untouched and still running on the source.
+  EXPECT_EQ(xen_.GetVmInfo(*src_id)->run_state, VmRunState::kRunning);
+}
+
+TEST_F(MigrateTest, MigrationTimeScalesWithMemoryNotVcpus) {
+  MigrationEngine engine(GigabitLink());
+
+  VmConfig small = VmConfig::Small("m-small");
+  auto small_id = xen_.CreateVm(small);
+  ASSERT_TRUE(small_id.ok());
+  auto small_result = engine.MigrateVm(xen_, *small_id, kvm_, MigrationConfig{});
+  ASSERT_TRUE(small_result.ok());
+
+  VmConfig big = VmConfig::Small("m-big");
+  big.memory_bytes = 4ull << 30;
+  auto big_id = xen_.CreateVm(big);
+  ASSERT_TRUE(big_id.ok());
+  auto big_result = engine.MigrateVm(xen_, *big_id, kvm_, MigrationConfig{});
+  ASSERT_TRUE(big_result.ok());
+
+  // ~4x the memory -> ~4x the total time.
+  const double ratio = static_cast<double>(big_result->total_time) /
+                       static_cast<double>(small_result->total_time);
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 5.0);
+
+  VmConfig wide = VmConfig::Small("m-wide");
+  wide.vcpus = 8;
+  auto wide_id = xen_.CreateVm(wide);
+  ASSERT_TRUE(wide_id.ok());
+  auto wide_result = engine.MigrateVm(xen_, *wide_id, kvm_, MigrationConfig{});
+  ASSERT_TRUE(wide_result.ok());
+  // vCPUs move the downtime (restore cost), not the total time.
+  const double total_ratio = static_cast<double>(wide_result->total_time) /
+                             static_cast<double>(small_result->total_time);
+  EXPECT_LT(total_ratio, 1.2);
+  EXPECT_GT(wide_result->downtime, small_result->downtime);
+}
+
+TEST_F(MigrateTest, SequentialXenReceiverCreatesDowntimeVariance) {
+  // Fig. 8c: migrating many VMs to Xen produces high downtime variance
+  // because the destination restores sequentially; kvmtool does not.
+  Machine xen_dst_machine(MachineProfile::M2(), 4);
+  XenVisor xen_dst(xen_dst_machine);
+  Machine kvm_dst_machine(MachineProfile::M2(), 5);
+  KvmHost kvm_dst(kvm_dst_machine);
+
+  auto make_vms = [&](int n) {
+    std::vector<VmId> ids;
+    for (int i = 0; i < n; ++i) {
+      auto id = xen_.CreateVm(VmConfig::Small("fleet-" + std::to_string(i) + "-" +
+                                              std::to_string(ids.size())));
+      EXPECT_TRUE(id.ok());
+      ids.push_back(*id);
+    }
+    return ids;
+  };
+
+  MigrationEngine engine(GigabitLink());
+  MigrationConfig config;
+
+  auto xen_ids = make_vms(6);
+  auto xen_results = engine.MigrateMany(xen_, xen_ids, xen_dst, config);
+  ASSERT_TRUE(xen_results.ok()) << xen_results.error().ToString();
+
+  auto kvm_ids = make_vms(6);
+  auto kvm_results = engine.MigrateMany(xen_, kvm_ids, kvm_dst, config);
+  ASSERT_TRUE(kvm_results.ok());
+
+  auto spread = [](const std::vector<MigrationResult>& results) {
+    SimDuration lo = results[0].downtime, hi = results[0].downtime;
+    for (const auto& r : results) {
+      lo = std::min(lo, r.downtime);
+      hi = std::max(hi, r.downtime);
+    }
+    return hi - lo;
+  };
+  EXPECT_GT(spread(*xen_results), spread(*kvm_results) * 3);
+  // And later Xen VMs queued behind earlier ones.
+  EXPECT_GT(xen_results->back().queue_wait, 0);
+}
+
+TEST_F(MigrateTest, NonConvergenceForcesStopAndCopy) {
+  auto src_id = xen_.CreateVm(VmConfig::Small("hot"));
+  ASSERT_TRUE(src_id.ok());
+  MigrationEngine engine(GigabitLink());
+  MigrationConfig config;
+  config.dirty_pages_per_sec = 1e9;  // Dirties faster than any link.
+  auto result = engine.MigrateVm(xen_, *src_id, kvm_, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->converged);
+  EXPECT_LE(result->rounds, config.max_rounds);
+  // It still completes: stop-and-copy moves the working set.
+  EXPECT_EQ(kvm_.GetVmInfo(result->dest_vm_id)->run_state, VmRunState::kRunning);
+}
+
+TEST_F(MigrateTest, EmptyBatchIsNoop) {
+  MigrationEngine engine(GigabitLink());
+  auto results = engine.MigrateMany(xen_, {}, kvm_, MigrationConfig{});
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(results->empty());
+}
+
+TEST_F(MigrateTest, DirtyPagesDuringPrecopyAreCarried) {
+  // Pages written after the engine snapshots the content must still arrive:
+  // the dirty log drains into the final copy.
+  auto src_id = xen_.CreateVm(VmConfig::Small("dirty-carry"));
+  ASSERT_TRUE(src_id.ok());
+  ASSERT_TRUE(xen_.WriteGuestPage(*src_id, 1, 0x1111).ok());
+
+  // Simulate "guest writes during pre-copy" by hooking between enable and
+  // stop: the engine enables dirty logging at the start; writing now lands
+  // in the dirty log. We interleave by writing after a first engine call is
+  // impossible here, so instead verify the mechanism directly.
+  ASSERT_TRUE(xen_.EnableDirtyLogging(*src_id).ok());
+  ASSERT_TRUE(xen_.WriteGuestPage(*src_id, 2, 0x2222).ok());
+  ASSERT_TRUE(xen_.DisableDirtyLogging(*src_id).ok());
+
+  MigrationEngine engine(GigabitLink());
+  auto result = engine.MigrateVm(xen_, *src_id, kvm_, MigrationConfig{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(kvm_.ReadGuestPage(result->dest_vm_id, 1).value(), 0x1111u);
+  EXPECT_EQ(kvm_.ReadGuestPage(result->dest_vm_id, 2).value(), 0x2222u);
+}
+
+}  // namespace
+}  // namespace hypertp

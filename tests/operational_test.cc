@@ -1,0 +1,84 @@
+// Tests for the operational (year-in-the-life) simulation.
+
+#include <gtest/gtest.h>
+
+#include "src/scenario/operational.h"
+
+namespace hypertp {
+namespace {
+
+OperationalConfig BaseConfig(uint64_t seed) {
+  OperationalConfig config;
+  config.seed = seed;
+  config.years = 1;
+  return config;
+}
+
+TEST(OperationalTest, DeterministicForAGivenSeed) {
+  const OperationalReport a = RunOperationalSimulation(BaseConfig(7));
+  const OperationalReport b = RunOperationalSimulation(BaseConfig(7));
+  EXPECT_EQ(a.disclosures, b.disclosures);
+  EXPECT_EQ(a.transplants_away, b.transplants_away);
+  EXPECT_DOUBLE_EQ(a.exposure_days_hypertp, b.exposure_days_hypertp);
+  EXPECT_EQ(a.event_log, b.event_log);
+}
+
+TEST(OperationalTest, DisclosureRateMatchesHistory) {
+  // Xen: 55 criticals over 7 years ~ 7.9/year. Average over seeds.
+  double total = 0;
+  const int runs = 30;
+  for (uint64_t seed = 1; seed <= runs; ++seed) {
+    total += RunOperationalSimulation(BaseConfig(seed)).disclosures;
+  }
+  EXPECT_NEAR(total / runs, 55.0 / 7.0, 2.0);
+}
+
+TEST(OperationalTest, HyperTpSlashesExposure) {
+  int meaningful = 0;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const OperationalReport report = RunOperationalSimulation(BaseConfig(seed));
+    if (report.disclosures == 0) {
+      continue;
+    }
+    ++meaningful;
+    EXPECT_LT(report.exposure_days_hypertp, report.exposure_days_traditional)
+        << "seed " << seed;
+    // Every disclosure is accounted in exactly one bucket.
+    EXPECT_EQ(report.disclosures, report.transplants_away + report.already_safe +
+                                      report.no_safe_target);
+  }
+  EXPECT_GT(meaningful, 5);
+}
+
+TEST(OperationalTest, DowntimePaidScalesWithFleetAndTransplants) {
+  OperationalConfig config = BaseConfig(3);
+  const OperationalReport small = RunOperationalSimulation(config);
+  config.fleet.hosts = 200;  // Double the fleet.
+  const OperationalReport big = RunOperationalSimulation(config);
+  // Same seed -> same event sequence; downtime doubles with the VM count.
+  ASSERT_EQ(small.transplants_away, big.transplants_away);
+  if (small.transplants_away > 0) {
+    EXPECT_EQ(big.vm_downtime_paid, small.vm_downtime_paid * 2);
+  }
+}
+
+TEST(OperationalTest, EmptyHistoryMeansQuietYear) {
+  OperationalConfig config = BaseConfig(1);
+  config.home = HypervisorKind::kBhyve;  // No recorded criticals.
+  const OperationalReport report = RunOperationalSimulation(config);
+  EXPECT_EQ(report.disclosures, 0);
+  EXPECT_EQ(report.vm_downtime_paid, 0);
+  EXPECT_FALSE(report.event_log.empty());  // "quiet year" note.
+}
+
+TEST(OperationalTest, MultiYearRunsScaleEvents) {
+  OperationalConfig one = BaseConfig(11);
+  OperationalConfig five = BaseConfig(11);
+  five.years = 5;
+  const int d1 = RunOperationalSimulation(one).disclosures;
+  const int d5 = RunOperationalSimulation(five).disclosures;
+  EXPECT_GT(d5, d1);
+}
+
+}  // namespace
+}  // namespace hypertp

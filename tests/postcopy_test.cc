@@ -1,0 +1,98 @@
+// Tests for the post-copy migration mode and wire compression.
+
+#include <gtest/gtest.h>
+
+#include "src/guest/guest_image.h"
+#include "src/kvm/kvm_host.h"
+#include "src/migrate/migrate.h"
+#include "src/xen/xenvisor.h"
+
+namespace hypertp {
+namespace {
+
+struct Rig {
+  Rig() : src_machine(MachineProfile::M1(), 1), dst_machine(MachineProfile::M1(), 2),
+          src(src_machine), dst(dst_machine) {}
+  Machine src_machine, dst_machine;
+  XenVisor src;
+  KvmHost dst;
+};
+
+TEST(PostcopyTest, MovesStateAndContentLikePrecopy) {
+  Rig rig;
+  auto id = rig.src.CreateVm(VmConfig::Small("pc"));
+  ASSERT_TRUE(id.ok());
+  auto image = InstallGuestImage(rig.src, *id, 31);
+  ASSERT_TRUE(image.ok());
+
+  MigrationEngine engine(NetworkLink{1.0});
+  MigrationConfig config;
+  config.mode = MigrationMode::kPostcopy;
+  auto result = engine.MigrateVm(rig.src, *id, rig.dst, config);
+  ASSERT_TRUE(result.ok()) << result.error().ToString();
+
+  EXPECT_TRUE(rig.src.ListVms().empty());
+  EXPECT_TRUE(VerifyGuestImage(rig.dst, result->dest_vm_id, *image).ok());
+}
+
+TEST(PostcopyTest, TradesDowntimeForFaultWindow) {
+  auto run = [](MigrationMode mode) {
+    Rig rig;
+    auto id = rig.src.CreateVm(VmConfig::Small("trade"));
+    EXPECT_TRUE(id.ok());
+    MigrationEngine engine(NetworkLink{1.0});
+    MigrationConfig config;
+    config.mode = mode;
+    auto result = engine.MigrateVm(rig.src, *id, rig.dst, config);
+    EXPECT_TRUE(result.ok());
+    return *result;
+  };
+  const MigrationResult pre = run(MigrationMode::kPrecopy);
+  const MigrationResult post = run(MigrationMode::kPostcopy);
+
+  // Post-copy: less downtime, zero rounds, but a long fault window.
+  EXPECT_LT(post.downtime, pre.downtime);
+  EXPECT_EQ(post.rounds, 0);
+  EXPECT_EQ(pre.postcopy_fault_window, 0);
+  EXPECT_GT(post.postcopy_fault_window, SecondsF(8.0));  // ~1 GB over 1 Gbps.
+  // Each moves the memory once-ish: totals are comparable.
+  EXPECT_NEAR(ToSeconds(post.total_time), ToSeconds(pre.total_time), 3.0);
+  // And post-copy never re-sends dirty pages: fewer bytes on the wire.
+  EXPECT_LE(post.bytes_transferred, pre.bytes_transferred);
+}
+
+TEST(PostcopyTest, CompressionShrinksWireTimeAndBytes) {
+  auto run = [](double ratio) {
+    Rig rig;
+    auto id = rig.src.CreateVm(VmConfig::Small("comp"));
+    EXPECT_TRUE(id.ok());
+    MigrationEngine engine(NetworkLink{1.0});
+    MigrationConfig config;
+    config.compression_ratio = ratio;
+    auto result = engine.MigrateVm(rig.src, *id, rig.dst, config);
+    EXPECT_TRUE(result.ok());
+    return *result;
+  };
+  const MigrationResult raw = run(1.0);
+  const MigrationResult compressed = run(1.6);
+  EXPECT_LT(compressed.total_time, raw.total_time);
+  EXPECT_LT(compressed.bytes_transferred, raw.bytes_transferred);
+  const double speedup = ToSeconds(raw.total_time) / ToSeconds(compressed.total_time);
+  EXPECT_NEAR(speedup, 1.6, 0.25);
+}
+
+TEST(PostcopyTest, CompressionBelowOneIsClamped) {
+  Rig rig;
+  auto id = rig.src.CreateVm(VmConfig::Small("clamp"));
+  ASSERT_TRUE(id.ok());
+  MigrationEngine engine(NetworkLink{1.0});
+  MigrationConfig config;
+  config.compression_ratio = 0.1;  // Nonsense: treated as 1.0.
+  auto result = engine.MigrateVm(rig.src, *id, rig.dst, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->total_time, SecondsF(8.0));
+  EXPECT_LT(result->total_time, SecondsF(11.0));
+}
+
+}  // namespace
+}  // namespace hypertp

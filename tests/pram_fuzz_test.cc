@@ -1,0 +1,107 @@
+// Property/fuzz tests for PRAM: randomized guest layouts round-trip through
+// build -> finalize -> parse -> preserve -> scrub, seeded and parameterized.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/pram/pram.h"
+#include "src/sim/rng.h"
+
+namespace hypertp {
+namespace {
+
+class PramFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PramFuzzTest, RandomLayoutsSurviveTheFullCycle) {
+  Rng rng(GetParam());
+  PhysicalMemory ram(512ull << 20);  // 128k frames.
+
+  // Random number of VMs with random scattered allocations.
+  const int vm_count = static_cast<int>(rng.NextInRange(1, 6));
+  PramBuilder builder(ram);
+  struct VmLayout {
+    uint64_t file_id;
+    std::vector<PramPageEntry> entries;
+    std::map<Mfn, uint64_t> probes;  // mfn -> expected word (last write wins).
+  };
+  std::vector<VmLayout> layouts;
+
+  for (int v = 0; v < vm_count; ++v) {
+    VmLayout layout;
+    std::vector<std::pair<Gfn, Mfn>> map;
+    Gfn gfn = 0;
+    const int chunks = static_cast<int>(rng.NextInRange(1, 8));
+    for (int c = 0; c < chunks; ++c) {
+      const uint64_t frames = static_cast<uint64_t>(rng.NextInRange(1, 2048));
+      auto mfn = ram.Alloc(frames, 1, FrameOwner{FrameOwnerKind::kGuest, 100 + static_cast<uint64_t>(v)});
+      if (!mfn.ok()) {
+        break;  // RAM full: use what we have.
+      }
+      // Random GFN hole before this chunk.
+      gfn += static_cast<Gfn>(rng.NextInRange(0, 512));
+      for (uint64_t i = 0; i < frames; ++i) {
+        map.emplace_back(gfn + i, *mfn + i);
+      }
+      // Probe a few random frames with content.
+      for (int p = 0; p < 3; ++p) {
+        const Mfn probe = *mfn + static_cast<uint64_t>(rng.NextBelow(frames));
+        const uint64_t word = rng.NextU64() | 1;
+        EXPECT_TRUE(ram.WriteWord(probe, word).ok());
+        layout.probes[probe] = word;
+      }
+      gfn += frames;
+    }
+    if (map.empty()) {
+      continue;
+    }
+    layout.entries = BuildPageEntries(map, rng.NextBool(0.5));
+    auto id = builder.AddFile("fuzz-vm-" + std::to_string(v), map.size() * kPageSize, false,
+                              layout.entries);
+    ASSERT_TRUE(id.ok()) << id.error().ToString();
+    layout.file_id = *id;
+    layouts.push_back(std::move(layout));
+  }
+
+  // Interleave hostile allocations that must be scrubbed.
+  std::vector<Mfn> hostiles;
+  for (int i = 0; i < 10; ++i) {
+    auto mfn = ram.Alloc(static_cast<uint64_t>(rng.NextInRange(1, 256)), 1,
+                         FrameOwner{FrameOwnerKind::kHypervisor, 0});
+    if (mfn.ok()) {
+      hostiles.push_back(*mfn);
+    }
+  }
+
+  auto handle = builder.Finalize();
+  ASSERT_TRUE(handle.ok()) << handle.error().ToString();
+  auto image = ParsePram(ram, handle->root_mfn);
+  ASSERT_TRUE(image.ok()) << image.error().ToString();
+  ASSERT_EQ(image->files.size(), layouts.size());
+  for (size_t v = 0; v < layouts.size(); ++v) {
+    EXPECT_EQ(image->files[v].entries, layouts[v].entries) << "vm " << v;
+  }
+
+  auto preserve = PramPreservationList(ram, handle->root_mfn, *image);
+  ASSERT_TRUE(preserve.ok());
+  ram.ScrubExcept(*preserve);
+
+  // Every probed guest word survived; every hostile frame did not.
+  for (const VmLayout& layout : layouts) {
+    for (const auto& [mfn, word] : layout.probes) {
+      EXPECT_EQ(ram.ReadWord(mfn).value(), word);
+    }
+  }
+  for (Mfn hostile : hostiles) {
+    EXPECT_FALSE(ram.IsAllocated(hostile));
+  }
+  // And PRAM still parses post-scrub.
+  EXPECT_TRUE(ParsePram(ram, handle->root_mfn).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PramFuzzTest,
+                         ::testing::Values(1ull, 2ull, 3ull, 5ull, 8ull, 13ull, 21ull, 34ull,
+                                           55ull, 89ull));
+
+}  // namespace
+}  // namespace hypertp

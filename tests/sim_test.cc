@@ -1,0 +1,258 @@
+// Unit tests for src/sim: clock, RNG determinism, stats, time series,
+// discrete-event executor and the parallel makespan model.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/sim/executor.h"
+#include "src/sim/rng.h"
+#include "src/sim/stats.h"
+#include "src/sim/time.h"
+#include "src/sim/time_series.h"
+
+namespace hypertp {
+namespace {
+
+TEST(TimeTest, UnitHelpers) {
+  EXPECT_EQ(Seconds(2), 2'000'000'000);
+  EXPECT_EQ(Millis(3), 3'000'000);
+  EXPECT_EQ(Micros(4), 4'000);
+  EXPECT_EQ(SecondsF(1.5), 1'500'000'000);
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(7)), 7.0);
+  EXPECT_DOUBLE_EQ(ToMillis(MillisF(4.96)), 4.96);
+}
+
+TEST(TimeTest, FormatAdaptsUnits) {
+  EXPECT_EQ(FormatDuration(SecondsF(1.7)), "1.700 s");
+  EXPECT_EQ(FormatDuration(MillisF(4.96)), "4.96 ms");
+  EXPECT_EQ(FormatDuration(Micros(820)), "820.00 us");
+  EXPECT_EQ(FormatDuration(12), "12 ns");
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(1234);
+  Rng b(1234);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(42);
+  StatAccumulator acc;
+  for (int i = 0; i < 20000; ++i) {
+    acc.Add(rng.NextGaussian());
+  }
+  EXPECT_NEAR(acc.mean(), 0.0, 0.05);
+  EXPECT_NEAR(acc.stddev(), 1.0, 0.05);
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng parent(11);
+  Rng child = parent.Fork();
+  // The child stream must not replay the parent stream.
+  Rng parent2(11);
+  parent2.Fork();
+  EXPECT_EQ(parent.NextU64(), parent2.NextU64());  // Fork is deterministic.
+  EXPECT_NE(child.NextU64(), parent.NextU64());
+}
+
+TEST(RngTest, BoolProbabilityEdges) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+}
+
+TEST(StatsTest, AccumulatorBasics) {
+  StatAccumulator acc;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    acc.Add(v);
+  }
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_NEAR(acc.stddev(), 2.138, 1e-3);  // Sample stddev.
+}
+
+TEST(StatsTest, EmptyAccumulatorIsZero) {
+  StatAccumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(StatsTest, PercentilesInterpolate) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) {
+    s.Add(i);
+  }
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 100.0);
+  EXPECT_NEAR(s.Percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.Percentile(95), 95.05, 1e-9);
+}
+
+TEST(StatsTest, BoxplotSummary) {
+  SampleSet s;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+    s.Add(v);
+  }
+  BoxplotSummary box = s.Boxplot();
+  EXPECT_DOUBLE_EQ(box.min, 1.0);
+  EXPECT_DOUBLE_EQ(box.median, 3.0);
+  EXPECT_DOUBLE_EQ(box.max, 5.0);
+  EXPECT_EQ(box.count, 5u);
+  EXPECT_FALSE(box.ToString().empty());
+}
+
+TEST(TimeSeriesTest, WindowAggregates) {
+  TimeSeries ts("qps");
+  for (int i = 0; i < 10; ++i) {
+    ts.Add(Seconds(i), i < 5 ? 100.0 : 200.0);
+  }
+  EXPECT_DOUBLE_EQ(ts.MeanInWindow(0, Seconds(5)), 100.0);
+  EXPECT_DOUBLE_EQ(ts.MeanInWindow(Seconds(5), Seconds(10)), 200.0);
+  EXPECT_DOUBLE_EQ(ts.MinInWindow(0, Seconds(10)), 100.0);
+}
+
+TEST(TimeSeriesTest, LongestGapFindsServiceInterruption) {
+  TimeSeries ts("qps");
+  // 1-second sampling; zero QPS from t=50..58 inclusive (9 samples).
+  for (int i = 0; i < 100; ++i) {
+    ts.Add(Seconds(i), (i >= 50 && i <= 58) ? 0.0 : 30000.0);
+  }
+  SimDuration gap = ts.LongestGapBelow(1.0);
+  EXPECT_EQ(gap, Seconds(9));
+}
+
+TEST(TimeSeriesTest, TsvHasOneLinePerPoint) {
+  TimeSeries ts("x");
+  ts.Add(0, 1.0);
+  ts.Add(Seconds(1), 2.0);
+  std::string tsv = ts.ToTsv();
+  EXPECT_EQ(std::count(tsv.begin(), tsv.end(), '\n'), 2);
+}
+
+TEST(ExecutorTest, DispatchesInTimeOrder) {
+  SimExecutor ex;
+  std::vector<int> order;
+  ex.ScheduleAt(Seconds(3), [&] { order.push_back(3); });
+  ex.ScheduleAt(Seconds(1), [&] { order.push_back(1); });
+  ex.ScheduleAt(Seconds(2), [&] { order.push_back(2); });
+  ex.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(ex.now(), Seconds(3));
+}
+
+TEST(ExecutorTest, FifoAmongEqualTimestamps) {
+  SimExecutor ex;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    ex.ScheduleAt(Seconds(1), [&order, i] { order.push_back(i); });
+  }
+  ex.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ExecutorTest, EventsCanScheduleMoreEvents) {
+  SimExecutor ex;
+  int fired = 0;
+  ex.ScheduleAt(Seconds(1), [&] {
+    ++fired;
+    ex.ScheduleAfter(Seconds(1), [&] { ++fired; });
+  });
+  ex.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(ex.now(), Seconds(2));
+}
+
+TEST(ExecutorTest, RunUntilStopsAtDeadline) {
+  SimExecutor ex;
+  int fired = 0;
+  ex.ScheduleAt(Seconds(1), [&] { ++fired; });
+  ex.ScheduleAt(Seconds(10), [&] { ++fired; });
+  ex.RunUntil(Seconds(5));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(ex.now(), Seconds(5));
+  EXPECT_EQ(ex.pending_events(), 1u);
+}
+
+TEST(ExecutorTest, StopAborts) {
+  SimExecutor ex;
+  int fired = 0;
+  ex.ScheduleAt(Seconds(1), [&] {
+    ++fired;
+    ex.Stop();
+  });
+  ex.ScheduleAt(Seconds(2), [&] { ++fired; });
+  ex.Run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(ParallelMakespanTest, SingleWorkerIsSum) {
+  EXPECT_EQ(ParallelMakespan({Seconds(1), Seconds(2), Seconds(3)}, 1), Seconds(6));
+}
+
+TEST(ParallelMakespanTest, ManyWorkersIsMax) {
+  EXPECT_EQ(ParallelMakespan({Seconds(1), Seconds(2), Seconds(3)}, 8), Seconds(3));
+}
+
+TEST(ParallelMakespanTest, BalancedSplit) {
+  // 12 equal 400 ms jobs on 6 workers -> two rounds.
+  std::vector<SimDuration> jobs(12, Millis(400));
+  EXPECT_EQ(ParallelMakespan(jobs, 6), Millis(800));
+  // Same jobs on 26 workers -> one round.
+  EXPECT_EQ(ParallelMakespan(jobs, 26), Millis(400));
+}
+
+TEST(ParallelMakespanTest, EmptyIsZero) { EXPECT_EQ(ParallelMakespan({}, 4), 0); }
+
+}  // namespace
+}  // namespace hypertp

@@ -1,0 +1,122 @@
+// Tests for the JSON writer and the telemetry export of reports.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "src/base/json.h"
+#include "src/core/factory.h"
+#include "src/core/inplace.h"
+#include "src/core/telemetry.h"
+
+namespace hypertp {
+namespace {
+
+TEST(JsonWriterTest, ObjectsArraysAndCommas) {
+  JsonWriter j;
+  j.BeginObject();
+  j.Key("a").Number(int64_t{1});
+  j.Key("b").BeginArray().Number(int64_t{2}).Number(int64_t{3}).EndArray();
+  j.Key("c").BeginObject().Key("d").Bool(true).EndObject();
+  j.EndObject();
+  EXPECT_EQ(j.str(), R"({"a":1,"b":[2,3],"c":{"d":true}})");
+}
+
+TEST(JsonWriterTest, StringEscaping) {
+  JsonWriter j;
+  j.BeginObject();
+  j.Key("msg").String("line\nwith \"quotes\" and \\slash\t");
+  j.EndObject();
+  EXPECT_EQ(j.str(), R"({"msg":"line\nwith \"quotes\" and \\slash\t"})");
+}
+
+TEST(JsonWriterTest, ControlCharactersEscaped) {
+  JsonWriter j;
+  std::string s = "a";
+  s += '\x01';
+  j.String(s);
+  EXPECT_EQ(j.str(), "\"a\\u0001\"");
+}
+
+TEST(JsonWriterTest, NonFiniteNumbersBecomeNull) {
+  JsonWriter j;
+  j.BeginArray();
+  j.Number(std::numeric_limits<double>::infinity());
+  j.Number(std::nan(""));
+  j.Number(1.5);
+  j.EndArray();
+  EXPECT_EQ(j.str(), "[null,null,1.5]");
+}
+
+TEST(JsonWriterTest, EmptyContainers) {
+  JsonWriter j;
+  j.BeginObject();
+  j.Key("arr").BeginArray().EndArray();
+  j.Key("obj").BeginObject().EndObject();
+  j.EndObject();
+  EXPECT_EQ(j.str(), R"({"arr":[],"obj":{}})");
+}
+
+TEST(TelemetryTest, TransplantReportExportsAllSections) {
+  Machine machine(MachineProfile::M1(), 1);
+  std::unique_ptr<Hypervisor> xen = MakeHypervisor(HypervisorKind::kXen, machine);
+  ASSERT_TRUE(xen->CreateVm(VmConfig::Small("tel")).ok());
+  auto result = InPlaceTransplant::Run(std::move(xen), HypervisorKind::kKvm, InPlaceOptions{});
+  ASSERT_TRUE(result.ok());
+
+  const std::string json = TransplantReportToJson(result->report);
+  // Structural smoke checks (we ship no parser on purpose).
+  EXPECT_NE(json.find(R"("kind":"inplace_transplant")"), std::string::npos);
+  EXPECT_NE(json.find(R"("source":"xenvisor-4.12")"), std::string::npos);
+  EXPECT_NE(json.find(R"("phases_ms")"), std::string::npos);
+  EXPECT_NE(json.find(R"("reboot":1520)"), std::string::npos);
+  EXPECT_NE(json.find(R"("fixups":[{)"), std::string::npos);
+  EXPECT_NE(json.find(R"("component":"ioapic")"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  // Balanced braces/brackets.
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      --depth;
+    }
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(TelemetryTest, MigrationResultExport) {
+  MigrationResult result;
+  result.dest_vm_id = 3;
+  result.total_time = SecondsF(9.63);
+  result.downtime = MillisF(4.96);
+  result.rounds = 4;
+  result.converged = true;
+  result.round_log.push_back({262144, SecondsF(9.0)});
+  result.fixups.push_back({7, "ioapic", "pin 30 disconnected"});
+
+  const std::string json = MigrationResultToJson(result);
+  EXPECT_NE(json.find(R"("kind":"migration")"), std::string::npos);
+  EXPECT_NE(json.find(R"("downtime_ms":4.96)"), std::string::npos);
+  EXPECT_NE(json.find(R"("rounds":4)"), std::string::npos);
+  EXPECT_NE(json.find(R"("converged":true)"), std::string::npos);
+  EXPECT_NE(json.find(R"("pages":262144)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hypertp

@@ -1,0 +1,127 @@
+// Parameterized invariants over the whole transplant space: every
+// (source, target) hypervisor pair x VM shapes, for both InPlaceTP and the
+// checkpoint path, each verified with the self-referential guest image.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "src/core/factory.h"
+#include "src/core/inplace.h"
+#include "src/guest/guest_image.h"
+
+namespace hypertp {
+namespace {
+
+struct MatrixCase {
+  HypervisorKind source;
+  HypervisorKind target;
+  uint32_t vcpus;
+  uint64_t memory_bytes;
+  int vm_count;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<MatrixCase>& info) {
+  const MatrixCase& c = info.param;
+  std::string name = std::string(HypervisorKindName(c.source)) + "_to_" +
+                     std::string(HypervisorKindName(c.target)) + "_" +
+                     std::to_string(c.vcpus) + "vcpu_" +
+                     std::to_string(c.memory_bytes >> 30) + "gb_" +
+                     std::to_string(c.vm_count) + "vms";
+  return name;
+}
+
+class TransplantMatrixTest : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(TransplantMatrixTest, InPlaceTransplantPreservesGuestImages) {
+  const MatrixCase& c = GetParam();
+  Machine machine(MachineProfile::M1(), 1);
+  std::unique_ptr<Hypervisor> source = MakeHypervisor(c.source, machine);
+
+  std::vector<std::pair<uint64_t, GuestImageInfo>> images;  // (uid, image).
+  for (int i = 0; i < c.vm_count; ++i) {
+    VmConfig config = VmConfig::Small("mx-" + std::to_string(i));
+    config.vcpus = c.vcpus;
+    config.memory_bytes = c.memory_bytes;
+    auto id = source->CreateVm(config);
+    ASSERT_TRUE(id.ok()) << id.error().ToString();
+    auto image = InstallGuestImage(*source, *id, 100 + static_cast<uint64_t>(i));
+    ASSERT_TRUE(image.ok()) << image.error().ToString();
+    images.emplace_back(source->GetVmInfo(*id)->uid, *image);
+  }
+
+  auto result = InPlaceTransplant::Run(std::move(source), c.target, InPlaceOptions{});
+  ASSERT_TRUE(result.ok()) << result.error().ToString();
+  ASSERT_EQ(result->restored_vms.size(), static_cast<size_t>(c.vm_count));
+
+  // Every VM's self-referential guest structures must verify on the target.
+  for (const auto& [uid, image] : images) {
+    VmId restored = 0;
+    bool found = false;
+    for (VmId id : result->restored_vms) {
+      auto info = result->hypervisor->GetVmInfo(id);
+      if (info.ok() && info->uid == uid) {
+        restored = id;
+        found = true;
+      }
+    }
+    ASSERT_TRUE(found) << "uid " << uid << " missing after transplant";
+    auto verified = VerifyGuestImage(*result->hypervisor, restored, image);
+    EXPECT_TRUE(verified.ok()) << verified.error().ToString();
+    EXPECT_EQ(result->hypervisor->GetVmInfo(restored)->run_state, VmRunState::kRunning);
+  }
+
+  // Sanity on the report: downtime positive, bounded by Azure's 30 s.
+  EXPECT_GT(result->report.downtime, 0);
+  EXPECT_LT(result->report.downtime, Seconds(30));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDirectionsAndShapes, TransplantMatrixTest,
+    ::testing::Values(
+        // Heterogeneous, both directions, the paper's basic shape.
+        MatrixCase{HypervisorKind::kXen, HypervisorKind::kKvm, 1, 1ull << 30, 1},
+        MatrixCase{HypervisorKind::kKvm, HypervisorKind::kXen, 1, 1ull << 30, 1},
+        // Homogeneous micro-reboot upgrades.
+        MatrixCase{HypervisorKind::kXen, HypervisorKind::kXen, 1, 1ull << 30, 1},
+        MatrixCase{HypervisorKind::kKvm, HypervisorKind::kKvm, 1, 1ull << 30, 1},
+        // Wide and large VMs.
+        MatrixCase{HypervisorKind::kXen, HypervisorKind::kKvm, 8, 1ull << 30, 1},
+        MatrixCase{HypervisorKind::kXen, HypervisorKind::kKvm, 2, 8ull << 30, 1},
+        MatrixCase{HypervisorKind::kKvm, HypervisorKind::kXen, 4, 4ull << 30, 1},
+        // Fleets.
+        MatrixCase{HypervisorKind::kXen, HypervisorKind::kKvm, 1, 1ull << 30, 6},
+        MatrixCase{HypervisorKind::kKvm, HypervisorKind::kXen, 1, 1ull << 30, 4},
+        MatrixCase{HypervisorKind::kXen, HypervisorKind::kKvm, 2, 2ull << 30, 4}),
+    CaseName);
+
+// Property sweep: the UISR platform round trip is bit-exact for every vCPU
+// count the suite uses.
+class UisrVcpuSweepTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(UisrVcpuSweepTest, SaveProducesDecodableUisrWithMatchingVcpus) {
+  Machine machine(MachineProfile::M2(), 3);
+  std::unique_ptr<Hypervisor> xen = MakeHypervisor(HypervisorKind::kXen, machine);
+  VmConfig config = VmConfig::Small("sweep");
+  config.vcpus = GetParam();
+  auto id = xen->CreateVm(config);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(xen->PrepareVmForTransplant(*id).ok());
+  ASSERT_TRUE(xen->PauseVm(*id).ok());
+  FixupLog log;
+  auto uisr = xen->SaveVmToUisr(*id, &log);
+  ASSERT_TRUE(uisr.ok());
+  EXPECT_EQ(uisr->vcpus.size(), GetParam());
+  for (uint32_t i = 0; i < GetParam(); ++i) {
+    EXPECT_EQ(uisr->vcpus[i].id, i);
+    // Exactly one BSP.
+    EXPECT_EQ((uisr->vcpus[i].sregs.apic_base & 0x100) != 0, i == 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VcpuCounts, UisrVcpuSweepTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 6u, 8u, 12u, 16u, 32u));
+
+}  // namespace
+}  // namespace hypertp

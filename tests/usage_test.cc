@@ -1,0 +1,77 @@
+// Tests for machine usage accounting — the live Fig. 2 memory-separation
+// view — including before/after-transplant conservation.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/factory.h"
+#include "src/core/inplace.h"
+#include "src/hw/usage.h"
+
+namespace hypertp {
+namespace {
+
+TEST(UsageTest, BreaksDownByOwnerKind) {
+  Machine machine(MachineProfile::M1(), 1);
+  std::unique_ptr<Hypervisor> xen = MakeHypervisor(HypervisorKind::kXen, machine);
+  auto id = xen->CreateVm(VmConfig::Small("u"));
+  ASSERT_TRUE(id.ok());
+  const uint64_t uid = xen->GetVmInfo(*id)->uid;
+
+  const MachineUsage usage = DescribeMachineUsage(machine);
+  EXPECT_EQ(usage.total_bytes, 16ull << 30);
+  // Guest State: exactly the VM's 1 GiB.
+  EXPECT_EQ(usage.bytes_of(FrameOwnerKind::kGuest), 1ull << 30);
+  // HV State: Xen heap + dom0.
+  EXPECT_EQ(usage.bytes_of(FrameOwnerKind::kHypervisor), (192ull + 1536ull) << 20);
+  // VM_i State exists but is small relative to Guest State (Fig. 2's point).
+  EXPECT_GT(usage.bytes_of(FrameOwnerKind::kVmState), 0u);
+  EXPECT_LT(usage.bytes_of(FrameOwnerKind::kVmState), (1ull << 30) / 50);
+  // Per-VM rollup covers guest + state.
+  EXPECT_GT(usage.by_vm.at(uid), 1ull << 30);
+  // Everything adds up.
+  uint64_t sum = usage.free_bytes + kPageSize;  // + reserved frame 0.
+  for (const auto& [kind, bytes] : usage.by_kind) {
+    sum += bytes;
+  }
+  EXPECT_EQ(sum, usage.total_bytes);
+}
+
+TEST(UsageTest, TransplantConservesGuestBytesAndFreesNoLeaks) {
+  Machine machine(MachineProfile::M1(), 1);
+  std::unique_ptr<Hypervisor> xen = MakeHypervisor(HypervisorKind::kXen, machine);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(xen->CreateVm(VmConfig::Small("c-" + std::to_string(i))).ok());
+  }
+  const MachineUsage before = DescribeMachineUsage(machine);
+
+  auto result = InPlaceTransplant::Run(std::move(xen), HypervisorKind::kKvm, InPlaceOptions{});
+  ASSERT_TRUE(result.ok());
+  const MachineUsage after = DescribeMachineUsage(machine);
+
+  // Guest State byte-for-byte identical (kept in place).
+  EXPECT_EQ(after.bytes_of(FrameOwnerKind::kGuest), before.bytes_of(FrameOwnerKind::kGuest));
+  // No transplant ephemera left behind.
+  EXPECT_EQ(after.bytes_of(FrameOwnerKind::kPramMeta), 0u);
+  EXPECT_EQ(after.bytes_of(FrameOwnerKind::kUisr), 0u);
+  EXPECT_EQ(after.bytes_of(FrameOwnerKind::kKernelImage), 0u);
+  // The HV State switched from Xen+dom0 (1728 MiB) to host Linux (2048 MiB).
+  EXPECT_EQ(after.bytes_of(FrameOwnerKind::kHypervisor), 2048ull << 20);
+  // kvmtool processes now exist (Xen's QEMU lives inside dom0's allocation).
+  EXPECT_GT(after.bytes_of(FrameOwnerKind::kVmm), 0u);
+}
+
+TEST(UsageTest, RenderingMentionsEveryCategory) {
+  Machine machine(MachineProfile::M1(), 2);
+  std::unique_ptr<Hypervisor> kvm = MakeHypervisor(HypervisorKind::kKvm, machine);
+  ASSERT_TRUE(kvm->CreateVm(VmConfig::Small("r")).ok());
+  const std::string text = DescribeMachineUsage(machine).ToString();
+  EXPECT_NE(text.find("guest"), std::string::npos);
+  EXPECT_NE(text.find("hypervisor"), std::string::npos);
+  EXPECT_NE(text.find("vm-state"), std::string::npos);
+  EXPECT_NE(text.find("vm uid"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hypertp

@@ -1,0 +1,181 @@
+// Tests for the vulnerability database: Table 1 reproduction, §2.2 window
+// statistics, and the transplant decision policy.
+
+#include <gtest/gtest.h>
+
+#include "src/vulndb/vulndb.h"
+
+namespace hypertp {
+namespace {
+
+TEST(SeverityTest, CvssThresholds) {
+  EXPECT_EQ(SeverityFromCvss(10.0), VulnSeverity::kCritical);
+  EXPECT_EQ(SeverityFromCvss(7.0), VulnSeverity::kCritical);
+  EXPECT_EQ(SeverityFromCvss(6.9), VulnSeverity::kMedium);
+  EXPECT_EQ(SeverityFromCvss(4.0), VulnSeverity::kMedium);
+  EXPECT_EQ(SeverityFromCvss(3.9), VulnSeverity::kLow);
+}
+
+TEST(VulnDatabaseTest, Table1CountsReproduceExactly) {
+  const VulnTable table = CountByYear(VulnDatabase());
+
+  // Paper Table 1, all seven years.
+  struct Row {
+    int year, xc, xm, kc, km, cc, cm;
+  };
+  const Row expected[] = {
+      {2013, 3, 38, 3, 21, 0, 0}, {2014, 4, 27, 1, 12, 0, 0}, {2015, 11, 20, 1, 4, 1, 2},
+      {2016, 6, 12, 3, 3, 0, 0},  {2017, 17, 38, 1, 7, 0, 0}, {2018, 7, 21, 2, 5, 0, 0},
+      {2019, 7, 15, 2, 4, 0, 0},
+  };
+  for (const Row& row : expected) {
+    ASSERT_TRUE(table.by_year.count(row.year));
+    const YearCounts& got = table.by_year.at(row.year);
+    EXPECT_EQ(got.xen_critical, row.xc) << row.year;
+    EXPECT_EQ(got.xen_medium, row.xm) << row.year;
+    EXPECT_EQ(got.kvm_critical, row.kc) << row.year;
+    EXPECT_EQ(got.kvm_medium, row.km) << row.year;
+    EXPECT_EQ(got.common_critical, row.cc) << row.year;
+    EXPECT_EQ(got.common_medium, row.cm) << row.year;
+  }
+  EXPECT_EQ(table.totals.xen_critical, 55);
+  // Note: the paper's "Total" row prints 136 for Xen medium, but its own
+  // per-year column sums to 171 (38+27+20+12+38+21+15). We reproduce the
+  // per-year data; the total follows the data, not the typo.
+  EXPECT_EQ(table.totals.xen_medium, 171);
+  EXPECT_EQ(table.totals.kvm_critical, 13);
+  EXPECT_EQ(table.totals.kvm_medium, 56);
+  EXPECT_EQ(table.totals.common_critical, 1);
+  EXPECT_EQ(table.totals.common_medium, 2);
+}
+
+TEST(VulnDatabaseTest, FamousCvesPresent) {
+  const auto& db = VulnDatabase();
+  auto find = [&db](std::string_view id) -> const CveRecord* {
+    for (const CveRecord& r : db) {
+      if (r.id == id) {
+        return &r;
+      }
+    }
+    return nullptr;
+  };
+
+  const CveRecord* venom = find("CVE-2015-3456");
+  ASSERT_NE(venom, nullptr);
+  EXPECT_TRUE(venom->common());
+  EXPECT_EQ(venom->severity(), VulnSeverity::kCritical);
+  EXPECT_EQ(venom->component, VulnComponent::kQemu);
+
+  const CveRecord* dos1 = find("CVE-2015-8104");
+  ASSERT_NE(dos1, nullptr);
+  EXPECT_TRUE(dos1->common());
+  EXPECT_EQ(dos1->severity(), VulnSeverity::kMedium);
+
+  const CveRecord* xsa = find("CVE-2016-6258");
+  ASSERT_NE(xsa, nullptr);
+  EXPECT_EQ(xsa->window_days, 7);  // §2.2: patched 7 days after discovery.
+  EXPECT_TRUE(xsa->affects_xen);
+  EXPECT_FALSE(xsa->affects_kvm);
+
+  EXPECT_EQ(find("CVE-2017-12188")->window_days, 180);
+  EXPECT_EQ(find("CVE-2013-0311")->window_days, 8);
+}
+
+TEST(VulnDatabaseTest, KvmWindowStatsMatchSection22) {
+  const WindowStats stats = WindowStatsFor(VulnDatabase(), HypervisorKind::kKvm);
+  EXPECT_GE(stats.samples, 20);
+  EXPECT_NEAR(stats.mean_days, 71.0, 8.0);          // Paper: 71 days average.
+  EXPECT_NEAR(stats.fraction_over_60_days, 0.6, 0.1);  // Paper: 60%.
+  EXPECT_EQ(stats.max_days, 180);
+  EXPECT_EQ(stats.min_days, 8);
+}
+
+TEST(VulnDatabaseTest, XenCriticalComponentSharesMatchSection21) {
+  const auto shares = CriticalComponentShares(VulnDatabase(), HypervisorKind::kXen);
+  // Paper: 38.4% PV, 28.2% resource, 15.3% hardware, 7.5% toolstack, 10.2% QEMU.
+  EXPECT_NEAR(shares.at(VulnComponent::kPvInterface), 0.384, 0.06);
+  EXPECT_NEAR(shares.at(VulnComponent::kResourceMgmt), 0.282, 0.06);
+  EXPECT_NEAR(shares.at(VulnComponent::kHardware), 0.153, 0.06);
+}
+
+TEST(PolicyTest, CriticalXenFlawTriggersTransplantToKvm) {
+  const auto& db = VulnDatabase();
+  const CveRecord* xsa = nullptr;
+  for (const CveRecord& r : db) {
+    if (r.id == "CVE-2016-6258") {
+      xsa = &r;
+    }
+  }
+  ASSERT_NE(xsa, nullptr);
+
+  auto decision = DecideTransplant(HypervisorKind::kXen, {{xsa}},
+                                   {HypervisorKind::kXen, HypervisorKind::kKvm});
+  EXPECT_TRUE(decision.transplant_recommended);
+  ASSERT_TRUE(decision.target.has_value());
+  EXPECT_EQ(*decision.target, HypervisorKind::kKvm);
+}
+
+TEST(PolicyTest, CommonFlawLeavesNoSafeTarget) {
+  const CveRecord* venom = nullptr;
+  for (const CveRecord& r : VulnDatabase()) {
+    if (r.id == "CVE-2015-3456") {
+      venom = &r;
+    }
+  }
+  ASSERT_NE(venom, nullptr);
+  auto decision = DecideTransplant(HypervisorKind::kXen, {{venom}},
+                                   {HypervisorKind::kXen, HypervisorKind::kKvm});
+  EXPECT_FALSE(decision.transplant_recommended);
+  EXPECT_NE(decision.rationale.find("common"), std::string::npos);
+}
+
+TEST(PolicyTest, MediumFlawDoesNotTriggerTransplant) {
+  const CveRecord* dos = nullptr;
+  for (const CveRecord& r : VulnDatabase()) {
+    if (r.id == "CVE-2015-8104") {
+      dos = &r;
+    }
+  }
+  ASSERT_NE(dos, nullptr);
+  auto decision = DecideTransplant(HypervisorKind::kXen, {{dos}},
+                                   {HypervisorKind::kXen, HypervisorKind::kKvm});
+  // HyperTP is reserved for critical flaws (§1).
+  EXPECT_FALSE(decision.transplant_recommended);
+}
+
+TEST(PolicyTest, NoActiveVulnNoTransplant) {
+  auto decision =
+      DecideTransplant(HypervisorKind::kKvm, {}, {HypervisorKind::kXen, HypervisorKind::kKvm});
+  EXPECT_FALSE(decision.transplant_recommended);
+}
+
+TEST(PolicyTest, MultipleVulnsNeedJointlySafeTarget) {
+  // One Xen flaw + one KVM flaw active at once: neither pool member is safe.
+  const CveRecord* xen_flaw = nullptr;
+  const CveRecord* kvm_flaw = nullptr;
+  for (const CveRecord& r : VulnDatabase()) {
+    if (r.severity() == VulnSeverity::kCritical && r.affects_xen && !r.common() &&
+        xen_flaw == nullptr) {
+      xen_flaw = &r;
+    }
+    if (r.severity() == VulnSeverity::kCritical && r.affects_kvm && !r.common() &&
+        kvm_flaw == nullptr) {
+      kvm_flaw = &r;
+    }
+  }
+  ASSERT_NE(xen_flaw, nullptr);
+  ASSERT_NE(kvm_flaw, nullptr);
+  auto decision = DecideTransplant(HypervisorKind::kXen, {{xen_flaw}, {kvm_flaw}},
+                                   {HypervisorKind::kXen, HypervisorKind::kKvm});
+  EXPECT_FALSE(decision.transplant_recommended);
+}
+
+TEST(VulnDatabaseTest, DeterministicAcrossCalls) {
+  const auto& a = VulnDatabase();
+  const auto& b = VulnDatabase();
+  ASSERT_EQ(&a, &b);  // Built once.
+  EXPECT_EQ(a.size(), 55u + 171u + 13u + 56u - 1u - 2u);  // Common counted once.
+}
+
+}  // namespace
+}  // namespace hypertp

@@ -1,0 +1,183 @@
+// Tests for the workload generators: interference schedules, Redis/MySQL
+// throughput series, SPEC suite, Darknet training.
+
+#include <gtest/gtest.h>
+
+#include "src/workload/darknet.h"
+#include "src/workload/interference.h"
+#include "src/workload/spec.h"
+#include "src/workload/throughput.h"
+
+namespace hypertp {
+namespace {
+
+TransplantReport FakeInPlaceReport() {
+  TransplantReport report;
+  report.phases.pram = SecondsF(0.45);
+  report.phases.translation = SecondsF(0.08);
+  report.phases.reboot = SecondsF(1.52);
+  report.phases.restoration = SecondsF(0.12);
+  report.downtime = SecondsF(1.72);
+  report.total_time = SecondsF(2.17);
+  report.network_downtime = SecondsF(6.8);
+  return report;
+}
+
+MigrationResult FakeMigrationResult() {
+  MigrationResult result;
+  result.total_time = SecondsF(78.0);
+  result.downtime = MillisF(5.0);
+  return result;
+}
+
+TEST(InterferenceTest, FactorComposition) {
+  InterferenceSchedule schedule;
+  schedule.AddInterval(Seconds(10), Seconds(20), 0.5);
+  schedule.AddPause(Seconds(15), Seconds(16));
+  EXPECT_DOUBLE_EQ(schedule.FactorAt(Seconds(5)), 1.0);
+  EXPECT_DOUBLE_EQ(schedule.FactorAt(Seconds(12)), 0.5);
+  EXPECT_DOUBLE_EQ(schedule.FactorAt(Seconds(15)), 0.0);  // Lowest wins.
+  EXPECT_DOUBLE_EQ(schedule.FactorAt(Seconds(25)), 1.0);
+}
+
+TEST(InterferenceTest, InPlaceScheduleShapesPause) {
+  const TransplantReport report = FakeInPlaceReport();
+  auto schedule = InterferenceSchedule::ForInPlace(report, Seconds(50), /*network=*/false);
+  EXPECT_DOUBLE_EQ(schedule.FactorAt(Seconds(49)), 1.0);
+  EXPECT_NEAR(schedule.FactorAt(SecondsF(50.2)), 0.95, 1e-9);  // PRAM build.
+  EXPECT_DOUBLE_EQ(schedule.FactorAt(SecondsF(51.0)), 0.0);    // Paused.
+  EXPECT_DOUBLE_EQ(schedule.FactorAt(SecondsF(52.5)), 1.0);    // Resumed.
+  EXPECT_EQ(schedule.switch_time(), SecondsF(50.45) + report.downtime);
+
+  // Network-sensitive workloads stay down longer (Fig. 11's ~9 s gap).
+  auto net = InterferenceSchedule::ForInPlace(report, Seconds(50), /*network=*/true);
+  EXPECT_DOUBLE_EQ(net.FactorAt(SecondsF(55.0)), 0.0);
+  EXPECT_DOUBLE_EQ(net.FactorAt(SecondsF(58.0)), 1.0);
+}
+
+TEST(InterferenceTest, MigrationScheduleShapesPrecopy) {
+  auto schedule = InterferenceSchedule::ForMigration(FakeMigrationResult(), Seconds(46), 0.5);
+  EXPECT_DOUBLE_EQ(schedule.FactorAt(Seconds(45)), 1.0);
+  EXPECT_DOUBLE_EQ(schedule.FactorAt(Seconds(100)), 0.5);   // Pre-copy window.
+  EXPECT_DOUBLE_EQ(schedule.FactorAt(Seconds(125)), 1.0);   // Done.
+  EXPECT_EQ(schedule.switch_time(), Seconds(46) + SecondsF(78.0));
+}
+
+TEST(ThroughputTest, RedisGainsOnKvmAfterInPlace) {
+  // Fig. 11 left: ~9 s of zero QPS, then ~37% higher steady state.
+  const TransplantReport report = FakeInPlaceReport();
+  auto schedule = InterferenceSchedule::ForInPlace(report, Seconds(50), /*network=*/true);
+  Rng rng(1);
+  TimeSeries series = GenerateThroughput(ThroughputModel::Redis(), Seconds(200), Seconds(1),
+                                         schedule, /*starts_on_xen=*/true, rng, "redis");
+
+  const double before = series.MeanInWindow(Seconds(10), Seconds(45));
+  const double after = series.MeanInWindow(Seconds(70), Seconds(190));
+  EXPECT_NEAR(before, 28000.0, 1500.0);
+  EXPECT_NEAR(after / before, 1.37, 0.06);
+
+  const SimDuration gap = series.LongestGapBelow(100.0);
+  EXPECT_GT(gap, SecondsF(5.5));
+  EXPECT_LT(gap, SecondsF(10.0));
+}
+
+TEST(ThroughputTest, MigrationShowsClassicPattern) {
+  // Fig. 11 right: drop during copy, negligible downtime, then recovery.
+  auto schedule = InterferenceSchedule::ForMigration(FakeMigrationResult(), Seconds(46), 0.55);
+  Rng rng(2);
+  TimeSeries series = GenerateThroughput(ThroughputModel::Redis(), Seconds(250), Seconds(1),
+                                         schedule, true, rng, "redis-mig");
+  const double before = series.MeanInWindow(Seconds(10), Seconds(45));
+  const double during = series.MeanInWindow(Seconds(60), Seconds(120));
+  const double after = series.MeanInWindow(Seconds(140), Seconds(240));
+  EXPECT_LT(during, before * 0.65);
+  EXPECT_GT(after, before * 1.25);
+  // Downtime is milliseconds: no 1-second sample should be fully zero.
+  EXPECT_LT(series.LongestGapBelow(100.0), Seconds(2));
+}
+
+TEST(ThroughputTest, MysqlLatencySpikesDuringMigration) {
+  // Fig. 12: +252% latency during migration.
+  auto schedule = InterferenceSchedule::ForMigration(FakeMigrationResult(), Seconds(46), 0.3);
+  Rng rng(3);
+  TimeSeries lat = GenerateLatency(ThroughputModel::Mysql(), 7.0, Seconds(200), Seconds(1),
+                                   schedule, true, rng, "mysql-lat");
+  const double before = lat.MeanInWindow(Seconds(10), Seconds(45));
+  const double during = lat.MeanInWindow(Seconds(60), Seconds(120));
+  EXPECT_NEAR(during / before, 1.0 / 0.3, 0.5);
+}
+
+TEST(InterferenceTest, PostcopyScheduleShapesFaultWindow) {
+  MigrationResult result;
+  result.downtime = MillisF(4.0);
+  result.postcopy_fault_window = SecondsF(35.0);
+  result.total_time = result.downtime + result.postcopy_fault_window;
+  auto schedule = InterferenceSchedule::ForPostcopyMigration(result, Seconds(10), 0.7);
+  EXPECT_DOUBLE_EQ(schedule.FactorAt(Seconds(9)), 1.0);
+  EXPECT_DOUBLE_EQ(schedule.FactorAt(Seconds(10)), 0.0);        // Tiny pause.
+  EXPECT_DOUBLE_EQ(schedule.FactorAt(Seconds(20)), 0.7);        // Faulting in.
+  EXPECT_DOUBLE_EQ(schedule.FactorAt(Seconds(50)), 1.0);        // Settled.
+  EXPECT_EQ(schedule.switch_time(), Seconds(10) + MillisF(4.0));
+}
+
+TEST(SpecTest, SuiteHas23Benchmarks) {
+  EXPECT_EQ(SpecRate2017().size(), 23u);
+  // Spot-check Table 5's embedded values.
+  EXPECT_DOUBLE_EQ(SpecRate2017()[0].kvm_seconds, 474.31);
+  EXPECT_DOUBLE_EQ(SpecRate2017()[0].xen_seconds, 477.39);
+}
+
+TEST(SpecTest, PureRunsHaveNoDegradation) {
+  auto xen = RunSpecSuite(SpecScenario::kPureXen, nullptr, nullptr, 1);
+  auto kvm = RunSpecSuite(SpecScenario::kPureKvm, nullptr, nullptr, 1);
+  ASSERT_EQ(xen.size(), 23u);
+  for (size_t i = 0; i < xen.size(); ++i) {
+    EXPECT_EQ(xen[i].degradation_pct, 0.0);
+    EXPECT_NEAR(xen[i].seconds, SpecRate2017()[i].xen_seconds, SpecRate2017()[i].xen_seconds * 0.03);
+    EXPECT_NEAR(kvm[i].seconds, SpecRate2017()[i].kvm_seconds, SpecRate2017()[i].kvm_seconds * 0.03);
+  }
+}
+
+TEST(SpecTest, TransplantDegradationIsSmall) {
+  // Table 5: max degradation 4.19% (InPlaceTP) and 4.81% (MigrationTP).
+  TransplantReport report = FakeInPlaceReport();
+  auto inplace = RunSpecSuite(SpecScenario::kInPlaceTp, &report, nullptr, 7);
+  const double inplace_max = MaxDegradationPct(inplace);
+  EXPECT_GT(inplace_max, 0.2);
+  EXPECT_LT(inplace_max, 6.0);
+
+  MigrationResult migration = FakeMigrationResult();
+  auto mig = RunSpecSuite(SpecScenario::kMigrationTp, nullptr, &migration, 7);
+  const double mig_max = MaxDegradationPct(mig);
+  EXPECT_GT(mig_max, 0.2);
+  EXPECT_LT(mig_max, 7.0);
+}
+
+TEST(DarknetTest, DefaultIterationsMatchTable6) {
+  DarknetRun run = RunDarknetTraining(DarknetConfig{}, InterferenceSchedule{});
+  EXPECT_EQ(run.iteration_seconds.size(), 100u);
+  EXPECT_NEAR(run.average(), 2.044, 0.05);
+}
+
+TEST(DarknetTest, InPlacePauseStretchesOneIteration) {
+  // Table 6: the InPlaceTP run's affected iteration lasts ~5 s (2 vCPU /
+  // 8 GB VM: downtime ~2.9 s on top of the 2.044 s base).
+  TransplantReport report = FakeInPlaceReport();
+  report.downtime = SecondsF(2.9);
+  auto schedule = InterferenceSchedule::ForInPlace(report, Seconds(100), false);
+  DarknetRun run = RunDarknetTraining(DarknetConfig{}, schedule);
+  EXPECT_NEAR(run.longest(), 2.044 + 2.9, 0.35);
+  // Only one iteration is materially affected; the average stays near base.
+  EXPECT_LT(run.average(), 2.2);
+}
+
+TEST(DarknetTest, MigrationBarelyStretchesIterations) {
+  auto schedule = InterferenceSchedule::ForMigration(FakeMigrationResult(), Seconds(100), 0.92);
+  DarknetRun run = RunDarknetTraining(DarknetConfig{}, schedule);
+  // Table 6: longest MigrationTP iteration 2.244 s.
+  EXPECT_LT(run.longest(), 2.5);
+  EXPECT_GT(run.longest(), 2.1);
+}
+
+}  // namespace
+}  // namespace hypertp
