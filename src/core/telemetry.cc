@@ -88,4 +88,44 @@ std::string MigrationResultToJson(const MigrationResult& result) {
   return j.Take();
 }
 
+std::string PlanExecutionStatsToJson(const PlanExecutionStats& stats) {
+  JsonWriter j;
+  j.BeginObject();
+  j.Key("kind").String("cluster_upgrade");
+  j.Key("migrations").Number(static_cast<int64_t>(stats.migrations));
+  j.Key("migration_time_ms").Number(ToMillis(stats.migration_time));
+  j.Key("inplace_time_ms").Number(ToMillis(stats.inplace_time));
+  j.Key("total_time_ms").Number(ToMillis(stats.total_time));
+  j.EndObject();
+  return j.Take();
+}
+
+std::string OperationalReportToJson(const OperationalReport& report) {
+  JsonWriter j;
+  j.BeginObject();
+  j.Key("kind").String("operational_year");
+  j.Key("disclosures").Number(static_cast<int64_t>(report.disclosures));
+  j.Key("transplants_away").Number(static_cast<int64_t>(report.transplants_away));
+  j.Key("transplants_back").Number(static_cast<int64_t>(report.transplants_back));
+  j.Key("no_safe_target").Number(static_cast<int64_t>(report.no_safe_target));
+  j.Key("already_safe").Number(static_cast<int64_t>(report.already_safe));
+  j.Key("exposure_days_traditional").Number(report.exposure_days_traditional);
+  j.Key("exposure_days_hypertp").Number(report.exposure_days_hypertp);
+  j.Key("exposure_reduction_factor").Number(report.exposure_reduction_factor());
+  j.Key("vm_downtime_ms").Number(ToMillis(report.vm_downtime_paid));
+  j.Key("fleet").BeginObject();
+  j.Key("rollouts").Number(static_cast<int64_t>(report.fleet_rollouts));
+  j.Key("retries").Number(static_cast<int64_t>(report.fleet_retries));
+  j.Key("stranded_hosts").Number(static_cast<int64_t>(report.fleet_stranded_hosts));
+  j.Key("aborts").Number(static_cast<int64_t>(report.fleet_aborts));
+  j.EndObject();
+  j.Key("event_log").BeginArray();
+  for (const std::string& line : report.event_log) {
+    j.String(line);
+  }
+  j.EndArray();
+  j.EndObject();
+  return j.Take();
+}
+
 }  // namespace hypertp

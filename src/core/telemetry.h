@@ -7,8 +7,10 @@
 
 #include <string>
 
+#include "src/cluster/cluster.h"
 #include "src/core/report.h"
 #include "src/migrate/migrate.h"
+#include "src/scenario/operational.h"
 
 namespace hypertp {
 
@@ -18,6 +20,13 @@ std::string TransplantReportToJson(const TransplantReport& report);
 
 // One JSON object with timing, rounds, bytes, convergence and fixups.
 std::string MigrationResultToJson(const MigrationResult& result);
+
+// Cluster-upgrade execution stats: migrations, migration/inplace/total ms.
+std::string PlanExecutionStatsToJson(const PlanExecutionStats& stats);
+
+// Year-in-the-life report: disclosure buckets, both worlds' exposure,
+// downtime paid, fleet-rollout aggregates, and the event log.
+std::string OperationalReportToJson(const OperationalReport& report);
 
 }  // namespace hypertp
 

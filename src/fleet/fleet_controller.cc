@@ -1,0 +1,260 @@
+#include "src/fleet/fleet_controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/json.h"
+#include "src/cluster/cluster.h"
+
+namespace hypertp {
+
+std::string FleetRolloutReportToJson(const FleetRolloutReport& report) {
+  JsonWriter j;
+  j.BeginObject();
+  j.Key("kind").String("fleet_rollout");
+  j.Key("hosts").Number(static_cast<int64_t>(report.hosts));
+  j.Key("upgraded").Number(static_cast<int64_t>(report.upgraded));
+  j.Key("failed").Number(static_cast<int64_t>(report.failed));
+  j.Key("untouched").Number(static_cast<int64_t>(report.untouched));
+  j.Key("retries").Number(static_cast<int64_t>(report.retries));
+  j.Key("waves").Number(static_cast<int64_t>(report.waves));
+  j.Key("aborted").Bool(report.aborted);
+  j.Key("complete").Bool(report.complete);
+  j.Key("makespan_ms").Number(ToMillis(report.makespan));
+  j.Key("exposed_host_days").Number(report.exposed_host_days);
+  j.Key("wave_latency_seconds").BeginObject();
+  j.Key("count").Number(static_cast<uint64_t>(report.wave_latency_seconds.count()));
+  if (!report.wave_latency_seconds.empty()) {
+    j.Key("p50").Number(report.wave_latency_seconds.Percentile(50));
+    j.Key("p90").Number(report.wave_latency_seconds.Percentile(90));
+    j.Key("p99").Number(report.wave_latency_seconds.Percentile(99));
+    j.Key("max").Number(report.wave_latency_seconds.max());
+  }
+  j.EndObject();
+  j.EndObject();
+  return j.Take();
+}
+
+FleetTimingModel DeriveFleetTiming(double inplace_fraction, uint64_t seed) {
+  FleetTimingModel timing;
+  ClusterModel cluster = ClusterModel::PaperCluster(inplace_fraction, seed);
+  auto plan = PlanClusterUpgrade(cluster, 2);
+  if (!plan.ok()) {
+    return timing;  // Keep the defaults; the planner only fails on bad input.
+  }
+  const ClusterExecutionParams params;
+  int group_steps = 0;
+  for (const UpgradeStep& step : plan->steps) {
+    group_steps += !step.group.empty();
+  }
+  auto stats = ExecuteClusterUpgrade(cluster, *plan, params);
+  if (!stats.ok() || cluster.hosts().empty()) {
+    return timing;
+  }
+  // Evacuation wall-clock amortized per host; micro-reboot per group (hosts
+  // in a group reboot in parallel, so per host == per group).
+  timing.drain_per_host = stats->migration_time / static_cast<SimDuration>(cluster.hosts().size());
+  timing.transplant_per_host =
+      group_steps > 0 ? stats->inplace_time / group_steps : params.inplace_upgrade_time;
+  return timing;
+}
+
+FleetController::FleetController(SimExecutor& executor, FleetConfig config)
+    : executor_(executor),
+      config_(std::move(config)),
+      trace_(config_.trace_capacity),
+      alive_(std::make_shared<bool>(true)) {
+  config_.hosts = std::max(config_.hosts, 0);
+  config_.parallel_hosts = std::max(config_.parallel_hosts, 1);
+  config_.fault_domains = std::max(config_.fault_domains, 1);
+  config_.max_retries = std::max(config_.max_retries, 0);
+  if (config_.use_cluster_timing) {
+    const FleetTimingModel timing = DeriveFleetTiming(config_.inplace_fraction, config_.seed);
+    config_.drain_time = timing.drain_per_host;
+    config_.per_host_transplant = timing.transplant_per_host;
+  }
+
+  hosts_.reserve(static_cast<size_t>(config_.hosts));
+  host_rngs_.reserve(static_cast<size_t>(config_.hosts));
+  Rng root(config_.seed);
+  for (int i = 0; i < config_.hosts; ++i) {
+    FleetHost host;
+    host.id = i;
+    host.fault_domain = i % config_.fault_domains;
+    hosts_.push_back(host);
+    // One stream per host, forked in id order: a host's failure/jitter draws
+    // never depend on how the waves interleave.
+    host_rngs_.push_back(root.Fork());
+  }
+  report_.hosts = config_.hosts;
+}
+
+FleetController::~FleetController() { *alive_ = false; }
+
+std::function<void()> FleetController::Guarded(void (FleetController::*method)(int), int host) {
+  return [alive = std::weak_ptr<bool>(alive_), this, method, host] {
+    const auto guard = alive.lock();
+    if (!guard || !*guard || finished_) {
+      return;  // Stale event from an aborted rollout.
+    }
+    (this->*method)(host);
+  };
+}
+
+const FleetRolloutReport& FleetController::Run() {
+  base_ = executor_.now();
+  last_exposure_change_ = base_;
+  exposed_ = config_.hosts;
+  Emit(FleetEventType::kRolloutStart, -1);
+  trace_.RecordExposure(base_, exposed_);
+  if (config_.hosts == 0) {
+    Finalize(FleetEventType::kRolloutComplete);
+    return report_;
+  }
+  for (int i = 0; i < config_.hosts; ++i) {
+    pending_.push_back(i);
+  }
+  executor_.ScheduleAt(base_, [alive = std::weak_ptr<bool>(alive_), this] {
+    const auto guard = alive.lock();
+    if (guard && *guard && !finished_) {
+      StartNextWave();
+    }
+  });
+  executor_.Run();
+  return report_;
+}
+
+void FleetController::Emit(FleetEventType type, int host, int attempt) {
+  trace_.Record(FleetEvent{executor_.now(), type, host, wave_, attempt});
+}
+
+void FleetController::StartNextWave() {
+  if (pending_.empty()) {
+    if (wave_in_flight_ == 0) {
+      Finalize(FleetEventType::kRolloutComplete);
+    }
+    return;
+  }
+  // Compose the wave: first-come order under the width and per-fault-domain
+  // caps. Deferred hosts keep their queue position for the next wave.
+  std::vector<int> wave_hosts;
+  std::vector<int> domain_in_flight(static_cast<size_t>(config_.fault_domains), 0);
+  for (auto it = pending_.begin();
+       it != pending_.end() && static_cast<int>(wave_hosts.size()) < config_.parallel_hosts;) {
+    int& domain_count = domain_in_flight[static_cast<size_t>(hosts_[*it].fault_domain)];
+    if (config_.max_per_domain_in_flight > 0 &&
+        domain_count >= config_.max_per_domain_in_flight) {
+      ++it;
+      continue;
+    }
+    ++domain_count;
+    wave_hosts.push_back(*it);
+    it = pending_.erase(it);
+  }
+  ++wave_;
+  ++report_.waves;
+  wave_started_ = executor_.now();
+  wave_in_flight_ = static_cast<int>(wave_hosts.size());
+  Emit(FleetEventType::kWaveStart, -1);
+  for (int host : wave_hosts) {
+    StartDrain(host);
+  }
+}
+
+void FleetController::StartDrain(int host) {
+  FleetHost& h = hosts_[static_cast<size_t>(host)];
+  h.state = FleetHostState::kDraining;
+  h.drain_started = executor_.now();
+  Emit(FleetEventType::kDrainStart, host);
+  executor_.ScheduleAfter(Jittered(config_.drain_time, host_rngs_[static_cast<size_t>(host)]),
+                          Guarded(&FleetController::StartTransplant, host));
+}
+
+void FleetController::StartTransplant(int host) {
+  FleetHost& h = hosts_[static_cast<size_t>(host)];
+  h.state = FleetHostState::kTransplanting;
+  h.transplant_started = executor_.now();
+  ++h.attempts;
+  Emit(FleetEventType::kTransplantStart, host, h.attempts);
+  executor_.ScheduleAfter(
+      Jittered(config_.per_host_transplant, host_rngs_[static_cast<size_t>(host)]),
+      Guarded(&FleetController::FinishAttempt, host));
+}
+
+void FleetController::FinishAttempt(int host) {
+  FleetHost& h = hosts_[static_cast<size_t>(host)];
+  if (!host_rngs_[static_cast<size_t>(host)].NextBool(config_.failure_probability)) {
+    h.state = FleetHostState::kServing;
+    h.upgraded = true;
+    h.finished = executor_.now();
+    ++report_.upgraded;
+    Emit(FleetEventType::kTransplantDone, host, h.attempts);
+    AccrueExposure();
+    --exposed_;
+    trace_.RecordExposure(executor_.now(), exposed_);
+    HostDone(host);
+    return;
+  }
+  Emit(FleetEventType::kTransplantFailed, host, h.attempts);
+  if (h.attempts <= config_.max_retries) {
+    ++report_.retries;
+    Emit(FleetEventType::kRetryScheduled, host, h.attempts);
+    // Exponential backoff: base, 2x, 4x, ... per consecutive failure.
+    const SimDuration backoff = config_.retry_backoff << (h.attempts - 1);
+    executor_.ScheduleAfter(backoff, Guarded(&FleetController::StartTransplant, host));
+    return;
+  }
+  h.state = FleetHostState::kFailed;
+  h.finished = executor_.now();
+  ++report_.failed;
+  Emit(FleetEventType::kHostFailed, host, h.attempts);
+  HostDone(host);  // Failed hosts stay exposed; no exposure change.
+}
+
+void FleetController::HostDone(int host) {
+  (void)host;
+  if (config_.abort_threshold < 1.0 && config_.hosts > 0 &&
+      static_cast<double>(report_.failed) / config_.hosts > config_.abort_threshold) {
+    Finalize(FleetEventType::kRolloutAborted);
+    return;
+  }
+  if (--wave_in_flight_ == 0) {
+    Emit(FleetEventType::kWaveDone, -1);
+    report_.wave_latency_seconds.Add(ToSeconds(executor_.now() - wave_started_));
+    StartNextWave();
+  }
+}
+
+void FleetController::AccrueExposure() {
+  exposed_host_seconds_ +=
+      ToSeconds(executor_.now() - last_exposure_change_) * static_cast<double>(exposed_);
+  last_exposure_change_ = executor_.now();
+}
+
+void FleetController::Finalize(FleetEventType terminal) {
+  finished_ = true;
+  AccrueExposure();
+  report_.untouched = report_.hosts - report_.upgraded - report_.failed;
+  report_.aborted = terminal == FleetEventType::kRolloutAborted;
+  report_.complete = report_.upgraded == report_.hosts;
+  report_.makespan = executor_.now() - base_;
+  report_.exposed_host_days = exposed_host_seconds_ / (24.0 * 3600.0);
+  Emit(terminal, -1);
+  if (report_.aborted) {
+    // Graceful stop: events already in flight dispatch as guarded no-ops on
+    // the executor's next run.
+    executor_.Stop();
+  }
+}
+
+SimDuration FleetController::Jittered(SimDuration base, Rng& rng) {
+  if (config_.latency_jitter <= 0.0 || base <= 0) {
+    return base;
+  }
+  // Lognormal multiplier: always positive, right-skewed like real
+  // maintenance latencies.
+  const double multiplier = std::exp(rng.NextGaussian() * config_.latency_jitter);
+  return std::max<SimDuration>(1, static_cast<SimDuration>(static_cast<double>(base) * multiplier));
+}
+
+}  // namespace hypertp

@@ -1,0 +1,116 @@
+// Event-driven fleet control plane: executes a datacenter-wide hypervisor
+// transplant as concurrent, failure-prone work on the discrete-event
+// executor, subsuming the closed-form FleetTransplantTime.
+//
+// The controller owns N FleetHost state machines and a wave scheduler that
+// keeps at most `parallel_hosts` transplants in flight, composing each wave
+// under the anti-affinity constraint (at most `max_per_domain_in_flight`
+// hosts per fault domain). Each host drains, transplants (per-host duration
+// with optional lognormal jitter), and either returns to serving upgraded or
+// retries with exponential backoff until the budget runs out. Crossing the
+// fleet abort threshold stops the rollout gracefully: remaining hosts keep
+// serving the vulnerable hypervisor and the report states the partial
+// exposure. Every transition lands in the FleetTrace.
+
+#ifndef HYPERTP_SRC_FLEET_FLEET_CONTROLLER_H_
+#define HYPERTP_SRC_FLEET_FLEET_CONTROLLER_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/fleet/fleet_trace.h"
+#include "src/fleet/fleet_types.h"
+#include "src/sim/executor.h"
+#include "src/sim/rng.h"
+#include "src/sim/stats.h"
+
+namespace hypertp {
+
+struct FleetRolloutReport {
+  int hosts = 0;
+  int upgraded = 0;
+  int failed = 0;      // Permanently failed (retry budget exhausted).
+  int untouched = 0;   // Never started (rollout aborted first).
+  int retries = 0;     // Re-attempts across all hosts.
+  int waves = 0;
+  bool aborted = false;
+  bool complete = false;  // Every host upgraded.
+  SimDuration makespan = 0;
+  // Exposure integral over the rollout (failed/untouched hosts keep
+  // accruing exposure after the rollout ends; that tail is the caller's —
+  // it depends on when the patch lands).
+  double exposed_host_days = 0.0;
+  SampleSet wave_latency_seconds;
+};
+
+// {"kind":"fleet_rollout", summary counters, wave-latency percentiles}.
+std::string FleetRolloutReportToJson(const FleetRolloutReport& report);
+
+// Per-host drain/transplant durations derived from the §5.4 cluster model:
+// a PaperCluster at `inplace_fraction` compatibility is planned
+// (PlanClusterUpgrade) and executed (ExecuteClusterUpgrade); the evacuation
+// wall-clock amortizes into drain_per_host and the per-group micro-reboot
+// becomes transplant_per_host.
+struct FleetTimingModel {
+  SimDuration drain_per_host = 0;
+  SimDuration transplant_per_host = Seconds(10);
+};
+
+FleetTimingModel DeriveFleetTiming(double inplace_fraction, uint64_t seed);
+
+class FleetController {
+ public:
+  // The executor is borrowed, not owned: the operational scenario reuses one
+  // executor across many rollouts (an abort must not poison the next run —
+  // see SimExecutor::Stop()). Scheduling is relative to executor.now().
+  FleetController(SimExecutor& executor, FleetConfig config);
+  ~FleetController();
+  FleetController(const FleetController&) = delete;
+  FleetController& operator=(const FleetController&) = delete;
+
+  // Drives the executor until the rollout completes or aborts.
+  const FleetRolloutReport& Run();
+
+  const FleetRolloutReport& report() const { return report_; }
+  const FleetTrace& trace() const { return trace_; }
+  const std::vector<FleetHost>& hosts() const { return hosts_; }
+  const FleetConfig& config() const { return config_; }
+
+ private:
+  void Emit(FleetEventType type, int host, int attempt = 0);
+  void StartNextWave();
+  void StartDrain(int host);
+  void StartTransplant(int host);
+  void FinishAttempt(int host);
+  void HostDone(int host);
+  void AccrueExposure();
+  void Finalize(FleetEventType terminal);
+  SimDuration Jittered(SimDuration base, Rng& rng);
+  // Wraps a member-call closure with a liveness guard so events left queued
+  // after an abort (or controller destruction) dispatch as no-ops.
+  std::function<void()> Guarded(void (FleetController::*method)(int), int host);
+
+  SimExecutor& executor_;
+  FleetConfig config_;
+  std::vector<FleetHost> hosts_;
+  std::vector<Rng> host_rngs_;  // Forked in id order: interleaving-independent.
+  FleetTrace trace_;
+  FleetRolloutReport report_;
+  std::shared_ptr<bool> alive_;
+
+  std::deque<int> pending_;
+  int wave_ = -1;
+  int wave_in_flight_ = 0;
+  SimTime wave_started_ = 0;
+  SimTime base_ = 0;
+  SimTime last_exposure_change_ = 0;
+  int exposed_ = 0;
+  double exposed_host_seconds_ = 0.0;
+  bool finished_ = false;
+};
+
+}  // namespace hypertp
+
+#endif  // HYPERTP_SRC_FLEET_FLEET_CONTROLLER_H_

@@ -1,0 +1,146 @@
+#include "src/fleet/fleet_trace.h"
+
+#include <algorithm>
+
+#include "src/base/json.h"
+
+namespace hypertp {
+
+std::string_view FleetHostStateName(FleetHostState state) {
+  switch (state) {
+    case FleetHostState::kServing:
+      return "serving";
+    case FleetHostState::kDraining:
+      return "draining";
+    case FleetHostState::kTransplanting:
+      return "transplanting";
+    case FleetHostState::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+std::string_view FleetEventTypeName(FleetEventType type) {
+  switch (type) {
+    case FleetEventType::kRolloutStart:
+      return "rollout_start";
+    case FleetEventType::kWaveStart:
+      return "wave_start";
+    case FleetEventType::kDrainStart:
+      return "drain_start";
+    case FleetEventType::kTransplantStart:
+      return "transplant_start";
+    case FleetEventType::kTransplantDone:
+      return "transplant_done";
+    case FleetEventType::kTransplantFailed:
+      return "transplant_failed";
+    case FleetEventType::kRetryScheduled:
+      return "retry_scheduled";
+    case FleetEventType::kHostFailed:
+      return "host_failed";
+    case FleetEventType::kWaveDone:
+      return "wave_done";
+    case FleetEventType::kRolloutComplete:
+      return "rollout_complete";
+    case FleetEventType::kRolloutAborted:
+      return "rollout_aborted";
+  }
+  return "unknown";
+}
+
+FleetTrace::FleetTrace(size_t capacity) : capacity_(std::max<size_t>(capacity, 1)) {
+  ring_.reserve(std::min<size_t>(capacity_, 4096));
+}
+
+void FleetTrace::Record(FleetEvent event) {
+  ++total_recorded_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+    return;
+  }
+  // Full: overwrite the oldest slot.
+  ring_[head_] = event;
+  head_ = (head_ + 1) % capacity_;
+}
+
+void FleetTrace::RecordExposure(SimTime time, int exposed_hosts) {
+  // Coalesce same-timestamp updates (several hosts finishing in one event
+  // round) so the timeline stays a function of time.
+  if (!exposure_.empty() && exposure_.back().time == time) {
+    exposure_.back().exposed_hosts = exposed_hosts;
+    return;
+  }
+  exposure_.push_back(ExposurePoint{time, exposed_hosts});
+}
+
+std::vector<FleetEvent> FleetTrace::Events() const {
+  std::vector<FleetEvent> out;
+  out.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<FleetEvent> FleetTrace::EventsOfType(FleetEventType type) const {
+  std::vector<FleetEvent> out;
+  for (const FleetEvent& event : Events()) {
+    if (event.type == type) {
+      out.push_back(event);
+    }
+  }
+  return out;
+}
+
+double ExposedHostDays(const FleetTrace& trace, SimTime end) {
+  const std::vector<ExposurePoint>& timeline = trace.exposure_timeline();
+  if (timeline.empty()) {
+    return 0.0;
+  }
+  double host_seconds = 0.0;
+  for (size_t i = 0; i < timeline.size(); ++i) {
+    const SimTime until = i + 1 < timeline.size() ? timeline[i + 1].time : end;
+    if (until <= timeline[i].time) {
+      continue;
+    }
+    host_seconds += ToSeconds(until - timeline[i].time) * timeline[i].exposed_hosts;
+  }
+  return host_seconds / (24.0 * 3600.0);
+}
+
+std::string FleetTraceToJson(const FleetTrace& trace) {
+  JsonWriter j;
+  j.BeginObject();
+  j.Key("kind").String("fleet_trace");
+  j.Key("total_recorded").Number(trace.total_recorded());
+  j.Key("dropped").Number(trace.dropped());
+  j.Key("events").BeginArray();
+  for (const FleetEvent& event : trace.Events()) {
+    j.BeginObject();
+    j.Key("t_ns").Number(static_cast<int64_t>(event.time));
+    j.Key("type").String(FleetEventTypeName(event.type));
+    if (event.host >= 0) {
+      j.Key("host").Number(static_cast<int64_t>(event.host));
+    }
+    if (event.wave >= 0) {
+      j.Key("wave").Number(static_cast<int64_t>(event.wave));
+    }
+    if (event.attempt > 0) {
+      j.Key("attempt").Number(static_cast<int64_t>(event.attempt));
+    }
+    j.EndObject();
+  }
+  j.EndArray();
+  j.Key("exposure_timeline").BeginArray();
+  for (const ExposurePoint& point : trace.exposure_timeline()) {
+    j.BeginArray();
+    j.Number(static_cast<int64_t>(point.time));
+    j.Number(static_cast<int64_t>(point.exposed_hosts));
+    j.EndArray();
+  }
+  j.EndArray();
+  j.EndObject();
+  return j.Take();
+}
+
+}  // namespace hypertp

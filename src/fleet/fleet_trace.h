@@ -1,0 +1,66 @@
+// Structured trace for fleet rollouts: a bounded ring buffer of FleetEvents
+// plus the fleet exposure timeline (how many hosts still run the vulnerable
+// hypervisor at each instant), exported as one JSON document.
+//
+// The trace is the observability contract of the control plane: two runs
+// with the same FleetConfig must serialize to byte-identical JSON, which is
+// what fleet_replay_test pins.
+
+#ifndef HYPERTP_SRC_FLEET_FLEET_TRACE_H_
+#define HYPERTP_SRC_FLEET_FLEET_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/fleet/fleet_types.h"
+#include "src/sim/time.h"
+
+namespace hypertp {
+
+// One sample of the exposure timeline: at `time`, `exposed_hosts` hosts had
+// not yet reached the safe hypervisor (failed hosts stay exposed). The
+// window_model consumes this as host-days via ExposedHostDays().
+struct ExposurePoint {
+  SimTime time = 0;
+  int exposed_hosts = 0;
+};
+
+class FleetTrace {
+ public:
+  explicit FleetTrace(size_t capacity);
+
+  void Record(FleetEvent event);
+  void RecordExposure(SimTime time, int exposed_hosts);
+
+  // Events oldest-to-newest (reassembled from the ring).
+  std::vector<FleetEvent> Events() const;
+  // Events of one type, oldest-to-newest.
+  std::vector<FleetEvent> EventsOfType(FleetEventType type) const;
+
+  size_t size() const { return ring_.size(); }
+  uint64_t total_recorded() const { return total_recorded_; }
+  uint64_t dropped() const { return total_recorded_ - ring_.size(); }
+  const std::vector<ExposurePoint>& exposure_timeline() const { return exposure_; }
+
+ private:
+  size_t capacity_;
+  std::vector<FleetEvent> ring_;  // Ring buffer; `head_` is the oldest slot.
+  size_t head_ = 0;
+  uint64_t total_recorded_ = 0;
+  std::vector<ExposurePoint> exposure_;
+};
+
+// Integral of the exposure timeline from its first sample to `end`, in
+// host-days: the quantity Fig. 1 compares between worlds, but now sensitive
+// to stragglers, retries and failures instead of a closed form.
+double ExposedHostDays(const FleetTrace& trace, SimTime end);
+
+// {"kind":"fleet_trace","events":[...],"exposure_timeline":[[t,n],...],...}.
+// Deterministic: same trace -> same bytes.
+std::string FleetTraceToJson(const FleetTrace& trace);
+
+}  // namespace hypertp
+
+#endif  // HYPERTP_SRC_FLEET_FLEET_TRACE_H_

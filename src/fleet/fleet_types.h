@@ -1,0 +1,109 @@
+// Fleet control-plane vocabulary: host state machine, rollout configuration
+// and the structured events every transition emits.
+//
+// A fleet rollout is the datacenter-wide act behind Fig. 1(b): once the
+// transplant decision is made, hundreds-to-thousands of hosts must each
+// drain, micro-reboot into the alternate hypervisor and come back — under a
+// blast-radius cap, with real failures and retries. The closed-form
+// `FleetTransplantTime` collapses all of that into one multiplication; the
+// types here are what the event-driven `FleetController` executes instead.
+
+#ifndef HYPERTP_SRC_FLEET_FLEET_TYPES_H_
+#define HYPERTP_SRC_FLEET_FLEET_TYPES_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/sim/time.h"
+
+namespace hypertp {
+
+// Host lifecycle: kServing -> kDraining -> kTransplanting -> kServing
+// (upgraded) | kFailed. A failed transplant retries from kTransplanting;
+// only exhausting the retry budget parks the host in kFailed.
+enum class FleetHostState : uint8_t {
+  kServing,
+  kDraining,
+  kTransplanting,
+  kFailed,
+};
+
+std::string_view FleetHostStateName(FleetHostState state);
+
+struct FleetHost {
+  int id = 0;
+  // Anti-affinity bucket (rack / power feed); assigned round-robin.
+  int fault_domain = 0;
+  FleetHostState state = FleetHostState::kServing;
+  bool upgraded = false;
+  int attempts = 0;             // Transplant attempts so far.
+  SimTime drain_started = -1;
+  SimTime transplant_started = -1;
+  SimTime finished = -1;        // Upgraded or permanently failed.
+};
+
+enum class FleetEventType : uint8_t {
+  kRolloutStart,
+  kWaveStart,
+  kDrainStart,
+  kTransplantStart,
+  kTransplantDone,
+  kTransplantFailed,   // One attempt failed; a retry may follow.
+  kRetryScheduled,
+  kHostFailed,         // Retry budget exhausted.
+  kWaveDone,
+  kRolloutComplete,
+  kRolloutAborted,     // Fleet-level abort threshold crossed.
+};
+
+std::string_view FleetEventTypeName(FleetEventType type);
+
+// One timestamped state transition. `host`/`wave` are -1 for fleet-scope
+// events; `attempt` is 1-based for transplant attempts, 0 otherwise.
+struct FleetEvent {
+  SimTime time = 0;
+  FleetEventType type = FleetEventType::kRolloutStart;
+  int host = -1;
+  int wave = -1;
+  int attempt = 0;
+};
+
+struct FleetConfig {
+  int hosts = 100;
+  // Wave width: at most this many transplants in flight at once (the
+  // blast-radius bound, mirroring FleetProfile::parallel_hosts).
+  int parallel_hosts = 10;
+
+  // Per-host timings. With the defaults (no drain, 10 s per host, no jitter,
+  // no failures) the rollout makespan equals the closed-form
+  // FleetTransplantTime exactly.
+  SimDuration drain_time = 0;
+  SimDuration per_host_transplant = Seconds(10);
+  // Derive drain/transplant durations from the §5.4 cluster model
+  // (PlanClusterUpgrade/ExecuteClusterUpgrade) instead of the constants.
+  bool use_cluster_timing = false;
+  double inplace_fraction = 0.8;  // VM share riding the micro-reboot in place.
+
+  // Anti-affinity: hosts spread round-robin over `fault_domains`; a wave
+  // holds at most `max_per_domain_in_flight` hosts of one domain
+  // (0 = unconstrained).
+  int fault_domains = 1;
+  int max_per_domain_in_flight = 0;
+
+  // Fault injection (all draws come from per-host forks of `seed`, so the
+  // outcome of host i never depends on scheduling order).
+  double failure_probability = 0.0;  // Per transplant attempt.
+  double latency_jitter = 0.0;       // Lognormal sigma on per-host durations.
+  int max_retries = 3;               // Retries after the initial attempt.
+  SimDuration retry_backoff = Seconds(5);  // Doubles per consecutive failure.
+  // Abort the rollout when the permanently-failed fraction strictly exceeds
+  // this; >= 1.0 disables the abort.
+  double abort_threshold = 1.0;
+
+  uint64_t seed = 1;
+  size_t trace_capacity = 65536;  // Ring buffer: oldest events drop first.
+};
+
+}  // namespace hypertp
+
+#endif  // HYPERTP_SRC_FLEET_FLEET_TYPES_H_

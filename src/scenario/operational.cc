@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "src/fleet/fleet_controller.h"
 #include "src/sim/executor.h"
 #include "src/sim/rng.h"
 #include "src/vulndb/vulndb.h"
@@ -26,6 +27,41 @@ OperationalReport RunOperationalSimulation(const OperationalConfig& config) {
   OperationalReport report;
   Rng rng(config.seed);
   SimExecutor executor;
+
+  // Dedicated stream for fleet rollouts, forked unconditionally so the
+  // disclosure sequence is identical across fleet modes for one seed.
+  Rng fleet_stream = rng.Fork();
+  // One nested executor reused across every rollout of the year (an aborted
+  // rollout's Stop() must not poison the next one).
+  SimExecutor fleet_executor;
+
+  // Runs one fleet-wide transplant through the event-driven control plane
+  // and returns its makespan. Hosts stranded on the vulnerable hypervisor
+  // (permanent failures, or never reached because the rollout aborted) stay
+  // exposed for `residual_exposure_days` — the rest of the patch wait.
+  auto fleet_rollout = [&](double residual_exposure_days) -> SimDuration {
+    FleetConfig fleet_config;
+    fleet_config.hosts = config.fleet.hosts;
+    fleet_config.parallel_hosts = config.fleet.parallel_hosts;
+    fleet_config.per_host_transplant = config.fleet.per_host_transplant;
+    fleet_config.failure_probability = config.fleet_failure_probability;
+    fleet_config.latency_jitter = config.fleet_latency_jitter;
+    fleet_config.max_retries = config.fleet_max_retries;
+    fleet_config.abort_threshold = config.fleet_abort_threshold;
+    fleet_config.seed = fleet_stream.NextU64();
+    FleetController controller(fleet_executor, fleet_config);
+    const FleetRolloutReport& rollout = controller.Run();
+    ++report.fleet_rollouts;
+    report.fleet_retries += rollout.retries;
+    report.fleet_stranded_hosts += rollout.failed + rollout.untouched;
+    report.fleet_aborts += rollout.aborted;
+    if (fleet_config.hosts > 0 && !rollout.complete) {
+      const double stranded_fraction =
+          static_cast<double>(fleet_config.hosts - rollout.upgraded) / fleet_config.hosts;
+      report.exposure_days_hypertp += stranded_fraction * residual_exposure_days;
+    }
+    return rollout.makespan;
+  };
 
   // Historical disclosure rate: critical flaws affecting the home hypervisor
   // per year, averaged over the dataset's 7 years.
@@ -81,8 +117,11 @@ OperationalReport RunOperationalSimulation(const OperationalConfig& config) {
           // Transplant away after the reaction time; back when the patch lands.
           ++report.transplants_away;
           current = *decision.target;
-          const SimDuration exposed =
-              config.reaction_time + FleetTransplantTime(config.fleet);
+          const SimDuration fleet_time =
+              config.fleet_mode == FleetExecutionMode::kFleetController
+                  ? fleet_rollout(traditional)
+                  : FleetTransplantTime(config.fleet);
+          const SimDuration exposed = config.reaction_time + fleet_time;
           report.exposure_days_hypertp += ToSeconds(exposed) / kDaySeconds;
           report.vm_downtime_paid += config.per_vm_downtime * total_vms;
           safe_until = at + Days(window);
@@ -93,6 +132,11 @@ OperationalReport RunOperationalSimulation(const OperationalConfig& config) {
             if (current != config.home) {
               ++report.transplants_back;
               current = config.home;
+              if (config.fleet_mode == FleetExecutionMode::kFleetController) {
+                // The return trip is a rollout too; a straggler here is no
+                // longer exposure (home is patched), just counted work.
+                fleet_rollout(0.0);
+              }
               report.vm_downtime_paid += config.per_vm_downtime * total_vms;
               report.event_log.push_back(Stamp(when) + ": patch applied — fleet -> " +
                                          std::string(HypervisorKindName(config.home)));

@@ -21,6 +21,17 @@
 
 namespace hypertp {
 
+// How each disclosure's fleet-wide transplant is timed.
+enum class FleetExecutionMode : uint8_t {
+  // ceil(hosts/parallel) * per_host (FleetTransplantTime) — no failures,
+  // no stragglers.
+  kClosedForm,
+  // Event-driven rollout through src/fleet's FleetController: wave
+  // scheduling, injected failures, retries with backoff, abort threshold.
+  // Identical to the closed form when fault-free.
+  kFleetController,
+};
+
 struct OperationalConfig {
   HypervisorKind home = HypervisorKind::kXen;
   std::vector<HypervisorKind> pool = {HypervisorKind::kXen, HypervisorKind::kKvm};
@@ -34,6 +45,13 @@ struct OperationalConfig {
   // Per-VM downtime charged by one InPlaceTP pass (Fig. 6).
   SimDuration per_vm_downtime = SecondsF(1.7);
   int vms_per_host = 10;
+
+  FleetExecutionMode fleet_mode = FleetExecutionMode::kClosedForm;
+  // Fault-injection knobs for kFleetController mode.
+  double fleet_failure_probability = 0.0;
+  double fleet_latency_jitter = 0.0;
+  int fleet_max_retries = 3;
+  double fleet_abort_threshold = 0.25;
 };
 
 struct OperationalReport {
@@ -46,6 +64,11 @@ struct OperationalReport {
   double exposure_days_hypertp = 0.0;      // This world.
   // Cumulative per-VM downtime HyperTP charged (both directions).
   SimDuration vm_downtime_paid = 0;
+  // kFleetController mode: aggregates over every rollout the year ran.
+  int fleet_rollouts = 0;
+  int fleet_retries = 0;
+  int fleet_stranded_hosts = 0;  // Failed or never reached by an abort.
+  int fleet_aborts = 0;
   std::vector<std::string> event_log;
 
   double exposure_reduction_factor() const {

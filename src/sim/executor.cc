@@ -16,6 +16,8 @@ void SimExecutor::ScheduleAfter(SimDuration d, std::function<void()> fn) {
 }
 
 void SimExecutor::Run() {
+  // Consume any Stop() left over from a previous (aborted) run so one
+  // abort cannot poison later runs on the same executor.
   stopped_ = false;
   while (!queue_.empty() && !stopped_) {
     Event ev = queue_.top();

@@ -38,8 +38,12 @@ class SimExecutor {
   // Moves the clock forward without dispatching (asserts no earlier events).
   void AdvanceTo(SimTime t);
 
-  // Makes Run()/RunUntil() return after the current event completes.
+  // Makes Run()/RunUntil() return after the current event completes. The
+  // flag is consumed on the next Run()/RunUntil() entry, so an aborted run
+  // (e.g. a fleet-rollout abort) never poisons later runs on the same
+  // executor; abandoned events stay queued and dispatch on that next run.
   void Stop() { stopped_ = true; }
+  bool stopped() const { return stopped_; }
 
   size_t pending_events() const { return queue_.size(); }
 

@@ -184,6 +184,32 @@ TEST(PlannerTest, HeterogeneousCapacitiesRespected) {
   EXPECT_EQ(plan2->total_migrations(), 8);
 }
 
+TEST(ExecutorTest2, ParallelStreamsShrinkWallClockNotNetworkWork) {
+  // Regression for parallel_streams: more streams overlap migrations, so
+  // total_time falls while migration_time (network work) is unchanged.
+  auto run = [](int streams) {
+    ClusterModel cluster = ClusterModel::PaperCluster(0.0);
+    auto plan = PlanClusterUpgrade(cluster, 2);
+    EXPECT_TRUE(plan.ok());
+    ClusterExecutionParams params;
+    params.parallel_streams = streams;
+    auto stats = ExecuteClusterUpgrade(cluster, *plan, params);
+    EXPECT_TRUE(stats.ok());
+    return *stats;
+  };
+  const PlanExecutionStats sequential = run(1);
+  const PlanExecutionStats overlapped = run(4);
+  EXPECT_EQ(sequential.migrations, overlapped.migrations);
+  EXPECT_EQ(sequential.migration_time, overlapped.migration_time);
+  EXPECT_LT(overlapped.total_time, sequential.total_time);
+  // With one stream the step wall-clock is the serial sum, so the plan's
+  // total is migration work plus the micro-reboots.
+  EXPECT_EQ(sequential.total_time, sequential.migration_time + sequential.inplace_time);
+  // 4 streams cannot beat 4x; leave generous slack for imbalance.
+  EXPECT_GT(overlapped.total_time - overlapped.inplace_time,
+            (sequential.migration_time / 4) - Seconds(1));
+}
+
 TEST(ExecutorTest2, StreamingVmsMigrateSlower) {
   // Role-aware dirty rates: a plan moving only streaming VMs takes longer
   // than the same plan moving only idle VMs.

@@ -1,0 +1,311 @@
+// Tests for the event-driven fleet control plane: wave scheduling,
+// anti-affinity, fault injection with retries/backoff, the fleet abort
+// threshold, exposure accounting and the cluster-derived timing model.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "src/fleet/fleet_controller.h"
+#include "src/vulndb/window_model.h"
+
+namespace hypertp {
+namespace {
+
+FleetConfig BaseConfig() {
+  FleetConfig config;
+  config.hosts = 100;
+  config.parallel_hosts = 10;
+  config.per_host_transplant = Seconds(10);
+  config.seed = 42;
+  return config;
+}
+
+TEST(FleetControllerTest, FaultFreeRolloutMatchesClosedForm) {
+  SimExecutor executor;
+  FleetController controller(executor, BaseConfig());
+  const FleetRolloutReport& report = controller.Run();
+
+  FleetProfile profile;  // Same shape: 100 hosts, 10 parallel, 10 s each.
+  EXPECT_EQ(report.makespan, FleetTransplantTime(profile));
+  EXPECT_TRUE(report.complete);
+  EXPECT_FALSE(report.aborted);
+  EXPECT_EQ(report.upgraded, 100);
+  EXPECT_EQ(report.failed, 0);
+  EXPECT_EQ(report.retries, 0);
+  EXPECT_EQ(report.waves, 10);
+  for (const FleetHost& host : controller.hosts()) {
+    EXPECT_EQ(host.state, FleetHostState::kServing);
+    EXPECT_TRUE(host.upgraded);
+  }
+}
+
+TEST(FleetControllerTest, EveryHostDrainsBeforeTransplanting) {
+  SimExecutor executor;
+  FleetConfig config = BaseConfig();
+  config.hosts = 20;
+  config.drain_time = Seconds(3);
+  FleetController controller(executor, config);
+  controller.Run();
+
+  std::map<int, SimTime> drain_at, transplant_at, done_at;
+  for (const FleetEvent& event : controller.trace().Events()) {
+    switch (event.type) {
+      case FleetEventType::kDrainStart:
+        drain_at[event.host] = event.time;
+        break;
+      case FleetEventType::kTransplantStart:
+        transplant_at[event.host] = event.time;
+        break;
+      case FleetEventType::kTransplantDone:
+        done_at[event.host] = event.time;
+        break;
+      default:
+        break;
+    }
+  }
+  ASSERT_EQ(drain_at.size(), 20u);
+  ASSERT_EQ(done_at.size(), 20u);
+  for (const auto& [host, at] : transplant_at) {
+    EXPECT_EQ(at - drain_at[host], Seconds(3)) << "host " << host;
+    EXPECT_EQ(done_at[host] - at, Seconds(10)) << "host " << host;
+  }
+  // Drains lengthen every wave: 20 hosts, 10 parallel -> 2 x (3 + 10) s.
+  EXPECT_EQ(controller.report().makespan, Seconds(26));
+}
+
+TEST(FleetControllerTest, WaveWidthNeverExceeded) {
+  SimExecutor executor;
+  FleetConfig config = BaseConfig();
+  config.hosts = 37;
+  config.parallel_hosts = 8;
+  FleetController controller(executor, config);
+  const FleetRolloutReport& report = controller.Run();
+  EXPECT_EQ(report.waves, 5);  // ceil(37/8).
+
+  // Replay the trace counting in-flight hosts (drain start -> done).
+  int in_flight = 0, peak = 0;
+  for (const FleetEvent& event : controller.trace().Events()) {
+    if (event.type == FleetEventType::kDrainStart) {
+      peak = std::max(peak, ++in_flight);
+    } else if (event.type == FleetEventType::kTransplantDone ||
+               event.type == FleetEventType::kHostFailed) {
+      --in_flight;
+    }
+  }
+  EXPECT_EQ(in_flight, 0);
+  EXPECT_EQ(peak, 8);
+}
+
+TEST(FleetControllerTest, AntiAffinityCapsPerDomainConcurrency) {
+  SimExecutor executor;
+  FleetConfig config = BaseConfig();
+  config.hosts = 40;
+  config.parallel_hosts = 10;
+  config.fault_domains = 4;  // Hosts i%4.
+  config.max_per_domain_in_flight = 1;
+  FleetController controller(executor, config);
+  const FleetRolloutReport& report = controller.Run();
+  EXPECT_TRUE(report.complete);
+  // The domain cap shrinks every wave to 4 hosts: 10 waves, not 4.
+  EXPECT_EQ(report.waves, 10);
+
+  std::map<int, int> domain_in_flight;
+  for (const FleetEvent& event : controller.trace().Events()) {
+    if (event.host < 0) {
+      continue;
+    }
+    const int domain = event.host % 4;
+    if (event.type == FleetEventType::kDrainStart) {
+      EXPECT_LT(domain_in_flight[domain], 1) << "domain " << domain;
+      ++domain_in_flight[domain];
+    } else if (event.type == FleetEventType::kTransplantDone ||
+               event.type == FleetEventType::kHostFailed) {
+      --domain_in_flight[domain];
+    }
+  }
+}
+
+TEST(FleetControllerTest, RetriesUseExponentialBackoff) {
+  SimExecutor executor;
+  FleetConfig config = BaseConfig();
+  config.hosts = 1;
+  config.parallel_hosts = 1;
+  config.failure_probability = 1.0;  // Every attempt fails.
+  config.max_retries = 3;
+  config.retry_backoff = Seconds(5);
+  FleetController controller(executor, config);
+  const FleetRolloutReport& report = controller.Run();
+
+  EXPECT_FALSE(report.complete);
+  EXPECT_EQ(report.failed, 1);
+  EXPECT_EQ(report.retries, 3);
+  EXPECT_EQ(controller.hosts()[0].state, FleetHostState::kFailed);
+  EXPECT_EQ(controller.hosts()[0].attempts, 4);  // Initial + 3 retries.
+
+  const auto starts = controller.trace().EventsOfType(FleetEventType::kTransplantStart);
+  const auto failures = controller.trace().EventsOfType(FleetEventType::kTransplantFailed);
+  ASSERT_EQ(starts.size(), 4u);
+  ASSERT_EQ(failures.size(), 4u);
+  // Backoff doubles: 5 s, 10 s, 20 s between a failure and the next attempt.
+  EXPECT_EQ(starts[1].time - failures[0].time, Seconds(5));
+  EXPECT_EQ(starts[2].time - failures[1].time, Seconds(10));
+  EXPECT_EQ(starts[3].time - failures[2].time, Seconds(20));
+  EXPECT_EQ(controller.trace().EventsOfType(FleetEventType::kHostFailed).size(), 1u);
+}
+
+TEST(FleetControllerTest, AbortThresholdStopsTheRollout) {
+  SimExecutor executor;
+  FleetConfig config = BaseConfig();
+  config.failure_probability = 1.0;
+  config.max_retries = 0;
+  config.abort_threshold = 0.05;  // Abort past 5 permanently failed hosts.
+  FleetController controller(executor, config);
+  const FleetRolloutReport& report = controller.Run();
+
+  EXPECT_TRUE(report.aborted);
+  EXPECT_FALSE(report.complete);
+  EXPECT_EQ(report.upgraded, 0);
+  EXPECT_EQ(report.failed, 6);  // First strictly-above count.
+  // Graceful degradation: the rest of the fleet was never touched and keeps
+  // serving the vulnerable hypervisor.
+  EXPECT_EQ(report.untouched, 94);
+  int still_serving = 0;
+  for (const FleetHost& host : controller.hosts()) {
+    still_serving += host.state == FleetHostState::kServing && !host.upgraded;
+  }
+  EXPECT_GE(still_serving, 90);
+  EXPECT_EQ(controller.trace().EventsOfType(FleetEventType::kRolloutAborted).size(), 1u);
+  EXPECT_TRUE(controller.trace().EventsOfType(FleetEventType::kRolloutComplete).empty());
+}
+
+TEST(FleetControllerTest, ExecutorSurvivesAnAbortedRollout) {
+  // The satellite regression: a controller abort calls SimExecutor::Stop();
+  // the same executor must run later rollouts (and plain events) normally.
+  SimExecutor executor;
+  FleetConfig config = BaseConfig();
+  config.failure_probability = 1.0;
+  config.max_retries = 0;
+  config.abort_threshold = 0.01;
+  {
+    FleetController controller(executor, config);
+    EXPECT_TRUE(controller.Run().aborted);
+  }
+  EXPECT_TRUE(executor.stopped());
+
+  int fired = 0;
+  executor.ScheduleAfter(Seconds(1), [&] { ++fired; });
+  executor.Run();
+  EXPECT_EQ(fired, 1);
+
+  FleetConfig healthy = BaseConfig();
+  FleetController again(executor, healthy);
+  const FleetRolloutReport& report = again.Run();
+  EXPECT_TRUE(report.complete);
+  EXPECT_EQ(report.makespan, Seconds(100));
+}
+
+TEST(FleetControllerTest, InjectedFailuresRetryAndStillComplete) {
+  SimExecutor executor;
+  FleetConfig config = BaseConfig();
+  config.hosts = 1000;
+  config.parallel_hosts = 50;
+  config.failure_probability = 0.01;
+  config.max_retries = 5;
+  FleetController controller(executor, config);
+  const FleetRolloutReport& report = controller.Run();
+
+  EXPECT_TRUE(report.complete);  // P(6 consecutive failures) ~ 1e-12.
+  EXPECT_FALSE(report.aborted);
+  EXPECT_GT(report.retries, 0);
+  // Retried hosts straggle their wave past the fault-free 10 s.
+  EXPECT_GT(report.makespan, Seconds(200));
+  EXPECT_GT(report.wave_latency_seconds.max(), 10.0);
+  EXPECT_GE(report.wave_latency_seconds.Percentile(50), 10.0);
+}
+
+TEST(FleetControllerTest, ExposureIntegralMatchesHandComputation) {
+  SimExecutor executor;
+  FleetConfig config = BaseConfig();
+  config.hosts = 4;
+  config.parallel_hosts = 2;
+  FleetController controller(executor, config);
+  const FleetRolloutReport& report = controller.Run();
+
+  // Wave 1: 4 hosts exposed for 10 s; wave 2: 2 hosts for 10 s.
+  const double expected_host_days = (4 * 10.0 + 2 * 10.0) / (24.0 * 3600.0);
+  EXPECT_NEAR(report.exposed_host_days, expected_host_days, 1e-12);
+  EXPECT_NEAR(ExposedHostDays(controller.trace(), executor.now()), expected_host_days, 1e-12);
+}
+
+TEST(FleetControllerTest, LatencyJitterSpreadsWaveLatencies) {
+  SimExecutor executor;
+  FleetConfig config = BaseConfig();
+  config.latency_jitter = 0.3;
+  FleetController controller(executor, config);
+  const FleetRolloutReport& report = controller.Run();
+  EXPECT_TRUE(report.complete);
+  // Each wave ends on its slowest host, so jitter pushes waves past 10 s
+  // and different waves see different maxima.
+  EXPECT_GT(report.wave_latency_seconds.max(), report.wave_latency_seconds.min());
+  EXPECT_GT(report.makespan, Seconds(100));
+}
+
+TEST(FleetTimingModelTest, ClusterDerivedDrainShrinksWithCompatibility) {
+  const FleetTimingModel low = DeriveFleetTiming(0.0, 42);
+  const FleetTimingModel high = DeriveFleetTiming(1.0, 42);
+  // At 0% InPlaceTP compatibility every VM evacuates -> long drains; at 100%
+  // nothing migrates and only the micro-reboot remains.
+  EXPECT_GT(low.drain_per_host, high.drain_per_host);
+  EXPECT_EQ(high.drain_per_host, 0);
+  EXPECT_GT(low.transplant_per_host, 0);
+  EXPECT_EQ(low.transplant_per_host, high.transplant_per_host);
+
+  SimExecutor executor;
+  FleetConfig config = BaseConfig();
+  config.hosts = 20;
+  config.use_cluster_timing = true;
+  config.inplace_fraction = 0.0;
+  FleetController controller(executor, config);
+  const FleetRolloutReport& report = controller.Run();
+  EXPECT_TRUE(report.complete);
+  EXPECT_EQ(report.makespan, 2 * (low.drain_per_host + low.transplant_per_host));
+}
+
+TEST(FleetTraceTest, RingBufferDropsOldestAndCounts) {
+  FleetTrace trace(4);
+  for (int i = 0; i < 10; ++i) {
+    trace.Record(FleetEvent{Seconds(i), FleetEventType::kDrainStart, i, 0, 0});
+  }
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.total_recorded(), 10u);
+  EXPECT_EQ(trace.dropped(), 6u);
+  const auto events = trace.Events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().host, 6);  // Oldest surviving.
+  EXPECT_EQ(events.back().host, 9);
+}
+
+TEST(FleetTraceTest, JsonExportIsWellFormed) {
+  SimExecutor executor;
+  FleetConfig config = BaseConfig();
+  config.hosts = 5;
+  FleetController controller(executor, config);
+  controller.Run();
+  const std::string json = FleetTraceToJson(controller.trace());
+  EXPECT_NE(json.find(R"("kind":"fleet_trace")"), std::string::npos);
+  EXPECT_NE(json.find(R"("type":"rollout_start")"), std::string::npos);
+  EXPECT_NE(json.find(R"("type":"rollout_complete")"), std::string::npos);
+  EXPECT_NE(json.find(R"("exposure_timeline")"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+
+  const std::string report_json = FleetRolloutReportToJson(controller.report());
+  EXPECT_NE(report_json.find(R"("kind":"fleet_rollout")"), std::string::npos);
+  EXPECT_NE(report_json.find(R"("upgraded":5)"), std::string::npos);
+  EXPECT_NE(report_json.find(R"("p50")"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hypertp

@@ -71,6 +71,64 @@ TEST(OperationalTest, EmptyHistoryMeansQuietYear) {
   EXPECT_FALSE(report.event_log.empty());  // "quiet year" note.
 }
 
+TEST(OperationalTest, FleetControllerModeAgreesWithClosedFormWhenFaultFree) {
+  // Acceptance: with zero injected failures the event-driven control plane
+  // must reproduce the closed-form fleet math (within 5%; here exactly,
+  // since drains and jitter are off).
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    OperationalConfig closed = BaseConfig(seed);
+    OperationalConfig fleet = BaseConfig(seed);
+    fleet.fleet_mode = FleetExecutionMode::kFleetController;
+    const OperationalReport a = RunOperationalSimulation(closed);
+    const OperationalReport b = RunOperationalSimulation(fleet);
+    ASSERT_EQ(a.disclosures, b.disclosures) << "seed " << seed;
+    ASSERT_EQ(a.transplants_away, b.transplants_away);
+    if (a.exposure_days_hypertp > 0.0) {
+      EXPECT_NEAR(b.exposure_days_hypertp / a.exposure_days_hypertp, 1.0, 0.05)
+          << "seed " << seed;
+    }
+    EXPECT_EQ(b.fleet_rollouts, b.transplants_away + b.transplants_back);
+    EXPECT_EQ(b.fleet_retries, 0);
+    EXPECT_EQ(b.fleet_stranded_hosts, 0);
+  }
+}
+
+TEST(OperationalTest, FleetControllerModeIsDeterministic) {
+  OperationalConfig config = BaseConfig(7);
+  config.fleet_mode = FleetExecutionMode::kFleetController;
+  config.fleet_failure_probability = 0.05;
+  config.fleet_latency_jitter = 0.2;
+  const OperationalReport a = RunOperationalSimulation(config);
+  const OperationalReport b = RunOperationalSimulation(config);
+  EXPECT_EQ(a.disclosures, b.disclosures);
+  EXPECT_DOUBLE_EQ(a.exposure_days_hypertp, b.exposure_days_hypertp);
+  EXPECT_EQ(a.fleet_retries, b.fleet_retries);
+  EXPECT_EQ(a.event_log, b.event_log);
+}
+
+TEST(OperationalTest, InjectedFleetFailuresRaiseExposure) {
+  // Find a seed with at least one transplant, then crank the failure rate:
+  // retries + stranded hosts must push exposure above the fault-free run.
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    OperationalConfig clean = BaseConfig(seed);
+    clean.fleet_mode = FleetExecutionMode::kFleetController;
+    const OperationalReport base = RunOperationalSimulation(clean);
+    if (base.transplants_away == 0) {
+      continue;
+    }
+    OperationalConfig faulty = clean;
+    faulty.fleet_failure_probability = 0.3;
+    faulty.fleet_max_retries = 1;  // Many hosts exhaust the budget.
+    const OperationalReport hit = RunOperationalSimulation(faulty);
+    ASSERT_EQ(hit.transplants_away, base.transplants_away);
+    EXPECT_GT(hit.fleet_retries, 0);
+    EXPECT_GT(hit.fleet_stranded_hosts, 0);
+    EXPECT_GT(hit.exposure_days_hypertp, base.exposure_days_hypertp);
+    return;  // One meaningful seed is enough.
+  }
+  FAIL() << "no seed produced a transplant";
+}
+
 TEST(OperationalTest, MultiYearRunsScaleEvents) {
   OperationalConfig one = BaseConfig(11);
   OperationalConfig five = BaseConfig(11);

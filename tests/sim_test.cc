@@ -234,6 +234,39 @@ TEST(ExecutorTest, StopAborts) {
   ex.ScheduleAt(Seconds(2), [&] { ++fired; });
   ex.Run();
   EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(ex.stopped());
+}
+
+TEST(ExecutorTest, StopDoesNotPoisonSubsequentRuns) {
+  // An aborted run (e.g. a fleet-rollout abort) leaves stopped_ set; the
+  // next Run() must consume it and dispatch both the abandoned event and
+  // any new work.
+  SimExecutor ex;
+  int fired = 0;
+  ex.ScheduleAt(Seconds(1), [&] {
+    ++fired;
+    ex.Stop();
+  });
+  ex.ScheduleAt(Seconds(2), [&] { ++fired; });
+  ex.Run();
+  ASSERT_EQ(fired, 1);
+  ASSERT_TRUE(ex.stopped());
+
+  ex.ScheduleAt(Seconds(3), [&] { ++fired; });
+  ex.Run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_FALSE(ex.stopped());
+  EXPECT_EQ(ex.now(), Seconds(3));
+}
+
+TEST(ExecutorTest, StopBeforeRunUntilIsConsumed) {
+  SimExecutor ex;
+  ex.Stop();
+  int fired = 0;
+  ex.ScheduleAt(Seconds(1), [&] { ++fired; });
+  ex.RunUntil(Seconds(5));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(ex.now(), Seconds(5));
 }
 
 TEST(ParallelMakespanTest, SingleWorkerIsSum) {

@@ -100,6 +100,45 @@ TEST(TelemetryTest, TransplantReportExportsAllSections) {
   EXPECT_EQ(depth, 0);
 }
 
+TEST(TelemetryTest, PlanExecutionStatsExport) {
+  PlanExecutionStats stats;
+  stats.migrations = 154;
+  stats.migration_time = SecondsF(512.5);
+  stats.inplace_time = Seconds(40);
+  stats.total_time = SecondsF(552.5);
+  const std::string json = PlanExecutionStatsToJson(stats);
+  EXPECT_NE(json.find(R"("kind":"cluster_upgrade")"), std::string::npos);
+  EXPECT_NE(json.find(R"("migrations":154)"), std::string::npos);
+  EXPECT_NE(json.find(R"("migration_time_ms":512500)"), std::string::npos);
+  EXPECT_NE(json.find(R"("inplace_time_ms":40000)"), std::string::npos);
+  EXPECT_NE(json.find(R"("total_time_ms":552500)"), std::string::npos);
+}
+
+TEST(TelemetryTest, OperationalReportExport) {
+  OperationalReport report;
+  report.disclosures = 9;
+  report.transplants_away = 6;
+  report.transplants_back = 5;
+  report.no_safe_target = 2;
+  report.already_safe = 1;
+  report.exposure_days_traditional = 402.0;
+  report.exposure_days_hypertp = 2.01;
+  report.vm_downtime_paid = Seconds(1700);
+  report.fleet_rollouts = 11;
+  report.fleet_retries = 4;
+  report.fleet_stranded_hosts = 2;
+  report.event_log.push_back("day   12.5: CVE-2015-3456 — fleet -> kvmish-5.3");
+  const std::string json = OperationalReportToJson(report);
+  EXPECT_NE(json.find(R"("kind":"operational_year")"), std::string::npos);
+  EXPECT_NE(json.find(R"("disclosures":9)"), std::string::npos);
+  EXPECT_NE(json.find(R"("transplants_away":6)"), std::string::npos);
+  EXPECT_NE(json.find(R"("exposure_days_traditional":402)"), std::string::npos);
+  EXPECT_NE(json.find(R"("exposure_reduction_factor":200)"), std::string::npos);
+  EXPECT_NE(json.find(R"("fleet":{"rollouts":11,"retries":4,"stranded_hosts":2,"aborts":0})"),
+            std::string::npos);
+  EXPECT_NE(json.find("CVE-2015-3456"), std::string::npos);
+}
+
 TEST(TelemetryTest, MigrationResultExport) {
   MigrationResult result;
   result.dest_vm_id = 3;
