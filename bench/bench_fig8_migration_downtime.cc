@@ -34,11 +34,11 @@ std::vector<MigrationResult> MigrateFleet(int vms, uint32_t vcpus, uint64_t mem_
   if (dst_kind == HypervisorKind::kKvm) {
     KvmHost dst(dst_machine);
     auto results = engine.MigrateMany(src, ids, dst, MigrationConfig{});
-    return results.ok() ? *results : std::vector<MigrationResult>{};
+    return results.ok() ? results->successes() : std::vector<MigrationResult>{};
   }
   XenVisor dst(dst_machine);
   auto results = engine.MigrateMany(src, ids, dst, MigrationConfig{});
-  return results.ok() ? *results : std::vector<MigrationResult>{};
+  return results.ok() ? results->successes() : std::vector<MigrationResult>{};
 }
 
 double SingleDowntimeMs(uint32_t vcpus, uint64_t mem, HypervisorKind dst) {

@@ -1,0 +1,106 @@
+// Recovery sweep: downtime cost of failure-atomic InPlaceTP across every
+// post-pause fault point and VM count. Each cell runs a real transplant with
+// the fault injected, exercises the PRAM ledger rollback, and reports the
+// salvage outcome plus how much downtime the recovery added on top of a
+// clean transplant. Pre-reboot faults abort (no reboot, tiny cost);
+// post-pause faults roll back (second micro-reboot + source restore).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/factory.h"
+#include "src/core/inplace.h"
+
+namespace hypertp {
+namespace {
+
+struct SweepPoint {
+  InPlaceOptions::Fault fault;
+  const char* name;
+};
+
+struct CellResult {
+  std::string outcome = "-";
+  double downtime_s = 0.0;
+  double rollback_s = 0.0;
+  int vms_salvaged = 0;
+};
+
+CellResult RunCell(InPlaceOptions::Fault fault, int vms) {
+  Machine machine(MachineProfile::M1(), 1);
+  std::unique_ptr<Hypervisor> source = MakeHypervisor(HypervisorKind::kXen, machine);
+  for (int i = 0; i < vms; ++i) {
+    auto id = source->CreateVm(VmConfig::Small("rec-" + std::to_string(i)));
+    if (!id.ok()) {
+      return CellResult{"create-failed", 0.0, 0.0, 0};
+    }
+  }
+  InPlaceOptions options;
+  options.inject_fault = fault;
+  std::unique_ptr<Hypervisor> survivor;
+  auto result =
+      InPlaceTransplant::Run(std::move(source), HypervisorKind::kKvm, options, &survivor);
+
+  CellResult cell;
+  if (result.ok()) {
+    cell.outcome = result->report.outcome == TransplantOutcome::kRolledBack ? "rolled_back"
+                                                                            : "completed";
+    cell.downtime_s = bench::Sec(result->report.downtime);
+    cell.rollback_s = bench::Sec(result->report.phases.rollback);
+    cell.vms_salvaged = static_cast<int>(result->restored_vms.size());
+  } else if (survivor != nullptr) {
+    cell.outcome = "aborted";
+    cell.vms_salvaged = static_cast<int>(survivor->ListVms().size());
+  } else {
+    cell.outcome = "data_loss";
+  }
+  return cell;
+}
+
+void Run() {
+  bench::Banner(
+      "Recovery sweep — failure-atomic InPlaceTP: fault point x VM count",
+      "Xen -> KVM on M1. Pre-reboot faults abort (source keeps serving);\n"
+      "post-pause faults salvage via PRAM ledger rollback: a second micro-reboot\n"
+      "back into the source kind restores every VM from the same image. The\n"
+      "rollback column is the extra downtime the recovery charged.");
+
+  const std::vector<SweepPoint> faults = {
+      {InPlaceOptions::Fault::kNone, "none (baseline)"},
+      {InPlaceOptions::Fault::kTranslationFailure, "translate"},
+      {InPlaceOptions::Fault::kPramWriteFailure, "pram_write"},
+      {InPlaceOptions::Fault::kKexecFailure, "kexec"},
+      {InPlaceOptions::Fault::kDecodeFailure, "decode"},
+      {InPlaceOptions::Fault::kRestoreFailure, "restore"},
+      {InPlaceOptions::Fault::kLedgerTornWrite, "ledger_torn"},
+  };
+
+  for (int vms : {1, 4, 8}) {
+    bench::Section(("VM count = " + std::to_string(vms)).c_str());
+    bench::Row("%-18s %-12s %10s %12s %8s", "fault point", "outcome", "downtime_s",
+               "rollback_s", "VMs");
+    for (const SweepPoint& point : faults) {
+      const CellResult cell = RunCell(point.fault, vms);
+      bench::Row("%-18s %-12s %10.2f %12.2f %8d", point.name, cell.outcome.c_str(),
+                 cell.downtime_s, cell.rollback_s, cell.vms_salvaged);
+    }
+  }
+
+  bench::Section("reading the table");
+  bench::Row("%s", "- aborted rows: fault before the point of no return; zero downtime "
+                   "charged, the source hypervisor never stopped serving.");
+  bench::Row("%s", "- rolled_back rows: downtime roughly doubles the baseline (two "
+                   "micro-reboots + the source-side restore), but no VM is lost.");
+  bench::Row("%s", "- ledger_torn is the one unrecoverable case: the commit record is "
+                   "torn, rollback is refused, and the result is honest data loss.");
+}
+
+}  // namespace
+}  // namespace hypertp
+
+int main() {
+  hypertp::Run();
+  return 0;
+}

@@ -1,10 +1,13 @@
 #include "src/core/inplace.h"
 
 #include <algorithm>
+#include <optional>
+#include <string>
 
 #include "src/base/logging.h"
 #include "src/core/factory.h"
 #include "src/kexec/kexec.h"
+#include "src/pram/ledger.h"
 #include "src/pram/pram.h"
 #include "src/sim/executor.h"
 #include "src/uisr/codec.h"
@@ -66,6 +69,80 @@ struct VmSnapshot {
   std::vector<FrameExtent> uisr_frames;
 };
 
+struct RestoreOutcome {
+  std::vector<VmId> vms;
+  SimDuration makespan = 0;
+};
+
+// Restores every `uisr:` PRAM file under `hv`. Shared by the forward path
+// (restore under the target) and the rollback path (salvage under the source
+// kind); `inject` only ever carries a fault on the forward attempt. Errors
+// come back unwrapped so the caller decides between rollback and kDataLoss.
+Result<RestoreOutcome> RestoreAllFromPram(Hypervisor& hv, Machine& machine, const PramImage& pram,
+                                          const InPlaceOptions& options, HypervisorKind kind,
+                                          int workers, FixupLog* fixups,
+                                          InPlaceOptions::Fault inject) {
+  const HostCostProfile& costs = machine.profile().costs;
+  RestoreOutcome out;
+  std::vector<SimDuration> restore_costs;
+  bool first = true;
+  for (const PramFile& file : pram.files) {
+    if (!file.name.starts_with("uisr:")) {
+      continue;
+    }
+    // Reassemble the UISR blob from its in-RAM pages.
+    std::vector<uint8_t> blob;
+    blob.reserve(file.size_bytes);
+    for (const PramPageEntry& e : file.entries) {
+      auto page = machine.memory().ReadPage(e.mfn);
+      if (!page.ok()) {
+        return DataLossError("inplace: UISR page lost: " + page.error().ToString());
+      }
+      blob.insert(blob.end(), page->begin(), page->end());
+    }
+    blob.resize(file.size_bytes);
+    if (first && (inject == InPlaceOptions::Fault::kDecodeFailure ||
+                  inject == InPlaceOptions::Fault::kLedgerTornWrite)) {
+      return DataLossError("inplace: injected UISR decode fault under target");
+    }
+    auto uisr = DecodeUisrVm(blob);
+    if (!uisr.ok()) {
+      return DataLossError("inplace: UISR blob for '" + file.name +
+                           "' corrupt after reboot: " + uisr.error().ToString());
+    }
+
+    const PramFile* vm_file = pram.FindFile(uisr->memory.pram_file_id);
+    if (vm_file == nullptr) {
+      return DataLossError("inplace: PRAM memory file " +
+                           std::to_string(uisr->memory.pram_file_id) + " missing");
+    }
+    if (first && inject == InPlaceOptions::Fault::kRestoreFailure) {
+      return InternalError("inplace: injected VM restore fault under target");
+    }
+    GuestMemoryBinding binding;
+    binding.mode = GuestMemoryBinding::Mode::kAdoptInPlace;
+    binding.entries = vm_file->entries;
+    binding.remap_high_ioapic_pins = options.remap_high_ioapic_pins;
+    auto vm_id = hv.RestoreVmFromUisr(*uisr, binding, fixups);
+    if (!vm_id.ok()) {
+      return DataLossError("inplace: restore of uid " + std::to_string(uisr->vm_uid) +
+                           " failed: " + vm_id.error().ToString());
+    }
+    out.vms.push_back(*vm_id);
+    first = false;
+
+    SimDuration cost = costs.restore_per_vm +
+                       costs.restore_per_vcpu * static_cast<int>(uisr->vcpus.size()) +
+                       Scale(costs.restore_per_gb, ToGiB(uisr->memory.memory_bytes));
+    if (kind == HypervisorKind::kXen) {
+      cost *= 2;  // xl/libxl domain creation is heavier than kvmtool's.
+    }
+    restore_costs.push_back(cost);
+  }
+  out.makespan = ParallelMakespan(restore_costs, workers);
+  return out;
+}
+
 }  // namespace
 
 Result<InPlaceResult> InPlaceTransplant::Run(std::unique_ptr<Hypervisor> source,
@@ -105,10 +182,25 @@ Result<InPlaceResult> InPlaceTransplant::Run(std::unique_ptr<Hypervisor> source,
   // ❶ Stage the target kernel image (no downtime).
   KexecController kexec(machine);
   const KernelImage image = KernelImage::For(target);
+  const HypervisorKind source_kind = source->kind();
   report.target_hypervisor = image.name;
   if (auto staged = kexec.LoadImage(image); !staged.ok()) {
     return abort(staged.error());
   }
+
+  // Open the transplant ledger: the phase record that lets the post-reboot
+  // kernel distinguish a healthy hand-off from a crashed one. It lives in a
+  // kPramMeta frame, so the abort and cleanup paths below reclaim it with the
+  // rest of the PRAM metadata.
+  LedgerRecord ledger_record;
+  ledger_record.phase = TransplantPhase::kStaged;
+  ledger_record.source_kind = static_cast<uint8_t>(source_kind);
+  ledger_record.target_kind = static_cast<uint8_t>(target);
+  auto ledger_or = TransplantLedger::Create(machine.memory(), ledger_record);
+  if (!ledger_or.ok()) {
+    return abort(ledger_or.error());
+  }
+  TransplantLedger ledger = std::move(*ledger_or);
 
   // --- Preparation: PRAM construction, guest-cooperative device prep. ------
   // Runs before the pause when the prepare_before_pause optimization is on.
@@ -189,6 +281,10 @@ Result<InPlaceResult> InPlaceTransplant::Run(std::unique_ptr<Hypervisor> source,
                                             snap.info.memory_bytes, snap.uisr_blob.size()});
 
     // Write the blob into dedicated frames so it survives the reboot.
+    if (options.inject_fault == InPlaceOptions::Fault::kPramWriteFailure) {
+      return abort(InternalError("injected PRAM write fault while parking UISR blob for uid " +
+                                 std::to_string(snap.info.uid)));
+    }
     const uint64_t blob_frames = (snap.uisr_blob.size() + kPageSize - 1) / kPageSize;
     const FrameOwner owner{FrameOwnerKind::kUisr, snap.info.uid};
     auto base = machine.memory().Alloc(blob_frames, 1, owner);
@@ -225,6 +321,12 @@ Result<InPlaceResult> InPlaceTransplant::Run(std::unique_ptr<Hypervisor> source,
   }
   report.pram_metadata_bytes = pram_handle->metadata_bytes();
 
+  ledger_record.phase = TransplantPhase::kTranslated;
+  ledger_record.vm_count = static_cast<uint32_t>(vms.size());
+  if (auto committed = ledger.Commit(ledger_record); !committed.ok()) {
+    return abort(committed.error());
+  }
+
   if (options.inject_fault == InPlaceOptions::Fault::kPramCorruptionBeforeReboot) {
     // Clobber the PRAM root page: models a stray hypervisor write between
     // translation and the kexec jump.
@@ -243,10 +345,29 @@ Result<InPlaceResult> InPlaceTransplant::Run(std::unique_ptr<Hypervisor> source,
     }
   }
 
+  // Commit the point-of-no-return record: from here on the ledger is what
+  // authorizes a rollback and names the hypervisor kind to salvage under.
+  ledger_record.phase = TransplantPhase::kCommitted;
+  ledger_record.pram_root = pram_handle->root_mfn;
+  if (auto committed = ledger.Commit(ledger_record); !committed.ok()) {
+    return abort(committed.error());
+  }
+  if (options.inject_fault == InPlaceOptions::Fault::kLedgerTornWrite) {
+    // Tear the commit record the fault-recovery path depends on: flip a byte
+    // inside the slot the kCommitted generation was written to. Read() must
+    // fall back to the previous (kTranslated) generation, which does not
+    // authorize rollback.
+    auto page = machine.memory().ReadPage(ledger.frame());
+    if (page.ok() && page->size() > TransplantLedger::SlotOffset(ledger.generation())) {
+      (*page)[TransplantLedger::SlotOffset(ledger.generation()) + 2] ^= 0xFF;
+      (void)machine.memory().WritePage(ledger.frame(), std::move(*page));
+    }
+  }
+
   // ❹ Micro-reboot into the target kernel. Point of no return.
   source->DetachForMicroReboot();
   source.reset();
-  auto boot = kexec.Reboot(FormatKexecCmdline(pram_handle->root_mfn));
+  auto boot = kexec.Reboot(FormatKexecCmdline(pram_handle->root_mfn, ledger.frame()));
   if (!boot.ok()) {
     return DataLossError("inplace: micro-reboot lost the guests: " + boot.error().ToString());
   }
@@ -256,70 +377,98 @@ Result<InPlaceResult> InPlaceTransplant::Run(std::unique_ptr<Hypervisor> source,
   report.frames_scrubbed = boot->frames_scrubbed;
 
   // ❺ + ❻ Construct the target hypervisor; restore and relink every VM.
-  std::unique_ptr<Hypervisor> hv = MakeHypervisor(target, machine);
-  if (hv == nullptr) {
-    return InternalError("inplace: unknown target hypervisor kind");
-  }
-
+  // A post-pause failure here no longer strands the host: the salvage path
+  // below re-instantiates the *source* hypervisor kind from the same PRAM
+  // image (ReHype-style), so the guests lose time, not state.
   InPlaceResult result;
-  std::vector<SimDuration> restore_costs;
-  for (const PramFile& file : boot->pram.files) {
-    if (!file.name.starts_with("uisr:")) {
-      continue;
+  std::unique_ptr<Hypervisor> hv;
+  std::optional<Error> rollback_cause;
+  if (options.inject_fault == InPlaceOptions::Fault::kKexecFailure) {
+    // Models the target kernel panicking right after the scrub: the machine
+    // comes back via the watchdog path with nothing restored.
+    rollback_cause = InternalError("injected kexec fault: target kernel panicked after scrub");
+  } else {
+    hv = MakeHypervisor(target, machine);
+    if (hv == nullptr) {
+      return InternalError("inplace: unknown target hypervisor kind");
     }
-    // Reassemble the UISR blob from its in-RAM pages.
-    std::vector<uint8_t> blob;
-    blob.reserve(file.size_bytes);
-    for (const PramPageEntry& e : file.entries) {
-      auto page = machine.memory().ReadPage(e.mfn);
-      if (!page.ok()) {
-        return DataLossError("inplace: UISR page lost: " + page.error().ToString());
+    auto restored = RestoreAllFromPram(*hv, machine, boot->pram, options, target, workers,
+                                       &report.fixups, options.inject_fault);
+    if (!restored.ok()) {
+      rollback_cause = restored.error();
+    } else {
+      result.restored_vms = std::move(restored->vms);
+      report.phases.restoration = restored->makespan;
+      if (!options.early_restoration) {
+        // Without the early-restoration optimization, restores wait for the
+        // full service startup window instead of overlapping the late boot.
+        report.phases.restoration += costs.boot_linux / 5;
       }
-      blob.insert(blob.end(), page->begin(), page->end());
     }
-    blob.resize(file.size_bytes);
-    auto uisr = DecodeUisrVm(blob);
-    if (!uisr.ok()) {
-      return DataLossError("inplace: UISR blob for '" + file.name +
-                           "' corrupt after reboot: " + uisr.error().ToString());
-    }
-
-    const PramFile* vm_file = boot->pram.FindFile(uisr->memory.pram_file_id);
-    if (vm_file == nullptr) {
-      return DataLossError("inplace: PRAM memory file " +
-                           std::to_string(uisr->memory.pram_file_id) + " missing");
-    }
-    GuestMemoryBinding binding;
-    binding.mode = GuestMemoryBinding::Mode::kAdoptInPlace;
-    binding.entries = vm_file->entries;
-    binding.remap_high_ioapic_pins = options.remap_high_ioapic_pins;
-    auto vm_id = hv->RestoreVmFromUisr(*uisr, binding, &report.fixups);
-    if (!vm_id.ok()) {
-      return DataLossError("inplace: restore of uid " + std::to_string(uisr->vm_uid) +
-                           " failed: " + vm_id.error().ToString());
-    }
-    result.restored_vms.push_back(*vm_id);
-
-    SimDuration cost = costs.restore_per_vm +
-                       costs.restore_per_vcpu * static_cast<int>(uisr->vcpus.size()) +
-                       Scale(costs.restore_per_gb, ToGiB(uisr->memory.memory_bytes));
-    if (target == HypervisorKind::kXen) {
-      cost *= 2;  // xl/libxl domain creation is heavier than kvmtool's.
-    }
-    restore_costs.push_back(cost);
   }
-  report.phases.restoration = ParallelMakespan(restore_costs, workers);
-  if (!options.early_restoration) {
-    // Without the early-restoration optimization, restores wait for the full
-    // service startup window instead of overlapping the late boot phase.
-    report.phases.restoration += costs.boot_linux / 5;
+
+  if (rollback_cause.has_value()) {
+    // --- Salvage: roll back to the source hypervisor kind. -----------------
+    // The guests' memory is still in RAM (the PRAM reservation survived the
+    // scrub) and the UISR image is hypervisor-neutral, so a second
+    // micro-reboot into the source kind can restore every VM — if and only
+    // if the ledger proves the image was fully committed.
+    auto salvage = [&]() -> Result<void> {
+      auto opened = TransplantLedger::Open(machine.memory(), boot->ledger_mfn);
+      if (!opened.ok()) {
+        return opened.error();
+      }
+      HYPERTP_ASSIGN_OR_RETURN(LedgerRecord record, opened->Read());
+      if (record.phase != TransplantPhase::kCommitted) {
+        return DataLossError("transplant ledger phase '" +
+                             std::string(TransplantPhaseName(record.phase)) +
+                             "' does not authorize rollback (commit record torn or missing)");
+      }
+      const auto salvage_kind = static_cast<HypervisorKind>(record.source_kind);
+      if (hv != nullptr) {
+        // Partially restored target state (VM structures, NPTs) is reclaimed
+        // by the second scrub; the target must not free adopted guest frames.
+        hv->DetachForMicroReboot();
+        hv.reset();
+      }
+      HYPERTP_RETURN_IF_ERROR(kexec.LoadImage(KernelImage::For(salvage_kind)));
+      HYPERTP_ASSIGN_OR_RETURN(
+          KexecBootResult reborn,
+          kexec.Reboot(FormatKexecCmdline(record.pram_root, opened->frame())));
+      report.phases.rollback += reborn.reboot_time;
+      report.frames_scrubbed += reborn.frames_scrubbed;
+      hv = MakeHypervisor(salvage_kind, machine);
+      if (hv == nullptr) {
+        return InternalError("inplace: ledger names unknown source hypervisor kind");
+      }
+      HYPERTP_ASSIGN_OR_RETURN(
+          RestoreOutcome out,
+          RestoreAllFromPram(*hv, machine, reborn.pram, options, salvage_kind, workers,
+                             &report.fixups, InPlaceOptions::Fault::kNone));
+      result.restored_vms = std::move(out.vms);
+      report.phases.rollback += out.makespan;
+      record.phase = TransplantPhase::kRolledBack;
+      HYPERTP_RETURN_IF_ERROR(opened->Commit(record));
+      return OkResult();
+    };
+    if (auto salvaged = salvage(); !salvaged.ok()) {
+      return DataLossError("inplace: post-pause fault (" + rollback_cause->ToString() +
+                           ") and rollback failed: " + salvaged.error().ToString());
+    }
+    report.outcome = TransplantOutcome::kRolledBack;
+    report.notes.push_back("post-pause fault; salvaged all " +
+                           std::to_string(result.restored_vms.size()) +
+                           " VMs under the source hypervisor: " + rollback_cause->ToString());
+    HYPERTP_LOG(kWarning, "inplace")
+        << "rolled back to source hypervisor after post-pause fault: "
+        << rollback_cause->ToString();
   }
 
   // ❼ Resume all guests, advancing their clocks past the pause so guest
   // time never runs backwards.
   const SimDuration pause_span = (options.prepare_before_pause ? 0 : report.phases.pram) +
                                  report.phases.translation + report.phases.reboot +
-                                 report.phases.restoration;
+                                 report.phases.restoration + report.phases.rollback;
   for (VmId id : result.restored_vms) {
     if (auto advanced = hv->AdvanceGuestClocks(id, pause_span); !advanced.ok()) {
       return DataLossError("inplace: clock adjust failed: " + advanced.error().ToString());
@@ -375,9 +524,9 @@ Result<InPlaceResult> InPlaceTransplant::Run(std::unique_ptr<Hypervisor> source,
   // --- Assemble the timing summary. ----------------------------------------
   report.downtime = (options.prepare_before_pause ? 0 : report.phases.pram) +
                     report.phases.translation + report.phases.reboot +
-                    report.phases.restoration + report.phases.resume;
+                    report.phases.restoration + report.phases.rollback + report.phases.resume;
   report.total_time = report.phases.pram + report.phases.translation + report.phases.reboot +
-                      report.phases.restoration + report.phases.resume;
+                      report.phases.restoration + report.phases.rollback + report.phases.resume;
   // NIC re-init starts at the kexec jump and overlaps the remaining phases.
   report.network_downtime =
       std::max(report.downtime, report.phases.translation + report.phases.network);

@@ -24,7 +24,10 @@
 namespace hypertp {
 
 struct InPlaceResult {
-  std::unique_ptr<Hypervisor> hypervisor;  // The target, with VMs running.
+  // The hypervisor the VMs ended up running under: the target on success, a
+  // fresh instance of the *source* kind when the transplant rolled back
+  // (report.outcome == TransplantOutcome::kRolledBack).
+  std::unique_ptr<Hypervisor> hypervisor;
   std::vector<VmId> restored_vms;
   TransplantReport report;
 };
@@ -34,12 +37,20 @@ class InPlaceTransplant {
   // Transplants every VM on `source`'s machine onto a fresh `target`-kind
   // hypervisor via micro-reboot. Consumes `source`.
   //
-  // Failure semantics:
+  // Failure semantics (abort / rollback / salvage taxonomy, DESIGN.md §5):
   //  - Before the micro-reboot (PRAM/translation errors): returns kAborted;
   //    VMs are resumed under the source hypervisor, which is handed back
   //    through `aborted_source` (when non-null) so the caller keeps a
   //    working host.
-  //  - After the micro-reboot: failures are kDataLoss (the old world is gone).
+  //  - After the micro-reboot, when decode/restore under the target fails
+  //    but the transplant ledger holds a fully committed record: the VMs are
+  //    salvaged by a second micro-reboot into the source hypervisor kind,
+  //    restored from the same PRAM/UISR image, and resumed. Run returns OK
+  //    with report.outcome == kRolledBack and the recovery downtime charged
+  //    to report.phases.rollback. No VM is lost.
+  //  - Only when the salvage itself is impossible (guest frames scrubbed,
+  //    UISR image corrupt, ledger commit record torn) is the failure an
+  //    honest kDataLoss.
   static Result<InPlaceResult> Run(std::unique_ptr<Hypervisor> source, HypervisorKind target,
                                    const InPlaceOptions& options,
                                    std::unique_ptr<Hypervisor>* aborted_source = nullptr);

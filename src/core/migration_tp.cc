@@ -10,8 +10,9 @@ Result<MigrationTpResult> MigrationTransplant::Run(Hypervisor& source,
                                                    const NetworkLink& link,
                                                    const MigrationConfig& config) {
   MigrationEngine engine(link);
-  HYPERTP_ASSIGN_OR_RETURN(std::vector<MigrationResult> migrations,
+  HYPERTP_ASSIGN_OR_RETURN(MigrationBatchResult batch,
                            engine.MigrateMany(source, vm_ids, destination, config));
+  std::vector<MigrationResult> migrations = batch.successes();
 
   MigrationTpResult result;
   result.report.source_hypervisor = std::string(source.name());
@@ -28,7 +29,14 @@ Result<MigrationTpResult> MigrationTransplant::Run(Hypervisor& source,
   result.report.pram_metadata_bytes = 0;
   result.report.network_downtime = result.report.downtime;
   result.report.notes.push_back("migration-based transplant: guest pages streamed by pre-copy");
+  if (!batch.all_migrated()) {
+    result.report.notes.push_back(
+        "partial migration: " + std::to_string(batch.outcomes.size() - batch.migrated_count()) +
+        " of " + std::to_string(batch.outcomes.size()) +
+        " VMs stayed at the source (see batch outcomes)");
+  }
   result.migrations = std::move(migrations);
+  result.batch = std::move(batch);
   return result;
 }
 

@@ -18,14 +18,19 @@
 namespace hypertp {
 
 struct MigrationTpResult {
-  std::vector<MigrationResult> migrations;  // Per-VM engine results.
+  std::vector<MigrationResult> migrations;  // Engine results of the VMs that moved.
+  // Per-VM outcomes in vm_ids order: a failed VM stays (resumed) at the
+  // source while the rest of the batch still migrates, so callers must check
+  // outcomes rather than assume all-or-nothing.
+  MigrationBatchResult batch;
   TransplantReport report;                  // Aggregated transplant view.
 };
 
 class MigrationTransplant {
  public:
   // Transplants `vm_ids` from `source` to the (heterogeneous or homogeneous)
-  // `destination` host over `link`. On success the VMs run on `destination`.
+  // `destination` host over `link`. VMs whose migration aborts remain intact
+  // at the source and are reported per-VM in `batch`.
   static Result<MigrationTpResult> Run(Hypervisor& source, const std::vector<VmId>& vm_ids,
                                        Hypervisor& destination, const NetworkLink& link,
                                        const MigrationConfig& config = {});

@@ -4,6 +4,16 @@
 
 namespace hypertp {
 
+std::string_view TransplantOutcomeName(TransplantOutcome outcome) {
+  switch (outcome) {
+    case TransplantOutcome::kCompleted:
+      return "completed";
+    case TransplantOutcome::kRolledBack:
+      return "rolled_back";
+  }
+  return "unknown";
+}
+
 std::string TransplantReport::ToString() const {
   std::string out;
   char buf[256];
@@ -20,6 +30,11 @@ std::string TransplantReport::ToString() const {
                 FormatDuration(downtime).c_str(), FormatDuration(total_time).c_str(),
                 FormatDuration(network_downtime).c_str());
   out += buf;
+  if (outcome == TransplantOutcome::kRolledBack) {
+    std::snprintf(buf, sizeof(buf), "  outcome rolled_back (salvaged on source) | rollback %s\n",
+                  FormatDuration(phases.rollback).c_str());
+    out += buf;
+  }
   std::snprintf(buf, sizeof(buf), "  pram metadata %llu KiB | uisr %llu KiB | fixups %zu\n",
                 static_cast<unsigned long long>(pram_metadata_bytes >> 10),
                 static_cast<unsigned long long>(uisr_total_bytes >> 10), fixups.size());

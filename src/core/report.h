@@ -31,18 +31,31 @@ struct InPlaceOptions {
   // host instead of disconnecting them.
   bool remap_high_ioapic_pins = false;
 
-  // Fault injection for testing the recovery paths. kTranslationFailure
-  // fires after the guests are paused but before the point of no return
-  // (expects a clean abort); kPramCorruptionAfterStage clobbers the PRAM
-  // root just before the micro-reboot (expects kDataLoss, guests lost).
-  // kUisrCorruptionBeforeReboot clobbers one parked UISR page (the PRAM
-  // itself stays intact, so guests survive the scrub but their platform
-  // state cannot be decoded — also kDataLoss).
+  // Fault injection for testing the recovery paths, one per InPlaceTP phase.
+  //
+  // Pre-reboot faults expect a clean abort (guests resume under the source):
+  //   kTranslationFailure fires after the guests are paused; kPramWriteFailure
+  //   fires while parking a UISR blob into PRAM-registered frames.
+  // Post-reboot faults expect a rollback (guests salvaged under the source
+  // hypervisor kind via the transplant ledger):
+  //   kKexecFailure models the target kernel panicking right after the scrub;
+  //   kDecodeFailure and kRestoreFailure fire in the target's restore loop.
+  // Unrecoverable faults expect kDataLoss:
+  //   kPramCorruptionBeforeReboot clobbers the PRAM root just before the
+  //   micro-reboot (guests scrubbed); kUisrCorruptionBeforeReboot clobbers a
+  //   parked UISR page (guests survive but neither hypervisor can decode
+  //   their platform state); kLedgerTornWrite tears the ledger's commit
+  //   record, so the post-reboot kernel refuses to roll back.
   enum class Fault : uint8_t {
     kNone,
     kTranslationFailure,
     kPramCorruptionBeforeReboot,
     kUisrCorruptionBeforeReboot,
+    kPramWriteFailure,
+    kKexecFailure,
+    kDecodeFailure,
+    kRestoreFailure,
+    kLedgerTornWrite,
   };
   Fault inject_fault = Fault::kNone;
 };
@@ -57,7 +70,17 @@ struct PhaseBreakdown {
   SimDuration resume = 0;       // Unpausing guests.
   SimDuration cleanup = 0;      // Freeing PRAM/UISR ephemeral frames.
   SimDuration network = 0;      // NIC re-initialization (overlaps reboot).
+  SimDuration rollback = 0;     // Salvage micro-reboot + source restore (0 on success).
 };
+
+// How an in-place transplant that returned OK actually ended: on the target
+// hypervisor, or salvaged back onto the source kind after a post-pause fault.
+enum class TransplantOutcome : uint8_t {
+  kCompleted = 0,
+  kRolledBack = 1,
+};
+
+std::string_view TransplantOutcomeName(TransplantOutcome outcome);
 
 // One transplanted VM's record inside the report.
 struct VmTransplantRecord {
@@ -85,6 +108,10 @@ struct TransplantReport {
   uint64_t pram_metadata_bytes = 0;
   uint64_t uisr_total_bytes = 0;
   uint64_t frames_scrubbed = 0;
+  // kRolledBack when a post-pause fault forced the salvage path: the VMs are
+  // running, but under the *source* hypervisor kind, and phases.rollback
+  // carries the extra downtime the recovery cost.
+  TransplantOutcome outcome = TransplantOutcome::kCompleted;
   FixupLog fixups;
   std::vector<std::string> notes;
 

@@ -26,6 +26,7 @@ std::string TransplantReportToJson(const TransplantReport& report) {
   j.Key("source").String(report.source_hypervisor);
   j.Key("target").String(report.target_hypervisor);
   j.Key("vm_count").Number(static_cast<int64_t>(report.vm_count));
+  j.Key("outcome").String(std::string(TransplantOutcomeName(report.outcome)));
   j.Key("phases_ms").BeginObject();
   j.Key("pram").Number(ToMillis(report.phases.pram));
   j.Key("translation").Number(ToMillis(report.phases.translation));
@@ -35,6 +36,7 @@ std::string TransplantReportToJson(const TransplantReport& report) {
   j.Key("resume").Number(ToMillis(report.phases.resume));
   j.Key("cleanup").Number(ToMillis(report.phases.cleanup));
   j.Key("network").Number(ToMillis(report.phases.network));
+  j.Key("rollback").Number(ToMillis(report.phases.rollback));
   j.EndObject();
   j.Key("downtime_ms").Number(ToMillis(report.downtime));
   j.Key("total_ms").Number(ToMillis(report.total_time));
@@ -118,6 +120,9 @@ std::string OperationalReportToJson(const OperationalReport& report) {
   j.Key("retries").Number(static_cast<int64_t>(report.fleet_retries));
   j.Key("stranded_hosts").Number(static_cast<int64_t>(report.fleet_stranded_hosts));
   j.Key("aborts").Number(static_cast<int64_t>(report.fleet_aborts));
+  j.Key("post_pause_faults").Number(static_cast<int64_t>(report.fleet_post_pause_faults));
+  j.Key("rollbacks").Number(static_cast<int64_t>(report.fleet_rollbacks));
+  j.Key("rollback_failures").Number(static_cast<int64_t>(report.fleet_rollback_failures));
   j.EndObject();
   j.Key("event_log").BeginArray();
   for (const std::string& line : report.event_log) {

@@ -18,6 +18,9 @@ std::string FleetRolloutReportToJson(const FleetRolloutReport& report) {
   j.Key("untouched").Number(static_cast<int64_t>(report.untouched));
   j.Key("retries").Number(static_cast<int64_t>(report.retries));
   j.Key("waves").Number(static_cast<int64_t>(report.waves));
+  j.Key("post_pause_faults").Number(static_cast<int64_t>(report.post_pause_faults));
+  j.Key("rollbacks").Number(static_cast<int64_t>(report.rollbacks));
+  j.Key("rollback_failures").Number(static_cast<int64_t>(report.rollback_failures));
   j.Key("aborted").Bool(report.aborted);
   j.Key("complete").Bool(report.complete);
   j.Key("makespan_ms").Number(ToMillis(report.makespan));
@@ -196,6 +199,48 @@ void FleetController::FinishAttempt(int host) {
     return;
   }
   Emit(FleetEventType::kTransplantFailed, host, h.attempts);
+  // Some failures strike after the point of no return (the micro-reboot
+  // already happened): the host is stranded mid-transplant and must roll
+  // back to its source hypervisor via the PRAM ledger before any retry. The
+  // draw is guarded so legacy configs consume the exact same RNG sequence.
+  if (config_.post_pause_fraction > 0.0 &&
+      host_rngs_[static_cast<size_t>(host)].NextBool(config_.post_pause_fraction)) {
+    ++report_.post_pause_faults;
+    h.state = FleetHostState::kRollingBack;
+    Emit(FleetEventType::kRollbackStart, host, h.attempts);
+    executor_.ScheduleAfter(
+        Jittered(config_.rollback_time, host_rngs_[static_cast<size_t>(host)]),
+        Guarded(&FleetController::FinishRollback, host));
+    return;
+  }
+  ScheduleRetryOrFail(host);
+}
+
+void FleetController::FinishRollback(int host) {
+  FleetHost& h = hosts_[static_cast<size_t>(host)];
+  if (config_.rollback_failure_probability > 0.0 &&
+      host_rngs_[static_cast<size_t>(host)].NextBool(config_.rollback_failure_probability)) {
+    // Fatal: the ledger was torn or the PRAM image corrupt — there is no
+    // hypervisor to serve from, so retrying is meaningless.
+    ++report_.rollback_failures;
+    Emit(FleetEventType::kRollbackFailed, host, h.attempts);
+    h.state = FleetHostState::kFailed;
+    h.finished = executor_.now();
+    ++report_.failed;
+    Emit(FleetEventType::kHostFailed, host, h.attempts);
+    HostDone(host);
+    return;
+  }
+  // Recoverable: the host serves un-upgraded on the source hypervisor again
+  // (still exposed — no exposure change) and the normal retry policy applies.
+  ++report_.rollbacks;
+  Emit(FleetEventType::kRollbackSucceeded, host, h.attempts);
+  h.state = FleetHostState::kServing;
+  ScheduleRetryOrFail(host);
+}
+
+void FleetController::ScheduleRetryOrFail(int host) {
+  FleetHost& h = hosts_[static_cast<size_t>(host)];
   if (h.attempts <= config_.max_retries) {
     ++report_.retries;
     Emit(FleetEventType::kRetryScheduled, host, h.attempts);

@@ -35,6 +35,13 @@ struct FleetRolloutReport {
   int untouched = 0;   // Never started (rollout aborted first).
   int retries = 0;     // Re-attempts across all hosts.
   int waves = 0;
+  // Post-pause recovery: attempts that failed after the point of no return,
+  // how many of those hosts salvaged themselves by PRAM ledger rollback
+  // (and then re-entered the retry policy), and how many were lost because
+  // the rollback itself failed (counted in `failed` too).
+  int post_pause_faults = 0;
+  int rollbacks = 0;
+  int rollback_failures = 0;
   bool aborted = false;
   bool complete = false;  // Every host upgraded.
   SimDuration makespan = 0;
@@ -84,6 +91,12 @@ class FleetController {
   void StartDrain(int host);
   void StartTransplant(int host);
   void FinishAttempt(int host);
+  // Post-pause recovery resolution: the host either returns to serving the
+  // source hypervisor (then retries like any failed attempt) or is lost.
+  void FinishRollback(int host);
+  // Shared tail of every recoverable failure: retry with backoff while the
+  // budget lasts, else park the host in kFailed.
+  void ScheduleRetryOrFail(int host);
   void HostDone(int host);
   void AccrueExposure();
   void Finalize(FleetEventType terminal);

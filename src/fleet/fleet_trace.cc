@@ -16,6 +16,8 @@ std::string_view FleetHostStateName(FleetHostState state) {
       return "transplanting";
     case FleetHostState::kFailed:
       return "failed";
+    case FleetHostState::kRollingBack:
+      return "rolling_back";
   }
   return "unknown";
 }
@@ -44,6 +46,12 @@ std::string_view FleetEventTypeName(FleetEventType type) {
       return "rollout_complete";
     case FleetEventType::kRolloutAborted:
       return "rollout_aborted";
+    case FleetEventType::kRollbackStart:
+      return "rollback_start";
+    case FleetEventType::kRollbackSucceeded:
+      return "rollback_succeeded";
+    case FleetEventType::kRollbackFailed:
+      return "rollback_failed";
   }
   return "unknown";
 }

@@ -20,12 +20,18 @@ namespace hypertp {
 
 // Host lifecycle: kServing -> kDraining -> kTransplanting -> kServing
 // (upgraded) | kFailed. A failed transplant retries from kTransplanting;
-// only exhausting the retry budget parks the host in kFailed.
+// only exhausting the retry budget parks the host in kFailed. A post-pause
+// fault (the host died after committing to the micro-reboot) detours through
+// kRollingBack: the host re-instantiates the source hypervisor from its PRAM
+// ledger, and either resumes serving un-upgraded (the failure was
+// recoverable — normal retry policy applies) or is lost for good (fatal; no
+// retry can help a host whose ledger rollback failed).
 enum class FleetHostState : uint8_t {
   kServing,
   kDraining,
   kTransplanting,
   kFailed,
+  kRollingBack,  // Appended: keep serialized values stable.
 };
 
 std::string_view FleetHostStateName(FleetHostState state);
@@ -54,6 +60,10 @@ enum class FleetEventType : uint8_t {
   kWaveDone,
   kRolloutComplete,
   kRolloutAborted,     // Fleet-level abort threshold crossed.
+  // Appended (replay/JSON compatibility): post-pause recovery detour.
+  kRollbackStart,      // Post-pause fault; host attempts PRAM ledger rollback.
+  kRollbackSucceeded,  // Back to serving the source hypervisor; retry follows.
+  kRollbackFailed,     // Ledger torn/uncommitted: host lost, no retry.
 };
 
 std::string_view FleetEventTypeName(FleetEventType type);
@@ -99,6 +109,15 @@ struct FleetConfig {
   // Abort the rollout when the permanently-failed fraction strictly exceeds
   // this; >= 1.0 disables the abort.
   double abort_threshold = 1.0;
+  // Fraction of failed attempts that are post-pause faults (the host already
+  // committed its ledger and micro-rebooted): those hosts must roll back via
+  // PRAM before the retry policy applies. 0 keeps the legacy draw sequence,
+  // so seeded replays of existing configs are unchanged.
+  double post_pause_fraction = 0.0;
+  // Probability a rollback itself fails (torn ledger / corrupt image): the
+  // host is lost immediately, bypassing the retry budget.
+  double rollback_failure_probability = 0.0;
+  SimDuration rollback_time = Seconds(5);  // Second micro-reboot + restore.
 
   uint64_t seed = 1;
   size_t trace_capacity = 65536;  // Ring buffer: oldest events drop first.

@@ -32,28 +32,46 @@ KernelImage KernelImage::For(HypervisorKind kind) {
   return Kvm();
 }
 
-std::string FormatKexecCmdline(Mfn pram_root) {
-  char buf[96];
+std::string FormatKexecCmdline(Mfn pram_root, Mfn ledger) {
+  char buf[128];
   if (pram_root == 0) {
     std::snprintf(buf, sizeof(buf), "console=ttyS0 ro");
   } else {
     std::snprintf(buf, sizeof(buf), "console=ttyS0 ro pram=0x%" PRIx64, pram_root);
   }
-  return buf;
+  std::string cmdline = buf;
+  if (ledger != 0) {
+    std::snprintf(buf, sizeof(buf), " tpledger=0x%" PRIx64, ledger);
+    cmdline += buf;
+  }
+  return cmdline;
 }
 
-Result<Mfn> ParsePramPointer(const std::string& cmdline) {
-  const size_t pos = cmdline.find("pram=");
+namespace {
+
+// Extracts `key=<number>` from the command line; 0 when the key is absent.
+Result<Mfn> ParseMfnParam(const std::string& cmdline, const std::string& key) {
+  const size_t pos = cmdline.find(key + "=");
   if (pos == std::string::npos) {
     return Mfn{0};
   }
-  const char* value = cmdline.c_str() + pos + 5;
+  const char* value = cmdline.c_str() + pos + key.size() + 1;
   char* end = nullptr;
   const uint64_t mfn = std::strtoull(value, &end, 0);
   if (end == value) {
-    return InvalidArgumentError("kexec: unparsable pram= value in '" + cmdline + "'");
+    return InvalidArgumentError("kexec: unparsable " + key + "= value in '" + cmdline + "'");
   }
   return mfn;
+}
+
+}  // namespace
+
+Result<Mfn> ParsePramPointer(const std::string& cmdline) {
+  return ParseMfnParam(cmdline, "pram");
+}
+
+Result<Mfn> ParseLedgerPointer(const std::string& cmdline) {
+  return ParseMfnParam(cmdline, "tpledger");
 }
 
 Result<void> KexecController::LoadImage(const KernelImage& image) {
@@ -85,6 +103,7 @@ Result<KexecBootResult> KexecController::Reboot(const std::string& cmdline) {
   KexecBootResult result;
   result.booted_kernel = image.name;
   HYPERTP_ASSIGN_OR_RETURN(result.pram_root, ParsePramPointer(cmdline));
+  HYPERTP_ASSIGN_OR_RETURN(result.ledger_mfn, ParseLedgerPointer(cmdline));
 
   // The jump consumes the staged image (the new kernel relocates itself);
   // its staging frames go back to the pool before the scrub.
@@ -114,6 +133,14 @@ Result<KexecBootResult> KexecController::Reboot(const std::string& cmdline) {
         }
       }
     }
+  }
+
+  // The transplant ledger survives the scrub independently of the PRAM
+  // structure — it is the one page that must outlive a botched handoff.
+  if (result.ledger_mfn != 0 && machine_->memory().IsAllocated(result.ledger_mfn)) {
+    HYPERTP_ASSIGN_OR_RETURN(FrameOwner ledger_owner,
+                             machine_->memory().OwnerOf(result.ledger_mfn));
+    preserve.push_back(FrameExtent{result.ledger_mfn, 1, ledger_owner});
   }
 
   // --- Scrub everything not reserved. --------------------------------------

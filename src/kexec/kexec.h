@@ -34,10 +34,13 @@ struct KernelImage {
   static KernelImage For(HypervisorKind kind);
 };
 
-// Builds/parses the kernel command line carrying the PRAM pointer, e.g.
-// "console=ttyS0 pram=0x1a2b". root_mfn 0 means "no PRAM".
-std::string FormatKexecCmdline(Mfn pram_root);
+// Builds/parses the kernel command line carrying the PRAM pointer and,
+// optionally, the transplant-ledger frame used by the post-pause recovery
+// handshake, e.g. "console=ttyS0 pram=0x1a2b tpledger=0x1f". A zero MFN
+// means "absent" for either parameter.
+std::string FormatKexecCmdline(Mfn pram_root, Mfn ledger = 0);
 Result<Mfn> ParsePramPointer(const std::string& cmdline);
+Result<Mfn> ParseLedgerPointer(const std::string& cmdline);
 
 struct KexecBootResult {
   // Time from the kexec jump until the new kernel can run restorations:
@@ -51,6 +54,10 @@ struct KexecBootResult {
   // The parsed PRAM image the new kernel found (empty when none was passed).
   PramImage pram;
   Mfn pram_root = 0;
+  // Transplant-ledger frame from the command line (0 when absent). The frame
+  // itself is added to the scrub preservation list, so the record of how far
+  // the previous world got survives even a botched PRAM handoff.
+  Mfn ledger_mfn = 0;
   std::string booted_kernel;
 };
 

@@ -55,20 +55,62 @@ MigrationEngine::PrecopyPlan MigrationEngine::PlanPrecopy(uint64_t memory_bytes,
   return plan;
 }
 
-Result<MigrationResult> MigrationEngine::MigrateVm(Hypervisor& src, VmId src_id, Hypervisor& dst,
-                                                   const MigrationConfig& config) {
-  auto results = MigrateMany(src, {src_id}, dst, config);
-  if (!results.ok()) {
-    return results.error();
+bool MigrationBatchResult::all_migrated() const {
+  for (const VmMigrationOutcome& o : outcomes) {
+    if (!o.migrated) {
+      return false;
+    }
   }
-  return std::move((*results)[0]);
+  return true;
 }
 
-Result<std::vector<MigrationResult>> MigrationEngine::MigrateMany(
-    Hypervisor& src, const std::vector<VmId>& src_ids, Hypervisor& dst,
-    const MigrationConfig& config) {
+size_t MigrationBatchResult::migrated_count() const {
+  size_t n = 0;
+  for (const VmMigrationOutcome& o : outcomes) {
+    n += o.migrated ? 1 : 0;
+  }
+  return n;
+}
+
+std::vector<MigrationResult> MigrationBatchResult::successes() const {
+  std::vector<MigrationResult> out;
+  out.reserve(outcomes.size());
+  for (const VmMigrationOutcome& o : outcomes) {
+    if (o.migrated) {
+      out.push_back(*o.result);
+    }
+  }
+  return out;
+}
+
+const Error* MigrationBatchResult::first_error() const {
+  for (const VmMigrationOutcome& o : outcomes) {
+    if (!o.migrated) {
+      return &*o.error;
+    }
+  }
+  return nullptr;
+}
+
+Result<MigrationResult> MigrationEngine::MigrateVm(Hypervisor& src, VmId src_id, Hypervisor& dst,
+                                                   const MigrationConfig& config) {
+  auto batch = MigrateMany(src, {src_id}, dst, config);
+  if (!batch.ok()) {
+    return batch.error();
+  }
+  VmMigrationOutcome& outcome = batch->outcomes[0];
+  if (!outcome.migrated) {
+    return *outcome.error;
+  }
+  return std::move(*outcome.result);
+}
+
+Result<MigrationBatchResult> MigrationEngine::MigrateMany(Hypervisor& src,
+                                                          const std::vector<VmId>& src_ids,
+                                                          Hypervisor& dst,
+                                                          const MigrationConfig& config) {
   if (src_ids.empty()) {
-    return std::vector<MigrationResult>{};
+    return MigrationBatchResult{};
   }
   if (&src == &dst) {
     return InvalidArgumentError("migrate: source and destination are the same host");
@@ -88,20 +130,35 @@ Result<std::vector<MigrationResult>> MigrationEngine::MigrateMany(
     PrecopyPlan plan;
     std::vector<std::pair<Gfn, uint64_t>> content;  // Destination-proxy buffer.
     MigrationResult result;
+    // Set when this VM's migration already failed; the VM keeps running at
+    // the source and is skipped by the stop-and-copy phase.
+    std::optional<Error> failed;
   };
   std::vector<InFlight> flights(src_ids.size());
   for (size_t i = 0; i < src_ids.size(); ++i) {
     InFlight& f = flights[i];
     f.src_id = src_ids[i];
-    HYPERTP_ASSIGN_OR_RETURN(f.info, src.GetVmInfo(f.src_id));
+    auto info = src.GetVmInfo(f.src_id);
+    if (!info.ok()) {
+      f.failed = info.error();
+      continue;
+    }
+    f.info = *info;
     if (f.info.has_passthrough) {
-      return FailedPreconditionError("migrate: vm uid " + std::to_string(f.info.uid) +
-                                     " has a pass-through device; live migration is "
-                                     "impossible (use InPlaceTP)");
+      f.failed = FailedPreconditionError("migrate: vm uid " + std::to_string(f.info.uid) +
+                                         " has a pass-through device; live migration is "
+                                         "impossible (use InPlaceTP)");
+      continue;
     }
     // Guest-cooperative device preparation happens while the VM runs.
-    HYPERTP_RETURN_IF_ERROR(src.PrepareVmForTransplant(f.src_id));
-    HYPERTP_RETURN_IF_ERROR(src.EnableDirtyLogging(f.src_id));
+    if (auto prepped = src.PrepareVmForTransplant(f.src_id); !prepped.ok()) {
+      f.failed = prepped.error();
+      continue;
+    }
+    if (auto logging = src.EnableDirtyLogging(f.src_id); !logging.ok()) {
+      f.failed = logging.error();
+      continue;
+    }
 
     if (postcopy) {
       // Post-copy sends nothing up front; execution moves immediately.
@@ -128,10 +185,25 @@ Result<std::vector<MigrationResult>> MigrationEngine::MigrateMany(
   // `traits.receive_concurrency` slots; later VMs wait, running and dirtying.
   std::vector<SimDuration> slot_free(
       static_cast<size_t>(std::max(traits.receive_concurrency, 1)), 0);
-  std::vector<MigrationResult> results;
-  results.reserve(flights.size());
+  MigrationBatchResult batch;
+  batch.outcomes.reserve(flights.size());
 
-  for (InFlight& f : flights) {
+  for (size_t index = 0; index < flights.size(); ++index) {
+    InFlight& f = flights[index];
+    VmMigrationOutcome outcome;
+    outcome.src_id = f.src_id;
+    if (f.failed.has_value()) {
+      outcome.error = std::move(*f.failed);
+      batch.outcomes.push_back(std::move(outcome));
+      continue;
+    }
+
+    const bool inject_here = config.inject_fault != MigrationFault::kNone &&
+                             static_cast<int>(index) == config.inject_fault_at_vm;
+    auto injected = [&](MigrationFault step) {
+      return inject_here && config.inject_fault == step;
+    };
+
     const SimDuration precopy_end = f.plan.duration;
     auto slot = std::min_element(slot_free.begin(), slot_free.end());
     const SimDuration start_final = std::max(precopy_end, *slot);
@@ -148,59 +220,112 @@ Result<std::vector<MigrationResult>> MigrationEngine::MigrateMany(
     // Post-copy pauses immediately: nothing is copied synchronously beyond
     // the VM_i State; all pages stream (or fault in) after the resume.
     const uint64_t final_pages = postcopy ? 0 : f.plan.residual_pages + extra;
-
-    // Functional stop-and-copy: pause, drain the dirty log into the buffer,
-    // translate VM_i State through UISR via the proxies.
-    HYPERTP_RETURN_IF_ERROR(src.PauseVm(f.src_id));
-    HYPERTP_ASSIGN_OR_RETURN(std::vector<Gfn> dirty, src.FetchAndClearDirtyLog(f.src_id));
-    for (Gfn gfn : dirty) {
-      HYPERTP_ASSIGN_OR_RETURN(uint64_t word, src.ReadGuestPage(f.src_id, gfn));
-      auto it = std::lower_bound(
-          f.content.begin(), f.content.end(), gfn,
-          [](const std::pair<Gfn, uint64_t>& p, Gfn g) { return p.first < g; });
-      if (it != f.content.end() && it->first == gfn) {
-        it->second = word;
-      } else {
-        f.content.insert(it, {gfn, word});
-      }
-    }
-    HYPERTP_RETURN_IF_ERROR(src.DisableDirtyLogging(f.src_id));
-
-    auto uisr = src.SaveVmToUisr(f.src_id, &f.result.fixups);
-    if (!uisr.ok()) {
-      // Before the point of no return: resume the source and bail out.
-      (void)src.ResumeVm(f.src_id);
-      return uisr.error();
-    }
-    const std::vector<uint8_t> blob = EncodeUisrVm(*uisr);
-    f.result.uisr_bytes = blob.size();
-
-    // Destination proxy: decode, restore, apply buffered pages.
-    auto decoded = DecodeUisrVm(blob);
-    if (!decoded.ok()) {
-      (void)src.ResumeVm(f.src_id);
-      return decoded.error();
-    }
-    GuestMemoryBinding binding;
-    binding.mode = GuestMemoryBinding::Mode::kAllocate;
-    binding.remap_high_ioapic_pins = config.remap_high_ioapic_pins;
-    auto dst_id = dst.RestoreVmFromUisr(*decoded, binding, &f.result.fixups);
-    if (!dst_id.ok()) {
-      (void)src.ResumeVm(f.src_id);
-      return dst_id.error();
-    }
-    for (const auto& [gfn, word] : f.content) {
-      HYPERTP_RETURN_IF_ERROR(dst.WriteGuestPage(*dst_id, gfn, word));
-    }
-    // Compute the stop-and-copy span first (needed for the clock adjust).
     const SimDuration final_copy_est = static_cast<SimDuration>(
         static_cast<double>(final_pages * page_wire_bytes) / final_bw * 1e9) + link_.rtt;
-    HYPERTP_RETURN_IF_ERROR(dst.AdvanceGuestClocks(
-        *dst_id, final_copy_est + traits.resume_fixed +
-                     traits.resume_per_vcpu * static_cast<int>(f.info.vcpus)));
-    HYPERTP_RETURN_IF_ERROR(dst.ResumeVm(*dst_id));
-    // Point of no return passed: tear down the source VM.
-    HYPERTP_RETURN_IF_ERROR(src.DestroyVm(f.src_id));
+
+    // Functional stop-and-copy: pause, drain the dirty log into the buffer,
+    // translate VM_i State through UISR via the proxies. Every step before
+    // the destination resume can fail; the unwind below puts the VM back
+    // exactly as it was (running at the source, dirty logging enabled, no
+    // half-built destination VM).
+    bool paused = false;
+    bool dirty_disabled = false;
+    std::optional<VmId> created_dst;
+    auto attempt = [&]() -> Result<VmId> {
+      if (injected(MigrationFault::kPause)) {
+        return InternalError("migrate: injected pause fault");
+      }
+      HYPERTP_RETURN_IF_ERROR(src.PauseVm(f.src_id));
+      paused = true;
+      if (injected(MigrationFault::kFetchDirtyLog)) {
+        return InternalError("migrate: injected dirty-log fetch fault");
+      }
+      HYPERTP_ASSIGN_OR_RETURN(std::vector<Gfn> dirty, src.FetchAndClearDirtyLog(f.src_id));
+      for (Gfn gfn : dirty) {
+        HYPERTP_ASSIGN_OR_RETURN(uint64_t word, src.ReadGuestPage(f.src_id, gfn));
+        auto it = std::lower_bound(
+            f.content.begin(), f.content.end(), gfn,
+            [](const std::pair<Gfn, uint64_t>& p, Gfn g) { return p.first < g; });
+        if (it != f.content.end() && it->first == gfn) {
+          it->second = word;
+        } else {
+          f.content.insert(it, {gfn, word});
+        }
+      }
+      HYPERTP_RETURN_IF_ERROR(src.DisableDirtyLogging(f.src_id));
+      dirty_disabled = true;
+
+      if (injected(MigrationFault::kSaveUisr)) {
+        return InternalError("migrate: injected UISR save fault");
+      }
+      HYPERTP_ASSIGN_OR_RETURN(auto uisr, src.SaveVmToUisr(f.src_id, &f.result.fixups));
+      const std::vector<uint8_t> blob = EncodeUisrVm(uisr);
+      f.result.uisr_bytes = blob.size();
+
+      // Destination proxy: decode, restore, apply buffered pages.
+      if (injected(MigrationFault::kDecode)) {
+        return DataLossError("migrate: injected UISR decode fault");
+      }
+      HYPERTP_ASSIGN_OR_RETURN(auto decoded, DecodeUisrVm(blob));
+      GuestMemoryBinding binding;
+      binding.mode = GuestMemoryBinding::Mode::kAllocate;
+      binding.remap_high_ioapic_pins = config.remap_high_ioapic_pins;
+      if (injected(MigrationFault::kRestore)) {
+        return InternalError("migrate: injected destination restore fault");
+      }
+      HYPERTP_ASSIGN_OR_RETURN(VmId dst_id, dst.RestoreVmFromUisr(decoded, binding,
+                                                                  &f.result.fixups));
+      created_dst = dst_id;
+      if (injected(MigrationFault::kWritePage)) {
+        return InternalError("migrate: injected guest page write fault");
+      }
+      for (const auto& [gfn, word] : f.content) {
+        HYPERTP_RETURN_IF_ERROR(dst.WriteGuestPage(dst_id, gfn, word));
+      }
+      if (injected(MigrationFault::kClockAdvance)) {
+        return InternalError("migrate: injected clock advance fault");
+      }
+      HYPERTP_RETURN_IF_ERROR(dst.AdvanceGuestClocks(
+          dst_id, final_copy_est + traits.resume_fixed +
+                      traits.resume_per_vcpu * static_cast<int>(f.info.vcpus)));
+      if (injected(MigrationFault::kResume)) {
+        return InternalError("migrate: injected destination resume fault");
+      }
+      HYPERTP_RETURN_IF_ERROR(dst.ResumeVm(dst_id));
+      return dst_id;
+    };
+
+    auto attempted = attempt();
+    if (!attempted.ok()) {
+      // Per-VM abort, still before the point of no return: destroy whatever
+      // the destination built, re-enable dirty logging (so a retried
+      // migration starts from a consistent log), and resume the source VM.
+      if (created_dst.has_value()) {
+        (void)dst.DestroyVm(*created_dst);
+      }
+      if (dirty_disabled) {
+        (void)src.EnableDirtyLogging(f.src_id);
+      }
+      if (paused) {
+        (void)src.ResumeVm(f.src_id);
+      }
+      HYPERTP_LOG(kWarning, "migrate") << "vm uid " << f.info.uid << " migration aborted ("
+                                       << attempted.error().ToString()
+                                       << "); vm resumed at the source";
+      outcome.error = attempted.error();
+      batch.outcomes.push_back(std::move(outcome));
+      continue;
+    }
+    const VmId dst_id = *attempted;
+    // Point of no return passed (the VM runs at the destination): tear down
+    // the source VM. A teardown failure must not undo the migration; it
+    // leaves a paused husk at the source, which we report but never resume.
+    if (auto destroyed = src.DestroyVm(f.src_id); !destroyed.ok()) {
+      HYPERTP_LOG(kWarning, "migrate")
+          << "vm uid " << f.info.uid
+          << ": source teardown failed after successful migration: "
+          << destroyed.error().ToString();
+    }
 
     // Timing: final copy at full link bandwidth + destination restore.
     const SimDuration final_copy = final_copy_est;
@@ -222,16 +347,18 @@ Result<std::vector<MigrationResult>> MigrationEngine::MigrateMany(
       f.result.total_time += stream;
       f.result.bytes_transferred += total_pages_all * page_wire_bytes;
     }
-    f.result.dest_vm_id = *dst_id;
+    f.result.dest_vm_id = dst_id;
     *slot = start_final + final_copy + restore;
 
     HYPERTP_LOG(kInfo, "migrate") << "vm uid " << f.info.uid << ": "
                                   << FormatDuration(f.result.total_time) << " total, "
                                   << FormatDuration(f.result.downtime) << " downtime, "
                                   << f.result.rounds << " rounds";
-    results.push_back(std::move(f.result));
+    outcome.migrated = true;
+    outcome.result = std::move(f.result);
+    batch.outcomes.push_back(std::move(outcome));
   }
-  return results;
+  return batch;
 }
 
 }  // namespace hypertp

@@ -17,6 +17,7 @@
 #ifndef HYPERTP_SRC_MIGRATE_MIGRATE_H_
 #define HYPERTP_SRC_MIGRATE_MIGRATE_H_
 
+#include <optional>
 #include <vector>
 
 #include "src/base/result.h"
@@ -42,6 +43,23 @@ struct NetworkLink {
 // the VM (no source to fall back to).
 enum class MigrationMode : uint8_t { kPrecopy = 0, kPostcopy = 1 };
 
+// Fault-injection points covering every step of the stop-and-copy phase, for
+// testing the per-VM abort path: on any of these the destination VM (if
+// created) is destroyed, dirty logging is re-enabled if it had been turned
+// off, and the source VM is resumed — the guest never ends up lost, leaked,
+// or running in two places.
+enum class MigrationFault : uint8_t {
+  kNone = 0,
+  kPause,
+  kFetchDirtyLog,
+  kSaveUisr,
+  kDecode,
+  kRestore,
+  kWritePage,
+  kClockAdvance,
+  kResume,
+};
+
 struct MigrationConfig {
   MigrationMode mode = MigrationMode::kPrecopy;
   int max_rounds = 30;
@@ -58,6 +76,10 @@ struct MigrationConfig {
   // Effective wire compression (adaptive memory compression, paper's [22]);
   // 1.0 = off. Wire bytes divide by this ratio.
   double compression_ratio = 1.0;
+  // Testing: fire `inject_fault` while migrating the VM at index
+  // `inject_fault_at_vm` of the batch's `src_ids`.
+  MigrationFault inject_fault = MigrationFault::kNone;
+  int inject_fault_at_vm = 0;
 };
 
 struct MigrationRound {
@@ -81,24 +103,50 @@ struct MigrationResult {
   std::vector<MigrationRound> round_log;
 };
 
+// One VM's fate within a batch migration. Exactly one of `result` / `error`
+// is set: a VM either moved (and runs at the destination) or its migration
+// aborted (and it runs, resumed, at the source). There is no third state.
+struct VmMigrationOutcome {
+  VmId src_id = 0;
+  bool migrated = false;
+  std::optional<MigrationResult> result;  // Set when migrated.
+  std::optional<Error> error;             // Set when the migration aborted.
+};
+
+// Per-VM outcomes of a batch, in `src_ids` order. A VM's failure no longer
+// hides the results of VMs that already moved: callers must consult each
+// outcome to learn which host a given VM ended up on.
+struct MigrationBatchResult {
+  std::vector<VmMigrationOutcome> outcomes;
+
+  bool all_migrated() const;
+  size_t migrated_count() const;
+  // The MigrationResults of the VMs that moved, in batch order.
+  std::vector<MigrationResult> successes() const;
+  // The first per-VM error, if any (convenience for single-VM callers).
+  const Error* first_error() const;
+};
+
 class MigrationEngine {
  public:
   explicit MigrationEngine(NetworkLink link) : link_(link) {}
 
   // Migrates one VM from `src` to `dst`. On success the source VM has been
   // destroyed and the destination VM is running. On failure before the
-  // point of no return the source VM is resumed and intact.
+  // point of no return the destination VM (if any) is destroyed, dirty
+  // logging is restored, and the source VM is resumed and intact.
   Result<MigrationResult> MigrateVm(Hypervisor& src, VmId src_id, Hypervisor& dst,
                                     const MigrationConfig& config);
 
   // Migrates several VMs concurrently over the shared link. Pre-copy streams
   // divide the bandwidth; stop-and-copy/restore compete for the
   // destination's receiver slots (dst.migration_traits().receive_concurrency).
-  // Results are in the order of `src_ids`.
-  Result<std::vector<MigrationResult>> MigrateMany(Hypervisor& src,
-                                                   const std::vector<VmId>& src_ids,
-                                                   Hypervisor& dst,
-                                                   const MigrationConfig& config);
+  // Outcomes are in the order of `src_ids`; one VM's failure aborts only
+  // that VM (it is cleaned up and resumed at the source) and the remaining
+  // VMs still migrate. The call itself only fails on batch-level misuse
+  // (e.g. src == dst).
+  Result<MigrationBatchResult> MigrateMany(Hypervisor& src, const std::vector<VmId>& src_ids,
+                                           Hypervisor& dst, const MigrationConfig& config);
 
   const NetworkLink& link() const { return link_; }
 

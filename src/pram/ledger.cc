@@ -1,0 +1,174 @@
+#include "src/pram/ledger.h"
+
+#include <algorithm>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/base/crc32.h"
+#include "src/base/logging.h"
+
+namespace hypertp {
+namespace {
+
+constexpr uint32_t kLedgerMagic = 0x474C5054;  // "TPLG"
+constexpr uint32_t kLedgerVersion = 1;
+
+// Page header: magic u32 + version u32.
+constexpr size_t kHeaderSize = 8;
+// Slot payload: generation u32 + phase u8 + source u8 + target u8 + reserved
+// u8 + pram_root u64 + vm_count u32; followed by crc u32 over the payload.
+constexpr size_t kSlotPayloadSize = 20;
+constexpr size_t kSlotSize = kSlotPayloadSize + 4;
+constexpr size_t kLedgerBytes = kHeaderSize + 2 * kSlotSize;
+
+std::vector<uint8_t> EncodeSlot(const LedgerRecord& record) {
+  ByteWriter w;
+  w.PutU32(record.generation);
+  w.PutU8(static_cast<uint8_t>(record.phase));
+  w.PutU8(record.source_kind);
+  w.PutU8(record.target_kind);
+  w.PutU8(0);
+  w.PutU64(record.pram_root);
+  w.PutU32(record.vm_count);
+  const uint32_t crc = Crc32(w.bytes());
+  w.PutU32(crc);
+  return w.TakeBytes();
+}
+
+// Decodes one slot; nullopt if the slot was never written or its CRC fails.
+std::optional<LedgerRecord> DecodeSlot(std::span<const uint8_t> page, size_t offset) {
+  if (page.size() < offset + kSlotSize) {
+    return std::nullopt;
+  }
+  const std::span<const uint8_t> slot = page.subspan(offset, kSlotSize);
+  const auto u32 = [&slot](size_t at) {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(slot[at + static_cast<size_t>(i)]) << (8 * i);
+    }
+    return v;
+  };
+  const auto u64 = [&slot](size_t at) {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(slot[at + static_cast<size_t>(i)]) << (8 * i);
+    }
+    return v;
+  };
+  LedgerRecord record;
+  record.generation = u32(0);
+  record.phase = static_cast<TransplantPhase>(slot[4]);
+  record.source_kind = slot[5];
+  record.target_kind = slot[6];
+  record.pram_root = u64(8);
+  record.vm_count = u32(16);
+  const uint32_t stored_crc = u32(kSlotPayloadSize);
+  if (record.generation == 0 || Crc32(slot.subspan(0, kSlotPayloadSize)) != stored_crc) {
+    return std::nullopt;
+  }
+  return record;
+}
+
+// Best (highest-generation) valid record in the page, if any.
+std::optional<LedgerRecord> BestSlot(std::span<const uint8_t> page) {
+  std::optional<LedgerRecord> best;
+  for (int slot = 0; slot < 2; ++slot) {
+    std::optional<LedgerRecord> record =
+        DecodeSlot(page, kHeaderSize + static_cast<size_t>(slot) * kSlotSize);
+    if (record && (!best || record->generation > best->generation)) {
+      best = record;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::string_view TransplantPhaseName(TransplantPhase phase) {
+  switch (phase) {
+    case TransplantPhase::kIdle:
+      return "idle";
+    case TransplantPhase::kStaged:
+      return "staged";
+    case TransplantPhase::kTranslated:
+      return "translated";
+    case TransplantPhase::kCommitted:
+      return "committed";
+    case TransplantPhase::kRestored:
+      return "restored";
+    case TransplantPhase::kComplete:
+      return "complete";
+    case TransplantPhase::kRolledBack:
+      return "rolled_back";
+  }
+  return "unknown";
+}
+
+Result<TransplantLedger> TransplantLedger::Create(PhysicalMemory& ram, LedgerRecord initial) {
+  HYPERTP_ASSIGN_OR_RETURN(Mfn frame, ram.AllocFrame(FrameOwner{FrameOwnerKind::kPramMeta, 0}));
+  std::vector<uint8_t> page(kLedgerBytes, 0);
+  ByteWriter header;
+  header.PutU32(kLedgerMagic);
+  header.PutU32(kLedgerVersion);
+  const std::vector<uint8_t> header_bytes = header.TakeBytes();
+  std::copy(header_bytes.begin(), header_bytes.end(), page.begin());
+  HYPERTP_RETURN_IF_ERROR(ram.WritePage(frame, std::move(page)));
+
+  TransplantLedger ledger(ram, frame, 0);
+  HYPERTP_RETURN_IF_ERROR(ledger.Commit(initial));
+  return ledger;
+}
+
+Result<TransplantLedger> TransplantLedger::Open(PhysicalMemory& ram, Mfn frame) {
+  HYPERTP_ASSIGN_OR_RETURN(std::vector<uint8_t> page, ram.ReadPage(frame));
+  if (page.size() < kHeaderSize) {
+    return DataLossError("transplant ledger at mfn " + std::to_string(frame) +
+                         " is empty or scrubbed");
+  }
+  ByteReader r(page);
+  HYPERTP_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
+  HYPERTP_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  if (magic != kLedgerMagic) {
+    return DataLossError("transplant ledger: bad magic at mfn " + std::to_string(frame));
+  }
+  if (version != kLedgerVersion) {
+    return DataLossError("transplant ledger: unsupported version " + std::to_string(version));
+  }
+  const std::optional<LedgerRecord> best = BestSlot(page);
+  return TransplantLedger(ram, frame, best ? best->generation : 0);
+}
+
+Result<void> TransplantLedger::Commit(LedgerRecord record) {
+  HYPERTP_ASSIGN_OR_RETURN(std::vector<uint8_t> page, ram_->ReadPage(frame_));
+  if (page.size() < kLedgerBytes) {
+    page.resize(kLedgerBytes, 0);
+  }
+  record.generation = generation_ + 1;
+  const std::vector<uint8_t> slot = EncodeSlot(record);
+  std::copy(slot.begin(), slot.end(), page.begin() + SlotOffset(record.generation));
+  HYPERTP_RETURN_IF_ERROR(ram_->WritePage(frame_, std::move(page)));
+  generation_ = record.generation;
+  HYPERTP_LOG(kDebug, "ledger") << "committed generation " << generation_ << " phase "
+                                << TransplantPhaseName(record.phase);
+  return {};
+}
+
+Result<LedgerRecord> TransplantLedger::Read() const {
+  HYPERTP_ASSIGN_OR_RETURN(std::vector<uint8_t> page, ram_->ReadPage(frame_));
+  const std::optional<LedgerRecord> best = BestSlot(page);
+  if (!best) {
+    return DataLossError("transplant ledger: no valid commit record (torn write?)");
+  }
+  return *best;
+}
+
+size_t TransplantLedger::SlotOffset(uint32_t generation) {
+  return kHeaderSize + static_cast<size_t>(generation % 2) * kSlotSize;
+}
+
+size_t TransplantLedger::SlotSize() { return kSlotSize; }
+
+}  // namespace hypertp

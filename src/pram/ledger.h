@@ -1,0 +1,95 @@
+// Transplant ledger: a single PRAM-resident page that records how far an
+// in-place transplant has progressed, so the kernel that comes up after the
+// micro-reboot can tell a healthy hand-off from a crashed one and — when the
+// restore under the target hypervisor fails — prove that rolling back to the
+// source hypervisor kind is safe.
+//
+// The page holds two fixed-size commit slots. Every Commit() bumps a
+// monotonically increasing generation and rewrites only the slot selected by
+// the generation's parity, leaving the previous commit intact. Each slot
+// carries a CRC over its payload, so a write torn by the very fault we are
+// trying to survive invalidates at most the newest slot and Read() falls back
+// to the last fully committed record. A reader therefore never observes a
+// half-written phase.
+//
+// The ledger frame's MFN travels on the kexec command line (`tpledger=`)
+// alongside the PRAM pointer; it is owned by kPramMeta so the existing abort
+// and cleanup paths reclaim it with the rest of the PRAM metadata.
+
+#ifndef HYPERTP_SRC_PRAM_LEDGER_H_
+#define HYPERTP_SRC_PRAM_LEDGER_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/base/result.h"
+#include "src/hw/physical_memory.h"
+
+namespace hypertp {
+
+// Where the in-place transplant stands. Values are persisted; append only.
+enum class TransplantPhase : uint8_t {
+  kIdle = 0,        // Ledger created, nothing staged yet.
+  kStaged = 1,      // Target kernel image parked in RAM.
+  kTranslated = 2,  // All VMs paused + serialized; PRAM finalized.
+  kCommitted = 3,   // About to micro-reboot: PRAM root recorded. Rollback legal.
+  kRestored = 4,    // Target hypervisor restored every VM.
+  kComplete = 5,    // VMs resumed under the target; transplant done.
+  kRolledBack = 6,  // Restore failed; VMs were salvaged under the source kind.
+};
+
+std::string_view TransplantPhaseName(TransplantPhase phase);
+
+// One commit record. Hypervisor kinds are stored as raw bytes so the pram
+// layer stays below src/hv in the dependency order; src/core casts them.
+struct LedgerRecord {
+  uint32_t generation = 0;  // Assigned by Commit(); 0 = never committed.
+  TransplantPhase phase = TransplantPhase::kIdle;
+  uint8_t source_kind = 0;
+  uint8_t target_kind = 0;
+  Mfn pram_root = 0;        // Valid from kCommitted onwards.
+  uint32_t vm_count = 0;
+
+  bool operator==(const LedgerRecord&) const = default;
+};
+
+class TransplantLedger {
+ public:
+  // Allocates the ledger frame (owner kPramMeta) and commits `initial` as
+  // generation 1.
+  static Result<TransplantLedger> Create(PhysicalMemory& ram, LedgerRecord initial);
+
+  // Attaches to an existing ledger frame (post-reboot recovery handshake).
+  // Validates the page magic; does not require any slot to be valid — Read()
+  // reports that separately so a torn final commit is distinguishable from a
+  // missing ledger.
+  static Result<TransplantLedger> Open(PhysicalMemory& ram, Mfn frame);
+
+  // Writes `record` (its generation is overwritten with the next one) into
+  // the slot chosen by generation parity. The other slot is untouched.
+  Result<void> Commit(LedgerRecord record);
+
+  // Decodes both slots and returns the valid record with the highest
+  // generation; kDataLoss if neither slot survives CRC.
+  Result<LedgerRecord> Read() const;
+
+  Mfn frame() const { return frame_; }
+  uint32_t generation() const { return generation_; }
+
+  // Byte offset of the slot a given generation was written to — used by
+  // fault-injection tests to tear a specific commit.
+  static size_t SlotOffset(uint32_t generation);
+  static size_t SlotSize();
+
+ private:
+  TransplantLedger(PhysicalMemory& ram, Mfn frame, uint32_t generation)
+      : ram_(&ram), frame_(frame), generation_(generation) {}
+
+  PhysicalMemory* ram_;
+  Mfn frame_ = 0;
+  uint32_t generation_ = 0;  // Highest generation written or observed.
+};
+
+}  // namespace hypertp
+
+#endif  // HYPERTP_SRC_PRAM_LEDGER_H_

@@ -48,6 +48,9 @@ OperationalReport RunOperationalSimulation(const OperationalConfig& config) {
     fleet_config.latency_jitter = config.fleet_latency_jitter;
     fleet_config.max_retries = config.fleet_max_retries;
     fleet_config.abort_threshold = config.fleet_abort_threshold;
+    fleet_config.post_pause_fraction = config.fleet_post_pause_fraction;
+    fleet_config.rollback_failure_probability = config.fleet_rollback_failure_probability;
+    fleet_config.rollback_time = config.fleet_rollback_time;
     fleet_config.seed = fleet_stream.NextU64();
     FleetController controller(fleet_executor, fleet_config);
     const FleetRolloutReport& rollout = controller.Run();
@@ -55,6 +58,9 @@ OperationalReport RunOperationalSimulation(const OperationalConfig& config) {
     report.fleet_retries += rollout.retries;
     report.fleet_stranded_hosts += rollout.failed + rollout.untouched;
     report.fleet_aborts += rollout.aborted;
+    report.fleet_post_pause_faults += rollout.post_pause_faults;
+    report.fleet_rollbacks += rollout.rollbacks;
+    report.fleet_rollback_failures += rollout.rollback_failures;
     if (fleet_config.hosts > 0 && !rollout.complete) {
       const double stranded_fraction =
           static_cast<double>(fleet_config.hosts - rollout.upgraded) / fleet_config.hosts;

@@ -52,6 +52,12 @@ struct OperationalConfig {
   double fleet_latency_jitter = 0.0;
   int fleet_max_retries = 3;
   double fleet_abort_threshold = 0.25;
+  // Post-pause recovery (failure-atomic transplant): fraction of failed
+  // attempts stranded past the point of no return, chance the PRAM ledger
+  // rollback itself fails, and the rollback's duration.
+  double fleet_post_pause_fraction = 0.0;
+  double fleet_rollback_failure_probability = 0.0;
+  SimDuration fleet_rollback_time = Seconds(5);
 };
 
 struct OperationalReport {
@@ -69,6 +75,10 @@ struct OperationalReport {
   int fleet_retries = 0;
   int fleet_stranded_hosts = 0;  // Failed or never reached by an abort.
   int fleet_aborts = 0;
+  // Post-pause recovery outcomes across every rollout of the year.
+  int fleet_post_pause_faults = 0;
+  int fleet_rollbacks = 0;          // Hosts salvaged by PRAM rollback.
+  int fleet_rollback_failures = 0;  // Hosts lost to a failed rollback.
   std::vector<std::string> event_log;
 
   double exposure_reduction_factor() const {

@@ -279,17 +279,27 @@ Result<UisrVm> DecodeUisrVm(std::span<const uint8_t> data) {
   bool saw_end = false;
 
   while (!r.AtEnd()) {
+    // Remember where this section starts: the kEnd trailer's CRC covers
+    // every byte before its own type field, whatever the header size is.
+    const size_t section_start = r.position();
     HYPERTP_ASSIGN_OR_RETURN(uint16_t raw_type, r.ReadU16());
     HYPERTP_ASSIGN_OR_RETURN(uint32_t length, r.ReadU32());
     const auto type = static_cast<UisrSectionType>(raw_type);
 
     if (type == UisrSectionType::kEnd) {
-      // CRC covers all bytes before this section's type field.
-      const size_t crc_region_end = r.position() - 6;
+      if (length != 4) {
+        return DataLossError("uisr: end section declares length " + std::to_string(length) +
+                             ", expected 4 (CRC trailer)");
+      }
       HYPERTP_ASSIGN_OR_RETURN(uint32_t stored_crc, r.ReadU32());
-      const uint32_t actual_crc = Crc32(data.subspan(0, crc_region_end));
+      const uint32_t actual_crc = Crc32(data.subspan(0, section_start));
       if (stored_crc != actual_crc) {
         return DataLossError("uisr: CRC mismatch (corrupted blob)");
+      }
+      if (!r.AtEnd()) {
+        return DataLossError("uisr: " + std::to_string(r.remaining()) +
+                             " trailing bytes after CRC trailer (truncated or concatenated "
+                             "blob?)");
       }
       saw_end = true;
       break;

@@ -113,6 +113,175 @@ TEST(FailureInjectionTest, UisrCorruptionAfterRebootIsDetectedByCrc) {
   EXPECT_FALSE(machine.memory().ExtentsOfKind(FrameOwnerKind::kGuest).empty());
 }
 
+// ---------------------------------------------------------------------------
+// Parameterized sweep: one fault injected at every InPlaceTP phase. Each
+// fault lands in exactly one recovery class of DESIGN.md §5's taxonomy, and
+// in the abort and rollback classes every VM ends up running on exactly one
+// hypervisor with zero leaked frames.
+
+enum class FaultClass {
+  kAbort,             // Pre-reboot: clean abort, source keeps running.
+  kRollback,          // Post-pause: salvaged under the source kind, no VM lost.
+  kDataLossScrubbed,  // Unrecoverable; the scrub reclaimed the guests.
+  kDataLossIntact,    // Unrecoverable; guest frames survive but the VMs are gone.
+};
+
+struct FaultCase {
+  InPlaceOptions::Fault fault;
+  FaultClass expected;
+  const char* name;
+};
+
+class InPlaceFaultMatrixTest : public testing::TestWithParam<FaultCase> {};
+
+TEST_P(InPlaceFaultMatrixTest, EveryVmEndsOnExactlyOneHypervisor) {
+  const FaultCase& c = GetParam();
+  Machine machine(MachineProfile::M1(), 1);
+  std::unique_ptr<Hypervisor> xen = MakeHypervisor(HypervisorKind::kXen, machine);
+
+  struct TrackedVm {
+    uint64_t uid = 0;
+    GuestImageInfo image;
+  };
+  std::vector<TrackedVm> tracked;
+  for (int i = 0; i < 3; ++i) {
+    auto id = xen->CreateVm(VmConfig::Small("fm-" + std::to_string(i)));
+    ASSERT_TRUE(id.ok());
+    auto image = InstallGuestImage(*xen, *id, 500 + static_cast<uint64_t>(i));
+    ASSERT_TRUE(image.ok());
+    tracked.push_back(TrackedVm{xen->GetVmInfo(*id)->uid, *image});
+  }
+  const uint64_t frames_before = machine.memory().allocated_frames();
+
+  InPlaceOptions options;
+  options.inject_fault = c.fault;
+  std::unique_ptr<Hypervisor> survivor;
+  auto result = InPlaceTransplant::Run(std::move(xen), HypervisorKind::kKvm, options, &survivor);
+
+  auto find_by_uid = [](Hypervisor& hv, uint64_t uid) -> Result<VmId> {
+    for (VmId id : hv.ListVms()) {
+      auto info = hv.GetVmInfo(id);
+      if (info.ok() && info->uid == uid) {
+        return id;
+      }
+    }
+    return NotFoundError("no vm with uid " + std::to_string(uid));
+  };
+  auto expect_all_running_on = [&](Hypervisor& hv) {
+    for (const TrackedVm& vm : tracked) {
+      auto id = find_by_uid(hv, vm.uid);
+      ASSERT_TRUE(id.ok()) << id.error().ToString();
+      EXPECT_EQ(hv.GetVmInfo(*id)->run_state, VmRunState::kRunning);
+      EXPECT_TRUE(VerifyGuestImage(hv, *id, vm.image).ok());
+    }
+  };
+
+  switch (c.expected) {
+    case FaultClass::kAbort: {
+      ASSERT_FALSE(result.ok());
+      EXPECT_EQ(result.error().code(), ErrorCode::kAborted);
+      ASSERT_NE(survivor, nullptr);
+      EXPECT_EQ(survivor->kind(), HypervisorKind::kXen);
+      expect_all_running_on(*survivor);
+      EXPECT_EQ(machine.memory().allocated_frames(), frames_before);
+      break;
+    }
+    case FaultClass::kRollback: {
+      ASSERT_TRUE(result.ok()) << result.error().ToString();
+      EXPECT_EQ(result->report.outcome, TransplantOutcome::kRolledBack);
+      ASSERT_NE(result->hypervisor, nullptr);
+      // Salvaged under the *source* kind, not the requested target.
+      EXPECT_EQ(result->hypervisor->kind(), HypervisorKind::kXen);
+      ASSERT_EQ(result->restored_vms.size(), tracked.size());
+      expect_all_running_on(*result->hypervisor);
+      // The recovery is not free: the second micro-reboot and source restore
+      // are charged as rollback downtime.
+      EXPECT_GT(result->report.phases.rollback, 0);
+      EXPECT_GE(result->report.downtime, result->report.phases.rollback);
+      break;
+    }
+    case FaultClass::kDataLossScrubbed: {
+      ASSERT_FALSE(result.ok());
+      EXPECT_EQ(result.error().code(), ErrorCode::kDataLoss);
+      EXPECT_TRUE(machine.memory().ExtentsOfKind(FrameOwnerKind::kGuest).empty());
+      break;
+    }
+    case FaultClass::kDataLossIntact: {
+      ASSERT_FALSE(result.ok());
+      EXPECT_EQ(result.error().code(), ErrorCode::kDataLoss);
+      EXPECT_FALSE(machine.memory().ExtentsOfKind(FrameOwnerKind::kGuest).empty());
+      break;
+    }
+  }
+  if (c.expected == FaultClass::kAbort || c.expected == FaultClass::kRollback) {
+    // Nothing ephemeral leaked: kernel image, PRAM metadata and parked UISR
+    // blobs were all released on both recovery paths.
+    EXPECT_TRUE(machine.memory().ExtentsOfKind(FrameOwnerKind::kKernelImage).empty());
+    EXPECT_TRUE(machine.memory().ExtentsOfKind(FrameOwnerKind::kPramMeta).empty());
+    EXPECT_TRUE(machine.memory().ExtentsOfKind(FrameOwnerKind::kUisr).empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPhases, InPlaceFaultMatrixTest,
+    testing::Values(
+        FaultCase{InPlaceOptions::Fault::kTranslationFailure, FaultClass::kAbort, "translate"},
+        FaultCase{InPlaceOptions::Fault::kPramWriteFailure, FaultClass::kAbort, "pram_write"},
+        FaultCase{InPlaceOptions::Fault::kKexecFailure, FaultClass::kRollback, "kexec"},
+        FaultCase{InPlaceOptions::Fault::kDecodeFailure, FaultClass::kRollback, "decode"},
+        FaultCase{InPlaceOptions::Fault::kRestoreFailure, FaultClass::kRollback, "restore"},
+        FaultCase{InPlaceOptions::Fault::kPramCorruptionBeforeReboot,
+                  FaultClass::kDataLossScrubbed, "pram_corruption"},
+        FaultCase{InPlaceOptions::Fault::kUisrCorruptionBeforeReboot,
+                  FaultClass::kDataLossIntact, "uisr_corruption"},
+        FaultCase{InPlaceOptions::Fault::kLedgerTornWrite, FaultClass::kDataLossIntact,
+                  "ledger_torn"}),
+    [](const testing::TestParamInfo<FaultCase>& info) { return info.param.name; });
+
+TEST(FailureInjectionTest, TornLedgerRefusesRollback) {
+  // kLedgerTornWrite tears the kCommitted record, so the post-reboot kernel
+  // must refuse to salvage: rolling back from a half-committed image could
+  // resurrect inconsistent VMs. The error names both the fault and the
+  // refused rollback.
+  Machine machine(MachineProfile::M1(), 1);
+  std::unique_ptr<Hypervisor> xen = MakeHypervisor(HypervisorKind::kXen, machine);
+  ASSERT_TRUE(xen->CreateVm(VmConfig::Small("torn")).ok());
+
+  InPlaceOptions options;
+  options.inject_fault = InPlaceOptions::Fault::kLedgerTornWrite;
+  auto result = InPlaceTransplant::Run(std::move(xen), HypervisorKind::kKvm, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kDataLoss);
+  EXPECT_NE(result.error().message().find("rollback failed"), std::string::npos);
+  EXPECT_NE(result.error().message().find("does not authorize rollback"), std::string::npos);
+}
+
+TEST(FailureInjectionTest, RolledBackHostCanRetryAndSucceed) {
+  // A salvaged host is a healthy host: after the rollback the same machine
+  // can run the transplant again (fault-free this time) and reach the target.
+  Machine machine(MachineProfile::M1(), 1);
+  std::unique_ptr<Hypervisor> xen = MakeHypervisor(HypervisorKind::kXen, machine);
+  auto id = xen->CreateVm(VmConfig::Small("retry-after-rollback"));
+  ASSERT_TRUE(id.ok());
+  auto image = InstallGuestImage(*xen, *id, 600);
+  ASSERT_TRUE(image.ok());
+
+  InPlaceOptions faulty;
+  faulty.inject_fault = InPlaceOptions::Fault::kRestoreFailure;
+  auto first = InPlaceTransplant::Run(std::move(xen), HypervisorKind::kKvm, faulty);
+  ASSERT_TRUE(first.ok()) << first.error().ToString();
+  ASSERT_EQ(first->report.outcome, TransplantOutcome::kRolledBack);
+  ASSERT_EQ(first->hypervisor->kind(), HypervisorKind::kXen);
+
+  auto second = InPlaceTransplant::Run(std::move(first->hypervisor), HypervisorKind::kKvm,
+                                       InPlaceOptions{});
+  ASSERT_TRUE(second.ok()) << second.error().ToString();
+  EXPECT_EQ(second->report.outcome, TransplantOutcome::kCompleted);
+  EXPECT_EQ(second->hypervisor->kind(), HypervisorKind::kKvm);
+  ASSERT_EQ(second->restored_vms.size(), 1u);
+  EXPECT_TRUE(VerifyGuestImage(*second->hypervisor, second->restored_vms[0], *image).ok());
+}
+
 TEST(FailureInjectionTest, OutOfMemoryDuringStagingAborts) {
   // Organic (non-injected) failure: no room to stage the kernel image.
   Machine machine(MachineProfile::M1(), 1);

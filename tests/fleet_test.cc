@@ -225,6 +225,99 @@ TEST(FleetControllerTest, InjectedFailuresRetryAndStillComplete) {
   EXPECT_GE(report.wave_latency_seconds.Percentile(50), 10.0);
 }
 
+TEST(FleetControllerTest, PostPauseFaultsRollBackThenRetryToCompletion) {
+  // Post-pause faults strand hosts mid-transplant; with reliable rollbacks
+  // every stranded host salvages itself onto the source hypervisor and the
+  // normal retry policy still drives the rollout to completion.
+  SimExecutor executor;
+  FleetConfig config = BaseConfig();
+  config.hosts = 500;
+  config.parallel_hosts = 50;
+  config.failure_probability = 0.2;
+  config.post_pause_fraction = 0.5;
+  config.rollback_time = Seconds(5);
+  config.max_retries = 8;
+  FleetController controller(executor, config);
+  const FleetRolloutReport& report = controller.Run();
+
+  EXPECT_TRUE(report.complete);
+  EXPECT_GT(report.post_pause_faults, 0);
+  // No rollback ever fails here, so every post-pause fault was salvaged.
+  EXPECT_EQ(report.rollbacks, report.post_pause_faults);
+  EXPECT_EQ(report.rollback_failures, 0);
+  EXPECT_EQ(report.failed, 0);
+
+  // The trace shows the detour: start/succeeded pairs, and rollbacks add
+  // wall-clock on top of the failed attempts' retries.
+  int starts = 0, succeeded = 0;
+  for (const FleetEvent& e : controller.trace().Events()) {
+    starts += e.type == FleetEventType::kRollbackStart;
+    succeeded += e.type == FleetEventType::kRollbackSucceeded;
+  }
+  EXPECT_EQ(starts, report.post_pause_faults);
+  EXPECT_EQ(succeeded, report.rollbacks);
+}
+
+TEST(FleetControllerTest, FailedRollbackIsFatalWithoutRetry) {
+  // A host whose ledger rollback fails has no hypervisor to serve from:
+  // it is billed failed immediately, bypassing the retry budget.
+  SimExecutor executor;
+  FleetConfig config = BaseConfig();
+  config.hosts = 200;
+  config.parallel_hosts = 20;
+  config.failure_probability = 0.3;
+  config.post_pause_fraction = 1.0;          // Every failure is post-pause.
+  config.rollback_failure_probability = 1.0;  // Every rollback fails.
+  config.max_retries = 5;
+  FleetController controller(executor, config);
+  const FleetRolloutReport& report = controller.Run();
+
+  EXPECT_GT(report.post_pause_faults, 0);
+  EXPECT_EQ(report.rollbacks, 0);
+  EXPECT_EQ(report.rollback_failures, report.post_pause_faults);
+  EXPECT_EQ(report.failed, report.post_pause_faults);
+  // Fatal means fatal: no retry was ever scheduled.
+  EXPECT_EQ(report.retries, 0);
+  EXPECT_EQ(report.upgraded + report.failed, report.hosts);
+  for (const FleetHost& host : controller.hosts()) {
+    if (host.state == FleetHostState::kFailed) {
+      EXPECT_EQ(host.attempts, 1);  // Lost on the first (only) attempt.
+    }
+  }
+  // Failed hosts keep accruing exposure: the integral exceeds the fault-free
+  // rollout's (they never stop being exposed until the rollout ends).
+  EXPECT_GT(report.exposed_host_days, 0.0);
+}
+
+TEST(FleetControllerTest, LegacyConfigsKeepTheirDrawSequence) {
+  // post_pause_fraction == 0 must not consume extra RNG draws: a seeded
+  // rollout with the recovery knobs at their defaults is bit-identical to
+  // the pre-recovery behavior (upgraded/retries/makespan all unchanged).
+  auto run = [](double post_pause_fraction) {
+    SimExecutor executor;
+    FleetConfig config;
+    config.hosts = 300;
+    config.parallel_hosts = 30;
+    config.per_host_transplant = Seconds(10);
+    config.failure_probability = 0.15;
+    config.latency_jitter = 0.2;
+    config.max_retries = 4;
+    config.seed = 1234;
+    config.post_pause_fraction = post_pause_fraction;
+    FleetController controller(executor, config);
+    FleetRolloutReport report = controller.Run();
+    return report;
+  };
+  const FleetRolloutReport zero = run(0.0);
+  const FleetRolloutReport again = run(0.0);
+  EXPECT_EQ(zero.retries, again.retries);
+  EXPECT_EQ(zero.makespan, again.makespan);
+  EXPECT_EQ(zero.post_pause_faults, 0);
+  // And turning the knob on actually changes the execution.
+  const FleetRolloutReport on = run(0.9);
+  EXPECT_GT(on.post_pause_faults, 0);
+}
+
 TEST(FleetControllerTest, ExposureIntegralMatchesHandComputation) {
   SimExecutor executor;
   FleetConfig config = BaseConfig();

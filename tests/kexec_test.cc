@@ -19,6 +19,18 @@ TEST(KexecCmdlineTest, FormatAndParse) {
   EXPECT_FALSE(ParsePramPointer("pram=zzz").ok());
 }
 
+TEST(KexecCmdlineTest, LedgerPointerFormatAndParse) {
+  // Without a ledger the cmdline is byte-identical to the legacy form.
+  EXPECT_EQ(FormatKexecCmdline(0x1A2B).find("tpledger"), std::string::npos);
+  const std::string cmdline = FormatKexecCmdline(0x1A2B, 0x3C4D);
+  EXPECT_NE(cmdline.find("pram=0x1a2b"), std::string::npos);
+  EXPECT_NE(cmdline.find("tpledger=0x3c4d"), std::string::npos);
+  EXPECT_EQ(ParsePramPointer(cmdline).value(), 0x1A2Bu);
+  EXPECT_EQ(ParseLedgerPointer(cmdline).value(), 0x3C4Du);
+  EXPECT_EQ(ParseLedgerPointer("console=ttyS0").value(), 0u);
+  EXPECT_FALSE(ParseLedgerPointer("tpledger=zzz").ok());
+}
+
 TEST(KernelImageTest, XenImageIsTwoKernelBundle) {
   EXPECT_GT(KernelImage::Xen().size_bytes, KernelImage::Kvm().size_bytes);
   EXPECT_EQ(KernelImage::Xen().kind, HypervisorKind::kXen);
@@ -88,6 +100,42 @@ TEST_F(KexecTest, RebootWithPramPreservesDescribedMemory) {
   ASSERT_EQ(boot->pram.files.size(), 1u);
   EXPECT_EQ(boot->pram.files[0].name, "vm:1");
   EXPECT_EQ(boot->pram.files[0].entries, entries);
+}
+
+TEST_F(KexecTest, LedgerFrameSurvivesRebootScrub) {
+  // The recovery handshake: a ledger frame named by tpledger= rides through
+  // the scrub alongside the PRAM reservation and its MFN is handed to the
+  // next kernel through KexecBootResult.
+  Mfn guest = machine_.memory().Alloc(16, 1, kGuest).value();
+  Mfn ledger =
+      machine_.memory().AllocFrame(FrameOwner{FrameOwnerKind::kPramMeta, 0}).value();
+  ASSERT_TRUE(machine_.memory().WriteWord(ledger, 0x4C454447).ok());
+
+  PramBuilder builder(machine_.memory());
+  std::vector<PramPageEntry> entries;
+  for (uint64_t i = 0; i < 16; ++i) {
+    entries.push_back({i, guest + i, 0});
+  }
+  ASSERT_TRUE(builder.AddFile("vm:1", 16 * kPageSize, false, entries).ok());
+  auto handle = builder.Finalize();
+  ASSERT_TRUE(handle.ok());
+
+  ASSERT_TRUE(kexec_.LoadImage(KernelImage::Kvm()).ok());
+  auto boot = kexec_.Reboot(FormatKexecCmdline(handle->root_mfn, ledger));
+  ASSERT_TRUE(boot.ok()) << boot.error().ToString();
+  EXPECT_EQ(boot->ledger_mfn, ledger);
+  EXPECT_TRUE(machine_.memory().IsAllocated(ledger));
+  EXPECT_EQ(machine_.memory().ReadWord(ledger).value(), 0x4C454447u);
+}
+
+TEST_F(KexecTest, StaleLedgerPointerIsIgnoredByScrub) {
+  // A tpledger= naming an unallocated frame must not break the reboot: the
+  // pointer is still reported, but nothing extra is preserved.
+  ASSERT_TRUE(kexec_.LoadImage(KernelImage::Kvm()).ok());
+  auto boot = kexec_.Reboot(FormatKexecCmdline(0, 0x7000));
+  ASSERT_TRUE(boot.ok()) << boot.error().ToString();
+  EXPECT_EQ(boot->ledger_mfn, 0x7000u);
+  EXPECT_FALSE(machine_.memory().IsAllocated(0x7000));
 }
 
 TEST_F(KexecTest, CorruptPramPointerIsDataLoss) {

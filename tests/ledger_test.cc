@@ -1,0 +1,163 @@
+// Unit tests for the transplant ledger: the single-frame PRAM phase record
+// that lets a post-reboot kernel distinguish a healthy hand-off from a
+// crashed transplant, and that authorizes (or refuses) a rollback.
+
+#include <gtest/gtest.h>
+
+#include "src/hw/physical_memory.h"
+#include "src/pram/ledger.h"
+
+namespace hypertp {
+namespace {
+
+LedgerRecord StagedRecord() {
+  LedgerRecord r;
+  r.phase = TransplantPhase::kStaged;
+  r.source_kind = 0;  // kXen
+  r.target_kind = 1;  // kKvm
+  return r;
+}
+
+TEST(TransplantLedgerTest, CreateCommitRead) {
+  PhysicalMemory ram(16 << 20);
+  auto ledger = TransplantLedger::Create(ram, StagedRecord());
+  ASSERT_TRUE(ledger.ok()) << ledger.error().ToString();
+  EXPECT_NE(ledger->frame(), 0u);
+  EXPECT_EQ(ledger->generation(), 1u);
+
+  auto read = ledger->Read();
+  ASSERT_TRUE(read.ok()) << read.error().ToString();
+  EXPECT_EQ(read->phase, TransplantPhase::kStaged);
+  EXPECT_EQ(read->generation, 1u);
+  EXPECT_EQ(read->source_kind, 0);
+  EXPECT_EQ(read->target_kind, 1);
+}
+
+TEST(TransplantLedgerTest, CommitsAdvanceGenerationAndAlternateSlots) {
+  PhysicalMemory ram(16 << 20);
+  auto ledger = TransplantLedger::Create(ram, StagedRecord());
+  ASSERT_TRUE(ledger.ok());
+
+  LedgerRecord record = StagedRecord();
+  record.phase = TransplantPhase::kTranslated;
+  record.vm_count = 4;
+  ASSERT_TRUE(ledger->Commit(record).ok());
+  EXPECT_EQ(ledger->generation(), 2u);
+
+  record.phase = TransplantPhase::kCommitted;
+  record.pram_root = 0x1234;
+  ASSERT_TRUE(ledger->Commit(record).ok());
+  EXPECT_EQ(ledger->generation(), 3u);
+  // Consecutive generations land in different slots (A/B alternation).
+  EXPECT_NE(TransplantLedger::SlotOffset(2), TransplantLedger::SlotOffset(3));
+  EXPECT_EQ(TransplantLedger::SlotOffset(1), TransplantLedger::SlotOffset(3));
+
+  auto read = ledger->Read();
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->phase, TransplantPhase::kCommitted);
+  EXPECT_EQ(read->generation, 3u);
+  EXPECT_EQ(read->pram_root, 0x1234u);
+  EXPECT_EQ(read->vm_count, 4u);
+}
+
+TEST(TransplantLedgerTest, OpenSeesLatestCommit) {
+  // Models the post-reboot handshake: a fresh kernel opens the ledger frame
+  // named on the kexec cmdline and must see the last committed record.
+  PhysicalMemory ram(16 << 20);
+  auto ledger = TransplantLedger::Create(ram, StagedRecord());
+  ASSERT_TRUE(ledger.ok());
+  LedgerRecord record = StagedRecord();
+  record.phase = TransplantPhase::kCommitted;
+  record.pram_root = 0x42;
+  ASSERT_TRUE(ledger->Commit(record).ok());
+
+  auto opened = TransplantLedger::Open(ram, ledger->frame());
+  ASSERT_TRUE(opened.ok()) << opened.error().ToString();
+  EXPECT_EQ(opened->generation(), ledger->generation());
+  auto read = opened->Read();
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->phase, TransplantPhase::kCommitted);
+  EXPECT_EQ(read->pram_root, 0x42u);
+  // And the reopened ledger keeps committing from where it left off.
+  record.phase = TransplantPhase::kRolledBack;
+  ASSERT_TRUE(opened->Commit(record).ok());
+  EXPECT_EQ(opened->Read()->phase, TransplantPhase::kRolledBack);
+}
+
+TEST(TransplantLedgerTest, TornSlotFallsBackToPreviousGeneration) {
+  PhysicalMemory ram(16 << 20);
+  auto ledger = TransplantLedger::Create(ram, StagedRecord());
+  ASSERT_TRUE(ledger.ok());
+  LedgerRecord record = StagedRecord();
+  record.phase = TransplantPhase::kTranslated;
+  ASSERT_TRUE(ledger->Commit(record).ok());  // Generation 2.
+  record.phase = TransplantPhase::kCommitted;
+  ASSERT_TRUE(ledger->Commit(record).ok());  // Generation 3.
+
+  // Tear generation 3's slot: Read() must fall back to generation 2 instead
+  // of returning a half-written kCommitted record.
+  auto page = ram.ReadPage(ledger->frame());
+  ASSERT_TRUE(page.ok());
+  (*page)[TransplantLedger::SlotOffset(3) + 2] ^= 0xFF;
+  ASSERT_TRUE(ram.WritePage(ledger->frame(), std::move(*page)).ok());
+
+  auto read = ledger->Read();
+  ASSERT_TRUE(read.ok()) << read.error().ToString();
+  EXPECT_EQ(read->generation, 2u);
+  EXPECT_EQ(read->phase, TransplantPhase::kTranslated);
+}
+
+TEST(TransplantLedgerTest, BothSlotsTornIsDetectedDataLoss) {
+  PhysicalMemory ram(16 << 20);
+  auto ledger = TransplantLedger::Create(ram, StagedRecord());
+  ASSERT_TRUE(ledger.ok());
+  LedgerRecord record = StagedRecord();
+  record.phase = TransplantPhase::kTranslated;
+  ASSERT_TRUE(ledger->Commit(record).ok());
+
+  auto page = ram.ReadPage(ledger->frame());
+  ASSERT_TRUE(page.ok());
+  (*page)[TransplantLedger::SlotOffset(1) + 2] ^= 0xFF;
+  (*page)[TransplantLedger::SlotOffset(2) + 2] ^= 0xFF;
+  ASSERT_TRUE(ram.WritePage(ledger->frame(), std::move(*page)).ok());
+
+  auto read = ledger->Read();
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.error().code(), ErrorCode::kDataLoss);
+}
+
+TEST(TransplantLedgerTest, OpenRejectsNonLedgerFrame) {
+  PhysicalMemory ram(16 << 20);
+  auto frame = ram.AllocFrame(FrameOwner{FrameOwnerKind::kPramMeta, 7});
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE(ram.WritePage(*frame, std::vector<uint8_t>(64, 0xAB)).ok());
+  EXPECT_FALSE(TransplantLedger::Open(ram, *frame).ok());
+}
+
+TEST(TransplantLedgerTest, SurvivesScrubWhenPreserved) {
+  // The micro-reboot path preserves the ledger frame by cmdline pointer;
+  // everything else is scrubbed. The record must still read back.
+  PhysicalMemory ram(16 << 20);
+  auto ledger = TransplantLedger::Create(ram, StagedRecord());
+  ASSERT_TRUE(ledger.ok());
+  LedgerRecord record = StagedRecord();
+  record.phase = TransplantPhase::kCommitted;
+  record.pram_root = 0x77;
+  ASSERT_TRUE(ledger->Commit(record).ok());
+
+  // Unrelated allocation that the scrub should reclaim.
+  ASSERT_TRUE(ram.Alloc(32, 1, FrameOwner{FrameOwnerKind::kVmm, 9}).ok());
+  const FrameOwner ledger_owner = ram.OwnerOf(ledger->frame()).value();
+  ram.ScrubExcept({FrameExtent{ledger->frame(), 1, ledger_owner}});
+
+  auto opened = TransplantLedger::Open(ram, ledger->frame());
+  ASSERT_TRUE(opened.ok()) << opened.error().ToString();
+  auto read = opened->Read();
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->phase, TransplantPhase::kCommitted);
+  EXPECT_EQ(read->pram_root, 0x77u);
+  EXPECT_TRUE(ram.ExtentsOfKind(FrameOwnerKind::kVmm).empty());
+}
+
+}  // namespace
+}  // namespace hypertp

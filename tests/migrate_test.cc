@@ -166,12 +166,16 @@ TEST_F(MigrateTest, SequentialXenReceiverCreatesDowntimeVariance) {
   MigrationConfig config;
 
   auto xen_ids = make_vms(6);
-  auto xen_results = engine.MigrateMany(xen_, xen_ids, xen_dst, config);
-  ASSERT_TRUE(xen_results.ok()) << xen_results.error().ToString();
+  auto xen_batch = engine.MigrateMany(xen_, xen_ids, xen_dst, config);
+  ASSERT_TRUE(xen_batch.ok()) << xen_batch.error().ToString();
+  ASSERT_TRUE(xen_batch->all_migrated());
+  const std::vector<MigrationResult> xen_results = xen_batch->successes();
 
   auto kvm_ids = make_vms(6);
-  auto kvm_results = engine.MigrateMany(xen_, kvm_ids, kvm_dst, config);
-  ASSERT_TRUE(kvm_results.ok());
+  auto kvm_batch = engine.MigrateMany(xen_, kvm_ids, kvm_dst, config);
+  ASSERT_TRUE(kvm_batch.ok());
+  ASSERT_TRUE(kvm_batch->all_migrated());
+  const std::vector<MigrationResult> kvm_results = kvm_batch->successes();
 
   auto spread = [](const std::vector<MigrationResult>& results) {
     SimDuration lo = results[0].downtime, hi = results[0].downtime;
@@ -181,9 +185,9 @@ TEST_F(MigrateTest, SequentialXenReceiverCreatesDowntimeVariance) {
     }
     return hi - lo;
   };
-  EXPECT_GT(spread(*xen_results), spread(*kvm_results) * 3);
+  EXPECT_GT(spread(xen_results), spread(kvm_results) * 3);
   // And later Xen VMs queued behind earlier ones.
-  EXPECT_GT(xen_results->back().queue_wait, 0);
+  EXPECT_GT(xen_results.back().queue_wait, 0);
 }
 
 TEST_F(MigrateTest, NonConvergenceForcesStopAndCopy) {
@@ -204,7 +208,7 @@ TEST_F(MigrateTest, EmptyBatchIsNoop) {
   MigrationEngine engine(GigabitLink());
   auto results = engine.MigrateMany(xen_, {}, kvm_, MigrationConfig{});
   ASSERT_TRUE(results.ok());
-  EXPECT_TRUE(results->empty());
+  EXPECT_TRUE(results->outcomes.empty());
 }
 
 TEST_F(MigrateTest, DirtyPagesDuringPrecopyAreCarried) {
@@ -227,6 +231,131 @@ TEST_F(MigrateTest, DirtyPagesDuringPrecopyAreCarried) {
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(kvm_.ReadGuestPage(result->dest_vm_id, 1).value(), 0x1111u);
   EXPECT_EQ(kvm_.ReadGuestPage(result->dest_vm_id, 2).value(), 0x2222u);
+}
+
+// ---------------------------------------------------------------------------
+// Parameterized sweep: a fault injected at every stop-and-copy step while the
+// middle VM of a 3-VM batch migrates. The faulted VM must end up resumed at
+// the source (dirty logging back on, destination leftovers destroyed) while
+// the other two VMs still migrate — per-VM outcomes, not all-or-nothing.
+
+const char* MigrationFaultName(MigrationFault fault) {
+  switch (fault) {
+    case MigrationFault::kNone: return "none";
+    case MigrationFault::kPause: return "pause";
+    case MigrationFault::kFetchDirtyLog: return "fetch_dirty_log";
+    case MigrationFault::kSaveUisr: return "save_uisr";
+    case MigrationFault::kDecode: return "decode";
+    case MigrationFault::kRestore: return "restore";
+    case MigrationFault::kWritePage: return "write_page";
+    case MigrationFault::kClockAdvance: return "clock_advance";
+    case MigrationFault::kResume: return "resume";
+  }
+  return "unknown";
+}
+
+class MigrationFaultMatrixTest : public ::testing::TestWithParam<MigrationFault> {};
+
+TEST_P(MigrationFaultMatrixTest, FaultedVmStaysAtSourceOthersMigrate) {
+  Machine src_machine(MachineProfile::M1(), 1);
+  Machine dst_machine(MachineProfile::M1(), 2);
+  XenVisor src(src_machine);
+  KvmHost dst(dst_machine);
+
+  std::vector<VmId> ids;
+  std::vector<uint64_t> uids;
+  for (int i = 0; i < 3; ++i) {
+    auto id = src.CreateVm(VmConfig::Small("mf-" + std::to_string(i)));
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(src.WriteGuestPage(*id, 7, 0x1000u + static_cast<uint64_t>(i)).ok());
+    ids.push_back(*id);
+    uids.push_back(src.GetVmInfo(*id)->uid);
+  }
+  const uint64_t dst_frames_before = dst_machine.memory().allocated_frames();
+
+  MigrationEngine engine(GigabitLink());
+  MigrationConfig config;
+  config.inject_fault = GetParam();
+  config.inject_fault_at_vm = 1;
+  auto batch = engine.MigrateMany(src, ids, dst, config);
+  ASSERT_TRUE(batch.ok()) << batch.error().ToString();
+  ASSERT_EQ(batch->outcomes.size(), 3u);
+
+  // VMs 0 and 2 migrated; only VM 1 aborted.
+  EXPECT_FALSE(batch->all_migrated());
+  EXPECT_EQ(batch->migrated_count(), 2u);
+  for (size_t i : {0u, 2u}) {
+    const VmMigrationOutcome& ok = batch->outcomes[i];
+    EXPECT_TRUE(ok.migrated);
+    ASSERT_TRUE(ok.result.has_value());
+    EXPECT_FALSE(ok.error.has_value());
+    auto info = dst.GetVmInfo(ok.result->dest_vm_id);
+    ASSERT_TRUE(info.ok());
+    EXPECT_EQ(info->uid, uids[i]);
+    EXPECT_EQ(info->run_state, VmRunState::kRunning);
+    EXPECT_EQ(dst.ReadGuestPage(ok.result->dest_vm_id, 7).value(), 0x1000u + i);
+  }
+  const VmMigrationOutcome& aborted = batch->outcomes[1];
+  EXPECT_FALSE(aborted.migrated);
+  EXPECT_FALSE(aborted.result.has_value());
+  ASSERT_TRUE(aborted.error.has_value());
+  EXPECT_EQ(aborted.src_id, ids[1]);
+
+  // The faulted VM runs at the source with its content intact — it exists on
+  // exactly one hypervisor.
+  ASSERT_EQ(src.ListVms().size(), 1u);
+  EXPECT_EQ(src.GetVmInfo(ids[1])->run_state, VmRunState::kRunning);
+  EXPECT_EQ(src.ReadGuestPage(ids[1], 7).value(), 0x1001u);
+  EXPECT_EQ(dst.ListVms().size(), 2u);
+
+  // Dirty logging was restored on the abort path: a fresh guest write lands
+  // in the log, so a retried migration starts from a consistent dirty set.
+  ASSERT_TRUE(src.WriteGuestPage(ids[1], 9, 0xD1A7).ok());
+  auto dirty = src.FetchAndClearDirtyLog(ids[1]);
+  ASSERT_TRUE(dirty.ok()) << dirty.error().ToString();
+  EXPECT_NE(std::find(dirty->begin(), dirty->end(), Gfn{9}), dirty->end());
+
+  // No destination leak: tearing down the two migrated VMs returns the
+  // destination machine to its pre-migration footprint, so the aborted
+  // restore left nothing behind.
+  for (size_t i : {0u, 2u}) {
+    ASSERT_TRUE(dst.DestroyVm(batch->outcomes[i].result->dest_vm_id).ok());
+  }
+  EXPECT_EQ(dst_machine.memory().allocated_frames(), dst_frames_before);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSteps, MigrationFaultMatrixTest,
+    ::testing::Values(MigrationFault::kPause, MigrationFault::kFetchDirtyLog,
+                      MigrationFault::kSaveUisr, MigrationFault::kDecode,
+                      MigrationFault::kRestore, MigrationFault::kWritePage,
+                      MigrationFault::kClockAdvance, MigrationFault::kResume),
+    [](const ::testing::TestParamInfo<MigrationFault>& info) {
+      return MigrationFaultName(info.param);
+    });
+
+TEST_F(MigrateTest, AbortedMigrationCanRetryAndSucceed) {
+  auto src_id = xen_.CreateVm(VmConfig::Small("retry"));
+  ASSERT_TRUE(src_id.ok());
+  ASSERT_TRUE(xen_.WriteGuestPage(*src_id, 42, 0xCAFE).ok());
+  const uint64_t uid = xen_.GetVmInfo(*src_id)->uid;
+
+  MigrationEngine engine(GigabitLink());
+  MigrationConfig faulty;
+  faulty.inject_fault = MigrationFault::kRestore;
+  auto first = engine.MigrateVm(xen_, *src_id, kvm_, faulty);
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(xen_.GetVmInfo(*src_id)->run_state, VmRunState::kRunning);
+
+  // Same VM, same engine, no fault: the retry completes the move.
+  auto second = engine.MigrateVm(xen_, *src_id, kvm_, MigrationConfig{});
+  ASSERT_TRUE(second.ok()) << second.error().ToString();
+  EXPECT_TRUE(xen_.ListVms().empty());
+  auto info = kvm_.GetVmInfo(second->dest_vm_id);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->uid, uid);
+  EXPECT_EQ(info->run_state, VmRunState::kRunning);
+  EXPECT_EQ(kvm_.ReadGuestPage(second->dest_vm_id, 42).value(), 0xCAFEu);
 }
 
 }  // namespace

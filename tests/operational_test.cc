@@ -129,6 +129,36 @@ TEST(OperationalTest, InjectedFleetFailuresRaiseExposure) {
   FAIL() << "no seed produced a transplant";
 }
 
+TEST(OperationalTest, PostPauseRecoveryCountersSurfaceInTheReport) {
+  // Acceptance check for the recovery subsystem: with post-pause faults
+  // injected, rollouts report hosts recovered via rollback (counter > 0),
+  // and making rollbacks fail converts recoveries into stranded hosts whose
+  // residual windows are billed as extra exposure.
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    OperationalConfig config = BaseConfig(seed);
+    config.fleet_mode = FleetExecutionMode::kFleetController;
+    config.fleet_failure_probability = 0.3;
+    config.fleet_post_pause_fraction = 0.8;
+    const OperationalReport recovered = RunOperationalSimulation(config);
+    if (recovered.transplants_away == 0 || recovered.fleet_post_pause_faults == 0) {
+      continue;
+    }
+    // Reliable rollbacks: every stranded host salvaged itself, none lost.
+    EXPECT_GT(recovered.fleet_rollbacks, 0);
+    EXPECT_EQ(recovered.fleet_rollbacks, recovered.fleet_post_pause_faults);
+    EXPECT_EQ(recovered.fleet_rollback_failures, 0);
+
+    OperationalConfig lossy = config;
+    lossy.fleet_rollback_failure_probability = 1.0;
+    const OperationalReport lost = RunOperationalSimulation(lossy);
+    EXPECT_GT(lost.fleet_rollback_failures, 0);
+    EXPECT_GT(lost.fleet_stranded_hosts, recovered.fleet_stranded_hosts);
+    EXPECT_GT(lost.exposure_days_hypertp, recovered.exposure_days_hypertp);
+    return;  // One meaningful seed is enough.
+  }
+  FAIL() << "no seed produced a rollout with post-pause faults";
+}
+
 TEST(OperationalTest, MultiYearRunsScaleEvents) {
   OperationalConfig one = BaseConfig(11);
   OperationalConfig five = BaseConfig(11);

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Builds the whole tree with AddressSanitizer + UndefinedBehaviorSanitizer and
+# runs the full test suite under them. Use before merging changes that touch
+# the recovery paths (fault injection exercises a lot of error-path cleanup
+# code that a normal run never reaches with leak checking enabled).
+#
+# Usage: tests/run_sanitized.sh [build-dir]   (default: build-sanitized)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-sanitized}"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DHYPERTP_SANITIZE="address;undefined"
+cmake --build "${build_dir}" -j "$(nproc)"
+
+# halt_on_error so UBSan findings fail the suite instead of scrolling past.
+export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+
+ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"

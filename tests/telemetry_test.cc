@@ -71,6 +71,8 @@ TEST(TelemetryTest, TransplantReportExportsAllSections) {
   EXPECT_NE(json.find(R"("kind":"inplace_transplant")"), std::string::npos);
   EXPECT_NE(json.find(R"("source":"xenvisor-4.12")"), std::string::npos);
   EXPECT_NE(json.find(R"("phases_ms")"), std::string::npos);
+  EXPECT_NE(json.find(R"("outcome":"completed")"), std::string::npos);
+  EXPECT_NE(json.find(R"("rollback":0)"), std::string::npos);
   EXPECT_NE(json.find(R"("reboot":1520)"), std::string::npos);
   EXPECT_NE(json.find(R"("fixups":[{)"), std::string::npos);
   EXPECT_NE(json.find(R"("component":"ioapic")"), std::string::npos);
@@ -127,6 +129,9 @@ TEST(TelemetryTest, OperationalReportExport) {
   report.fleet_rollouts = 11;
   report.fleet_retries = 4;
   report.fleet_stranded_hosts = 2;
+  report.fleet_post_pause_faults = 3;
+  report.fleet_rollbacks = 2;
+  report.fleet_rollback_failures = 1;
   report.event_log.push_back("day   12.5: CVE-2015-3456 — fleet -> kvmish-5.3");
   const std::string json = OperationalReportToJson(report);
   EXPECT_NE(json.find(R"("kind":"operational_year")"), std::string::npos);
@@ -134,7 +139,8 @@ TEST(TelemetryTest, OperationalReportExport) {
   EXPECT_NE(json.find(R"("transplants_away":6)"), std::string::npos);
   EXPECT_NE(json.find(R"("exposure_days_traditional":402)"), std::string::npos);
   EXPECT_NE(json.find(R"("exposure_reduction_factor":200)"), std::string::npos);
-  EXPECT_NE(json.find(R"("fleet":{"rollouts":11,"retries":4,"stranded_hosts":2,"aborts":0})"),
+  EXPECT_NE(json.find(R"("fleet":{"rollouts":11,"retries":4,"stranded_hosts":2,"aborts":0,)"
+                      R"("post_pause_faults":3,"rollbacks":2,"rollback_failures":1})"),
             std::string::npos);
   EXPECT_NE(json.find("CVE-2015-3456"), std::string::npos);
 }

@@ -111,6 +111,36 @@ TEST(UisrCodecTest, CorruptionAnywhereIsDetected) {
   }
 }
 
+TEST(UisrCodecTest, TrailingGarbageRejected) {
+  // Bytes after the CRC trailer mean the blob boundary is wrong (truncated
+  // neighbor, concatenated blobs): decoding must not silently accept them.
+  auto blob = EncodeUisrVm(MakeTestVm(3, 2, 1 << 20));
+  for (size_t extra : {size_t{1}, size_t{4}, size_t{4096}}) {
+    auto padded = blob;
+    padded.insert(padded.end(), extra, 0x00);
+    auto decoded = DecodeUisrVm(padded);
+    ASSERT_FALSE(decoded.ok()) << extra << " trailing bytes accepted";
+    EXPECT_EQ(decoded.error().code(), ErrorCode::kDataLoss);
+    EXPECT_NE(decoded.error().message().find("trailing"), std::string::npos);
+  }
+}
+
+TEST(UisrCodecTest, BadEndSectionLengthRejected) {
+  // The kEnd trailer must declare exactly 4 bytes (its CRC). A different
+  // declared length is a framing error, not a CRC to be interpreted loosely.
+  auto blob = EncodeUisrVm(MakeTestVm(4, 1, 1 << 20));
+  // Layout of the trailer: type u16 | length u32 | crc u32 (little-endian),
+  // so the length field starts 8 bytes from the end.
+  ASSERT_GE(blob.size(), size_t{10});
+  for (uint8_t bad_len : {uint8_t{0}, uint8_t{5}, uint8_t{255}}) {
+    auto patched = blob;
+    patched[patched.size() - 8] = bad_len;
+    auto decoded = DecodeUisrVm(patched);
+    ASSERT_FALSE(decoded.ok()) << "end length " << int{bad_len} << " accepted";
+    EXPECT_EQ(decoded.error().code(), ErrorCode::kDataLoss);
+  }
+}
+
 TEST(UisrCodecTest, TruncationRejected) {
   auto blob = EncodeUisrVm(MakeTestVm(2, 2, 1 << 20));
   for (size_t keep : {size_t{0}, size_t{7}, blob.size() / 2, blob.size() - 1}) {
