@@ -1,12 +1,16 @@
 // Regenerates Fig. 6: InPlaceTP time breakdown on M1 and M2 for Xen -> KVM
 // with a single 1 vCPU / 1 GB VM, plus the separately-reported network
-// re-initialization time.
+// re-initialization time. Emits BENCH_fig6_breakdown.json; with HYPERTP_TRACE
+// set, each machine's transplant also writes a Chrome trace
+// (TRACE_fig6_<machine>.json, loadable in ui.perfetto.dev).
 
+#include <cstdlib>
 #include <memory>
 
 #include "bench/bench_util.h"
 #include "src/core/factory.h"
 #include "src/core/inplace.h"
+#include "src/obs/trace.h"
 
 namespace hypertp {
 namespace {
@@ -15,7 +19,8 @@ struct PaperRow {
   double pram, translation, reboot, restoration, downtime, total, network;
 };
 
-void RunMachine(const MachineProfile& profile, const PaperRow& paper) {
+void RunMachine(const MachineProfile& profile, const PaperRow& paper,
+                bench::BenchReport& report) {
   Machine machine(profile, 1);
   std::unique_ptr<Hypervisor> xen = MakeHypervisor(HypervisorKind::kXen, machine);
   auto id = xen->CreateVm(VmConfig::Small("fig6-vm"));
@@ -23,12 +28,30 @@ void RunMachine(const MachineProfile& profile, const PaperRow& paper) {
     bench::Row("VM creation failed: %s", id.error().ToString().c_str());
     return;
   }
-  auto result = InPlaceTransplant::Run(std::move(xen), HypervisorKind::kKvm, InPlaceOptions{});
+  InPlaceOptions options;
+  std::unique_ptr<Tracer> tracer;
+  if (std::getenv("HYPERTP_TRACE") != nullptr) {
+    tracer = std::make_unique<Tracer>();
+    options.tracer = tracer.get();
+  }
+  auto result = InPlaceTransplant::Run(std::move(xen), HypervisorKind::kKvm, options);
   if (!result.ok()) {
     bench::Row("transplant failed: %s", result.error().ToString().c_str());
     return;
   }
   const TransplantReport& r = result->report;
+  report.AddSample("pram_s", bench::Sec(r.phases.pram));
+  report.AddSample("translation_s", bench::Sec(r.phases.translation));
+  report.AddSample("reboot_s", bench::Sec(r.phases.reboot));
+  report.AddSample("restoration_s", bench::Sec(r.phases.restoration));
+  report.AddSample("downtime_s", bench::Sec(r.downtime));
+  report.AddSample("total_s", bench::Sec(r.total_time));
+  report.SetScalar(profile.name + "_downtime_s", bench::Sec(r.downtime));
+  report.SetScalar(profile.name + "_total_s", bench::Sec(r.total_time));
+  if (tracer != nullptr) {
+    bench::WriteArtifactFile("TRACE_fig6_" + profile.name + ".json",
+                             tracer->ToChromeTraceJson());
+  }
   bench::Section(profile.name.c_str());
   bench::Row("%-22s %10s %10s", "phase", "measured", "paper");
   bench::Row("%-22s %9.2fs %9.2fs", "PRAM (pre-pause)", bench::Sec(r.phases.pram), paper.pram);
@@ -53,8 +76,10 @@ void Run() {
   // Paper values: M1 total 2.15 s (.45/.08/1.52/.12), downtime 1.7 s,
   // network 8.1 s overall with 6.6 s NIC wait; M2 total 3.56 s
   // (.5/.24/2.40/.34), downtime 3.01 s, network wait 2.3 s.
-  RunMachine(MachineProfile::M1(), {0.45, 0.08, 1.52, 0.12, 1.70, 2.15, 6.77});
-  RunMachine(MachineProfile::M2(), {0.50, 0.24, 2.40, 0.34, 3.01, 3.56, 2.64});
+  bench::BenchReport report("fig6_breakdown");
+  RunMachine(MachineProfile::M1(), {0.45, 0.08, 1.52, 0.12, 1.70, 2.15, 6.77}, report);
+  RunMachine(MachineProfile::M2(), {0.50, 0.24, 2.40, 0.34, 3.01, 3.56, 2.64}, report);
+  report.WriteJsonArtifact();
 }
 
 }  // namespace

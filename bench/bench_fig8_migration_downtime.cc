@@ -50,27 +50,33 @@ void Run() {
   bench::Banner("Fig. 8 — Migration downtime: MigrationTP (->KVM) vs Xen->Xen baseline",
                 "1 Gbps link. Paper: HyperTP downtime well below Xen's; Xen multi-VM "
                 "downtime has high variance from its sequential receiver [39].");
+  bench::BenchReport report("fig8_migration_downtime");
 
   bench::Section("a) vCPU sweep (1 GB VM), downtime in ms");
   bench::Row("%-8s %14s %14s", "vCPUs", "Xen->Xen", "MigrationTP");
   for (uint32_t vcpus : {1u, 2u, 4u, 6u, 8u, 10u}) {
-    bench::Row("%-8u %14.2f %14.2f", vcpus,
-               SingleDowntimeMs(vcpus, 1ull << 30, HypervisorKind::kXen),
-               SingleDowntimeMs(vcpus, 1ull << 30, HypervisorKind::kKvm));
+    const double xen_ms = SingleDowntimeMs(vcpus, 1ull << 30, HypervisorKind::kXen);
+    const double tp_ms = SingleDowntimeMs(vcpus, 1ull << 30, HypervisorKind::kKvm);
+    bench::Row("%-8u %14.2f %14.2f", vcpus, xen_ms, tp_ms);
+    report.AddSample("vcpu_sweep_xen_ms", xen_ms);
+    report.AddSample("vcpu_sweep_tp_ms", tp_ms);
   }
 
   bench::Section("b) memory sweep (1 vCPU), downtime in ms");
   bench::Row("%-8s %14s %14s", "GiB", "Xen->Xen", "MigrationTP");
   for (uint64_t gib : {2ull, 4ull, 6ull, 8ull, 10ull, 12ull}) {
-    bench::Row("%-8llu %14.2f %14.2f", static_cast<unsigned long long>(gib),
-               SingleDowntimeMs(1, gib << 30, HypervisorKind::kXen),
-               SingleDowntimeMs(1, gib << 30, HypervisorKind::kKvm));
+    const double xen_ms = SingleDowntimeMs(1, gib << 30, HypervisorKind::kXen);
+    const double tp_ms = SingleDowntimeMs(1, gib << 30, HypervisorKind::kKvm);
+    bench::Row("%-8llu %14.2f %14.2f", static_cast<unsigned long long>(gib), xen_ms, tp_ms);
+    report.AddSample("memory_sweep_xen_ms", xen_ms);
+    report.AddSample("memory_sweep_tp_ms", tp_ms);
   }
 
   bench::Section("c) VM-count sweep (1 vCPU / 1 GB each), downtime distribution in ms");
   bench::Row("%-8s %-34s %-34s", "#VMs", "Xen->Xen (boxplot)", "MigrationTP (boxplot)");
   for (int vms : {2, 4, 6, 8, 10, 12}) {
-    SampleSet xen_samples, tp_samples;
+    SampleSet& xen_samples = report.Series("multivm_xen_ms_" + std::to_string(vms) + "vms");
+    SampleSet& tp_samples = report.Series("multivm_tp_ms_" + std::to_string(vms) + "vms");
     for (const MigrationResult& r : MigrateFleet(vms, 1, 1ull << 30, HypervisorKind::kXen)) {
       xen_samples.Add(bench::Ms(r.downtime));
     }
@@ -81,6 +87,8 @@ void Run() {
                xen_samples.Percentile(50), xen_samples.min(), xen_samples.max(),
                tp_samples.Percentile(50), tp_samples.min(), tp_samples.max());
   }
+
+  report.WriteJsonArtifact();
 }
 
 }  // namespace

@@ -49,25 +49,33 @@ void Run() {
                 "1 Gbps link. Paper: ~9.5 s at 1 GB growing to ~110 s at 12 GB; flat in "
                 "vCPUs; multi-VM totals similar, MigrationTP with less per-VM variance.");
 
+  bench::BenchReport report("fig9_migration_time");
+
   bench::Section("a) vCPU sweep (1 GB VM), total time in s");
   bench::Row("%-8s %12s %12s", "vCPUs", "Xen->Xen", "MigrationTP");
   for (uint32_t vcpus : {1u, 2u, 4u, 6u, 8u, 10u}) {
-    bench::Row("%-8u %12.2f %12.2f", vcpus, SingleTotalSec(vcpus, 1ull << 30, HypervisorKind::kXen),
-               SingleTotalSec(vcpus, 1ull << 30, HypervisorKind::kKvm));
+    const double xen_s = SingleTotalSec(vcpus, 1ull << 30, HypervisorKind::kXen);
+    const double tp_s = SingleTotalSec(vcpus, 1ull << 30, HypervisorKind::kKvm);
+    bench::Row("%-8u %12.2f %12.2f", vcpus, xen_s, tp_s);
+    report.AddSample("vcpu_sweep_xen_s", xen_s);
+    report.AddSample("vcpu_sweep_tp_s", tp_s);
   }
 
   bench::Section("b) memory sweep (1 vCPU), total time in s");
   bench::Row("%-8s %12s %12s", "GiB", "Xen->Xen", "MigrationTP");
   for (uint64_t gib : {2ull, 4ull, 6ull, 8ull, 10ull, 12ull}) {
-    bench::Row("%-8llu %12.2f %12.2f", static_cast<unsigned long long>(gib),
-               SingleTotalSec(1, gib << 30, HypervisorKind::kXen),
-               SingleTotalSec(1, gib << 30, HypervisorKind::kKvm));
+    const double xen_s = SingleTotalSec(1, gib << 30, HypervisorKind::kXen);
+    const double tp_s = SingleTotalSec(1, gib << 30, HypervisorKind::kKvm);
+    bench::Row("%-8llu %12.2f %12.2f", static_cast<unsigned long long>(gib), xen_s, tp_s);
+    report.AddSample("memory_sweep_xen_s", xen_s);
+    report.AddSample("memory_sweep_tp_s", tp_s);
   }
 
   bench::Section("c) VM-count sweep (1 vCPU / 1 GB each), per-VM completion time in s");
   bench::Row("%-8s %-36s %-36s", "#VMs", "Xen->Xen (med [min,max])", "MigrationTP (med [min,max])");
   for (int vms : {2, 4, 6, 8, 10, 12}) {
-    SampleSet xen_samples, tp_samples;
+    SampleSet& xen_samples = report.Series("multivm_xen_s_" + std::to_string(vms) + "vms");
+    SampleSet& tp_samples = report.Series("multivm_tp_s_" + std::to_string(vms) + "vms");
     SimDuration xen_makespan = 0, tp_makespan = 0;
     for (const MigrationResult& r : MigrateFleet(vms, 1, 1ull << 30, HypervisorKind::kXen)) {
       xen_samples.Add(bench::Sec(r.total_time));
@@ -82,7 +90,13 @@ void Run() {
                tp_samples.Percentile(50), tp_samples.min(), tp_samples.max());
     bench::Row("         makespan: Xen %.1f s, MigrationTP %.1f s", bench::Sec(xen_makespan),
                bench::Sec(tp_makespan));
+    report.SetScalar("multivm_xen_makespan_s_" + std::to_string(vms) + "vms",
+                     bench::Sec(xen_makespan));
+    report.SetScalar("multivm_tp_makespan_s_" + std::to_string(vms) + "vms",
+                     bench::Sec(tp_makespan));
   }
+
+  report.WriteJsonArtifact();
 }
 
 }  // namespace

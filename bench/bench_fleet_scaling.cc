@@ -15,6 +15,7 @@ void Run() {
                 "10 s/host transplant, wave width hosts/10 (blast radius 10%), 20% latency "
                 "jitter, 5 s backoff doubling per retry, up to 5 retries, seed 2026.");
 
+  bench::BenchReport bench_report("fleet_scaling");
   bench::Row("%-8s %-9s %8s %8s %8s %8s %9s %9s %9s %9s", "hosts", "fail-rate", "waves",
              "retries", "stranded", "makespan", "wave-p50", "wave-p90", "wave-p99", "exp-h-d");
   for (int hosts : {100, 1000, 10000}) {
@@ -39,8 +40,19 @@ void Run() {
                  bench::Sec(report.makespan), waves.empty() ? 0.0 : waves.Percentile(50),
                  waves.empty() ? 0.0 : waves.Percentile(90),
                  waves.empty() ? 0.0 : waves.Percentile(99), report.exposed_host_days);
+
+      char tag[48];
+      std::snprintf(tag, sizeof(tag), "%dhosts_f%.2f", hosts, failure_rate);
+      SampleSet& wave_series = bench_report.Series(std::string("wave_latency_s_") + tag);
+      for (double sample : waves.samples()) {
+        wave_series.Add(sample);
+      }
+      bench_report.SetScalar(std::string("makespan_s_") + tag, bench::Sec(report.makespan));
+      bench_report.SetScalar(std::string("retries_") + tag, report.retries);
+      bench_report.SetScalar(std::string("exposed_host_days_") + tag, report.exposed_host_days);
     }
   }
+  bench_report.WriteJsonArtifact();
   bench::Row("(closed form for every row: 10 waves x 10 s = 100.0 s, zero stragglers — "
              "compare wave-p99)");
 }

@@ -77,6 +77,7 @@ void Run() {
       {InPlaceOptions::Fault::kLedgerTornWrite, "ledger_torn"},
   };
 
+  bench::BenchReport report("recovery");
   for (int vms : {1, 4, 8}) {
     bench::Section(("VM count = " + std::to_string(vms)).c_str());
     bench::Row("%-18s %-12s %10s %12s %8s", "fault point", "outcome", "downtime_s",
@@ -85,8 +86,17 @@ void Run() {
       const CellResult cell = RunCell(point.fault, vms);
       bench::Row("%-18s %-12s %10.2f %12.2f %8d", point.name, cell.outcome.c_str(),
                  cell.downtime_s, cell.rollback_s, cell.vms_salvaged);
+      const std::string tag = std::to_string(vms) + "vms";
+      report.AddSample("downtime_s_" + tag, cell.downtime_s);
+      if (cell.outcome == "rolled_back") {
+        report.AddSample("rollback_s_" + tag, cell.rollback_s);
+      }
+      if (point.fault == InPlaceOptions::Fault::kNone) {
+        report.SetScalar("baseline_downtime_s_" + tag, cell.downtime_s);
+      }
     }
   }
+  report.WriteJsonArtifact();
 
   bench::Section("reading the table");
   bench::Row("%s", "- aborted rows: fault before the point of no return; zero downtime "

@@ -1,16 +1,22 @@
-// Shared helpers for the benchmark binaries: aligned table printing and the
-// standard experiment banner. Each bench regenerates one of the paper's
-// tables/figures and prints the simulated values next to the paper's
-// reference numbers where the paper states them.
+// Shared helpers for the benchmark binaries: aligned table printing, the
+// standard experiment banner, and the BENCH_<name>.json artifact writer.
+// Each bench regenerates one of the paper's tables/figures, prints the
+// simulated values next to the paper's reference numbers where the paper
+// states them, and (for the converted benches) also emits a machine-readable
+// artifact so plots and regression dashboards never scrape the table text.
 
 #ifndef HYPERTP_BENCH_BENCH_UTIL_H_
 #define HYPERTP_BENCH_BENCH_UTIL_H_
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "src/base/json.h"
+#include "src/sim/stats.h"
 #include "src/sim/time.h"
 
 namespace hypertp {
@@ -35,6 +41,76 @@ inline void Row(const char* format, ...) {
 
 inline double Sec(SimDuration d) { return ToSeconds(d); }
 inline double Ms(SimDuration d) { return ToMillis(d); }
+
+// Directory for bench artifacts (BENCH_*.json, TRACE_*.json):
+// $HYPERTP_BENCH_DIR when set, else the current directory.
+inline std::string ArtifactDir() {
+  const char* dir = std::getenv("HYPERTP_BENCH_DIR");
+  return (dir != nullptr && dir[0] != '\0') ? dir : ".";
+}
+
+inline bool WriteArtifactFile(const std::string& filename, const std::string& contents) {
+  const std::string path = ArtifactDir() + "/" + filename;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(contents.data(), 1, contents.size(), f) == contents.size();
+  std::fclose(f);
+  if (ok) {
+    std::printf("\nartifact: %s\n", path.c_str());
+  }
+  return ok;
+}
+
+// Machine-readable result sink for one bench run: named sample series (each
+// summarized as count/mean/p50/p99/min/max/stddev) plus scalar facts, written
+// as BENCH_<name>.json. Keys serialize in sorted order, so reruns of a
+// deterministic bench produce byte-identical artifacts.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  // The mutable series named `series`, created empty on first use.
+  SampleSet& Series(const std::string& series) { return series_[series]; }
+  void AddSample(const std::string& series, double value) { series_[series].Add(value); }
+  void SetScalar(const std::string& key, double value) { scalars_[key] = value; }
+
+  std::string ToJson() const {
+    JsonWriter j;
+    j.BeginObject();
+    j.Key("kind").String("bench");
+    j.Key("name").String(name_);
+    j.Key("scalars").BeginObject();
+    for (const auto& [key, value] : scalars_) {
+      j.Key(key).Number(value);
+    }
+    j.EndObject();
+    j.Key("series").BeginObject();
+    for (const auto& [key, samples] : series_) {
+      j.Key(key).BeginObject();
+      j.Key("count").Number(static_cast<uint64_t>(samples.count()));
+      j.Key("mean").Number(samples.mean());
+      j.Key("p50").Number(samples.Percentile(50));
+      j.Key("p99").Number(samples.Percentile(99));
+      j.Key("min").Number(samples.min());
+      j.Key("max").Number(samples.max());
+      j.Key("stddev").Number(samples.stddev());
+      j.EndObject();
+    }
+    j.EndObject();
+    j.EndObject();
+    return j.Take();
+  }
+
+  bool WriteJsonArtifact() const { return WriteArtifactFile("BENCH_" + name_ + ".json", ToJson()); }
+
+ private:
+  std::string name_;
+  std::map<std::string, SampleSet> series_;
+  std::map<std::string, double> scalars_;
+};
 
 }  // namespace bench
 }  // namespace hypertp

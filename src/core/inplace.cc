@@ -7,6 +7,7 @@
 #include "src/base/logging.h"
 #include "src/core/factory.h"
 #include "src/kexec/kexec.h"
+#include "src/obs/trace.h"
 #include "src/pram/ledger.h"
 #include "src/pram/pram.h"
 #include "src/sim/executor.h"
@@ -72,7 +73,25 @@ struct VmSnapshot {
 struct RestoreOutcome {
   std::vector<VmId> vms;
   SimDuration makespan = 0;
+  // Per-VM restore costs, for the per-VM trace spans.
+  struct PerVm {
+    uint64_t uid = 0;
+    SimDuration cost = 0;
+  };
+  std::vector<PerVm> per_vm;
 };
+
+// One "restore:vm-<uid>" span per restored VM, all starting at `start` (the
+// restores run in parallel), as children of `parent` on per-VM tracks.
+void TraceRestores(Tracer* tracer, const RestoreOutcome& out, SimTime start, SpanId parent) {
+  if (tracer == nullptr) {
+    return;
+  }
+  for (const RestoreOutcome::PerVm& vm : out.per_vm) {
+    const std::string label = "vm-" + std::to_string(vm.uid);
+    tracer->AddSpan("restore:" + label, start, vm.cost, parent, label);
+  }
+}
 
 // Restores every `uisr:` PRAM file under `hv`. Shared by the forward path
 // (restore under the target) and the rollback path (salvage under the source
@@ -138,6 +157,7 @@ Result<RestoreOutcome> RestoreAllFromPram(Hypervisor& hv, Machine& machine, cons
       cost *= 2;  // xl/libxl domain creation is heavier than kvmtool's.
     }
     restore_costs.push_back(cost);
+    out.per_vm.push_back(RestoreOutcome::PerVm{uisr->vm_uid, cost});
   }
   out.makespan = ParallelMakespan(restore_costs, workers);
   return out;
@@ -159,8 +179,24 @@ Result<InPlaceResult> InPlaceTransplant::Run(std::unique_ptr<Hypervisor> source,
   TransplantReport report;
   report.source_hypervisor = std::string(source->name());
 
+  // Tracing: phase spans are laid out along one simulated timeline whose
+  // cursor advances by exactly the durations the report charges, so the span
+  // tree and the PhaseBreakdown agree to the nanosecond.
+  Tracer* const tracer = options.tracer;
+  SimTime cursor = options.trace_base;
+  SpanId root = 0;
+  if (tracer != nullptr) {
+    root = tracer->BeginSpan("inplace_transplant", cursor);
+    tracer->SetAttribute(root, "source", std::string_view(report.source_hypervisor));
+  }
+
   std::vector<VmId> paused;  // For the abort path.
   auto abort = [&](const Error& cause) -> Error {
+    if (tracer != nullptr) {
+      tracer->SetAttribute(root, "outcome", "aborted");
+      tracer->SetAttribute(root, "abort_cause", std::string_view(cause.ToString()));
+      tracer->EndSpan(root, cursor);
+    }
     for (VmId id : paused) {
       (void)source->ResumeVm(id);
     }
@@ -255,6 +291,10 @@ Result<InPlaceResult> InPlaceTransplant::Run(std::unique_ptr<Hypervisor> source,
   }
   report.vm_count = static_cast<int>(vms.size());
   report.phases.pram = ParallelMakespan(pram_costs, workers);
+  if (tracer != nullptr) {
+    tracer->AddSpan("phase:pram", cursor, report.phases.pram, root);
+  }
+  cursor += report.phases.pram;
 
   // ❷ Pause all guests.
   for (VmSnapshot& snap : vms) {
@@ -262,6 +302,9 @@ Result<InPlaceResult> InPlaceTransplant::Run(std::unique_ptr<Hypervisor> source,
       return abort(pause.error());
     }
     paused.push_back(snap.id);
+  }
+  if (tracer != nullptr) {
+    tracer->AddInstant("guests_paused", cursor);
   }
 
   // ❸ Translate VM_i States to UISR; park the blobs in RAM as PRAM files.
@@ -314,6 +357,11 @@ Result<InPlaceResult> InPlaceTransplant::Run(std::unique_ptr<Hypervisor> source,
                               Scale(costs.translate_per_gb, ToGiB(snap.info.memory_bytes)));
   }
   report.phases.translation = ParallelMakespan(translate_costs, workers);
+  if (tracer != nullptr) {
+    const SpanId span = tracer->AddSpan("phase:translation", cursor, report.phases.translation, root);
+    tracer->SetAttribute(span, "uisr_bytes", static_cast<int64_t>(report.uisr_total_bytes));
+  }
+  cursor += report.phases.translation;
 
   auto pram_handle = builder.Finalize();
   if (!pram_handle.ok()) {
@@ -367,14 +415,30 @@ Result<InPlaceResult> InPlaceTransplant::Run(std::unique_ptr<Hypervisor> source,
   // ❹ Micro-reboot into the target kernel. Point of no return.
   source->DetachForMicroReboot();
   source.reset();
+  SpanId reboot_span = 0;
+  if (tracer != nullptr) {
+    reboot_span = tracer->BeginSpan("phase:reboot", cursor, root);
+    kexec.SetTrace(tracer, cursor, reboot_span);
+  }
   auto boot = kexec.Reboot(FormatKexecCmdline(pram_handle->root_mfn, ledger.frame()));
   if (!boot.ok()) {
+    if (tracer != nullptr) {
+      tracer->SetAttribute(root, "outcome", "data_loss");
+      tracer->EndSpan(reboot_span, cursor);
+      tracer->EndSpan(root, cursor);
+    }
     return DataLossError("inplace: micro-reboot lost the guests: " + boot.error().ToString());
   }
   report.phases.reboot = boot->reboot_time;
   report.phases.pram_parse = boot->pram_parse_time;
   report.phases.network = boot->network_ready;
   report.frames_scrubbed = boot->frames_scrubbed;
+  if (tracer != nullptr) {
+    tracer->EndSpan(reboot_span, cursor + report.phases.reboot);
+    // NIC re-init starts at the kexec jump and overlaps the later phases.
+    tracer->AddSpan("nic_reinit", cursor, report.phases.network, root, "network");
+  }
+  cursor += report.phases.reboot;
 
   // ❺ + ❻ Construct the target hypervisor; restore and relink every VM.
   // A post-pause failure here no longer strands the host: the salvage path
@@ -397,13 +461,19 @@ Result<InPlaceResult> InPlaceTransplant::Run(std::unique_ptr<Hypervisor> source,
     if (!restored.ok()) {
       rollback_cause = restored.error();
     } else {
-      result.restored_vms = std::move(restored->vms);
       report.phases.restoration = restored->makespan;
       if (!options.early_restoration) {
         // Without the early-restoration optimization, restores wait for the
         // full service startup window instead of overlapping the late boot.
         report.phases.restoration += costs.boot_linux / 5;
       }
+      if (tracer != nullptr) {
+        const SpanId span =
+            tracer->AddSpan("phase:restoration", cursor, report.phases.restoration, root);
+        TraceRestores(tracer, *restored, cursor, span);
+      }
+      result.restored_vms = std::move(restored->vms);
+      cursor += report.phases.restoration;
     }
   }
 
@@ -413,6 +483,11 @@ Result<InPlaceResult> InPlaceTransplant::Run(std::unique_ptr<Hypervisor> source,
     // scrub) and the UISR image is hypervisor-neutral, so a second
     // micro-reboot into the source kind can restore every VM — if and only
     // if the ledger proves the image was fully committed.
+    SpanId rollback_span = 0;
+    if (tracer != nullptr) {
+      rollback_span = tracer->BeginSpan("phase:rollback", cursor, root);
+      tracer->SetAttribute(rollback_span, "cause", std::string_view(rollback_cause->ToString()));
+    }
     auto salvage = [&]() -> Result<void> {
       auto opened = TransplantLedger::Open(machine.memory(), boot->ledger_mfn);
       if (!opened.ok()) {
@@ -432,6 +507,9 @@ Result<InPlaceResult> InPlaceTransplant::Run(std::unique_ptr<Hypervisor> source,
         hv.reset();
       }
       HYPERTP_RETURN_IF_ERROR(kexec.LoadImage(KernelImage::For(salvage_kind)));
+      if (tracer != nullptr) {
+        kexec.SetTrace(tracer, cursor, rollback_span);
+      }
       HYPERTP_ASSIGN_OR_RETURN(
           KexecBootResult reborn,
           kexec.Reboot(FormatKexecCmdline(record.pram_root, opened->frame())));
@@ -445,6 +523,7 @@ Result<InPlaceResult> InPlaceTransplant::Run(std::unique_ptr<Hypervisor> source,
           RestoreOutcome out,
           RestoreAllFromPram(*hv, machine, reborn.pram, options, salvage_kind, workers,
                              &report.fixups, InPlaceOptions::Fault::kNone));
+      TraceRestores(tracer, out, cursor + reborn.reboot_time, rollback_span);
       result.restored_vms = std::move(out.vms);
       report.phases.rollback += out.makespan;
       record.phase = TransplantPhase::kRolledBack;
@@ -452,9 +531,18 @@ Result<InPlaceResult> InPlaceTransplant::Run(std::unique_ptr<Hypervisor> source,
       return OkResult();
     };
     if (auto salvaged = salvage(); !salvaged.ok()) {
+      if (tracer != nullptr) {
+        tracer->SetAttribute(root, "outcome", "data_loss");
+        tracer->EndSpan(rollback_span, cursor);
+        tracer->EndSpan(root, cursor);
+      }
       return DataLossError("inplace: post-pause fault (" + rollback_cause->ToString() +
                            ") and rollback failed: " + salvaged.error().ToString());
     }
+    if (tracer != nullptr) {
+      tracer->EndSpan(rollback_span, cursor + report.phases.rollback);
+    }
+    cursor += report.phases.rollback;
     report.outcome = TransplantOutcome::kRolledBack;
     report.notes.push_back("post-pause fault; salvaged all " +
                            std::to_string(result.restored_vms.size()) +
@@ -478,6 +566,10 @@ Result<InPlaceResult> InPlaceTransplant::Run(std::unique_ptr<Hypervisor> source,
     }
   }
   report.phases.resume = Millis(2) * report.vm_count;
+  if (tracer != nullptr) {
+    tracer->AddSpan("phase:resume", cursor, report.phases.resume, root);
+  }
+  cursor += report.phases.resume;
 
   // Cleanup: the PRAM metadata and parked UISR blobs are ephemeral.
   for (const FrameExtent& ext : machine.memory().ExtentsOfKind(FrameOwnerKind::kPramMeta)) {
@@ -487,6 +579,11 @@ Result<InPlaceResult> InPlaceTransplant::Run(std::unique_ptr<Hypervisor> source,
     (void)machine.memory().Free(ext.base, ext.count);
   }
   report.phases.cleanup = Millis(20);
+  if (tracer != nullptr) {
+    // Cleanup runs after the guests resumed; it is charged to neither
+    // downtime nor total_time, so it sits beside the root span, not inside.
+    tracer->AddSpan("phase:cleanup", cursor, report.phases.cleanup);
+  }
 
   // Verification: guest memory must be byte-identical AND in place.
   if (options.verify_guest_memory) {
@@ -530,6 +627,14 @@ Result<InPlaceResult> InPlaceTransplant::Run(std::unique_ptr<Hypervisor> source,
   // NIC re-init starts at the kexec jump and overlaps the remaining phases.
   report.network_downtime =
       std::max(report.downtime, report.phases.translation + report.phases.network);
+
+  if (tracer != nullptr) {
+    tracer->SetAttribute(root, "target", std::string_view(report.target_hypervisor));
+    tracer->SetAttribute(root, "vm_count", static_cast<int64_t>(report.vm_count));
+    tracer->SetAttribute(root, "outcome", TransplantOutcomeName(report.outcome));
+    tracer->SetAttribute(root, "downtime_ms", ToMillis(report.downtime));
+    tracer->EndSpan(root, options.trace_base + report.total_time);
+  }
 
   HYPERTP_LOG(kInfo, "inplace") << report.ToString();
   result.report = std::move(report);

@@ -12,9 +12,18 @@
 
 namespace hypertp {
 
+class Tracer;
+
 // Options controlling the InPlaceTP optimizations of paper §4.2.5. The
 // defaults are the paper's configuration; the ablation benches flip them.
 struct InPlaceOptions {
+  // Observability: when non-null, the run records one span per phase (and
+  // per VM restore, per kexec stage) starting at `trace_base` on the
+  // tracer's simulated timeline. Null (the default) records nothing and
+  // changes no behavior or reported duration.
+  Tracer* tracer = nullptr;
+  SimTime trace_base = 0;
+
   // "Preparation work without pausing the guest": build PRAM before pause.
   bool prepare_before_pause = true;
   // "Parallelization": one worker per free core for PRAM + translation.

@@ -79,6 +79,7 @@ FleetController::FleetController(SimExecutor& executor, FleetConfig config)
 
   hosts_.reserve(static_cast<size_t>(config_.hosts));
   host_rngs_.reserve(static_cast<size_t>(config_.hosts));
+  host_spans_.resize(static_cast<size_t>(config_.hosts), 0);
   Rng root(config_.seed);
   for (int i = 0; i < config_.hosts; ++i) {
     FleetHost host;
@@ -104,10 +105,32 @@ std::function<void()> FleetController::Guarded(void (FleetController::*method)(i
   };
 }
 
+SpanId FleetController::RollHostSpan(int host, std::string_view next_name) {
+  Tracer* const tracer = config_.tracer;
+  if (tracer == nullptr) {
+    return 0;
+  }
+  SpanId& slot = host_spans_[static_cast<size_t>(host)];
+  tracer->EndSpan(slot, executor_.now());
+  if (next_name.empty()) {
+    slot = 0;
+    return 0;
+  }
+  slot = tracer->BeginSpan(next_name, executor_.now(), rollout_span_,
+                           "host-" + std::to_string(host));
+  return slot;
+}
+
 const FleetRolloutReport& FleetController::Run() {
   base_ = executor_.now();
   last_exposure_change_ = base_;
   exposed_ = config_.hosts;
+  if (config_.tracer != nullptr) {
+    rollout_span_ = config_.tracer->BeginSpan("fleet_rollout", base_);
+    config_.tracer->SetAttribute(rollout_span_, "hosts", static_cast<int64_t>(config_.hosts));
+    config_.tracer->SetAttribute(rollout_span_, "parallel_hosts",
+                                 static_cast<int64_t>(config_.parallel_hosts));
+  }
   Emit(FleetEventType::kRolloutStart, -1);
   trace_.RecordExposure(base_, exposed_);
   if (config_.hosts == 0) {
@@ -158,6 +181,12 @@ void FleetController::StartNextWave() {
   ++report_.waves;
   wave_started_ = executor_.now();
   wave_in_flight_ = static_cast<int>(wave_hosts.size());
+  if (config_.tracer != nullptr) {
+    wave_span_ = config_.tracer->BeginSpan("wave-" + std::to_string(wave_), executor_.now(),
+                                           rollout_span_, "waves");
+    config_.tracer->SetAttribute(wave_span_, "hosts_in_wave",
+                                 static_cast<int64_t>(wave_hosts.size()));
+  }
   Emit(FleetEventType::kWaveStart, -1);
   for (int host : wave_hosts) {
     StartDrain(host);
@@ -168,6 +197,7 @@ void FleetController::StartDrain(int host) {
   FleetHost& h = hosts_[static_cast<size_t>(host)];
   h.state = FleetHostState::kDraining;
   h.drain_started = executor_.now();
+  RollHostSpan(host, "drain");
   Emit(FleetEventType::kDrainStart, host);
   executor_.ScheduleAfter(Jittered(config_.drain_time, host_rngs_[static_cast<size_t>(host)]),
                           Guarded(&FleetController::StartTransplant, host));
@@ -178,6 +208,9 @@ void FleetController::StartTransplant(int host) {
   h.state = FleetHostState::kTransplanting;
   h.transplant_started = executor_.now();
   ++h.attempts;
+  if (const SpanId span = RollHostSpan(host, "transplant"); span != 0) {
+    config_.tracer->SetAttribute(span, "attempt", static_cast<int64_t>(h.attempts));
+  }
   Emit(FleetEventType::kTransplantStart, host, h.attempts);
   executor_.ScheduleAfter(
       Jittered(config_.per_host_transplant, host_rngs_[static_cast<size_t>(host)]),
@@ -191,6 +224,10 @@ void FleetController::FinishAttempt(int host) {
     h.upgraded = true;
     h.finished = executor_.now();
     ++report_.upgraded;
+    if (config_.tracer != nullptr) {
+      config_.tracer->SetAttribute(host_spans_[static_cast<size_t>(host)], "outcome", "upgraded");
+    }
+    RollHostSpan(host, {});
     Emit(FleetEventType::kTransplantDone, host, h.attempts);
     AccrueExposure();
     --exposed_;
@@ -198,6 +235,10 @@ void FleetController::FinishAttempt(int host) {
     HostDone(host);
     return;
   }
+  if (config_.tracer != nullptr) {
+    config_.tracer->SetAttribute(host_spans_[static_cast<size_t>(host)], "outcome", "failed");
+  }
+  RollHostSpan(host, {});
   Emit(FleetEventType::kTransplantFailed, host, h.attempts);
   // Some failures strike after the point of no return (the micro-reboot
   // already happened): the host is stranded mid-transplant and must roll
@@ -207,6 +248,7 @@ void FleetController::FinishAttempt(int host) {
       host_rngs_[static_cast<size_t>(host)].NextBool(config_.post_pause_fraction)) {
     ++report_.post_pause_faults;
     h.state = FleetHostState::kRollingBack;
+    RollHostSpan(host, "rollback");
     Emit(FleetEventType::kRollbackStart, host, h.attempts);
     executor_.ScheduleAfter(
         Jittered(config_.rollback_time, host_rngs_[static_cast<size_t>(host)]),
@@ -223,6 +265,10 @@ void FleetController::FinishRollback(int host) {
     // Fatal: the ledger was torn or the PRAM image corrupt — there is no
     // hypervisor to serve from, so retrying is meaningless.
     ++report_.rollback_failures;
+    if (config_.tracer != nullptr) {
+      config_.tracer->SetAttribute(host_spans_[static_cast<size_t>(host)], "outcome", "lost");
+    }
+    RollHostSpan(host, {});
     Emit(FleetEventType::kRollbackFailed, host, h.attempts);
     h.state = FleetHostState::kFailed;
     h.finished = executor_.now();
@@ -234,6 +280,10 @@ void FleetController::FinishRollback(int host) {
   // Recoverable: the host serves un-upgraded on the source hypervisor again
   // (still exposed — no exposure change) and the normal retry policy applies.
   ++report_.rollbacks;
+  if (config_.tracer != nullptr) {
+    config_.tracer->SetAttribute(host_spans_[static_cast<size_t>(host)], "outcome", "recovered");
+  }
+  RollHostSpan(host, {});
   Emit(FleetEventType::kRollbackSucceeded, host, h.attempts);
   h.state = FleetHostState::kServing;
   ScheduleRetryOrFail(host);
@@ -264,6 +314,10 @@ void FleetController::HostDone(int host) {
     return;
   }
   if (--wave_in_flight_ == 0) {
+    if (config_.tracer != nullptr) {
+      config_.tracer->EndSpan(wave_span_, executor_.now());
+      wave_span_ = 0;
+    }
     Emit(FleetEventType::kWaveDone, -1);
     report_.wave_latency_seconds.Add(ToSeconds(executor_.now() - wave_started_));
     StartNextWave();
@@ -284,6 +338,21 @@ void FleetController::Finalize(FleetEventType terminal) {
   report_.complete = report_.upgraded == report_.hosts;
   report_.makespan = executor_.now() - base_;
   report_.exposed_host_days = exposed_host_seconds_ / (24.0 * 3600.0);
+  if (config_.tracer != nullptr) {
+    // An abort leaves in-flight hosts mid-state: close their spans where the
+    // rollout stopped so every track ends at the terminal event.
+    for (int i = 0; i < config_.hosts; ++i) {
+      RollHostSpan(i, {});
+    }
+    config_.tracer->EndSpan(wave_span_, executor_.now());
+    wave_span_ = 0;
+    config_.tracer->SetAttribute(rollout_span_, "upgraded",
+                                 static_cast<int64_t>(report_.upgraded));
+    config_.tracer->SetAttribute(rollout_span_, "failed", static_cast<int64_t>(report_.failed));
+    config_.tracer->SetAttribute(rollout_span_, "outcome",
+                                 report_.aborted ? "aborted" : "complete");
+    config_.tracer->EndSpan(rollout_span_, executor_.now());
+  }
   Emit(terminal, -1);
   if (report_.aborted) {
     // Graceful stop: events already in flight dispatch as guarded no-ops on

@@ -22,6 +22,7 @@
 
 #include "src/fleet/fleet_trace.h"
 #include "src/fleet/fleet_types.h"
+#include "src/obs/trace.h"
 #include "src/sim/executor.h"
 #include "src/sim/rng.h"
 #include "src/sim/stats.h"
@@ -105,6 +106,10 @@ class FleetController {
   // after an abort (or controller destruction) dispatch as no-ops.
   std::function<void()> Guarded(void (FleetController::*method)(int), int host);
 
+  // Closes host `id`'s open span (if any) and optionally opens the next one,
+  // so each host's track is a gap-free sequence of state spans.
+  SpanId RollHostSpan(int host, std::string_view next_name);
+
   SimExecutor& executor_;
   FleetConfig config_;
   std::vector<FleetHost> hosts_;
@@ -112,6 +117,10 @@ class FleetController {
   FleetTrace trace_;
   FleetRolloutReport report_;
   std::shared_ptr<bool> alive_;
+  // Span bookkeeping (all 0 when config_.tracer is null).
+  SpanId rollout_span_ = 0;
+  SpanId wave_span_ = 0;
+  std::vector<SpanId> host_spans_;  // The one open span per host.
 
   std::deque<int> pending_;
   int wave_ = -1;

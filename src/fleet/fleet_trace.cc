@@ -84,8 +84,11 @@ void FleetTrace::RecordExposure(SimTime time, int exposed_hosts) {
 std::vector<FleetEvent> FleetTrace::Events() const {
   std::vector<FleetEvent> out;
   out.reserve(ring_.size());
+  // head_ advances modulo capacity_, so unwrapping must use the same
+  // modulus. Using ring_.size() here only coincided while the ring was
+  // partially filled (head_ == 0) or exactly full.
   for (size_t i = 0; i < ring_.size(); ++i) {
-    out.push_back(ring_[(head_ + i) % ring_.size()]);
+    out.push_back(ring_[(head_ + i) % capacity_]);
   }
   return out;
 }

@@ -18,6 +18,8 @@
 
 namespace hypertp {
 
+class Tracer;
+
 // Host lifecycle: kServing -> kDraining -> kTransplanting -> kServing
 // (upgraded) | kFailed. A failed transplant retries from kTransplanting;
 // only exhausting the retry budget parks the host in kFailed. A post-pause
@@ -121,6 +123,13 @@ struct FleetConfig {
 
   uint64_t seed = 1;
   size_t trace_capacity = 65536;  // Ring buffer: oldest events drop first.
+
+  // Observability: when non-null, every host state transition opens/closes a
+  // span on that host's track (an upgrade wave renders as one swimlane per
+  // host in Perfetto), waves and the rollout get spans of their own, and
+  // timestamps come from the driving executor. Null records nothing; the
+  // FleetTrace ring above is unaffected either way.
+  Tracer* tracer = nullptr;
 };
 
 }  // namespace hypertp

@@ -163,6 +163,22 @@ Result<KexecBootResult> KexecController::Reboot(const std::string& cmdline) {
                               << result.frames_scrubbed << " frames, preserved "
                               << result.pram.files.size() << " PRAM files";
 
+  if (tracer_ != nullptr) {
+    SimTime t = trace_base_;
+    const SpanId jump =
+        tracer_->AddSpan("kexec:jump", t, costs.kexec_jump, trace_parent_, "kexec");
+    tracer_->SetAttribute(jump, "kernel", std::string_view(image.name));
+    tracer_->SetAttribute(jump, "frames_scrubbed",
+                          static_cast<int64_t>(result.frames_scrubbed));
+    t += costs.kexec_jump;
+    tracer_->AddSpan("kexec:kernel_boot", t, kernel_boot, trace_parent_, "kexec");
+    t += kernel_boot;
+    const SpanId parse =
+        tracer_->AddSpan("kexec:pram_parse", t, result.pram_parse_time, trace_parent_, "kexec");
+    tracer_->SetAttribute(parse, "pram_files", static_cast<int64_t>(result.pram.files.size()));
+    tracer_->SetAttribute(parse, "ok", pram_ok);
+  }
+
   if (!pram_ok) {
     return DataLossError("kexec: PRAM handoff failed (" + pram_error +
                          "); all guest memory was scrubbed");

@@ -16,6 +16,7 @@
 #include "src/base/result.h"
 #include "src/hv/hypervisor.h"
 #include "src/hw/machine.h"
+#include "src/obs/trace.h"
 #include "src/pram/pram.h"
 #include "src/sim/time.h"
 
@@ -65,6 +66,17 @@ class KexecController {
  public:
   explicit KexecController(Machine& machine) : machine_(&machine) {}
 
+  // Observability: a successful Reboot() records "kexec:jump",
+  // "kexec:kernel_boot" and "kexec:pram_parse" spans laid out back-to-back
+  // from `base` (their durations sum to KexecBootResult::reboot_time), all
+  // children of `parent`. Null tracer (the default) records nothing. The
+  // caller re-arms before each Reboot; the reference is not retained past it.
+  void SetTrace(Tracer* tracer, SimTime base, SpanId parent = 0) {
+    tracer_ = tracer;
+    trace_base_ = base;
+    trace_parent_ = parent;
+  }
+
   // Stages `image` into RAM (owner kKernelImage). Runs while VMs execute;
   // costs no downtime. Staging twice replaces the previous image.
   Result<void> LoadImage(const KernelImage& image);
@@ -87,6 +99,9 @@ class KexecController {
   std::optional<KernelImage> staged_;
   Mfn staged_base_ = 0;
   uint64_t staged_frames_ = 0;
+  Tracer* tracer_ = nullptr;
+  SimTime trace_base_ = 0;
+  SpanId trace_parent_ = 0;
 };
 
 }  // namespace hypertp

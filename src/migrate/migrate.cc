@@ -1,8 +1,10 @@
 #include "src/migrate/migrate.h"
 
 #include <algorithm>
+#include <string>
 
 #include "src/base/logging.h"
+#include "src/obs/trace.h"
 #include "src/uisr/codec.h"
 
 namespace hypertp {
@@ -296,6 +298,13 @@ Result<MigrationBatchResult> MigrationEngine::MigrateMany(Hypervisor& src,
     };
 
     auto attempted = attempt();
+    if (!attempted.ok() && config.tracer != nullptr) {
+      const SpanId marker =
+          config.tracer->AddInstant("migrate_aborted:vm-" + std::to_string(f.info.uid),
+                                    config.trace_base + start_final,
+                                    "vm-" + std::to_string(f.info.uid));
+      config.tracer->SetAttribute(marker, "error", std::string_view(attempted.error().ToString()));
+    }
     if (!attempted.ok()) {
       // Per-VM abort, still before the point of no return: destroy whatever
       // the destination built, re-enable dirty logging (so a retried
@@ -349,6 +358,38 @@ Result<MigrationBatchResult> MigrationEngine::MigrateMany(Hypervisor& src,
     }
     f.result.dest_vm_id = dst_id;
     *slot = start_final + final_copy + restore;
+
+    if (config.tracer != nullptr) {
+      // Span tree on this VM's track: rounds back-to-back from the batch
+      // start, then queue wait, stop-and-copy (the downtime) and restore.
+      Tracer& tr = *config.tracer;
+      const std::string track = "vm-" + std::to_string(f.info.uid);
+      const SimTime base = config.trace_base;
+      const SpanId vm_span =
+          tr.AddSpan("migrate:" + track, base, f.result.total_time, 0, track);
+      tr.SetAttribute(vm_span, "uid", static_cast<int64_t>(f.info.uid));
+      tr.SetAttribute(vm_span, "rounds", static_cast<int64_t>(f.result.rounds));
+      tr.SetAttribute(vm_span, "converged", f.result.converged);
+      tr.SetAttribute(vm_span, "bytes_transferred",
+                      static_cast<int64_t>(f.result.bytes_transferred));
+      tr.SetAttribute(vm_span, "downtime_ms", ToMillis(f.result.downtime));
+      SimTime t = base;
+      for (size_t r = 0; r < f.result.round_log.size(); ++r) {
+        const SpanId round = tr.AddSpan("precopy:round-" + std::to_string(r), t,
+                                        f.result.round_log[r].duration, vm_span, track);
+        tr.SetAttribute(round, "pages", static_cast<int64_t>(f.result.round_log[r].pages));
+        t += f.result.round_log[r].duration;
+      }
+      if (f.result.queue_wait > 0) {
+        tr.AddSpan("queue_wait", base + precopy_end, f.result.queue_wait, vm_span, track);
+      }
+      tr.AddSpan("stop_and_copy", base + start_final, final_copy, vm_span, track);
+      tr.AddSpan("restore", base + start_final + final_copy, restore, vm_span, track);
+      if (postcopy) {
+        tr.AddSpan("postcopy_fault_window", base + start_final + final_copy + restore,
+                   f.result.postcopy_fault_window, vm_span, track);
+      }
+    }
 
     HYPERTP_LOG(kInfo, "migrate") << "vm uid " << f.info.uid << ": "
                                   << FormatDuration(f.result.total_time) << " total, "

@@ -26,6 +26,8 @@
 
 namespace hypertp {
 
+class Tracer;
+
 // A point-to-point network path between two hosts.
 struct NetworkLink {
   double gbps = 1.0;
@@ -80,6 +82,11 @@ struct MigrationConfig {
   // `inject_fault_at_vm` of the batch's `src_ids`.
   MigrationFault inject_fault = MigrationFault::kNone;
   int inject_fault_at_vm = 0;
+  // Observability: when non-null, each VM of the batch records a span tree
+  // (pre-copy rounds, queue wait, stop-and-copy, restore) on its own track,
+  // starting at `trace_base`. Null (the default) records nothing.
+  Tracer* tracer = nullptr;
+  SimTime trace_base = 0;
 };
 
 struct MigrationRound {

@@ -1,0 +1,127 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/json.h"
+
+namespace hypertp {
+
+void Histogram::Observe(double x) {
+  if (!std::isfinite(x)) {
+    return;  // NaN/Inf would poison sum and fit no bucket.
+  }
+  x = std::max(x, 0.0);
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  int bucket = 0;
+  if (x > 1.0) {
+    // Smallest i with x <= 2^i; ilogb is exact for powers of two.
+    bucket = std::ilogb(x);
+    if (std::ldexp(1.0, bucket) < x) {
+      ++bucket;
+    }
+    bucket = std::min(bucket, kBuckets - 1);
+  }
+  ++buckets_[bucket];
+}
+
+double Histogram::BucketBound(int i) { return std::ldexp(1.0, i); }
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    const uint64_t next = seen + buckets_[i];
+    if (static_cast<double>(next) >= target) {
+      // Interpolate within the bucket [lower, upper].
+      const double lower = i == 0 ? 0.0 : BucketBound(i - 1);
+      const double upper = BucketBound(i);
+      const double within =
+          (target - static_cast<double>(seen)) / static_cast<double>(buckets_[i]);
+      return std::clamp(lower + (upper - lower) * within, min(), max());
+    }
+    seen = next;
+  }
+  return max();
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
+  }
+  return *it->second;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  JsonWriter j;
+  j.BeginObject();
+  j.Key("kind").String("metrics");
+  j.Key("counters").BeginObject();
+  for (const auto& [name, counter] : counters_) {
+    j.Key(name).Number(counter->value());
+  }
+  j.EndObject();
+  j.Key("gauges").BeginObject();
+  for (const auto& [name, gauge] : gauges_) {
+    j.Key(name).Number(gauge->value());
+  }
+  j.EndObject();
+  j.Key("histograms").BeginObject();
+  for (const auto& [name, histogram] : histograms_) {
+    j.Key(name).BeginObject();
+    j.Key("count").Number(histogram->count());
+    j.Key("sum").Number(histogram->sum());
+    j.Key("min").Number(histogram->min());
+    j.Key("max").Number(histogram->max());
+    j.Key("p50").Number(histogram->Quantile(0.5));
+    j.Key("p99").Number(histogram->Quantile(0.99));
+    j.Key("buckets").BeginArray();
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      if (histogram->bucket(i) == 0) {
+        continue;
+      }
+      j.BeginArray();
+      j.Number(Histogram::BucketBound(i));
+      j.Number(histogram->bucket(i));
+      j.EndArray();
+    }
+    j.EndArray();
+    j.EndObject();
+  }
+  j.EndObject();
+  j.EndObject();
+  return j.Take();
+}
+
+}  // namespace hypertp

@@ -1,0 +1,90 @@
+// Metrics registry: named counters, gauges and log-bucketed histograms,
+// exported as one compact JSON document through JsonWriter.
+//
+// Instruments are owned by the registry and handed out as stable references;
+// producers cache the reference once and pay an increment per event, never a
+// map lookup. Like the Tracer, the registry is borrowed through options
+// structs and null by default — an uninstrumented run touches none of this.
+
+#ifndef HYPERTP_SRC_OBS_METRICS_H_
+#define HYPERTP_SRC_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace hypertp {
+
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Histogram over non-negative values with fixed log-scale (power-of-two)
+// buckets: bucket i counts observations x with 2^(i-1) < x <= 2^i (bucket 0
+// takes everything <= 1). The bucket layout is identical for every
+// histogram, so exported documents from different runs line up bucket-for-
+// bucket — the property a regression baseline needs.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;  // Upper bounds 2^0 .. 2^63.
+
+  void Observe(double x);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  uint64_t bucket(int i) const { return buckets_[i]; }
+  // Inclusive upper bound of bucket i (2^i).
+  static double BucketBound(int i);
+  // Linear-interpolated quantile estimate from the bucket counts, q in [0,1].
+  double Quantile(double q) const;
+
+ private:
+  uint64_t buckets_[kBuckets] = {};
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  // Create-or-get by name. References stay valid for the registry's lifetime.
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  // {"kind":"metrics","counters":{...},"gauges":{...},"histograms":{...}}.
+  // Deterministic: names sort lexicographically, only occupied buckets are
+  // emitted (as [upper_bound, count] pairs).
+  std::string ToJson() const;
+
+ private:
+  // Instruments live behind unique_ptr so handed-out references survive
+  // rehashing of the maps.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace hypertp
+
+#endif  // HYPERTP_SRC_OBS_METRICS_H_

@@ -1,0 +1,223 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/base/json.h"
+
+namespace hypertp {
+
+SpanId Tracer::AddSpan(std::string_view name, SimTime start, SimDuration duration, SpanId parent,
+                       std::string_view track) {
+  SpanId id = BeginSpan(name, start, parent, track);
+  EndSpan(id, start + std::max<SimDuration>(duration, 0));
+  return id;
+}
+
+SpanId Tracer::BeginSpan(std::string_view name, SimTime start, SpanId parent,
+                        std::string_view track) {
+  Span span;
+  span.id = next_id_++;
+  span.parent = parent;
+  span.name = std::string(name);
+  span.track = std::string(track);
+  span.start = start;
+  span.end = start;
+  span.open = true;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void Tracer::EndSpan(SpanId id, SimTime end) {
+  Span* span = Find(id);
+  if (span == nullptr || !span->open) {
+    return;
+  }
+  span->open = false;
+  span->end = std::max(end, span->start);
+}
+
+SpanId Tracer::AddInstant(std::string_view name, SimTime at, std::string_view track) {
+  SpanId id = AddSpan(name, at, 0, 0, track);
+  spans_.back().instant = true;
+  return id;
+}
+
+void Tracer::SetAttribute(SpanId id, std::string_view key, std::string_view value) {
+  if (Span* span = Find(id)) {
+    span->attributes.push_back(SpanAttribute{std::string(key), SpanAttribute::Kind::kString,
+                                             std::string(value), 0.0, 0, false});
+  }
+}
+
+void Tracer::SetAttribute(SpanId id, std::string_view key, double value) {
+  if (Span* span = Find(id)) {
+    span->attributes.push_back(
+        SpanAttribute{std::string(key), SpanAttribute::Kind::kDouble, "", value, 0, false});
+  }
+}
+
+void Tracer::SetAttribute(SpanId id, std::string_view key, int64_t value) {
+  if (Span* span = Find(id)) {
+    span->attributes.push_back(
+        SpanAttribute{std::string(key), SpanAttribute::Kind::kInt, "", 0.0, value, false});
+  }
+}
+
+void Tracer::SetAttribute(SpanId id, std::string_view key, bool value) {
+  if (Span* span = Find(id)) {
+    span->attributes.push_back(
+        SpanAttribute{std::string(key), SpanAttribute::Kind::kBool, "", 0.0, 0, value});
+  }
+}
+
+Span* Tracer::Find(SpanId id) {
+  if (id == 0) {
+    return nullptr;
+  }
+  // Ids are issued densely from 1 and spans are never removed, so the id
+  // doubles as an index.
+  const size_t index = static_cast<size_t>(id - 1);
+  return index < spans_.size() ? &spans_[index] : nullptr;
+}
+
+size_t Tracer::open_span_count() const {
+  size_t n = 0;
+  for (const Span& span : spans_) {
+    n += span.open ? 1 : 0;
+  }
+  return n;
+}
+
+const Span* Tracer::FindSpan(std::string_view name) const {
+  for (const Span& span : spans_) {
+    if (span.name == name) {
+      return &span;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const Span*> Tracer::SpansNamed(std::string_view name) const {
+  std::vector<const Span*> out;
+  for (const Span& span : spans_) {
+    if (span.name == name) {
+      out.push_back(&span);
+    }
+  }
+  return out;
+}
+
+std::vector<const Span*> Tracer::ChildrenOf(SpanId parent) const {
+  std::vector<const Span*> out;
+  for (const Span& span : spans_) {
+    if (span.parent == parent && span.id != parent) {
+      out.push_back(&span);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void WriteAttributes(JsonWriter& j, const Span& span) {
+  j.Key("args").BeginObject();
+  if (span.parent != 0) {
+    j.Key("parent").Number(static_cast<uint64_t>(span.parent));
+  }
+  for (const SpanAttribute& attr : span.attributes) {
+    j.Key(attr.key);
+    switch (attr.kind) {
+      case SpanAttribute::Kind::kString:
+        j.String(attr.string_value);
+        break;
+      case SpanAttribute::Kind::kDouble:
+        j.Number(attr.double_value);
+        break;
+      case SpanAttribute::Kind::kInt:
+        j.Number(attr.int_value);
+        break;
+      case SpanAttribute::Kind::kBool:
+        j.Bool(attr.bool_value);
+        break;
+    }
+  }
+  j.EndObject();
+}
+
+double ToTraceMicros(SimTime t) { return static_cast<double>(t) / 1e3; }
+
+}  // namespace
+
+std::string Tracer::ToChromeTraceJson() const {
+  // Assign one tid per track in first-use order; the default track is tid 0.
+  std::map<std::string, int> tids;
+  tids[""] = 0;
+  for (const Span& span : spans_) {
+    tids.emplace(span.track, static_cast<int>(tids.size()));
+  }
+
+  JsonWriter j;
+  j.BeginObject();
+  j.Key("displayTimeUnit").String("ms");
+  j.Key("traceEvents").BeginArray();
+  for (const auto& [track, tid] : tids) {
+    j.BeginObject();
+    j.Key("ph").String("M");
+    j.Key("name").String("thread_name");
+    j.Key("pid").Number(int64_t{0});
+    j.Key("tid").Number(static_cast<int64_t>(tid));
+    j.Key("args").BeginObject();
+    j.Key("name").String(track.empty() ? "transplant" : track);
+    j.EndObject();
+    j.EndObject();
+  }
+  for (const Span& span : spans_) {
+    j.BeginObject();
+    j.Key("ph").String(span.instant ? "i" : "X");
+    j.Key("name").String(span.name);
+    j.Key("pid").Number(int64_t{0});
+    j.Key("tid").Number(static_cast<int64_t>(tids.at(span.track)));
+    j.Key("ts").Number(ToTraceMicros(span.start));
+    if (!span.instant) {
+      // Open spans (abort paths) export zero-width rather than vanish.
+      j.Key("dur").Number(ToTraceMicros(span.end - span.start));
+    } else {
+      j.Key("s").String("t");  // Instant scope: thread.
+    }
+    WriteAttributes(j, span);
+    j.EndObject();
+  }
+  j.EndArray();
+  j.EndObject();
+  return j.Take();
+}
+
+std::string Tracer::ToStatsJson() const {
+  struct NameStats {
+    uint64_t count = 0;
+    SimDuration total = 0;
+  };
+  std::map<std::string, NameStats> by_name;
+  for (const Span& span : spans_) {
+    NameStats& stats = by_name[span.name];
+    ++stats.count;
+    stats.total += span.duration();
+  }
+  JsonWriter j;
+  j.BeginObject();
+  j.Key("kind").String("span_stats");
+  j.Key("spans").Number(static_cast<uint64_t>(spans_.size()));
+  j.Key("by_name").BeginObject();
+  for (const auto& [name, stats] : by_name) {
+    j.Key(name).BeginObject();
+    j.Key("count").Number(stats.count);
+    j.Key("total_ms").Number(ToMillis(stats.total));
+    j.EndObject();
+  }
+  j.EndObject();
+  j.EndObject();
+  return j.Take();
+}
+
+}  // namespace hypertp

@@ -1,0 +1,109 @@
+// Span-based tracer for the transplant stack.
+//
+// A Span is a named interval of *simulated* time with an optional parent and
+// key-value attributes. Producers (InPlaceTransplant, MigrationEngine,
+// KexecController, FleetController, the operational scenario) attach spans to
+// a Tracer borrowed through their options structs; a null tracer (the
+// default everywhere) records nothing and costs one pointer compare per
+// call site, so instrumented and uninstrumented runs are byte-identical.
+//
+// Spans carry a `track` name (a swimlane: "vm-7", "host-12", "network").
+// Export targets:
+//  - ToChromeTraceJson(): Chrome trace-event JSON ("X"/"i" phases, one tid
+//    per track) loadable in about:tracing or https://ui.perfetto.dev;
+//  - ToStatsJson(): compact per-name duration summary via JsonWriter.
+
+#ifndef HYPERTP_SRC_OBS_TRACE_H_
+#define HYPERTP_SRC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace hypertp {
+
+// Identifies a span within one Tracer; 0 means "no span" (used for both
+// "no parent" and "tracing disabled", so call sites never branch on it).
+using SpanId = uint64_t;
+
+struct SpanAttribute {
+  enum class Kind : uint8_t { kString, kDouble, kInt, kBool };
+  std::string key;
+  Kind kind = Kind::kString;
+  std::string string_value;
+  double double_value = 0.0;
+  int64_t int_value = 0;
+  bool bool_value = false;
+};
+
+struct Span {
+  SpanId id = 0;
+  SpanId parent = 0;  // 0 = root.
+  std::string name;
+  std::string track;  // Swimlane; "" = the main transplant timeline.
+  SimTime start = 0;
+  SimTime end = 0;       // == start while the span is still open.
+  bool open = false;     // BeginSpan'd but not yet EndSpan'd.
+  bool instant = false;  // Zero-width marker event.
+  std::vector<SpanAttribute> attributes;
+
+  SimDuration duration() const { return end - start; }
+};
+
+class Tracer {
+ public:
+  Tracer() = default;
+
+  // Records a complete span in one call — the common case for producers
+  // that compute phase durations rather than observe them.
+  SpanId AddSpan(std::string_view name, SimTime start, SimDuration duration, SpanId parent = 0,
+                 std::string_view track = {});
+
+  // Open/close pair for event-driven producers (the fleet controller closes
+  // a host's span from a later executor event). Ending an unknown or
+  // already-closed span is a no-op so abort paths need no bookkeeping.
+  SpanId BeginSpan(std::string_view name, SimTime start, SpanId parent = 0,
+                   std::string_view track = {});
+  void EndSpan(SpanId id, SimTime end);
+
+  // Zero-width marker ("i" phase in the Chrome export).
+  SpanId AddInstant(std::string_view name, SimTime at, std::string_view track = {});
+
+  // Attribute setters are no-ops for id 0 (disabled tracing / unknown span).
+  void SetAttribute(SpanId id, std::string_view key, std::string_view value);
+  // Literals must not decay to the bool overload.
+  void SetAttribute(SpanId id, std::string_view key, const char* value) {
+    SetAttribute(id, key, std::string_view(value));
+  }
+  void SetAttribute(SpanId id, std::string_view key, double value);
+  void SetAttribute(SpanId id, std::string_view key, int64_t value);
+  void SetAttribute(SpanId id, std::string_view key, bool value);
+
+  const std::vector<Span>& spans() const { return spans_; }
+  size_t open_span_count() const;
+  // First span with `name`, or nullptr. Tests and report assembly only.
+  const Span* FindSpan(std::string_view name) const;
+  std::vector<const Span*> SpansNamed(std::string_view name) const;
+  std::vector<const Span*> ChildrenOf(SpanId parent) const;
+
+  // Chrome trace-event JSON: {"displayTimeUnit":"ms","traceEvents":[...]}.
+  // Timestamps are microseconds (fractional); one pid, one tid per track,
+  // tids numbered in first-use order with thread_name metadata records.
+  std::string ToChromeTraceJson() const;
+
+  // Compact summary: spans aggregated by name (count, total duration).
+  std::string ToStatsJson() const;
+
+ private:
+  Span* Find(SpanId id);
+
+  std::vector<Span> spans_;
+  SpanId next_id_ = 1;
+};
+
+}  // namespace hypertp
+
+#endif  // HYPERTP_SRC_OBS_TRACE_H_

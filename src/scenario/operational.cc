@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "src/fleet/fleet_controller.h"
+#include "src/obs/trace.h"
 #include "src/sim/executor.h"
 #include "src/sim/rng.h"
 #include "src/vulndb/vulndb.h"
@@ -27,6 +28,7 @@ OperationalReport RunOperationalSimulation(const OperationalConfig& config) {
   OperationalReport report;
   Rng rng(config.seed);
   SimExecutor executor;
+  Tracer* const tracer = config.tracer;
 
   // Dedicated stream for fleet rollouts, forked unconditionally so the
   // disclosure sequence is identical across fleet modes for one seed.
@@ -104,10 +106,18 @@ OperationalReport RunOperationalSimulation(const OperationalConfig& config) {
           cve->window_days >= 0 ? cve->window_days : config.fallback_window_days;
       const double traditional = window + config.patch_policy.apply_delay_days;
       report.exposure_days_traditional += traditional;
+      SpanId disclosure_mark = 0;
+      if (tracer != nullptr) {
+        disclosure_mark = tracer->AddInstant("disclosure:" + cve->id, at, "disclosures");
+        tracer->SetAttribute(disclosure_mark, "window_days", window);
+      }
 
       if (current != config.home && at < safe_until) {
         // Already transplanted away; a home-hypervisor flaw cannot touch us.
         ++report.already_safe;
+        if (tracer != nullptr) {
+          tracer->SetAttribute(disclosure_mark, "outcome", "already_safe");
+        }
         report.event_log.push_back(Stamp(at) + ": " + cve->id +
                                    " disclosed while fleet is on " +
                                    std::string(HypervisorKindName(current)) + " — unaffected");
@@ -116,6 +126,9 @@ OperationalReport RunOperationalSimulation(const OperationalConfig& config) {
         if (!decision.transplant_recommended) {
           ++report.no_safe_target;
           report.exposure_days_hypertp += traditional;  // Stuck waiting, like Fig. 1(a).
+          if (tracer != nullptr) {
+            tracer->SetAttribute(disclosure_mark, "outcome", "no_safe_target");
+          }
           report.event_log.push_back(Stamp(at) + ": " + cve->id +
                                      " — no safe target, exposed " +
                                      std::to_string(static_cast<int>(traditional)) + " days");
@@ -128,6 +141,13 @@ OperationalReport RunOperationalSimulation(const OperationalConfig& config) {
                   ? fleet_rollout(traditional)
                   : FleetTransplantTime(config.fleet);
           const SimDuration exposed = config.reaction_time + fleet_time;
+          if (tracer != nullptr) {
+            tracer->SetAttribute(disclosure_mark, "outcome", "transplant");
+            const SpanId rollout = tracer->AddSpan(
+                "rollout:away", at + config.reaction_time, fleet_time, 0, "fleet");
+            tracer->SetAttribute(rollout, "cve", std::string_view(cve->id));
+            tracer->SetAttribute(rollout, "target", HypervisorKindName(current));
+          }
           report.exposure_days_hypertp += ToSeconds(exposed) / kDaySeconds;
           report.vm_downtime_paid += config.per_vm_downtime * total_vms;
           safe_until = at + Days(window);
@@ -138,10 +158,20 @@ OperationalReport RunOperationalSimulation(const OperationalConfig& config) {
             if (current != config.home) {
               ++report.transplants_back;
               current = config.home;
+              SimDuration back_time = 0;
               if (config.fleet_mode == FleetExecutionMode::kFleetController) {
                 // The return trip is a rollout too; a straggler here is no
                 // longer exposure (home is patched), just counted work.
-                fleet_rollout(0.0);
+                back_time = fleet_rollout(0.0);
+              } else if (tracer != nullptr) {
+                // Closed form charges no makespan to the report; compute it
+                // only so the trace span has a width.
+                back_time = FleetTransplantTime(config.fleet);
+              }
+              if (tracer != nullptr) {
+                const SpanId rollout =
+                    tracer->AddSpan("rollout:back", when, back_time, 0, "fleet");
+                tracer->SetAttribute(rollout, "target", HypervisorKindName(config.home));
               }
               report.vm_downtime_paid += config.per_vm_downtime * total_vms;
               report.event_log.push_back(Stamp(when) + ": patch applied — fleet -> " +

@@ -21,6 +21,8 @@
 
 namespace hypertp {
 
+class Tracer;
+
 // How each disclosure's fleet-wide transplant is timed.
 enum class FleetExecutionMode : uint8_t {
   // ceil(hosts/parallel) * per_host (FleetTransplantTime) — no failures,
@@ -58,6 +60,13 @@ struct OperationalConfig {
   double fleet_post_pause_fraction = 0.0;
   double fleet_rollback_failure_probability = 0.0;
   SimDuration fleet_rollback_time = Seconds(5);
+
+  // Observability: when non-null the year's timeline is recorded — one
+  // instant per disclosure (track "disclosures") and one span per fleet-wide
+  // rollout (track "fleet"). The nested fleet executor's internal timeline is
+  // not propagated: its clock restarts per rollout and is unrelated to the
+  // operational clock. Null (the default) records nothing.
+  Tracer* tracer = nullptr;
 };
 
 struct OperationalReport {

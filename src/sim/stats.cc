@@ -72,13 +72,21 @@ double SampleSet::max() const {
   return samples_.empty() ? 0.0 : *std::max_element(samples_.begin(), samples_.end());
 }
 
+const std::vector<double>& SampleSet::Sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  return sorted_;
+}
+
 double SampleSet::Percentile(double p) const {
   assert(p >= 0.0 && p <= 100.0);
   if (samples_.empty()) {
     return 0.0;
   }
-  std::vector<double> sorted = samples_;
-  std::sort(sorted.begin(), sorted.end());
+  const std::vector<double>& sorted = Sorted();
   if (sorted.size() == 1) {
     return sorted[0];
   }

@@ -48,7 +48,10 @@ struct BoxplotSummary {
 // Holds raw samples; computes percentiles and box plots.
 class SampleSet {
  public:
-  void Add(double x) { samples_.push_back(x); }
+  void Add(double x) {
+    samples_.push_back(x);
+    sorted_valid_ = false;
+  }
   void Reserve(size_t n) { samples_.reserve(n); }
 
   size_t count() const { return samples_.size(); }
@@ -64,7 +67,14 @@ class SampleSet {
   const std::vector<double>& samples() const { return samples_; }
 
  private:
+  // Sorted view, built lazily on the first Percentile/Boxplot after an Add.
+  // Percentile used to copy + sort per call — quadratic when a report asks
+  // for several percentiles of a large set.
+  const std::vector<double>& Sorted() const;
+
   std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
 };
 
 }  // namespace hypertp

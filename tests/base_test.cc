@@ -1,12 +1,15 @@
-// Unit tests for src/base: Result, logging, CRC32 and byte codecs.
+// Unit tests for src/base: Result, logging, CRC32, byte codecs and the JSON
+// writer's string escaping.
 
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "src/base/bytes.h"
 #include "src/base/crc32.h"
+#include "src/base/json.h"
 #include "src/base/logging.h"
 #include "src/base/result.h"
 
@@ -184,6 +187,50 @@ TEST(BytesTest, SkipAdvancesAndBoundsChecks) {
   EXPECT_TRUE(r.Skip(4).ok());
   EXPECT_EQ(r.remaining(), 4u);
   EXPECT_FALSE(r.Skip(5).ok());
+}
+
+std::string JsonString(std::string_view s) {
+  JsonWriter j;
+  j.String(s);
+  return j.Take();
+}
+
+TEST(JsonWriterTest, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(JsonString(R"(say "hi")"), R"("say \"hi\"")");
+  EXPECT_EQ(JsonString(R"(C:\tmp\x)"), R"("C:\\tmp\\x")");
+}
+
+TEST(JsonWriterTest, EscapesNamedControlCharacters) {
+  EXPECT_EQ(JsonString("a\nb"), "\"a\\nb\"");
+  EXPECT_EQ(JsonString("a\rb"), "\"a\\rb\"");
+  EXPECT_EQ(JsonString("a\tb"), "\"a\\tb\"");
+}
+
+TEST(JsonWriterTest, EscapesUnnamedControlCharactersAsUnicode) {
+  // Every control byte without a short escape must become \u00XX, including
+  // an embedded NUL (string_view carries the length, so NUL is a real byte).
+  EXPECT_EQ(JsonString(std::string_view("a\0b", 3)), "\"a\\u0000b\"");
+  EXPECT_EQ(JsonString("\x01"), "\"\\u0001\"");
+  EXPECT_EQ(JsonString("\x1f"), "\"\\u001f\"");
+  EXPECT_EQ(JsonString("\x0b"), "\"\\u000b\"");  // Vertical tab has no short form.
+}
+
+TEST(JsonWriterTest, HighBytesPassThroughVerbatim) {
+  // 8-bit bytes (UTF-8 continuation bytes, Latin-1) are not control
+  // characters: a signed-char comparison must not misroute them into the
+  // \u escape path.
+  const std::string utf8 = "caf\xc3\xa9";  // "café" in UTF-8.
+  EXPECT_EQ(JsonString(utf8), "\"" + utf8 + "\"");
+  EXPECT_EQ(JsonString("\x80"), std::string("\"\x80\""));
+  EXPECT_EQ(JsonString("\xff"), std::string("\"\xff\""));
+}
+
+TEST(JsonWriterTest, KeysAreEscapedToo) {
+  JsonWriter j;
+  j.BeginObject();
+  j.Key("we\"ird").String("v");
+  j.EndObject();
+  EXPECT_EQ(j.Take(), R"({"we\"ird":"v"})");
 }
 
 }  // namespace

@@ -380,6 +380,30 @@ TEST(FleetTraceTest, RingBufferDropsOldestAndCounts) {
   EXPECT_EQ(events.back().host, 9);
 }
 
+TEST(FleetTraceTest, WraparoundReplaysChronologically) {
+  // Regression: Events() unwrapped the ring modulo ring_.size() while
+  // Record() advanced head_ modulo capacity_. Drive the ring more than two
+  // full laps so head_ lands mid-buffer and any modulus mismatch scrambles
+  // the replay order.
+  constexpr int kCapacity = 5;
+  constexpr int kEvents = 2 * kCapacity + 3;  // 13 events into 5 slots.
+  FleetTrace trace(kCapacity);
+  for (int i = 0; i < kEvents; ++i) {
+    trace.Record(FleetEvent{Seconds(i), FleetEventType::kDrainStart, i, 0, 0});
+  }
+  EXPECT_EQ(trace.size(), static_cast<size_t>(kCapacity));
+  EXPECT_EQ(trace.total_recorded(), static_cast<uint64_t>(kEvents));
+  EXPECT_EQ(trace.dropped(), static_cast<uint64_t>(kEvents - kCapacity));
+
+  const auto events = trace.Events();
+  ASSERT_EQ(events.size(), static_cast<size_t>(kCapacity));
+  for (int i = 0; i < kCapacity; ++i) {
+    // The newest kCapacity events, strictly chronological.
+    EXPECT_EQ(events[static_cast<size_t>(i)].host, kEvents - kCapacity + i);
+    EXPECT_EQ(events[static_cast<size_t>(i)].time, Seconds(kEvents - kCapacity + i));
+  }
+}
+
 TEST(FleetTraceTest, JsonExportIsWellFormed) {
   SimExecutor executor;
   FleetConfig config = BaseConfig();

@@ -21,3 +21,15 @@ export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
 export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
 
 ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
+
+# Smoke-run one bench with tracing enabled under the sanitizers: the Chrome
+# trace / BENCH JSON export paths only execute in the bench binaries, so the
+# test suite alone never covers them.
+bench_out="$(mktemp -d)"
+trap 'rm -rf "${bench_out}"' EXIT
+HYPERTP_TRACE=1 HYPERTP_BENCH_DIR="${bench_out}" \
+  "${build_dir}/bench/bench_fig6_breakdown" > /dev/null
+for artifact in BENCH_fig6_breakdown.json TRACE_fig6_M1.json TRACE_fig6_M2.json; do
+  test -s "${bench_out}/${artifact}" || { echo "missing ${artifact}" >&2; exit 1; }
+done
+echo "sanitized bench smoke-run OK (${bench_out})"

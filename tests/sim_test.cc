@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -286,6 +287,53 @@ TEST(ParallelMakespanTest, BalancedSplit) {
 }
 
 TEST(ParallelMakespanTest, EmptyIsZero) { EXPECT_EQ(ParallelMakespan({}, 4), 0); }
+
+TEST(ParallelMakespanTest, NonPositiveWorkersFallBackToSerial) {
+  // Release builds used to hit undefined behavior here: the workers>=1
+  // assert compiled out and min_element ran over an empty load vector.
+  EXPECT_EQ(ParallelMakespan({Seconds(1), Seconds(2), Seconds(3)}, 0), Seconds(6));
+  EXPECT_EQ(ParallelMakespan({Seconds(4), Seconds(5)}, -5), Seconds(9));
+  EXPECT_EQ(ParallelMakespan({}, 0), 0);
+}
+
+TEST(StatsTest, StddevOfZeroOrOneSampleIsZero) {
+  SampleSet s;
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  s.Add(42.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);  // n-1 denominator must not divide by 0.
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  s.Add(44.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(2.0), 1e-12);
+}
+
+TEST(StatsTest, PercentileCacheInvalidatedByAdd) {
+  // Percentile now sorts once and caches; adding a sample after a query must
+  // invalidate the cache, and results must match the sort-per-call behavior.
+  SampleSet cached;
+  for (double v : {9.0, 1.0, 5.0, 3.0, 7.0}) {
+    cached.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(cached.Percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(cached.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(cached.Percentile(100), 9.0);
+
+  // A new minimum after the first query must be visible.
+  cached.Add(0.0);
+  EXPECT_DOUBLE_EQ(cached.Percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(cached.Percentile(50), 4.0);  // (3+5)/2 over {0,1,3,5,7,9}.
+
+  // The caller-visible sample order is untouched by sorting.
+  EXPECT_EQ(cached.samples().front(), 9.0);
+  EXPECT_EQ(cached.samples().back(), 0.0);
+
+  // Interpolated ranks agree with the reference computation on a fresh set.
+  SampleSet reference;
+  for (int i = 1; i <= 100; ++i) {
+    reference.Add(i);
+  }
+  EXPECT_NEAR(reference.Percentile(95), 95.05, 1e-9);
+  EXPECT_NEAR(reference.Percentile(95), 95.05, 1e-9);  // Second query: cached path.
+}
 
 }  // namespace
 }  // namespace hypertp
