@@ -32,11 +32,36 @@ class ByteWriter {
   const std::vector<uint8_t>& bytes() const { return buf_; }
   std::vector<uint8_t> TakeBytes() { return std::move(buf_); }
 
+  // Pre-allocates capacity for `total` bytes (current contents included), so
+  // encoders that know their exact output size pay for one allocation.
+  void Reserve(size_t total) { buf_.reserve(total); }
+
   // Overwrites 4 bytes at `offset` with `v`; used to back-patch section sizes.
   void PatchU32(size_t offset, uint32_t v);
 
  private:
   std::vector<uint8_t> buf_;
+};
+
+// Drop-in stand-in for ByteWriter that counts bytes instead of storing them.
+// Encoders templated on the writer type can run once against a ByteCounter to
+// learn their exact output size, then Reserve() and encode for real.
+class ByteCounter {
+ public:
+  void PutU8(uint8_t) { ++size_; }
+  void PutU16(uint16_t) { size_ += 2; }
+  void PutU32(uint32_t) { size_ += 4; }
+  void PutU64(uint64_t) { size_ += 8; }
+  void PutBytes(std::span<const uint8_t> bytes) { size_ += bytes.size(); }
+  void PutLengthPrefixed(std::span<const uint8_t> bytes) { size_ += 4 + bytes.size(); }
+  void PutString(std::string_view s) { size_ += 4 + s.size(); }
+  // Patches rewrite bytes already counted; nothing to do.
+  void PatchU32(size_t, uint32_t) {}
+
+  size_t size() const { return size_; }
+
+ private:
+  size_t size_ = 0;
 };
 
 // Reads fixed-width little-endian integers from a byte span with bounds checks.

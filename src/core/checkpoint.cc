@@ -2,6 +2,7 @@
 
 #include "src/base/bytes.h"
 #include "src/base/crc32.h"
+#include "src/pipeline/conversion.h"
 #include "src/uisr/codec.h"
 
 namespace hypertp {
@@ -18,14 +19,21 @@ Result<std::vector<uint8_t>> SaveVmCheckpoint(Hypervisor& hv, VmId id) {
     return FailedPreconditionError("checkpoint: VM must be paused (suspend first)");
   }
   FixupLog log;
-  HYPERTP_ASSIGN_OR_RETURN(UisrVm uisr, hv.SaveVmToUisr(id, &log));
+  HYPERTP_ASSIGN_OR_RETURN(UisrVm uisr, pipeline::ExtractVmState(hv, id, &log));
   HYPERTP_ASSIGN_OR_RETURN(auto pages, hv.DumpGuestContent(id));
 
   ByteWriter w;
+  w.Reserve(12 + 4 + EncodedUisrSize(uisr) + 8 + pages.size() * 16 + 4);
   w.PutU32(kCheckpointMagic);
   w.PutU16(kCheckpointVersion);
   w.PutU16(0);  // Flags.
-  w.PutLengthPrefixed(EncodeUisrVm(uisr));
+  // Length-prefixed UISR blob, encoded in place (no intermediate copy): write
+  // a length placeholder, encode straight into the writer, back-patch.
+  const size_t len_at = w.size();
+  w.PutU32(0);
+  const size_t uisr_start = w.size();
+  EncodeUisrVm(uisr, w);
+  w.PatchU32(len_at, static_cast<uint32_t>(w.size() - uisr_start));
   w.PutU64(pages.size());
   for (const auto& [gfn, word] : pages) {
     w.PutU64(gfn);
@@ -86,7 +94,7 @@ Result<VmId> RestoreVmCheckpoint(Hypervisor& hv, std::span<const uint8_t> blob) 
   FixupLog log;
   GuestMemoryBinding binding;
   binding.mode = GuestMemoryBinding::Mode::kAllocate;
-  HYPERTP_ASSIGN_OR_RETURN(VmId id, hv.RestoreVmFromUisr(parsed.uisr, binding, &log));
+  HYPERTP_ASSIGN_OR_RETURN(VmId id, pipeline::RestoreVmState(hv, parsed.uisr, binding, &log));
   for (const auto& [gfn, word] : parsed.pages) {
     HYPERTP_RETURN_IF_ERROR(hv.WriteGuestPage(id, gfn, word));
   }

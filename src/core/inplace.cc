@@ -1,3 +1,11 @@
+// InPlaceTransplant::Run — the orchestration spine: ledger commits, fault
+// injection, kexec micro-reboot, abort/rollback, verification and the timing
+// summary. The per-phase conversion work lives in the phase units of
+// inplace_internal.h (inplace_save.cc / inplace_restore.cc), which run the
+// shared src/pipeline/ stages and hand back the worker-pool schedule each
+// phase charged — so durations, per-VM spans and the PhaseBreakdown all
+// derive from one schedule.
+
 #include "src/core/inplace.h"
 
 #include <algorithm>
@@ -6,161 +14,36 @@
 
 #include "src/base/logging.h"
 #include "src/core/factory.h"
+#include "src/core/inplace_internal.h"
 #include "src/kexec/kexec.h"
 #include "src/obs/trace.h"
 #include "src/pram/ledger.h"
 #include "src/pram/pram.h"
-#include "src/sim/executor.h"
-#include "src/uisr/codec.h"
 
 namespace hypertp {
 namespace {
 
-// Splits a guest memory map into PRAM page entries, emitting 2 MiB entries
-// wherever both address spaces are huge-aligned.
-std::vector<PramPageEntry> EntriesFromMappings(const std::vector<GuestMapping>& mappings,
-                                               bool huge_pages) {
-  std::vector<PramPageEntry> entries;
-  for (const GuestMapping& m : mappings) {
-    Gfn gfn = m.gfn;
-    Mfn mfn = m.mfn;
-    uint64_t left = m.frames;
-    while (left > 0) {
-      if (huge_pages && gfn % kFramesPerHugePage == 0 && mfn % kFramesPerHugePage == 0 &&
-          left >= kFramesPerHugePage) {
-        entries.push_back(PramPageEntry{gfn, mfn, kHugePageOrder});
-        gfn += kFramesPerHugePage;
-        mfn += kFramesPerHugePage;
-        left -= kFramesPerHugePage;
-      } else {
-        entries.push_back(PramPageEntry{gfn, mfn, 0});
-        ++gfn;
-        ++mfn;
-        --left;
-      }
-    }
-  }
-  return entries;
-}
+using inplace_internal::PrepareVms;
+using inplace_internal::RestoreAllFromPram;
+using inplace_internal::RestoreOutcome;
+using inplace_internal::TranslateInMap;
+using inplace_internal::TranslateVms;
+using inplace_internal::VmSnapshot;
 
-Result<Mfn> TranslateInMap(const std::vector<GuestMapping>& map, Gfn gfn) {
-  for (const GuestMapping& m : map) {
-    if (gfn >= m.gfn && gfn < m.gfn_end()) {
-      return m.mfn + (gfn - m.gfn);
-    }
-  }
-  return NotFoundError("gfn " + std::to_string(gfn) + " unmapped");
-}
-
-double ToGiB(uint64_t bytes) { return static_cast<double>(bytes) / static_cast<double>(1ull << 30); }
-
-SimDuration Scale(SimDuration per_gb, double gib) {
-  return static_cast<SimDuration>(static_cast<double>(per_gb) * gib);
-}
-
-struct VmSnapshot {
-  VmId id = 0;
-  VmInfo info;
-  std::vector<GuestMapping> map;
-  uint64_t vm_file_id = 0;
-  std::vector<Gfn> sample_gfns;
-  std::vector<uint64_t> sample_words;
-  std::vector<Mfn> sample_mfns;
-  std::vector<uint8_t> uisr_blob;
-  std::vector<FrameExtent> uisr_frames;
-};
-
-struct RestoreOutcome {
-  std::vector<VmId> vms;
-  SimDuration makespan = 0;
-  // Per-VM restore costs, for the per-VM trace spans.
-  struct PerVm {
-    uint64_t uid = 0;
-    SimDuration cost = 0;
-  };
-  std::vector<PerVm> per_vm;
-};
-
-// One "restore:vm-<uid>" span per restored VM, all starting at `start` (the
-// restores run in parallel), as children of `parent` on per-VM tracks.
-void TraceRestores(Tracer* tracer, const RestoreOutcome& out, SimTime start, SpanId parent) {
+// One "<prefix>:vm-<uid>" span per VM, laid out exactly where the worker-pool
+// schedule placed that VM's stage work relative to `phase_start`, as children
+// of `parent` on per-VM tracks. `uids` is parallel to `schedule.tasks`.
+void TraceScheduledSpans(Tracer* tracer, std::string_view prefix,
+                         const std::vector<uint64_t>& uids, const WorkSchedule& schedule,
+                         SimTime phase_start, SpanId parent) {
   if (tracer == nullptr) {
     return;
   }
-  for (const RestoreOutcome::PerVm& vm : out.per_vm) {
-    const std::string label = "vm-" + std::to_string(vm.uid);
-    tracer->AddSpan("restore:" + label, start, vm.cost, parent, label);
+  for (size_t i = 0; i < schedule.tasks.size() && i < uids.size(); ++i) {
+    const std::string label = "vm-" + std::to_string(uids[i]);
+    tracer->AddSpan(std::string(prefix) + ":" + label, phase_start + schedule.tasks[i].start,
+                    schedule.tasks[i].duration(), parent, label);
   }
-}
-
-// Restores every `uisr:` PRAM file under `hv`. Shared by the forward path
-// (restore under the target) and the rollback path (salvage under the source
-// kind); `inject` only ever carries a fault on the forward attempt. Errors
-// come back unwrapped so the caller decides between rollback and kDataLoss.
-Result<RestoreOutcome> RestoreAllFromPram(Hypervisor& hv, Machine& machine, const PramImage& pram,
-                                          const InPlaceOptions& options, HypervisorKind kind,
-                                          int workers, FixupLog* fixups,
-                                          InPlaceOptions::Fault inject) {
-  const HostCostProfile& costs = machine.profile().costs;
-  RestoreOutcome out;
-  std::vector<SimDuration> restore_costs;
-  bool first = true;
-  for (const PramFile& file : pram.files) {
-    if (!file.name.starts_with("uisr:")) {
-      continue;
-    }
-    // Reassemble the UISR blob from its in-RAM pages.
-    std::vector<uint8_t> blob;
-    blob.reserve(file.size_bytes);
-    for (const PramPageEntry& e : file.entries) {
-      auto page = machine.memory().ReadPage(e.mfn);
-      if (!page.ok()) {
-        return DataLossError("inplace: UISR page lost: " + page.error().ToString());
-      }
-      blob.insert(blob.end(), page->begin(), page->end());
-    }
-    blob.resize(file.size_bytes);
-    if (first && (inject == InPlaceOptions::Fault::kDecodeFailure ||
-                  inject == InPlaceOptions::Fault::kLedgerTornWrite)) {
-      return DataLossError("inplace: injected UISR decode fault under target");
-    }
-    auto uisr = DecodeUisrVm(blob);
-    if (!uisr.ok()) {
-      return DataLossError("inplace: UISR blob for '" + file.name +
-                           "' corrupt after reboot: " + uisr.error().ToString());
-    }
-
-    const PramFile* vm_file = pram.FindFile(uisr->memory.pram_file_id);
-    if (vm_file == nullptr) {
-      return DataLossError("inplace: PRAM memory file " +
-                           std::to_string(uisr->memory.pram_file_id) + " missing");
-    }
-    if (first && inject == InPlaceOptions::Fault::kRestoreFailure) {
-      return InternalError("inplace: injected VM restore fault under target");
-    }
-    GuestMemoryBinding binding;
-    binding.mode = GuestMemoryBinding::Mode::kAdoptInPlace;
-    binding.entries = vm_file->entries;
-    binding.remap_high_ioapic_pins = options.remap_high_ioapic_pins;
-    auto vm_id = hv.RestoreVmFromUisr(*uisr, binding, fixups);
-    if (!vm_id.ok()) {
-      return DataLossError("inplace: restore of uid " + std::to_string(uisr->vm_uid) +
-                           " failed: " + vm_id.error().ToString());
-    }
-    out.vms.push_back(*vm_id);
-    first = false;
-
-    SimDuration cost = costs.restore_per_vm +
-                       costs.restore_per_vcpu * static_cast<int>(uisr->vcpus.size()) +
-                       Scale(costs.restore_per_gb, ToGiB(uisr->memory.memory_bytes));
-    if (kind == HypervisorKind::kXen) {
-      cost *= 2;  // xl/libxl domain creation is heavier than kvmtool's.
-    }
-    restore_costs.push_back(cost);
-    out.per_vm.push_back(RestoreOutcome::PerVm{uisr->vm_uid, cost});
-  }
-  out.makespan = ParallelMakespan(restore_costs, workers);
-  return out;
 }
 
 }  // namespace
@@ -174,7 +57,10 @@ Result<InPlaceResult> InPlaceTransplant::Run(std::unique_ptr<Hypervisor> source,
   }
   Machine& machine = source->machine();
   const HostCostProfile& costs = machine.profile().costs;
+  // Modeled workers charge every duration; real threads only move wall-clock.
   const int workers = options.parallel_translation ? machine.worker_threads() : 1;
+  const int real_threads =
+      options.real_threads > 0 ? options.real_threads : ParallelThreadsFromEnv();
 
   TransplantReport report;
   report.source_hypervisor = std::string(source->name());
@@ -242,55 +128,12 @@ Result<InPlaceResult> InPlaceTransplant::Run(std::unique_ptr<Hypervisor> source,
   // Runs before the pause when the prepare_before_pause optimization is on.
   std::vector<VmSnapshot> vms;
   PramBuilder builder(machine.memory());
-  std::vector<SimDuration> pram_costs;
-  for (VmId id : source->ListVms()) {
-    VmSnapshot snap;
-    snap.id = id;
-    auto info = source->GetVmInfo(id);
-    if (!info.ok()) {
-      return abort(info.error());
-    }
-    snap.info = *info;
-    if (auto prep = source->PrepareVmForTransplant(id); !prep.ok()) {
-      return abort(prep.error());
-    }
-    auto map = source->GuestMemoryMap(id);
-    if (!map.ok()) {
-      return abort(map.error());
-    }
-    snap.map = std::move(*map);
-
-    const bool huge = options.use_huge_pages && snap.info.huge_pages;
-    auto file_id = builder.AddFile("vm:" + std::to_string(snap.info.uid),
-                                   snap.info.memory_bytes, huge,
-                                   EntriesFromMappings(snap.map, huge));
-    if (!file_id.ok()) {
-      return abort(file_id.error());
-    }
-    snap.vm_file_id = *file_id;
-
-    // Verification samples: spread gfns across the address space.
-    if (options.verify_guest_memory) {
-      const uint64_t pages = snap.info.memory_bytes / kPageSize;
-      const int n = std::max(options.verify_sample_pages, 1);
-      for (int i = 0; i < n; ++i) {
-        const Gfn gfn = (pages * static_cast<uint64_t>(i)) / static_cast<uint64_t>(n);
-        auto word = source->ReadGuestPage(id, gfn);
-        auto mfn = TranslateInMap(snap.map, gfn);
-        if (!word.ok() || !mfn.ok()) {
-          return abort(word.ok() ? mfn.error() : word.error());
-        }
-        snap.sample_gfns.push_back(gfn);
-        snap.sample_words.push_back(*word);
-        snap.sample_mfns.push_back(*mfn);
-      }
-    }
-
-    pram_costs.push_back(costs.pram_fixed + Scale(costs.pram_per_gb, ToGiB(snap.info.memory_bytes)));
-    vms.push_back(std::move(snap));
+  auto pram_schedule = PrepareVms(*source, machine, options, workers, builder, vms);
+  if (!pram_schedule.ok()) {
+    return abort(pram_schedule.error());
   }
   report.vm_count = static_cast<int>(vms.size());
-  report.phases.pram = ParallelMakespan(pram_costs, workers);
+  report.phases.pram = pram_schedule->makespan;
   if (tracer != nullptr) {
     tracer->AddSpan("phase:pram", cursor, report.phases.pram, root);
   }
@@ -308,58 +151,21 @@ Result<InPlaceResult> InPlaceTransplant::Run(std::unique_ptr<Hypervisor> source,
   }
 
   // ❸ Translate VM_i States to UISR; park the blobs in RAM as PRAM files.
-  if (options.inject_fault == InPlaceOptions::Fault::kTranslationFailure) {
-    return abort(InternalError("injected translation fault"));
+  auto translate_schedule =
+      TranslateVms(*source, machine, options, workers, real_threads, builder, report, vms);
+  if (!translate_schedule.ok()) {
+    return abort(translate_schedule.error());
   }
-  std::vector<SimDuration> translate_costs;
-  for (VmSnapshot& snap : vms) {
-    auto uisr = source->SaveVmToUisr(snap.id, &report.fixups);
-    if (!uisr.ok()) {
-      return abort(uisr.error());
-    }
-    uisr->memory.pram_file_id = snap.vm_file_id;
-    snap.uisr_blob = EncodeUisrVm(*uisr);
-    report.uisr_total_bytes += snap.uisr_blob.size();
-    report.vms.push_back(VmTransplantRecord{snap.info.uid, snap.info.name, snap.info.vcpus,
-                                            snap.info.memory_bytes, snap.uisr_blob.size()});
-
-    // Write the blob into dedicated frames so it survives the reboot.
-    if (options.inject_fault == InPlaceOptions::Fault::kPramWriteFailure) {
-      return abort(InternalError("injected PRAM write fault while parking UISR blob for uid " +
-                                 std::to_string(snap.info.uid)));
-    }
-    const uint64_t blob_frames = (snap.uisr_blob.size() + kPageSize - 1) / kPageSize;
-    const FrameOwner owner{FrameOwnerKind::kUisr, snap.info.uid};
-    auto base = machine.memory().Alloc(blob_frames, 1, owner);
-    if (!base.ok()) {
-      return abort(base.error());
-    }
-    std::vector<PramPageEntry> blob_entries;
-    for (uint64_t i = 0; i < blob_frames; ++i) {
-      const size_t begin = i * kPageSize;
-      const size_t end = std::min(begin + kPageSize, snap.uisr_blob.size());
-      std::vector<uint8_t> page(snap.uisr_blob.begin() + static_cast<ptrdiff_t>(begin),
-                                snap.uisr_blob.begin() + static_cast<ptrdiff_t>(end));
-      if (auto wrote = machine.memory().WritePage(*base + i, std::move(page)); !wrote.ok()) {
-        return abort(wrote.error());
-      }
-      blob_entries.push_back(PramPageEntry{i, *base + i, 0});
-    }
-    snap.uisr_frames.push_back(FrameExtent{*base, blob_frames, owner});
-    auto uisr_file = builder.AddFile("uisr:" + std::to_string(snap.info.uid),
-                                     snap.uisr_blob.size(), false, blob_entries);
-    if (!uisr_file.ok()) {
-      return abort(uisr_file.error());
-    }
-
-    translate_costs.push_back(costs.translate_per_vm +
-                              costs.translate_per_vcpu * static_cast<int>(snap.info.vcpus) +
-                              Scale(costs.translate_per_gb, ToGiB(snap.info.memory_bytes)));
-  }
-  report.phases.translation = ParallelMakespan(translate_costs, workers);
+  report.phases.translation = translate_schedule->makespan;
   if (tracer != nullptr) {
     const SpanId span = tracer->AddSpan("phase:translation", cursor, report.phases.translation, root);
     tracer->SetAttribute(span, "uisr_bytes", static_cast<int64_t>(report.uisr_total_bytes));
+    std::vector<uint64_t> uids;
+    uids.reserve(vms.size());
+    for (const VmSnapshot& snap : vms) {
+      uids.push_back(snap.info.uid);
+    }
+    TraceScheduledSpans(tracer, "translate", uids, *translate_schedule, cursor, span);
   }
   cursor += report.phases.translation;
 
@@ -457,11 +263,11 @@ Result<InPlaceResult> InPlaceTransplant::Run(std::unique_ptr<Hypervisor> source,
       return InternalError("inplace: unknown target hypervisor kind");
     }
     auto restored = RestoreAllFromPram(*hv, machine, boot->pram, options, target, workers,
-                                       &report.fixups, options.inject_fault);
+                                       real_threads, &report.fixups, options.inject_fault);
     if (!restored.ok()) {
       rollback_cause = restored.error();
     } else {
-      report.phases.restoration = restored->makespan;
+      report.phases.restoration = restored->schedule.makespan;
       if (!options.early_restoration) {
         // Without the early-restoration optimization, restores wait for the
         // full service startup window instead of overlapping the late boot.
@@ -470,7 +276,7 @@ Result<InPlaceResult> InPlaceTransplant::Run(std::unique_ptr<Hypervisor> source,
       if (tracer != nullptr) {
         const SpanId span =
             tracer->AddSpan("phase:restoration", cursor, report.phases.restoration, root);
-        TraceRestores(tracer, *restored, cursor, span);
+        TraceScheduledSpans(tracer, "restore", restored->uids, restored->schedule, cursor, span);
       }
       result.restored_vms = std::move(restored->vms);
       cursor += report.phases.restoration;
@@ -522,10 +328,11 @@ Result<InPlaceResult> InPlaceTransplant::Run(std::unique_ptr<Hypervisor> source,
       HYPERTP_ASSIGN_OR_RETURN(
           RestoreOutcome out,
           RestoreAllFromPram(*hv, machine, reborn.pram, options, salvage_kind, workers,
-                             &report.fixups, InPlaceOptions::Fault::kNone));
-      TraceRestores(tracer, out, cursor + reborn.reboot_time, rollback_span);
+                             real_threads, &report.fixups, InPlaceOptions::Fault::kNone));
+      TraceScheduledSpans(tracer, "restore", out.uids, out.schedule,
+                          cursor + reborn.reboot_time, rollback_span);
       result.restored_vms = std::move(out.vms);
-      report.phases.rollback += out.makespan;
+      report.phases.rollback += out.schedule.makespan;
       record.phase = TransplantPhase::kRolledBack;
       HYPERTP_RETURN_IF_ERROR(opened->Commit(record));
       return OkResult();

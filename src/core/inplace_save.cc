@@ -1,0 +1,135 @@
+// Save-side phase units of InPlaceTransplant::Run: preparation (PRAM
+// construction) and translation (Extract -> UisrEncode -> PramStore).
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/inplace_internal.h"
+#include "src/pipeline/conversion.h"
+
+namespace hypertp {
+namespace inplace_internal {
+
+std::vector<PramPageEntry> EntriesFromMappings(const std::vector<GuestMapping>& mappings,
+                                               bool huge_pages) {
+  std::vector<PramPageEntry> entries;
+  for (const GuestMapping& m : mappings) {
+    Gfn gfn = m.gfn;
+    Mfn mfn = m.mfn;
+    uint64_t left = m.frames;
+    while (left > 0) {
+      if (huge_pages && gfn % kFramesPerHugePage == 0 && mfn % kFramesPerHugePage == 0 &&
+          left >= kFramesPerHugePage) {
+        entries.push_back(PramPageEntry{gfn, mfn, kHugePageOrder});
+        gfn += kFramesPerHugePage;
+        mfn += kFramesPerHugePage;
+        left -= kFramesPerHugePage;
+      } else {
+        entries.push_back(PramPageEntry{gfn, mfn, 0});
+        ++gfn;
+        ++mfn;
+        --left;
+      }
+    }
+  }
+  return entries;
+}
+
+Result<Mfn> TranslateInMap(const std::vector<GuestMapping>& map, Gfn gfn) {
+  for (const GuestMapping& m : map) {
+    if (gfn >= m.gfn && gfn < m.gfn_end()) {
+      return m.mfn + (gfn - m.gfn);
+    }
+  }
+  return NotFoundError("gfn " + std::to_string(gfn) + " unmapped");
+}
+
+Result<WorkSchedule> PrepareVms(Hypervisor& source, Machine& machine,
+                                const InPlaceOptions& options, int workers,
+                                PramBuilder& builder, std::vector<VmSnapshot>& vms) {
+  const HostCostProfile& costs = machine.profile().costs;
+  std::vector<SimDuration> pram_costs;
+  for (VmId id : source.ListVms()) {
+    VmSnapshot snap;
+    snap.id = id;
+    HYPERTP_ASSIGN_OR_RETURN(snap.info, source.GetVmInfo(id));
+    HYPERTP_RETURN_IF_ERROR(source.PrepareVmForTransplant(id));
+    HYPERTP_ASSIGN_OR_RETURN(snap.map, source.GuestMemoryMap(id));
+
+    const bool huge = options.use_huge_pages && snap.info.huge_pages;
+    HYPERTP_ASSIGN_OR_RETURN(
+        snap.vm_file_id, builder.AddFile("vm:" + std::to_string(snap.info.uid),
+                                         snap.info.memory_bytes, huge,
+                                         EntriesFromMappings(snap.map, huge)));
+
+    // Verification samples: spread gfns across the address space.
+    if (options.verify_guest_memory) {
+      const uint64_t pages = snap.info.memory_bytes / kPageSize;
+      const int n = std::max(options.verify_sample_pages, 1);
+      for (int i = 0; i < n; ++i) {
+        const Gfn gfn = (pages * static_cast<uint64_t>(i)) / static_cast<uint64_t>(n);
+        HYPERTP_ASSIGN_OR_RETURN(uint64_t word, source.ReadGuestPage(id, gfn));
+        HYPERTP_ASSIGN_OR_RETURN(Mfn mfn, TranslateInMap(snap.map, gfn));
+        snap.sample_gfns.push_back(gfn);
+        snap.sample_words.push_back(word);
+        snap.sample_mfns.push_back(mfn);
+      }
+    }
+
+    pram_costs.push_back(pipeline::PramStageCost(costs, snap.info.memory_bytes));
+    vms.push_back(std::move(snap));
+  }
+  return ScheduleWork(pram_costs, workers);
+}
+
+Result<WorkSchedule> TranslateVms(Hypervisor& source, Machine& machine,
+                                  const InPlaceOptions& options, int workers, int real_threads,
+                                  PramBuilder& builder, TransplantReport& report,
+                                  std::vector<VmSnapshot>& vms) {
+  if (options.inject_fault == InPlaceOptions::Fault::kTranslationFailure) {
+    return InternalError("injected translation fault");
+  }
+  const HostCostProfile& costs = machine.profile().costs;
+
+  // Extract (serial: talks to the source hypervisor).
+  std::vector<UisrVm> states;
+  states.reserve(vms.size());
+  for (VmSnapshot& snap : vms) {
+    HYPERTP_ASSIGN_OR_RETURN(UisrVm uisr,
+                             pipeline::ExtractVmState(source, snap.id, &report.fixups));
+    uisr.memory.pram_file_id = snap.vm_file_id;
+    states.push_back(std::move(uisr));
+  }
+
+  // UisrEncode (pure: real OS threads allowed; bytes independent of count).
+  std::vector<std::vector<uint8_t>> blobs = pipeline::EncodeVmStates(states, real_threads);
+
+  // PramStore (serial: allocates kUisr frames so the blobs survive the
+  // micro-reboot) + per-VM report records.
+  std::vector<SimDuration> translate_costs;
+  for (size_t i = 0; i < vms.size(); ++i) {
+    VmSnapshot& snap = vms[i];
+    snap.uisr_blob = std::move(blobs[i]);
+    report.uisr_total_bytes += snap.uisr_blob.size();
+    report.vms.push_back(VmTransplantRecord{snap.info.uid, snap.info.name, snap.info.vcpus,
+                                            snap.info.memory_bytes, snap.uisr_blob.size()});
+
+    if (options.inject_fault == InPlaceOptions::Fault::kPramWriteFailure) {
+      return InternalError("injected PRAM write fault while parking UISR blob for uid " +
+                           std::to_string(snap.info.uid));
+    }
+    HYPERTP_ASSIGN_OR_RETURN(
+        pipeline::StoredUisrBlob stored,
+        pipeline::StoreUisrBlob(machine.memory(), builder, snap.info.uid, snap.uisr_blob));
+    snap.uisr_frames.push_back(stored.frames);
+
+    translate_costs.push_back(
+        pipeline::TranslateStageCost(costs, snap.info.vcpus, snap.info.memory_bytes));
+  }
+  return ScheduleWork(translate_costs, workers);
+}
+
+}  // namespace inplace_internal
+}  // namespace hypertp

@@ -27,7 +27,14 @@ struct InPlaceOptions {
   // "Preparation work without pausing the guest": build PRAM before pause.
   bool prepare_before_pause = true;
   // "Parallelization": one worker per free core for PRAM + translation.
+  // This is the *modeled* worker count (Machine::worker_threads()); it
+  // decides every charged duration via the worker-pool schedule.
   bool parallel_translation = true;
+  // Real OS threads for the pure UISR encode/decode stage work. Wall-clock
+  // only: never changes charged durations, reports, blobs or trace JSON —
+  // those derive from the modeled schedule above. 0 = read the
+  // HYPERTP_PARALLEL env var (unset = 1); 1 = run inline.
+  int real_threads = 0;
   // "Huge page support": 2 MiB PRAM entries where alignment permits.
   bool use_huge_pages = true;
   // "Early restoration": start restores while late boot services come up.

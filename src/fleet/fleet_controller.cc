@@ -5,6 +5,8 @@
 
 #include "src/base/json.h"
 #include "src/cluster/cluster.h"
+#include "src/pipeline/conversion.h"
+#include "src/sim/worker_pool.h"
 
 namespace hypertp {
 
@@ -38,14 +40,37 @@ std::string FleetRolloutReportToJson(const FleetRolloutReport& report) {
   return j.Take();
 }
 
-FleetTimingModel DeriveFleetTiming(double inplace_fraction, uint64_t seed) {
+FleetTimingModel DeriveFleetTiming(double inplace_fraction, uint64_t seed,
+                                   int conversion_workers) {
   FleetTimingModel timing;
   ClusterModel cluster = ClusterModel::PaperCluster(inplace_fraction, seed);
   auto plan = PlanClusterUpgrade(cluster, 2);
   if (!plan.ok()) {
     return timing;  // Keep the defaults; the planner only fails on bad input.
   }
-  const ClusterExecutionParams params;
+  ClusterExecutionParams params;
+  if (conversion_workers > 0) {
+    // The constant inplace_upgrade_time assumes the per-VM conversion runs
+    // serially inside each host's micro-reboot. With a modeled worker pool,
+    // that share is the worker-pool schedule's makespan over the pipeline
+    // stage costs for a representative C1 guest set (8 small VMs), so more
+    // workers shrink every group's upgrade time — exactly how
+    // InPlaceTransplant charges its translation/restoration phases.
+    const HostCostProfile& costs = MachineProfile::C1().costs;
+    constexpr int kGuestsPerHost = 8;
+    constexpr uint32_t kVcpusPerGuest = 2;
+    constexpr uint64_t kBytesPerGuest = 4ull << 30;
+    std::vector<SimDuration> per_vm(
+        kGuestsPerHost,
+        pipeline::TranslateStageCost(costs, kVcpusPerGuest, kBytesPerGuest) +
+            pipeline::RestoreStageCost(costs, HypervisorKind::kKvm, kVcpusPerGuest,
+                                       kBytesPerGuest));
+    const SimDuration serial_share = ScheduleWork(per_vm, 1).makespan;
+    const SimDuration pooled_share = ScheduleWork(per_vm, conversion_workers).makespan;
+    params.inplace_upgrade_time =
+        std::max<SimDuration>(params.inplace_upgrade_time - serial_share + pooled_share,
+                              pooled_share);
+  }
   int group_steps = 0;
   for (const UpgradeStep& step : plan->steps) {
     group_steps += !step.group.empty();
@@ -72,7 +97,8 @@ FleetController::FleetController(SimExecutor& executor, FleetConfig config)
   config_.fault_domains = std::max(config_.fault_domains, 1);
   config_.max_retries = std::max(config_.max_retries, 0);
   if (config_.use_cluster_timing) {
-    const FleetTimingModel timing = DeriveFleetTiming(config_.inplace_fraction, config_.seed);
+    const FleetTimingModel timing = DeriveFleetTiming(config_.inplace_fraction, config_.seed,
+                                                      config_.conversion_workers);
     config_.drain_time = timing.drain_per_host;
     config_.per_host_transplant = timing.transplant_per_host;
   }

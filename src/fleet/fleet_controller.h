@@ -66,7 +66,12 @@ struct FleetTimingModel {
   SimDuration transplant_per_host = Seconds(10);
 };
 
-FleetTimingModel DeriveFleetTiming(double inplace_fraction, uint64_t seed);
+// `conversion_workers` > 0 replaces the serial per-VM conversion share inside
+// the per-group micro-reboot time with the worker-pool schedule's makespan
+// over the pipeline stage cost models (C1 host profile); 0 keeps the legacy
+// constant, so existing seeded replays are byte-identical.
+FleetTimingModel DeriveFleetTiming(double inplace_fraction, uint64_t seed,
+                                   int conversion_workers = 0);
 
 class FleetController {
  public:

@@ -95,6 +95,13 @@ struct FleetConfig {
   // (PlanClusterUpgrade/ExecuteClusterUpgrade) instead of the constants.
   bool use_cluster_timing = false;
   double inplace_fraction = 0.8;  // VM share riding the micro-reboot in place.
+  // Modeled conversion workers per host for the cluster-derived timing: the
+  // per-VM translate+restore share of each in-place upgrade is re-laid-out by
+  // the worker-pool schedule (src/sim/worker_pool.h) over the pipeline stage
+  // cost models instead of the serial constant. 0 keeps the legacy constant
+  // inplace_upgrade_time, so seeded replays of existing configs are
+  // byte-identical. Only meaningful with use_cluster_timing.
+  int conversion_workers = 0;
 
   // Anti-affinity: hosts spread round-robin over `fault_domains`; a wave
   // holds at most `max_per_domain_in_flight` hosts of one domain

@@ -5,7 +5,7 @@
 
 #include "src/base/logging.h"
 #include "src/obs/trace.h"
-#include "src/uisr/codec.h"
+#include "src/pipeline/conversion.h"
 
 namespace hypertp {
 
@@ -260,23 +260,24 @@ Result<MigrationBatchResult> MigrationEngine::MigrateMany(Hypervisor& src,
       if (injected(MigrationFault::kSaveUisr)) {
         return InternalError("migrate: injected UISR save fault");
       }
-      HYPERTP_ASSIGN_OR_RETURN(auto uisr, src.SaveVmToUisr(f.src_id, &f.result.fixups));
-      const std::vector<uint8_t> blob = EncodeUisrVm(uisr);
-      f.result.uisr_bytes = blob.size();
+      HYPERTP_ASSIGN_OR_RETURN(auto uisr,
+                               pipeline::ExtractVmState(src, f.src_id, &f.result.fixups));
 
-      // Destination proxy: decode, restore, apply buffered pages.
+      // Source + destination proxies: wire-encode the VM_i State and decode
+      // it straight from the encoder's buffer — no parked intermediate blob.
       if (injected(MigrationFault::kDecode)) {
         return DataLossError("migrate: injected UISR decode fault");
       }
-      HYPERTP_ASSIGN_OR_RETURN(auto decoded, DecodeUisrVm(blob));
+      HYPERTP_ASSIGN_OR_RETURN(auto decoded,
+                               pipeline::RoundTripVmState(uisr, &f.result.uisr_bytes));
       GuestMemoryBinding binding;
       binding.mode = GuestMemoryBinding::Mode::kAllocate;
       binding.remap_high_ioapic_pins = config.remap_high_ioapic_pins;
       if (injected(MigrationFault::kRestore)) {
         return InternalError("migrate: injected destination restore fault");
       }
-      HYPERTP_ASSIGN_OR_RETURN(VmId dst_id, dst.RestoreVmFromUisr(decoded, binding,
-                                                                  &f.result.fixups));
+      HYPERTP_ASSIGN_OR_RETURN(VmId dst_id,
+                               pipeline::RestoreVmState(dst, decoded, binding, &f.result.fixups));
       created_dst = dst_id;
       if (injected(MigrationFault::kWritePage)) {
         return InternalError("migrate: injected guest page write fault");

@@ -1,0 +1,121 @@
+#include "src/pipeline/conversion.h"
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "src/base/bytes.h"
+#include "src/sim/worker_pool.h"
+#include "src/uisr/codec.h"
+
+namespace hypertp {
+namespace pipeline {
+namespace {
+
+double ToGiB(uint64_t bytes) { return static_cast<double>(bytes) / static_cast<double>(1ull << 30); }
+
+SimDuration ScalePerGb(SimDuration per_gb, uint64_t bytes) {
+  return static_cast<SimDuration>(static_cast<double>(per_gb) * ToGiB(bytes));
+}
+
+}  // namespace
+
+SimDuration PramStageCost(const HostCostProfile& costs, uint64_t memory_bytes) {
+  return costs.pram_fixed + ScalePerGb(costs.pram_per_gb, memory_bytes);
+}
+
+SimDuration TranslateStageCost(const HostCostProfile& costs, uint32_t vcpus,
+                               uint64_t memory_bytes) {
+  return costs.translate_per_vm + costs.translate_per_vcpu * static_cast<int>(vcpus) +
+         ScalePerGb(costs.translate_per_gb, memory_bytes);
+}
+
+SimDuration RestoreStageCost(const HostCostProfile& costs, HypervisorKind target,
+                             uint32_t vcpus, uint64_t memory_bytes) {
+  SimDuration cost = costs.restore_per_vm + costs.restore_per_vcpu * static_cast<int>(vcpus) +
+                     ScalePerGb(costs.restore_per_gb, memory_bytes);
+  if (target == HypervisorKind::kXen) {
+    cost *= 2;  // xl/libxl domain creation is heavier than kvmtool's.
+  }
+  return cost;
+}
+
+Result<UisrVm> ExtractVmState(Hypervisor& hv, VmId id, FixupLog* fixups) {
+  return hv.SaveVmToUisr(id, fixups);
+}
+
+std::vector<std::vector<uint8_t>> EncodeVmStates(const std::vector<UisrVm>& vms, int threads) {
+  std::vector<std::vector<uint8_t>> blobs(vms.size());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(vms.size());
+  for (size_t i = 0; i < vms.size(); ++i) {
+    tasks.push_back([&vms, &blobs, i] { blobs[i] = EncodeUisrVm(vms[i]); });
+  }
+  RunOnWorkerPool(tasks, threads);
+  return blobs;
+}
+
+Result<StoredUisrBlob> StoreUisrBlob(PhysicalMemory& memory, PramBuilder& builder,
+                                     uint64_t vm_uid, std::span<const uint8_t> blob) {
+  const uint64_t frames = (blob.size() + kPageSize - 1) / kPageSize;
+  const FrameOwner owner{FrameOwnerKind::kUisr, vm_uid};
+  HYPERTP_ASSIGN_OR_RETURN(Mfn base, memory.Alloc(frames, 1, owner));
+  std::vector<PramPageEntry> entries;
+  entries.reserve(frames);
+  for (uint64_t i = 0; i < frames; ++i) {
+    const size_t begin = i * kPageSize;
+    const size_t end = std::min(begin + kPageSize, blob.size());
+    std::vector<uint8_t> page(blob.begin() + static_cast<ptrdiff_t>(begin),
+                              blob.begin() + static_cast<ptrdiff_t>(end));
+    HYPERTP_RETURN_IF_ERROR(memory.WritePage(base + i, std::move(page)));
+    entries.push_back(PramPageEntry{i, base + i, 0});
+  }
+  HYPERTP_ASSIGN_OR_RETURN(uint64_t file_id,
+                           builder.AddFile("uisr:" + std::to_string(vm_uid), blob.size(),
+                                           false, entries));
+  return StoredUisrBlob{FrameExtent{base, frames, owner}, file_id};
+}
+
+Result<std::vector<uint8_t>> LoadUisrBlob(const PhysicalMemory& memory, const PramFile& file) {
+  std::vector<uint8_t> blob;
+  blob.reserve(file.size_bytes);
+  for (const PramPageEntry& e : file.entries) {
+    HYPERTP_ASSIGN_OR_RETURN(std::vector<uint8_t> page, memory.ReadPage(e.mfn));
+    blob.insert(blob.end(), page.begin(), page.end());
+  }
+  blob.resize(file.size_bytes);
+  return blob;
+}
+
+std::vector<Result<UisrVm>> DecodeVmStates(const std::vector<std::vector<uint8_t>>& blobs,
+                                           int threads) {
+  // Pre-size the output with placeholder errors so each task only ever
+  // assigns its own slot (Result<UisrVm> has no default constructor).
+  std::vector<Result<UisrVm>> decoded(
+      blobs.size(), Result<UisrVm>(InternalError("uisr decode stage did not run")));
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(blobs.size());
+  for (size_t i = 0; i < blobs.size(); ++i) {
+    tasks.push_back([&blobs, &decoded, i] { decoded[i] = DecodeUisrVm(blobs[i]); });
+  }
+  RunOnWorkerPool(tasks, threads);
+  return decoded;
+}
+
+Result<VmId> RestoreVmState(Hypervisor& hv, const UisrVm& uisr,
+                            const GuestMemoryBinding& binding, FixupLog* fixups) {
+  return hv.RestoreVmFromUisr(uisr, binding, fixups);
+}
+
+Result<UisrVm> RoundTripVmState(const UisrVm& uisr, uint64_t* encoded_bytes) {
+  ByteWriter w;
+  EncodeUisrVm(uisr, w);
+  if (encoded_bytes != nullptr) {
+    *encoded_bytes = w.size();
+  }
+  return DecodeUisrVm(w.bytes());
+}
+
+}  // namespace pipeline
+}  // namespace hypertp

@@ -47,28 +47,4 @@ void SimExecutor::AdvanceTo(SimTime t) {
   now_ = t;
 }
 
-SimDuration ParallelMakespan(std::vector<SimDuration> costs, int workers) {
-  if (costs.empty()) {
-    return 0;
-  }
-  // workers <= 1 degenerates to serial execution. This also covers bad input
-  // (0 or negative): the old assert vanished in release builds, leaving
-  // min_element on an empty load vector — undefined behavior.
-  if (workers <= 1) {
-    SimDuration total = 0;
-    for (SimDuration c : costs) {
-      total += c;
-    }
-    return total;
-  }
-  // LPT greedy: sort descending, always assign to the least-loaded worker.
-  std::sort(costs.begin(), costs.end(), std::greater<>());
-  std::vector<SimDuration> load(static_cast<size_t>(workers), 0);
-  for (SimDuration c : costs) {
-    auto it = std::min_element(load.begin(), load.end());
-    *it += c;
-  }
-  return *std::max_element(load.begin(), load.end());
-}
-
 }  // namespace hypertp

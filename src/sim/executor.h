@@ -68,12 +68,10 @@ class SimExecutor {
   bool stopped_ = false;
 };
 
-// Computes the makespan of running `costs` (per-item durations) on `workers`
-// identical workers with greedy longest-processing-time-first scheduling.
-// Models the paper's parallelized per-VM translation/PRAM construction
-// (one worker thread per free core).
-SimDuration ParallelMakespan(std::vector<SimDuration> costs, int workers);
-
 }  // namespace hypertp
+
+// ParallelMakespan lives with the worker-pool primitive now (it is the
+// schedule's makespan); included here so existing callers keep compiling.
+#include "src/sim/worker_pool.h"  // IWYU pragma: export
 
 #endif  // HYPERTP_SRC_SIM_EXECUTOR_H_

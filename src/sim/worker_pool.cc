@@ -1,0 +1,86 @@
+#include "src/sim/worker_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+#include <thread>
+
+namespace hypertp {
+
+WorkSchedule ScheduleWork(const std::vector<SimDuration>& costs, int workers) {
+  WorkSchedule schedule;
+  schedule.workers = workers <= 1 ? 1 : workers;
+  schedule.tasks.resize(costs.size());
+  if (costs.empty()) {
+    return schedule;
+  }
+  // workers <= 1 degenerates to serial execution, covering bad input (0 or
+  // negative) the same way ParallelMakespan always has.
+  if (workers <= 1) {
+    SimDuration t = 0;
+    for (size_t i = 0; i < costs.size(); ++i) {
+      schedule.tasks[i] = WorkSchedule::Task{0, t, t + costs[i]};
+      t += costs[i];
+    }
+    schedule.makespan = t;
+    return schedule;
+  }
+  // LPT order: cost descending; stable, so equal costs keep input order.
+  std::vector<size_t> order(costs.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&costs](size_t a, size_t b) { return costs[a] > costs[b]; });
+  std::vector<SimDuration> load(static_cast<size_t>(workers), 0);
+  for (size_t idx : order) {
+    // min_element returns the FIRST minimum: equal loads pick the lowest
+    // worker index, keeping the schedule deterministic.
+    auto slot = std::min_element(load.begin(), load.end());
+    const int worker = static_cast<int>(slot - load.begin());
+    schedule.tasks[idx] = WorkSchedule::Task{worker, *slot, *slot + costs[idx]};
+    *slot += costs[idx];
+  }
+  schedule.makespan = *std::max_element(load.begin(), load.end());
+  return schedule;
+}
+
+SimDuration ParallelMakespan(std::vector<SimDuration> costs, int workers) {
+  return ScheduleWork(costs, workers).makespan;
+}
+
+void RunOnWorkerPool(std::vector<std::function<void()>>& tasks, int threads) {
+  const int n = static_cast<int>(tasks.size());
+  threads = std::min(threads, n);
+  if (threads <= 1) {
+    for (auto& task : tasks) {
+      task();
+    }
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&tasks, t, threads, n] {
+      for (int i = t; i < n; i += threads) {
+        tasks[static_cast<size_t>(i)]();
+      }
+    });
+  }
+  for (std::thread& th : pool) {
+    th.join();
+  }
+}
+
+int ParallelThreadsFromEnv() {
+  const char* raw = std::getenv("HYPERTP_PARALLEL");
+  if (raw == nullptr || *raw == '\0') {
+    return 1;
+  }
+  char* end = nullptr;
+  const long parsed = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0' || parsed < 1) {
+    return 1;
+  }
+  return static_cast<int>(std::min(parsed, 256L));
+}
+
+}  // namespace hypertp

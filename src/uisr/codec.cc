@@ -6,7 +6,10 @@
 namespace hypertp {
 namespace {
 
-void EncodeSegment(ByteWriter& w, const UisrSegment& s) {
+// The encode helpers are templated on the writer type so the same code path
+// serves ByteWriter (real output) and ByteCounter (exact size pre-pass).
+template <typename W>
+void EncodeSegment(W& w, const UisrSegment& s) {
   w.PutU64(s.base);
   w.PutU32(s.limit);
   w.PutU16(s.selector);
@@ -38,7 +41,8 @@ Result<UisrSegment> DecodeSegment(ByteReader& r) {
   return s;
 }
 
-void EncodeVcpu(ByteWriter& w, const UisrVcpu& v) {
+template <typename W>
+void EncodeVcpu(W& w, const UisrVcpu& v) {
   w.PutU32(v.id);
   w.PutU8(v.online ? 1 : 0);
   for (uint64_t g : v.regs.gpr) {
@@ -178,7 +182,8 @@ Result<UisrVcpu> DecodeVcpu(ByteReader& r) {
   return v;
 }
 
-void EncodeVmHeader(ByteWriter& w, const UisrVm& vm) {
+template <typename W>
+void EncodeVmHeader(W& w, const UisrVm& vm) {
   w.PutU64(vm.vm_uid);
   w.PutString(vm.name);
   w.PutString(vm.source_hypervisor);
@@ -188,7 +193,8 @@ void EncodeVmHeader(ByteWriter& w, const UisrVm& vm) {
   w.PutU32(static_cast<uint32_t>(vm.vcpus.size()));
 }
 
-void EncodeIoapic(ByteWriter& w, const UisrIoapic& io) {
+template <typename W>
+void EncodeIoapic(W& w, const UisrIoapic& io) {
   w.PutU32(io.id);
   w.PutU64(io.base_address);
   w.PutU32(io.num_pins);
@@ -197,7 +203,8 @@ void EncodeIoapic(ByteWriter& w, const UisrIoapic& io) {
   }
 }
 
-void EncodePit(ByteWriter& w, const UisrPit& pit) {
+template <typename W>
+void EncodePit(W& w, const UisrPit& pit) {
   for (const UisrPitChannel& c : pit.channels) {
     w.PutU32(c.count);
     w.PutU16(c.latched_count);
@@ -216,7 +223,8 @@ void EncodePit(ByteWriter& w, const UisrPit& pit) {
   w.PutU8(pit.speaker_data_on);
 }
 
-void EncodeDevice(ByteWriter& w, const UisrDeviceState& dev) {
+template <typename W>
+void EncodeDevice(W& w, const UisrDeviceState& dev) {
   w.PutString(dev.model);
   w.PutU32(dev.instance);
   w.PutU8(static_cast<uint8_t>(dev.mode));
@@ -224,8 +232,8 @@ void EncodeDevice(ByteWriter& w, const UisrDeviceState& dev) {
 }
 
 // Appends one TLV section whose payload is produced by `fill`.
-template <typename Fill>
-void AppendSection(ByteWriter& w, UisrSectionType type, Fill&& fill) {
+template <typename W, typename Fill>
+void AppendSection(W& w, UisrSectionType type, Fill&& fill) {
   w.PutU16(static_cast<uint16_t>(type));
   const size_t len_at = w.size();
   w.PutU32(0);  // Patched below.
@@ -234,30 +242,50 @@ void AppendSection(ByteWriter& w, UisrSectionType type, Fill&& fill) {
   w.PatchU32(len_at, static_cast<uint32_t>(w.size() - payload_start));
 }
 
-}  // namespace
-
-std::vector<uint8_t> EncodeUisrVm(const UisrVm& vm) {
-  ByteWriter w;
+// Everything up to (not including) the kEnd/CRC trailer.
+template <typename W>
+void EncodeUisrBody(W& w, const UisrVm& vm) {
   w.PutU32(kUisrMagic);
   w.PutU16(kUisrVersion);
   w.PutU16(0);  // Flags.
 
-  AppendSection(w, UisrSectionType::kVmHeader, [&vm](ByteWriter& out) { EncodeVmHeader(out, vm); });
+  AppendSection(w, UisrSectionType::kVmHeader, [&vm](auto& out) { EncodeVmHeader(out, vm); });
   for (const UisrVcpu& v : vm.vcpus) {
-    AppendSection(w, UisrSectionType::kVcpu, [&v](ByteWriter& out) { EncodeVcpu(out, v); });
+    AppendSection(w, UisrSectionType::kVcpu, [&v](auto& out) { EncodeVcpu(out, v); });
   }
-  AppendSection(w, UisrSectionType::kIoapic,
-                [&vm](ByteWriter& out) { EncodeIoapic(out, vm.ioapic); });
-  AppendSection(w, UisrSectionType::kPit, [&vm](ByteWriter& out) { EncodePit(out, vm.pit); });
+  AppendSection(w, UisrSectionType::kIoapic, [&vm](auto& out) { EncodeIoapic(out, vm.ioapic); });
+  AppendSection(w, UisrSectionType::kPit, [&vm](auto& out) { EncodePit(out, vm.pit); });
   for (const UisrDeviceState& dev : vm.devices) {
-    AppendSection(w, UisrSectionType::kDevice, [&dev](ByteWriter& out) { EncodeDevice(out, dev); });
+    AppendSection(w, UisrSectionType::kDevice, [&dev](auto& out) { EncodeDevice(out, dev); });
   }
+}
 
-  // CRC trailer over everything written so far.
-  const uint32_t crc = Crc32(w.bytes());
+// u16 type + u32 length + u32 CRC.
+constexpr size_t kEndTrailerBytes = 10;
+
+}  // namespace
+
+size_t EncodedUisrSize(const UisrVm& vm) {
+  ByteCounter counter;
+  EncodeUisrBody(counter, vm);
+  return counter.size() + kEndTrailerBytes;
+}
+
+void EncodeUisrVm(const UisrVm& vm, ByteWriter& w) {
+  const size_t start = w.size();
+  w.Reserve(start + EncodedUisrSize(vm));
+  EncodeUisrBody(w, vm);
+  // CRC trailer over this VM's bytes only, so the blob decodes identically
+  // whether it stands alone or sits embedded in a larger stream.
+  const uint32_t crc = Crc32(std::span<const uint8_t>(w.bytes()).subspan(start));
   w.PutU16(static_cast<uint16_t>(UisrSectionType::kEnd));
   w.PutU32(4);
   w.PutU32(crc);
+}
+
+std::vector<uint8_t> EncodeUisrVm(const UisrVm& vm) {
+  ByteWriter w;
+  EncodeUisrVm(vm, w);
   return w.TakeBytes();
 }
 
@@ -390,19 +418,20 @@ Result<UisrVm> DecodeUisrVm(std::span<const uint8_t> data) {
 
 UisrSizeBreakdown MeasureUisrVm(const UisrVm& vm) {
   UisrSizeBreakdown sizes;
+  // ByteCounter walks the same encoders without materializing any bytes.
   auto measure = [](auto&& fill) {
-    ByteWriter w;
-    fill(w);
-    return w.size();
+    ByteCounter counter;
+    fill(counter);
+    return counter.size();
   };
-  sizes.header = measure([&vm](ByteWriter& w) { EncodeVmHeader(w, vm); });
+  sizes.header = measure([&vm](ByteCounter& w) { EncodeVmHeader(w, vm); });
   for (const UisrVcpu& v : vm.vcpus) {
-    sizes.vcpus += measure([&v](ByteWriter& w) { EncodeVcpu(w, v); });
+    sizes.vcpus += measure([&v](ByteCounter& w) { EncodeVcpu(w, v); });
   }
-  sizes.ioapic = measure([&vm](ByteWriter& w) { EncodeIoapic(w, vm.ioapic); });
-  sizes.pit = measure([&vm](ByteWriter& w) { EncodePit(w, vm.pit); });
+  sizes.ioapic = measure([&vm](ByteCounter& w) { EncodeIoapic(w, vm.ioapic); });
+  sizes.pit = measure([&vm](ByteCounter& w) { EncodePit(w, vm.pit); });
   for (const UisrDeviceState& dev : vm.devices) {
-    sizes.devices += measure([&dev](ByteWriter& w) { EncodeDevice(w, dev); });
+    sizes.devices += measure([&dev](ByteCounter& w) { EncodeDevice(w, dev); });
   }
   // 8-byte file header, 6 bytes per section header, 10-byte end trailer.
   const size_t sections = 3 + vm.vcpus.size() + vm.devices.size();

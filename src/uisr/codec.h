@@ -41,8 +41,20 @@ struct UisrSizeBreakdown {
   size_t total() const { return header + vcpus + ioapic + pit + devices + framing; }
 };
 
-// Serializes a UisrVm into its wire form.
+class ByteWriter;
+
+// Serializes a UisrVm into its wire form. The output vector is allocated
+// once at its exact final size (the encoder pre-computes the byte count).
 std::vector<uint8_t> EncodeUisrVm(const UisrVm& vm);
+
+// Appends exactly the bytes the vector overload would return to `w` — the
+// CRC trailer covers only this VM's bytes, starting at the writer's current
+// position, so blobs can be embedded mid-stream (checkpoint files, PRAM
+// framing) without a temporary copy. Reserves the exact size up front.
+void EncodeUisrVm(const UisrVm& vm, ByteWriter& w);
+
+// Exact byte count EncodeUisrVm produces for `vm`, without encoding.
+size_t EncodedUisrSize(const UisrVm& vm);
 
 // Parses and validates a UISR blob. Fails with kDataLoss on bad magic,
 // truncation or CRC mismatch, and kUnimplemented on a newer version.

@@ -366,6 +366,39 @@ TEST(FleetTimingModelTest, ClusterDerivedDrainShrinksWithCompatibility) {
   EXPECT_EQ(report.makespan, 2 * (low.drain_per_host + low.transplant_per_host));
 }
 
+TEST(FleetTimingModelTest, ConversionWorkersShrinkTheMicroRebootShare) {
+  // 0 workers = legacy constant (seeded replays byte-identical); more modeled
+  // conversion workers lay the per-VM translate+restore share out over the
+  // worker-pool schedule, monotonically shrinking each host's transplant.
+  const FleetTimingModel legacy = DeriveFleetTiming(0.8, 42);
+  const FleetTimingModel explicit_legacy = DeriveFleetTiming(0.8, 42, 0);
+  EXPECT_EQ(legacy.transplant_per_host, explicit_legacy.transplant_per_host);
+  EXPECT_EQ(legacy.drain_per_host, explicit_legacy.drain_per_host);
+
+  const FleetTimingModel w1 = DeriveFleetTiming(0.8, 42, 1);
+  const FleetTimingModel w2 = DeriveFleetTiming(0.8, 42, 2);
+  const FleetTimingModel w8 = DeriveFleetTiming(0.8, 42, 8);
+  // One worker is exactly the serial layout: nothing changes.
+  EXPECT_EQ(w1.transplant_per_host, legacy.transplant_per_host);
+  EXPECT_LT(w2.transplant_per_host, w1.transplant_per_host);
+  EXPECT_LT(w8.transplant_per_host, w2.transplant_per_host);
+  EXPECT_GT(w8.transplant_per_host, 0);
+  // The knob only touches the in-place micro-reboot share, never the drains.
+  EXPECT_EQ(w8.drain_per_host, legacy.drain_per_host);
+
+  // And it flows through FleetConfig into the controller's per-host timing.
+  SimExecutor executor;
+  FleetConfig config = BaseConfig();
+  config.hosts = 20;
+  config.use_cluster_timing = true;
+  config.conversion_workers = 8;
+  FleetController fast(executor, config);
+  EXPECT_EQ(fast.config().per_host_transplant, w8.transplant_per_host);
+  config.conversion_workers = 0;
+  FleetController slow(executor, config);
+  EXPECT_EQ(slow.config().per_host_transplant, legacy.transplant_per_host);
+}
+
 TEST(FleetTraceTest, RingBufferDropsOldestAndCounts) {
   FleetTrace trace(4);
   for (int i = 0; i < 10; ++i) {

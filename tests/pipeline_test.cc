@@ -1,0 +1,267 @@
+// Tests for the shared conversion pipeline (src/pipeline/):
+//  - every encode path (vector, writer overload, batch stage, checkpoint
+//    embedding, migration wire round-trip) produces byte-identical UISR;
+//  - the PramStore/PramLoad stages round-trip blobs through PRAM;
+//  - real-thread count never changes any output byte: InPlaceTransplant
+//    reports and trace JSON are identical for real_threads 1/2/8 and for
+//    HYPERTP_PARALLEL, and per-VM spans are laid out by the modeled schedule.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/core/checkpoint.h"
+#include "src/core/factory.h"
+#include "src/core/inplace.h"
+#include "src/core/telemetry.h"
+#include "src/migrate/migrate.h"
+#include "src/obs/trace.h"
+#include "src/pipeline/conversion.h"
+#include "src/uisr/codec.h"
+
+namespace hypertp {
+namespace {
+
+// A paused Xen VM with a pinned uid, ready for extraction.
+std::pair<std::unique_ptr<Hypervisor>, VmId> PausedXenVm(Machine& machine, uint64_t uid) {
+  std::unique_ptr<Hypervisor> xen = MakeHypervisor(HypervisorKind::kXen, machine);
+  VmConfig config = VmConfig::Small("pipe");
+  config.vcpus = 2;
+  config.uid = uid;
+  auto id = xen->CreateVm(config);
+  EXPECT_TRUE(id.ok());
+  EXPECT_TRUE(xen->WriteGuestPage(*id, 7, 0xABCDEF).ok());
+  EXPECT_TRUE(xen->PrepareVmForTransplant(*id).ok());
+  EXPECT_TRUE(xen->PauseVm(*id).ok());
+  return {std::move(xen), *id};
+}
+
+TEST(ConversionParityTest, EveryEncodePathIsByteIdentical) {
+  Machine machine(MachineProfile::M1(), 21);
+  auto [xen, id] = PausedXenVm(machine, 4242);
+  FixupLog log;
+  auto uisr = pipeline::ExtractVmState(*xen, id, &log);
+  ASSERT_TRUE(uisr.ok()) << uisr.error().ToString();
+
+  // Vector overload == writer overload == exact pre-computed size.
+  const std::vector<uint8_t> blob = EncodeUisrVm(*uisr);
+  ByteWriter w;
+  EncodeUisrVm(*uisr, w);
+  EXPECT_EQ(w.bytes(), blob);
+  EXPECT_EQ(EncodedUisrSize(*uisr), blob.size());
+
+  // Writer overload mid-stream: the embedded bytes must equal the standalone
+  // blob even when other bytes precede them (the CRC covers only this VM).
+  ByteWriter prefixed;
+  prefixed.PutU64(0xFEEDFACE);
+  EncodeUisrVm(*uisr, prefixed);
+  const std::vector<uint8_t> embedded(prefixed.bytes().begin() + 8, prefixed.bytes().end());
+  EXPECT_EQ(embedded, blob);
+
+  // Batch encode stage, serial and threaded.
+  const std::vector<UisrVm> batch = {*uisr, *uisr, *uisr};
+  for (int threads : {1, 4}) {
+    const auto blobs = pipeline::EncodeVmStates(batch, threads);
+    ASSERT_EQ(blobs.size(), batch.size());
+    for (const auto& b : blobs) {
+      EXPECT_EQ(b, blob) << "threads=" << threads;
+    }
+  }
+
+  // Wire round-trip (what MigrationTP runs): same byte count, and the decoded
+  // state re-encodes to the identical blob.
+  uint64_t wire_bytes = 0;
+  auto round = pipeline::RoundTripVmState(*uisr, &wire_bytes);
+  ASSERT_TRUE(round.ok()) << round.error().ToString();
+  EXPECT_EQ(wire_bytes, blob.size());
+  EXPECT_EQ(round->vm_uid, uisr->vm_uid);
+  EXPECT_EQ(EncodeUisrVm(*round), blob);
+}
+
+TEST(ConversionParityTest, CheckpointEmbedsTheIdenticalBlob) {
+  // The checkpoint writer encodes straight into its ByteWriter (no
+  // intermediate blob); the embedded section must still be byte-identical to
+  // the standalone encoding of the same extracted state.
+  Machine machine(MachineProfile::M1(), 22);
+  auto [xen, id] = PausedXenVm(machine, 4242);
+  FixupLog log;
+  auto uisr = pipeline::ExtractVmState(*xen, id, &log);
+  ASSERT_TRUE(uisr.ok());
+  const std::vector<uint8_t> blob = EncodeUisrVm(*uisr);
+
+  auto checkpoint = SaveVmCheckpoint(*xen, id);
+  ASSERT_TRUE(checkpoint.ok()) << checkpoint.error().ToString();
+  ByteReader r(*checkpoint);
+  ASSERT_TRUE(r.Skip(8).ok());  // magic + version + flags
+  auto embedded = r.ReadLengthPrefixed();
+  ASSERT_TRUE(embedded.ok());
+  EXPECT_EQ(*embedded, blob);
+}
+
+TEST(ConversionParityTest, InPlaceAndMigrationReportTheSameUisrBytes) {
+  // The same VM converts through InPlaceTP and MigrationTP; both mechanisms
+  // now share the pipeline stages, so the reported UISR wire size matches.
+  uint64_t inplace_bytes = 0;
+  {
+    Machine machine(MachineProfile::M1(), 31);
+    auto [xen, id] = PausedXenVm(machine, 4242);
+    ASSERT_TRUE(xen->ResumeVm(id).ok());  // Run() pauses by itself.
+    auto result = InPlaceTransplant::Run(std::move(xen), HypervisorKind::kKvm, InPlaceOptions{});
+    ASSERT_TRUE(result.ok()) << result.error().ToString();
+    ASSERT_EQ(result->report.vms.size(), 1u);
+    inplace_bytes = result->report.vms[0].uisr_bytes;
+  }
+  uint64_t migrate_bytes = 0;
+  {
+    Machine src_machine(MachineProfile::M1(), 32);
+    Machine dst_machine(MachineProfile::M1(), 33);
+    auto [xen, id] = PausedXenVm(src_machine, 4242);
+    ASSERT_TRUE(xen->ResumeVm(id).ok());  // Migration pauses at stop-and-copy.
+    std::unique_ptr<Hypervisor> kvm = MakeHypervisor(HypervisorKind::kKvm, dst_machine);
+    MigrationEngine engine{NetworkLink{}};
+    auto result = engine.MigrateVm(*xen, id, *kvm, MigrationConfig{});
+    ASSERT_TRUE(result.ok()) << result.error().ToString();
+    migrate_bytes = result->uisr_bytes;
+  }
+  EXPECT_GT(inplace_bytes, 0u);
+  EXPECT_EQ(inplace_bytes, migrate_bytes);
+}
+
+TEST(PramStageTest, StoreAndLoadRoundTripABlob) {
+  Machine machine(MachineProfile::M1(), 41);
+  std::vector<uint8_t> blob(kPageSize * 2 + 37);
+  for (size_t i = 0; i < blob.size(); ++i) {
+    blob[i] = static_cast<uint8_t>(i * 31 + 7);
+  }
+
+  PramBuilder builder(machine.memory());
+  auto stored = pipeline::StoreUisrBlob(machine.memory(), builder, 77, blob);
+  ASSERT_TRUE(stored.ok()) << stored.error().ToString();
+  EXPECT_EQ(stored->frames.count, 3u);  // ceil(2 pages + 37 bytes).
+  auto handle = builder.Finalize();
+  ASSERT_TRUE(handle.ok());
+
+  auto image = ParsePram(machine.memory(), handle->root_mfn);
+  ASSERT_TRUE(image.ok()) << image.error().ToString();
+  const PramFile* file = image->FindFile(stored->file_id);
+  ASSERT_NE(file, nullptr);
+  EXPECT_EQ(file->name, "uisr:77");
+  EXPECT_EQ(file->size_bytes, blob.size());
+  auto loaded = pipeline::LoadUisrBlob(machine.memory(), *file);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().ToString();
+  EXPECT_EQ(*loaded, blob);
+}
+
+TEST(DecodeStageTest, ErrorsComeBackInPlaceForAnyThreadCount) {
+  Machine machine(MachineProfile::M1(), 51);
+  auto [xen, id] = PausedXenVm(machine, 4242);
+  FixupLog log;
+  auto uisr = pipeline::ExtractVmState(*xen, id, &log);
+  ASSERT_TRUE(uisr.ok());
+  const std::vector<uint8_t> good = EncodeUisrVm(*uisr);
+  std::vector<uint8_t> bad = good;
+  bad[bad.size() / 2] ^= 0xFF;  // CRC must catch it.
+
+  const std::vector<std::vector<uint8_t>> blobs = {good, bad, good};
+  for (int threads : {1, 4}) {
+    auto decoded = pipeline::DecodeVmStates(blobs, threads);
+    ASSERT_EQ(decoded.size(), 3u);
+    EXPECT_TRUE(decoded[0].ok()) << "threads=" << threads;
+    EXPECT_FALSE(decoded[1].ok()) << "threads=" << threads;
+    EXPECT_TRUE(decoded[2].ok()) << "threads=" << threads;
+  }
+}
+
+// --- Determinism: real threads never change an output byte. ----------------
+
+struct TracedRun {
+  std::string report_json;
+  std::string trace_json;
+};
+
+TracedRun RunTracedInPlace(int real_threads) {
+  Machine machine(MachineProfile::M2(), 61);
+  std::unique_ptr<Hypervisor> xen = MakeHypervisor(HypervisorKind::kXen, machine);
+  for (int i = 0; i < 6; ++i) {
+    VmConfig config = VmConfig::Small("det-" + std::to_string(i));
+    config.uid = 9000 + static_cast<uint64_t>(i);  // Pin uids across runs.
+    config.vcpus = 1 + static_cast<uint32_t>(i % 3);  // Unequal stage costs.
+    auto id = xen->CreateVm(config);
+    EXPECT_TRUE(id.ok());
+  }
+  Tracer tracer;
+  InPlaceOptions options;
+  options.tracer = &tracer;
+  options.real_threads = real_threads;
+  auto result = InPlaceTransplant::Run(std::move(xen), HypervisorKind::kKvm, options);
+  EXPECT_TRUE(result.ok()) << result.error().ToString();
+  return TracedRun{TransplantReportToJson(result->report), tracer.ToChromeTraceJson()};
+}
+
+TEST(PipelineDeterminismTest, RealThreadCountNeverChangesReportOrTrace) {
+  const TracedRun serial = RunTracedInPlace(1);
+  ASSERT_FALSE(serial.report_json.empty());
+  for (int threads : {2, 8}) {
+    const TracedRun threaded = RunTracedInPlace(threads);
+    EXPECT_EQ(threaded.report_json, serial.report_json) << "real_threads=" << threads;
+    EXPECT_EQ(threaded.trace_json, serial.trace_json) << "real_threads=" << threads;
+  }
+}
+
+TEST(PipelineDeterminismTest, HypertpParallelEnvNeverChangesReportOrTrace) {
+  unsetenv("HYPERTP_PARALLEL");
+  const TracedRun baseline = RunTracedInPlace(0);  // 0 = read the env var.
+  setenv("HYPERTP_PARALLEL", "8", 1);
+  const TracedRun enabled = RunTracedInPlace(0);
+  unsetenv("HYPERTP_PARALLEL");
+  EXPECT_EQ(enabled.report_json, baseline.report_json);
+  EXPECT_EQ(enabled.trace_json, baseline.trace_json);
+  // And the env-driven run matches an explicit thread count.
+  const TracedRun explicit_run = RunTracedInPlace(8);
+  EXPECT_EQ(explicit_run.report_json, baseline.report_json);
+  EXPECT_EQ(explicit_run.trace_json, baseline.trace_json);
+}
+
+// --- Schedule-derived spans. ------------------------------------------------
+
+TEST(ScheduledSpansTest, PerVmSpansAreLaidOutInsideTheirPhaseBySchedule) {
+  Machine machine(MachineProfile::M2(), 62);
+  std::unique_ptr<Hypervisor> xen = MakeHypervisor(HypervisorKind::kXen, machine);
+  const int vm_count = 5;
+  for (int i = 0; i < vm_count; ++i) {
+    VmConfig config = VmConfig::Small("span-" + std::to_string(i));
+    config.vcpus = 1 + static_cast<uint32_t>(i % 2);
+    EXPECT_TRUE(xen->CreateVm(config).ok());
+  }
+  Tracer tracer;
+  InPlaceOptions options;
+  options.tracer = &tracer;
+  auto result = InPlaceTransplant::Run(std::move(xen), HypervisorKind::kKvm, options);
+  ASSERT_TRUE(result.ok()) << result.error().ToString();
+
+  for (const char* phase : {"phase:translation", "phase:restoration"}) {
+    const Span* span = tracer.FindSpan(phase);
+    ASSERT_NE(span, nullptr) << phase;
+    const auto children = tracer.ChildrenOf(span->id);
+    ASSERT_EQ(children.size(), static_cast<size_t>(vm_count)) << phase;
+    SimDuration latest_end = 0;
+    for (const Span* child : children) {
+      // Every per-VM stage span sits inside its phase at a schedule offset.
+      EXPECT_GE(child->start, span->start) << phase << " / " << child->name;
+      EXPECT_LE(child->end, span->end) << phase << " / " << child->name;
+      latest_end = std::max(latest_end, child->end - span->start);
+    }
+    // The phase duration IS the schedule makespan: some task ends exactly at
+    // the phase boundary (restoration may append the early-restoration stall,
+    // which the default options disable).
+    EXPECT_EQ(latest_end, span->duration()) << phase;
+  }
+}
+
+}  // namespace
+}  // namespace hypertp

@@ -4,12 +4,18 @@
 # the recovery paths (fault injection exercises a lot of error-path cleanup
 # code that a normal run never reaches with leak checking enabled).
 #
-# Usage: tests/run_sanitized.sh [build-dir]   (default: build-sanitized)
+# A second ThreadSanitizer stage then rebuilds the worker-pool / pipeline
+# targets (the only code that spawns real threads) and runs them with
+# HYPERTP_PARALLEL > 1 so the encode/decode fan-out actually races if it can.
+#
+# Usage: tests/run_sanitized.sh [build-dir]   (default: build-sanitized;
+#        the TSan stage uses <build-dir>-tsan)
 
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${1:-${repo_root}/build-sanitized}"
+tsan_dir="${build_dir}-tsan"
 
 cmake -B "${build_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -33,3 +39,23 @@ for artifact in BENCH_fig6_breakdown.json TRACE_fig6_M1.json TRACE_fig6_M2.json;
   test -s "${bench_out}/${artifact}" || { echo "missing ${artifact}" >&2; exit 1; }
 done
 echo "sanitized bench smoke-run OK (${bench_out})"
+
+# --- ThreadSanitizer stage -------------------------------------------------
+# TSan is incompatible with ASan, so it needs its own build tree. Only the
+# worker-pool and pipeline targets spawn real threads; building just those
+# keeps the stage cheap. HYPERTP_PARALLEL=4 makes the threaded encode/decode
+# paths run multi-threaded even where a test defaults to serial.
+cmake -B "${tsan_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DHYPERTP_SANITIZE=thread
+cmake --build "${tsan_dir}" -j "$(nproc)" \
+  --target worker_pool_test pipeline_test bench_pipeline_scaling
+
+export TSAN_OPTIONS="halt_on_error=1"
+HYPERTP_PARALLEL=4 "${tsan_dir}/tests/worker_pool_test"
+HYPERTP_PARALLEL=4 "${tsan_dir}/tests/pipeline_test"
+HYPERTP_PARALLEL=4 HYPERTP_TRACE=1 HYPERTP_BENCH_DIR="${bench_out}" \
+  "${tsan_dir}/bench/bench_pipeline_scaling" > /dev/null
+test -s "${bench_out}/BENCH_pipeline_scaling.json" \
+  || { echo "missing BENCH_pipeline_scaling.json" >&2; exit 1; }
+echo "tsan stage OK (${tsan_dir})"
