@@ -259,6 +259,7 @@ Result<uint64_t> BhyveVisor::ReadGuestPage(VmId id, Gfn gfn) const {
 
 Result<void> BhyveVisor::WriteGuestPage(VmId id, Gfn gfn, uint64_t content) {
   HYPERTP_ASSIGN_OR_RETURN(BhyveVm * vm, MutableVm(id));
+  ++vm->state_generation;
   return vm->memmap.Write(machine_->memory(), gfn, content);
 }
 
@@ -271,6 +272,45 @@ Result<void> BhyveVisor::AdvanceGuestClocks(VmId id, SimDuration delta) {
     }
   }
   vm->platform.hpet_counter += static_cast<uint64_t>(delta / 100);  // 10 MHz HPET.
+  ++vm->state_generation;
+  return OkResult();
+}
+
+Result<uint64_t> BhyveVisor::StateGeneration(VmId id) const {
+  HYPERTP_ASSIGN_OR_RETURN(const BhyveVm* vm, FindVm(id));
+  return vm->state_generation;
+}
+
+Result<void> BhyveVisor::InjectGuestEvent(VmId id, GuestEventKind kind) {
+  HYPERTP_ASSIGN_OR_RETURN(BhyveVm * vm, MutableVm(id));
+  if (vm->run_state != VmRunState::kRunning) {
+    return FailedPreconditionError("bhyve: cannot inject guest events into a paused vm");
+  }
+  switch (kind) {
+    case GuestEventKind::kTimerTick:
+      // 1 ms LAPIC timer period on the virtual 1 GHz TSC; the HPET main
+      // counter (10 MHz) advances alongside.
+      for (BhyveVcpu& vcpu : vm->platform.vcpus) {
+        vcpu.tsc += 1'000'000;
+        vcpu.tsc_deadline = vcpu.tsc + 1'000'000;
+      }
+      vm->platform.hpet_counter += 10'000;
+      break;
+    case GuestEventKind::kEventChannel:
+      // Interrupt-controller activity: the HPET ticks while the interrupt
+      // is delivered and acknowledged.
+      vm->platform.hpet_counter += 1;
+      break;
+    case GuestEventKind::kWorkloadStep:
+      // A scheduling quantum of guest execution: registers move.
+      for (BhyveVcpu& vcpu : vm->platform.vcpus) {
+        vcpu.tsc += 10'000'000;
+        vcpu.rip += 0x40;
+        vcpu.gpr[0] += 1;
+      }
+      break;
+  }
+  ++vm->state_generation;
   return OkResult();
 }
 
@@ -301,6 +341,8 @@ Result<std::vector<std::pair<Gfn, uint64_t>>> BhyveVisor::DumpGuestContent(VmId 
 
 Result<void> BhyveVisor::PrepareVmForTransplant(VmId id) {
   HYPERTP_ASSIGN_OR_RETURN(BhyveVm * vm, MutableVm(id));
+  // Quiescing/unplugging changes translated device state.
+  ++vm->state_generation;
   return PrepareDevicesForTransplant(vm->devices);
 }
 

@@ -49,6 +49,10 @@ struct BhyveVm {
   std::vector<UisrDeviceState> devices;  // The bhyve process's device models.
   uint32_t bhyve_pid = 0;
   uint64_t vm_state_frames = 0;
+
+  // Monotonic platform-state generation (Hypervisor::StateGeneration): bumps
+  // on guest-visible state changes, never on pause/resume/save.
+  uint64_t state_generation = 1;
 };
 
 class BhyveVisor : public Hypervisor {
@@ -77,6 +81,9 @@ class BhyveVisor : public Hypervisor {
   Result<void> WriteGuestPage(VmId id, Gfn gfn, uint64_t content) override;
 
   Result<void> AdvanceGuestClocks(VmId id, SimDuration delta) override;
+
+  Result<uint64_t> StateGeneration(VmId id) const override;
+  Result<void> InjectGuestEvent(VmId id, GuestEventKind kind) override;
 
   Result<void> EnableDirtyLogging(VmId id) override;
   Result<std::vector<Gfn>> FetchAndClearDirtyLog(VmId id) override;

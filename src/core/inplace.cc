@@ -16,6 +16,7 @@
 #include "src/core/factory.h"
 #include "src/core/inplace_internal.h"
 #include "src/kexec/kexec.h"
+#include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/pram/ledger.h"
 #include "src/pram/pram.h"
@@ -139,6 +140,45 @@ Result<InPlaceResult> InPlaceTransplant::Run(std::unique_ptr<Hypervisor> source,
   }
   cursor += report.phases.pram;
 
+  // --- Speculative pre-translation: Extract -> UisrEncode while the guests
+  // still run, keyed by per-VM state generations. Runs after PrepareVms so
+  // the PRAM file ids it bakes into the blobs are final. Its makespan is
+  // charged to total_time only — the guests are not paused for it.
+  pipeline::PreTranslationCache pretranslate_cache;
+  if (options.pre_translate) {
+    std::vector<pipeline::PreTranslateRequest> requests;
+    requests.reserve(vms.size());
+    for (const VmSnapshot& snap : vms) {
+      requests.push_back(pipeline::PreTranslateRequest{snap.id, snap.info.uid, snap.vm_file_id,
+                                                       snap.info.vcpus, snap.info.memory_bytes});
+    }
+    auto pre_schedule = pipeline::PreTranslateVms(*source, costs, requests, workers, real_threads,
+                                                  &pretranslate_cache);
+    if (!pre_schedule.ok()) {
+      return abort(pre_schedule.error());
+    }
+    report.pre_translated = true;
+    report.phases.pre_translation = pre_schedule->makespan;
+    if (tracer != nullptr) {
+      const SpanId span =
+          tracer->AddSpan("phase:pre_translation", cursor, report.phases.pre_translation, root);
+      std::vector<uint64_t> uids;
+      uids.reserve(vms.size());
+      for (const VmSnapshot& snap : vms) {
+        uids.push_back(snap.info.uid);
+      }
+      TraceScheduledSpans(tracer, "pre_translate", uids, *pre_schedule, cursor, span);
+    }
+    cursor += report.phases.pre_translation;
+  }
+
+  // The guests ran through all of the above. Let the test/bench hook inject
+  // its guest activity now (in both modes, so invalidation comparisons are
+  // fair) — whatever it dirties must show up in the translated state.
+  if (options.concurrent_activity) {
+    options.concurrent_activity(*source);
+  }
+
   // ❷ Pause all guests.
   for (VmSnapshot& snap : vms) {
     if (auto pause = source->PauseVm(snap.id); !pause.ok()) {
@@ -151,12 +191,22 @@ Result<InPlaceResult> InPlaceTransplant::Run(std::unique_ptr<Hypervisor> source,
   }
 
   // ❸ Translate VM_i States to UISR; park the blobs in RAM as PRAM files.
+  // With pre-translation on this only reconciles the cache against the
+  // paused-state generations; without it, the full Extract -> UisrEncode
+  // pipeline runs here, inside the pause window.
   auto translate_schedule =
-      TranslateVms(*source, machine, options, workers, real_threads, builder, report, vms);
+      TranslateVms(*source, machine, options, workers, real_threads, builder, report, vms,
+                   options.pre_translate ? &pretranslate_cache : nullptr);
   if (!translate_schedule.ok()) {
     return abort(translate_schedule.error());
   }
   report.phases.translation = translate_schedule->makespan;
+  if (options.metrics != nullptr && report.pre_translated) {
+    options.metrics->GetCounter("hypertp_pretranslate_hits")
+        .Increment(static_cast<uint64_t>(report.pretranslate_hits));
+    options.metrics->GetCounter("hypertp_pretranslate_invalidations")
+        .Increment(static_cast<uint64_t>(report.pretranslate_invalidations));
+  }
   if (tracer != nullptr) {
     const SpanId span = tracer->AddSpan("phase:translation", cursor, report.phases.translation, root);
     tracer->SetAttribute(span, "uisr_bytes", static_cast<int64_t>(report.uisr_total_bytes));
@@ -429,7 +479,8 @@ Result<InPlaceResult> InPlaceTransplant::Run(std::unique_ptr<Hypervisor> source,
   report.downtime = (options.prepare_before_pause ? 0 : report.phases.pram) +
                     report.phases.translation + report.phases.reboot +
                     report.phases.restoration + report.phases.rollback + report.phases.resume;
-  report.total_time = report.phases.pram + report.phases.translation + report.phases.reboot +
+  report.total_time = report.phases.pram + report.phases.pre_translation +
+                      report.phases.translation + report.phases.reboot +
                       report.phases.restoration + report.phases.rollback + report.phases.resume;
   // NIC re-init starts at the kexec jump and overlaps the remaining phases.
   report.network_downtime =

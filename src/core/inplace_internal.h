@@ -20,6 +20,7 @@
 #include "src/base/result.h"
 #include "src/core/report.h"
 #include "src/hv/hypervisor.h"
+#include "src/pipeline/pretranslate.h"
 #include "src/pram/pram.h"
 #include "src/sim/worker_pool.h"
 
@@ -60,10 +61,17 @@ Result<WorkSchedule> PrepareVms(Hypervisor& source, Machine& machine,
 // per-VM report records and blobs; returns the translation schedule (tasks
 // in `vms` order) charged as phases.translation. Honors the
 // kTranslationFailure / kPramWriteFailure injection points.
+//
+// With a non-null `cache` (options.pre_translate), each VM's state generation
+// is compared against its speculative pre-translation: a match adopts the
+// cached blob for pretranslate_check; a mismatch re-extracts and patches only
+// the dirty UISR sections, charged at the full translate cost scaled by the
+// dirtied payload fraction. Null runs the exact legacy path.
 Result<WorkSchedule> TranslateVms(Hypervisor& source, Machine& machine,
                                   const InPlaceOptions& options, int workers, int real_threads,
                                   PramBuilder& builder, TransplantReport& report,
-                                  std::vector<VmSnapshot>& vms);
+                                  std::vector<VmSnapshot>& vms,
+                                  const pipeline::PreTranslationCache* cache);
 
 // What the restore side hands back to Run().
 struct RestoreOutcome {

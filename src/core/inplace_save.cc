@@ -38,8 +38,13 @@ std::vector<PramPageEntry> EntriesFromMappings(const std::vector<GuestMapping>& 
 }
 
 Result<Mfn> TranslateInMap(const std::vector<GuestMapping>& map, Gfn gfn) {
-  for (const GuestMapping& m : map) {
-    if (gfn >= m.gfn && gfn < m.gfn_end()) {
+  // GuestMemoryMap() returns mappings sorted by gfn (Hypervisor contract), so
+  // only the last mapping starting at or before gfn can contain it.
+  auto it = std::upper_bound(map.begin(), map.end(), gfn,
+                             [](Gfn g, const GuestMapping& m) { return g < m.gfn; });
+  if (it != map.begin()) {
+    const GuestMapping& m = *(it - 1);
+    if (gfn < m.gfn_end()) {
       return m.mfn + (gfn - m.gfn);
     }
   }
@@ -84,31 +89,97 @@ Result<WorkSchedule> PrepareVms(Hypervisor& source, Machine& machine,
   return ScheduleWork(pram_costs, workers);
 }
 
+namespace {
+
+// Pause-time translation of one VM when a pre-translation cache is present:
+// compare the state generation against the speculative snapshot and do the
+// least work that still yields bytes identical to a from-scratch translate.
+// Returns the modeled cost to charge inside the pause window.
+Result<SimDuration> TranslateAgainstCache(Hypervisor& source, const HostCostProfile& costs,
+                                          const pipeline::PreTranslationCache& cache,
+                                          VmSnapshot& snap, TransplantReport& report,
+                                          std::vector<uint8_t>& blob) {
+  HYPERTP_ASSIGN_OR_RETURN(uint64_t generation, source.StateGeneration(snap.id));
+  const pipeline::PreTranslatedVm* entry = cache.Find(snap.info.uid);
+  const SimDuration full_cost =
+      pipeline::TranslateStageCost(costs, snap.info.vcpus, snap.info.memory_bytes);
+
+  if (entry != nullptr && entry->generation == generation) {
+    // Generation unchanged: the speculative blob is the blob. Replay the
+    // fixups its extract recorded — the legacy path would have logged the
+    // same ones here.
+    blob = entry->blob;
+    report.fixups.insert(report.fixups.end(), entry->fixups.begin(), entry->fixups.end());
+    ++report.pretranslate_hits;
+    return costs.pretranslate_check;
+  }
+
+  // Invalidated (or never cached): re-extract now that the guest is paused.
+  HYPERTP_ASSIGN_OR_RETURN(UisrVm fresh,
+                           pipeline::ExtractVmState(source, snap.id, &report.fixups));
+  fresh.memory.pram_file_id = snap.vm_file_id;
+  if (entry == nullptr) {
+    blob = EncodeUisrVm(fresh);
+    return full_cost;
+  }
+  ++report.pretranslate_invalidations;
+  HYPERTP_ASSIGN_OR_RETURN(pipeline::ReconcileResult rec,
+                           pipeline::ReconcilePreTranslated(*entry, fresh));
+  blob = std::move(rec.blob);
+  // Charge the full translate scaled by the payload fraction actually
+  // rewritten: a false-positive invalidation (nothing reached the UISR)
+  // degenerates to the check cost, a structural change to the full cost.
+  const double dirty_fraction =
+      rec.total_payload_bytes > 0
+          ? static_cast<double>(rec.patched_bytes) / static_cast<double>(rec.total_payload_bytes)
+          : 1.0;
+  return costs.pretranslate_check +
+         static_cast<SimDuration>(static_cast<double>(full_cost) * dirty_fraction);
+}
+
+}  // namespace
+
 Result<WorkSchedule> TranslateVms(Hypervisor& source, Machine& machine,
                                   const InPlaceOptions& options, int workers, int real_threads,
                                   PramBuilder& builder, TransplantReport& report,
-                                  std::vector<VmSnapshot>& vms) {
+                                  std::vector<VmSnapshot>& vms,
+                                  const pipeline::PreTranslationCache* cache) {
   if (options.inject_fault == InPlaceOptions::Fault::kTranslationFailure) {
     return InternalError("injected translation fault");
   }
   const HostCostProfile& costs = machine.profile().costs;
 
-  // Extract (serial: talks to the source hypervisor).
-  std::vector<UisrVm> states;
-  states.reserve(vms.size());
-  for (VmSnapshot& snap : vms) {
-    HYPERTP_ASSIGN_OR_RETURN(UisrVm uisr,
-                             pipeline::ExtractVmState(source, snap.id, &report.fixups));
-    uisr.memory.pram_file_id = snap.vm_file_id;
-    states.push_back(std::move(uisr));
-  }
+  std::vector<std::vector<uint8_t>> blobs;
+  std::vector<SimDuration> translate_costs;
+  if (cache == nullptr) {
+    // Legacy path: everything happens inside the pause window.
+    // Extract (serial: talks to the source hypervisor).
+    std::vector<UisrVm> states;
+    states.reserve(vms.size());
+    for (VmSnapshot& snap : vms) {
+      HYPERTP_ASSIGN_OR_RETURN(UisrVm uisr,
+                               pipeline::ExtractVmState(source, snap.id, &report.fixups));
+      uisr.memory.pram_file_id = snap.vm_file_id;
+      states.push_back(std::move(uisr));
+    }
 
-  // UisrEncode (pure: real OS threads allowed; bytes independent of count).
-  std::vector<std::vector<uint8_t>> blobs = pipeline::EncodeVmStates(states, real_threads);
+    // UisrEncode (pure: real OS threads allowed; bytes independent of count).
+    blobs = pipeline::EncodeVmStates(states, real_threads);
+    for (const VmSnapshot& snap : vms) {
+      translate_costs.push_back(
+          pipeline::TranslateStageCost(costs, snap.info.vcpus, snap.info.memory_bytes));
+    }
+  } else {
+    blobs.resize(vms.size());
+    for (size_t i = 0; i < vms.size(); ++i) {
+      HYPERTP_ASSIGN_OR_RETURN(
+          SimDuration cost, TranslateAgainstCache(source, costs, *cache, vms[i], report, blobs[i]));
+      translate_costs.push_back(cost);
+    }
+  }
 
   // PramStore (serial: allocates kUisr frames so the blobs survive the
   // micro-reboot) + per-VM report records.
-  std::vector<SimDuration> translate_costs;
   for (size_t i = 0; i < vms.size(); ++i) {
     VmSnapshot& snap = vms[i];
     snap.uisr_blob = std::move(blobs[i]);
@@ -124,9 +195,6 @@ Result<WorkSchedule> TranslateVms(Hypervisor& source, Machine& machine,
         pipeline::StoredUisrBlob stored,
         pipeline::StoreUisrBlob(machine.memory(), builder, snap.info.uid, snap.uisr_blob));
     snap.uisr_frames.push_back(stored.frames);
-
-    translate_costs.push_back(
-        pipeline::TranslateStageCost(costs, snap.info.vcpus, snap.info.memory_bytes));
   }
   return ScheduleWork(translate_costs, workers);
 }

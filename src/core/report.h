@@ -4,6 +4,7 @@
 #ifndef HYPERTP_SRC_CORE_REPORT_H_
 #define HYPERTP_SRC_CORE_REPORT_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,7 @@
 
 namespace hypertp {
 
+class MetricsRegistry;
 class Tracer;
 
 // Options controlling the InPlaceTP optimizations of paper §4.2.5. The
@@ -23,9 +25,23 @@ struct InPlaceOptions {
   // changes no behavior or reported duration.
   Tracer* tracer = nullptr;
   SimTime trace_base = 0;
+  // When non-null, the run increments hypertp_pretranslate_{hits,invalidations}
+  // counters after the translation phase. Null (the default) records nothing.
+  MetricsRegistry* metrics = nullptr;
 
   // "Preparation work without pausing the guest": build PRAM before pause.
   bool prepare_before_pause = true;
+  // Speculative pre-translation (src/pipeline/pretranslate.h): Extract +
+  // UisrEncode while the guests still run, keyed by per-VM state generations.
+  // At pause time only invalidated VMs are re-translated, and within a VM only
+  // the dirty UISR sections are patched. Off = the exact legacy pause-window
+  // translation (byte-identical blobs, reports and traces).
+  bool pre_translate = true;
+  // Invoked after pre-translation completes (or, with pre_translate off, at
+  // the same point in the sequence) while the guests are still running. Test
+  // and bench hook: inject guest events here to dirty state generations and
+  // exercise the invalidation path. Null runs nothing.
+  std::function<void(Hypervisor&)> concurrent_activity;
   // "Parallelization": one worker per free core for PRAM + translation.
   // This is the *modeled* worker count (Machine::worker_threads()); it
   // decides every charged duration via the worker-pool schedule.
@@ -78,7 +94,10 @@ struct InPlaceOptions {
 
 // Per-phase durations (Fig. 6's stacked bars).
 struct PhaseBreakdown {
-  SimDuration pram = 0;         // PRAM structure construction.
+  SimDuration pram = 0;             // PRAM structure construction.
+  // Speculative Extract -> UisrEncode while the guests run. Charged to
+  // total_time only — the guests are not paused for it.
+  SimDuration pre_translation = 0;
   SimDuration translation = 0;  // VM_i State -> UISR (incl. PRAM finalize).
   SimDuration reboot = 0;       // kexec jump + kernel boot(s) + PRAM parse.
   SimDuration pram_parse = 0;   // Early-boot part of `reboot`.
@@ -128,6 +147,11 @@ struct TransplantReport {
   // running, but under the *source* hypervisor kind, and phases.rollback
   // carries the extra downtime the recovery cost.
   TransplantOutcome outcome = TransplantOutcome::kCompleted;
+  // Pre-translation accounting (only meaningful when pre_translated is true;
+  // ToString/JSON omit all three otherwise so legacy output is unchanged).
+  bool pre_translated = false;
+  int64_t pretranslate_hits = 0;           // Cached blob adopted unmodified.
+  int64_t pretranslate_invalidations = 0;  // Generation moved; reconciled.
   FixupLog fixups;
   std::vector<std::string> notes;
 

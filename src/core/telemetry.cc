@@ -29,6 +29,11 @@ std::string TransplantReportToJson(const TransplantReport& report) {
   j.Key("outcome").String(std::string(TransplantOutcomeName(report.outcome)));
   j.Key("phases_ms").BeginObject();
   j.Key("pram").Number(ToMillis(report.phases.pram));
+  if (report.pre_translated) {
+    // Omitted entirely for legacy runs so pre_translate=false documents stay
+    // byte-identical to pre-pretranslation output.
+    j.Key("pre_translation").Number(ToMillis(report.phases.pre_translation));
+  }
   j.Key("translation").Number(ToMillis(report.phases.translation));
   j.Key("reboot").Number(ToMillis(report.phases.reboot));
   j.Key("pram_parse").Number(ToMillis(report.phases.pram_parse));
@@ -41,6 +46,10 @@ std::string TransplantReportToJson(const TransplantReport& report) {
   j.Key("downtime_ms").Number(ToMillis(report.downtime));
   j.Key("total_ms").Number(ToMillis(report.total_time));
   j.Key("network_downtime_ms").Number(ToMillis(report.network_downtime));
+  if (report.pre_translated) {
+    j.Key("pretranslate_hits").Number(report.pretranslate_hits);
+    j.Key("pretranslate_invalidations").Number(report.pretranslate_invalidations);
+  }
   j.Key("pram_metadata_bytes").Number(report.pram_metadata_bytes);
   j.Key("uisr_total_bytes").Number(report.uisr_total_bytes);
   j.Key("frames_scrubbed").Number(report.frames_scrubbed);

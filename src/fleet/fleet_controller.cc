@@ -41,7 +41,8 @@ std::string FleetRolloutReportToJson(const FleetRolloutReport& report) {
 }
 
 FleetTimingModel DeriveFleetTiming(double inplace_fraction, uint64_t seed,
-                                   int conversion_workers) {
+                                   int conversion_workers,
+                                   double pretranslate_dirty_fraction) {
   FleetTimingModel timing;
   ClusterModel cluster = ClusterModel::PaperCluster(inplace_fraction, seed);
   auto plan = PlanClusterUpgrade(cluster, 2);
@@ -60,12 +61,29 @@ FleetTimingModel DeriveFleetTiming(double inplace_fraction, uint64_t seed,
     constexpr int kGuestsPerHost = 8;
     constexpr uint32_t kVcpusPerGuest = 2;
     constexpr uint64_t kBytesPerGuest = 4ull << 30;
-    std::vector<SimDuration> per_vm(
-        kGuestsPerHost,
-        pipeline::TranslateStageCost(costs, kVcpusPerGuest, kBytesPerGuest) +
-            pipeline::RestoreStageCost(costs, HypervisorKind::kKvm, kVcpusPerGuest,
-                                       kBytesPerGuest));
-    const SimDuration serial_share = ScheduleWork(per_vm, 1).makespan;
+    // Speculative pre-translation: only the guests assumed dirty at pause
+    // time pay the full translate inside the micro-reboot window; the clean
+    // remainder pays the generation check. dirty_fraction 1.0 makes every
+    // guest dirty, which is exactly the pre-pretranslation cost vector.
+    const double dirty = std::clamp(pretranslate_dirty_fraction, 0.0, 1.0);
+    const int dirty_guests =
+        static_cast<int>(std::floor(dirty * static_cast<double>(kGuestsPerHost)));
+    std::vector<SimDuration> full_per_vm;   // What the constant assumes: all dirty.
+    std::vector<SimDuration> per_vm;        // Dirty-adjusted pooled costs.
+    full_per_vm.reserve(kGuestsPerHost);
+    per_vm.reserve(kGuestsPerHost);
+    for (int g = 0; g < kGuestsPerHost; ++g) {
+      const SimDuration restore =
+          pipeline::RestoreStageCost(costs, HypervisorKind::kKvm, kVcpusPerGuest, kBytesPerGuest);
+      const SimDuration full_translate =
+          pipeline::TranslateStageCost(costs, kVcpusPerGuest, kBytesPerGuest);
+      full_per_vm.push_back(full_translate + restore);
+      per_vm.push_back((g < dirty_guests ? full_translate : costs.pretranslate_check) + restore);
+    }
+    // Always subtract the all-dirty serial share — that is the conversion cost
+    // the constant inplace_upgrade_time embeds — then add back the schedule of
+    // the dirty-adjusted costs over the worker pool.
+    const SimDuration serial_share = ScheduleWork(full_per_vm, 1).makespan;
     const SimDuration pooled_share = ScheduleWork(per_vm, conversion_workers).makespan;
     params.inplace_upgrade_time =
         std::max<SimDuration>(params.inplace_upgrade_time - serial_share + pooled_share,
@@ -97,8 +115,9 @@ FleetController::FleetController(SimExecutor& executor, FleetConfig config)
   config_.fault_domains = std::max(config_.fault_domains, 1);
   config_.max_retries = std::max(config_.max_retries, 0);
   if (config_.use_cluster_timing) {
-    const FleetTimingModel timing = DeriveFleetTiming(config_.inplace_fraction, config_.seed,
-                                                      config_.conversion_workers);
+    const FleetTimingModel timing =
+        DeriveFleetTiming(config_.inplace_fraction, config_.seed, config_.conversion_workers,
+                          config_.pretranslate_dirty_fraction);
     config_.drain_time = timing.drain_per_host;
     config_.per_host_transplant = timing.transplant_per_host;
   }

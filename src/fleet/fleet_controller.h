@@ -70,8 +70,16 @@ struct FleetTimingModel {
 // the per-group micro-reboot time with the worker-pool schedule's makespan
 // over the pipeline stage cost models (C1 host profile); 0 keeps the legacy
 // constant, so existing seeded replays are byte-identical.
+//
+// `pretranslate_dirty_fraction` models speculative pre-translation on each
+// host (src/pipeline/pretranslate.h): that fraction of the guests dirtied
+// their state between pre-translation and pause and pay the full translate
+// inside the micro-reboot window; the rest pay only the generation check.
+// 1.0 (every guest dirty) reproduces the exact pre-pretranslation costs.
+// Only meaningful with conversion_workers > 0.
 FleetTimingModel DeriveFleetTiming(double inplace_fraction, uint64_t seed,
-                                   int conversion_workers = 0);
+                                   int conversion_workers = 0,
+                                   double pretranslate_dirty_fraction = 1.0);
 
 class FleetController {
  public:

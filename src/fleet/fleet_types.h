@@ -102,6 +102,13 @@ struct FleetConfig {
   // inplace_upgrade_time, so seeded replays of existing configs are
   // byte-identical. Only meaningful with use_cluster_timing.
   int conversion_workers = 0;
+  // Share of each host's guests assumed dirty at pause time under speculative
+  // pre-translation: dirty guests pay the full per-VM translate inside the
+  // micro-reboot window, clean ones only the generation check. 1.0 (the
+  // default) reproduces the legacy per-host cost exactly, so seeded replays
+  // of existing configs are unchanged. Only meaningful with
+  // use_cluster_timing and conversion_workers > 0.
+  double pretranslate_dirty_fraction = 1.0;
 
   // Anti-affinity: hosts spread round-robin over `fault_domains`; a wave
   // holds at most `max_per_domain_in_flight` hosts of one domain

@@ -152,6 +152,25 @@ class Hypervisor {
   // equivalent TSC_OFFSET adjustment when resuming a restored VM.
   virtual Result<void> AdvanceGuestClocks(VmId id, SimDuration delta) = 0;
 
+  // --- State generations (speculative pre-translation support) -------------
+  // Monotonic counter that bumps whenever vCPU-visible platform state may
+  // have changed: guest page writes, clock advances, injected guest events,
+  // transplant preparation. Pausing, resuming and SaveVmToUisr do NOT bump
+  // it — a translation taken under a brief pause stays valid until the guest
+  // actually runs again. The pre-translation cache (src/pipeline/) keys
+  // speculative Extract→UisrEncode results on this counter, the platform-
+  // state analogue of the dirty-page log above.
+  virtual Result<uint64_t> StateGeneration(VmId id) const = 0;
+
+  // A vCPU-visible event a running guest experiences; used by benches and
+  // tests to dirty a VM's platform state between pre-translation and pause.
+  enum class GuestEventKind : uint8_t {
+    kTimerTick = 0,     // Local APIC timer fires; TSC/deadline move.
+    kEventChannel = 1,  // Interrupt-controller activity (event channel/IRQ).
+    kWorkloadStep = 2,  // The guest executes a slice of its workload.
+  };
+  virtual Result<void> InjectGuestEvent(VmId id, GuestEventKind kind) = 0;
+
   // --- HyperTP entry points (§3.1 steps 2 and 4) ---------------------------
   // Translates the VM's VM_i State from the hypervisor's native formats into
   // UISR. The VM must be paused. Appends any compatibility fixups to `log`.

@@ -28,6 +28,11 @@ struct HostCostProfile {
   SimDuration translate_per_vcpu = Millis(15);
   SimDuration translate_per_gb = Millis(5);  // Finalizing the PRAM file entry.
 
+  // Generation comparison + cached-blob adoption when a speculative
+  // pre-translation hits at pause time (src/pipeline/pretranslate.h); a
+  // small constant instead of a full per-VM translate.
+  SimDuration pretranslate_check = Micros(500);
+
   // UISR restoration into the target hypervisor's native format.
   SimDuration restore_per_vm = Millis(100);
   SimDuration restore_per_vcpu = Millis(10);

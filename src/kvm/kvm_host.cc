@@ -239,6 +239,7 @@ Result<uint64_t> KvmHost::ReadGuestPage(VmId id, Gfn gfn) const {
 
 Result<void> KvmHost::WriteGuestPage(VmId id, Gfn gfn, uint64_t content) {
   HYPERTP_ASSIGN_OR_RETURN(KvmVm * vm, MutableVm(id));
+  ++vm->state_generation;
   return vm->memslots.Write(machine_->memory(), gfn, content);
 }
 
@@ -253,6 +254,62 @@ Result<void> KvmHost::AdvanceGuestClocks(VmId id, SimDuration delta) {
       }
     }
   }
+  ++vm->state_generation;
+  return OkResult();
+}
+
+Result<uint64_t> KvmHost::StateGeneration(VmId id) const {
+  HYPERTP_ASSIGN_OR_RETURN(const KvmVm* vm, FindVm(id));
+  return vm->state_generation;
+}
+
+Result<void> KvmHost::InjectGuestEvent(VmId id, GuestEventKind kind) {
+  HYPERTP_ASSIGN_OR_RETURN(KvmVm * vm, MutableVm(id));
+  if (vm->run_state != VmRunState::kRunning) {
+    return FailedPreconditionError("kvm: cannot inject guest events into a paused vm");
+  }
+  auto bump_tsc = [&vm](uint64_t ticks, bool rearm_deadline) {
+    for (KvmVcpuState& vcpu : vm->vcpus) {
+      for (KvmMsrEntry& msr : vcpu.msrs) {
+        if (msr.index == 0x10) {  // IA32_TIME_STAMP_COUNTER.
+          msr.data += ticks;
+        }
+      }
+      if (rearm_deadline) {
+        uint64_t tsc = 0;
+        for (const KvmMsrEntry& msr : vcpu.msrs) {
+          if (msr.index == 0x10) {
+            tsc = msr.data;
+          }
+        }
+        for (KvmMsrEntry& msr : vcpu.msrs) {
+          if (msr.index == kMsrTscDeadline) {
+            msr.data = tsc + 1'000'000;
+          }
+        }
+      }
+    }
+  };
+  switch (kind) {
+    case GuestEventKind::kTimerTick:
+      // 1 ms LAPIC timer period on the virtual 1 GHz TSC.
+      bump_tsc(1'000'000, /*rearm_deadline=*/true);
+      break;
+    case GuestEventKind::kEventChannel:
+      // Kernel irqchip activity: an IOAPIC redirection entry latches its
+      // remote-IRR bit (bit 14) while the interrupt is in service.
+      vm->ioapic.redirtbl[2] ^= 1ull << 14;
+      break;
+    case GuestEventKind::kWorkloadStep:
+      // A scheduling quantum of guest execution: registers move.
+      bump_tsc(10'000'000, /*rearm_deadline=*/false);
+      for (KvmVcpuState& vcpu : vm->vcpus) {
+        vcpu.regs.rip += 0x40;
+        vcpu.regs.rax += 1;
+      }
+      break;
+  }
+  ++vm->state_generation;
   return OkResult();
 }
 
@@ -278,6 +335,8 @@ Result<void> KvmHost::DisableDirtyLogging(VmId id) {
 
 Result<void> KvmHost::PrepareVmForTransplant(VmId id) {
   HYPERTP_ASSIGN_OR_RETURN(KvmVm * vm, MutableVm(id));
+  // Quiescing/unplugging changes translated device state.
+  ++vm->state_generation;
   return PrepareDevicesForTransplant(vm->vmm.devices);
 }
 

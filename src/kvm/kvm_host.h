@@ -42,6 +42,10 @@ struct KvmVm {
   KvmPitState2 pit;
   KvmtoolProcess vmm;
   uint64_t vm_state_frames = 0;  // NPT/EPT + kernel VM structures.
+
+  // Monotonic platform-state generation (Hypervisor::StateGeneration): bumps
+  // on guest-visible state changes, never on pause/resume/save.
+  uint64_t state_generation = 1;
 };
 
 class KvmHost : public Hypervisor {
@@ -70,6 +74,9 @@ class KvmHost : public Hypervisor {
   Result<void> WriteGuestPage(VmId id, Gfn gfn, uint64_t content) override;
 
   Result<void> AdvanceGuestClocks(VmId id, SimDuration delta) override;
+
+  Result<uint64_t> StateGeneration(VmId id) const override;
+  Result<void> InjectGuestEvent(VmId id, GuestEventKind kind) override;
 
   Result<void> EnableDirtyLogging(VmId id) override;
   Result<std::vector<Gfn>> FetchAndClearDirtyLog(VmId id) override;

@@ -1,0 +1,145 @@
+#include "src/pipeline/pretranslate.h"
+
+#include <algorithm>
+#include <functional>
+#include <span>
+#include <utility>
+
+#include "src/pipeline/conversion.h"
+
+namespace hypertp {
+namespace pipeline {
+
+const PreTranslatedVm* PreTranslationCache::Find(uint64_t vm_uid) const {
+  for (const PreTranslatedVm& vm : vms) {
+    if (vm.vm_uid == vm_uid) {
+      return &vm;
+    }
+  }
+  return nullptr;
+}
+
+Result<WorkSchedule> PreTranslateVms(Hypervisor& source, const HostCostProfile& costs,
+                                     const std::vector<PreTranslateRequest>& requests,
+                                     int workers, int real_threads,
+                                     PreTranslationCache* cache) {
+  cache->vms.clear();
+  cache->vms.reserve(requests.size());
+  std::vector<SimDuration> stage_costs;
+  stage_costs.reserve(requests.size());
+
+  for (const PreTranslateRequest& req : requests) {
+    // SaveVmToUisr requires a paused VM; micro-pause just this one while the
+    // rest of the fleet keeps running. Pause/save/resume do not move the
+    // state generation, so the snapshot taken here stays valid until the
+    // guest itself runs again.
+    HYPERTP_ASSIGN_OR_RETURN(VmInfo info, source.GetVmInfo(req.id));
+    const bool was_running = info.run_state == VmRunState::kRunning;
+    if (was_running) {
+      HYPERTP_RETURN_IF_ERROR(source.PauseVm(req.id));
+    }
+    Result<uint64_t> generation = source.StateGeneration(req.id);
+    FixupLog fixups;
+    Result<UisrVm> state = ExtractVmState(source, req.id, &fixups);
+    // Resume before propagating any failure — the transplant's abort path
+    // has not recorded this VM as paused yet.
+    if (was_running) {
+      HYPERTP_RETURN_IF_ERROR(source.ResumeVm(req.id));
+    }
+    HYPERTP_RETURN_IF_ERROR(generation);
+    HYPERTP_RETURN_IF_ERROR(state);
+
+    PreTranslatedVm entry;
+    entry.vm_uid = req.vm_uid;
+    entry.generation = *generation;
+    entry.state = std::move(*state);
+    entry.state.memory.pram_file_id = req.pram_file_id;
+    entry.fixups = std::move(fixups);
+    cache->vms.push_back(std::move(entry));
+    stage_costs.push_back(TranslateStageCost(costs, req.vcpus, req.memory_bytes));
+  }
+
+  // Wire-encode the snapshots (and record their section-offset tables) on
+  // real pool threads. Each task writes only its own cache slot; bytes are
+  // independent of the thread count.
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(cache->vms.size());
+  for (size_t i = 0; i < cache->vms.size(); ++i) {
+    tasks.push_back([cache, i] {
+      PreTranslatedVm& entry = cache->vms[i];
+      entry.blob = EncodeUisrVm(entry.state, &entry.layout);
+    });
+  }
+  RunOnWorkerPool(tasks, real_threads);
+
+  return ScheduleWork(stage_costs, workers);
+}
+
+Result<ReconcileResult> ReconcilePreTranslated(const PreTranslatedVm& cached,
+                                               const UisrVm& fresh) {
+  ReconcileResult out;
+  for (const UisrSectionSpan& span : cached.layout.sections) {
+    out.total_payload_bytes += span.payload_size;
+  }
+
+  // The cached layout only maps onto `fresh` if the section sequence is the
+  // same: emit order is header, vcpus, ioapic, pit, devices.
+  const bool structure_matches = fresh.vcpus.size() == cached.state.vcpus.size() &&
+                                 fresh.devices.size() == cached.state.devices.size();
+  if (!structure_matches) {
+    out.kind = ReconcileKind::kReencoded;
+    out.blob = EncodeUisrVm(fresh);
+    out.patched_bytes = out.total_payload_bytes;
+    return out;
+  }
+
+  // Compare each section's freshly encoded payload against the cached bytes
+  // and rewrite only the ones that differ. Patching every differing section
+  // with the fresh payload makes the result byte-identical to a from-scratch
+  // EncodeUisrVm(fresh) — same sections, same order, same lengths — once the
+  // CRC trailer is resealed.
+  std::vector<uint8_t> blob = cached.blob;
+  size_t ordinal_vcpu = 0;
+  size_t ordinal_device = 0;
+  for (const UisrSectionSpan& span : cached.layout.sections) {
+    size_t ordinal = 0;
+    if (span.type == UisrSectionType::kVcpu) {
+      ordinal = ordinal_vcpu++;
+    } else if (span.type == UisrSectionType::kDevice) {
+      ordinal = ordinal_device++;
+    }
+    const std::vector<uint8_t> payload = EncodeUisrSectionPayload(fresh, span.type, ordinal);
+    if (payload.size() != span.payload_size) {
+      // A section changed size (e.g. device opaque state grew): the TLV
+      // lengths shift, so patching in place is impossible.
+      out.kind = ReconcileKind::kReencoded;
+      out.blob = EncodeUisrVm(fresh);
+      out.patched_sections = 0;
+      out.patched_bytes = out.total_payload_bytes;
+      return out;
+    }
+    const auto cached_payload =
+        std::span<const uint8_t>(blob).subspan(span.payload_offset, span.payload_size);
+    if (std::equal(payload.begin(), payload.end(), cached_payload.begin())) {
+      continue;
+    }
+    HYPERTP_RETURN_IF_ERROR(PatchUisrSectionPayload(blob, span, payload));
+    ++out.patched_sections;
+    out.patched_bytes += span.payload_size;
+  }
+
+  if (out.patched_sections == 0) {
+    // The generation moved but nothing vCPU-visible reached the UISR (e.g.
+    // PV event-channel activity): the cached blob is already correct.
+    out.kind = ReconcileKind::kHit;
+    out.blob = std::move(blob);
+    return out;
+  }
+  HYPERTP_RETURN_IF_ERROR(ResealUisrBlob(blob));
+  out.kind = ReconcileKind::kPatched;
+  out.blob = std::move(blob);
+  return out;
+}
+
+}  // namespace pipeline
+}  // namespace hypertp

@@ -1,0 +1,102 @@
+// Speculative pre-translation (the platform-state analogue of pre-copy).
+//
+// While guests still run, PreTranslateVms performs each VM's Extract →
+// UisrEncode under a per-VM micro-pause and parks the result in a
+// PreTranslationCache keyed by Hypervisor::StateGeneration. At pause time the
+// translation phase consults the cache:
+//
+//   - generation unchanged  -> adopt the cached blob for a small fixed check
+//     cost (HostCostProfile::pretranslate_check) instead of a full translate;
+//   - generation moved      -> re-extract, then patch only the UISR sections
+//     whose payloads actually differ (codec section-offset table) and charge
+//     the full translate cost scaled by the dirtied payload fraction.
+//
+// The cache never changes output bytes: a reconciled blob is byte-identical
+// to a from-scratch encode of the fresh extraction (pretranslate_test pins
+// this), so pre_translate only moves charged time out of the pause window.
+
+#ifndef HYPERTP_SRC_PIPELINE_PRETRANSLATE_H_
+#define HYPERTP_SRC_PIPELINE_PRETRANSLATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/hv/hypervisor.h"
+#include "src/hw/machine.h"
+#include "src/sim/worker_pool.h"
+#include "src/uisr/codec.h"
+#include "src/uisr/records.h"
+
+namespace hypertp {
+namespace pipeline {
+
+// One VM's speculative translation, valid while the VM's state generation
+// still equals `generation`.
+struct PreTranslatedVm {
+  uint64_t vm_uid = 0;
+  uint64_t generation = 0;
+  UisrVm state;                  // As extracted (pram_file_id already set).
+  std::vector<uint8_t> blob;     // EncodeUisrVm(state).
+  UisrSectionLayout layout;      // Section-offset table of `blob`.
+  FixupLog fixups;               // Fixups the speculative extract recorded.
+};
+
+// The cache the pause-time translation phase consults. Built once per
+// transplant; read-only afterwards.
+struct PreTranslationCache {
+  std::vector<PreTranslatedVm> vms;
+
+  const PreTranslatedVm* Find(uint64_t vm_uid) const;
+};
+
+// What PreTranslateVms needs to know about one VM. `pram_file_id` must be
+// the id PrepareVms registered for the VM's guest memory — it is baked into
+// the encoded blob's header, so pre-translation has to run after PRAM
+// construction.
+struct PreTranslateRequest {
+  VmId id = 0;
+  uint64_t vm_uid = 0;
+  uint64_t pram_file_id = 0;
+  uint32_t vcpus = 0;
+  uint64_t memory_bytes = 0;
+};
+
+// Extracts and encodes every requested VM while the fleet runs: each VM is
+// individually micro-paused for its extract (SaveVmToUisr requires kPaused)
+// and resumed immediately — generations do not move across pause/resume/save,
+// so the snapshot stays valid until the guest really runs again. Encodes run
+// on up to `real_threads` OS threads (wall-clock only). The returned schedule
+// lays one full TranslateStageCost per VM over `workers` modeled workers;
+// the caller charges its makespan outside the pause window.
+Result<WorkSchedule> PreTranslateVms(Hypervisor& source, const HostCostProfile& costs,
+                                     const std::vector<PreTranslateRequest>& requests,
+                                     int workers, int real_threads,
+                                     PreTranslationCache* cache);
+
+// How one VM's pause-time translation was satisfied.
+enum class ReconcileKind : uint8_t {
+  kHit = 0,        // No section payload differed; cached blob adopted as-is.
+  kPatched = 1,    // Some sections differed; patched in place + resealed.
+  kReencoded = 2,  // Structural change (section count/size); full re-encode.
+};
+
+struct ReconcileResult {
+  ReconcileKind kind = ReconcileKind::kReencoded;
+  std::vector<uint8_t> blob;
+  size_t patched_sections = 0;
+  size_t patched_bytes = 0;      // Payload bytes rewritten (kPatched only).
+  size_t total_payload_bytes = 0;
+};
+
+// Produces the wire blob for `fresh` given the (invalidated) cached entry:
+// patches only the sections whose payloads differ when the section structure
+// still matches, otherwise re-encodes from scratch. The returned blob is
+// byte-identical to EncodeUisrVm(fresh) either way.
+Result<ReconcileResult> ReconcilePreTranslated(const PreTranslatedVm& cached,
+                                               const UisrVm& fresh);
+
+}  // namespace pipeline
+}  // namespace hypertp
+
+#endif  // HYPERTP_SRC_PIPELINE_PRETRANSLATE_H_

@@ -179,6 +179,10 @@ Result<UisrVcpu> DecodeVcpu(ByteReader& r) {
 
   HYPERTP_ASSIGN_OR_RETURN(v.xsave.xcr0, r.ReadU64());
   HYPERTP_ASSIGN_OR_RETURN(v.xsave.area, r.ReadLengthPrefixed());
+  if (v.xsave.area.size() != kXsaveAreaSize) {
+    return DataLossError("uisr: xsave area is " + std::to_string(v.xsave.area.size()) +
+                         " bytes, expected " + std::to_string(kXsaveAreaSize));
+  }
   return v;
 }
 
@@ -231,32 +235,40 @@ void EncodeDevice(W& w, const UisrDeviceState& dev) {
   w.PutLengthPrefixed(dev.opaque);
 }
 
-// Appends one TLV section whose payload is produced by `fill`.
+// Appends one TLV section whose payload is produced by `fill`, recording its
+// offsets in `layout` when one is supplied.
 template <typename W, typename Fill>
-void AppendSection(W& w, UisrSectionType type, Fill&& fill) {
+void AppendSection(W& w, UisrSectionType type, UisrSectionLayout* layout, Fill&& fill) {
+  const size_t header_at = w.size();
   w.PutU16(static_cast<uint16_t>(type));
   const size_t len_at = w.size();
   w.PutU32(0);  // Patched below.
   const size_t payload_start = w.size();
   fill(w);
   w.PatchU32(len_at, static_cast<uint32_t>(w.size() - payload_start));
+  if (layout != nullptr) {
+    layout->sections.push_back({type, header_at, payload_start, w.size() - payload_start});
+  }
 }
 
 // Everything up to (not including) the kEnd/CRC trailer.
 template <typename W>
-void EncodeUisrBody(W& w, const UisrVm& vm) {
+void EncodeUisrBody(W& w, const UisrVm& vm, UisrSectionLayout* layout) {
   w.PutU32(kUisrMagic);
   w.PutU16(kUisrVersion);
   w.PutU16(0);  // Flags.
 
-  AppendSection(w, UisrSectionType::kVmHeader, [&vm](auto& out) { EncodeVmHeader(out, vm); });
+  AppendSection(w, UisrSectionType::kVmHeader, layout,
+                [&vm](auto& out) { EncodeVmHeader(out, vm); });
   for (const UisrVcpu& v : vm.vcpus) {
-    AppendSection(w, UisrSectionType::kVcpu, [&v](auto& out) { EncodeVcpu(out, v); });
+    AppendSection(w, UisrSectionType::kVcpu, layout, [&v](auto& out) { EncodeVcpu(out, v); });
   }
-  AppendSection(w, UisrSectionType::kIoapic, [&vm](auto& out) { EncodeIoapic(out, vm.ioapic); });
-  AppendSection(w, UisrSectionType::kPit, [&vm](auto& out) { EncodePit(out, vm.pit); });
+  AppendSection(w, UisrSectionType::kIoapic, layout,
+                [&vm](auto& out) { EncodeIoapic(out, vm.ioapic); });
+  AppendSection(w, UisrSectionType::kPit, layout, [&vm](auto& out) { EncodePit(out, vm.pit); });
   for (const UisrDeviceState& dev : vm.devices) {
-    AppendSection(w, UisrSectionType::kDevice, [&dev](auto& out) { EncodeDevice(out, dev); });
+    AppendSection(w, UisrSectionType::kDevice, layout,
+                  [&dev](auto& out) { EncodeDevice(out, dev); });
   }
 }
 
@@ -265,16 +277,30 @@ constexpr size_t kEndTrailerBytes = 10;
 
 }  // namespace
 
+const UisrSectionSpan* UisrSectionLayout::Find(UisrSectionType type, size_t ordinal) const {
+  size_t seen = 0;
+  for (const UisrSectionSpan& s : sections) {
+    if (s.type != type) {
+      continue;
+    }
+    if (seen == ordinal) {
+      return &s;
+    }
+    ++seen;
+  }
+  return nullptr;
+}
+
 size_t EncodedUisrSize(const UisrVm& vm) {
   ByteCounter counter;
-  EncodeUisrBody(counter, vm);
+  EncodeUisrBody(counter, vm, nullptr);
   return counter.size() + kEndTrailerBytes;
 }
 
 void EncodeUisrVm(const UisrVm& vm, ByteWriter& w) {
   const size_t start = w.size();
   w.Reserve(start + EncodedUisrSize(vm));
-  EncodeUisrBody(w, vm);
+  EncodeUisrBody(w, vm, nullptr);
   // CRC trailer over this VM's bytes only, so the blob decodes identically
   // whether it stands alone or sits embedded in a larger stream.
   const uint32_t crc = Crc32(std::span<const uint8_t>(w.bytes()).subspan(start));
@@ -287,6 +313,118 @@ std::vector<uint8_t> EncodeUisrVm(const UisrVm& vm) {
   ByteWriter w;
   EncodeUisrVm(vm, w);
   return w.TakeBytes();
+}
+
+std::vector<uint8_t> EncodeUisrVm(const UisrVm& vm, UisrSectionLayout* layout) {
+  layout->sections.clear();
+  ByteWriter w;
+  w.Reserve(EncodedUisrSize(vm));
+  EncodeUisrBody(w, vm, layout);
+  const uint32_t crc = Crc32(std::span<const uint8_t>(w.bytes()));
+  w.PutU16(static_cast<uint16_t>(UisrSectionType::kEnd));
+  w.PutU32(4);
+  w.PutU32(crc);
+  layout->total_size = w.size();
+  return w.TakeBytes();
+}
+
+Result<UisrSectionLayout> IndexUisrSections(std::span<const uint8_t> blob) {
+  ByteReader r(blob);
+  HYPERTP_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
+  if (magic != kUisrMagic) {
+    return DataLossError("uisr: bad magic");
+  }
+  HYPERTP_ASSIGN_OR_RETURN(uint16_t version, r.ReadU16());
+  if (version > kUisrVersion) {
+    return UnimplementedError("uisr: version " + std::to_string(version) + " not supported");
+  }
+  HYPERTP_RETURN_IF_ERROR(r.Skip(2));  // Flags.
+
+  UisrSectionLayout layout;
+  while (!r.AtEnd()) {
+    const size_t header_at = r.position();
+    HYPERTP_ASSIGN_OR_RETURN(uint16_t raw_type, r.ReadU16());
+    HYPERTP_ASSIGN_OR_RETURN(uint32_t length, r.ReadU32());
+    const auto type = static_cast<UisrSectionType>(raw_type);
+    if (type == UisrSectionType::kEnd) {
+      if (length != 4) {
+        return DataLossError("uisr: end section declares length " + std::to_string(length) +
+                             ", expected 4 (CRC trailer)");
+      }
+      HYPERTP_RETURN_IF_ERROR(r.Skip(4));  // CRC value; not validated here.
+      if (!r.AtEnd()) {
+        return DataLossError("uisr: trailing bytes after CRC trailer");
+      }
+      layout.total_size = blob.size();
+      return layout;
+    }
+    const size_t payload_at = r.position();
+    HYPERTP_RETURN_IF_ERROR(r.Skip(length));
+    layout.sections.push_back({type, header_at, payload_at, length});
+  }
+  return DataLossError("uisr: missing end/CRC section");
+}
+
+std::vector<uint8_t> EncodeUisrSectionPayload(const UisrVm& vm, UisrSectionType type,
+                                              size_t ordinal) {
+  ByteWriter w;
+  switch (type) {
+    case UisrSectionType::kVmHeader:
+      EncodeVmHeader(w, vm);
+      break;
+    case UisrSectionType::kVcpu:
+      if (ordinal < vm.vcpus.size()) {
+        EncodeVcpu(w, vm.vcpus[ordinal]);
+      }
+      break;
+    case UisrSectionType::kIoapic:
+      EncodeIoapic(w, vm.ioapic);
+      break;
+    case UisrSectionType::kPit:
+      EncodePit(w, vm.pit);
+      break;
+    case UisrSectionType::kDevice:
+      if (ordinal < vm.devices.size()) {
+        EncodeDevice(w, vm.devices[ordinal]);
+      }
+      break;
+    case UisrSectionType::kEnd:
+      break;
+  }
+  return w.TakeBytes();
+}
+
+Result<void> PatchUisrSectionPayload(std::span<uint8_t> blob, const UisrSectionSpan& span,
+                                     std::span<const uint8_t> payload) {
+  if (payload.size() != span.payload_size) {
+    return InvalidArgumentError("uisr: patch payload is " + std::to_string(payload.size()) +
+                                " bytes, section holds " + std::to_string(span.payload_size));
+  }
+  if (span.payload_offset + span.payload_size > blob.size()) {
+    return InvalidArgumentError("uisr: section span exceeds blob");
+  }
+  std::copy(payload.begin(), payload.end(), blob.begin() + span.payload_offset);
+  return OkResult();
+}
+
+Result<void> ResealUisrBlob(std::span<uint8_t> blob) {
+  if (blob.size() < kEndTrailerBytes) {
+    return DataLossError("uisr: blob too small to hold a CRC trailer");
+  }
+  ByteReader trailer(std::span<const uint8_t>(blob).subspan(blob.size() - kEndTrailerBytes));
+  HYPERTP_ASSIGN_OR_RETURN(uint16_t raw_type, trailer.ReadU16());
+  HYPERTP_ASSIGN_OR_RETURN(uint32_t length, trailer.ReadU32());
+  if (raw_type != static_cast<uint16_t>(UisrSectionType::kEnd) || length != 4) {
+    return DataLossError("uisr: blob does not end in a kEnd/CRC trailer");
+  }
+  const uint32_t crc =
+      Crc32(std::span<const uint8_t>(blob).subspan(0, blob.size() - kEndTrailerBytes));
+  const size_t at = blob.size() - 4;
+  blob[at] = static_cast<uint8_t>(crc & 0xFF);
+  blob[at + 1] = static_cast<uint8_t>((crc >> 8) & 0xFF);
+  blob[at + 2] = static_cast<uint8_t>((crc >> 16) & 0xFF);
+  blob[at + 3] = static_cast<uint8_t>((crc >> 24) & 0xFF);
+  return OkResult();
 }
 
 Result<UisrVm> DecodeUisrVm(std::span<const uint8_t> data) {

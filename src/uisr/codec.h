@@ -43,9 +43,33 @@ struct UisrSizeBreakdown {
 
 class ByteWriter;
 
+// Byte offsets of one encoded TLV section inside a UISR blob.
+struct UisrSectionSpan {
+  UisrSectionType type = UisrSectionType::kEnd;
+  size_t header_offset = 0;   // Where the u16 type field starts.
+  size_t payload_offset = 0;  // header_offset + 6 (u16 type + u32 length).
+  size_t payload_size = 0;
+};
+
+// Section-offset table for a UISR blob, in emit order. Lets callers patch an
+// individual section's payload in place (same size) and reseal the CRC
+// instead of re-encoding the whole VM.
+struct UisrSectionLayout {
+  std::vector<UisrSectionSpan> sections;
+  size_t total_size = 0;  // Blob size including the kEnd/CRC trailer.
+
+  // The `ordinal`-th section of `type` in emit order (vCPU #2, device #0...),
+  // or nullptr when absent.
+  const UisrSectionSpan* Find(UisrSectionType type, size_t ordinal) const;
+};
+
 // Serializes a UisrVm into its wire form. The output vector is allocated
 // once at its exact final size (the encoder pre-computes the byte count).
 std::vector<uint8_t> EncodeUisrVm(const UisrVm& vm);
+
+// Same bytes, and additionally fills `layout` with the section-offset table
+// of the returned blob. `layout` must be non-null.
+std::vector<uint8_t> EncodeUisrVm(const UisrVm& vm, UisrSectionLayout* layout);
 
 // Appends exactly the bytes the vector overload would return to `w` — the
 // CRC trailer covers only this VM's bytes, starting at the writer's current
@@ -62,6 +86,28 @@ Result<UisrVm> DecodeUisrVm(std::span<const uint8_t> data);
 
 // Computes the per-section size breakdown of `vm` without retaining the blob.
 UisrSizeBreakdown MeasureUisrVm(const UisrVm& vm);
+
+// Rebuilds the section-offset table of an existing blob by walking the TLV
+// headers (no payload decode). Fails with kDataLoss on framing damage.
+Result<UisrSectionLayout> IndexUisrSections(std::span<const uint8_t> blob);
+
+// Encodes just the payload bytes of the `ordinal`-th section of `type`
+// (vCPU #2, device #0, ...) — the bytes that sit between that section's TLV
+// header and the next header in a full encode.
+std::vector<uint8_t> EncodeUisrSectionPayload(const UisrVm& vm, UisrSectionType type,
+                                              size_t ordinal);
+
+// Overwrites one section's payload in place. The replacement must be exactly
+// `span.payload_size` bytes (section lengths are fixed by the TLV header);
+// callers re-encode the whole VM when a section changes size. The blob's CRC
+// trailer is stale afterwards until ResealUisrBlob runs.
+Result<void> PatchUisrSectionPayload(std::span<uint8_t> blob, const UisrSectionSpan& span,
+                                     std::span<const uint8_t> payload);
+
+// Recomputes the CRC trailer over everything before the kEnd section, after
+// one or more PatchUisrSectionPayload calls. Fails if the blob does not end
+// in a well-formed kEnd trailer.
+Result<void> ResealUisrBlob(std::span<uint8_t> blob);
 
 }  // namespace hypertp
 

@@ -136,7 +136,7 @@ UisrVcpu MakeSyntheticVcpu(uint64_t vm_uid, uint32_t vcpu_id) {
   v.mtrr.pat = 0x0007040600070406ull;
 
   v.xsave.xcr0 = 0x7;  // x87 | SSE | AVX.
-  v.xsave.area.resize(2048);
+  v.xsave.area.resize(kXsaveAreaSize);
   for (size_t i = 0; i < v.xsave.area.size(); i += 64) {
     v.xsave.area[i] = static_cast<uint8_t>(Mix(vm_uid, vcpu_id, 800 + i));
   }

@@ -119,7 +119,10 @@ struct UisrMtrr {
   bool operator==(const UisrMtrr&) const = default;
 };
 
-// Extended state: XCR0 plus the raw XSAVE area.
+// Extended state: XCR0 plus the raw XSAVE area. Every producer in the
+// repertoire emits the same standard-format area size; the decoder rejects
+// any other size instead of silently truncating or padding.
+inline constexpr size_t kXsaveAreaSize = 2048;
 struct UisrXsave {
   uint64_t xcr0 = 1;  // x87 always enabled.
   std::vector<uint8_t> area;

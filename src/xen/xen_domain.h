@@ -60,6 +60,10 @@ struct XenDomain {
   uint32_t sched_weight = 256;
   uint32_t sched_cap = 0;
 
+  // Monotonic platform-state generation (Hypervisor::StateGeneration): bumps
+  // on guest-visible state changes, never on pause/resume/save.
+  uint64_t state_generation = 1;
+
   // Frames allocated for this domain's NPT/P2M structures (owner kVmState).
   uint64_t npt_frames = 0;
 };

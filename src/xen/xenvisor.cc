@@ -286,6 +286,7 @@ Result<uint64_t> XenVisor::ReadGuestPage(VmId id, Gfn gfn) const {
 
 Result<void> XenVisor::WriteGuestPage(VmId id, Gfn gfn, uint64_t content) {
   HYPERTP_ASSIGN_OR_RETURN(XenDomain * domain, MutableDomain(id));
+  ++domain->state_generation;
   return domain->p2m.Write(machine_->memory(), gfn, content);
 }
 
@@ -297,6 +298,47 @@ Result<void> XenVisor::AdvanceGuestClocks(VmId id, SimDuration delta) {
       vcpu.lapic.tsc_deadline += static_cast<uint64_t>(delta);
     }
   }
+  ++domain->state_generation;
+  return OkResult();
+}
+
+Result<uint64_t> XenVisor::StateGeneration(VmId id) const {
+  HYPERTP_ASSIGN_OR_RETURN(const XenDomain* domain, FindDomain(id));
+  return domain->state_generation;
+}
+
+Result<void> XenVisor::InjectGuestEvent(VmId id, GuestEventKind kind) {
+  HYPERTP_ASSIGN_OR_RETURN(XenDomain * domain, MutableDomain(id));
+  if (domain->run_state != VmRunState::kRunning) {
+    return FailedPreconditionError("xen: cannot inject guest events into a paused domain");
+  }
+  switch (kind) {
+    case GuestEventKind::kTimerTick:
+      // 1 ms LAPIC timer period on the virtual 1 GHz TSC; the deadline
+      // re-arms, so the translated LAPIC record changes too.
+      for (XenVcpuContext& vcpu : domain->hvm.vcpus) {
+        vcpu.cpu.tsc += 1'000'000;
+        vcpu.lapic.tsc_deadline = vcpu.cpu.tsc + 1'000'000;
+      }
+      break;
+    case GuestEventKind::kEventChannel:
+      // PV notification activity. Event channels are rebuilt, never
+      // translated, so this dirties the domain without changing its UISR —
+      // the pre-translation cache must treat it as an invalidation anyway.
+      if (!domain->event_channels.empty()) {
+        domain->event_channels.front().pending = !domain->event_channels.front().pending;
+      }
+      break;
+    case GuestEventKind::kWorkloadStep:
+      // A scheduling quantum of guest execution: registers move.
+      for (XenVcpuContext& vcpu : domain->hvm.vcpus) {
+        vcpu.cpu.tsc += 10'000'000;
+        vcpu.cpu.rip += 0x40;
+        vcpu.cpu.rax += 1;
+      }
+      break;
+  }
+  ++domain->state_generation;
   return OkResult();
 }
 
@@ -322,6 +364,8 @@ Result<void> XenVisor::DisableDirtyLogging(VmId id) {
 
 Result<void> XenVisor::PrepareVmForTransplant(VmId id) {
   HYPERTP_ASSIGN_OR_RETURN(XenDomain * domain, MutableDomain(id));
+  // Quiescing/unplugging changes translated device state.
+  ++domain->state_generation;
   return PrepareDevicesForTransplant(domain->devices);
 }
 

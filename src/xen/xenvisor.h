@@ -49,6 +49,9 @@ class XenVisor : public Hypervisor {
 
   Result<void> AdvanceGuestClocks(VmId id, SimDuration delta) override;
 
+  Result<uint64_t> StateGeneration(VmId id) const override;
+  Result<void> InjectGuestEvent(VmId id, GuestEventKind kind) override;
+
   Result<void> EnableDirtyLogging(VmId id) override;
   Result<std::vector<Gfn>> FetchAndClearDirtyLog(VmId id) override;
   Result<void> DisableDirtyLogging(VmId id) override;

@@ -399,6 +399,37 @@ TEST(FleetTimingModelTest, ConversionWorkersShrinkTheMicroRebootShare) {
   EXPECT_EQ(slow.config().per_host_transplant, legacy.transplant_per_host);
 }
 
+TEST(FleetTimingModelTest, PretranslateDirtyFractionShrinksTheTranslateShare) {
+  // The default dirty fraction (1.0) reproduces the pre-knob costs exactly, so
+  // seeded fleet replays stay byte-identical.
+  const FleetTimingModel baseline = DeriveFleetTiming(0.8, 42, 2);
+  const FleetTimingModel all_dirty = DeriveFleetTiming(0.8, 42, 2, 1.0);
+  EXPECT_EQ(baseline.transplant_per_host, all_dirty.transplant_per_host);
+  EXPECT_EQ(baseline.drain_per_host, all_dirty.drain_per_host);
+
+  // Clean guests keep their pre-translated blob and pay only the generation
+  // check, so a lower dirty fraction monotonically shrinks the micro-reboot.
+  // Two workers over eight guests keeps the schedule packed, so each clean
+  // guest strictly shortens the makespan.
+  const FleetTimingModel half_dirty = DeriveFleetTiming(0.8, 42, 2, 0.5);
+  const FleetTimingModel all_clean = DeriveFleetTiming(0.8, 42, 2, 0.0);
+  EXPECT_LT(half_dirty.transplant_per_host, all_dirty.transplant_per_host);
+  EXPECT_LT(all_clean.transplant_per_host, half_dirty.transplant_per_host);
+  EXPECT_GT(all_clean.transplant_per_host, 0);
+  // Dirtiness only touches the translate share, never the drains.
+  EXPECT_EQ(all_clean.drain_per_host, baseline.drain_per_host);
+
+  // The knob flows through FleetConfig into the controller's per-host timing.
+  SimExecutor executor;
+  FleetConfig config = BaseConfig();
+  config.hosts = 20;
+  config.use_cluster_timing = true;
+  config.conversion_workers = 2;
+  config.pretranslate_dirty_fraction = 0.0;
+  FleetController clean(executor, config);
+  EXPECT_EQ(clean.config().per_host_transplant, all_clean.transplant_per_host);
+}
+
 TEST(FleetTraceTest, RingBufferDropsOldestAndCounts) {
   FleetTrace trace(4);
   for (int i = 0; i < 10; ++i) {

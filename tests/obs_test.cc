@@ -227,25 +227,29 @@ TEST(InplaceTraceTest, SpanTreeMatchesPhaseBreakdownExactly) {
   // Each phase span's duration equals the report's charge, and the phases
   // tile the timeline back-to-back in execution order.
   const Span* pram = tracer.FindSpan("phase:pram");
+  const Span* pre_translation = tracer.FindSpan("phase:pre_translation");
   const Span* translation = tracer.FindSpan("phase:translation");
   const Span* reboot = tracer.FindSpan("phase:reboot");
   const Span* restoration = tracer.FindSpan("phase:restoration");
   const Span* resume = tracer.FindSpan("phase:resume");
   const Span* cleanup = tracer.FindSpan("phase:cleanup");
   ASSERT_NE(pram, nullptr);
+  ASSERT_NE(pre_translation, nullptr);
   ASSERT_NE(translation, nullptr);
   ASSERT_NE(reboot, nullptr);
   ASSERT_NE(restoration, nullptr);
   ASSERT_NE(resume, nullptr);
   ASSERT_NE(cleanup, nullptr);
   EXPECT_EQ(pram->duration(), phases.pram);
+  EXPECT_EQ(pre_translation->duration(), phases.pre_translation);
   EXPECT_EQ(translation->duration(), phases.translation);
   EXPECT_EQ(reboot->duration(), phases.reboot);
   EXPECT_EQ(restoration->duration(), phases.restoration);
   EXPECT_EQ(resume->duration(), phases.resume);
   EXPECT_EQ(cleanup->duration(), phases.cleanup);
   EXPECT_EQ(pram->start, root->start);
-  EXPECT_EQ(translation->start, pram->end);
+  EXPECT_EQ(pre_translation->start, pram->end);
+  EXPECT_EQ(translation->start, pre_translation->end);
   EXPECT_EQ(reboot->start, translation->end);
   EXPECT_EQ(restoration->start, reboot->end);
   EXPECT_EQ(resume->start, restoration->end);
@@ -256,7 +260,7 @@ TEST(InplaceTraceTest, SpanTreeMatchesPhaseBreakdownExactly) {
   EXPECT_EQ(cleanup->start, resume->end);
 
   // All phase spans hang off the root.
-  for (const Span* phase : {pram, translation, reboot, restoration, resume}) {
+  for (const Span* phase : {pram, pre_translation, translation, reboot, restoration, resume}) {
     EXPECT_EQ(phase->parent, root->id);
   }
 
@@ -277,8 +281,13 @@ TEST(InplaceTraceTest, SpanTreeMatchesPhaseBreakdownExactly) {
     EXPECT_EQ(sub->track, "kexec");
   }
 
-  // One restore span per VM, parented under the restoration phase.
+  // One restore span per VM, parented under the restoration phase — and one
+  // speculative pre-translate span per VM under the pre-translation phase.
   EXPECT_EQ(tracer.ChildrenOf(restoration->id).size(), 3u);
+  EXPECT_EQ(tracer.ChildrenOf(pre_translation->id).size(), 3u);
+  ASSERT_FALSE(report.vms.empty());
+  EXPECT_NE(
+      tracer.FindSpan("pre_translate:vm-" + std::to_string(report.vms.front().uid)), nullptr);
 
   // NIC re-init rides its own track; the pause marker sits where downtime
   // starts (default options: pram runs before the pause).
@@ -299,9 +308,9 @@ TEST(InplaceTraceTest, SpanTreeMatchesPhaseBreakdownExactly) {
   // appears as a complete event, with swimlane metadata for the per-VM and
   // kexec tracks.
   const std::string chrome = tracer.ToChromeTraceJson();
-  for (const char* name : {"inplace_transplant", "phase:pram", "phase:translation",
-                           "phase:reboot", "phase:restoration", "phase:resume",
-                           "phase:cleanup", "kexec:jump", "nic_reinit"}) {
+  for (const char* name : {"inplace_transplant", "phase:pram", "phase:pre_translation",
+                           "phase:translation", "phase:reboot", "phase:restoration",
+                           "phase:resume", "phase:cleanup", "kexec:jump", "nic_reinit"}) {
     EXPECT_NE(chrome.find("\"name\":\"" + std::string(name) + "\""), std::string::npos) << name;
   }
   EXPECT_NE(chrome.find(R"("name":"kexec")"), std::string::npos);  // Track lane.

@@ -1,0 +1,410 @@
+// Speculative pre-translation (src/pipeline/pretranslate.h) and its wiring
+// through InPlaceTransplant:
+//  - state generations: bump on guest-visible events, never on
+//    pause/resume/save, on all three hypervisors;
+//  - reconcile byte-identity: hit, patched and re-encoded blobs all equal a
+//    from-scratch encode of the fresh extraction;
+//  - golden behaviour: pre_translate=false is indistinguishable from the
+//    legacy pipeline (no new report/JSON/trace artifacts), and a fully-clean
+//    cache produces the same UISR bytes and restored guests;
+//  - invalidation matrix: 0% / 50% / 100% of the fleet dirtied between the
+//    speculative pass and the pause;
+//  - observability: per-VM pre_translate spans and the metrics counters.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/factory.h"
+#include "src/core/inplace.h"
+#include "src/core/telemetry.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/pipeline/conversion.h"
+#include "src/pipeline/pretranslate.h"
+#include "src/uisr/codec.h"
+
+namespace hypertp {
+namespace {
+
+std::unique_ptr<Machine> MakeM1(uint64_t id) {
+  return std::make_unique<Machine>(MachineProfile::M1(), id);
+}
+
+std::vector<VmId> PopulateVms(Hypervisor& hv, int n, uint64_t first_uid) {
+  std::vector<VmId> ids;
+  for (int i = 0; i < n; ++i) {
+    VmConfig config = VmConfig::Small("pre-" + std::to_string(i));
+    config.uid = first_uid + static_cast<uint64_t>(i);  // Pinned across runs.
+    auto id = hv.CreateVm(config);
+    EXPECT_TRUE(id.ok()) << id.error().ToString();
+    for (Gfn gfn : {Gfn{0}, Gfn{1234}, Gfn{99999}}) {
+      EXPECT_TRUE(hv.WriteGuestPage(*id, gfn, 0xF00D0000 + gfn).ok());
+    }
+    ids.push_back(*id);
+  }
+  return ids;
+}
+
+// --- State generation semantics, per hypervisor ----------------------------
+
+class StateGenerationTest : public ::testing::TestWithParam<HypervisorKind> {};
+
+TEST_P(StateGenerationTest, BumpsOnGuestVisibleEventsOnly) {
+  auto machine = MakeM1(1);
+  std::unique_ptr<Hypervisor> hv = MakeHypervisor(GetParam(), *machine);
+  ASSERT_NE(hv, nullptr);
+  auto id = hv->CreateVm(VmConfig::Small("gen"));
+  ASSERT_TRUE(id.ok());
+
+  auto gen = [&] { return hv->StateGeneration(*id).value(); };
+  const uint64_t base = gen();
+
+  // Pause / save / resume never move the generation: a snapshot taken under
+  // a micro-pause stays valid until the guest itself runs again.
+  ASSERT_TRUE(hv->PauseVm(*id).ok());
+  FixupLog log;
+  ASSERT_TRUE(hv->SaveVmToUisr(*id, &log).ok());
+  ASSERT_TRUE(hv->ResumeVm(*id).ok());
+  EXPECT_EQ(gen(), base);
+
+  // Guest-visible changes each bump it.
+  ASSERT_TRUE(hv->WriteGuestPage(*id, 5, 0xBEEF).ok());
+  EXPECT_EQ(gen(), base + 1);
+  ASSERT_TRUE(hv->AdvanceGuestClocks(*id, Millis(3)).ok());
+  EXPECT_EQ(gen(), base + 2);
+  for (auto kind : {Hypervisor::GuestEventKind::kTimerTick,
+                    Hypervisor::GuestEventKind::kEventChannel,
+                    Hypervisor::GuestEventKind::kWorkloadStep}) {
+    ASSERT_TRUE(hv->InjectGuestEvent(*id, kind).ok());
+  }
+  EXPECT_EQ(gen(), base + 5);
+
+  // Events need a running guest; a paused one cannot execute anything.
+  ASSERT_TRUE(hv->PauseVm(*id).ok());
+  auto injected = hv->InjectGuestEvent(*id, Hypervisor::GuestEventKind::kTimerTick);
+  EXPECT_FALSE(injected.ok());
+  EXPECT_EQ(gen(), base + 5);
+}
+
+TEST_P(StateGenerationTest, WorkloadStepChangesTheEncodedUisr) {
+  auto machine = MakeM1(2);
+  std::unique_ptr<Hypervisor> hv = MakeHypervisor(GetParam(), *machine);
+  ASSERT_NE(hv, nullptr);
+  auto id = hv->CreateVm(VmConfig::Small("gen-uisr"));
+  ASSERT_TRUE(id.ok());
+
+  auto extract = [&] {
+    EXPECT_TRUE(hv->PauseVm(*id).ok());
+    FixupLog log;
+    auto state = hv->SaveVmToUisr(*id, &log);
+    EXPECT_TRUE(state.ok());
+    EXPECT_TRUE(hv->ResumeVm(*id).ok());
+    return EncodeUisrVm(*state);
+  };
+  const std::vector<uint8_t> before = extract();
+  ASSERT_TRUE(hv->InjectGuestEvent(*id, Hypervisor::GuestEventKind::kWorkloadStep).ok());
+  EXPECT_NE(extract(), before);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllHosts, StateGenerationTest,
+                         ::testing::Values(HypervisorKind::kXen, HypervisorKind::kKvm,
+                                           HypervisorKind::kBhyve));
+
+// --- Reconcile byte-identity ------------------------------------------------
+
+// Builds a cache entry the way PreTranslateVms would, from the VM's current
+// state.
+pipeline::PreTranslatedVm SnapshotEntry(Hypervisor& hv, VmId id, uint64_t pram_file_id) {
+  pipeline::PreTranslatedVm entry;
+  EXPECT_TRUE(hv.PauseVm(id).ok());
+  auto state = pipeline::ExtractVmState(hv, id, &entry.fixups);
+  EXPECT_TRUE(state.ok());
+  EXPECT_TRUE(hv.ResumeVm(id).ok());
+  entry.vm_uid = state->vm_uid;
+  entry.generation = hv.StateGeneration(id).value();
+  entry.state = std::move(*state);
+  entry.state.memory.pram_file_id = pram_file_id;
+  entry.blob = EncodeUisrVm(entry.state, &entry.layout);
+  return entry;
+}
+
+UisrVm FreshExtract(Hypervisor& hv, VmId id, uint64_t pram_file_id) {
+  EXPECT_TRUE(hv.PauseVm(id).ok());
+  FixupLog log;
+  auto state = pipeline::ExtractVmState(hv, id, &log);
+  EXPECT_TRUE(state.ok());
+  EXPECT_TRUE(hv.ResumeVm(id).ok());
+  state->memory.pram_file_id = pram_file_id;
+  return *state;
+}
+
+TEST(ReconcileTest, CleanGuestIsAHitWithIdenticalBytes) {
+  auto machine = MakeM1(3);
+  std::unique_ptr<Hypervisor> xen = MakeHypervisor(HypervisorKind::kXen, *machine);
+  auto id = xen->CreateVm(VmConfig::Small("clean"));
+  ASSERT_TRUE(id.ok());
+  const pipeline::PreTranslatedVm entry = SnapshotEntry(*xen, *id, 77);
+
+  // Nothing ran: the generation still matches (the transplant would not even
+  // reconcile), and a reconcile pass confirms zero differing sections.
+  EXPECT_EQ(xen->StateGeneration(*id).value(), entry.generation);
+  const UisrVm fresh = FreshExtract(*xen, *id, 77);
+  auto rec = pipeline::ReconcilePreTranslated(entry, fresh);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->kind, pipeline::ReconcileKind::kHit);
+  EXPECT_EQ(rec->patched_sections, 0u);
+  EXPECT_EQ(rec->blob, EncodeUisrVm(fresh));
+}
+
+TEST(ReconcileTest, WorkloadStepPatchesOnlyDirtySections) {
+  auto machine = MakeM1(4);
+  std::unique_ptr<Hypervisor> xen = MakeHypervisor(HypervisorKind::kXen, *machine);
+  VmConfig config = VmConfig::Small("dirty");
+  config.vcpus = 4;
+  auto id = xen->CreateVm(config);
+  ASSERT_TRUE(id.ok());
+  const pipeline::PreTranslatedVm entry = SnapshotEntry(*xen, *id, 78);
+
+  ASSERT_TRUE(xen->InjectGuestEvent(*id, Hypervisor::GuestEventKind::kWorkloadStep).ok());
+  EXPECT_NE(xen->StateGeneration(*id).value(), entry.generation);
+
+  const UisrVm fresh = FreshExtract(*xen, *id, 78);
+  auto rec = pipeline::ReconcilePreTranslated(entry, fresh);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->kind, pipeline::ReconcileKind::kPatched);
+  // The workload step touched every vCPU's tsc but nothing else: only vCPU
+  // sections are rewritten, a strict subset of the payload.
+  EXPECT_GT(rec->patched_sections, 0u);
+  EXPECT_LT(rec->patched_bytes, rec->total_payload_bytes);
+  EXPECT_EQ(rec->blob, EncodeUisrVm(fresh));
+}
+
+TEST(ReconcileTest, StructuralChangeFallsBackToReencode) {
+  // A cached entry whose section structure no longer matches (vCPU count
+  // changed) cannot be patched in place; the fallback is a full re-encode
+  // that is still byte-identical to the from-scratch path.
+  auto machine = MakeM1(5);
+  std::unique_ptr<Hypervisor> xen = MakeHypervisor(HypervisorKind::kXen, *machine);
+  VmConfig config = VmConfig::Small("structural");
+  config.vcpus = 2;
+  auto id = xen->CreateVm(config);
+  ASSERT_TRUE(id.ok());
+  pipeline::PreTranslatedVm entry = SnapshotEntry(*xen, *id, 79);
+
+  UisrVm fresh = FreshExtract(*xen, *id, 79);
+  fresh.vcpus.pop_back();
+  auto rec = pipeline::ReconcilePreTranslated(entry, fresh);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->kind, pipeline::ReconcileKind::kReencoded);
+  EXPECT_EQ(rec->blob, EncodeUisrVm(fresh));
+}
+
+TEST(ReconcileTest, NonUisrActivityIsAFalsePositiveHit) {
+  // A Xen PV event-channel flip bumps the generation (the guest observably
+  // ran) without reaching any translated UISR section: the reconcile pass
+  // discovers zero differing payloads and adopts the cached blob.
+  auto machine = MakeM1(6);
+  std::unique_ptr<Hypervisor> xen = MakeHypervisor(HypervisorKind::kXen, *machine);
+  auto id = xen->CreateVm(VmConfig::Small("false-positive"));
+  ASSERT_TRUE(id.ok());
+  const pipeline::PreTranslatedVm entry = SnapshotEntry(*xen, *id, 80);
+
+  ASSERT_TRUE(xen->InjectGuestEvent(*id, Hypervisor::GuestEventKind::kEventChannel).ok());
+  EXPECT_NE(xen->StateGeneration(*id).value(), entry.generation);
+
+  const UisrVm fresh = FreshExtract(*xen, *id, 80);
+  auto rec = pipeline::ReconcilePreTranslated(entry, fresh);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->kind, pipeline::ReconcileKind::kHit);
+  EXPECT_EQ(rec->blob, entry.blob);
+}
+
+// --- PreTranslateVms --------------------------------------------------------
+
+TEST(PreTranslateVmsTest, SnapshotsEveryVmAndLeavesThemRunning) {
+  auto machine = MakeM1(7);
+  std::unique_ptr<Hypervisor> xen = MakeHypervisor(HypervisorKind::kXen, *machine);
+  std::vector<VmId> ids = PopulateVms(*xen, 3, 9100);
+
+  std::vector<pipeline::PreTranslateRequest> requests;
+  for (VmId id : ids) {
+    auto info = xen->GetVmInfo(id);
+    ASSERT_TRUE(info.ok());
+    requests.push_back(pipeline::PreTranslateRequest{id, info->uid, 50 + info->uid, info->vcpus,
+                                                     info->memory_bytes});
+  }
+  pipeline::PreTranslationCache cache;
+  auto schedule = pipeline::PreTranslateVms(*xen, machine->profile().costs, requests,
+                                            machine->worker_threads(), 1, &cache);
+  ASSERT_TRUE(schedule.ok()) << schedule.error().ToString();
+
+  // One full translate cost per VM, laid out over the modeled workers — the
+  // same charge the legacy pause-window translation would have made.
+  EXPECT_EQ(schedule->tasks.size(), 3u);
+  EXPECT_EQ(schedule->makespan,
+            pipeline::TranslateStageCost(machine->profile().costs, 1, 1ull << 30));
+
+  ASSERT_EQ(cache.vms.size(), 3u);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    // All guests are running again (micro-pause only).
+    EXPECT_EQ(xen->GetVmInfo(ids[i])->run_state, VmRunState::kRunning);
+    const pipeline::PreTranslatedVm* entry = cache.Find(cache.vms[i].vm_uid);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->generation, xen->StateGeneration(ids[i]).value());
+    EXPECT_EQ(entry->state.memory.pram_file_id, requests[i].pram_file_id);
+    // The blob is exactly what a pause-time encode of this state yields.
+    EXPECT_EQ(entry->blob, EncodeUisrVm(entry->state));
+    EXPECT_EQ(entry->layout.total_size, entry->blob.size());
+  }
+  EXPECT_EQ(cache.Find(424242), nullptr);
+}
+
+// --- Transplant integration -------------------------------------------------
+
+struct MatrixRun {
+  TransplantReport report;
+  std::vector<uint64_t> guest_words;  // Restored guest memory samples.
+};
+
+MatrixRun RunTransplant(uint64_t machine_id, int vms, int dirty, bool pre_translate,
+                        Tracer* tracer = nullptr, MetricsRegistry* metrics = nullptr) {
+  Machine machine(MachineProfile::M1(), machine_id);
+  std::unique_ptr<Hypervisor> xen = MakeHypervisor(HypervisorKind::kXen, machine);
+  std::vector<VmId> ids = PopulateVms(*xen, vms, 9200);
+
+  InPlaceOptions options;
+  options.pre_translate = pre_translate;
+  options.tracer = tracer;
+  options.metrics = metrics;
+  options.concurrent_activity = [dirty](Hypervisor& hv) {
+    std::vector<VmId> running = hv.ListVms();
+    for (int i = 0; i < dirty && i < static_cast<int>(running.size()); ++i) {
+      EXPECT_TRUE(hv.InjectGuestEvent(running[i], Hypervisor::GuestEventKind::kWorkloadStep).ok());
+    }
+  };
+
+  MatrixRun run;
+  auto result = InPlaceTransplant::Run(std::move(xen), HypervisorKind::kKvm, options);
+  EXPECT_TRUE(result.ok()) << result.error().ToString();
+  if (!result.ok()) {
+    return run;
+  }
+  run.report = result->report;
+  for (VmId id : result->restored_vms) {
+    for (Gfn gfn : {Gfn{0}, Gfn{1234}, Gfn{99999}}) {
+      run.guest_words.push_back(result->hypervisor->ReadGuestPage(id, gfn).value());
+    }
+  }
+  return run;
+}
+
+TEST(PreTranslateTransplantTest, LegacyModeEmitsNoPreTranslationArtifacts) {
+  // pre_translate=false must look exactly like the pipeline before this
+  // optimization existed: no phase, no counters, no spans, no JSON keys.
+  Tracer tracer;
+  const MatrixRun legacy = RunTransplant(10, 3, /*dirty=*/0, /*pre_translate=*/false, &tracer);
+  EXPECT_FALSE(legacy.report.pre_translated);
+  EXPECT_EQ(legacy.report.phases.pre_translation, 0);
+  EXPECT_EQ(legacy.report.pretranslate_hits, 0);
+  EXPECT_EQ(legacy.report.pretranslate_invalidations, 0);
+  EXPECT_EQ(tracer.FindSpan("phase:pre_translation"), nullptr);
+
+  const std::string json = TransplantReportToJson(legacy.report);
+  EXPECT_EQ(json.find("pre_translation"), std::string::npos);
+  EXPECT_EQ(json.find("pretranslate"), std::string::npos);
+  EXPECT_EQ(legacy.report.ToString().find("pre_translation"), std::string::npos);
+  EXPECT_EQ(tracer.ToChromeTraceJson().find("pre_translate"), std::string::npos);
+}
+
+TEST(PreTranslateTransplantTest, CleanCacheMatchesLegacyOutputBytes) {
+  const MatrixRun legacy = RunTransplant(11, 4, 0, false);
+  const MatrixRun clean = RunTransplant(12, 4, 0, true);
+
+  // Same UISR bytes per VM and in total, same fixups, same restored guests.
+  EXPECT_EQ(clean.report.uisr_total_bytes, legacy.report.uisr_total_bytes);
+  ASSERT_EQ(clean.report.vms.size(), legacy.report.vms.size());
+  for (size_t i = 0; i < clean.report.vms.size(); ++i) {
+    EXPECT_EQ(clean.report.vms[i].uid, legacy.report.vms[i].uid);
+    EXPECT_EQ(clean.report.vms[i].uisr_bytes, legacy.report.vms[i].uisr_bytes);
+  }
+  ASSERT_EQ(clean.report.fixups.size(), legacy.report.fixups.size());
+  for (size_t i = 0; i < clean.report.fixups.size(); ++i) {
+    EXPECT_EQ(clean.report.fixups[i].vm_uid, legacy.report.fixups[i].vm_uid);
+    EXPECT_EQ(clean.report.fixups[i].component, legacy.report.fixups[i].component);
+  }
+  EXPECT_EQ(clean.guest_words, legacy.guest_words);
+
+  // All hits; the pause-window translation collapses to the generation
+  // checks while the same work total moved to pre_translation.
+  EXPECT_EQ(clean.report.pretranslate_hits, 4);
+  EXPECT_EQ(clean.report.pretranslate_invalidations, 0);
+  EXPECT_EQ(clean.report.phases.pre_translation, legacy.report.phases.translation);
+  EXPECT_LT(clean.report.phases.translation, legacy.report.phases.translation / 10);
+  EXPECT_LT(clean.report.downtime, legacy.report.downtime);
+}
+
+TEST(PreTranslateTransplantTest, InvalidationMatrixZeroHalfAll) {
+  // 8 VMs on M1's 6 modeled workers: with only half the fleet dirty the
+  // reconciles still fit one scheduling round, with all of it dirty they
+  // need two — so the 0% < 50% < 100% ordering is strict.
+  const int kVms = 8;
+  const MatrixRun legacy = RunTransplant(20, kVms, kVms, false);
+  const MatrixRun none = RunTransplant(21, kVms, 0, true);
+  const MatrixRun half = RunTransplant(22, kVms, kVms / 2, true);
+  const MatrixRun all = RunTransplant(23, kVms, kVms, true);
+
+  EXPECT_EQ(none.report.pretranslate_hits, kVms);
+  EXPECT_EQ(none.report.pretranslate_invalidations, 0);
+  EXPECT_EQ(half.report.pretranslate_hits, kVms / 2);
+  EXPECT_EQ(half.report.pretranslate_invalidations, kVms / 2);
+  EXPECT_EQ(all.report.pretranslate_hits, 0);
+  EXPECT_EQ(all.report.pretranslate_invalidations, kVms);
+
+  // Pause-window translation grows with the dirty share but never exceeds
+  // the legacy full translate (partial section patches cost less).
+  EXPECT_LT(none.report.phases.translation, half.report.phases.translation);
+  EXPECT_LT(half.report.phases.translation, all.report.phases.translation);
+  EXPECT_LE(all.report.phases.translation, legacy.report.phases.translation);
+
+  // Whatever the dirty fraction, the restored guests and UISR sizes match a
+  // legacy transplant that saw the same guest activity.
+  for (const MatrixRun* run : {&none, &half, &all}) {
+    EXPECT_EQ(run->guest_words, legacy.guest_words);
+    EXPECT_EQ(run->report.uisr_total_bytes, legacy.report.uisr_total_bytes);
+  }
+}
+
+TEST(PreTranslateTransplantTest, SpansAndMetricsCoverThePreTranslation) {
+  Tracer tracer;
+  MetricsRegistry metrics;
+  const MatrixRun run = RunTransplant(30, 3, 1, true, &tracer, &metrics);
+
+  const Span* phase = tracer.FindSpan("phase:pre_translation");
+  ASSERT_NE(phase, nullptr);
+  EXPECT_EQ(phase->duration(), run.report.phases.pre_translation);
+  EXPECT_EQ(tracer.ChildrenOf(phase->id).size(), 3u);
+  for (const VmTransplantRecord& vm : run.report.vms) {
+    EXPECT_NE(tracer.FindSpan("pre_translate:vm-" + std::to_string(vm.uid)), nullptr);
+  }
+
+  EXPECT_EQ(metrics.GetCounter("hypertp_pretranslate_hits").value(), 2u);
+  EXPECT_EQ(metrics.GetCounter("hypertp_pretranslate_invalidations").value(), 1u);
+  const std::string json = metrics.ToJson();
+  EXPECT_NE(json.find("hypertp_pretranslate_hits"), std::string::npos);
+  EXPECT_NE(json.find("hypertp_pretranslate_invalidations"), std::string::npos);
+}
+
+TEST(PreTranslateTransplantTest, TotalTimeChargesPreTranslationOutsideDowntime) {
+  const MatrixRun run = RunTransplant(40, 2, 0, true);
+  const PhaseBreakdown& p = run.report.phases;
+  EXPECT_EQ(run.report.downtime,
+            p.translation + p.reboot + p.restoration + p.rollback + p.resume);
+  EXPECT_EQ(run.report.total_time, p.pram + p.pre_translation + p.translation + p.reboot +
+                                       p.restoration + p.rollback + p.resume);
+}
+
+}  // namespace
+}  // namespace hypertp

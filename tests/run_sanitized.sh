@@ -49,11 +49,14 @@ cmake -B "${tsan_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DHYPERTP_SANITIZE=thread
 cmake --build "${tsan_dir}" -j "$(nproc)" \
-  --target worker_pool_test pipeline_test bench_pipeline_scaling
+  --target worker_pool_test pipeline_test pretranslate_test bench_pipeline_scaling
 
 export TSAN_OPTIONS="halt_on_error=1"
 HYPERTP_PARALLEL=4 "${tsan_dir}/tests/worker_pool_test"
 HYPERTP_PARALLEL=4 "${tsan_dir}/tests/pipeline_test"
+# Pre-translation runs Extract+UisrEncode on the real worker pool while the
+# transplant bookkeeping continues on the caller thread — race it too.
+HYPERTP_PARALLEL=4 "${tsan_dir}/tests/pretranslate_test"
 HYPERTP_PARALLEL=4 HYPERTP_TRACE=1 HYPERTP_BENCH_DIR="${bench_out}" \
   "${tsan_dir}/bench/bench_pipeline_scaling" > /dev/null
 test -s "${bench_out}/BENCH_pipeline_scaling.json" \

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "src/base/bytes.h"
 #include "src/base/crc32.h"
 #include "src/uisr/codec.h"
@@ -234,6 +237,119 @@ TEST(UisrRecordsTest, DeviceAttachModeNames) {
   EXPECT_EQ(DeviceAttachModeName(DeviceAttachMode::kEmulated), "emulated");
   EXPECT_EQ(DeviceAttachModeName(DeviceAttachMode::kPassthrough), "passthrough");
   EXPECT_EQ(DeviceAttachModeName(DeviceAttachMode::kUnplugged), "unplugged");
+}
+
+TEST(UisrCodecTest, MismatchedXsaveAreaSizeRejectedOnDecode) {
+  // Every producer emits the standard-format area (kXsaveAreaSize); a blob
+  // carrying any other size must be rejected, not silently truncated/padded.
+  UisrVm vm = MakeTestVm(9, 1, 1ull << 30);
+  vm.vcpus[0].xsave.area.resize(kXsaveAreaSize / 2);
+  auto decoded = DecodeUisrVm(EncodeUisrVm(vm));
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code(), ErrorCode::kDataLoss);
+}
+
+TEST(UisrSectionLayoutTest, EncodeRecordsEverySectionInEmitOrder) {
+  UisrVm vm = MakeTestVm(11, 3, 1ull << 30);
+  UisrSectionLayout layout;
+  const std::vector<uint8_t> blob = EncodeUisrVm(vm, &layout);
+  EXPECT_EQ(blob, EncodeUisrVm(vm));  // Layout capture never changes bytes.
+  EXPECT_EQ(layout.total_size, blob.size());
+
+  // header, vcpu x3, ioapic, pit, device x2 — in emit order.
+  ASSERT_EQ(layout.sections.size(), 8u);
+  EXPECT_EQ(layout.sections[0].type, UisrSectionType::kVmHeader);
+  EXPECT_EQ(layout.sections[1].type, UisrSectionType::kVcpu);
+  EXPECT_EQ(layout.sections[3].type, UisrSectionType::kVcpu);
+  EXPECT_EQ(layout.sections[4].type, UisrSectionType::kIoapic);
+  EXPECT_EQ(layout.sections[5].type, UisrSectionType::kPit);
+  EXPECT_EQ(layout.sections[6].type, UisrSectionType::kDevice);
+  EXPECT_EQ(layout.sections[7].type, UisrSectionType::kDevice);
+
+  // Find() resolves per-type ordinals; an out-of-range ordinal misses.
+  EXPECT_EQ(layout.Find(UisrSectionType::kVcpu, 2), &layout.sections[3]);
+  EXPECT_EQ(layout.Find(UisrSectionType::kVcpu, 3), nullptr);
+
+  // Each recorded payload matches a standalone encode of that section.
+  size_t vcpu_ordinal = 0;
+  size_t device_ordinal = 0;
+  for (const UisrSectionSpan& span : layout.sections) {
+    size_t ordinal = 0;
+    if (span.type == UisrSectionType::kVcpu) {
+      ordinal = vcpu_ordinal++;
+    } else if (span.type == UisrSectionType::kDevice) {
+      ordinal = device_ordinal++;
+    }
+    const std::vector<uint8_t> payload = EncodeUisrSectionPayload(vm, span.type, ordinal);
+    ASSERT_EQ(payload.size(), span.payload_size);
+    EXPECT_TRUE(std::equal(payload.begin(), payload.end(), blob.begin() + span.payload_offset));
+  }
+}
+
+TEST(UisrSectionLayoutTest, IndexMatchesEncodeSideLayout) {
+  UisrVm vm = MakeTestVm(12, 2, 1ull << 30);
+  UisrSectionLayout layout;
+  const std::vector<uint8_t> blob = EncodeUisrVm(vm, &layout);
+  auto indexed = IndexUisrSections(blob);
+  ASSERT_TRUE(indexed.ok()) << indexed.error().ToString();
+  ASSERT_EQ(indexed->sections.size(), layout.sections.size());
+  EXPECT_EQ(indexed->total_size, layout.total_size);
+  for (size_t i = 0; i < layout.sections.size(); ++i) {
+    EXPECT_EQ(indexed->sections[i].type, layout.sections[i].type);
+    EXPECT_EQ(indexed->sections[i].header_offset, layout.sections[i].header_offset);
+    EXPECT_EQ(indexed->sections[i].payload_offset, layout.sections[i].payload_offset);
+    EXPECT_EQ(indexed->sections[i].payload_size, layout.sections[i].payload_size);
+  }
+}
+
+TEST(UisrSectionLayoutTest, PatchAndResealMatchesFromScratchEncode) {
+  UisrVm vm = MakeTestVm(13, 2, 1ull << 30);
+  UisrSectionLayout layout;
+  std::vector<uint8_t> blob = EncodeUisrVm(vm, &layout);
+
+  // Mutate one vCPU the way a running guest would, then patch only its
+  // section: the result must be byte-identical to encoding the new state.
+  UisrVm dirty = vm;
+  dirty.vcpus[1].regs.rip += 0x40;
+  dirty.vcpus[1].regs.gpr[0] += 1;  // rax
+  const UisrSectionSpan* span = layout.Find(UisrSectionType::kVcpu, 1);
+  ASSERT_NE(span, nullptr);
+  const std::vector<uint8_t> payload = EncodeUisrSectionPayload(dirty, UisrSectionType::kVcpu, 1);
+  ASSERT_EQ(payload.size(), span->payload_size);
+  ASSERT_TRUE(PatchUisrSectionPayload(blob, *span, payload).ok());
+
+  // Before resealing, the trailer CRC no longer covers the patched bytes.
+  EXPECT_FALSE(DecodeUisrVm(blob).ok());
+  ASSERT_TRUE(ResealUisrBlob(blob).ok());
+  EXPECT_EQ(blob, EncodeUisrVm(dirty));
+  auto decoded = DecodeUisrVm(blob);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, dirty);
+}
+
+TEST(UisrSectionLayoutTest, PatchRejectsSizeMismatchAndOutOfBounds) {
+  UisrVm vm = MakeTestVm(14, 1, 1ull << 30);
+  UisrSectionLayout layout;
+  std::vector<uint8_t> blob = EncodeUisrVm(vm, &layout);
+  const UisrSectionSpan* pit = layout.Find(UisrSectionType::kPit, 0);
+  ASSERT_NE(pit, nullptr);
+  const std::vector<uint8_t> short_payload(pit->payload_size - 1, 0);
+  EXPECT_FALSE(PatchUisrSectionPayload(blob, *pit, short_payload).ok());
+
+  UisrSectionSpan bogus = *pit;
+  bogus.payload_offset = blob.size();  // Past the end.
+  const std::vector<uint8_t> payload(bogus.payload_size, 0);
+  EXPECT_FALSE(PatchUisrSectionPayload(blob, bogus, payload).ok());
+}
+
+TEST(UisrSectionLayoutTest, IndexRejectsTruncatedAndTrailingBytes) {
+  UisrVm vm = MakeTestVm(15, 1, 1ull << 30);
+  std::vector<uint8_t> blob = EncodeUisrVm(vm);
+  std::vector<uint8_t> truncated(blob.begin(), blob.end() - 4);
+  EXPECT_FALSE(IndexUisrSections(truncated).ok());
+  std::vector<uint8_t> padded = blob;
+  padded.push_back(0);
+  EXPECT_FALSE(IndexUisrSections(padded).ok());
 }
 
 }  // namespace
