@@ -1,0 +1,566 @@
+#include "src/campaign/campaign.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "src/base/json.h"
+#include "src/fleet/fleet_controller.h"
+#include "src/sim/executor.h"
+#include "src/sim/rng.h"
+#include "src/sim/worker_pool.h"
+
+namespace hypertp {
+namespace {
+
+// Builds the per-shard FleetConfig for validation and execution. `hosts`,
+// `fault_domains` and `seed` are filled per shard by the caller.
+FleetConfig ShardFleetConfig(const CampaignConfig& config) {
+  FleetConfig fleet;
+  fleet.parallel_hosts = config.parallel_hosts_per_shard;
+  fleet.max_per_domain_in_flight = config.max_per_rack_in_flight;
+  fleet.drain_time = config.drain_time;
+  fleet.per_host_transplant = config.per_host_transplant;
+  fleet.failure_probability = config.failure_probability;
+  fleet.latency_jitter = config.latency_jitter;
+  fleet.max_retries = config.max_retries;
+  fleet.retry_backoff = config.retry_backoff;
+  fleet.post_pause_fraction = config.post_pause_fraction;
+  fleet.rollback_failure_probability = config.rollback_failure_probability;
+  fleet.rollback_time = config.rollback_time;
+  return fleet;
+}
+
+}  // namespace
+
+Result<CampaignPlan> PlanCampaign(const CampaignConfig& config) {
+  if (config.datacenters.empty()) {
+    return InvalidArgumentError("CampaignConfig::datacenters must not be empty");
+  }
+  CampaignPlan plan;
+  for (size_t d = 0; d < config.datacenters.size(); ++d) {
+    const CampaignDatacenter& dc = config.datacenters[d];
+    const std::string where = "datacenter '" + dc.name + "' (#" + std::to_string(d) + ")";
+    if (dc.racks <= 0) {
+      return InvalidArgumentError(where + ": racks must be > 0, got " + std::to_string(dc.racks));
+    }
+    if (dc.hosts_per_rack <= 0) {
+      return InvalidArgumentError(where + ": hosts_per_rack must be > 0, got " +
+                                  std::to_string(dc.hosts_per_rack));
+    }
+    if (dc.vms_per_host <= 0) {
+      return InvalidArgumentError(where + ": vms_per_host must be > 0, got " +
+                                  std::to_string(dc.vms_per_host));
+    }
+    if (dc.bandwidth_slots < 0) {
+      return InvalidArgumentError(where + ": bandwidth_slots must be >= 0, got " +
+                                  std::to_string(dc.bandwidth_slots));
+    }
+    plan.total_hosts += dc.hosts();
+    plan.total_vms += dc.vms();
+    plan.total_racks += dc.racks;
+  }
+  const int dcs = static_cast<int>(config.datacenters.size());
+  if (config.shards < dcs) {
+    return InvalidArgumentError("CampaignConfig::shards (" + std::to_string(config.shards) +
+                                ") must cover every datacenter (>= " + std::to_string(dcs) + ")");
+  }
+  if (config.shards > plan.total_racks) {
+    return InvalidArgumentError("CampaignConfig::shards (" + std::to_string(config.shards) +
+                                ") exceeds the total rack count (" +
+                                std::to_string(plan.total_racks) +
+                                "); shards own whole racks");
+  }
+  if (config.epoch <= 0) {
+    return InvalidArgumentError("CampaignConfig::epoch must be > 0, got " +
+                                std::to_string(config.epoch) + " ns");
+  }
+  if (config.max_concurrent_shards < 0) {
+    return InvalidArgumentError("CampaignConfig::max_concurrent_shards must be >= 0");
+  }
+  if (config.slo.rate_window_epochs <= 0) {
+    return InvalidArgumentError("CampaignSlo::rate_window_epochs must be > 0");
+  }
+  // Per-shard fleet knobs fail fast here, with the same field-naming errors
+  // the controller itself would produce.
+  FleetConfig probe = ShardFleetConfig(config);
+  probe.hosts = 1;
+  if (Result<void> fleet_valid = ValidateFleetConfig(probe); !fleet_valid.ok()) {
+    return fleet_valid.error();
+  }
+
+  // Apportion shards to datacenters by host count (D'Hondt: every DC starts
+  // with one shard; each remaining shard goes to the DC maximizing
+  // hosts / (assigned + 1), ties to the lower index), capped at the DC's rack
+  // count so no shard ends up empty.
+  plan.shards_per_datacenter.assign(static_cast<size_t>(dcs), 1);
+  for (int extra = config.shards - dcs; extra > 0; --extra) {
+    int best = -1;
+    double best_score = -1.0;
+    for (int d = 0; d < dcs; ++d) {
+      if (plan.shards_per_datacenter[static_cast<size_t>(d)] >=
+          config.datacenters[static_cast<size_t>(d)].racks) {
+        continue;  // Every rack already has its own shard.
+      }
+      const double score =
+          static_cast<double>(config.datacenters[static_cast<size_t>(d)].hosts()) /
+          (plan.shards_per_datacenter[static_cast<size_t>(d)] + 1);
+      if (score > best_score) {
+        best_score = score;
+        best = d;
+      }
+    }
+    plan.shards_per_datacenter[static_cast<size_t>(best)] += 1;
+  }
+
+  // Racks round-robin over the DC's shards; shard ids dense in DC order.
+  int next_id = 0;
+  for (int d = 0; d < dcs; ++d) {
+    const CampaignDatacenter& dc = config.datacenters[static_cast<size_t>(d)];
+    const int dc_shards = plan.shards_per_datacenter[static_cast<size_t>(d)];
+    const int first_id = next_id;
+    for (int s = 0; s < dc_shards; ++s) {
+      CampaignShardPlan shard;
+      shard.id = next_id++;
+      shard.datacenter = d;
+      shard.vms_per_host = dc.vms_per_host;
+      plan.shards.push_back(std::move(shard));
+    }
+    for (int rack = 0; rack < dc.racks; ++rack) {
+      CampaignShardPlan& shard = plan.shards[static_cast<size_t>(first_id + rack % dc_shards)];
+      shard.racks.push_back(rack);
+      shard.hosts += dc.hosts_per_rack;
+    }
+  }
+  return plan;
+}
+
+std::string CampaignReportToJson(const CampaignReport& report) {
+  JsonWriter j;
+  j.BeginObject();
+  j.Key("kind").String("campaign");
+  j.Key("shards").Number(static_cast<int64_t>(report.shards));
+  j.Key("datacenters").Number(static_cast<int64_t>(report.datacenters));
+  j.Key("hosts").Number(static_cast<int64_t>(report.hosts));
+  j.Key("vms").Number(report.vms);
+  j.Key("upgraded").Number(static_cast<int64_t>(report.upgraded));
+  j.Key("failed").Number(static_cast<int64_t>(report.failed));
+  j.Key("untouched").Number(static_cast<int64_t>(report.untouched));
+  j.Key("retries").Number(static_cast<int64_t>(report.retries));
+  j.Key("post_pause_faults").Number(static_cast<int64_t>(report.post_pause_faults));
+  j.Key("rollbacks").Number(static_cast<int64_t>(report.rollbacks));
+  j.Key("rollback_failures").Number(static_cast<int64_t>(report.rollback_failures));
+  j.Key("aborted").Bool(report.aborted);
+  j.Key("complete").Bool(report.complete);
+  j.Key("makespan_ms").Number(ToMillis(report.makespan));
+  j.Key("slo").BeginObject();
+  j.Key("epochs").Number(static_cast<int64_t>(report.epochs));
+  j.Key("throttled_epochs").Number(static_cast<int64_t>(report.throttled_epochs));
+  j.Key("abort_reason").String(report.abort_reason);
+  j.EndObject();
+  j.Key("exposure").BeginObject();
+  j.Key("final_fraction_vulnerable").Number(report.final_fraction_vulnerable);
+  j.Key("exposed_host_days").Number(report.exposed_host_days);
+  j.Key("exposed_vm_days").Number(report.exposed_vm_days);
+  j.Key("curve").BeginArray();
+  for (const ExposureCurvePoint& point : report.exposure_curve) {
+    j.BeginArray();
+    j.Number(ToMillis(point.time));
+    j.Number(point.exposed_vms);
+    j.Number(point.fraction);
+    j.EndArray();
+  }
+  j.EndArray();
+  j.EndObject();
+  j.Key("shard_makespan_seconds").BeginObject();
+  j.Key("count").Number(static_cast<uint64_t>(report.shard_makespan_seconds.count()));
+  if (!report.shard_makespan_seconds.empty()) {
+    j.Key("p50").Number(report.shard_makespan_seconds.Percentile(50));
+    j.Key("p99").Number(report.shard_makespan_seconds.Percentile(99));
+    j.Key("max").Number(report.shard_makespan_seconds.max());
+  }
+  j.EndObject();
+  j.Key("shards_detail").BeginArray();
+  for (const CampaignShardSummary& shard : report.shard_summaries) {
+    j.BeginObject();
+    j.Key("id").Number(static_cast<int64_t>(shard.id));
+    j.Key("datacenter").Number(static_cast<int64_t>(shard.datacenter));
+    j.Key("hosts").Number(static_cast<int64_t>(shard.hosts));
+    j.Key("upgraded").Number(static_cast<int64_t>(shard.upgraded));
+    j.Key("failed").Number(static_cast<int64_t>(shard.failed));
+    j.Key("untouched").Number(static_cast<int64_t>(shard.untouched));
+    j.Key("retries").Number(static_cast<int64_t>(shard.retries));
+    j.Key("waves").Number(static_cast<int64_t>(shard.waves));
+    j.Key("post_pause_faults").Number(static_cast<int64_t>(shard.post_pause_faults));
+    j.Key("rollbacks").Number(static_cast<int64_t>(shard.rollbacks));
+    j.Key("rollback_failures").Number(static_cast<int64_t>(shard.rollback_failures));
+    j.Key("aborted").Bool(shard.aborted);
+    j.Key("complete").Bool(shard.complete);
+    j.Key("admitted_ms").Number(shard.admitted < 0 ? -1.0 : ToMillis(shard.admitted));
+    j.Key("makespan_ms").Number(ToMillis(shard.makespan));
+    j.EndObject();
+  }
+  j.EndArray();
+  j.EndObject();
+  return j.Take();
+}
+
+CampaignPlanner::CampaignPlanner(CampaignConfig config) : config_(std::move(config)) {}
+
+Result<CampaignReport> CampaignPlanner::Run() {
+  if (ran_) {
+    return FailedPreconditionError("CampaignPlanner::Run is single-shot");
+  }
+  ran_ = true;
+  Result<CampaignPlan> planned = PlanCampaign(config_);
+  if (!planned.ok()) {
+    return planned.error();
+  }
+  plan_ = std::move(planned).value();
+  const CampaignPlan& plan = *plan_;
+  Tracer* const tracer = config_.tracer;
+
+  // Per-shard runtime. Controllers borrow their executor and the pacer reads
+  // `governor_hold_`, which is written only at barriers.
+  struct ShardRuntime {
+    const CampaignShardPlan* plan = nullptr;
+    std::unique_ptr<SimExecutor> executor;
+    std::unique_ptr<FleetController> controller;
+    bool admitted = false;
+    bool done = false;
+    SimTime admitted_at = -1;
+    SpanId span = 0;
+    // Exposure-timeline drain cursor + last seen exposed count.
+    size_t exposure_consumed = 0;
+    int last_exposed = 0;
+    // Barrier snapshots for governor deltas.
+    int prev_upgraded = 0;
+    int prev_retries = 0;
+    int prev_failed = 0;
+    int prev_post_pause = 0;
+  };
+  std::vector<std::unique_ptr<ShardRuntime>> shards;
+  shards.reserve(plan.shards.size());
+  Rng root(config_.seed);
+  for (const CampaignShardPlan& shard_plan : plan.shards) {
+    auto rt = std::make_unique<ShardRuntime>();
+    rt->plan = &shard_plan;
+    rt->executor = std::make_unique<SimExecutor>();
+    FleetConfig fleet = ShardFleetConfig(config_);
+    fleet.hosts = shard_plan.hosts;
+    fleet.fault_domains = static_cast<int>(shard_plan.racks.size());
+    // The controller composes waves under the shard-wide width cap; clamping
+    // to the shard size keeps wave accounting meaningful for tiny shards.
+    fleet.parallel_hosts = std::min(config_.parallel_hosts_per_shard, shard_plan.hosts);
+    fleet.seed = root.Fork().NextU64();  // Id-order forks: shard-independent.
+    fleet.trace_capacity = static_cast<size_t>(std::max(shard_plan.hosts, 128)) * 8;
+    fleet.wave_pacer = [this](int, SimTime) { return governor_hold_; };
+    rt->last_exposed = shard_plan.hosts;
+    rt->controller = std::make_unique<FleetController>(*rt->executor, fleet);
+    if (rt->controller->config_error().has_value()) {
+      return rt->controller->config_error().value();  // Unreachable: probed in PlanCampaign.
+    }
+    shards.push_back(std::move(rt));
+  }
+
+  const int threads = config_.real_threads > 0 ? config_.real_threads : ParallelThreadsFromEnv();
+  ExposureStreamOptions stream_options;
+  stream_options.min_fraction_delta = config_.exposure_min_fraction_delta;
+  stream_options.tracer = tracer;
+  stream_options.metrics = config_.metrics;
+  ExposureStream stream(plan.total_hosts, plan.total_vms, 0, stream_options);
+  Counter* epochs_counter = nullptr;
+  Counter* throttled_counter = nullptr;
+  Gauge* active_gauge = nullptr;
+  if (config_.metrics != nullptr) {
+    epochs_counter = &config_.metrics->GetCounter("campaign_epochs");
+    throttled_counter = &config_.metrics->GetCounter("campaign_throttled_epochs");
+    active_gauge = &config_.metrics->GetGauge("campaign_active_shards");
+  }
+
+  SpanId campaign_span = 0;
+  if (tracer != nullptr) {
+    campaign_span = tracer->BeginSpan("campaign", 0);
+    tracer->SetAttribute(campaign_span, "shards", static_cast<int64_t>(plan.shards.size()));
+    tracer->SetAttribute(campaign_span, "hosts", static_cast<int64_t>(plan.total_hosts));
+    tracer->SetAttribute(campaign_span, "vms", plan.total_vms);
+  }
+
+  CampaignReport report;
+  report.shards = static_cast<int>(plan.shards.size());
+  report.datacenters = static_cast<int>(config_.datacenters.size());
+  report.hosts = plan.total_hosts;
+  report.vms = plan.total_vms;
+
+  SimTime now = 0;
+  int active = 0;
+  size_t finished = 0;
+  std::vector<int> dc_active(config_.datacenters.size(), 0);
+  // Trailing-window rollback-rate samples: {post-pause faults, attempts}.
+  std::deque<std::pair<int, int>> rate_window;
+  bool throttled = false;
+
+  // Admission under the global concurrency cap and per-DC bandwidth slots,
+  // in shard-id order (deferred shards keep their place in line).
+  const auto admit = [&]() {
+    for (auto& rt : shards) {
+      if (rt->admitted || rt->done) {
+        continue;
+      }
+      if (config_.max_concurrent_shards > 0 && active >= config_.max_concurrent_shards) {
+        break;
+      }
+      const int dc = rt->plan->datacenter;
+      const int slots = config_.datacenters[static_cast<size_t>(dc)].bandwidth_slots;
+      if (slots > 0 && dc_active[static_cast<size_t>(dc)] >= slots) {
+        continue;  // This DC's WAN is saturated; later DCs may still admit.
+      }
+      rt->executor->AdvanceTo(now);
+      rt->controller->Start();
+      rt->admitted = true;
+      rt->admitted_at = now;
+      ++active;
+      ++dc_active[static_cast<size_t>(dc)];
+      if (tracer != nullptr) {
+        const std::string track = "shard-" + std::to_string(rt->plan->id);
+        rt->span = tracer->BeginSpan(track, now, campaign_span, track);
+        tracer->SetAttribute(rt->span, "datacenter",
+                             std::string_view(
+                                 config_.datacenters[static_cast<size_t>(dc)].name));
+        tracer->SetAttribute(rt->span, "hosts", static_cast<int64_t>(rt->plan->hosts));
+      }
+    }
+  };
+
+  const auto finish_shard = [&](ShardRuntime& rt) {
+    rt.done = true;
+    ++finished;
+    if (rt.admitted) {
+      --active;
+      --dc_active[static_cast<size_t>(rt.plan->datacenter)];
+    }
+    if (tracer != nullptr && rt.span != 0) {
+      const FleetRolloutReport& shard_report = rt.controller->report();
+      tracer->SetAttribute(rt.span, "outcome", shard_report.aborted ? "aborted" : "complete");
+      tracer->EndSpan(rt.span, rt.admitted_at + shard_report.makespan);
+      rt.span = 0;
+    }
+  };
+
+  admit();
+  std::string abort_reason;
+  while (finished < shards.size()) {
+    if (config_.max_epochs > 0 && report.epochs >= config_.max_epochs) {
+      abort_reason = "max_epochs";
+      break;
+    }
+    now += config_.epoch;
+    ++report.epochs;
+    if (epochs_counter != nullptr) {
+      epochs_counter->Increment();
+    }
+
+    // Advance every in-flight shard to the barrier. Shards share no mutable
+    // state, so this is the (optionally real-threaded) parallel section;
+    // everything below the RunOnWorkerPool call is coordinator-only again.
+    std::vector<ShardRuntime*> running;
+    for (auto& rt : shards) {
+      if (rt->admitted && !rt->done) {
+        running.push_back(rt.get());
+      }
+    }
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(running.size());
+    for (ShardRuntime* rt : running) {
+      tasks.push_back([rt, now] { rt->executor->RunUntil(now); });
+    }
+    RunOnWorkerPool(tasks, threads);
+
+    // Barrier: merge new exposure samples across shards by (time, shard) and
+    // feed the stream, so the curve is identical for any thread count.
+    struct SafeEvent {
+      SimTime time;
+      int shard;
+      int hosts;
+      int64_t vms;
+    };
+    std::vector<SafeEvent> safe_events;
+    for (ShardRuntime* rt : running) {
+      const std::vector<ExposurePoint>& timeline = rt->controller->trace().exposure_timeline();
+      for (size_t i = rt->exposure_consumed; i < timeline.size(); ++i) {
+        const int delta = rt->last_exposed - timeline[i].exposed_hosts;
+        if (delta > 0) {
+          safe_events.push_back(SafeEvent{
+              timeline[i].time, rt->plan->id, delta,
+              static_cast<int64_t>(delta) * rt->plan->vms_per_host});
+        }
+        rt->last_exposed = timeline[i].exposed_hosts;
+      }
+      rt->exposure_consumed = timeline.size();
+    }
+    std::stable_sort(safe_events.begin(), safe_events.end(),
+                     [](const SafeEvent& a, const SafeEvent& b) {
+                       return a.time != b.time ? a.time < b.time : a.shard < b.shard;
+                     });
+    for (const SafeEvent& event : safe_events) {
+      stream.OnHostsSafe(event.time, event.hosts, event.vms);
+    }
+    stream.AdvanceTo(now);
+
+    for (ShardRuntime* rt : running) {
+      if (rt->controller->finished()) {
+        finish_shard(*rt);
+      }
+    }
+
+    // Governor: fleet-wide deltas since the last barrier.
+    int delta_post_pause = 0;
+    int delta_attempts = 0;
+    int total_failed = 0;
+    for (auto& rt : shards) {
+      const FleetRolloutReport& r = rt->controller->report();
+      delta_post_pause += r.post_pause_faults - rt->prev_post_pause;
+      delta_attempts += (r.upgraded - rt->prev_upgraded) + (r.retries - rt->prev_retries) +
+                        (r.failed - rt->prev_failed);
+      total_failed += r.failed;
+      rt->prev_post_pause = r.post_pause_faults;
+      rt->prev_upgraded = r.upgraded;
+      rt->prev_retries = r.retries;
+      rt->prev_failed = r.failed;
+    }
+    rate_window.emplace_back(delta_post_pause, delta_attempts);
+    while (static_cast<int>(rate_window.size()) > config_.slo.rate_window_epochs) {
+      rate_window.pop_front();
+    }
+    int window_post_pause = 0;
+    int window_attempts = 0;
+    for (const auto& [faults, attempts] : rate_window) {
+      window_post_pause += faults;
+      window_attempts += attempts;
+    }
+    const double rollback_rate =
+        static_cast<double>(window_post_pause) / std::max(window_attempts, 1);
+    const double failed_fraction =
+        plan.total_hosts > 0 ? static_cast<double>(total_failed) / plan.total_hosts : 0.0;
+    double unavailable_fraction = 0.0;
+    if (config_.slo.max_unavailable_fraction < 1.0) {
+      int unavailable = 0;
+      for (auto& rt : shards) {
+        if (!rt->admitted || rt->done) {
+          continue;
+        }
+        for (const FleetHost& host : rt->controller->hosts()) {
+          unavailable += host.state == FleetHostState::kDraining ||
+                         host.state == FleetHostState::kTransplanting ||
+                         host.state == FleetHostState::kRollingBack;
+        }
+      }
+      unavailable_fraction =
+          plan.total_hosts > 0 ? static_cast<double>(unavailable) / plan.total_hosts : 0.0;
+    }
+
+    if (config_.slo.abort_failed_fraction < 1.0 &&
+        failed_fraction > config_.slo.abort_failed_fraction) {
+      abort_reason = "failed_fraction";
+      break;
+    }
+    if (config_.slo.abort_rollback_rate < 1.0 && rollback_rate > config_.slo.abort_rollback_rate) {
+      abort_reason = "rollback_rate";
+      break;
+    }
+    const bool now_throttled =
+        (config_.slo.throttle_rollback_rate < 1.0 &&
+         rollback_rate > config_.slo.throttle_rollback_rate) ||
+        (config_.slo.max_unavailable_fraction < 1.0 &&
+         unavailable_fraction > config_.slo.max_unavailable_fraction);
+    if (now_throttled) {
+      ++report.throttled_epochs;
+      if (throttled_counter != nullptr) {
+        throttled_counter->Increment();
+      }
+    }
+    if (tracer != nullptr && now_throttled != throttled) {
+      const SpanId mark =
+          tracer->AddInstant(now_throttled ? "slo_throttle_on" : "slo_throttle_off", now, "slo");
+      tracer->SetAttribute(mark, "rollback_rate", rollback_rate);
+      tracer->SetAttribute(mark, "unavailable_fraction", unavailable_fraction);
+    }
+    throttled = now_throttled;
+    governor_hold_ = throttled ? std::max(config_.slo.throttle_hold, config_.epoch) : 0;
+    if (active_gauge != nullptr) {
+      active_gauge->Set(active);
+    }
+
+    admit();
+  }
+
+  if (!abort_reason.empty()) {
+    // SLO (or horizon) abort: finalize every unfinished shard where it
+    // stands; hosts never reached stay exposed on the vulnerable hypervisor.
+    report.aborted = true;
+    report.abort_reason = abort_reason;
+    if (tracer != nullptr) {
+      tracer->AddInstant("campaign_abort:" + abort_reason, now, "slo");
+    }
+    for (auto& rt : shards) {
+      if (!rt->done) {
+        rt->controller->Abort();
+        finish_shard(*rt);
+      }
+    }
+  }
+
+  // Assemble the report in shard-id order.
+  SimTime end = report.aborted ? now : 0;
+  for (const auto& rt : shards) {
+    const FleetRolloutReport& r = rt->controller->report();
+    CampaignShardSummary summary;
+    summary.id = rt->plan->id;
+    summary.datacenter = rt->plan->datacenter;
+    summary.hosts = rt->plan->hosts;
+    summary.upgraded = r.upgraded;
+    summary.failed = r.failed;
+    summary.untouched = r.untouched;
+    summary.retries = r.retries;
+    summary.waves = r.waves;
+    summary.post_pause_faults = r.post_pause_faults;
+    summary.rollbacks = r.rollbacks;
+    summary.rollback_failures = r.rollback_failures;
+    summary.aborted = r.aborted;
+    summary.complete = r.complete;
+    summary.admitted = rt->admitted ? rt->admitted_at : -1;
+    summary.makespan = r.makespan;
+    report.upgraded += r.upgraded;
+    report.failed += r.failed;
+    report.untouched += r.untouched;
+    report.retries += r.retries;
+    report.post_pause_faults += r.post_pause_faults;
+    report.rollbacks += r.rollbacks;
+    report.rollback_failures += r.rollback_failures;
+    if (rt->admitted) {
+      end = std::max(end, rt->admitted_at + r.makespan);
+      report.shard_makespan_seconds.Add(ToSeconds(r.makespan));
+    }
+    report.shard_summaries.push_back(std::move(summary));
+  }
+  report.makespan = end;
+  report.complete = !report.aborted && report.upgraded == report.hosts;
+
+  stream.Seal(std::max(now, end));
+  report.final_fraction_vulnerable = stream.fraction_vulnerable();
+  report.exposed_host_days = stream.exposed_host_days();
+  report.exposed_vm_days = stream.exposed_vm_days();
+  report.exposure_curve = stream.curve();
+
+  if (tracer != nullptr) {
+    tracer->SetAttribute(campaign_span, "upgraded", static_cast<int64_t>(report.upgraded));
+    tracer->SetAttribute(campaign_span, "outcome",
+                         report.aborted ? "aborted" : (report.complete ? "complete" : "partial"));
+    tracer->EndSpan(campaign_span, std::max(now, end));
+  }
+  return report;
+}
+
+}  // namespace hypertp

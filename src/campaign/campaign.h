@@ -1,0 +1,218 @@
+// Sharded campaign control plane: one fleet-wide transplant campaign over
+// 100k+ hosts, executed as N per-shard FleetControllers coordinated by a
+// top-level planner.
+//
+// The single event-loop FleetController (src/fleet/) is the right abstraction
+// for one datacenter-scale rollout; a planet-scale campaign is a different
+// job: partition the fleet into shards that never split a rack (cross-shard
+// anti-affinity by construction), admit shards under per-datacenter WAN
+// bandwidth slots and a global concurrency cap, advance every admitted shard
+// in deterministic lockstep epochs, and govern the whole campaign against
+// fleet-wide SLOs — throttling wave admission when the rollback storm or the
+// concurrently-unavailable fraction crosses its budget, aborting outright
+// when the hard budgets do. Shard events feed a live ExposureStream
+// (src/vulndb/exposure_stream.h), so the campaign emits the "fraction of the
+// fleet still vulnerable" curve while it runs instead of after.
+//
+// Determinism contract: per-shard RNG streams fork from the campaign seed in
+// shard-id order; shards share no mutable state while an epoch advances (so
+// epochs may run on real threads — wall-clock only); governor decisions read
+// only barrier-committed state; barrier merges iterate shards in id order and
+// sort events by (time, shard). Two runs with the same config produce
+// byte-identical reports, curves and trace JSON for any thread count —
+// campaign_test pins this.
+
+#ifndef HYPERTP_SRC_CAMPAIGN_CAMPAIGN_H_
+#define HYPERTP_SRC_CAMPAIGN_CAMPAIGN_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/fleet/fleet_types.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/sim/stats.h"
+#include "src/sim/time.h"
+#include "src/vulndb/exposure_stream.h"
+
+namespace hypertp {
+
+// One datacenter of the campaign topology: `racks` racks of `hosts_per_rack`
+// hosts, each host carrying `vms_per_host` guests.
+struct CampaignDatacenter {
+  std::string name;
+  int racks = 1;
+  int hosts_per_rack = 1;
+  int vms_per_host = 10;
+  // Bandwidth-aware pacing: one in-flight shard's evacuation + image traffic
+  // occupies one slot of the datacenter's WAN links; at most this many of the
+  // DC's shards transplant concurrently (0 = unconstrained). Further shards
+  // queue in id order and are admitted as slots free up.
+  int bandwidth_slots = 0;
+
+  int hosts() const { return racks * hosts_per_rack; }
+  int64_t vms() const { return static_cast<int64_t>(hosts()) * vms_per_host; }
+};
+
+// Fleet-wide SLO budgets, evaluated at every epoch barrier.
+struct CampaignSlo {
+  // Downtime budget: fraction of all campaign hosts concurrently out of
+  // service (draining / transplanting / rolling back). Above it, shards defer
+  // new waves until the fraction drops. 1.0 disables.
+  double max_unavailable_fraction = 1.0;
+  // Rollback-storm budgets: post-pause faults per completed transplant
+  // attempt over the trailing `rate_window_epochs` barriers. Crossing the
+  // throttle budget defers every shard's next wave by `throttle_hold`;
+  // crossing the abort budget kills the campaign. >= 1.0 disables either.
+  double throttle_rollback_rate = 1.0;
+  double abort_rollback_rate = 1.0;
+  int rate_window_epochs = 4;
+  SimDuration throttle_hold = Seconds(30);
+  // Hard abort when this fraction of all campaign hosts has permanently
+  // failed. >= 1.0 disables.
+  double abort_failed_fraction = 1.0;
+};
+
+struct CampaignConfig {
+  std::vector<CampaignDatacenter> datacenters;
+  // Shard count: >= datacenters (every DC runs at least one shard) and
+  // <= total racks (a shard owns whole racks).
+  int shards = 1;
+  // Lockstep quantum: every admitted shard advances to the next multiple of
+  // `epoch`, then the governor/analytics barrier runs.
+  SimDuration epoch = Seconds(5);
+  // Global capacity constraint: at most this many shards in flight across
+  // all datacenters (0 = unconstrained).
+  int max_concurrent_shards = 0;
+
+  // Per-shard FleetController knobs (see FleetConfig for semantics).
+  int parallel_hosts_per_shard = 100;
+  int max_per_rack_in_flight = 0;
+  SimDuration drain_time = 0;
+  SimDuration per_host_transplant = Seconds(10);
+  double failure_probability = 0.0;
+  double latency_jitter = 0.0;
+  int max_retries = 3;
+  SimDuration retry_backoff = Seconds(5);
+  double post_pause_fraction = 0.0;
+  double rollback_failure_probability = 0.0;
+  SimDuration rollback_time = Seconds(5);
+
+  CampaignSlo slo;
+  uint64_t seed = 1;
+  // Real OS threads for epoch advancement (wall-clock only — output bytes
+  // are identical for any value). 0 = the HYPERTP_PARALLEL env var.
+  int real_threads = 0;
+  // Safety horizon: the campaign aborts after this many epochs (0 = never).
+  int max_epochs = 1 << 20;
+  // ExposureStream downsampling epsilon (see ExposureStreamOptions).
+  double exposure_min_fraction_delta = 0.001;
+
+  // Observability (campaign scope only; shard-internal tracing stays off so
+  // output is thread-count independent): campaign/shard spans, SLO instants,
+  // exposure curve instants, campaign_* counters and gauges.
+  Tracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
+};
+
+// One shard of the plan: whole racks of exactly one datacenter.
+struct CampaignShardPlan {
+  int id = 0;
+  int datacenter = 0;
+  std::vector<int> racks;  // DC-local rack indices owned by this shard.
+  int hosts = 0;
+  int vms_per_host = 0;
+};
+
+struct CampaignPlan {
+  std::vector<CampaignShardPlan> shards;
+  std::vector<int> shards_per_datacenter;
+  int total_hosts = 0;
+  int64_t total_vms = 0;
+  int total_racks = 0;
+};
+
+// Rack-aware partition: shards are apportioned to datacenters by host count
+// (D'Hondt, every DC >= 1), racks round-robin over the DC's shards. Rejects
+// empty/degenerate topologies, shard counts outside [datacenters, racks],
+// and invalid per-shard fleet knobs with a field-naming error.
+Result<CampaignPlan> PlanCampaign(const CampaignConfig& config);
+
+// Per-shard outcome, in shard-id order.
+struct CampaignShardSummary {
+  int id = 0;
+  int datacenter = 0;
+  int hosts = 0;
+  int upgraded = 0;
+  int failed = 0;
+  int untouched = 0;
+  int retries = 0;
+  int waves = 0;
+  int post_pause_faults = 0;
+  int rollbacks = 0;
+  int rollback_failures = 0;
+  bool aborted = false;
+  bool complete = false;
+  SimTime admitted = -1;  // -1: the campaign aborted before admission.
+  SimDuration makespan = 0;
+};
+
+struct CampaignReport {
+  int shards = 0;
+  int datacenters = 0;
+  int hosts = 0;
+  int64_t vms = 0;
+  int upgraded = 0;
+  int failed = 0;
+  int untouched = 0;
+  int retries = 0;
+  int post_pause_faults = 0;
+  int rollbacks = 0;
+  int rollback_failures = 0;
+  int epochs = 0;
+  int throttled_epochs = 0;
+  bool aborted = false;   // SLO (or horizon) abort.
+  bool complete = false;  // Every host of every shard upgraded.
+  std::string abort_reason;
+  SimDuration makespan = 0;
+  // Final state + running integrals of the live exposure stream.
+  double final_fraction_vulnerable = 1.0;
+  double exposed_host_days = 0.0;
+  double exposed_vm_days = 0.0;
+  std::vector<ExposureCurvePoint> exposure_curve;
+  std::vector<CampaignShardSummary> shard_summaries;
+  SampleSet shard_makespan_seconds;
+};
+
+// {"kind":"campaign", fleet totals, SLO outcome, exposure, shards} in the
+// OperationalReportToJson house style. Deterministic: same report -> same
+// bytes.
+std::string CampaignReportToJson(const CampaignReport& report);
+
+class CampaignPlanner {
+ public:
+  explicit CampaignPlanner(CampaignConfig config);
+
+  // Plans (if not yet planned) and executes the campaign to completion or
+  // SLO abort. Single-shot: a second call returns kFailedPrecondition.
+  Result<CampaignReport> Run();
+
+  // The sharding plan; set after Plan()/Run() succeeds.
+  const std::optional<CampaignPlan>& plan() const { return plan_; }
+  const CampaignConfig& config() const { return config_; }
+
+ private:
+  CampaignConfig config_;
+  std::optional<CampaignPlan> plan_;
+  bool ran_ = false;
+  // Barrier-committed wave hold read by every shard's wave pacer; nonzero
+  // while the governor throttles. Written only between epochs.
+  SimDuration governor_hold_ = 0;
+};
+
+}  // namespace hypertp
+
+#endif  // HYPERTP_SRC_CAMPAIGN_CAMPAIGN_H_

@@ -132,6 +132,7 @@ std::string OperationalReportToJson(const OperationalReport& report) {
   j.Key("post_pause_faults").Number(static_cast<int64_t>(report.fleet_post_pause_faults));
   j.Key("rollbacks").Number(static_cast<int64_t>(report.fleet_rollbacks));
   j.Key("rollback_failures").Number(static_cast<int64_t>(report.fleet_rollback_failures));
+  j.Key("throttled_epochs").Number(static_cast<int64_t>(report.fleet_throttled_epochs));
   j.EndObject();
   j.Key("event_log").BeginArray();
   for (const std::string& line : report.event_log) {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/base/json.h"
+#include "src/base/logging.h"
 #include "src/cluster/cluster.h"
 #include "src/pipeline/conversion.h"
 #include "src/sim/worker_pool.h"
@@ -105,15 +106,79 @@ FleetTimingModel DeriveFleetTiming(double inplace_fraction, uint64_t seed,
   return timing;
 }
 
+Result<void> ValidateFleetConfig(const FleetConfig& config) {
+  const auto positive_int = [](int v, const char* field) -> Result<void> {
+    if (v <= 0) {
+      return InvalidArgumentError(std::string("FleetConfig::") + field + " must be > 0, got " +
+                                  std::to_string(v));
+    }
+    return OkResult();
+  };
+  const auto non_negative_duration = [](SimDuration v, const char* field) -> Result<void> {
+    if (v < 0) {
+      return InvalidArgumentError(std::string("FleetConfig::") + field +
+                                  " must be >= 0, got " + std::to_string(v) + " ns");
+    }
+    return OkResult();
+  };
+  const auto probability = [](double v, const char* field) -> Result<void> {
+    if (!(v >= 0.0 && v <= 1.0)) {  // Negated so NaN is rejected too.
+      return InvalidArgumentError(std::string("FleetConfig::") + field +
+                                  " must be a probability in [0, 1], got " + std::to_string(v));
+    }
+    return OkResult();
+  };
+
+  if (auto r = positive_int(config.hosts, "hosts"); !r.ok()) return r;
+  if (auto r = positive_int(config.parallel_hosts, "parallel_hosts"); !r.ok()) return r;
+  if (auto r = positive_int(config.fault_domains, "fault_domains"); !r.ok()) return r;
+  if (config.max_retries < 0) {
+    return InvalidArgumentError("FleetConfig::max_retries must be >= 0, got " +
+                                std::to_string(config.max_retries));
+  }
+  if (config.max_per_domain_in_flight < 0) {
+    return InvalidArgumentError("FleetConfig::max_per_domain_in_flight must be >= 0, got " +
+                                std::to_string(config.max_per_domain_in_flight));
+  }
+  if (auto r = non_negative_duration(config.drain_time, "drain_time"); !r.ok()) return r;
+  if (auto r = non_negative_duration(config.per_host_transplant, "per_host_transplant"); !r.ok())
+    return r;
+  if (auto r = non_negative_duration(config.retry_backoff, "retry_backoff"); !r.ok()) return r;
+  if (auto r = non_negative_duration(config.rollback_time, "rollback_time"); !r.ok()) return r;
+  if (auto r = probability(config.failure_probability, "failure_probability"); !r.ok()) return r;
+  if (auto r = probability(config.post_pause_fraction, "post_pause_fraction"); !r.ok()) return r;
+  if (auto r = probability(config.rollback_failure_probability, "rollback_failure_probability");
+      !r.ok())
+    return r;
+  if (!(config.abort_threshold >= 0.0)) {  // >= 1.0 just disables the abort.
+    return InvalidArgumentError("FleetConfig::abort_threshold must be >= 0, got " +
+                                std::to_string(config.abort_threshold));
+  }
+  if (!(config.latency_jitter >= 0.0)) {
+    return InvalidArgumentError("FleetConfig::latency_jitter must be >= 0, got " +
+                                std::to_string(config.latency_jitter));
+  }
+  if (!(config.inplace_fraction >= 0.0 && config.inplace_fraction <= 1.0)) {
+    return InvalidArgumentError("FleetConfig::inplace_fraction must be in [0, 1], got " +
+                                std::to_string(config.inplace_fraction));
+  }
+  if (config.trace_capacity == 0) {
+    return InvalidArgumentError("FleetConfig::trace_capacity must be > 0");
+  }
+  return OkResult();
+}
+
 FleetController::FleetController(SimExecutor& executor, FleetConfig config)
     : executor_(executor),
       config_(std::move(config)),
-      trace_(config_.trace_capacity),
+      trace_(std::max<size_t>(config_.trace_capacity, 1)),
       alive_(std::make_shared<bool>(true)) {
-  config_.hosts = std::max(config_.hosts, 0);
-  config_.parallel_hosts = std::max(config_.parallel_hosts, 1);
-  config_.fault_domains = std::max(config_.fault_domains, 1);
-  config_.max_retries = std::max(config_.max_retries, 0);
+  if (Result<void> valid = ValidateFleetConfig(config_); !valid.ok()) {
+    config_error_ = valid.error();
+    finished_ = true;  // Inert: Start()/Run() have nothing to execute.
+    HYPERTP_LOG(kError, "fleet") << "rejected config: " << config_error_->ToString();
+    return;
+  }
   if (config_.use_cluster_timing) {
     const FleetTimingModel timing =
         DeriveFleetTiming(config_.inplace_fraction, config_.seed, config_.conversion_workers,
@@ -150,6 +215,16 @@ std::function<void()> FleetController::Guarded(void (FleetController::*method)(i
   };
 }
 
+std::function<void()> FleetController::Guarded(void (FleetController::*method)()) {
+  return [alive = std::weak_ptr<bool>(alive_), this, method] {
+    const auto guard = alive.lock();
+    if (!guard || !*guard || finished_) {
+      return;
+    }
+    (this->*method)();
+  };
+}
+
 SpanId FleetController::RollHostSpan(int host, std::string_view next_name) {
   Tracer* const tracer = config_.tracer;
   if (tracer == nullptr) {
@@ -167,6 +242,33 @@ SpanId FleetController::RollHostSpan(int host, std::string_view next_name) {
 }
 
 const FleetRolloutReport& FleetController::Run() {
+  Start();
+  if (!finished_) {
+    executor_.Run();
+  }
+  return report_;
+}
+
+void FleetController::Abort() {
+  if (finished_) {
+    return;
+  }
+  if (!started_) {
+    // Aborted before the rollout ever scheduled: nothing ran, every host is
+    // untouched and no events exist to finalize against.
+    finished_ = true;
+    report_.untouched = report_.hosts;
+    report_.aborted = true;
+    return;
+  }
+  Finalize(FleetEventType::kRolloutAborted);
+}
+
+void FleetController::Start() {
+  if (finished_ || started_) {
+    return;
+  }
+  started_ = true;
   base_ = executor_.now();
   last_exposure_change_ = base_;
   exposed_ = config_.hosts;
@@ -178,21 +280,10 @@ const FleetRolloutReport& FleetController::Run() {
   }
   Emit(FleetEventType::kRolloutStart, -1);
   trace_.RecordExposure(base_, exposed_);
-  if (config_.hosts == 0) {
-    Finalize(FleetEventType::kRolloutComplete);
-    return report_;
-  }
   for (int i = 0; i < config_.hosts; ++i) {
     pending_.push_back(i);
   }
-  executor_.ScheduleAt(base_, [alive = std::weak_ptr<bool>(alive_), this] {
-    const auto guard = alive.lock();
-    if (guard && *guard && !finished_) {
-      StartNextWave();
-    }
-  });
-  executor_.Run();
-  return report_;
+  executor_.ScheduleAt(base_, Guarded(&FleetController::StartNextWave));
 }
 
 void FleetController::Emit(FleetEventType type, int host, int attempt) {
@@ -205,6 +296,15 @@ void FleetController::StartNextWave() {
       Finalize(FleetEventType::kRolloutComplete);
     }
     return;
+  }
+  // External admission gate (campaign SLO governor): a positive hold defers
+  // the whole wave and re-consults the gate when the hold expires.
+  if (config_.wave_pacer) {
+    const SimDuration hold = config_.wave_pacer(wave_ + 1, executor_.now());
+    if (hold > 0) {
+      executor_.ScheduleAfter(hold, Guarded(&FleetController::StartNextWave));
+      return;
+    }
   }
   // Compose the wave: first-come order under the width and per-fault-domain
   // caps. Deferred hosts keep their queue position for the next wave.

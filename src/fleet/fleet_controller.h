@@ -17,9 +17,11 @@
 
 #include <deque>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "src/base/result.h"
 #include "src/fleet/fleet_trace.h"
 #include "src/fleet/fleet_types.h"
 #include "src/obs/trace.h"
@@ -81,6 +83,14 @@ FleetTimingModel DeriveFleetTiming(double inplace_fraction, uint64_t seed,
                                    int conversion_workers = 0,
                                    double pretranslate_dirty_fraction = 1.0);
 
+// Rejects degenerate configurations with a field-naming kInvalidArgument
+// instead of the silent clamping the controller used to do: hosts and
+// parallel_hosts must be positive, fault_domains >= 1, max_retries >= 0,
+// durations non-negative, probabilities/fractions inside [0, 1] and the
+// jitter sigma non-negative. abort_threshold may exceed 1.0 (that disables
+// the abort) but not be negative.
+Result<void> ValidateFleetConfig(const FleetConfig& config);
+
 class FleetController {
  public:
   // The executor is borrowed, not owned: the operational scenario reuses one
@@ -93,6 +103,24 @@ class FleetController {
 
   // Drives the executor until the rollout completes or aborts.
   const FleetRolloutReport& Run();
+
+  // Schedules the rollout without draining the executor, for coordinators
+  // (the campaign control plane) that advance the executor in bounded steps
+  // via RunUntil. Run() == Start() + executor.Run().
+  void Start();
+
+  // Externally finalizes an in-flight rollout as aborted (the campaign SLO
+  // governor crossing a fleet-wide budget). No-op once finished.
+  void Abort();
+
+  // True once the rollout finalized (complete or aborted) — or when the
+  // config was rejected at construction and there is nothing to run.
+  bool finished() const { return finished_; }
+
+  // Set when the FleetConfig failed validation at construction: the
+  // controller is inert (Start/Run return an all-zero report) and the error
+  // names the offending field.
+  const std::optional<Error>& config_error() const { return config_error_; }
 
   const FleetRolloutReport& report() const { return report_; }
   const FleetTrace& trace() const { return trace_; }
@@ -118,6 +146,7 @@ class FleetController {
   // Wraps a member-call closure with a liveness guard so events left queued
   // after an abort (or controller destruction) dispatch as no-ops.
   std::function<void()> Guarded(void (FleetController::*method)(int), int host);
+  std::function<void()> Guarded(void (FleetController::*method)());
 
   // Closes host `id`'s open span (if any) and optionally opens the next one,
   // so each host's track is a gap-free sequence of state spans.
@@ -125,6 +154,7 @@ class FleetController {
 
   SimExecutor& executor_;
   FleetConfig config_;
+  std::optional<Error> config_error_;
   std::vector<FleetHost> hosts_;
   std::vector<Rng> host_rngs_;  // Forked in id order: interleaving-independent.
   FleetTrace trace_;
@@ -143,6 +173,7 @@ class FleetController {
   SimTime last_exposure_change_ = 0;
   int exposed_ = 0;
   double exposed_host_seconds_ = 0.0;
+  bool started_ = false;
   bool finished_ = false;
 };
 

@@ -12,6 +12,7 @@
 #define HYPERTP_SRC_FLEET_FLEET_TYPES_H_
 
 #include <cstdint>
+#include <functional>
 #include <string_view>
 
 #include "src/sim/time.h"
@@ -137,6 +138,16 @@ struct FleetConfig {
 
   uint64_t seed = 1;
   size_t trace_capacity = 65536;  // Ring buffer: oldest events drop first.
+
+  // Wave admission gate for an external coordinator (the campaign control
+  // plane's SLO governor): consulted with the next wave's index and the
+  // current sim time before each wave is composed. A positive return defers
+  // the wave by that long (and the gate is consulted again when it fires);
+  // <= 0 admits the wave immediately. Null (the default) never defers.
+  // Determinism contract: the gate must be a pure function of sim time and
+  // of state that only changes at coordinator barriers, never of wall-clock
+  // or cross-shard event interleaving.
+  std::function<SimDuration(int wave, SimTime now)> wave_pacer;
 
   // Observability: when non-null, every host state transition opens/closes a
   // span on that host's track (an upgrade wave renders as one swimlane per

@@ -1,8 +1,10 @@
 #include "src/scenario/operational.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
+#include "src/campaign/campaign.h"
 #include "src/fleet/fleet_controller.h"
 #include "src/obs/trace.h"
 #include "src/sim/executor.h"
@@ -71,6 +73,66 @@ OperationalReport RunOperationalSimulation(const OperationalConfig& config) {
     return rollout.makespan;
   };
 
+  // Same contract as fleet_rollout, but through the sharded campaign control
+  // plane: N coordinated per-shard controllers under the SLO governor. A
+  // planning error (degenerate knobs) logs and charges zero makespan rather
+  // than aborting the year.
+  auto campaign_rollout = [&](double residual_exposure_days) -> SimDuration {
+    CampaignConfig cc;
+    CampaignDatacenter dc;
+    dc.name = "dc0";
+    dc.racks = std::max(config.campaign_shards, 1);
+    dc.hosts_per_rack = std::max(config.fleet.hosts / dc.racks, 1);
+    dc.vms_per_host = config.vms_per_host;
+    cc.datacenters.push_back(dc);
+    cc.shards = dc.racks;
+    cc.parallel_hosts_per_shard = std::max(config.fleet.parallel_hosts / cc.shards, 1);
+    cc.per_host_transplant = config.fleet.per_host_transplant;
+    cc.failure_probability = config.fleet_failure_probability;
+    cc.latency_jitter = config.fleet_latency_jitter;
+    cc.max_retries = config.fleet_max_retries;
+    cc.post_pause_fraction = config.fleet_post_pause_fraction;
+    cc.rollback_failure_probability = config.fleet_rollback_failure_probability;
+    cc.rollback_time = config.fleet_rollback_time;
+    cc.slo = config.campaign_slo;
+    cc.seed = fleet_stream.NextU64();
+    CampaignPlanner planner(std::move(cc));
+    Result<CampaignReport> run = planner.Run();
+    if (!run.ok()) {
+      report.event_log.push_back("campaign rejected: " + run.error().ToString());
+      return 0;
+    }
+    const CampaignReport& campaign = *run;
+    ++report.fleet_rollouts;
+    report.fleet_retries += campaign.retries;
+    report.fleet_stranded_hosts += campaign.failed + campaign.untouched;
+    report.fleet_aborts += campaign.aborted;
+    report.fleet_post_pause_faults += campaign.post_pause_faults;
+    report.fleet_rollbacks += campaign.rollbacks;
+    report.fleet_rollback_failures += campaign.rollback_failures;
+    report.fleet_throttled_epochs += campaign.throttled_epochs;
+    if (campaign.hosts > 0 && !campaign.complete) {
+      const double stranded_fraction =
+          static_cast<double>(campaign.hosts - campaign.upgraded) / campaign.hosts;
+      report.exposure_days_hypertp += stranded_fraction * residual_exposure_days;
+    }
+    return campaign.makespan;
+  };
+
+  // One fleet-wide transplant under the configured execution mode; returns
+  // the charged makespan.
+  auto run_rollout = [&](double residual_exposure_days) -> SimDuration {
+    switch (config.fleet_mode) {
+      case FleetExecutionMode::kFleetController:
+        return fleet_rollout(residual_exposure_days);
+      case FleetExecutionMode::kCampaign:
+        return campaign_rollout(residual_exposure_days);
+      case FleetExecutionMode::kClosedForm:
+        break;
+    }
+    return FleetTransplantTime(config.fleet);
+  };
+
   // Historical disclosure rate: critical flaws affecting the home hypervisor
   // per year, averaged over the dataset's 7 years.
   std::vector<const CveRecord*> candidates;
@@ -136,10 +198,7 @@ OperationalReport RunOperationalSimulation(const OperationalConfig& config) {
           // Transplant away after the reaction time; back when the patch lands.
           ++report.transplants_away;
           current = *decision.target;
-          const SimDuration fleet_time =
-              config.fleet_mode == FleetExecutionMode::kFleetController
-                  ? fleet_rollout(traditional)
-                  : FleetTransplantTime(config.fleet);
+          const SimDuration fleet_time = run_rollout(traditional);
           const SimDuration exposed = config.reaction_time + fleet_time;
           if (tracer != nullptr) {
             tracer->SetAttribute(disclosure_mark, "outcome", "transplant");
@@ -159,10 +218,10 @@ OperationalReport RunOperationalSimulation(const OperationalConfig& config) {
               ++report.transplants_back;
               current = config.home;
               SimDuration back_time = 0;
-              if (config.fleet_mode == FleetExecutionMode::kFleetController) {
+              if (config.fleet_mode != FleetExecutionMode::kClosedForm) {
                 // The return trip is a rollout too; a straggler here is no
                 // longer exposure (home is patched), just counted work.
-                back_time = fleet_rollout(0.0);
+                back_time = run_rollout(0.0);
               } else if (tracer != nullptr) {
                 // Closed form charges no makespan to the report; compute it
                 // only so the trace span has a width.

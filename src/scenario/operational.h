@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "src/campaign/campaign.h"
 #include "src/sim/time.h"
 #include "src/vulndb/window_model.h"
 
@@ -32,6 +33,11 @@ enum class FleetExecutionMode : uint8_t {
   // scheduling, injected failures, retries with backoff, abort threshold.
   // Identical to the closed form when fault-free.
   kFleetController,
+  // Sharded campaign through src/campaign's CampaignPlanner: the fleet is
+  // laid out as one datacenter of `campaign_shards` racks and every
+  // disclosure's rollout runs N coordinated per-shard controllers under the
+  // `campaign_slo` budgets. Hosts round down to a whole number of racks.
+  kCampaign,
 };
 
 struct OperationalConfig {
@@ -61,6 +67,13 @@ struct OperationalConfig {
   double fleet_rollback_failure_probability = 0.0;
   SimDuration fleet_rollback_time = Seconds(5);
 
+  // kCampaign mode: shard count and fleet-wide SLO budgets for the sharded
+  // campaign control plane. The per-shard wave width is
+  // fleet.parallel_hosts / campaign_shards (at least 1), so total in-flight
+  // capacity matches the single-controller modes.
+  int campaign_shards = 4;
+  CampaignSlo campaign_slo;
+
   // Observability: when non-null the year's timeline is recorded — one
   // instant per disclosure (track "disclosures") and one span per fleet-wide
   // rollout (track "fleet"). The nested fleet executor's internal timeline is
@@ -88,6 +101,9 @@ struct OperationalReport {
   int fleet_post_pause_faults = 0;
   int fleet_rollbacks = 0;          // Hosts salvaged by PRAM rollback.
   int fleet_rollback_failures = 0;  // Hosts lost to a failed rollback.
+  // kCampaign mode: epoch barriers the SLO governor spent throttled, summed
+  // over every campaign of the year.
+  int fleet_throttled_epochs = 0;
   std::vector<std::string> event_log;
 
   double exposure_reduction_factor() const {

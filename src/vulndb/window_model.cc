@@ -6,8 +6,9 @@
 namespace hypertp {
 
 SimDuration FleetTransplantTime(const FleetProfile& fleet) {
+  const int hosts = std::max(fleet.hosts, 0);  // Negative hosts: empty fleet.
   const int parallel = std::max(fleet.parallel_hosts, 1);
-  const int waves = (fleet.hosts + parallel - 1) / parallel;
+  const int waves = (hosts + parallel - 1) / parallel;
   return fleet.per_host_transplant * waves;
 }
 

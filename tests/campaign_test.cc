@@ -1,0 +1,468 @@
+// Tests for the sharded campaign control plane: rack-aware planning,
+// bandwidth/capacity-constrained admission, near-linear shard scaling,
+// SLO-driven throttling and abort, streaming exposure analytics, report
+// determinism across real-thread counts and the telemetry JSON golden output.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/campaign/campaign.h"
+#include "src/vulndb/exposure_stream.h"
+
+namespace hypertp {
+namespace {
+
+// Two datacenters, six racks, 60 hosts / 600 VMs: small enough for tests,
+// big enough to exercise multi-shard coordination.
+CampaignConfig BaseConfig() {
+  CampaignConfig config;
+  CampaignDatacenter east;
+  east.name = "east";
+  east.racks = 4;
+  east.hosts_per_rack = 10;
+  CampaignDatacenter west;
+  west.name = "west";
+  west.racks = 2;
+  west.hosts_per_rack = 10;
+  config.datacenters = {east, west};
+  config.shards = 3;
+  config.parallel_hosts_per_shard = 5;
+  config.per_host_transplant = Seconds(10);
+  config.epoch = Seconds(5);
+  config.seed = 42;
+  return config;
+}
+
+TEST(CampaignPlanTest, ShardsPartitionRacksWithoutSplitting) {
+  CampaignConfig config = BaseConfig();
+  config.datacenters[1].hosts_per_rack = 5;  // east 40 hosts, west 10.
+  Result<CampaignPlan> planned = PlanCampaign(config);
+  ASSERT_TRUE(planned.ok()) << planned.error().ToString();
+  const CampaignPlan& plan = *planned;
+
+  EXPECT_EQ(plan.total_hosts, 50);
+  EXPECT_EQ(plan.total_racks, 6);
+  EXPECT_EQ(plan.total_vms, 500);
+  // D'Hondt by host count: east (40 hosts) takes the extra shard.
+  ASSERT_EQ(plan.shards_per_datacenter.size(), 2u);
+  EXPECT_EQ(plan.shards_per_datacenter[0], 2);
+  EXPECT_EQ(plan.shards_per_datacenter[1], 1);
+
+  // Every rack of every DC is owned by exactly one shard of that DC.
+  ASSERT_EQ(plan.shards.size(), 3u);
+  for (size_t d = 0; d < config.datacenters.size(); ++d) {
+    std::set<int> seen;
+    int hosts = 0;
+    for (const CampaignShardPlan& shard : plan.shards) {
+      if (shard.datacenter != static_cast<int>(d)) {
+        continue;
+      }
+      EXPECT_FALSE(shard.racks.empty());
+      for (int rack : shard.racks) {
+        EXPECT_TRUE(seen.insert(rack).second) << "rack " << rack << " split across shards";
+      }
+      hosts += shard.hosts;
+    }
+    EXPECT_EQ(static_cast<int>(seen.size()), config.datacenters[d].racks);
+    EXPECT_EQ(hosts, config.datacenters[d].hosts());
+  }
+  // Shard ids are dense and in DC order.
+  for (size_t i = 0; i < plan.shards.size(); ++i) {
+    EXPECT_EQ(plan.shards[i].id, static_cast<int>(i));
+  }
+}
+
+TEST(CampaignPlanTest, RejectsDegenerateConfigs) {
+  CampaignConfig config = BaseConfig();
+  config.datacenters.clear();
+  EXPECT_FALSE(PlanCampaign(config).ok());
+
+  config = BaseConfig();
+  config.shards = 1;  // Two DCs need at least two shards.
+  Result<CampaignPlan> too_few = PlanCampaign(config);
+  ASSERT_FALSE(too_few.ok());
+  EXPECT_NE(too_few.error().message().find("shards"), std::string::npos);
+
+  config = BaseConfig();
+  config.shards = 7;  // Only six racks exist.
+  EXPECT_FALSE(PlanCampaign(config).ok());
+
+  config = BaseConfig();
+  config.epoch = 0;
+  EXPECT_FALSE(PlanCampaign(config).ok());
+
+  config = BaseConfig();
+  config.datacenters[0].hosts_per_rack = 0;
+  Result<CampaignPlan> empty_rack = PlanCampaign(config);
+  ASSERT_FALSE(empty_rack.ok());
+  EXPECT_NE(empty_rack.error().message().find("east"), std::string::npos);
+
+  // Per-shard fleet knobs are validated up front with field-naming errors.
+  config = BaseConfig();
+  config.failure_probability = 1.5;
+  Result<CampaignPlan> bad_prob = PlanCampaign(config);
+  ASSERT_FALSE(bad_prob.ok());
+  EXPECT_EQ(bad_prob.error().code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(bad_prob.error().message().find("failure_probability"), std::string::npos);
+}
+
+TEST(CampaignTest, FaultFreeCampaignUpgradesEveryHost) {
+  CampaignPlanner planner(BaseConfig());
+  Result<CampaignReport> run = planner.Run();
+  ASSERT_TRUE(run.ok()) << run.error().ToString();
+  const CampaignReport& report = *run;
+
+  EXPECT_TRUE(report.complete);
+  EXPECT_FALSE(report.aborted);
+  EXPECT_EQ(report.hosts, 60);
+  EXPECT_EQ(report.vms, 600);
+  EXPECT_EQ(report.upgraded, 60);
+  EXPECT_EQ(report.failed, 0);
+  EXPECT_EQ(report.untouched, 0);
+  EXPECT_EQ(report.throttled_epochs, 0);
+  EXPECT_EQ(report.final_fraction_vulnerable, 0.0);
+  EXPECT_EQ(static_cast<int>(report.shard_summaries.size()), report.shards);
+  // Unconstrained admission: every shard starts at t=0; the makespan is the
+  // slowest shard's (east shards: 20 hosts / 5 parallel -> 4 waves x 10 s).
+  for (const CampaignShardSummary& shard : report.shard_summaries) {
+    EXPECT_EQ(shard.admitted, 0);
+    EXPECT_TRUE(shard.complete);
+  }
+  EXPECT_EQ(report.makespan, Seconds(40));
+}
+
+TEST(CampaignTest, MakespanScalesNearLinearlyWithShards) {
+  // One DC, 8 racks x 100 hosts; each shard runs the same wave width, so
+  // sharding divides the wave count: fault-free scaling is exactly linear.
+  SimDuration makespan[9] = {};
+  for (int shards : {1, 2, 4, 8}) {
+    CampaignConfig config;
+    CampaignDatacenter dc;
+    dc.name = "dc";
+    dc.racks = 8;
+    dc.hosts_per_rack = 100;
+    config.datacenters = {dc};
+    config.shards = shards;
+    config.parallel_hosts_per_shard = 10;
+    config.per_host_transplant = Seconds(10);
+    CampaignPlanner planner(config);
+    Result<CampaignReport> run = planner.Run();
+    ASSERT_TRUE(run.ok()) << run.error().ToString();
+    EXPECT_TRUE(run->complete);
+    makespan[shards] = run->makespan;
+  }
+  EXPECT_EQ(makespan[1], Seconds(800));  // 800 hosts / 10 wide.
+  EXPECT_EQ(makespan[2], makespan[1] / 2);
+  EXPECT_EQ(makespan[4], makespan[1] / 4);
+  EXPECT_EQ(makespan[8], makespan[1] / 8);
+}
+
+TEST(CampaignTest, BandwidthSlotsSerializeShardsOfOneDatacenter) {
+  CampaignConfig config;
+  CampaignDatacenter dc;
+  dc.name = "dc";
+  dc.racks = 2;
+  dc.hosts_per_rack = 10;
+  dc.bandwidth_slots = 1;  // One shard's traffic at a time on this WAN.
+  config.datacenters = {dc};
+  config.shards = 2;
+  config.parallel_hosts_per_shard = 10;
+  config.per_host_transplant = Seconds(10);
+  config.epoch = Seconds(5);
+  CampaignPlanner planner(config);
+  Result<CampaignReport> run = planner.Run();
+  ASSERT_TRUE(run.ok()) << run.error().ToString();
+  const CampaignReport& report = *run;
+
+  EXPECT_TRUE(report.complete);
+  ASSERT_EQ(report.shard_summaries.size(), 2u);
+  EXPECT_EQ(report.shard_summaries[0].admitted, 0);
+  // Shard 1 waits for shard 0's slot (10 s of work, detected at a barrier).
+  EXPECT_GE(report.shard_summaries[1].admitted, Seconds(10));
+  EXPECT_GE(report.makespan, Seconds(20));
+  EXPECT_LE(report.makespan, Seconds(30));
+}
+
+TEST(CampaignTest, GlobalConcurrencyCapHoldsAcrossDatacenters) {
+  CampaignConfig config = BaseConfig();
+  config.shards = 3;
+  config.max_concurrent_shards = 1;
+  CampaignPlanner planner(config);
+  Result<CampaignReport> run = planner.Run();
+  ASSERT_TRUE(run.ok()) << run.error().ToString();
+  const CampaignReport& report = *run;
+
+  EXPECT_TRUE(report.complete);
+  // Admissions never overlap: each shard starts at or after the previous
+  // one's finish time.
+  ASSERT_EQ(report.shard_summaries.size(), 3u);
+  std::vector<const CampaignShardSummary*> by_admission;
+  for (const CampaignShardSummary& shard : report.shard_summaries) {
+    by_admission.push_back(&shard);
+  }
+  std::sort(by_admission.begin(), by_admission.end(),
+            [](const CampaignShardSummary* a, const CampaignShardSummary* b) {
+              return a->admitted < b->admitted;
+            });
+  for (size_t i = 1; i < by_admission.size(); ++i) {
+    EXPECT_GE(by_admission[i]->admitted,
+              by_admission[i - 1]->admitted + by_admission[i - 1]->makespan);
+  }
+}
+
+// Rollback storm: every failed attempt is a post-pause fault, so the
+// trailing-window rollback rate tracks the injected failure probability.
+CampaignConfig StormConfig() {
+  CampaignConfig config = BaseConfig();
+  config.failure_probability = 0.5;
+  config.post_pause_fraction = 1.0;
+  config.max_retries = 6;
+  config.retry_backoff = Seconds(2);
+  config.rollback_time = Seconds(2);
+  return config;
+}
+
+TEST(CampaignTest, SloThrottleSlowsTheCampaignUnderRollbackStorm) {
+  CampaignConfig baseline = StormConfig();
+  CampaignConfig throttled = StormConfig();
+  throttled.slo.throttle_rollback_rate = 0.05;
+  throttled.slo.throttle_hold = Seconds(60);
+
+  Result<CampaignReport> base_run = CampaignPlanner(baseline).Run();
+  Result<CampaignReport> slow_run = CampaignPlanner(throttled).Run();
+  ASSERT_TRUE(base_run.ok()) << base_run.error().ToString();
+  ASSERT_TRUE(slow_run.ok()) << slow_run.error().ToString();
+
+  EXPECT_EQ(base_run->throttled_epochs, 0);
+  EXPECT_GT(slow_run->throttled_epochs, 0);
+  // Same faults, same retries — the throttle only defers waves, so the
+  // governed campaign takes strictly longer and upgrades the same hosts.
+  EXPECT_GT(slow_run->makespan, base_run->makespan);
+  EXPECT_EQ(slow_run->upgraded, base_run->upgraded);
+  EXPECT_FALSE(slow_run->aborted);
+}
+
+TEST(CampaignTest, SloAbortKillsTheCampaignUnderRollbackStorm) {
+  CampaignConfig config = StormConfig();
+  config.failure_probability = 0.9;
+  config.slo.abort_rollback_rate = 0.2;
+  config.slo.rate_window_epochs = 2;
+  Result<CampaignReport> run = CampaignPlanner(config).Run();
+  ASSERT_TRUE(run.ok()) << run.error().ToString();
+
+  EXPECT_TRUE(run->aborted);
+  EXPECT_FALSE(run->complete);
+  EXPECT_EQ(run->abort_reason, "rollback_rate");
+  // The campaign died early: most of the fleet never transplanted.
+  EXPECT_GT(run->untouched, 0);
+  EXPECT_GT(run->final_fraction_vulnerable, 0.0);
+}
+
+TEST(CampaignTest, FailedFractionBudgetAborts) {
+  CampaignConfig config = BaseConfig();
+  config.failure_probability = 1.0;  // Every attempt fails...
+  config.max_retries = 0;            // ...and hosts park in kFailed at once.
+  config.slo.abort_failed_fraction = 0.1;
+  Result<CampaignReport> run = CampaignPlanner(config).Run();
+  ASSERT_TRUE(run.ok()) << run.error().ToString();
+
+  EXPECT_TRUE(run->aborted);
+  EXPECT_EQ(run->abort_reason, "failed_fraction");
+  EXPECT_EQ(run->upgraded, 0);
+}
+
+TEST(CampaignTest, UnavailableFractionBudgetThrottles) {
+  CampaignConfig config = BaseConfig();
+  config.drain_time = Seconds(20);  // Long drains keep many hosts down.
+  config.slo.max_unavailable_fraction = 0.1;
+  config.slo.throttle_hold = Seconds(30);
+  Result<CampaignReport> run = CampaignPlanner(config).Run();
+  ASSERT_TRUE(run.ok()) << run.error().ToString();
+
+  // 15 of 60 hosts in flight at full width blows the 10% budget; the
+  // governor must have spent barriers throttled, yet the campaign finishes.
+  EXPECT_GT(run->throttled_epochs, 0);
+  EXPECT_TRUE(run->complete);
+}
+
+TEST(CampaignTest, ExposureCurveIsMonotoneAndClosesAtZero) {
+  CampaignConfig config = StormConfig();
+  config.exposure_min_fraction_delta = 0.0;  // Record every drop.
+  Result<CampaignReport> run = CampaignPlanner(config).Run();
+  ASSERT_TRUE(run.ok()) << run.error().ToString();
+  const std::vector<ExposureCurvePoint>& curve = run->exposure_curve;
+
+  ASSERT_GE(curve.size(), 2u);
+  EXPECT_EQ(curve.front().fraction, 1.0);
+  EXPECT_EQ(curve.front().time, 0);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].time, curve[i - 1].time);
+    EXPECT_LE(curve[i].fraction, curve[i - 1].fraction);
+  }
+  if (run->complete) {
+    EXPECT_EQ(curve.back().fraction, 0.0);
+  }
+  EXPECT_GT(run->exposed_vm_days, 0.0);
+  EXPECT_GT(run->exposed_host_days, 0.0);
+}
+
+TEST(CampaignTest, ReportAndObservabilityAreByteIdenticalAcrossThreadCounts) {
+  std::string report_json[2];
+  std::string trace_json[2];
+  std::string metrics_json[2];
+  const int threads[2] = {1, 4};
+  for (int i = 0; i < 2; ++i) {
+    Tracer tracer;
+    MetricsRegistry metrics;
+    CampaignConfig config = StormConfig();
+    config.latency_jitter = 0.3;
+    config.real_threads = threads[i];
+    config.tracer = &tracer;
+    config.metrics = &metrics;
+    Result<CampaignReport> run = CampaignPlanner(config).Run();
+    ASSERT_TRUE(run.ok()) << run.error().ToString();
+    report_json[i] = CampaignReportToJson(*run);
+    trace_json[i] = tracer.ToChromeTraceJson();
+    metrics_json[i] = metrics.ToJson();
+  }
+  EXPECT_EQ(report_json[0], report_json[1]);
+  EXPECT_EQ(trace_json[0], trace_json[1]);
+  EXPECT_EQ(metrics_json[0], metrics_json[1]);
+}
+
+TEST(CampaignTest, RunIsSingleShot) {
+  CampaignPlanner planner(BaseConfig());
+  ASSERT_TRUE(planner.Run().ok());
+  Result<CampaignReport> again = planner.Run();
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.error().code(), ErrorCode::kFailedPrecondition);
+}
+
+TEST(CampaignTest, TracerRecordsCampaignShardsAndExposure) {
+  Tracer tracer;
+  CampaignConfig config = BaseConfig();
+  config.tracer = &tracer;
+  Result<CampaignReport> run = CampaignPlanner(config).Run();
+  ASSERT_TRUE(run.ok()) << run.error().ToString();
+
+  const Span* campaign = tracer.FindSpan("campaign");
+  ASSERT_NE(campaign, nullptr);
+  EXPECT_EQ(campaign->duration(), run->makespan);
+  EXPECT_EQ(tracer.SpansNamed("exposure").size(), run->exposure_curve.size());
+  EXPECT_EQ(static_cast<int>(tracer.ChildrenOf(campaign->id).size()), run->shards);
+  EXPECT_EQ(tracer.open_span_count(), 0u);
+}
+
+TEST(CampaignReportJsonTest, GoldenOutput) {
+  CampaignReport report;
+  report.shards = 2;
+  report.datacenters = 1;
+  report.hosts = 8;
+  report.vms = 80;
+  report.upgraded = 7;
+  report.failed = 1;
+  report.untouched = 0;
+  report.retries = 2;
+  report.post_pause_faults = 1;
+  report.rollbacks = 1;
+  report.rollback_failures = 0;
+  report.epochs = 3;
+  report.throttled_epochs = 1;
+  report.aborted = false;
+  report.complete = false;
+  report.makespan = Seconds(120);
+  report.final_fraction_vulnerable = 0.125;
+  report.exposed_host_days = 0.5;
+  report.exposed_vm_days = 5.0;
+  report.exposure_curve = {{0, 80, 1.0}, {Seconds(60), 40, 0.5}, {Seconds(120), 10, 0.125}};
+  CampaignShardSummary a;
+  a.id = 0;
+  a.datacenter = 0;
+  a.hosts = 4;
+  a.upgraded = 4;
+  a.retries = 1;
+  a.waves = 2;
+  a.complete = true;
+  a.admitted = 0;
+  a.makespan = Seconds(100);
+  CampaignShardSummary b;
+  b.id = 1;
+  b.datacenter = 0;
+  b.hosts = 4;
+  b.upgraded = 3;
+  b.failed = 1;
+  b.retries = 1;
+  b.waves = 2;
+  b.post_pause_faults = 1;
+  b.rollbacks = 1;
+  b.admitted = -1;
+  b.makespan = Seconds(120);
+  report.shard_summaries = {a, b};
+  report.shard_makespan_seconds.Add(100.0);
+  report.shard_makespan_seconds.Add(120.0);
+
+  const std::string expected =
+      R"({"kind":"campaign","shards":2,"datacenters":1,"hosts":8,"vms":80,)"
+      R"("upgraded":7,"failed":1,"untouched":0,"retries":2,"post_pause_faults":1,)"
+      R"("rollbacks":1,"rollback_failures":0,"aborted":false,"complete":false,)"
+      R"("makespan_ms":120000,)"
+      R"("slo":{"epochs":3,"throttled_epochs":1,"abort_reason":""},)"
+      R"("exposure":{"final_fraction_vulnerable":0.125,"exposed_host_days":0.5,)"
+      R"("exposed_vm_days":5,"curve":[[0,80,1],[60000,40,0.5],[120000,10,0.125]]},)"
+      R"("shard_makespan_seconds":{"count":2,"p50":110,"p99":119.8,"max":120},)"
+      R"("shards_detail":[)"
+      R"({"id":0,"datacenter":0,"hosts":4,"upgraded":4,"failed":0,"untouched":0,)"
+      R"("retries":1,"waves":2,"post_pause_faults":0,"rollbacks":0,)"
+      R"("rollback_failures":0,"aborted":false,"complete":true,"admitted_ms":0,)"
+      R"("makespan_ms":100000},)"
+      R"({"id":1,"datacenter":0,"hosts":4,"upgraded":3,"failed":1,"untouched":0,)"
+      R"("retries":1,"waves":2,"post_pause_faults":1,"rollbacks":1,)"
+      R"("rollback_failures":0,"aborted":false,"complete":false,"admitted_ms":-1,)"
+      R"("makespan_ms":120000}]})";
+  EXPECT_EQ(CampaignReportToJson(report), expected);
+}
+
+TEST(ExposureStreamTest, IntegralsAndFractionMatchHandComputation) {
+  ExposureStream stream(10, 100);
+  stream.OnHostsSafe(Seconds(10), 5, 50);
+  stream.Seal(Seconds(20));
+
+  EXPECT_EQ(stream.exposed_hosts(), 5);
+  EXPECT_EQ(stream.exposed_vms(), 50);
+  EXPECT_DOUBLE_EQ(stream.fraction_vulnerable(), 0.5);
+  // 10 hosts x 10 s + 5 hosts x 10 s = 150 host-seconds.
+  EXPECT_DOUBLE_EQ(stream.exposed_host_days(), 150.0 / 86400.0);
+  EXPECT_DOUBLE_EQ(stream.exposed_vm_days(), 1500.0 / 86400.0);
+}
+
+TEST(ExposureStreamTest, OutOfOrderFeedsClampForward) {
+  ExposureStream stream(10, 100);
+  stream.OnHostsSafe(Seconds(10), 2, 20);
+  stream.OnHostsSafe(Seconds(5), 2, 20);  // Late event: counted, not rewound.
+  EXPECT_EQ(stream.exposed_hosts(), 6);
+  EXPECT_EQ(stream.last_update(), Seconds(10));
+  // Over-reporting never goes negative.
+  stream.OnHostsSafe(Seconds(12), 100, 1000);
+  EXPECT_EQ(stream.exposed_hosts(), 0);
+  EXPECT_EQ(stream.exposed_vms(), 0);
+  EXPECT_DOUBLE_EQ(stream.fraction_vulnerable(), 0.0);
+}
+
+TEST(ExposureStreamTest, DownsamplingBoundsTheCurve) {
+  ExposureStreamOptions options;
+  options.min_fraction_delta = 0.1;
+  ExposureStream stream(1000, 1000, 0, options);
+  for (int i = 0; i < 1000; ++i) {
+    stream.OnHostsSafe(Seconds(i + 1), 1, 1);  // 0.1% per event.
+  }
+  stream.Seal(Seconds(1001));
+  // 0.1 epsilon admits ~10 interior points plus the forced first/last.
+  EXPECT_LE(stream.curve().size(), 13u);
+  EXPECT_EQ(stream.curve().front().fraction, 1.0);
+  EXPECT_EQ(stream.curve().back().fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace hypertp

@@ -488,5 +488,147 @@ TEST(FleetTraceTest, JsonExportIsWellFormed) {
   EXPECT_NE(report_json.find(R"("p50")"), std::string::npos);
 }
 
+// Expects ValidateFleetConfig to reject `config` with kInvalidArgument whose
+// message names `field`, and the controller built from it to be inert.
+void ExpectRejected(FleetConfig config, std::string_view field) {
+  Result<void> valid = ValidateFleetConfig(config);
+  ASSERT_FALSE(valid.ok()) << "expected rejection on " << field;
+  EXPECT_EQ(valid.error().code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(valid.error().message().find(field), std::string::npos)
+      << valid.error().message();
+
+  SimExecutor executor;
+  FleetController controller(executor, config);
+  ASSERT_TRUE(controller.config_error().has_value());
+  EXPECT_TRUE(controller.finished());
+  const FleetRolloutReport& report = controller.Run();  // Inert: nothing runs.
+  EXPECT_EQ(report.hosts, 0);
+  EXPECT_EQ(report.upgraded, 0);
+  EXPECT_EQ(executor.now(), 0);
+}
+
+TEST(FleetConfigValidationTest, RejectsNonPositiveHosts) {
+  FleetConfig config = BaseConfig();
+  config.hosts = 0;
+  ExpectRejected(config, "hosts");
+  config.hosts = -3;
+  ExpectRejected(config, "hosts");
+}
+
+TEST(FleetConfigValidationTest, RejectsNonPositiveParallelHosts) {
+  FleetConfig config = BaseConfig();
+  config.parallel_hosts = 0;
+  ExpectRejected(config, "parallel_hosts");
+  config.parallel_hosts = -1;
+  ExpectRejected(config, "parallel_hosts");
+}
+
+TEST(FleetConfigValidationTest, RejectsProbabilitiesOutsideUnitInterval) {
+  FleetConfig config = BaseConfig();
+  config.failure_probability = -0.1;
+  ExpectRejected(config, "failure_probability");
+  config = BaseConfig();
+  config.failure_probability = 1.5;
+  ExpectRejected(config, "failure_probability");
+  config = BaseConfig();
+  config.post_pause_fraction = -1.0;
+  ExpectRejected(config, "post_pause_fraction");
+  config = BaseConfig();
+  config.rollback_failure_probability = 2.0;
+  ExpectRejected(config, "rollback_failure_probability");
+  config = BaseConfig();
+  config.inplace_fraction = -0.5;
+  ExpectRejected(config, "inplace_fraction");
+}
+
+TEST(FleetConfigValidationTest, RejectsNegativeDurationsAndBudgets) {
+  FleetConfig config = BaseConfig();
+  config.retry_backoff = -Seconds(1);
+  ExpectRejected(config, "retry_backoff");
+  config = BaseConfig();
+  config.drain_time = -1;
+  ExpectRejected(config, "drain_time");
+  config = BaseConfig();
+  config.rollback_time = -Seconds(2);
+  ExpectRejected(config, "rollback_time");
+  config = BaseConfig();
+  config.max_retries = -1;
+  ExpectRejected(config, "max_retries");
+  config = BaseConfig();
+  config.abort_threshold = -0.25;
+  ExpectRejected(config, "abort_threshold");
+  config = BaseConfig();
+  config.latency_jitter = -0.3;
+  ExpectRejected(config, "latency_jitter");
+  config = BaseConfig();
+  config.fault_domains = 0;
+  ExpectRejected(config, "fault_domains");
+}
+
+TEST(FleetConfigValidationTest, ErrorMessageNamesFieldAndValue) {
+  FleetConfig config = BaseConfig();
+  config.hosts = -3;
+  Result<void> valid = ValidateFleetConfig(config);
+  ASSERT_FALSE(valid.ok());
+  EXPECT_EQ(valid.error().message(), "FleetConfig::hosts must be > 0, got -3");
+}
+
+TEST(FleetConfigValidationTest, AcceptsDisabledAbortThresholdAboveOne) {
+  FleetConfig config = BaseConfig();
+  config.abort_threshold = 2.5;  // Above 1.0 just disables the abort.
+  Result<void> r = ValidateFleetConfig(config);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(FleetControllerTest, StartThenAbortFinalizesAsAborted) {
+  SimExecutor executor;
+  FleetConfig config = BaseConfig();  // 100 hosts, 10 wide, 10 s each.
+  FleetController controller(executor, config);
+  controller.Start();
+  executor.RunUntil(Seconds(15));  // One full wave + part of the second.
+  EXPECT_FALSE(controller.finished());
+  controller.Abort();
+  EXPECT_TRUE(controller.finished());
+  const FleetRolloutReport& report = controller.report();
+  EXPECT_TRUE(report.aborted);
+  EXPECT_FALSE(report.complete);
+  EXPECT_EQ(report.upgraded, 10);
+  EXPECT_GT(report.untouched, 0);
+  // Abort is idempotent and Run() after finalization is a no-op.
+  controller.Abort();
+  EXPECT_EQ(&controller.Run(), &report);
+  EXPECT_EQ(report.upgraded, 10);
+}
+
+TEST(FleetControllerTest, AbortBeforeStartLeavesEveryHostUntouched) {
+  SimExecutor executor;
+  FleetController controller(executor, BaseConfig());
+  controller.Abort();
+  EXPECT_TRUE(controller.finished());
+  EXPECT_TRUE(controller.report().aborted);
+  EXPECT_EQ(controller.report().untouched, 100);
+  EXPECT_EQ(controller.report().upgraded, 0);
+}
+
+TEST(FleetControllerTest, WavePacerDefersWaveComposition) {
+  SimExecutor executor;
+  FleetConfig config = BaseConfig();
+  config.hosts = 20;  // Two waves of 10.
+  std::vector<int> consulted;
+  config.wave_pacer = [&](int wave, SimTime) -> SimDuration {
+    consulted.push_back(wave);
+    return wave == 1 && consulted.size() < 3 ? Seconds(30) : 0;
+  };
+  FleetController controller(executor, config);
+  const FleetRolloutReport& report = controller.Run();
+  EXPECT_TRUE(report.complete);
+  // Wave 0 at t=0 (10 s), wave 1 deferred 30 s from t=10, runs at t=40.
+  EXPECT_EQ(report.makespan, Seconds(50));
+  ASSERT_EQ(consulted.size(), 3u);
+  EXPECT_EQ(consulted[0], 0);
+  EXPECT_EQ(consulted[1], 1);
+  EXPECT_EQ(consulted[2], 1);  // Re-consulted when the hold fired.
+}
+
 }  // namespace
 }  // namespace hypertp

@@ -106,6 +106,66 @@ TEST(OperationalTest, FleetControllerModeIsDeterministic) {
   EXPECT_EQ(a.event_log, b.event_log);
 }
 
+TEST(OperationalTest, CampaignModeAgreesWithClosedFormWhenFaultFree) {
+  // The sharded campaign splits the same fleet over 4 racks/shards; the
+  // reaction time dominates per-disclosure exposure, so fault-free campaign
+  // exposure lands within 5% of the closed form.
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    OperationalConfig closed = BaseConfig(seed);
+    const OperationalReport a = RunOperationalSimulation(closed);
+    if (a.transplants_away == 0) {
+      continue;
+    }
+    OperationalConfig campaign = BaseConfig(seed);
+    campaign.fleet_mode = FleetExecutionMode::kCampaign;
+    const OperationalReport b = RunOperationalSimulation(campaign);
+    ASSERT_EQ(a.disclosures, b.disclosures);
+    ASSERT_EQ(a.transplants_away, b.transplants_away);
+    EXPECT_EQ(b.fleet_rollouts, b.transplants_away + b.transplants_back);
+    EXPECT_EQ(b.fleet_retries, 0);
+    EXPECT_EQ(b.fleet_stranded_hosts, 0);
+    EXPECT_EQ(b.fleet_throttled_epochs, 0);
+    EXPECT_NEAR(b.exposure_days_hypertp / a.exposure_days_hypertp, 1.0, 0.05);
+    return;  // One meaningful seed is enough.
+  }
+  FAIL() << "no seed produced a transplant";
+}
+
+TEST(OperationalTest, CampaignModeIsDeterministic) {
+  OperationalConfig config = BaseConfig(7);
+  config.fleet_mode = FleetExecutionMode::kCampaign;
+  config.fleet_failure_probability = 0.1;
+  config.fleet_latency_jitter = 0.2;
+  config.fleet_post_pause_fraction = 0.5;
+  const OperationalReport a = RunOperationalSimulation(config);
+  const OperationalReport b = RunOperationalSimulation(config);
+  EXPECT_EQ(a.disclosures, b.disclosures);
+  EXPECT_DOUBLE_EQ(a.exposure_days_hypertp, b.exposure_days_hypertp);
+  EXPECT_EQ(a.fleet_retries, b.fleet_retries);
+  EXPECT_EQ(a.fleet_throttled_epochs, b.fleet_throttled_epochs);
+  EXPECT_EQ(a.event_log, b.event_log);
+}
+
+TEST(OperationalTest, CampaignSloThrottlingSurfacesInTheReport) {
+  // A rollback storm under a tight throttle budget: some campaign of the
+  // year must spend barriers throttled, and the counter reaches the report.
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    OperationalConfig config = BaseConfig(seed);
+    config.fleet_mode = FleetExecutionMode::kCampaign;
+    config.fleet_failure_probability = 0.5;
+    config.fleet_post_pause_fraction = 1.0;
+    config.campaign_slo.throttle_rollback_rate = 0.05;
+    const OperationalReport report = RunOperationalSimulation(config);
+    if (report.transplants_away == 0) {
+      continue;
+    }
+    EXPECT_GT(report.fleet_post_pause_faults, 0);
+    EXPECT_GT(report.fleet_throttled_epochs, 0);
+    return;
+  }
+  FAIL() << "no seed produced a transplant";
+}
+
 TEST(OperationalTest, InjectedFleetFailuresRaiseExposure) {
   // Find a seed with at least one transplant, then crank the failure rate:
   // retries + stranded hosts must push exposure above the fault-free run.

@@ -38,6 +38,13 @@ HYPERTP_TRACE=1 HYPERTP_BENCH_DIR="${bench_out}" \
 for artifact in BENCH_fig6_breakdown.json TRACE_fig6_M1.json TRACE_fig6_M2.json; do
   test -s "${bench_out}/${artifact}" || { echo "missing ${artifact}" >&2; exit 1; }
 done
+# A traced mini-campaign: the sharded control plane exercises per-shard
+# executors, the SLO governor and the exposure stream — error paths the unit
+# tests reach only at small scale.
+HYPERTP_BENCH_DIR="${bench_out}" \
+  "${build_dir}/bench/bench_campaign" --smoke > /dev/null
+test -s "${bench_out}/BENCH_campaign_smoke.json" \
+  || { echo "missing BENCH_campaign_smoke.json" >&2; exit 1; }
 echo "sanitized bench smoke-run OK (${bench_out})"
 
 # --- ThreadSanitizer stage -------------------------------------------------
@@ -49,7 +56,8 @@ cmake -B "${tsan_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DHYPERTP_SANITIZE=thread
 cmake --build "${tsan_dir}" -j "$(nproc)" \
-  --target worker_pool_test pipeline_test pretranslate_test bench_pipeline_scaling
+  --target worker_pool_test pipeline_test pretranslate_test campaign_test \
+  bench_pipeline_scaling
 
 export TSAN_OPTIONS="halt_on_error=1"
 HYPERTP_PARALLEL=4 "${tsan_dir}/tests/worker_pool_test"
@@ -57,6 +65,10 @@ HYPERTP_PARALLEL=4 "${tsan_dir}/tests/pipeline_test"
 # Pre-translation runs Extract+UisrEncode on the real worker pool while the
 # transplant bookkeeping continues on the caller thread — race it too.
 HYPERTP_PARALLEL=4 "${tsan_dir}/tests/pretranslate_test"
+# Campaigns run one shard per worker-pool task between barriers; TSan with
+# real threads proves the byte-identical-across-thread-counts contract holds
+# because the shards genuinely share no mutable state mid-epoch.
+HYPERTP_PARALLEL=4 "${tsan_dir}/tests/campaign_test"
 HYPERTP_PARALLEL=4 HYPERTP_TRACE=1 HYPERTP_BENCH_DIR="${bench_out}" \
   "${tsan_dir}/bench/bench_pipeline_scaling" > /dev/null
 test -s "${bench_out}/BENCH_pipeline_scaling.json" \

@@ -140,7 +140,8 @@ TEST(TelemetryTest, OperationalReportExport) {
   EXPECT_NE(json.find(R"("exposure_days_traditional":402)"), std::string::npos);
   EXPECT_NE(json.find(R"("exposure_reduction_factor":200)"), std::string::npos);
   EXPECT_NE(json.find(R"("fleet":{"rollouts":11,"retries":4,"stranded_hosts":2,"aborts":0,)"
-                      R"("post_pause_faults":3,"rollbacks":2,"rollback_failures":1})"),
+                      R"("post_pause_faults":3,"rollbacks":2,"rollback_failures":1,)"
+                      R"("throttled_epochs":0})"),
             std::string::npos);
   EXPECT_NE(json.find("CVE-2015-3456"), std::string::npos);
 }

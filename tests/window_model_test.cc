@@ -30,6 +30,47 @@ TEST(FleetTransplantTimeTest, WaveMath) {
   EXPECT_EQ(FleetTransplantTime(fleet), Seconds(1010));
 }
 
+TEST(FleetTransplantTimeTest, DegenerateFleetShapesNeverGoNegative) {
+  FleetProfile fleet;
+  fleet.per_host_transplant = Seconds(10);
+
+  fleet.hosts = 0;  // Empty fleet: nothing to transplant.
+  fleet.parallel_hosts = 10;
+  EXPECT_EQ(FleetTransplantTime(fleet), 0);
+
+  fleet.hosts = -5;  // Negative hosts clamp to an empty fleet, not to
+  EXPECT_EQ(FleetTransplantTime(fleet), 0);  // negative waves of time.
+
+  fleet.hosts = 7;
+  fleet.parallel_hosts = -3;  // Negative width clamps to serial.
+  EXPECT_EQ(FleetTransplantTime(fleet), Seconds(70));
+
+  // Width beyond the fleet is one wave, never a fractional one.
+  fleet.parallel_hosts = 1000;
+  EXPECT_EQ(FleetTransplantTime(fleet), Seconds(10));
+}
+
+TEST(ExposureTest, FallbackWindowDrivesBothWorldsForCommonFlaws) {
+  // A common flaw with an unrecorded window (every common record in the
+  // dataset carries one, so synthesize it): the fallback feeds the
+  // traditional exposure AND (transplant inapplicable) the HyperTP side.
+  CveRecord common_unknown;
+  common_unknown.id = "CVE-TEST-0001";
+  common_unknown.year = 2016;
+  common_unknown.cvss_v2 = 7.5;
+  common_unknown.affects_xen = true;
+  common_unknown.affects_kvm = true;
+  ASSERT_TRUE(common_unknown.common());
+  ASSERT_LT(common_unknown.window_days, 0);
+  auto c = CompareExposure(common_unknown, HypervisorKind::kXen,
+                           {HypervisorKind::kXen, HypervisorKind::kKvm}, PatchPolicy{},
+                           FleetProfile{}, /*fallback_window_days=*/30.0);
+  EXPECT_FALSE(c.transplant_applicable);
+  EXPECT_DOUBLE_EQ(c.traditional_exposure_days, 30.0 + PatchPolicy{}.apply_delay_days);
+  EXPECT_DOUBLE_EQ(c.hypertp_exposure_days, c.traditional_exposure_days);
+  EXPECT_DOUBLE_EQ(c.reduction_factor, 1.0);
+}
+
 TEST(ExposureTest, LongWindowCveShrinksToMinutes) {
   const CveRecord* cve = FindCve("CVE-2017-12188");  // 180-day window.
   ASSERT_NE(cve, nullptr);
