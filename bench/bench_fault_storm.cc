@@ -1,0 +1,226 @@
+// ReHype-mode crash recovery under fault storms: a 10k-host upgrade campaign
+// with seeded hypervisor crashes striking mid-traffic, each answered by an
+// unplanned InPlaceTP recovery from the last PRAM image — or honestly lost
+// when the crash tore the transplant ledger. Sections: VM survival and
+// recovery latency for a recovering fleet vs a fixed (no-recovery) control
+// arm, the exposure the storm adds back to the campaign curve, ledger-state
+// sensitivity, and the thread-count byte-identity check the determinism
+// contract demands.
+//
+// `--smoke` shrinks the fleet ~50x for sanitizer runs.
+
+#include <cstring>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/campaign/campaign.h"
+
+namespace hypertp {
+namespace {
+
+struct Scale {
+  int racks = 8;
+  int hosts_per_rack = 1250;  // 8 racks x 1250 = 10k hosts, 100k VMs.
+  int parallel_per_shard = 50;
+  double storm_rate_per_hour = 120000.0;  // DC-wide; ~33 strikes/s at peak.
+};
+
+// The campaign every section perturbs: one DC, 8 shards, an upgrade rollout
+// long enough for the storm window to overlap in-flight waves.
+CampaignConfig StormCampaign(const Scale& scale) {
+  CampaignConfig config;
+  CampaignDatacenter dc;
+  dc.name = "dc0";
+  dc.racks = scale.racks;
+  dc.hosts_per_rack = scale.hosts_per_rack;
+  dc.vms_per_host = 10;
+  dc.crash_storm.rate_per_hour = scale.storm_rate_per_hour;
+  dc.crash_storm.duration = Seconds(300);
+  dc.crash_storm.start = Seconds(30);
+  dc.crash_storm.recovery_time = Seconds(8);
+  dc.crash_storm.pre_pause_fraction = 0.15;
+  dc.crash_storm.mid_save_torn_fraction = 0.05;
+  dc.crash_storm.stale_commit_fraction = 0.05;
+  dc.crash_storm.scrubbed_fraction = 0.02;
+  config.datacenters = {dc};
+  config.shards = scale.racks;
+  config.parallel_hosts_per_shard = scale.parallel_per_shard;
+  config.per_host_transplant = Seconds(10);
+  config.latency_jitter = 0.2;
+  config.epoch = Seconds(5);
+  config.seed = 2027;
+  return config;
+}
+
+void SurvivalSection(const Scale& scale, bench::BenchReport& bench_report) {
+  bench::Section("VM survival — recovering fleet vs fixed (no-recovery) control arm");
+  bench::Row("%-12s %9s %9s %9s %9s %10s %11s %9s", "arm", "crashes", "salvage", "live",
+             "lost", "survival", "rec-p50", "rec-p99");
+  for (const bool recover : {false, true}) {
+    CampaignConfig config = StormCampaign(scale);
+    config.datacenters[0].crash_storm.recover = recover;
+    CampaignPlanner planner(config);
+    Result<CampaignReport> run = planner.Run();
+    if (!run.ok()) {
+      bench::Row("%s rejected: %s", recover ? "recovering" : "fixed",
+                 run.error().ToString().c_str());
+      continue;
+    }
+    const CampaignReport& report = *run;
+    // Lost hosts take their VMs down with them; everything else survives.
+    const double survival =
+        report.vms > 0
+            ? 1.0 - static_cast<double>(report.lost) * 10.0 / static_cast<double>(report.vms)
+            : 1.0;
+    const bool has_latency = !report.recovery_latency_seconds.empty();
+    bench::Row("%-12s %9d %9d %9d %9d %9.4f %10.1fs %8.1fs",
+               recover ? "recovering" : "fixed", report.crashes, report.crash_salvages,
+               report.crash_live_recoveries, report.lost, survival,
+               has_latency ? report.recovery_latency_seconds.Percentile(50) : 0.0,
+               has_latency ? report.recovery_latency_seconds.Percentile(99) : 0.0);
+    const std::string tag = recover ? "recovering" : "fixed";
+    bench_report.SetScalar("crashes_" + tag, report.crashes);
+    bench_report.SetScalar("lost_" + tag, report.lost);
+    bench_report.SetScalar("vm_survival_" + tag, survival);
+    if (has_latency) {
+      bench_report.SetScalar("recovery_latency_p50_s", report.recovery_latency_seconds.Percentile(50));
+      bench_report.SetScalar("recovery_latency_p99_s", report.recovery_latency_seconds.Percentile(99));
+      bench_report.SetScalar("recoveries", static_cast<double>(report.recovery_latency_seconds.count()));
+    }
+  }
+}
+
+void ExposureSection(const Scale& scale, bench::BenchReport& bench_report) {
+  bench::Section("Crash-added exposure — storm vs storm-free campaign");
+  bench::Row("%-12s %10s %12s %12s %10s", "arm", "makespan", "exp-vm-days", "crash-rb",
+             "curve-pts");
+  double baseline_exposure = 0.0;
+  for (const bool storm : {false, true}) {
+    CampaignConfig config = StormCampaign(scale);
+    if (!storm) {
+      config.datacenters[0].crash_storm = CrashStormConfig{};
+    }
+    CampaignPlanner planner(config);
+    Result<CampaignReport> run = planner.Run();
+    if (!run.ok()) {
+      bench::Row("%s rejected: %s", storm ? "storm" : "quiet", run.error().ToString().c_str());
+      continue;
+    }
+    const CampaignReport& report = *run;
+    if (!storm) {
+      baseline_exposure = report.exposed_vm_days;
+    }
+    bench::Row("%-12s %9.1fs %12.2f %12d %10zu", storm ? "storm" : "quiet",
+               bench::Sec(report.makespan), report.exposed_vm_days, report.crash_rollbacks,
+               report.exposure_curve.size());
+    const std::string tag = storm ? "storm" : "quiet";
+    bench_report.SetScalar("exposed_vm_days_" + tag, report.exposed_vm_days);
+    bench_report.SetScalar("makespan_s_" + tag, bench::Sec(report.makespan));
+    if (storm) {
+      bench_report.SetScalar("crash_rollbacks", report.crash_rollbacks);
+      bench_report.SetScalar("crash_added_vm_days", report.exposed_vm_days - baseline_exposure);
+      // Re-exposure must be visible on the curve: at least one rising step.
+      bool rose = false;
+      for (size_t i = 1; i < report.exposure_curve.size(); ++i) {
+        rose |= report.exposure_curve[i].fraction > report.exposure_curve[i - 1].fraction;
+      }
+      bench_report.SetScalar("curve_rose", rose ? 1.0 : 0.0);
+      bench::Row("  crash-added exposure: %.2f VM-days%s",
+                 report.exposed_vm_days - baseline_exposure,
+                 rose ? "  (re-exposure visible on curve)" : "");
+    }
+  }
+}
+
+void LedgerMixSection(const Scale& scale, bench::BenchReport& bench_report) {
+  bench::Section("Ledger-state sensitivity — what the crash left in PRAM decides the salvage");
+  bench::Row("%-22s %9s %9s %9s %9s", "ledger mix", "crashes", "salvage", "live", "lost");
+  struct Mix {
+    const char* name;
+    double pre_pause, torn, stale, scrubbed;
+  };
+  const Mix mixes[] = {
+      {"all clean commits", 0.0, 0.0, 0.0, 0.0},
+      {"25% pre-pause", 0.25, 0.0, 0.0, 0.0},
+      {"25% torn frames", 0.0, 0.25, 0.0, 0.0},
+      {"25% scrubbed", 0.0, 0.0, 0.0, 0.25},
+  };
+  for (const Mix& mix : mixes) {
+    CampaignConfig config = StormCampaign(scale);
+    CrashStormConfig& storm = config.datacenters[0].crash_storm;
+    storm.pre_pause_fraction = mix.pre_pause;
+    storm.mid_save_torn_fraction = mix.torn;
+    storm.stale_commit_fraction = mix.stale;
+    storm.scrubbed_fraction = mix.scrubbed;
+    CampaignPlanner planner(config);
+    Result<CampaignReport> run = planner.Run();
+    if (!run.ok()) {
+      bench::Row("%s rejected: %s", mix.name, run.error().ToString().c_str());
+      continue;
+    }
+    bench::Row("%-22s %9d %9d %9d %9d", mix.name, run->crashes, run->crash_salvages,
+               run->crash_live_recoveries, run->lost);
+  }
+  // One stable scalar for the regression dashboard: the clean-commit arm.
+  CampaignConfig clean = StormCampaign(scale);
+  CrashStormConfig& storm = clean.datacenters[0].crash_storm;
+  storm.pre_pause_fraction = 0.0;
+  storm.mid_save_torn_fraction = 0.0;
+  storm.stale_commit_fraction = 0.0;
+  storm.scrubbed_fraction = 0.0;
+  Result<CampaignReport> run = CampaignPlanner(clean).Run();
+  if (run.ok()) {
+    bench_report.SetScalar("clean_ledger_lost", run->lost);
+  }
+}
+
+void DeterminismSection(const Scale& scale, bench::BenchReport& bench_report) {
+  bench::Section("Determinism — byte-identical reports across worker-thread counts");
+  std::string json[3];
+  const int threads[3] = {1, 4, 8};
+  for (int i = 0; i < 3; ++i) {
+    CampaignConfig config = StormCampaign(scale);
+    config.real_threads = threads[i];
+    Result<CampaignReport> run = CampaignPlanner(config).Run();
+    if (!run.ok()) {
+      bench::Row("threads=%d rejected: %s", threads[i], run.error().ToString().c_str());
+      return;
+    }
+    json[i] = CampaignReportToJson(*run);
+  }
+  const bool identical = json[0] == json[1] && json[1] == json[2];
+  bench::Row("threads {1,4,8}: %s (%zu bytes)",
+             identical ? "byte-identical" : "DIVERGED!", json[0].size());
+  bench_report.SetScalar("thread_count_identical", identical ? 1.0 : 0.0);
+}
+
+void Run(bool smoke) {
+  bench::Banner(
+      "Fault storms over an in-flight campaign — 10k hosts / 100k VMs, ReHype-mode salvage",
+      "Poisson crash storm (300 s window) concurrent with an 8-shard upgrade campaign; "
+      "unplanned recoveries compete with waves for worker slots. Seed 2027. Sections: "
+      "survival vs a fixed fleet, crash-added exposure, ledger-state mix, thread-count "
+      "byte-identity.");
+  Scale scale;
+  if (smoke) {
+    scale.hosts_per_rack = 25;  // 200 hosts / 2k VMs: sanitizer-friendly.
+    scale.parallel_per_shard = 5;
+    scale.storm_rate_per_hour = 2400.0;
+    bench::Row("(--smoke: 200-host fleet)");
+  }
+  bench::BenchReport bench_report(smoke ? "fault_storm_smoke" : "fault_storm");
+  SurvivalSection(scale, bench_report);
+  ExposureSection(scale, bench_report);
+  LedgerMixSection(scale, bench_report);
+  DeterminismSection(scale, bench_report);
+  bench_report.WriteJsonArtifact();
+}
+
+}  // namespace
+}  // namespace hypertp
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  hypertp::Run(smoke);
+  return 0;
+}

@@ -58,6 +58,14 @@ Result<CampaignPlan> PlanCampaign(const CampaignConfig& config) {
       return InvalidArgumentError(where + ": bandwidth_slots must be >= 0, got " +
                                   std::to_string(dc.bandwidth_slots));
     }
+    // Per-DC crash storms fail fast with the fleet layer's own field-naming
+    // errors, prefixed with the datacenter they came from.
+    FleetConfig storm_probe;
+    storm_probe.hosts = 1;
+    storm_probe.crash_storm = dc.crash_storm;
+    if (Result<void> storm_valid = ValidateFleetConfig(storm_probe); !storm_valid.ok()) {
+      return InvalidArgumentError(where + ": " + storm_valid.error().message());
+    }
     plan.total_hosts += dc.hosts();
     plan.total_vms += dc.vms();
     plan.total_racks += dc.racks;
@@ -152,6 +160,13 @@ std::string CampaignReportToJson(const CampaignReport& report) {
   j.Key("post_pause_faults").Number(static_cast<int64_t>(report.post_pause_faults));
   j.Key("rollbacks").Number(static_cast<int64_t>(report.rollbacks));
   j.Key("rollback_failures").Number(static_cast<int64_t>(report.rollback_failures));
+  j.Key("crashes").Number(static_cast<int64_t>(report.crashes));
+  j.Key("crash_salvages").Number(static_cast<int64_t>(report.crash_salvages));
+  j.Key("crash_live_recoveries").Number(static_cast<int64_t>(report.crash_live_recoveries));
+  j.Key("crash_rollbacks").Number(static_cast<int64_t>(report.crash_rollbacks));
+  j.Key("crash_upgrades").Number(static_cast<int64_t>(report.crash_upgrades));
+  j.Key("crash_data_loss").Number(static_cast<int64_t>(report.crash_data_loss));
+  j.Key("lost").Number(static_cast<int64_t>(report.lost));
   j.Key("aborted").Bool(report.aborted);
   j.Key("complete").Bool(report.complete);
   j.Key("makespan_ms").Number(ToMillis(report.makespan));
@@ -182,6 +197,14 @@ std::string CampaignReportToJson(const CampaignReport& report) {
     j.Key("max").Number(report.shard_makespan_seconds.max());
   }
   j.EndObject();
+  j.Key("recovery_latency_seconds").BeginObject();
+  j.Key("count").Number(static_cast<uint64_t>(report.recovery_latency_seconds.count()));
+  if (!report.recovery_latency_seconds.empty()) {
+    j.Key("p50").Number(report.recovery_latency_seconds.Percentile(50));
+    j.Key("p99").Number(report.recovery_latency_seconds.Percentile(99));
+    j.Key("max").Number(report.recovery_latency_seconds.max());
+  }
+  j.EndObject();
   j.Key("shards_detail").BeginArray();
   for (const CampaignShardSummary& shard : report.shard_summaries) {
     j.BeginObject();
@@ -196,6 +219,9 @@ std::string CampaignReportToJson(const CampaignReport& report) {
     j.Key("post_pause_faults").Number(static_cast<int64_t>(shard.post_pause_faults));
     j.Key("rollbacks").Number(static_cast<int64_t>(shard.rollbacks));
     j.Key("rollback_failures").Number(static_cast<int64_t>(shard.rollback_failures));
+    j.Key("crashes").Number(static_cast<int64_t>(shard.crashes));
+    j.Key("crash_rollbacks").Number(static_cast<int64_t>(shard.crash_rollbacks));
+    j.Key("lost").Number(static_cast<int64_t>(shard.lost));
     j.Key("aborted").Bool(shard.aborted);
     j.Key("complete").Bool(shard.complete);
     j.Key("admitted_ms").Number(shard.admitted < 0 ? -1.0 : ToMillis(shard.admitted));
@@ -235,11 +261,14 @@ Result<CampaignReport> CampaignPlanner::Run() {
     // Exposure-timeline drain cursor + last seen exposed count.
     size_t exposure_consumed = 0;
     int last_exposed = 0;
-    // Barrier snapshots for governor deltas.
-    int prev_upgraded = 0;
+    // Barrier snapshots for governor deltas. Attempts come from the monotone
+    // transplant_successes counter, not `upgraded` (crash rollbacks and lost
+    // hosts decrement the latter, which would corrupt the rate denominator).
+    int prev_transplant_successes = 0;
     int prev_retries = 0;
     int prev_failed = 0;
     int prev_post_pause = 0;
+    int prev_crash_rollbacks = 0;
   };
   std::vector<std::unique_ptr<ShardRuntime>> shards;
   shards.reserve(plan.shards.size());
@@ -254,6 +283,16 @@ Result<CampaignReport> CampaignPlanner::Run() {
     // The controller composes waves under the shard-wide width cap; clamping
     // to the shard size keeps wave accounting meaningful for tiny shards.
     fleet.parallel_hosts = std::min(config_.parallel_hosts_per_shard, shard_plan.hosts);
+    // Poisson thinning: the DC-wide storm rate splits across the DC's shards
+    // in proportion to their host counts, so expected intensity is invariant
+    // under resharding and every draw stays in one shard's stream.
+    const CampaignDatacenter& dc =
+        config_.datacenters[static_cast<size_t>(shard_plan.datacenter)];
+    if (dc.crash_storm.enabled() && dc.hosts() > 0) {
+      fleet.crash_storm = dc.crash_storm;
+      fleet.crash_storm.rate_per_hour *=
+          static_cast<double>(shard_plan.hosts) / static_cast<double>(dc.hosts());
+    }
     fleet.seed = root.Fork().NextU64();  // Id-order forks: shard-independent.
     fleet.trace_capacity = static_cast<size_t>(std::max(shard_plan.hosts, 128)) * 8;
     fleet.wave_pacer = [this](int, SimTime) { return governor_hold_; };
@@ -298,8 +337,14 @@ Result<CampaignReport> CampaignPlanner::Run() {
   int active = 0;
   size_t finished = 0;
   std::vector<int> dc_active(config_.datacenters.size(), 0);
-  // Trailing-window rollback-rate samples: {post-pause faults, attempts}.
-  std::deque<std::pair<int, int>> rate_window;
+  // Trailing-window rate samples; upgrade-induced post-pause faults and
+  // crash-induced rollbacks share the attempts denominator but never mix.
+  struct RateSample {
+    int post_pause = 0;
+    int crash_rollbacks = 0;
+    int attempts = 0;
+  };
+  std::deque<RateSample> rate_window;
   bool throttled = false;
 
   // Admission under the global concurrency cap and per-DC bandwidth slots,
@@ -379,11 +424,12 @@ Result<CampaignReport> CampaignPlanner::Run() {
     RunOnWorkerPool(tasks, threads);
 
     // Barrier: merge new exposure samples across shards by (time, shard) and
-    // feed the stream, so the curve is identical for any thread count.
+    // feed the stream, so the curve is identical for any thread count. Deltas
+    // are signed — a crash-induced rollback re-exposes hosts mid-campaign.
     struct SafeEvent {
       SimTime time;
       int shard;
-      int hosts;
+      int hosts;  // > 0: reached safety; < 0: re-exposed by a crash rollback.
       int64_t vms;
     };
     std::vector<SafeEvent> safe_events;
@@ -391,7 +437,7 @@ Result<CampaignReport> CampaignPlanner::Run() {
       const std::vector<ExposurePoint>& timeline = rt->controller->trace().exposure_timeline();
       for (size_t i = rt->exposure_consumed; i < timeline.size(); ++i) {
         const int delta = rt->last_exposed - timeline[i].exposed_hosts;
-        if (delta > 0) {
+        if (delta != 0) {
           safe_events.push_back(SafeEvent{
               timeline[i].time, rt->plan->id, delta,
               static_cast<int64_t>(delta) * rt->plan->vms_per_host});
@@ -405,7 +451,11 @@ Result<CampaignReport> CampaignPlanner::Run() {
                        return a.time != b.time ? a.time < b.time : a.shard < b.shard;
                      });
     for (const SafeEvent& event : safe_events) {
-      stream.OnHostsSafe(event.time, event.hosts, event.vms);
+      if (event.hosts > 0) {
+        stream.OnHostsSafe(event.time, event.hosts, event.vms);
+      } else {
+        stream.OnHostsExposed(event.time, -event.hosts, -event.vms);
+      }
     }
     stream.AdvanceTo(now);
 
@@ -415,35 +465,48 @@ Result<CampaignReport> CampaignPlanner::Run() {
       }
     }
 
-    // Governor: fleet-wide deltas since the last barrier.
+    // Governor: fleet-wide deltas since the last barrier. Upgrade-induced
+    // faults and crash-induced rollbacks are tallied apart so a fault storm
+    // never trips (or masks) the bad-image budget.
     int delta_post_pause = 0;
+    int delta_crash_rollbacks = 0;
     int delta_attempts = 0;
     int total_failed = 0;
+    int total_lost = 0;
     for (auto& rt : shards) {
       const FleetRolloutReport& r = rt->controller->report();
       delta_post_pause += r.post_pause_faults - rt->prev_post_pause;
-      delta_attempts += (r.upgraded - rt->prev_upgraded) + (r.retries - rt->prev_retries) +
-                        (r.failed - rt->prev_failed);
+      delta_crash_rollbacks += r.crash_rollbacks - rt->prev_crash_rollbacks;
+      delta_attempts += (r.transplant_successes - rt->prev_transplant_successes) +
+                        (r.retries - rt->prev_retries) + (r.failed - rt->prev_failed);
       total_failed += r.failed;
+      total_lost += r.lost;
       rt->prev_post_pause = r.post_pause_faults;
-      rt->prev_upgraded = r.upgraded;
+      rt->prev_crash_rollbacks = r.crash_rollbacks;
+      rt->prev_transplant_successes = r.transplant_successes;
       rt->prev_retries = r.retries;
       rt->prev_failed = r.failed;
     }
-    rate_window.emplace_back(delta_post_pause, delta_attempts);
+    rate_window.push_back({delta_post_pause, delta_crash_rollbacks, delta_attempts});
     while (static_cast<int>(rate_window.size()) > config_.slo.rate_window_epochs) {
       rate_window.pop_front();
     }
     int window_post_pause = 0;
+    int window_crash_rollbacks = 0;
     int window_attempts = 0;
-    for (const auto& [faults, attempts] : rate_window) {
-      window_post_pause += faults;
-      window_attempts += attempts;
+    for (const RateSample& sample : rate_window) {
+      window_post_pause += sample.post_pause;
+      window_crash_rollbacks += sample.crash_rollbacks;
+      window_attempts += sample.attempts;
     }
     const double rollback_rate =
         static_cast<double>(window_post_pause) / std::max(window_attempts, 1);
+    const double crash_rollback_rate =
+        static_cast<double>(window_crash_rollbacks) / std::max(window_attempts, 1);
     const double failed_fraction =
         plan.total_hosts > 0 ? static_cast<double>(total_failed) / plan.total_hosts : 0.0;
+    const double crash_loss_fraction =
+        plan.total_hosts > 0 ? static_cast<double>(total_lost) / plan.total_hosts : 0.0;
     double unavailable_fraction = 0.0;
     if (config_.slo.max_unavailable_fraction < 1.0) {
       int unavailable = 0;
@@ -454,7 +517,9 @@ Result<CampaignReport> CampaignPlanner::Run() {
         for (const FleetHost& host : rt->controller->hosts()) {
           unavailable += host.state == FleetHostState::kDraining ||
                          host.state == FleetHostState::kTransplanting ||
-                         host.state == FleetHostState::kRollingBack;
+                         host.state == FleetHostState::kRollingBack ||
+                         host.state == FleetHostState::kCrashed ||
+                         host.state == FleetHostState::kRecovering;
         }
       }
       unavailable_fraction =
@@ -466,13 +531,25 @@ Result<CampaignReport> CampaignPlanner::Run() {
       abort_reason = "failed_fraction";
       break;
     }
+    if (config_.slo.abort_crash_loss_fraction < 1.0 &&
+        crash_loss_fraction > config_.slo.abort_crash_loss_fraction) {
+      abort_reason = "crash_loss_fraction";
+      break;
+    }
     if (config_.slo.abort_rollback_rate < 1.0 && rollback_rate > config_.slo.abort_rollback_rate) {
       abort_reason = "rollback_rate";
+      break;
+    }
+    if (config_.slo.abort_crash_rollback_rate < 1.0 &&
+        crash_rollback_rate > config_.slo.abort_crash_rollback_rate) {
+      abort_reason = "crash_rollback_rate";
       break;
     }
     const bool now_throttled =
         (config_.slo.throttle_rollback_rate < 1.0 &&
          rollback_rate > config_.slo.throttle_rollback_rate) ||
+        (config_.slo.throttle_crash_rollback_rate < 1.0 &&
+         crash_rollback_rate > config_.slo.throttle_crash_rollback_rate) ||
         (config_.slo.max_unavailable_fraction < 1.0 &&
          unavailable_fraction > config_.slo.max_unavailable_fraction);
     if (now_throttled) {
@@ -528,6 +605,9 @@ Result<CampaignReport> CampaignPlanner::Run() {
     summary.post_pause_faults = r.post_pause_faults;
     summary.rollbacks = r.rollbacks;
     summary.rollback_failures = r.rollback_failures;
+    summary.crashes = r.crashes;
+    summary.crash_rollbacks = r.crash_rollbacks;
+    summary.lost = r.lost;
     summary.aborted = r.aborted;
     summary.complete = r.complete;
     summary.admitted = rt->admitted ? rt->admitted_at : -1;
@@ -539,6 +619,17 @@ Result<CampaignReport> CampaignPlanner::Run() {
     report.post_pause_faults += r.post_pause_faults;
     report.rollbacks += r.rollbacks;
     report.rollback_failures += r.rollback_failures;
+    report.crashes += r.crashes;
+    report.crash_salvages += r.crash_salvages;
+    report.crash_live_recoveries += r.crash_live_recoveries;
+    report.crash_rollbacks += r.crash_rollbacks;
+    report.crash_upgrades += r.crash_upgrades;
+    report.crash_data_loss += r.crash_data_loss;
+    report.lost += r.lost;
+    // Shard-id-order merge keeps the percentile bytes thread-count invariant.
+    for (const double sample : r.recovery_latency_seconds.samples()) {
+      report.recovery_latency_seconds.Add(sample);
+    }
     if (rt->admitted) {
       end = std::max(end, rt->admitted_at + r.makespan);
       report.shard_makespan_seconds.Add(ToSeconds(r.makespan));

@@ -52,6 +52,12 @@ struct CampaignDatacenter {
   // DC's shards transplant concurrently (0 = unconstrained). Further shards
   // queue in id order and are admitted as slots free up.
   int bandwidth_slots = 0;
+  // Seeded hypervisor-crash storm over this datacenter's hosts (disabled by
+  // default). The DC-wide Poisson rate is split across the DC's shards in
+  // proportion to their host counts (Poisson thinning), so the storm's
+  // expected intensity is independent of the sharding and every draw stays
+  // inside one shard's deterministic stream.
+  CrashStormConfig crash_storm;
 
   int hosts() const { return racks * hosts_per_rack; }
   int64_t vms() const { return static_cast<int64_t>(hosts()) * vms_per_host; }
@@ -74,6 +80,18 @@ struct CampaignSlo {
   // Hard abort when this fraction of all campaign hosts has permanently
   // failed. >= 1.0 disables.
   double abort_failed_fraction = 1.0;
+  // Crash-storm budgets, kept apart from the upgrade-induced ones so a storm
+  // can never masquerade as a bad image (and vice versa): the rates above
+  // count only post-pause faults of *upgrade* attempts, the ones below only
+  // crash-induced rollbacks (an unplanned salvage reverting an upgraded
+  // host). Same trailing window, same semantics; distinct abort_reason
+  // ("crash_rollback_rate"). >= 1.0 disables either.
+  double throttle_crash_rollback_rate = 1.0;
+  double abort_crash_rollback_rate = 1.0;
+  // Hard abort when this fraction of all campaign hosts was lost to crashes
+  // (ledger data loss or recovery exhaustion); abort_reason
+  // "crash_loss_fraction". >= 1.0 disables.
+  double abort_crash_loss_fraction = 1.0;
 };
 
 struct CampaignConfig {
@@ -154,6 +172,9 @@ struct CampaignShardSummary {
   int post_pause_faults = 0;
   int rollbacks = 0;
   int rollback_failures = 0;
+  int crashes = 0;
+  int crash_rollbacks = 0;
+  int lost = 0;
   bool aborted = false;
   bool complete = false;
   SimTime admitted = -1;  // -1: the campaign aborted before admission.
@@ -169,9 +190,21 @@ struct CampaignReport {
   int failed = 0;
   int untouched = 0;
   int retries = 0;
+  // Upgrade-induced recovery traffic: post-pause faults and the planned
+  // ledger rollbacks they triggered.
   int post_pause_faults = 0;
   int rollbacks = 0;
   int rollback_failures = 0;
+  // Crash-storm traffic, tallied separately so neither contaminates the
+  // other's SLO rate: strikes, unplanned recoveries by outcome, upgraded
+  // hosts reverted by a same-kind salvage, and hosts lost outright.
+  int crashes = 0;
+  int crash_salvages = 0;
+  int crash_live_recoveries = 0;
+  int crash_rollbacks = 0;
+  int crash_upgrades = 0;
+  int crash_data_loss = 0;
+  int lost = 0;
   int epochs = 0;
   int throttled_epochs = 0;
   bool aborted = false;   // SLO (or horizon) abort.
@@ -185,6 +218,9 @@ struct CampaignReport {
   std::vector<ExposureCurvePoint> exposure_curve;
   std::vector<CampaignShardSummary> shard_summaries;
   SampleSet shard_makespan_seconds;
+  // Crash-to-serving latency of every successful unplanned recovery, merged
+  // across shards in shard-id order (deterministic for any thread count).
+  SampleSet recovery_latency_seconds;
 };
 
 // {"kind":"campaign", fleet totals, SLO outcome, exposure, shards} in the

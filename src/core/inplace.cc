@@ -349,12 +349,16 @@ Result<InPlaceResult> InPlaceTransplant::Run(std::unique_ptr<Hypervisor> source,
       if (!opened.ok()) {
         return opened.error();
       }
-      HYPERTP_ASSIGN_OR_RETURN(LedgerRecord record, opened->Read());
-      if (record.phase != TransplantPhase::kCommitted) {
-        return DataLossError("transplant ledger phase '" +
-                             std::string(TransplantPhaseName(record.phase)) +
-                             "' does not authorize rollback (commit record torn or missing)");
+      // Crash-grade triage rather than a bare phase check: Assess() also
+      // detects a *newer* write torn over an old committed record, which a
+      // Read() fallback would happily salvage as if current (stale-state
+      // resurrection). The planned path holds itself to the same bar as the
+      // unplanned ReHype recovery.
+      HYPERTP_ASSIGN_OR_RETURN(SalvageAssessment assessment, opened->Assess());
+      if (assessment.decision != SalvageDecision::kSalvageFromImage) {
+        return DataLossError(assessment.reason);
       }
+      LedgerRecord record = *assessment.record;
       const auto salvage_kind = static_cast<HypervisorKind>(record.source_kind);
       if (hv != nullptr) {
         // Partially restored target state (VM structures, NPTs) is reclaimed

@@ -132,6 +132,11 @@ std::string OperationalReportToJson(const OperationalReport& report) {
   j.Key("post_pause_faults").Number(static_cast<int64_t>(report.fleet_post_pause_faults));
   j.Key("rollbacks").Number(static_cast<int64_t>(report.fleet_rollbacks));
   j.Key("rollback_failures").Number(static_cast<int64_t>(report.fleet_rollback_failures));
+  j.Key("crashes").Number(static_cast<int64_t>(report.fleet_crashes));
+  j.Key("crash_salvages").Number(static_cast<int64_t>(report.fleet_crash_salvages));
+  j.Key("crash_live_recoveries").Number(static_cast<int64_t>(report.fleet_crash_live_recoveries));
+  j.Key("crash_rollbacks").Number(static_cast<int64_t>(report.fleet_crash_rollbacks));
+  j.Key("lost").Number(static_cast<int64_t>(report.fleet_lost));
   j.Key("throttled_epochs").Number(static_cast<int64_t>(report.fleet_throttled_epochs));
   j.EndObject();
   j.Key("event_log").BeginArray();

@@ -20,10 +20,19 @@ std::string FleetRolloutReportToJson(const FleetRolloutReport& report) {
   j.Key("failed").Number(static_cast<int64_t>(report.failed));
   j.Key("untouched").Number(static_cast<int64_t>(report.untouched));
   j.Key("retries").Number(static_cast<int64_t>(report.retries));
+  j.Key("transplant_successes").Number(static_cast<int64_t>(report.transplant_successes));
   j.Key("waves").Number(static_cast<int64_t>(report.waves));
   j.Key("post_pause_faults").Number(static_cast<int64_t>(report.post_pause_faults));
   j.Key("rollbacks").Number(static_cast<int64_t>(report.rollbacks));
   j.Key("rollback_failures").Number(static_cast<int64_t>(report.rollback_failures));
+  j.Key("crashes").Number(static_cast<int64_t>(report.crashes));
+  j.Key("crash_salvages").Number(static_cast<int64_t>(report.crash_salvages));
+  j.Key("crash_live_recoveries").Number(static_cast<int64_t>(report.crash_live_recoveries));
+  j.Key("crash_rollbacks").Number(static_cast<int64_t>(report.crash_rollbacks));
+  j.Key("crash_upgrades").Number(static_cast<int64_t>(report.crash_upgrades));
+  j.Key("crash_data_loss").Number(static_cast<int64_t>(report.crash_data_loss));
+  j.Key("crash_recovery_retries").Number(static_cast<int64_t>(report.crash_recovery_retries));
+  j.Key("lost").Number(static_cast<int64_t>(report.lost));
   j.Key("aborted").Bool(report.aborted);
   j.Key("complete").Bool(report.complete);
   j.Key("makespan_ms").Number(ToMillis(report.makespan));
@@ -35,6 +44,15 @@ std::string FleetRolloutReportToJson(const FleetRolloutReport& report) {
     j.Key("p90").Number(report.wave_latency_seconds.Percentile(90));
     j.Key("p99").Number(report.wave_latency_seconds.Percentile(99));
     j.Key("max").Number(report.wave_latency_seconds.max());
+  }
+  j.EndObject();
+  j.Key("recovery_latency_seconds").BeginObject();
+  j.Key("count").Number(static_cast<uint64_t>(report.recovery_latency_seconds.count()));
+  if (!report.recovery_latency_seconds.empty()) {
+    j.Key("p50").Number(report.recovery_latency_seconds.Percentile(50));
+    j.Key("p90").Number(report.recovery_latency_seconds.Percentile(90));
+    j.Key("p99").Number(report.recovery_latency_seconds.Percentile(99));
+    j.Key("max").Number(report.recovery_latency_seconds.max());
   }
   j.EndObject();
   j.EndObject();
@@ -165,6 +183,53 @@ Result<void> ValidateFleetConfig(const FleetConfig& config) {
   if (config.trace_capacity == 0) {
     return InvalidArgumentError("FleetConfig::trace_capacity must be > 0");
   }
+  const CrashStormConfig& storm = config.crash_storm;
+  if (!(storm.rate_per_hour >= 0.0) || !std::isfinite(storm.rate_per_hour)) {
+    return InvalidArgumentError(
+        "FleetConfig::crash_storm.rate_per_hour must be finite and >= 0, got " +
+        std::to_string(storm.rate_per_hour));
+  }
+  if (storm.enabled()) {
+    if (storm.burst < 1) {
+      return InvalidArgumentError("FleetConfig::crash_storm.burst must be >= 1, got " +
+                                  std::to_string(storm.burst));
+    }
+    if (storm.recovery_max_retries < 0) {
+      return InvalidArgumentError(
+          "FleetConfig::crash_storm.recovery_max_retries must be >= 0, got " +
+          std::to_string(storm.recovery_max_retries));
+    }
+    if (auto r = non_negative_duration(storm.start, "crash_storm.start"); !r.ok()) return r;
+    if (auto r = non_negative_duration(storm.duration, "crash_storm.duration"); !r.ok()) return r;
+    if (auto r = non_negative_duration(storm.recovery_time, "crash_storm.recovery_time"); !r.ok())
+      return r;
+    if (auto r = non_negative_duration(storm.recovery_backoff, "crash_storm.recovery_backoff");
+        !r.ok())
+      return r;
+    if (auto r = probability(storm.pre_pause_fraction, "crash_storm.pre_pause_fraction"); !r.ok())
+      return r;
+    if (auto r = probability(storm.mid_save_torn_fraction, "crash_storm.mid_save_torn_fraction");
+        !r.ok())
+      return r;
+    if (auto r = probability(storm.stale_commit_fraction, "crash_storm.stale_commit_fraction");
+        !r.ok())
+      return r;
+    if (auto r = probability(storm.scrubbed_fraction, "crash_storm.scrubbed_fraction"); !r.ok())
+      return r;
+    if (auto r = probability(storm.recovery_failure_probability,
+                             "crash_storm.recovery_failure_probability");
+        !r.ok())
+      return r;
+    if (auto r = probability(storm.cross_kind_fraction, "crash_storm.cross_kind_fraction"); !r.ok())
+      return r;
+    const double mix = storm.pre_pause_fraction + storm.mid_save_torn_fraction +
+                       storm.stale_commit_fraction + storm.scrubbed_fraction;
+    if (mix > 1.0) {
+      return InvalidArgumentError(
+          "FleetConfig::crash_storm ledger-state fractions must sum to <= 1, got " +
+          std::to_string(mix));
+    }
+  }
   return OkResult();
 }
 
@@ -199,6 +264,11 @@ FleetController::FleetController(SimExecutor& executor, FleetConfig config)
     // One stream per host, forked in id order: a host's failure/jitter draws
     // never depend on how the waves interleave.
     host_rngs_.push_back(root.Fork());
+  }
+  // The storm stream forks *after* every host stream, so enabling a storm
+  // never perturbs the per-host draw sequences of an existing seed.
+  if (config_.crash_storm.enabled()) {
+    storm_rng_.emplace(root.Fork());
   }
   report_.hosts = config_.hosts;
 }
@@ -283,6 +353,11 @@ void FleetController::Start() {
   for (int i = 0; i < config_.hosts; ++i) {
     pending_.push_back(i);
   }
+  if (storm_rng_.has_value()) {
+    const CrashStormConfig& storm = config_.crash_storm;
+    storm_end_ = storm.duration > 0 ? base_ + storm.start + storm.duration : -1;
+    executor_.ScheduleAt(base_ + storm.start, Guarded(&FleetController::ScheduleNextCrash));
+  }
   executor_.ScheduleAt(base_, Guarded(&FleetController::StartNextWave));
 }
 
@@ -292,9 +367,7 @@ void FleetController::Emit(FleetEventType type, int host, int attempt) {
 
 void FleetController::StartNextWave() {
   if (pending_.empty()) {
-    if (wave_in_flight_ == 0) {
-      Finalize(FleetEventType::kRolloutComplete);
-    }
+    MaybeFinishRollout();
     return;
   }
   // External admission gate (campaign SLO governor): a positive hold defers
@@ -306,12 +379,19 @@ void FleetController::StartNextWave() {
       return;
     }
   }
+  // Unplanned recoveries hold worker slots with priority over upgrade work:
+  // the wave only gets what the storm left over. A zero width is fine —
+  // recovery completions re-trigger wave scheduling.
+  const int width = config_.parallel_hosts - recovering_;
+  if (width <= 0) {
+    return;
+  }
   // Compose the wave: first-come order under the width and per-fault-domain
   // caps. Deferred hosts keep their queue position for the next wave.
   std::vector<int> wave_hosts;
   std::vector<int> domain_in_flight(static_cast<size_t>(config_.fault_domains), 0);
   for (auto it = pending_.begin();
-       it != pending_.end() && static_cast<int>(wave_hosts.size()) < config_.parallel_hosts;) {
+       it != pending_.end() && static_cast<int>(wave_hosts.size()) < width;) {
     int& domain_count = domain_in_flight[static_cast<size_t>(hosts_[*it].fault_domain)];
     if (config_.max_per_domain_in_flight > 0 &&
         domain_count >= config_.max_per_domain_in_flight) {
@@ -369,6 +449,7 @@ void FleetController::FinishAttempt(int host) {
     h.upgraded = true;
     h.finished = executor_.now();
     ++report_.upgraded;
+    ++report_.transplant_successes;
     if (config_.tracer != nullptr) {
       config_.tracer->SetAttribute(host_spans_[static_cast<size_t>(host)], "outcome", "upgraded");
     }
@@ -439,8 +520,9 @@ void FleetController::ScheduleRetryOrFail(int host) {
   if (h.attempts <= config_.max_retries) {
     ++report_.retries;
     Emit(FleetEventType::kRetryScheduled, host, h.attempts);
-    // Exponential backoff: base, 2x, 4x, ... per consecutive failure.
-    const SimDuration backoff = config_.retry_backoff << (h.attempts - 1);
+    // Exponential backoff per consecutive failure, saturating at the ceiling
+    // instead of overflowing SimDuration at 30+ retries (fleet_types.h).
+    const SimDuration backoff = SaturatingBackoff(config_.retry_backoff, h.attempts - 1);
     executor_.ScheduleAfter(backoff, Guarded(&FleetController::StartTransplant, host));
     return;
   }
@@ -458,7 +540,11 @@ void FleetController::HostDone(int host) {
     Finalize(FleetEventType::kRolloutAborted);
     return;
   }
-  if (--wave_in_flight_ == 0) {
+  --wave_in_flight_;
+  // Every host completion frees a worker slot; queued unplanned recoveries
+  // claim it before the next wave can.
+  TryStartRecoveries();
+  if (wave_in_flight_ == 0) {
     if (config_.tracer != nullptr) {
       config_.tracer->EndSpan(wave_span_, executor_.now());
       wave_span_ = 0;
@@ -478,7 +564,7 @@ void FleetController::AccrueExposure() {
 void FleetController::Finalize(FleetEventType terminal) {
   finished_ = true;
   AccrueExposure();
-  report_.untouched = report_.hosts - report_.upgraded - report_.failed;
+  report_.untouched = report_.hosts - report_.upgraded - report_.failed - report_.lost;
   report_.aborted = terminal == FleetEventType::kRolloutAborted;
   report_.complete = report_.upgraded == report_.hosts;
   report_.makespan = executor_.now() - base_;
@@ -503,6 +589,239 @@ void FleetController::Finalize(FleetEventType terminal) {
     // Graceful stop: events already in flight dispatch as guarded no-ops on
     // the executor's next run.
     executor_.Stop();
+  }
+}
+
+void FleetController::ScheduleNextCrash() {
+  // Poisson arrivals: exponential inter-event gap. NextDouble() < 1, so the
+  // log argument is never zero.
+  const double rate_per_ns = config_.crash_storm.rate_per_hour / (3600.0 * 1e9);
+  const double gap_ns = -std::log(1.0 - storm_rng_->NextDouble()) / rate_per_ns;
+  executor_.ScheduleAfter(std::max<SimDuration>(1, static_cast<SimDuration>(gap_ns)),
+                          Guarded(&FleetController::CrashEvent));
+}
+
+void FleetController::CrashEvent() {
+  if (storm_end_ >= 0 && executor_.now() >= storm_end_) {
+    return;  // Storm window closed; stop the arrival chain.
+  }
+  // Victims are hosts actually *serving traffic* right now: upgraded ones and
+  // ones still queued for their upgrade. Hosts mid-drain/transplant/rollback
+  // or parked in retry backoff have scheduled events pointed at them; crashing
+  // those would fire stale transitions on a dead host, and the paper's storm
+  // strikes running hypervisors anyway.
+  std::vector<char> in_pending(hosts_.size(), 0);
+  for (int id : pending_) {
+    in_pending[static_cast<size_t>(id)] = 1;
+  }
+  std::vector<int> eligible;
+  for (const FleetHost& h : hosts_) {
+    if (h.state == FleetHostState::kServing &&
+        (h.upgraded || in_pending[static_cast<size_t>(h.id)])) {
+      eligible.push_back(h.id);
+    }
+  }
+  // Correlated burst: strike up to `burst` distinct victims, sampled without
+  // replacement from the storm stream (scheduling-order independent).
+  const int strikes = std::min<int>(config_.crash_storm.burst,
+                                    static_cast<int>(eligible.size()));
+  for (int s = 0; s < strikes; ++s) {
+    const size_t pick =
+        static_cast<size_t>(storm_rng_->NextBelow(static_cast<uint64_t>(eligible.size())));
+    const int victim = eligible[pick];
+    eligible[pick] = eligible.back();
+    eligible.pop_back();
+    CrashHost(victim);
+    if (finished_) {
+      return;  // A loss mid-burst can finalize the rollout; stop striking it.
+    }
+  }
+  ScheduleNextCrash();
+}
+
+CrashLedgerState FleetController::SampleCrashLedgerState() {
+  const CrashStormConfig& storm = config_.crash_storm;
+  const double u = storm_rng_->NextDouble();
+  double edge = storm.pre_pause_fraction;
+  if (u < edge) {
+    return CrashLedgerState::kPrePause;
+  }
+  edge += storm.mid_save_torn_fraction;
+  if (u < edge) {
+    return CrashLedgerState::kMidSaveTorn;
+  }
+  edge += storm.stale_commit_fraction;
+  if (u < edge) {
+    return CrashLedgerState::kStaleCommit;
+  }
+  edge += storm.scrubbed_fraction;
+  if (u < edge) {
+    return CrashLedgerState::kScrubbed;
+  }
+  return CrashLedgerState::kCleanCommit;
+}
+
+void FleetController::CrashHost(int host) {
+  FleetHost& h = hosts_[static_cast<size_t>(host)];
+  ++report_.crashes;
+  h.state = FleetHostState::kCrashed;
+  h.crash_started = executor_.now();
+  h.recovery_attempts = 0;
+  // What the crash left of the transplant ledger decides everything
+  // downstream, via the same DecideSalvage() table Assess() applies to real
+  // ledger bytes.
+  h.crash_ledger = SampleCrashLedgerState();
+  std::erase(pending_, host);
+  RollHostSpan(host, "crashed");
+  Emit(FleetEventType::kHostCrashed, host);
+  if (!config_.crash_storm.recover) {
+    // Control arm: a fixed fleet has no ReHype path; crashed hosts stay down.
+    LoseHost(host, false);
+    return;
+  }
+  if (DecideSalvage(h.crash_ledger) == SalvageDecision::kDataLoss) {
+    // Honest data loss: neither the PRAM image's currency nor the in-RAM
+    // structures can be proven. No recovery attempt can change that verdict.
+    LoseHost(host, true);
+    return;
+  }
+  recovery_queue_.push_back(host);
+  TryStartRecoveries();
+}
+
+void FleetController::TryStartRecoveries() {
+  while (!recovery_queue_.empty() && recovering_ + wave_in_flight_ < config_.parallel_hosts) {
+    const int host = recovery_queue_.front();
+    recovery_queue_.pop_front();
+    ++recovering_;  // Slot held until the recovery succeeds or the host is lost.
+    StartRecovery(host);
+  }
+}
+
+void FleetController::StartRecovery(int host) {
+  FleetHost& h = hosts_[static_cast<size_t>(host)];
+  h.state = FleetHostState::kRecovering;
+  ++h.recovery_attempts;
+  if (const SpanId span = RollHostSpan(host, "recover"); span != 0) {
+    config_.tracer->SetAttribute(span, "attempt", static_cast<int64_t>(h.recovery_attempts));
+  }
+  Emit(FleetEventType::kRecoveryStart, host, h.recovery_attempts);
+  executor_.ScheduleAfter(
+      Jittered(config_.crash_storm.recovery_time, host_rngs_[static_cast<size_t>(host)]),
+      Guarded(&FleetController::FinishRecovery, host));
+}
+
+void FleetController::FinishRecovery(int host) {
+  FleetHost& h = hosts_[static_cast<size_t>(host)];
+  const CrashStormConfig& storm = config_.crash_storm;
+  Rng& rng = host_rngs_[static_cast<size_t>(host)];
+  // Guarded draw (same discipline as post_pause_fraction): a zero probability
+  // consumes nothing, so storms without recovery faults don't shift the
+  // host's upgrade-path draw sequence.
+  if (storm.recovery_failure_probability > 0.0 &&
+      rng.NextBool(storm.recovery_failure_probability)) {
+    if (h.recovery_attempts <= storm.recovery_max_retries) {
+      ++report_.crash_recovery_retries;
+      Emit(FleetEventType::kRecoveryRetry, host, h.recovery_attempts);
+      RollHostSpan(host, "recovery_backoff");
+      // The recovery retry policy is distinct from the upgrade one: its own
+      // base, its own budget, saturating backoff. The slot stays held —
+      // a host mid-recovery is not schedulable capacity.
+      executor_.ScheduleAfter(SaturatingBackoff(storm.recovery_backoff, h.recovery_attempts - 1),
+                              Guarded(&FleetController::StartRecovery, host));
+      return;
+    }
+    --recovering_;
+    LoseHost(host, false);
+    if (finished_) {
+      return;
+    }
+    TryStartRecoveries();
+    if (wave_in_flight_ == 0) {
+      StartNextWave();
+    }
+    return;
+  }
+  --recovering_;
+  report_.recovery_latency_seconds.Add(ToSeconds(executor_.now() - h.crash_started));
+  if (DecideSalvage(h.crash_ledger) == SalvageDecision::kSalvageFromImage) {
+    ++report_.crash_salvages;
+    // Cross-kind salvage re-instantiates the campaign's *target* kind from
+    // the kind-neutral UISR image; same-kind restores the ledger's source.
+    const bool cross_kind =
+        storm.cross_kind_fraction > 0.0 && rng.NextBool(storm.cross_kind_fraction);
+    if (cross_kind && !h.upgraded) {
+      // The host comes back already upgraded: the crash did the campaign's
+      // work for it.
+      h.upgraded = true;
+      h.finished = executor_.now();
+      ++report_.upgraded;
+      ++report_.crash_upgrades;
+      AccrueExposure();
+      --exposed_;
+      trace_.RecordExposure(executor_.now(), exposed_);
+    } else if (!cross_kind && h.upgraded) {
+      // Crash-induced rollback: the committed image predates the upgrade, so
+      // a same-kind salvage reverts the host to the vulnerable source kind.
+      // It re-exposes and re-queues for the campaign to upgrade again.
+      h.upgraded = false;
+      h.finished = -1;
+      --report_.upgraded;
+      ++report_.crash_rollbacks;
+      Emit(FleetEventType::kCrashRollback, host);
+      AccrueExposure();
+      ++exposed_;
+      trace_.RecordExposure(executor_.now(), exposed_);
+    }
+  } else {
+    // kRecoverLive: no committed image governs; the fresh hypervisor re-adopts
+    // the in-RAM guests under whatever kind the host was running.
+    ++report_.crash_live_recoveries;
+  }
+  if (!h.upgraded) {
+    pending_.push_back(host);  // Erased at crash time, so never a duplicate.
+  }
+  h.state = FleetHostState::kServing;
+  if (config_.tracer != nullptr) {
+    config_.tracer->SetAttribute(host_spans_[static_cast<size_t>(host)], "outcome", "recovered");
+  }
+  RollHostSpan(host, {});
+  Emit(FleetEventType::kRecoveryDone, host, h.recovery_attempts);
+  TryStartRecoveries();
+  if (wave_in_flight_ == 0) {
+    StartNextWave();
+  }
+}
+
+void FleetController::LoseHost(int host, bool ledger_data_loss) {
+  FleetHost& h = hosts_[static_cast<size_t>(host)];
+  ++report_.lost;
+  if (ledger_data_loss) {
+    ++report_.crash_data_loss;
+  }
+  if (h.upgraded) {
+    // A dead host serves nothing: its completed upgrade leaves the fleet tally.
+    --report_.upgraded;
+  } else {
+    // An exposed host that dies stops accruing exposure — its VMs are lost,
+    // not running vulnerable.
+    AccrueExposure();
+    --exposed_;
+    trace_.RecordExposure(executor_.now(), exposed_);
+  }
+  if (config_.tracer != nullptr) {
+    config_.tracer->SetAttribute(host_spans_[static_cast<size_t>(host)], "outcome", "lost");
+  }
+  RollHostSpan(host, {});
+  h.state = FleetHostState::kFailed;
+  h.finished = executor_.now();
+  Emit(FleetEventType::kHostLost, host, h.recovery_attempts);
+  MaybeFinishRollout();
+}
+
+void FleetController::MaybeFinishRollout() {
+  if (pending_.empty() && wave_in_flight_ == 0 && recovering_ == 0 && recovery_queue_.empty()) {
+    Finalize(FleetEventType::kRolloutComplete);
   }
 }
 

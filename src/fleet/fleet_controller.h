@@ -37,6 +37,10 @@ struct FleetRolloutReport {
   int failed = 0;      // Permanently failed (retry budget exhausted).
   int untouched = 0;   // Never started (rollout aborted first).
   int retries = 0;     // Re-attempts across all hosts.
+  // Monotone count of successful transplant attempts. `upgraded` is the net
+  // serving-upgraded population (crash rollbacks and lost hosts decrement
+  // it); rate governors need the gross attempt outcome instead.
+  int transplant_successes = 0;
   int waves = 0;
   // Post-pause recovery: attempts that failed after the point of no return,
   // how many of those hosts salvaged themselves by PRAM ledger rollback
@@ -45,6 +49,17 @@ struct FleetRolloutReport {
   int post_pause_faults = 0;
   int rollbacks = 0;
   int rollback_failures = 0;
+  // ReHype-mode crash recovery under a fault storm (all zero without one).
+  int crashes = 0;                // Hosts struck by an injected hypervisor crash.
+  int crash_salvages = 0;         // Recovered from the committed PRAM image.
+  int crash_live_recoveries = 0;  // Pre-commit ledger: re-adopted live state.
+  int crash_rollbacks = 0;        // Salvage reverted an upgraded host to the
+                                  // vulnerable kind (re-exposed, re-queued).
+  int crash_upgrades = 0;         // Cross-kind salvage upgraded a host early.
+  int crash_data_loss = 0;        // Torn/stale ledger refused every salvage.
+  int crash_recovery_retries = 0;
+  int lost = 0;  // Hosts permanently down from crashes: ledger data loss,
+                 // recovery budget exhausted, or a fleet that cannot recover.
   bool aborted = false;
   bool complete = false;  // Every host upgraded.
   SimDuration makespan = 0;
@@ -53,6 +68,8 @@ struct FleetRolloutReport {
   // it depends on when the patch lands).
   double exposed_host_days = 0.0;
   SampleSet wave_latency_seconds;
+  // Crash-to-serving latency of every successful unplanned recovery.
+  SampleSet recovery_latency_seconds;
 };
 
 // {"kind":"fleet_rollout", summary counters, wave-latency percentiles}.
@@ -142,6 +159,22 @@ class FleetController {
   void HostDone(int host);
   void AccrueExposure();
   void Finalize(FleetEventType terminal);
+  // ReHype-mode crash recovery (active only when config_.crash_storm is
+  // enabled). Crash arrivals draw from storm_rng_, recovery durations and
+  // outcome draws from the struck host's own rng.
+  void ScheduleNextCrash();
+  void CrashEvent();
+  void CrashHost(int host);
+  CrashLedgerState SampleCrashLedgerState();
+  void TryStartRecoveries();
+  void StartRecovery(int host);
+  void FinishRecovery(int host);
+  // Permanently retires a crashed host (VMs lost). `ledger_data_loss` marks
+  // losses where the ledger itself refused every salvage, as opposed to a
+  // recovery budget running out or a fleet configured not to recover.
+  void LoseHost(int host, bool ledger_data_loss);
+  // Finalizes kRolloutComplete once no upgrade *and* no recovery work remains.
+  void MaybeFinishRollout();
   SimDuration Jittered(SimDuration base, Rng& rng);
   // Wraps a member-call closure with a liveness guard so events left queued
   // after an abort (or controller destruction) dispatch as no-ops.
@@ -166,6 +199,14 @@ class FleetController {
   std::vector<SpanId> host_spans_;  // The one open span per host.
 
   std::deque<int> pending_;
+  // Crash-storm state: a dedicated RNG stream (forked after all host rngs, so
+  // legacy configs keep their exact sequences), the queue of crashed hosts
+  // awaiting an unplanned recovery, how many recoveries hold worker slots,
+  // and when the storm window closes (-1 = open-ended).
+  std::optional<Rng> storm_rng_;
+  std::deque<int> recovery_queue_;
+  int recovering_ = 0;
+  SimTime storm_end_ = -1;
   int wave_ = -1;
   int wave_in_flight_ = 0;
   SimTime wave_started_ = 0;

@@ -18,6 +18,10 @@ std::string_view FleetHostStateName(FleetHostState state) {
       return "failed";
     case FleetHostState::kRollingBack:
       return "rolling_back";
+    case FleetHostState::kCrashed:
+      return "crashed";
+    case FleetHostState::kRecovering:
+      return "recovering";
   }
   return "unknown";
 }
@@ -52,6 +56,18 @@ std::string_view FleetEventTypeName(FleetEventType type) {
       return "rollback_succeeded";
     case FleetEventType::kRollbackFailed:
       return "rollback_failed";
+    case FleetEventType::kHostCrashed:
+      return "host_crashed";
+    case FleetEventType::kRecoveryStart:
+      return "recovery_start";
+    case FleetEventType::kRecoveryRetry:
+      return "recovery_retry";
+    case FleetEventType::kRecoveryDone:
+      return "recovery_done";
+    case FleetEventType::kCrashRollback:
+      return "crash_rollback";
+    case FleetEventType::kHostLost:
+      return "host_lost";
   }
   return "unknown";
 }

@@ -11,10 +11,12 @@
 #ifndef HYPERTP_SRC_FLEET_FLEET_TYPES_H_
 #define HYPERTP_SRC_FLEET_FLEET_TYPES_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <string_view>
 
+#include "src/pram/ledger.h"
 #include "src/sim/time.h"
 
 namespace hypertp {
@@ -35,6 +37,11 @@ enum class FleetHostState : uint8_t {
   kTransplanting,
   kFailed,
   kRollingBack,  // Appended: keep serialized values stable.
+  // Appended (ReHype-mode crash recovery): the host's hypervisor crashed
+  // mid-traffic. kCrashed hosts queue for an unplanned micro-reboot recovery
+  // (priority over upgrade waves); kRecovering hosts are mid-recovery.
+  kCrashed,
+  kRecovering,
 };
 
 std::string_view FleetHostStateName(FleetHostState state);
@@ -49,6 +56,12 @@ struct FleetHost {
   SimTime drain_started = -1;
   SimTime transplant_started = -1;
   SimTime finished = -1;        // Upgraded or permanently failed.
+  // Crash-recovery bookkeeping (only meaningful once a storm struck this
+  // host): when the crash hit, what the crash left of the ledger, and how
+  // many unplanned-recovery attempts have run.
+  SimTime crash_started = -1;
+  CrashLedgerState crash_ledger = CrashLedgerState::kCleanCommit;
+  int recovery_attempts = 0;
 };
 
 enum class FleetEventType : uint8_t {
@@ -67,6 +80,15 @@ enum class FleetEventType : uint8_t {
   kRollbackStart,      // Post-pause fault; host attempts PRAM ledger rollback.
   kRollbackSucceeded,  // Back to serving the source hypervisor; retry follows.
   kRollbackFailed,     // Ledger torn/uncommitted: host lost, no retry.
+  // Appended: ReHype-mode crash recovery under a fault storm.
+  kHostCrashed,        // Injected hypervisor crash struck a serving host.
+  kRecoveryStart,      // Unplanned micro-reboot recovery attempt begins.
+  kRecoveryRetry,      // Recovery attempt failed; a retry is scheduled.
+  kRecoveryDone,       // Host back to serving (salvaged or live-recovered).
+  kCrashRollback,      // Salvage reverted an upgraded host to the vulnerable
+                       // source kind (crash-induced rollback; re-exposes).
+  kHostLost,           // VMs lost: torn/stale ledger, recovery budget
+                       // exhausted, or a fixed fleet that cannot recover.
 };
 
 std::string_view FleetEventTypeName(FleetEventType type);
@@ -79,6 +101,76 @@ struct FleetEvent {
   int host = -1;
   int wave = -1;
   int attempt = 0;
+};
+
+// Upper bound for saturated retry backoff: far beyond any simulated rollout,
+// yet small enough that `now + backoff` can never overflow SimTime no matter
+// how many times it compounds.
+inline constexpr SimDuration kRetryBackoffCeiling = Seconds(30) * 86400;  // 30 days.
+
+// Exponential backoff that saturates instead of overflowing: base, 2x, 4x...
+// per consecutive failure, clamped at kRetryBackoffCeiling. The naive
+// `base << failures` overflows SimDuration (int64 ns) after ~33 doublings of
+// a 5 s base — a long fault storm reaches 30+ retries — flipping the next
+// retry time negative. Saturation keeps a parked host's next-retry time
+// finite and monotone in the failure count. A base already above the ceiling
+// is returned unchanged (never shorten a configured backoff).
+constexpr SimDuration SaturatingBackoff(SimDuration base, int consecutive_failures) {
+  if (base <= 0) {
+    return 0;
+  }
+  if (consecutive_failures <= 0 || base >= kRetryBackoffCeiling) {
+    return base;
+  }
+  const int shift = std::min(consecutive_failures, 62);
+  if (base > (kRetryBackoffCeiling >> shift)) {
+    return kRetryBackoffCeiling;
+  }
+  return base << shift;
+}
+
+// Seeded hypervisor-crash storm: hosts suffer unplanned crashes mid-traffic
+// and the fleet answers with ReHype-mode micro-reboot recoveries from the
+// last PRAM image. All defaults off: a zero rate leaves legacy configs with
+// byte-identical draws, events and reports.
+struct CrashStormConfig {
+  // Poisson arrival rate of crash events per hour of sim time, fleet-wide.
+  // 0 disables the storm entirely.
+  double rate_per_hour = 0.0;
+  // Hosts struck per crash event (correlated bursts: a rack PDU dip, a bad
+  // microcode push). Victims draw uniformly from currently-serving hosts.
+  int burst = 1;
+  // Storm window relative to rollout start; duration 0 = the storm lasts as
+  // long as the rollout does.
+  SimDuration start = 0;
+  SimDuration duration = 0;
+  // Crash-time ledger state mix (CrashLedgerState, src/pram/ledger.h): the
+  // fraction of crashes that find each non-clean state. The remainder finds
+  // a cleanly committed image. Outcomes follow DecideSalvage(), so the
+  // simulated distribution and the byte-level ledger triage share one table.
+  double pre_pause_fraction = 0.0;
+  double mid_save_torn_fraction = 0.0;
+  double stale_commit_fraction = 0.0;
+  double scrubbed_fraction = 0.0;
+  // false replays the same storm against a fixed fleet that cannot recover:
+  // crashed hosts stay down with their VMs lost (the control arm of the
+  // fixed-vs-recovering comparison).
+  bool recover = true;
+  // Unplanned-recovery scheduling: micro-reboot + salvage/adopt duration,
+  // per-attempt failure odds, and a retry budget with *saturating* backoff —
+  // distinct from the upgrade retry policy so a storm cannot starve it.
+  SimDuration recovery_time = Seconds(8);
+  double recovery_failure_probability = 0.0;
+  int recovery_max_retries = 3;
+  SimDuration recovery_backoff = Seconds(2);
+  // Probability a salvage re-instantiates the campaign's *target* kind from
+  // the kind-neutral UISR image instead of the ledger's source kind: an
+  // upgraded host keeps its upgrade through the crash, an un-upgraded one
+  // comes back upgraded early. Same-kind salvage of an upgraded host is a
+  // crash-induced rollback (the host re-exposes and re-queues).
+  double cross_kind_fraction = 0.0;
+
+  bool enabled() const { return rate_per_hour > 0.0; }
 };
 
 struct FleetConfig {
@@ -122,7 +214,9 @@ struct FleetConfig {
   double failure_probability = 0.0;  // Per transplant attempt.
   double latency_jitter = 0.0;       // Lognormal sigma on per-host durations.
   int max_retries = 3;               // Retries after the initial attempt.
-  SimDuration retry_backoff = Seconds(5);  // Doubles per consecutive failure.
+  // Doubles per consecutive failure, saturating at kRetryBackoffCeiling
+  // (see SaturatingBackoff above).
+  SimDuration retry_backoff = Seconds(5);
   // Abort the rollout when the permanently-failed fraction strictly exceeds
   // this; >= 1.0 disables the abort.
   double abort_threshold = 1.0;
@@ -135,6 +229,10 @@ struct FleetConfig {
   // host is lost immediately, bypassing the retry budget.
   double rollback_failure_probability = 0.0;
   SimDuration rollback_time = Seconds(5);  // Second micro-reboot + restore.
+
+  // Injected hypervisor-crash storm + unplanned recovery policy. Disabled by
+  // default (rate 0): legacy configs keep their exact draw sequences.
+  CrashStormConfig crash_storm;
 
   uint64_t seed = 1;
   size_t trace_capacity = 65536;  // Ring buffer: oldest events drop first.

@@ -85,6 +85,23 @@ std::optional<LedgerRecord> BestSlot(std::span<const uint8_t> page) {
   return best;
 }
 
+// True when the slot region carries any nonzero byte — i.e. a write landed
+// there at some point, whether or not it decodes.
+bool SlotLooksWritten(std::span<const uint8_t> page, size_t offset) {
+  if (page.size() < offset + kSlotSize) {
+    return false;
+  }
+  const std::span<const uint8_t> slot = page.subspan(offset, kSlotSize);
+  return std::any_of(slot.begin(), slot.end(), [](uint8_t b) { return b != 0; });
+}
+
+bool CommitAuthorizesRollback(TransplantPhase phase) {
+  // kCommitted is the point of no return; kRestored means the target restored
+  // the VMs from the image but never resumed them — the image is unconsumed
+  // and still governs.
+  return phase == TransplantPhase::kCommitted || phase == TransplantPhase::kRestored;
+}
+
 }  // namespace
 
 std::string_view TransplantPhaseName(TransplantPhase phase) {
@@ -105,6 +122,48 @@ std::string_view TransplantPhaseName(TransplantPhase phase) {
       return "rolled_back";
   }
   return "unknown";
+}
+
+std::string_view SalvageDecisionName(SalvageDecision decision) {
+  switch (decision) {
+    case SalvageDecision::kSalvageFromImage:
+      return "salvage_from_image";
+    case SalvageDecision::kRecoverLive:
+      return "recover_live";
+    case SalvageDecision::kDataLoss:
+      return "data_loss";
+  }
+  return "unknown";
+}
+
+std::string_view CrashLedgerStateName(CrashLedgerState state) {
+  switch (state) {
+    case CrashLedgerState::kCleanCommit:
+      return "clean_commit";
+    case CrashLedgerState::kPrePause:
+      return "pre_pause";
+    case CrashLedgerState::kMidSaveTorn:
+      return "mid_save_torn";
+    case CrashLedgerState::kStaleCommit:
+      return "stale_commit";
+    case CrashLedgerState::kScrubbed:
+      return "scrubbed";
+  }
+  return "unknown";
+}
+
+SalvageDecision DecideSalvage(CrashLedgerState state) {
+  switch (state) {
+    case CrashLedgerState::kCleanCommit:
+      return SalvageDecision::kSalvageFromImage;
+    case CrashLedgerState::kPrePause:
+    case CrashLedgerState::kMidSaveTorn:
+      return SalvageDecision::kRecoverLive;
+    case CrashLedgerState::kStaleCommit:
+    case CrashLedgerState::kScrubbed:
+      return SalvageDecision::kDataLoss;
+  }
+  return SalvageDecision::kDataLoss;
 }
 
 Result<TransplantLedger> TransplantLedger::Create(PhysicalMemory& ram, LedgerRecord initial) {
@@ -163,6 +222,56 @@ Result<LedgerRecord> TransplantLedger::Read() const {
     return DataLossError("transplant ledger: no valid commit record (torn write?)");
   }
   return *best;
+}
+
+Result<SalvageAssessment> TransplantLedger::Assess() const {
+  HYPERTP_ASSIGN_OR_RETURN(std::vector<uint8_t> page, ram_->ReadPage(frame_));
+  SalvageAssessment assessment;
+  const std::optional<LedgerRecord> best = BestSlot(page);
+  if (!best) {
+    assessment.state = CrashLedgerState::kScrubbed;
+    assessment.decision = DecideSalvage(assessment.state);
+    assessment.reason =
+        "no valid commit record survives CRC (slots torn, scrubbed or never "
+        "written); the page does not authorize rollback";
+    return assessment;
+  }
+  assessment.record = *best;
+  // The slot the *next* generation would have been written to: nonzero bytes
+  // there that do not decode as a valid record of any generation are the
+  // fingerprint of a commit torn by the crash. (A valid older record in that
+  // slot is the normal A/B steady state, not a torn write.)
+  const size_t other_offset = SlotOffset(best->generation + 1);
+  assessment.torn_newer_write =
+      !DecodeSlot(page, other_offset).has_value() && SlotLooksWritten(page, other_offset);
+
+  const std::string phase_name(TransplantPhaseName(best->phase));
+  if (assessment.torn_newer_write) {
+    if (CommitAuthorizesRollback(best->phase)) {
+      // The crash tore a write *newer* than a committed image: a later
+      // transplant superseded it, so the image's currency cannot be proven.
+      // Salvaging it would silently resurrect stale guest state.
+      assessment.state = CrashLedgerState::kStaleCommit;
+      assessment.reason = "committed generation " + std::to_string(best->generation) +
+                          " is superseded by a torn newer write; the stale image "
+                          "does not authorize rollback";
+    } else {
+      assessment.state = CrashLedgerState::kMidSaveTorn;
+      assessment.reason = "crash tore the save in flight over phase '" + phase_name +
+                          "'; the half-saved image does not authorize rollback";
+    }
+  } else if (CommitAuthorizesRollback(best->phase)) {
+    assessment.state = CrashLedgerState::kCleanCommit;
+    assessment.reason = "generation " + std::to_string(best->generation) + " phase '" +
+                        phase_name + "' cleanly committed; rollback from the image is legal";
+  } else {
+    assessment.state = CrashLedgerState::kPrePause;
+    assessment.reason = "transplant ledger phase '" + phase_name +
+                        "' does not authorize rollback (commit record torn or missing); "
+                        "live guest state is authoritative";
+  }
+  assessment.decision = DecideSalvage(assessment.state);
+  return assessment;
 }
 
 size_t TransplantLedger::SlotOffset(uint32_t generation) {

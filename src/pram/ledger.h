@@ -20,6 +20,8 @@
 #define HYPERTP_SRC_PRAM_LEDGER_H_
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <string_view>
 
 #include "src/base/result.h"
@@ -40,6 +42,45 @@ enum class TransplantPhase : uint8_t {
 
 std::string_view TransplantPhaseName(TransplantPhase phase);
 
+// What an unplanned micro-reboot (ReHype-mode crash recovery) may do with the
+// ledger it finds. A *planned* rollback only ever runs with the transplant
+// still on the stack; a crash recovery starts from nothing but this page.
+enum class SalvageDecision : uint8_t {
+  kSalvageFromImage = 0,  // Newest commit is clean: restore from pram_root.
+  kRecoverLive = 1,       // No committed image governs: re-adopt the in-RAM
+                          // guests under a fresh hypervisor (ReHype classic);
+                          // rolling back would resurrect stale state.
+  kDataLoss = 2,          // Nothing trustworthy: neither the image's currency
+                          // nor the in-RAM structures can be proven.
+};
+
+std::string_view SalvageDecisionName(SalvageDecision decision);
+
+// The distinguishable states a mid-traffic hypervisor crash can leave the
+// ledger page in. `Assess()` derives one from the raw slots; the fleet layer
+// samples the same taxonomy stochastically, so the simulated outcome
+// distribution and the byte-level behaviour share one decision table.
+enum class CrashLedgerState : uint8_t {
+  kCleanCommit = 0,   // Newest valid slot is kCommitted/kRestored, no torn
+                      // newer write: the image is provably current.
+  kPrePause = 1,      // Newest valid slot predates the commit point (idle/
+                      // staged/translated/complete/rolled_back): no image
+                      // authorizes rollback; live guest state is authoritative.
+  kMidSaveTorn = 2,   // A newer write tore over a pre-commit base: the save
+                      // was in flight, the half-written image must be refused.
+  kStaleCommit = 3,   // A newer write tore over a *committed* base: a later
+                      // transplant superseded the image, so its currency
+                      // cannot be proven — salvaging it would be silent
+                      // stale-state resurrection.
+  kScrubbed = 4,      // No valid slot at all (torn both, scrubbed, missing).
+};
+
+std::string_view CrashLedgerStateName(CrashLedgerState state);
+
+// Pure decision table: clean commit -> salvage, pre-pause/mid-save -> refuse
+// rollback and recover live, stale commit/scrubbed -> honest data loss.
+SalvageDecision DecideSalvage(CrashLedgerState state);
+
 // One commit record. Hypervisor kinds are stored as raw bytes so the pram
 // layer stays below src/hv in the dependency order; src/core casts them.
 struct LedgerRecord {
@@ -51,6 +92,19 @@ struct LedgerRecord {
   uint32_t vm_count = 0;
 
   bool operator==(const LedgerRecord&) const = default;
+};
+
+// Crash-time triage of one ledger page.
+struct SalvageAssessment {
+  CrashLedgerState state = CrashLedgerState::kScrubbed;
+  SalvageDecision decision = SalvageDecision::kDataLoss;
+  // Best (highest-generation) CRC-valid record, when one exists.
+  std::optional<LedgerRecord> record;
+  // True when the slot *not* holding `record` carries bytes that fail CRC:
+  // evidence of a newer commit torn by the crash. Read() alone cannot tell
+  // this apart from "no newer write ever happened".
+  bool torn_newer_write = false;
+  std::string reason;  // Human-readable justification for the decision.
 };
 
 class TransplantLedger {
@@ -72,6 +126,13 @@ class TransplantLedger {
   // Decodes both slots and returns the valid record with the highest
   // generation; kDataLoss if neither slot survives CRC.
   Result<LedgerRecord> Read() const;
+
+  // Crash-time inspection: classifies the page into a CrashLedgerState and
+  // the salvage decision it authorizes. Unlike Read(), this distinguishes "no
+  // newer write" from "newer write torn by the crash" — the difference
+  // between a legal rollback and stale-state resurrection. Only fails when
+  // the page itself is unreadable.
+  Result<SalvageAssessment> Assess() const;
 
   Mfn frame() const { return frame_; }
   uint32_t generation() const { return generation_; }

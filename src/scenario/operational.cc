@@ -55,6 +55,9 @@ OperationalReport RunOperationalSimulation(const OperationalConfig& config) {
     fleet_config.post_pause_fraction = config.fleet_post_pause_fraction;
     fleet_config.rollback_failure_probability = config.fleet_rollback_failure_probability;
     fleet_config.rollback_time = config.fleet_rollback_time;
+    if (config.fleet_mode == FleetExecutionMode::kFaultStorm) {
+      fleet_config.crash_storm = config.fleet_storm;
+    }
     fleet_config.seed = fleet_stream.NextU64();
     FleetController controller(fleet_executor, fleet_config);
     const FleetRolloutReport& rollout = controller.Run();
@@ -65,9 +68,17 @@ OperationalReport RunOperationalSimulation(const OperationalConfig& config) {
     report.fleet_post_pause_faults += rollout.post_pause_faults;
     report.fleet_rollbacks += rollout.rollbacks;
     report.fleet_rollback_failures += rollout.rollback_failures;
+    report.fleet_crashes += rollout.crashes;
+    report.fleet_crash_salvages += rollout.crash_salvages;
+    report.fleet_crash_live_recoveries += rollout.crash_live_recoveries;
+    report.fleet_crash_rollbacks += rollout.crash_rollbacks;
+    report.fleet_lost += rollout.lost;
     if (fleet_config.hosts > 0 && !rollout.complete) {
+      // Lost hosts are dead, not exposed; only stranded-but-running hosts
+      // keep accruing the residual patch wait.
       const double stranded_fraction =
-          static_cast<double>(fleet_config.hosts - rollout.upgraded) / fleet_config.hosts;
+          static_cast<double>(fleet_config.hosts - rollout.upgraded - rollout.lost) /
+          fleet_config.hosts;
       report.exposure_days_hypertp += stranded_fraction * residual_exposure_days;
     }
     return rollout.makespan;
@@ -124,6 +135,7 @@ OperationalReport RunOperationalSimulation(const OperationalConfig& config) {
   auto run_rollout = [&](double residual_exposure_days) -> SimDuration {
     switch (config.fleet_mode) {
       case FleetExecutionMode::kFleetController:
+      case FleetExecutionMode::kFaultStorm:
         return fleet_rollout(residual_exposure_days);
       case FleetExecutionMode::kCampaign:
         return campaign_rollout(residual_exposure_days);

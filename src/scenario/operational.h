@@ -38,6 +38,11 @@ enum class FleetExecutionMode : uint8_t {
   // disclosure's rollout runs N coordinated per-shard controllers under the
   // `campaign_slo` budgets. Hosts round down to a whole number of racks.
   kCampaign,
+  // kFleetController plus the `fleet_storm` crash storm replayed against
+  // every rollout of the year: seeded hypervisor crashes mid-traffic, each
+  // answered by an unplanned InPlaceTP recovery from the last PRAM image
+  // (ReHype-mode salvage) — or lost when the crash tore the ledger.
+  kFaultStorm,
 };
 
 struct OperationalConfig {
@@ -66,6 +71,9 @@ struct OperationalConfig {
   double fleet_post_pause_fraction = 0.0;
   double fleet_rollback_failure_probability = 0.0;
   SimDuration fleet_rollback_time = Seconds(5);
+  // kFaultStorm mode: the storm replayed against every rollout. Ignored by
+  // the other modes so their byte-exact outputs never move.
+  CrashStormConfig fleet_storm;
 
   // kCampaign mode: shard count and fleet-wide SLO budgets for the sharded
   // campaign control plane. The per-shard wave width is
@@ -101,6 +109,13 @@ struct OperationalReport {
   int fleet_post_pause_faults = 0;
   int fleet_rollbacks = 0;          // Hosts salvaged by PRAM rollback.
   int fleet_rollback_failures = 0;  // Hosts lost to a failed rollback.
+  // kFaultStorm mode: crash strikes and their unplanned-recovery outcomes,
+  // summed over every rollout of the year.
+  int fleet_crashes = 0;
+  int fleet_crash_salvages = 0;
+  int fleet_crash_live_recoveries = 0;
+  int fleet_crash_rollbacks = 0;
+  int fleet_lost = 0;
   // kCampaign mode: epoch barriers the SLO governor spent throttled, summed
   // over every campaign of the year.
   int fleet_throttled_epochs = 0;

@@ -1,6 +1,7 @@
 #include "src/vulndb/exposure_stream.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "src/base/json.h"
 
@@ -60,6 +61,25 @@ void ExposureStream::OnHostsSafe(SimTime t, int64_t hosts, int64_t vms) {
   MaybeRecordPoint(last_update_, /*force=*/exposed_vms_ == 0);
 }
 
+void ExposureStream::OnHostsExposed(SimTime t, int64_t hosts, int64_t vms) {
+  Accrue(t);
+  exposed_hosts_ = std::min<int64_t>(exposed_hosts_ + std::max<int64_t>(hosts, 0), total_hosts_);
+  exposed_vms_ = std::min<int64_t>(exposed_vms_ + std::max<int64_t>(vms, 0), total_vms_);
+  if (options_.metrics != nullptr) {
+    if (hosts_reexposed_ == nullptr) {
+      hosts_reexposed_ =
+          &options_.metrics->GetCounter(options_.metric_prefix + "_hosts_reexposed");
+      vms_reexposed_ = &options_.metrics->GetCounter(options_.metric_prefix + "_vms_reexposed");
+    }
+    hosts_reexposed_->Increment(static_cast<uint64_t>(std::max<int64_t>(hosts, 0)));
+    vms_reexposed_->Increment(static_cast<uint64_t>(std::max<int64_t>(vms, 0)));
+    if (fraction_gauge_ != nullptr) {
+      fraction_gauge_->Set(fraction_vulnerable());
+    }
+  }
+  MaybeRecordPoint(last_update_, /*force=*/false);
+}
+
 void ExposureStream::AdvanceTo(SimTime t) { Accrue(t); }
 
 void ExposureStream::Seal(SimTime t) {
@@ -69,8 +89,10 @@ void ExposureStream::Seal(SimTime t) {
 
 void ExposureStream::MaybeRecordPoint(SimTime t, bool force) {
   const double fraction = fraction_vulnerable();
+  // Absolute delta: re-exposure (fraction rising under a fault storm) must
+  // trigger points too, not just the monotone decay.
   if (!force && !curve_.empty() &&
-      last_recorded_fraction_ - fraction < options_.min_fraction_delta) {
+      std::abs(last_recorded_fraction_ - fraction) < options_.min_fraction_delta) {
     return;
   }
   if (!curve_.empty() && curve_.back().time == t && curve_.back().fraction == fraction) {

@@ -10,9 +10,12 @@
 // downsampled curve, and mirrors every update into the tracer/metrics layer
 // (src/obs/) when instruments are attached.
 //
-// Invariant: hosts only ever *leave* the vulnerable set during a campaign
+// During an undisturbed campaign hosts only ever *leave* the vulnerable set
 // (failed hosts stay exposed but never re-expose an upgraded one), so the
-// fraction is monotonically non-increasing — campaign_test pins this.
+// fraction is monotonically non-increasing — campaign_test pins this. A fault
+// storm breaks that one-way flow: a crash-induced rollback salvages an
+// upgraded host back onto the vulnerable kind, and OnHostsExposed() feeds
+// that re-exposure so the curve honestly ticks back up.
 
 #ifndef HYPERTP_SRC_VULNDB_EXPOSURE_STREAM_H_
 #define HYPERTP_SRC_VULNDB_EXPOSURE_STREAM_H_
@@ -35,9 +38,9 @@ struct ExposureCurvePoint {
 };
 
 struct ExposureStreamOptions {
-  // Record a curve point only when the fraction dropped at least this much
-  // since the last recorded point (the first and last points always record).
-  // Keeps a million-VM campaign's curve at ~1/epsilon points.
+  // Record a curve point only when the fraction moved at least this much in
+  // either direction since the last recorded point (the first and last points
+  // always record). Keeps a million-VM campaign's curve at ~1/epsilon points.
   double min_fraction_delta = 0.001;
   // When non-null, every recorded curve point lands as an instant on track
   // "exposure" (attribute "fraction"), and the gauge/counters below update on
@@ -60,6 +63,12 @@ class ExposureStream {
   // Feed in non-decreasing time order (the campaign merges shard events by
   // timestamp first); `t` earlier than the last update clamps forward.
   void OnHostsSafe(SimTime t, int64_t hosts, int64_t vms);
+
+  // The reverse flow: `hosts`/`vms` returned to the vulnerable hypervisor at
+  // `t` (crash-induced rollback during a fault storm). Clamped to the fleet
+  // totals. Mirrors into <prefix>_hosts_reexposed / <prefix>_vms_reexposed
+  // counters, created lazily so storm-free runs keep their exact metric set.
+  void OnHostsExposed(SimTime t, int64_t hosts, int64_t vms);
 
   // Advances the exposure integral to `t` with no membership change (epoch
   // barriers, and the campaign end).
@@ -101,6 +110,9 @@ class ExposureStream {
   Counter* hosts_upgraded_ = nullptr;
   Counter* vms_upgraded_ = nullptr;
   Gauge* fraction_gauge_ = nullptr;
+  // Created on the first OnHostsExposed (see its comment).
+  Counter* hosts_reexposed_ = nullptr;
+  Counter* vms_reexposed_ = nullptr;
 };
 
 }  // namespace hypertp

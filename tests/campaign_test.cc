@@ -368,6 +368,13 @@ TEST(CampaignReportJsonTest, GoldenOutput) {
   report.post_pause_faults = 1;
   report.rollbacks = 1;
   report.rollback_failures = 0;
+  report.crashes = 3;
+  report.crash_salvages = 2;
+  report.crash_live_recoveries = 0;
+  report.crash_rollbacks = 1;
+  report.crash_upgrades = 1;
+  report.crash_data_loss = 1;
+  report.lost = 1;
   report.epochs = 3;
   report.throttled_epochs = 1;
   report.aborted = false;
@@ -397,29 +404,39 @@ TEST(CampaignReportJsonTest, GoldenOutput) {
   b.waves = 2;
   b.post_pause_faults = 1;
   b.rollbacks = 1;
+  b.crashes = 3;
+  b.crash_rollbacks = 1;
+  b.lost = 1;
   b.admitted = -1;
   b.makespan = Seconds(120);
   report.shard_summaries = {a, b};
   report.shard_makespan_seconds.Add(100.0);
   report.shard_makespan_seconds.Add(120.0);
+  report.recovery_latency_seconds.Add(8.0);
+  report.recovery_latency_seconds.Add(12.0);
 
   const std::string expected =
       R"({"kind":"campaign","shards":2,"datacenters":1,"hosts":8,"vms":80,)"
       R"("upgraded":7,"failed":1,"untouched":0,"retries":2,"post_pause_faults":1,)"
-      R"("rollbacks":1,"rollback_failures":0,"aborted":false,"complete":false,)"
+      R"("rollbacks":1,"rollback_failures":0,"crashes":3,"crash_salvages":2,)"
+      R"("crash_live_recoveries":0,"crash_rollbacks":1,"crash_upgrades":1,)"
+      R"("crash_data_loss":1,"lost":1,"aborted":false,"complete":false,)"
       R"("makespan_ms":120000,)"
       R"("slo":{"epochs":3,"throttled_epochs":1,"abort_reason":""},)"
       R"("exposure":{"final_fraction_vulnerable":0.125,"exposed_host_days":0.5,)"
       R"("exposed_vm_days":5,"curve":[[0,80,1],[60000,40,0.5],[120000,10,0.125]]},)"
       R"("shard_makespan_seconds":{"count":2,"p50":110,"p99":119.8,"max":120},)"
+      R"("recovery_latency_seconds":{"count":2,"p50":10,"p99":11.96,"max":12},)"
       R"("shards_detail":[)"
       R"({"id":0,"datacenter":0,"hosts":4,"upgraded":4,"failed":0,"untouched":0,)"
       R"("retries":1,"waves":2,"post_pause_faults":0,"rollbacks":0,)"
-      R"("rollback_failures":0,"aborted":false,"complete":true,"admitted_ms":0,)"
+      R"("rollback_failures":0,"crashes":0,"crash_rollbacks":0,"lost":0,)"
+      R"("aborted":false,"complete":true,"admitted_ms":0,)"
       R"("makespan_ms":100000},)"
       R"({"id":1,"datacenter":0,"hosts":4,"upgraded":3,"failed":1,"untouched":0,)"
       R"("retries":1,"waves":2,"post_pause_faults":1,"rollbacks":1,)"
-      R"("rollback_failures":0,"aborted":false,"complete":false,"admitted_ms":-1,)"
+      R"("rollback_failures":0,"crashes":3,"crash_rollbacks":1,"lost":1,)"
+      R"("aborted":false,"complete":false,"admitted_ms":-1,)"
       R"("makespan_ms":120000}]})";
   EXPECT_EQ(CampaignReportToJson(report), expected);
 }
@@ -462,6 +479,153 @@ TEST(ExposureStreamTest, DownsamplingBoundsTheCurve) {
   EXPECT_LE(stream.curve().size(), 13u);
   EXPECT_EQ(stream.curve().front().fraction, 1.0);
   EXPECT_EQ(stream.curve().back().fraction, 0.0);
+}
+
+TEST(ExposureStreamTest, ReExposureRaisesTheFractionAndRecordsPoints) {
+  ExposureStream stream(10, 100);
+  stream.OnHostsSafe(Seconds(10), 8, 80);
+  stream.OnHostsExposed(Seconds(20), 3, 30);  // Crash rollbacks re-expose.
+  EXPECT_EQ(stream.exposed_hosts(), 5);
+  EXPECT_EQ(stream.exposed_vms(), 50);
+  EXPECT_DOUBLE_EQ(stream.fraction_vulnerable(), 0.5);
+  // The rise landed on the curve (abs-delta downsampling).
+  ASSERT_GE(stream.curve().size(), 3u);
+  EXPECT_GT(stream.curve().back().fraction, stream.curve()[stream.curve().size() - 2].fraction);
+  // Clamped to the totals: over-reporting re-exposure never exceeds the fleet.
+  stream.OnHostsExposed(Seconds(30), 100, 1000);
+  EXPECT_EQ(stream.exposed_hosts(), 10);
+  EXPECT_EQ(stream.exposed_vms(), 100);
+}
+
+// ---------------------------------------------------------------------------
+// Crash storms at campaign scope: per-DC Poisson storms thinned across the
+// DC's shards, SLO budgets that keep crash-induced rollbacks apart from
+// upgrade-induced faults, and the recovery traffic in the merged report.
+
+CampaignConfig CrashStormCampaignConfig() {
+  CampaignConfig config = BaseConfig();
+  // Storm only over east; west stays quiet so the split is observable.
+  CrashStormConfig& storm = config.datacenters[0].crash_storm;
+  storm.rate_per_hour = 2400.0;  // ~0.67/s DC-wide over the storm window.
+  storm.duration = Seconds(120);
+  storm.recovery_time = Seconds(4);
+  storm.pre_pause_fraction = 0.2;
+  storm.mid_save_torn_fraction = 0.1;
+  config.seed = 11;
+  return config;
+}
+
+TEST(CampaignStormTest, StormTrafficFlowsIntoTheMergedReport) {
+  Result<CampaignReport> run = CampaignPlanner(CrashStormCampaignConfig()).Run();
+  ASSERT_TRUE(run.ok()) << run.error().ToString();
+  const CampaignReport& report = *run;
+
+  EXPECT_GT(report.crashes, 0);
+  // Every strike resolves through the salvage taxonomy, nowhere else.
+  EXPECT_EQ(report.crash_salvages + report.crash_live_recoveries + report.lost, report.crashes);
+  EXPECT_EQ(report.upgraded + report.lost + report.failed + report.untouched, report.hosts);
+  EXPECT_EQ(static_cast<int>(report.recovery_latency_seconds.count()),
+            report.crash_salvages + report.crash_live_recoveries);
+  // Quiet-DC shards saw no strikes: crashes live only in east's shards.
+  for (const CampaignShardSummary& shard : report.shard_summaries) {
+    if (shard.datacenter == 1) {
+      EXPECT_EQ(shard.crashes, 0) << "storm leaked into quiet DC, shard " << shard.id;
+    }
+  }
+  int shard_crashes = 0;
+  for (const CampaignShardSummary& shard : report.shard_summaries) {
+    shard_crashes += shard.crashes;
+  }
+  EXPECT_EQ(shard_crashes, report.crashes);
+}
+
+TEST(CampaignStormTest, StormReportsAreByteIdenticalAcrossThreadCounts) {
+  std::string json[2];
+  for (int i = 0; i < 2; ++i) {
+    CampaignConfig config = CrashStormCampaignConfig();
+    config.real_threads = i == 0 ? 1 : 4;
+    Result<CampaignReport> run = CampaignPlanner(config).Run();
+    ASSERT_TRUE(run.ok()) << run.error().ToString();
+    json[i] = CampaignReportToJson(*run);
+  }
+  EXPECT_EQ(json[0], json[1]);
+}
+
+TEST(CampaignStormTest, CrashRollbacksReExposeOnTheCampaignCurve) {
+  CampaignConfig config = CrashStormCampaignConfig();
+  // Slow the rollout so strikes land on already-upgraded hosts and the
+  // same-kind salvage reverts them.
+  config.parallel_hosts_per_shard = 2;
+  config.datacenters[0].crash_storm.start = Seconds(40);
+  Result<CampaignReport> run = CampaignPlanner(config).Run();
+  ASSERT_TRUE(run.ok()) << run.error().ToString();
+  ASSERT_GT(run->crash_rollbacks, 0) << "seed produced no crash rollbacks";
+
+  // The exposure fraction must tick back up somewhere: re-exposure is real.
+  bool rose = false;
+  for (size_t i = 1; i < run->exposure_curve.size(); ++i) {
+    rose |= run->exposure_curve[i].fraction > run->exposure_curve[i - 1].fraction;
+  }
+  EXPECT_TRUE(rose);
+}
+
+TEST(CampaignStormTest, CrashBudgetsAbortWithTheirOwnReason) {
+  // Unrecoverable strikes: every crash is a data loss, so the crash-loss
+  // budget trips while the upgrade-side budgets (disabled) stay silent.
+  CampaignConfig config = CrashStormCampaignConfig();
+  config.datacenters[0].crash_storm.recover = false;
+  config.slo.abort_crash_loss_fraction = 0.02;
+  Result<CampaignReport> run = CampaignPlanner(config).Run();
+  ASSERT_TRUE(run.ok()) << run.error().ToString();
+  EXPECT_TRUE(run->aborted);
+  EXPECT_EQ(run->abort_reason, "crash_loss_fraction");
+
+  // Crash-rollback abort uses its own reason, distinct from "rollback_rate".
+  CampaignConfig rollback_config = CrashStormCampaignConfig();
+  rollback_config.parallel_hosts_per_shard = 2;
+  rollback_config.datacenters[0].crash_storm.start = Seconds(40);
+  rollback_config.slo.abort_crash_rollback_rate = 0.01;
+  Result<CampaignReport> rollback_run = CampaignPlanner(rollback_config).Run();
+  ASSERT_TRUE(rollback_run.ok()) << rollback_run.error().ToString();
+  EXPECT_TRUE(rollback_run->aborted);
+  EXPECT_EQ(rollback_run->abort_reason, "crash_rollback_rate");
+}
+
+TEST(CampaignStormTest, UpgradeFaultBudgetIgnoresCrashRollbacks) {
+  // A storm producing crash rollbacks but zero post-pause faults must never
+  // trip the upgrade-side rollback budget.
+  CampaignConfig config = CrashStormCampaignConfig();
+  config.parallel_hosts_per_shard = 2;
+  config.datacenters[0].crash_storm.start = Seconds(40);
+  config.slo.abort_rollback_rate = 0.01;  // Hair trigger on the wrong budget.
+  Result<CampaignReport> run = CampaignPlanner(config).Run();
+  ASSERT_TRUE(run.ok()) << run.error().ToString();
+  ASSERT_GT(run->crash_rollbacks, 0);
+  EXPECT_EQ(run->post_pause_faults, 0);
+  EXPECT_NE(run->abort_reason, "rollback_rate");
+}
+
+TEST(CampaignStormTest, QuietStormConfigKeepsLegacyBytes) {
+  // A default (disabled) storm must not perturb a storm-free campaign.
+  CampaignConfig off = BaseConfig();
+  Result<CampaignReport> base = CampaignPlanner(off).Run();
+  ASSERT_TRUE(base.ok());
+  CampaignConfig zeroed = BaseConfig();
+  zeroed.datacenters[0].crash_storm = CrashStormConfig{};
+  Result<CampaignReport> same = CampaignPlanner(zeroed).Run();
+  ASSERT_TRUE(same.ok());
+  EXPECT_EQ(CampaignReportToJson(*base), CampaignReportToJson(*same));
+}
+
+TEST(CampaignStormTest, PlanRejectsMalformedStormWithDatacenterContext) {
+  CampaignConfig config = BaseConfig();
+  config.datacenters[1].crash_storm.rate_per_hour = 10.0;
+  config.datacenters[1].crash_storm.pre_pause_fraction = 1.5;
+  Result<CampaignPlan> planned = PlanCampaign(config);
+  ASSERT_FALSE(planned.ok());
+  EXPECT_EQ(planned.error().code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(planned.error().message().find("west"), std::string::npos);
+  EXPECT_NE(planned.error().message().find("pre_pause_fraction"), std::string::npos);
 }
 
 }  // namespace

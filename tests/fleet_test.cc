@@ -580,6 +580,105 @@ TEST(FleetConfigValidationTest, AcceptsDisabledAbortThresholdAboveOne) {
   EXPECT_TRUE(r.ok());
 }
 
+TEST(SaturatingBackoffTest, SmallCountsMatchLegacyDoubling) {
+  // Below the ceiling the saturating form is bit-for-bit the old shift, so
+  // every existing seeded replay keeps its retry schedule.
+  const SimDuration base = Seconds(5);
+  for (int failures = 0; failures < 10; ++failures) {
+    EXPECT_EQ(SaturatingBackoff(base, failures), base << failures) << failures;
+  }
+}
+
+TEST(SaturatingBackoffTest, StaysFiniteAndMonotoneAtManyFailures) {
+  // The naive `base << failures` overflows int64 nanoseconds at ~33 doublings
+  // of a 5 s base; a storm-struck host parked in retry easily reaches 30+.
+  const SimDuration base = Seconds(5);
+  SimDuration previous = 0;
+  for (int failures = 0; failures <= 128; ++failures) {
+    const SimDuration backoff = SaturatingBackoff(base, failures);
+    EXPECT_GT(backoff, 0) << failures;
+    EXPECT_LE(backoff, kRetryBackoffCeiling) << failures;
+    EXPECT_GE(backoff, previous) << failures;  // Monotone in the failure count.
+    previous = backoff;
+  }
+  EXPECT_EQ(SaturatingBackoff(base, 40), kRetryBackoffCeiling);
+}
+
+TEST(SaturatingBackoffTest, BaseAboveCeilingIsNeverShortened) {
+  const SimDuration huge = kRetryBackoffCeiling * 2;
+  EXPECT_EQ(SaturatingBackoff(huge, 5), huge);
+  EXPECT_EQ(SaturatingBackoff(0, 5), 0);
+}
+
+TEST(FleetControllerTest, ParkedHostNextRetryStaysFiniteAndMonotone) {
+  // One host that fails every attempt across a deep retry budget: the old
+  // `retry_backoff << attempts` overflowed SimDuration near attempt 33 and
+  // scheduled the next retry in the past. Every retry must now land at a
+  // strictly later, finite sim time.
+  SimExecutor executor;
+  FleetConfig config = BaseConfig();
+  config.hosts = 1;
+  config.parallel_hosts = 1;
+  config.failure_probability = 1.0;
+  config.max_retries = 40;
+  FleetController controller(executor, config);
+  const FleetRolloutReport& report = controller.Run();
+  EXPECT_EQ(report.failed, 1);
+  EXPECT_EQ(report.retries, 40);
+  SimTime previous = -1;
+  int starts = 0;
+  for (const FleetEvent& event : controller.trace().Events()) {
+    if (event.type != FleetEventType::kTransplantStart) {
+      continue;
+    }
+    ++starts;
+    EXPECT_GT(event.time, previous);  // Monotone: never scheduled in the past.
+    previous = event.time;
+  }
+  EXPECT_EQ(starts, 41);  // Initial attempt + 40 retries, all of them ran.
+  EXPECT_GE(report.makespan, 0);
+  // The tail retries saturate at the ceiling instead of wrapping negative.
+  EXPECT_LT(report.makespan, kRetryBackoffCeiling * 41);
+}
+
+TEST(FleetConfigValidationTest, RejectsMalformedCrashStorm) {
+  const auto expect_rejected = [](FleetConfig config, std::string_view field) {
+    const Result<void> result = ValidateFleetConfig(config);
+    ASSERT_FALSE(result.ok()) << field;
+    EXPECT_NE(result.error().message().find(field), std::string::npos)
+        << result.error().message();
+  };
+  FleetConfig config = BaseConfig();
+  config.crash_storm.rate_per_hour = -1.0;
+  expect_rejected(config, "crash_storm.rate_per_hour");
+
+  config = BaseConfig();
+  config.crash_storm.rate_per_hour = 1.0;
+  config.crash_storm.burst = 0;
+  expect_rejected(config, "crash_storm.burst");
+
+  config = BaseConfig();
+  config.crash_storm.rate_per_hour = 1.0;
+  config.crash_storm.recovery_backoff = -Seconds(1);
+  expect_rejected(config, "crash_storm.recovery_backoff");
+
+  config = BaseConfig();
+  config.crash_storm.rate_per_hour = 1.0;
+  config.crash_storm.pre_pause_fraction = 1.5;
+  expect_rejected(config, "crash_storm.pre_pause_fraction");
+
+  config = BaseConfig();
+  config.crash_storm.rate_per_hour = 1.0;
+  config.crash_storm.pre_pause_fraction = 0.6;
+  config.crash_storm.scrubbed_fraction = 0.6;
+  expect_rejected(config, "fractions must sum to <= 1");
+
+  // A disabled storm skips the detailed checks entirely: legacy configs with
+  // default-constructed storms never trip them.
+  config = BaseConfig();
+  EXPECT_TRUE(ValidateFleetConfig(config).ok());
+}
+
 TEST(FleetControllerTest, StartThenAbortFinalizesAsAborted) {
   SimExecutor executor;
   FleetConfig config = BaseConfig();  // 100 hosts, 10 wide, 10 s each.

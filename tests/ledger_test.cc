@@ -126,6 +126,140 @@ TEST(TransplantLedgerTest, BothSlotsTornIsDetectedDataLoss) {
   EXPECT_EQ(read.error().code(), ErrorCode::kDataLoss);
 }
 
+TEST(TransplantLedgerTest, AssessCleanCommitAuthorizesSalvage) {
+  PhysicalMemory ram(16 << 20);
+  auto ledger = TransplantLedger::Create(ram, StagedRecord());
+  ASSERT_TRUE(ledger.ok());
+  LedgerRecord record = StagedRecord();
+  record.phase = TransplantPhase::kTranslated;
+  ASSERT_TRUE(ledger->Commit(record).ok());  // Generation 2.
+  record.phase = TransplantPhase::kCommitted;
+  record.pram_root = 0xBEEF;
+  ASSERT_TRUE(ledger->Commit(record).ok());  // Generation 3.
+
+  auto assessment = ledger->Assess();
+  ASSERT_TRUE(assessment.ok()) << assessment.error().ToString();
+  EXPECT_EQ(assessment->state, CrashLedgerState::kCleanCommit);
+  EXPECT_EQ(assessment->decision, SalvageDecision::kSalvageFromImage);
+  EXPECT_FALSE(assessment->torn_newer_write);
+  ASSERT_TRUE(assessment->record.has_value());
+  EXPECT_EQ(assessment->record->pram_root, 0xBEEFu);
+}
+
+// The satellite regression: a crash lands *between* the A/B generation-slot
+// commit and the phase bracketing. The newest slot is fully committed
+// (CRC-valid), but its phase record still says pre-pause — the image was
+// never sealed. Salvaging from it would restore half-saved guest state;
+// Assess() must refuse rollback and point recovery at the live state.
+TEST(TransplantLedgerTest, AssessRefusesRollbackWhenNewestCommitIsPrePause) {
+  PhysicalMemory ram(16 << 20);
+  auto ledger = TransplantLedger::Create(ram, StagedRecord());
+  ASSERT_TRUE(ledger.ok());
+  LedgerRecord record = StagedRecord();
+  record.phase = TransplantPhase::kTranslated;  // Paused + serialized, but the
+  record.vm_count = 4;                          // kCommitted bracket never landed.
+  ASSERT_TRUE(ledger->Commit(record).ok());     // Generation 2 — newest slot.
+
+  auto assessment = ledger->Assess();
+  ASSERT_TRUE(assessment.ok()) << assessment.error().ToString();
+  EXPECT_EQ(assessment->state, CrashLedgerState::kPrePause);
+  EXPECT_EQ(assessment->decision, SalvageDecision::kRecoverLive);
+  EXPECT_NE(assessment->reason.find("does not authorize rollback"), std::string::npos)
+      << assessment->reason;
+}
+
+// Hand-built torn ledger frame: the crash tore the write of generation 3
+// (the save in flight) over a pre-commit base. Read() falls back to the old
+// record; Assess() must see the torn newer write and refuse the half-saved
+// image instead of salvaging it.
+TEST(TransplantLedgerTest, AssessDetectsTornSaveOverPreCommitBase) {
+  PhysicalMemory ram(16 << 20);
+  auto ledger = TransplantLedger::Create(ram, StagedRecord());
+  ASSERT_TRUE(ledger.ok());
+  LedgerRecord record = StagedRecord();
+  record.phase = TransplantPhase::kTranslated;
+  ASSERT_TRUE(ledger->Commit(record).ok());  // Generation 2.
+  record.phase = TransplantPhase::kCommitted;
+  record.pram_root = 0x1234;
+  ASSERT_TRUE(ledger->Commit(record).ok());  // Generation 3.
+
+  auto page = ram.ReadPage(ledger->frame());
+  ASSERT_TRUE(page.ok());
+  (*page)[TransplantLedger::SlotOffset(3) + 2] ^= 0xFF;  // Tear generation 3.
+  ASSERT_TRUE(ram.WritePage(ledger->frame(), std::move(*page)).ok());
+
+  // Read() alone would report generation 2 / kTranslated as if nothing newer
+  // ever happened — exactly the ambiguity Assess() exists to resolve.
+  auto read = ledger->Read();
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->generation, 2u);
+
+  auto assessment = ledger->Assess();
+  ASSERT_TRUE(assessment.ok()) << assessment.error().ToString();
+  EXPECT_TRUE(assessment->torn_newer_write);
+  EXPECT_EQ(assessment->state, CrashLedgerState::kMidSaveTorn);
+  EXPECT_EQ(assessment->decision, SalvageDecision::kRecoverLive);
+  EXPECT_NE(assessment->reason.find("does not authorize rollback"), std::string::npos)
+      << assessment->reason;
+}
+
+// Stale-generation salvage hazard: the newest *valid* record is a committed
+// image, but a torn write of an even newer generation sits on top of it —
+// a later transplant superseded that image mid-commit. Its currency cannot
+// be proven, so the honest answer is data loss, not a silent rollback into
+// stale guest state.
+TEST(TransplantLedgerTest, AssessRefusesStaleCommitUnderTornNewerWrite) {
+  PhysicalMemory ram(16 << 20);
+  auto ledger = TransplantLedger::Create(ram, StagedRecord());
+  ASSERT_TRUE(ledger.ok());
+  LedgerRecord record = StagedRecord();
+  record.phase = TransplantPhase::kCommitted;
+  record.pram_root = 0x5678;
+  ASSERT_TRUE(ledger->Commit(record).ok());  // Generation 2: committed image.
+  record.phase = TransplantPhase::kComplete;
+  ASSERT_TRUE(ledger->Commit(record).ok());  // Generation 3: supersedes it...
+
+  auto page = ram.ReadPage(ledger->frame());
+  ASSERT_TRUE(page.ok());
+  (*page)[TransplantLedger::SlotOffset(3) + 2] ^= 0xFF;  // ...but tore mid-write.
+  ASSERT_TRUE(ram.WritePage(ledger->frame(), std::move(*page)).ok());
+
+  auto assessment = ledger->Assess();
+  ASSERT_TRUE(assessment.ok()) << assessment.error().ToString();
+  EXPECT_TRUE(assessment->torn_newer_write);
+  EXPECT_EQ(assessment->state, CrashLedgerState::kStaleCommit);
+  EXPECT_EQ(assessment->decision, SalvageDecision::kDataLoss);
+}
+
+TEST(TransplantLedgerTest, AssessBothSlotsTornIsScrubbed) {
+  PhysicalMemory ram(16 << 20);
+  auto ledger = TransplantLedger::Create(ram, StagedRecord());
+  ASSERT_TRUE(ledger.ok());
+  LedgerRecord record = StagedRecord();
+  record.phase = TransplantPhase::kTranslated;
+  ASSERT_TRUE(ledger->Commit(record).ok());
+
+  auto page = ram.ReadPage(ledger->frame());
+  ASSERT_TRUE(page.ok());
+  (*page)[TransplantLedger::SlotOffset(1) + 2] ^= 0xFF;
+  (*page)[TransplantLedger::SlotOffset(2) + 2] ^= 0xFF;
+  ASSERT_TRUE(ram.WritePage(ledger->frame(), std::move(*page)).ok());
+
+  auto assessment = ledger->Assess();
+  ASSERT_TRUE(assessment.ok());
+  EXPECT_EQ(assessment->state, CrashLedgerState::kScrubbed);
+  EXPECT_EQ(assessment->decision, SalvageDecision::kDataLoss);
+  EXPECT_FALSE(assessment->record.has_value());
+}
+
+TEST(TransplantLedgerTest, DecideSalvageTableIsTotal) {
+  EXPECT_EQ(DecideSalvage(CrashLedgerState::kCleanCommit), SalvageDecision::kSalvageFromImage);
+  EXPECT_EQ(DecideSalvage(CrashLedgerState::kPrePause), SalvageDecision::kRecoverLive);
+  EXPECT_EQ(DecideSalvage(CrashLedgerState::kMidSaveTorn), SalvageDecision::kRecoverLive);
+  EXPECT_EQ(DecideSalvage(CrashLedgerState::kStaleCommit), SalvageDecision::kDataLoss);
+  EXPECT_EQ(DecideSalvage(CrashLedgerState::kScrubbed), SalvageDecision::kDataLoss);
+}
+
 TEST(TransplantLedgerTest, OpenRejectsNonLedgerFrame) {
   PhysicalMemory ram(16 << 20);
   auto frame = ram.AllocFrame(FrameOwner{FrameOwnerKind::kPramMeta, 7});

@@ -219,6 +219,51 @@ TEST(OperationalTest, PostPauseRecoveryCountersSurfaceInTheReport) {
   FAIL() << "no seed produced a rollout with post-pause faults";
 }
 
+TEST(OperationalTest, FaultStormModeSurfacesCrashRecoveryCounters) {
+  // A year of rollouts under seeded hypervisor crashes: strikes land, every
+  // one resolves through the salvage taxonomy, and the report stays
+  // deterministic in the seed.
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    OperationalConfig config = BaseConfig(seed);
+    config.fleet_mode = FleetExecutionMode::kFaultStorm;
+    config.fleet.hosts = 60;
+    config.fleet.parallel_hosts = 5;  // Long rollouts: room for strikes.
+    config.fleet_storm.rate_per_hour = 600.0;
+    config.fleet_storm.recovery_time = Seconds(4);
+    config.fleet_storm.pre_pause_fraction = 0.2;
+    config.fleet_storm.scrubbed_fraction = 0.1;
+    const OperationalReport report = RunOperationalSimulation(config);
+    if (report.transplants_away == 0 || report.fleet_crashes == 0) {
+      continue;
+    }
+    EXPECT_EQ(report.fleet_crashes,
+              report.fleet_crash_salvages + report.fleet_crash_live_recoveries +
+                  report.fleet_lost);
+    const OperationalReport again = RunOperationalSimulation(config);
+    EXPECT_EQ(report.fleet_crashes, again.fleet_crashes);
+    EXPECT_DOUBLE_EQ(report.exposure_days_hypertp, again.exposure_days_hypertp);
+    EXPECT_EQ(report.event_log, again.event_log);
+    return;  // One meaningful seed is enough.
+  }
+  FAIL() << "no seed produced a rollout with crash strikes";
+}
+
+TEST(OperationalTest, FaultStormModeWithQuietStormMatchesFleetControllerMode) {
+  // A disabled storm must leave kFaultStorm indistinguishable from plain
+  // kFleetController — same RNG draws, same outputs.
+  OperationalConfig controller = BaseConfig(7);
+  controller.fleet_mode = FleetExecutionMode::kFleetController;
+  controller.fleet_failure_probability = 0.05;
+  OperationalConfig storm = controller;
+  storm.fleet_mode = FleetExecutionMode::kFaultStorm;
+  const OperationalReport a = RunOperationalSimulation(controller);
+  const OperationalReport b = RunOperationalSimulation(storm);
+  EXPECT_EQ(a.event_log, b.event_log);
+  EXPECT_DOUBLE_EQ(a.exposure_days_hypertp, b.exposure_days_hypertp);
+  EXPECT_EQ(b.fleet_crashes, 0);
+  EXPECT_EQ(b.fleet_lost, 0);
+}
+
 TEST(OperationalTest, MultiYearRunsScaleEvents) {
   OperationalConfig one = BaseConfig(11);
   OperationalConfig five = BaseConfig(11);

@@ -222,6 +222,51 @@ TEST(ReconcileTest, NonUisrActivityIsAFalsePositiveHit) {
   EXPECT_EQ(rec->blob, entry.blob);
 }
 
+TEST(ReconcileTest, StaleGenerationBlobIsNeverSalvagedVerbatim) {
+  // Crash-salvage hazard: a VM whose StateGeneration advanced after the last
+  // PreTranslateVms snapshot must not be revived from the stale speculative
+  // blob. Across a 0% / 50% / 100% dirty matrix, every VM whose generation
+  // moved (and whose payload really changed) yields a reconciled blob that is
+  // byte-identical to a fresh encode and different from the cached bytes.
+  auto machine = MakeM1(8);
+  std::unique_ptr<Hypervisor> xen = MakeHypervisor(HypervisorKind::kXen, *machine);
+  const int kVms = 4;
+  std::vector<VmId> ids = PopulateVms(*xen, kVms, 9300);
+
+  for (const int dirty : {0, kVms / 2, kVms}) {
+    std::vector<pipeline::PreTranslatedVm> entries;
+    for (int i = 0; i < kVms; ++i) {
+      entries.push_back(SnapshotEntry(*xen, ids[static_cast<size_t>(i)], 90 + i));
+    }
+    for (int i = 0; i < dirty; ++i) {
+      ASSERT_TRUE(xen->InjectGuestEvent(ids[static_cast<size_t>(i)],
+                                        Hypervisor::GuestEventKind::kWorkloadStep)
+                      .ok());
+    }
+    for (int i = 0; i < kVms; ++i) {
+      const pipeline::PreTranslatedVm& entry = entries[static_cast<size_t>(i)];
+      const uint64_t generation = xen->StateGeneration(ids[static_cast<size_t>(i)]).value();
+      const UisrVm fresh = FreshExtract(*xen, ids[static_cast<size_t>(i)], 90 + i);
+      auto rec = pipeline::ReconcilePreTranslated(entry, fresh);
+      ASSERT_TRUE(rec.ok());
+      // The invariant that makes salvage safe: whatever the cache held, the
+      // produced bytes equal a from-scratch encode of the *current* state.
+      EXPECT_EQ(rec->blob, EncodeUisrVm(fresh)) << "dirty=" << dirty << " vm=" << i;
+      if (i < dirty) {
+        // Generation moved and the workload really rewrote payload bytes: the
+        // stale blob must have been patched, not adopted.
+        EXPECT_NE(generation, entry.generation);
+        EXPECT_NE(rec->kind, pipeline::ReconcileKind::kHit);
+        EXPECT_NE(rec->blob, entry.blob);
+      } else {
+        EXPECT_EQ(generation, entry.generation);
+        EXPECT_EQ(rec->kind, pipeline::ReconcileKind::kHit);
+        EXPECT_EQ(rec->blob, entry.blob);
+      }
+    }
+  }
+}
+
 // --- PreTranslateVms --------------------------------------------------------
 
 TEST(PreTranslateVmsTest, SnapshotsEveryVmAndLeavesThemRunning) {

@@ -45,6 +45,13 @@ HYPERTP_BENCH_DIR="${bench_out}" \
   "${build_dir}/bench/bench_campaign" --smoke > /dev/null
 test -s "${bench_out}/BENCH_campaign_smoke.json" \
   || { echo "missing BENCH_campaign_smoke.json" >&2; exit 1; }
+# The fault-storm bench drives crash strikes, unplanned recoveries and the
+# re-exposure path — cleanup-heavy branches (torn ledgers, lost hosts,
+# recovery-retry exhaustion) the fault-free benches never reach.
+HYPERTP_BENCH_DIR="${bench_out}" \
+  "${build_dir}/bench/bench_fault_storm" --smoke > /dev/null
+test -s "${bench_out}/BENCH_fault_storm_smoke.json" \
+  || { echo "missing BENCH_fault_storm_smoke.json" >&2; exit 1; }
 echo "sanitized bench smoke-run OK (${bench_out})"
 
 # --- ThreadSanitizer stage -------------------------------------------------
@@ -57,7 +64,7 @@ cmake -B "${tsan_dir}" -S "${repo_root}" \
   -DHYPERTP_SANITIZE=thread
 cmake --build "${tsan_dir}" -j "$(nproc)" \
   --target worker_pool_test pipeline_test pretranslate_test campaign_test \
-  bench_pipeline_scaling
+  fault_storm_test bench_pipeline_scaling
 
 export TSAN_OPTIONS="halt_on_error=1"
 HYPERTP_PARALLEL=4 "${tsan_dir}/tests/worker_pool_test"
@@ -69,6 +76,10 @@ HYPERTP_PARALLEL=4 "${tsan_dir}/tests/pretranslate_test"
 # real threads proves the byte-identical-across-thread-counts contract holds
 # because the shards genuinely share no mutable state mid-epoch.
 HYPERTP_PARALLEL=4 "${tsan_dir}/tests/campaign_test"
+# Fault storms add crash/recovery traffic inside each shard's epoch slice —
+# the storm RNG, recovery queue and exposure re-feeds must all stay
+# shard-private for the determinism contract to survive real threads.
+HYPERTP_PARALLEL=4 "${tsan_dir}/tests/fault_storm_test"
 HYPERTP_PARALLEL=4 HYPERTP_TRACE=1 HYPERTP_BENCH_DIR="${bench_out}" \
   "${tsan_dir}/bench/bench_pipeline_scaling" > /dev/null
 test -s "${bench_out}/BENCH_pipeline_scaling.json" \

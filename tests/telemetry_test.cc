@@ -132,6 +132,11 @@ TEST(TelemetryTest, OperationalReportExport) {
   report.fleet_post_pause_faults = 3;
   report.fleet_rollbacks = 2;
   report.fleet_rollback_failures = 1;
+  report.fleet_crashes = 5;
+  report.fleet_crash_salvages = 3;
+  report.fleet_crash_live_recoveries = 1;
+  report.fleet_crash_rollbacks = 2;
+  report.fleet_lost = 1;
   report.event_log.push_back("day   12.5: CVE-2015-3456 — fleet -> kvmish-5.3");
   const std::string json = OperationalReportToJson(report);
   EXPECT_NE(json.find(R"("kind":"operational_year")"), std::string::npos);
@@ -141,7 +146,8 @@ TEST(TelemetryTest, OperationalReportExport) {
   EXPECT_NE(json.find(R"("exposure_reduction_factor":200)"), std::string::npos);
   EXPECT_NE(json.find(R"("fleet":{"rollouts":11,"retries":4,"stranded_hosts":2,"aborts":0,)"
                       R"("post_pause_faults":3,"rollbacks":2,"rollback_failures":1,)"
-                      R"("throttled_epochs":0})"),
+                      R"("crashes":5,"crash_salvages":3,"crash_live_recoveries":1,)"
+                      R"("crash_rollbacks":2,"lost":1,"throttled_epochs":0})"),
             std::string::npos);
   EXPECT_NE(json.find("CVE-2015-3456"), std::string::npos);
 }
