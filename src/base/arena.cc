@@ -1,0 +1,46 @@
+#include "src/base/arena.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace hypertp {
+
+std::span<uint8_t> Arena::Alloc(size_t n) {
+  if (n == 0) {
+    return {};
+  }
+  // Advance to (or create) a block with room. Blocks double so pathological
+  // batches converge on a handful of allocations.
+  while (current_block_ < blocks_.size() && cursor_ + n > blocks_[current_block_].size()) {
+    ++current_block_;
+    cursor_ = 0;
+  }
+  if (current_block_ == blocks_.size()) {
+    const size_t last = blocks_.empty() ? initial_block_bytes_ / 2 : blocks_.back().size();
+    blocks_.emplace_back(std::max(n, std::max(initial_block_bytes_, last * 2)));
+    cursor_ = 0;
+  }
+  std::span<uint8_t> out(blocks_[current_block_].data() + cursor_, n);
+  cursor_ += n;
+  allocated_ += n;
+  // Blocks are recycled by Reset() without scrubbing; hand out clean bytes so
+  // a short encode never sees a previous batch's tail.
+  std::memset(out.data(), 0, out.size());
+  return out;
+}
+
+void Arena::Reset() {
+  current_block_ = 0;
+  cursor_ = 0;
+  allocated_ = 0;
+}
+
+size_t Arena::capacity() const {
+  size_t total = 0;
+  for (const auto& b : blocks_) {
+    total += b.size();
+  }
+  return total;
+}
+
+}  // namespace hypertp

@@ -1,0 +1,53 @@
+// Bump allocator for short-lived encode scratch.
+//
+// The reconcile step of the pause-time translation re-encodes every UISR
+// section payload of every VM to diff it against the speculative cache; with
+// a fresh std::vector per section that is thousands of heap round-trips per
+// transplant, all inside the pause window. An Arena keeps one set of blocks
+// alive across the whole VM batch: Alloc() bumps a cursor, Reset() recycles
+// every block without returning memory to the heap, so steady-state batches
+// allocate nothing.
+//
+// Spans returned by Alloc() stay valid until Reset() or destruction — they
+// are scratch, not storage. Not thread-safe; each worker owns its own arena.
+
+#ifndef HYPERTP_SRC_BASE_ARENA_H_
+#define HYPERTP_SRC_BASE_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hypertp {
+
+class Arena {
+ public:
+  // Initial block size; blocks double as demand grows, so a batch that needs
+  // more settles into O(log) blocks after the first Reset() cycle.
+  explicit Arena(size_t initial_block_bytes = 16 * 1024)
+      : initial_block_bytes_(initial_block_bytes == 0 ? 1 : initial_block_bytes) {}
+
+  // Zero-initialized scratch of `n` bytes. n == 0 returns an empty span.
+  std::span<uint8_t> Alloc(size_t n);
+
+  // Invalidates all outstanding spans and makes every block reusable.
+  // Capacity is retained.
+  void Reset();
+
+  // Bytes handed out since the last Reset().
+  size_t allocated() const { return allocated_; }
+  // Total block capacity currently held.
+  size_t capacity() const;
+
+ private:
+  size_t initial_block_bytes_;
+  std::vector<std::vector<uint8_t>> blocks_;
+  size_t current_block_ = 0;  // Index of the block `cursor_` points into.
+  size_t cursor_ = 0;         // Next free byte inside blocks_[current_block_].
+  size_t allocated_ = 0;
+};
+
+}  // namespace hypertp
+
+#endif  // HYPERTP_SRC_BASE_ARENA_H_

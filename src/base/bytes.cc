@@ -24,11 +24,16 @@ void ByteWriter::PutBytes(std::span<const uint8_t> bytes) {
 }
 
 void ByteWriter::PutLengthPrefixed(std::span<const uint8_t> bytes) {
+  // Guard before any byte lands: a payload wider than the u32 prefix used to
+  // be silently truncated by the cast, producing a blob whose declared length
+  // disagreed with its contents.
+  HYPERTP_CHECK(bytes.size() <= kMaxLengthPrefixedBytes);
   PutU32(static_cast<uint32_t>(bytes.size()));
   PutBytes(bytes);
 }
 
 void ByteWriter::PutString(std::string_view s) {
+  HYPERTP_CHECK(s.size() <= kMaxLengthPrefixedBytes);
   PutU32(static_cast<uint32_t>(s.size()));
   buf_.insert(buf_.end(), s.begin(), s.end());
 }
@@ -36,6 +41,53 @@ void ByteWriter::PutString(std::string_view s) {
 void ByteWriter::PatchU32(size_t offset, uint32_t v) {
   for (int i = 0; i < 4; ++i) {
     buf_.at(offset + static_cast<size_t>(i)) = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
+void SpanWriter::PutU16(uint16_t v) {
+  HYPERTP_CHECK(pos_ + 2 <= dest_.size());
+  dest_[pos_++] = static_cast<uint8_t>(v);
+  dest_[pos_++] = static_cast<uint8_t>(v >> 8);
+}
+
+void SpanWriter::PutU32(uint32_t v) {
+  HYPERTP_CHECK(pos_ + 4 <= dest_.size());
+  for (int i = 0; i < 4; ++i) {
+    dest_[pos_++] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
+void SpanWriter::PutU64(uint64_t v) {
+  HYPERTP_CHECK(pos_ + 8 <= dest_.size());
+  for (int i = 0; i < 8; ++i) {
+    dest_[pos_++] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
+void SpanWriter::PutBytes(std::span<const uint8_t> bytes) {
+  HYPERTP_CHECK(pos_ + bytes.size() <= dest_.size());
+  if (!bytes.empty()) {
+    std::memcpy(dest_.data() + pos_, bytes.data(), bytes.size());
+  }
+  pos_ += bytes.size();
+}
+
+void SpanWriter::PutLengthPrefixed(std::span<const uint8_t> bytes) {
+  HYPERTP_CHECK(bytes.size() <= kMaxLengthPrefixedBytes);
+  PutU32(static_cast<uint32_t>(bytes.size()));
+  PutBytes(bytes);
+}
+
+void SpanWriter::PutString(std::string_view s) {
+  HYPERTP_CHECK(s.size() <= kMaxLengthPrefixedBytes);
+  PutU32(static_cast<uint32_t>(s.size()));
+  PutBytes(std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(s.data()), s.size()));
+}
+
+void SpanWriter::PatchU32(size_t offset, uint32_t v) {
+  HYPERTP_CHECK(offset + 4 <= pos_);
+  for (int i = 0; i < 4; ++i) {
+    dest_[offset + static_cast<size_t>(i)] = static_cast<uint8_t>(v >> (8 * i));
   }
 }
 

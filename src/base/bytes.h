@@ -10,9 +10,16 @@
 #include <string_view>
 #include <vector>
 
+#include "src/base/logging.h"
 #include "src/base/result.h"
 
 namespace hypertp {
+
+// Largest payload PutLengthPrefixed/PutString can frame: the length prefix is
+// a u32, so anything wider would silently truncate on the wire. Writers and
+// the ByteCounter pre-pass both HYPERTP_CHECK against this before touching
+// any bytes, so an oversized payload can never produce a malformed blob.
+inline constexpr size_t kMaxLengthPrefixedBytes = UINT32_MAX;
 
 // Appends fixed-width little-endian integers and length-prefixed blobs to a
 // growing byte buffer.
@@ -23,14 +30,23 @@ class ByteWriter {
   void PutU32(uint32_t v);
   void PutU64(uint64_t v);
   void PutBytes(std::span<const uint8_t> bytes);
-  // Writes a u32 length prefix followed by the raw bytes.
+  // Writes a u32 length prefix followed by the raw bytes. Aborts via
+  // HYPERTP_CHECK when bytes.size() exceeds kMaxLengthPrefixedBytes.
   void PutLengthPrefixed(std::span<const uint8_t> bytes);
   // Writes a u32 length prefix followed by the string bytes (no terminator).
+  // Same size guard as PutLengthPrefixed.
   void PutString(std::string_view s);
 
   size_t size() const { return buf_.size(); }
   const std::vector<uint8_t>& bytes() const { return buf_; }
   std::vector<uint8_t> TakeBytes() { return std::move(buf_); }
+
+  // Everything written at or after byte offset `start`. Writer-interface
+  // accessor (SpanWriter has it too) so templated encoders can CRC their own
+  // output without knowing the writer type.
+  std::span<const uint8_t> Written(size_t start) const {
+    return std::span<const uint8_t>(buf_).subspan(start);
+  }
 
   // Pre-allocates capacity for `total` bytes (current contents included), so
   // encoders that know their exact output size pay for one allocation.
@@ -43,6 +59,44 @@ class ByteWriter {
   std::vector<uint8_t> buf_;
 };
 
+// ByteWriter-compatible writer over caller-owned storage of fixed capacity.
+// This is the zero-copy half of the save path: the conversion pipeline maps a
+// pre-sized kUisr frame extent (PramFrameWriter) and the encoder writes the
+// wire bytes straight into it — no intermediate std::vector per VM. Encoders
+// must pre-size with ByteCounter/EncodedUisrSize; writing past the span's end
+// is a programming error and aborts via HYPERTP_CHECK.
+class SpanWriter {
+ public:
+  explicit SpanWriter(std::span<uint8_t> dest) : dest_(dest) {}
+
+  void PutU8(uint8_t v) {
+    HYPERTP_CHECK(pos_ + 1 <= dest_.size());
+    dest_[pos_++] = v;
+  }
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutBytes(std::span<const uint8_t> bytes);
+  // Same framing and size guard as ByteWriter::PutLengthPrefixed.
+  void PutLengthPrefixed(std::span<const uint8_t> bytes);
+  void PutString(std::string_view s);
+  void PatchU32(size_t offset, uint32_t v);
+
+  size_t size() const { return pos_; }
+  size_t capacity() const { return dest_.size(); }
+  // Bytes written so far, from offset `start` (see ByteWriter::Written).
+  std::span<const uint8_t> Written(size_t start) const {
+    return std::span<const uint8_t>(dest_).first(pos_).subspan(start);
+  }
+  // The storage is fixed; Reserve only asserts the encoder's pre-computed
+  // size actually fits, catching a stale size pass before any byte lands.
+  void Reserve(size_t total) { HYPERTP_CHECK(total <= dest_.size()); }
+
+ private:
+  std::span<uint8_t> dest_;
+  size_t pos_ = 0;
+};
+
 // Drop-in stand-in for ByteWriter that counts bytes instead of storing them.
 // Encoders templated on the writer type can run once against a ByteCounter to
 // learn their exact output size, then Reserve() and encode for real.
@@ -53,8 +107,16 @@ class ByteCounter {
   void PutU32(uint32_t) { size_ += 4; }
   void PutU64(uint64_t) { size_ += 8; }
   void PutBytes(std::span<const uint8_t> bytes) { size_ += bytes.size(); }
-  void PutLengthPrefixed(std::span<const uint8_t> bytes) { size_ += 4 + bytes.size(); }
-  void PutString(std::string_view s) { size_ += 4 + s.size(); }
+  // Mirrors the writers' oversized-payload guard: the pre-pass must fail the
+  // same way the real encode would, not report a size the wire can't carry.
+  void PutLengthPrefixed(std::span<const uint8_t> bytes) {
+    HYPERTP_CHECK(bytes.size() <= kMaxLengthPrefixedBytes);
+    size_ += 4 + bytes.size();
+  }
+  void PutString(std::string_view s) {
+    HYPERTP_CHECK(s.size() <= kMaxLengthPrefixedBytes);
+    size_ += 4 + s.size();
+  }
   // Patches rewrite bytes already counted; nothing to do.
   void PatchU32(size_t, uint32_t) {}
 

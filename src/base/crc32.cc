@@ -2,34 +2,185 @@
 
 #include <array>
 
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define HYPERTP_CRC32_HAS_CLMUL 1
+#else
+#define HYPERTP_CRC32_HAS_CLMUL 0
+#endif
+
 namespace hypertp {
 namespace {
 
-// Table for the reflected IEEE polynomial 0xEDB88320, generated at startup.
-std::array<uint32_t, 256> BuildTable() {
-  std::array<uint32_t, 256> table{};
+// Slicing-by-8 tables for the reflected IEEE polynomial 0xEDB88320, generated
+// at startup. table[0] is the classic byte-at-a-time table; table[k][b] is
+// the CRC contribution of byte b seen k positions earlier in an 8-byte group.
+std::array<std::array<uint32_t, 256>, 8> BuildTables() {
+  std::array<std::array<uint32_t, 256>, 8> tables{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t c = i;
     for (int bit = 0; bit < 8; ++bit) {
       c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
     }
-    table[i] = c;
+    tables[0][i] = c;
   }
-  return table;
+  for (size_t k = 1; k < 8; ++k) {
+    for (uint32_t i = 0; i < 256; ++i) {
+      const uint32_t prev = tables[k - 1][i];
+      tables[k][i] = tables[0][prev & 0xFF] ^ (prev >> 8);
+    }
+  }
+  return tables;
 }
 
-const std::array<uint32_t, 256>& Table() {
-  static const std::array<uint32_t, 256> table = BuildTable();
-  return table;
+const std::array<std::array<uint32_t, 256>, 8>& Tables() {
+  static const std::array<std::array<uint32_t, 256>, 8> tables = BuildTables();
+  return tables;
+}
+
+// Little-endian 32-bit load, byte by byte (endianness-independent).
+uint32_t LoadLe32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+}
+
+#if HYPERTP_CRC32_HAS_CLMUL
+
+bool ClmulSupported() {
+  static const bool ok =
+      __builtin_cpu_supports("pclmul") && __builtin_cpu_supports("sse4.1");
+  return ok;
+}
+
+// Carry-less-multiply folding for the reflected IEEE polynomial, after
+// Intel's "Fast CRC Computation for Generic Polynomials Using PCLMULQDQ"
+// (Gopal et al.). The constants are x^N mod P for the fold distances below,
+// bit-reflected; same values zlib ships for this polynomial.
+//
+// `raw` is the internal (pre-inverted) CRC register, `len` must be >= 64 and
+// a multiple of 16; the caller handles tails with the sliced loop. Runs only
+// when ClmulSupported(); the target attribute supplies the ISA, so the file
+// builds without -mpclmul.
+__attribute__((target("pclmul,sse4.1"))) uint32_t FoldClmul(const uint8_t* buf,
+                                                            size_t len, uint32_t raw) {
+  // Fold distances: 512 bits (4 lanes ahead) and 128 bits (next lane).
+  const __m128i kFold512 = _mm_set_epi64x(0x01c6e41596, 0x0154442bd4);
+  const __m128i kFold128 = _mm_set_epi64x(0x00ccaa009e, 0x01751997d0);
+
+  __m128i lane[4];
+  for (int i = 0; i < 4; ++i) {
+    lane[i] = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf) + i);
+  }
+  lane[0] = _mm_xor_si128(lane[0], _mm_cvtsi32_si128(static_cast<int>(raw)));
+  buf += 64;
+  len -= 64;
+
+  // Fold four 128-bit lanes in parallel over each 64-byte block.
+  while (len >= 64) {
+    for (int i = 0; i < 4; ++i) {
+      const __m128i lo = _mm_clmulepi64_si128(lane[i], kFold512, 0x00);
+      const __m128i hi = _mm_clmulepi64_si128(lane[i], kFold512, 0x11);
+      const __m128i in = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf) + i);
+      lane[i] = _mm_xor_si128(_mm_xor_si128(lo, hi), in);
+    }
+    buf += 64;
+    len -= 64;
+  }
+
+  // Collapse the four lanes into one, then fold any remaining 16-byte blocks.
+  __m128i acc = lane[0];
+  for (int i = 1; i < 4; ++i) {
+    const __m128i lo = _mm_clmulepi64_si128(acc, kFold128, 0x00);
+    const __m128i hi = _mm_clmulepi64_si128(acc, kFold128, 0x11);
+    acc = _mm_xor_si128(_mm_xor_si128(lo, hi), lane[i]);
+  }
+  while (len >= 16) {
+    const __m128i lo = _mm_clmulepi64_si128(acc, kFold128, 0x00);
+    const __m128i hi = _mm_clmulepi64_si128(acc, kFold128, 0x11);
+    const __m128i in = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf));
+    acc = _mm_xor_si128(_mm_xor_si128(lo, hi), in);
+    buf += 16;
+    len -= 16;
+  }
+
+  // Reduce 128 -> 64 bits (fold the low qword across, then x^64 mod P).
+  const __m128i kMask32 = _mm_setr_epi32(-1, 0, -1, 0);
+  __m128i t = _mm_clmulepi64_si128(acc, kFold128, 0x10);
+  acc = _mm_xor_si128(_mm_srli_si128(acc, 8), t);
+  const __m128i kFold64 = _mm_set_epi64x(0, 0x0163cd6124);
+  t = _mm_srli_si128(acc, 4);
+  acc = _mm_and_si128(acc, kMask32);
+  acc = _mm_clmulepi64_si128(acc, kFold64, 0x00);
+  acc = _mm_xor_si128(acc, t);
+
+  // Barrett reduction 64 -> 32 bits: mu in the high qword, P' in the low.
+  const __m128i kBarrett = _mm_set_epi64x(0x01f7011641, 0x01db710641);
+  t = _mm_and_si128(acc, kMask32);
+  t = _mm_clmulepi64_si128(t, kBarrett, 0x10);
+  t = _mm_and_si128(t, kMask32);
+  t = _mm_clmulepi64_si128(t, kBarrett, 0x00);
+  acc = _mm_xor_si128(acc, t);
+  return static_cast<uint32_t>(_mm_extract_epi32(acc, 1));
+}
+
+#endif  // HYPERTP_CRC32_HAS_CLMUL
+
+// Shared sliced body operating on the internal (pre-inverted) register.
+uint32_t SlicedRaw(uint32_t c, const uint8_t* p, size_t n) {
+  const auto& t = Tables();
+
+  // 8 bytes per iteration: fold the running CRC into the first word, then
+  // look all eight bytes up in their positional tables.
+  while (n >= 8) {
+    const uint32_t lo = LoadLe32(p) ^ c;
+    const uint32_t hi = LoadLe32(p + 4);
+    c = t[7][lo & 0xFF] ^ t[6][(lo >> 8) & 0xFF] ^ t[5][(lo >> 16) & 0xFF] ^ t[4][lo >> 24] ^
+        t[3][hi & 0xFF] ^ t[2][(hi >> 8) & 0xFF] ^ t[1][(hi >> 16) & 0xFF] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  // Unaligned tail (and any head shorter than 8 bytes) byte-at-a-time.
+  while (n > 0) {
+    c = t[0][(c ^ *p) & 0xFF] ^ (c >> 8);
+    ++p;
+    --n;
+  }
+  return c;
 }
 
 }  // namespace
 
 uint32_t Crc32Update(uint32_t seed, std::span<const uint8_t> data) {
-  const auto& table = Table();
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  const uint8_t* p = data.data();
+  size_t n = data.size();
+
+#if HYPERTP_CRC32_HAS_CLMUL
+  // Bulk via carry-less multiply when the hardware has it; the fold wants
+  // whole 16-byte blocks and at least one 64-byte run, the sliced loop
+  // finishes the tail.
+  if (n >= 64 && ClmulSupported()) {
+    const size_t chunk = n & ~static_cast<size_t>(15);
+    c = FoldClmul(p, chunk, c);
+    p += chunk;
+    n -= chunk;
+  }
+#endif
+
+  return SlicedRaw(c, p, n) ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32UpdateSliced(uint32_t seed, std::span<const uint8_t> data) {
+  return SlicedRaw(seed ^ 0xFFFFFFFFu, data.data(), data.size()) ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32UpdateBitwise(uint32_t seed, std::span<const uint8_t> data) {
   uint32_t c = seed ^ 0xFFFFFFFFu;
   for (uint8_t byte : data) {
-    c = table[(c ^ byte) & 0xFF] ^ (c >> 8);
+    c ^= byte;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
   }
   return c ^ 0xFFFFFFFFu;
 }

@@ -1,5 +1,14 @@
 // CRC-32 (IEEE 802.3 polynomial, reflected) used to protect UISR payloads and
 // PRAM metadata pages against corruption across the micro-reboot.
+//
+// The hot path dispatches per buffer: bulk input goes through carry-less
+// multiply folding (PCLMULQDQ) when the CPU has it, everything else through
+// slicing-by-8 (eight derived lookup tables, 8 input bytes per iteration).
+// This keeps the checksum off the critical path of the zero-copy encode — it
+// CRCs every translated byte inside the pause window. A bit-at-a-time
+// reference implementation is kept exported as the oracle for differential
+// tests, and the sliced path is exported too so it stays tested on hosts
+// where the dispatcher never picks it.
 
 #ifndef HYPERTP_SRC_BASE_CRC32_H_
 #define HYPERTP_SRC_BASE_CRC32_H_
@@ -13,7 +22,19 @@ namespace hypertp {
 uint32_t Crc32(std::span<const uint8_t> data);
 
 // Incremental form: pass the previous return value as `seed` to continue.
+// Streaming composes exactly: Crc32Update(Crc32(a), b) == Crc32(a || b)
+// for any split, including empty pieces (base_test pins this).
 uint32_t Crc32Update(uint32_t seed, std::span<const uint8_t> data);
+
+// The portable slicing-by-8 path, bypassing the hardware dispatch. Same
+// result as Crc32Update on every input (differential tests pin all three
+// implementations against each other).
+uint32_t Crc32UpdateSliced(uint32_t seed, std::span<const uint8_t> data);
+
+// Reference implementation: processes one bit at a time straight from the
+// polynomial, no tables. Differential-test oracle for the sliced and
+// hardware paths; never use it on a hot path.
+uint32_t Crc32UpdateBitwise(uint32_t seed, std::span<const uint8_t> data);
 
 }  // namespace hypertp
 

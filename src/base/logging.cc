@@ -1,6 +1,7 @@
 #include "src/base/logging.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 
 namespace hypertp {
@@ -59,5 +60,18 @@ void LogMessage(LogSeverity severity, std::string_view component, std::string_vi
     DefaultSink(severity, component, message);
   }
 }
+
+namespace log_internal {
+
+void CheckFailed(std::string_view condition, std::string_view file, int line) {
+  // Bypass the severity filter: a failed invariant must never be silent.
+  std::string msg = "check failed: " + std::string(condition) + " at " + std::string(file) + ":" +
+                    std::to_string(line);
+  LogMessage(LogSeverity::kError, "check", msg);
+  std::fprintf(stderr, "[FATAL check] %s\n", msg.c_str());
+  std::abort();
+}
+
+}  // namespace log_internal
 
 }  // namespace hypertp

@@ -57,6 +57,21 @@ class LogLine {
 #define HYPERTP_LOG(severity, component) \
   ::hypertp::log_internal::LogLine(::hypertp::LogSeverity::severity, component)
 
+// Invariant check for conditions that indicate a programming error rather
+// than recoverable input (Result is the tool for the latter). Logs through
+// the sink and aborts, so a violated invariant can never silently corrupt
+// encoded bytes — e.g. a length-prefixed payload wider than its u32 prefix.
+namespace log_internal {
+[[noreturn]] void CheckFailed(std::string_view condition, std::string_view file, int line);
+}  // namespace log_internal
+
+#define HYPERTP_CHECK(condition)                                            \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      ::hypertp::log_internal::CheckFailed(#condition, __FILE__, __LINE__); \
+    }                                                                       \
+  } while (false)
+
 }  // namespace hypertp
 
 #endif  // HYPERTP_SRC_BASE_LOGGING_H_

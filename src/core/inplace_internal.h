@@ -44,7 +44,9 @@ struct VmSnapshot {
   std::vector<Gfn> sample_gfns;
   std::vector<uint64_t> sample_words;
   std::vector<Mfn> sample_mfns;
-  std::vector<uint8_t> uisr_blob;
+  // kUisr extents holding this VM's encoded blob. The blob bytes themselves
+  // live only in PRAM-destined frames (encoded straight into place); the
+  // save side never materializes them in a host vector.
   std::vector<FrameExtent> uisr_frames;
 };
 
@@ -56,17 +58,20 @@ Result<WorkSchedule> PrepareVms(Hypervisor& source, Machine& machine,
                                 const InPlaceOptions& options, int workers,
                                 PramBuilder& builder, std::vector<VmSnapshot>& vms);
 
-// Post-pause translation: serial Extract per VM, parallel UisrEncode across
-// `real_threads` OS threads, serial PramStore into kUisr frames. Fills the
-// per-VM report records and blobs; returns the translation schedule (tasks
-// in `vms` order) charged as phases.translation. Honors the
-// kTranslationFailure / kPramWriteFailure injection points.
+// Post-pause translation: serial Extract per VM, then fused UisrEncode +
+// PramStore — kUisr frames are allocated and registered serially in VM order
+// and the encodes run straight into the mapped extents on `real_threads` OS
+// threads (no intermediate blob vectors). Fills the per-VM report records;
+// returns the translation schedule (tasks in `vms` order) charged as
+// phases.translation. Honors the kTranslationFailure / kPramWriteFailure
+// injection points.
 //
 // With a non-null `cache` (options.pre_translate), each VM's state generation
-// is compared against its speculative pre-translation: a match adopts the
-// cached blob for pretranslate_check; a mismatch re-extracts and patches only
-// the dirty UISR sections, charged at the full translate cost scaled by the
-// dirtied payload fraction. Null runs the exact legacy path.
+// is compared against its speculative pre-translation: a match registers the
+// parked extent (zero blob bytes move) for pretranslate_check; a mismatch
+// re-extracts and patches only the dirty UISR sections — rewriting the
+// parked extent in place when the size allows — charged at the full translate
+// cost scaled by the dirtied payload fraction. Null runs the legacy path.
 Result<WorkSchedule> TranslateVms(Hypervisor& source, Machine& machine,
                                   const InPlaceOptions& options, int workers, int real_threads,
                                   PramBuilder& builder, TransplantReport& report,

@@ -2,6 +2,7 @@
 // PramLoad -> UisrDecode -> Restore over every `uisr:` PRAM file.
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -18,20 +19,29 @@ Result<RestoreOutcome> RestoreAllFromPram(Hypervisor& hv, Machine& machine,
                                           FixupLog* fixups, InPlaceOptions::Fault inject) {
   const HostCostProfile& costs = machine.profile().costs;
 
-  // PramLoad (serial): reassemble every parked UISR blob from its in-RAM
-  // pages.
+  // PramLoad (serial): borrow every parked UISR blob straight from its
+  // PRAM-resident frames when the store left them contiguously backed (the
+  // zero-copy save path always does); fall back to page-wise reassembly for
+  // anything else. `copies` owns the fallback bytes — inner vectors keep
+  // stable addresses as the outer vector grows, so earlier spans stay valid.
   std::vector<const PramFile*> files;
-  std::vector<std::vector<uint8_t>> blobs;
+  std::vector<std::span<const uint8_t>> blobs;
+  std::vector<std::vector<uint8_t>> copies;
   for (const PramFile& file : pram.files) {
     if (!file.name.starts_with("uisr:")) {
       continue;
     }
-    auto blob = pipeline::LoadUisrBlob(machine.memory(), file);
-    if (!blob.ok()) {
-      return DataLossError("inplace: UISR page lost: " + blob.error().ToString());
+    if (auto view = pipeline::ViewUisrBlob(machine.memory(), file); view.ok()) {
+      blobs.push_back(*view);
+    } else {
+      auto blob = pipeline::LoadUisrBlob(machine.memory(), file);
+      if (!blob.ok()) {
+        return DataLossError("inplace: UISR page lost: " + blob.error().ToString());
+      }
+      copies.push_back(std::move(*blob));
+      blobs.push_back(copies.back());
     }
     files.push_back(&file);
-    blobs.push_back(std::move(*blob));
   }
   if (!files.empty() && (inject == InPlaceOptions::Fault::kDecodeFailure ||
                          inject == InPlaceOptions::Fault::kLedgerTornWrite)) {

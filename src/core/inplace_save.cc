@@ -6,33 +6,22 @@
 #include <utility>
 #include <vector>
 
+#include "src/base/arena.h"
 #include "src/core/inplace_internal.h"
 #include "src/pipeline/conversion.h"
+#include "src/uisr/codec.h"
 
 namespace hypertp {
 namespace inplace_internal {
 
 std::vector<PramPageEntry> EntriesFromMappings(const std::vector<GuestMapping>& mappings,
                                                bool huge_pages) {
+  // Each mapping is already one contiguous (gfn, mfn) run, so entry
+  // construction is a per-run decision instead of a per-frame loop
+  // (pram.cc:BuildEntriesForRange; output pinned equal to the old greedy).
   std::vector<PramPageEntry> entries;
   for (const GuestMapping& m : mappings) {
-    Gfn gfn = m.gfn;
-    Mfn mfn = m.mfn;
-    uint64_t left = m.frames;
-    while (left > 0) {
-      if (huge_pages && gfn % kFramesPerHugePage == 0 && mfn % kFramesPerHugePage == 0 &&
-          left >= kFramesPerHugePage) {
-        entries.push_back(PramPageEntry{gfn, mfn, kHugePageOrder});
-        gfn += kFramesPerHugePage;
-        mfn += kFramesPerHugePage;
-        left -= kFramesPerHugePage;
-      } else {
-        entries.push_back(PramPageEntry{gfn, mfn, 0});
-        ++gfn;
-        ++mfn;
-        --left;
-      }
-    }
+    BuildEntriesForRange(m.gfn, m.mfn, m.frames, huge_pages, entries);
   }
   return entries;
 }
@@ -91,14 +80,31 @@ Result<WorkSchedule> PrepareVms(Hypervisor& source, Machine& machine,
 
 namespace {
 
-// Pause-time translation of one VM when a pre-translation cache is present:
-// compare the state generation against the speculative snapshot and do the
-// least work that still yields bytes identical to a from-scratch translate.
-// Returns the modeled cost to charge inside the pause window.
-Result<SimDuration> TranslateAgainstCache(Hypervisor& source, const HostCostProfile& costs,
+// Per-VM report record + the kPramWriteFailure injection point, which fires
+// after the record is pushed but before any bytes reach PRAM frames (exactly
+// where the legacy store loop injected it).
+Result<void> RecordVm(const InPlaceOptions& options, const VmSnapshot& snap,
+                      uint64_t uisr_bytes, TransplantReport& report) {
+  report.uisr_total_bytes += uisr_bytes;
+  report.vms.push_back(VmTransplantRecord{snap.info.uid, snap.info.name, snap.info.vcpus,
+                                          snap.info.memory_bytes, uisr_bytes});
+  if (options.inject_fault == InPlaceOptions::Fault::kPramWriteFailure) {
+    return InternalError("injected PRAM write fault while parking UISR blob for uid " +
+                         std::to_string(snap.info.uid));
+  }
+  return OkResult();
+}
+
+// Pause-time translation + store of one VM when a pre-translation cache is
+// present: compare the state generation against the speculative snapshot and
+// do the least work that still yields PRAM bytes identical to a from-scratch
+// translate. Returns the modeled cost to charge inside the pause window.
+Result<SimDuration> TranslateAgainstCache(Hypervisor& source, Machine& machine,
+                                          const InPlaceOptions& options,
                                           const pipeline::PreTranslationCache& cache,
-                                          VmSnapshot& snap, TransplantReport& report,
-                                          std::vector<uint8_t>& blob) {
+                                          PramBuilder& builder, Arena& scratch,
+                                          VmSnapshot& snap, TransplantReport& report) {
+  const HostCostProfile& costs = machine.profile().costs;
   HYPERTP_ASSIGN_OR_RETURN(uint64_t generation, source.StateGeneration(snap.id));
   const pipeline::PreTranslatedVm* entry = cache.Find(snap.info.uid);
   const SimDuration full_cost =
@@ -108,9 +114,22 @@ Result<SimDuration> TranslateAgainstCache(Hypervisor& source, const HostCostProf
     // Generation unchanged: the speculative blob is the blob. Replay the
     // fixups its extract recorded — the legacy path would have logged the
     // same ones here.
-    blob = entry->blob;
     report.fixups.insert(report.fixups.end(), entry->fixups.begin(), entry->fixups.end());
     ++report.pretranslate_hits;
+    HYPERTP_RETURN_IF_ERROR(RecordVm(options, snap, entry->blob.size(), report));
+    if (entry->parked.count > 0) {
+      // The bytes were parked in kUisr frames while the guest still ran;
+      // the pause window only registers the PRAM file over them.
+      HYPERTP_ASSIGN_OR_RETURN(pipeline::StoredUisrBlob stored,
+                               pipeline::RegisterParkedBlob(builder, snap.info.uid,
+                                                            entry->parked, entry->blob.size()));
+      snap.uisr_frames.push_back(stored.frames);
+    } else {
+      HYPERTP_ASSIGN_OR_RETURN(pipeline::StoredUisrBlob stored,
+                               pipeline::StoreUisrBlob(machine.memory(), builder,
+                                                       snap.info.uid, entry->blob));
+      snap.uisr_frames.push_back(stored.frames);
+    }
     return costs.pretranslate_check;
   }
 
@@ -119,13 +138,43 @@ Result<SimDuration> TranslateAgainstCache(Hypervisor& source, const HostCostProf
                            pipeline::ExtractVmState(source, snap.id, &report.fixups));
   fresh.memory.pram_file_id = snap.vm_file_id;
   if (entry == nullptr) {
-    blob = EncodeUisrVm(fresh);
+    HYPERTP_RETURN_IF_ERROR(RecordVm(options, snap, EncodedUisrSize(fresh), report));
+    HYPERTP_ASSIGN_OR_RETURN(pipeline::StoredUisrBlob stored,
+                             pipeline::EncodeUisrVmIntoPram(machine.memory(), builder, fresh));
+    snap.uisr_frames.push_back(stored.frames);
     return full_cost;
   }
   ++report.pretranslate_invalidations;
   HYPERTP_ASSIGN_OR_RETURN(pipeline::ReconcileResult rec,
-                           pipeline::ReconcilePreTranslated(*entry, fresh));
-  blob = std::move(rec.blob);
+                           pipeline::ReconcilePreTranslated(*entry, fresh, &scratch));
+  HYPERTP_RETURN_IF_ERROR(RecordVm(options, snap, rec.blob.size(), report));
+
+  const uint64_t rec_frames = (rec.blob.size() + kPageSize - 1) / kPageSize;
+  if (entry->parked.count == rec_frames) {
+    // Same frame count: reuse the parked extent. A reconcile hit means the
+    // parked bytes are already exactly right; patched/re-encoded blobs are
+    // rewritten in place first.
+    if (rec.kind != pipeline::ReconcileKind::kHit) {
+      HYPERTP_RETURN_IF_ERROR(
+          pipeline::RewriteParkedBlob(machine.memory(), entry->parked, rec.blob));
+    }
+    HYPERTP_ASSIGN_OR_RETURN(
+        pipeline::StoredUisrBlob stored,
+        pipeline::RegisterParkedBlob(builder, snap.info.uid, entry->parked, rec.blob.size()));
+    snap.uisr_frames.push_back(stored.frames);
+  } else {
+    // The blob outgrew (or shrank out of) its parking spot: release it and
+    // store fresh.
+    if (entry->parked.count > 0) {
+      HYPERTP_RETURN_IF_ERROR(
+          machine.memory().Free(entry->parked.base, entry->parked.count));
+    }
+    HYPERTP_ASSIGN_OR_RETURN(
+        pipeline::StoredUisrBlob stored,
+        pipeline::StoreUisrBlob(machine.memory(), builder, snap.info.uid, rec.blob));
+    snap.uisr_frames.push_back(stored.frames);
+  }
+
   // Charge the full translate scaled by the payload fraction actually
   // rewritten: a false-positive invalidation (nothing reached the UISR)
   // degenerates to the check cost, a structural change to the full cost.
@@ -148,53 +197,49 @@ Result<WorkSchedule> TranslateVms(Hypervisor& source, Machine& machine,
     return InternalError("injected translation fault");
   }
   const HostCostProfile& costs = machine.profile().costs;
-
-  std::vector<std::vector<uint8_t>> blobs;
   std::vector<SimDuration> translate_costs;
-  if (cache == nullptr) {
-    // Legacy path: everything happens inside the pause window.
-    // Extract (serial: talks to the source hypervisor).
-    std::vector<UisrVm> states;
-    states.reserve(vms.size());
-    for (VmSnapshot& snap : vms) {
-      HYPERTP_ASSIGN_OR_RETURN(UisrVm uisr,
-                               pipeline::ExtractVmState(source, snap.id, &report.fixups));
-      uisr.memory.pram_file_id = snap.vm_file_id;
-      states.push_back(std::move(uisr));
-    }
 
-    // UisrEncode (pure: real OS threads allowed; bytes independent of count).
-    blobs = pipeline::EncodeVmStates(states, real_threads);
-    for (const VmSnapshot& snap : vms) {
-      translate_costs.push_back(
-          pipeline::TranslateStageCost(costs, snap.info.vcpus, snap.info.memory_bytes));
-    }
-  } else {
-    blobs.resize(vms.size());
-    for (size_t i = 0; i < vms.size(); ++i) {
-      HYPERTP_ASSIGN_OR_RETURN(
-          SimDuration cost, TranslateAgainstCache(source, costs, *cache, vms[i], report, blobs[i]));
+  if (cache != nullptr) {
+    // Section scratch is shared across the batch and recycled per VM.
+    Arena scratch;
+    for (VmSnapshot& snap : vms) {
+      scratch.Reset();
+      HYPERTP_ASSIGN_OR_RETURN(SimDuration cost,
+                               TranslateAgainstCache(source, machine, options, *cache, builder,
+                                                     scratch, snap, report));
       translate_costs.push_back(cost);
     }
+    return ScheduleWork(translate_costs, workers);
   }
 
-  // PramStore (serial: allocates kUisr frames so the blobs survive the
-  // micro-reboot) + per-VM report records.
-  for (size_t i = 0; i < vms.size(); ++i) {
-    VmSnapshot& snap = vms[i];
-    snap.uisr_blob = std::move(blobs[i]);
-    report.uisr_total_bytes += snap.uisr_blob.size();
-    report.vms.push_back(VmTransplantRecord{snap.info.uid, snap.info.name, snap.info.vcpus,
-                                            snap.info.memory_bytes, snap.uisr_blob.size()});
+  // Legacy (no speculative cache): everything happens inside the pause window.
+  // Extract (serial: talks to the source hypervisor).
+  std::vector<UisrVm> states;
+  states.reserve(vms.size());
+  for (VmSnapshot& snap : vms) {
+    HYPERTP_ASSIGN_OR_RETURN(UisrVm uisr,
+                             pipeline::ExtractVmState(source, snap.id, &report.fixups));
+    uisr.memory.pram_file_id = snap.vm_file_id;
+    states.push_back(std::move(uisr));
+    translate_costs.push_back(
+        pipeline::TranslateStageCost(costs, snap.info.vcpus, snap.info.memory_bytes));
+  }
 
-    if (options.inject_fault == InPlaceOptions::Fault::kPramWriteFailure) {
-      return InternalError("injected PRAM write fault while parking UISR blob for uid " +
-                           std::to_string(snap.info.uid));
-    }
-    HYPERTP_ASSIGN_OR_RETURN(
-        pipeline::StoredUisrBlob stored,
-        pipeline::StoreUisrBlob(machine.memory(), builder, snap.info.uid, snap.uisr_blob));
-    snap.uisr_frames.push_back(stored.frames);
+  // Report records first (sizes are exact without encoding), so the injected
+  // PRAM write fault still fires after the first record and before any store.
+  for (size_t i = 0; i < vms.size(); ++i) {
+    HYPERTP_RETURN_IF_ERROR(RecordVm(options, vms[i], EncodedUisrSize(states[i]), report));
+  }
+
+  // UisrEncode + PramStore fused: frames are allocated and registered
+  // serially in VM order (same layout as the old store-by-copy loop), then
+  // the encodes run straight into the mapped extents on up to `real_threads`
+  // OS threads — no intermediate blob vectors, no page-by-page copy.
+  HYPERTP_ASSIGN_OR_RETURN(
+      std::vector<pipeline::StoredUisrBlob> stored,
+      pipeline::EncodeVmStatesIntoPram(machine.memory(), builder, states, real_threads));
+  for (size_t i = 0; i < vms.size(); ++i) {
+    vms[i].uisr_frames.push_back(stored[i].frames);
   }
   return ScheduleWork(translate_costs, workers);
 }

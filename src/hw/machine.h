@@ -18,6 +18,12 @@ namespace hypertp {
 // numbers for a 1 vCPU / 1 GiB VM; every scaling behaviour (Fig. 7/10) then
 // emerges from the mechanics (parallel workers, per-GB walks, sequential
 // early-boot parsing) rather than from further fitting.
+//
+// Unit note: every `*_per_gb` field is the cost per binary gibibyte
+// (1 GiB = 1 << 30 bytes) of guest memory, not per decimal gigabyte — the
+// cost model (src/pipeline/conversion.cc:ScalePerGiB) divides byte counts by
+// 1 << 30. The historical `_gb` suffix is kept for config compatibility;
+// read it as GiB when calibrating.
 struct HostCostProfile {
   // PRAM construction: walking a VM's P2M/memslots and emitting page entries.
   SimDuration pram_fixed = Millis(50);

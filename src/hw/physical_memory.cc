@@ -86,6 +86,7 @@ Result<void> PhysicalMemory::Free(Mfn base, uint64_t count) {
     return InvalidArgumentError("free: no allocated extent [" + std::to_string(base) + ", +" +
                                 std::to_string(count) + ")");
   }
+  DropBackingsIn(base, count);
   for (Mfn m = base; m < base + count; ++m) {
     content_.erase(m);
     pages_.erase(m);
@@ -102,6 +103,7 @@ uint64_t PhysicalMemory::FreeAllOwnedBy(FrameOwner owner) {
     if (it->second.owner == owner) {
       const FrameExtent ext = it->second;
       it = allocated_.erase(it);
+      DropBackingsIn(ext.base, ext.count);
       for (Mfn m = ext.base; m < ext.end(); ++m) {
         content_.erase(m);
         pages_.erase(m);
@@ -197,6 +199,7 @@ uint64_t PhysicalMemory::ScrubExcept(const std::vector<FrameExtent>& preserved) 
     if (!covered(it->second)) {
       const FrameExtent ext = it->second;
       it = allocated_.erase(it);
+      DropBackingsIn(ext.base, ext.count);
       for (Mfn m = ext.base; m < ext.end(); ++m) {
         content_.erase(m);  // The scrub really destroys the contents.
         pages_.erase(m);
@@ -219,6 +222,17 @@ Result<void> PhysicalMemory::WritePage(Mfn mfn, std::vector<uint8_t> bytes) {
     return InvalidArgumentError("page payload of " + std::to_string(bytes.size()) +
                                 " bytes exceeds frame size");
   }
+  // A frame inside a contiguous backing stays there: the page write replaces
+  // its slice (zero-padded, matching whole-page overwrite semantics), so
+  // page-level corruption of a parked blob lands in the same storage the
+  // zero-copy decode reads.
+  Mfn backing_base = 0;
+  if (BackingBytes* backing = BackingFor(mfn, &backing_base)) {
+    uint8_t* slice = backing->data.get() + (mfn - backing_base) * kPageSize;
+    std::fill(slice, slice + kPageSize, 0);
+    std::copy(bytes.begin(), bytes.end(), slice);
+    return OkResult();
+  }
   pages_[mfn] = std::move(bytes);
   return OkResult();
 }
@@ -227,11 +241,95 @@ Result<std::vector<uint8_t>> PhysicalMemory::ReadPage(Mfn mfn) const {
   if (mfn >= total_frames_) {
     return OutOfRangeError("page read of frame " + std::to_string(mfn) + " beyond RAM");
   }
+  Mfn backing_base = 0;
+  if (const BackingBytes* backing = BackingFor(mfn, &backing_base)) {
+    const uint8_t* slice = backing->data.get() + (mfn - backing_base) * kPageSize;
+    return std::vector<uint8_t>(slice, slice + kPageSize);
+  }
   auto it = pages_.find(mfn);
   if (it == pages_.end()) {
     return std::vector<uint8_t>{};
   }
   return it->second;
+}
+
+Result<std::span<uint8_t>> PhysicalMemory::BackExtent(Mfn base, uint64_t frames,
+                                                      uint64_t skip_zero_prefix) {
+  if (frames == 0) {
+    return InvalidArgumentError("back extent: frame count must be positive");
+  }
+  auto it = allocated_.upper_bound(base);
+  if (it == allocated_.begin()) {
+    return FailedPreconditionError("back extent: frame " + std::to_string(base) +
+                                   " is not allocated");
+  }
+  const FrameExtent& ext = std::prev(it)->second;
+  if (!ext.Contains(base) || base + frames > ext.end()) {
+    return FailedPreconditionError("back extent: [" + std::to_string(base) + ", +" +
+                                   std::to_string(frames) +
+                                   ") does not lie inside one allocated extent");
+  }
+  // One backing per frame: replace any overlapping backings or stale per-page
+  // payloads rather than shadowing them.
+  DropBackingsIn(base, frames);
+  for (Mfn m = base; m < base + frames; ++m) {
+    pages_.erase(m);
+  }
+  const size_t bytes = frames * kPageSize;
+  BackingBytes backing;
+  backing.data = std::unique_ptr<uint8_t[]>(new uint8_t[bytes]);  // Uninitialized.
+  backing.size = bytes;
+  // Honor the caller's overwrite promise: zero only what it won't write.
+  const size_t zero_from = skip_zero_prefix < bytes ? skip_zero_prefix : bytes;
+  std::fill(backing.data.get() + zero_from, backing.data.get() + bytes, 0);
+  auto [entry, inserted] = backed_.emplace(base, std::move(backing));
+  (void)inserted;
+  return std::span<uint8_t>(entry->second.data.get(), entry->second.size);
+}
+
+Result<std::span<const uint8_t>> PhysicalMemory::BackedExtent(Mfn base, uint64_t frames) const {
+  auto it = backed_.find(base);
+  if (it == backed_.end() || it->second.size != frames * kPageSize) {
+    return NotFoundError("no contiguous backing for [" + std::to_string(base) + ", +" +
+                         std::to_string(frames) + ")");
+  }
+  return std::span<const uint8_t>(it->second.data.get(), it->second.size);
+}
+
+void PhysicalMemory::DropBackingsIn(Mfn base, uint64_t count) {
+  if (backed_.empty()) {
+    return;
+  }
+  const Mfn end = base + count;
+  auto it = backed_.upper_bound(base);
+  // A backing starting before `base` can still reach into the range.
+  if (it != backed_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second.size / kPageSize > base) {
+      it = prev;
+    }
+  }
+  while (it != backed_.end() && it->first < end) {
+    it = backed_.erase(it);
+  }
+}
+
+const PhysicalMemory::BackingBytes* PhysicalMemory::BackingFor(Mfn mfn, Mfn* backing_base) const {
+  auto it = backed_.upper_bound(mfn);
+  if (it == backed_.begin()) {
+    return nullptr;
+  }
+  const auto& [base, bytes] = *std::prev(it);
+  if (mfn >= base + bytes.size / kPageSize) {
+    return nullptr;
+  }
+  *backing_base = base;
+  return &bytes;
+}
+
+PhysicalMemory::BackingBytes* PhysicalMemory::BackingFor(Mfn mfn, Mfn* backing_base) {
+  return const_cast<BackingBytes*>(
+      static_cast<const PhysicalMemory*>(this)->BackingFor(mfn, backing_base));
 }
 
 Result<void> PhysicalMemory::Reassign(Mfn base, uint64_t count, FrameOwner new_owner) {

@@ -12,8 +12,11 @@
 #ifndef HYPERTP_SRC_HW_PHYSICAL_MEMORY_H_
 #define HYPERTP_SRC_HW_PHYSICAL_MEMORY_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -111,6 +114,28 @@ class PhysicalMemory {
   // Empty result for allocated-but-never-written frames.
   Result<std::vector<uint8_t>> ReadPage(Mfn mfn) const;
 
+  // Contiguous byte backing for a whole frame run, the storage under the
+  // zero-copy UISR save path: encoders write wire bytes straight into the
+  // returned span (PramFrameWriter) and the restore side decodes from it
+  // without per-page reassembly. [base, base+frames) must lie inside one
+  // allocated extent. The storage is frames * kPageSize zero-initialized
+  // bytes; re-backing the same (base, frames) resets it. WritePage/ReadPage
+  // on a backed frame operate on the corresponding page-sized slice, so
+  // page-level corruption (and its detection) behaves exactly as with
+  // per-page payloads. Backings die with their frames on Free/Scrub.
+  //
+  // `skip_zero_prefix` is the caller's promise that it will overwrite the
+  // first that many bytes before anything reads them: those bytes come back
+  // uninitialized and only the remainder is zeroed. This is what lets the
+  // zero-copy encode pay for one memory pass instead of a zero-fill followed
+  // by a full overwrite. The default (0) zeroes everything.
+  Result<std::span<uint8_t>> BackExtent(Mfn base, uint64_t frames,
+                                        uint64_t skip_zero_prefix = 0);
+  // Read view of the backing previously created for exactly (base, frames);
+  // kNotFound when that exact run was never backed (caller falls back to
+  // page-wise reads).
+  Result<std::span<const uint8_t>> BackedExtent(Mfn base, uint64_t frames) const;
+
   // True when `mfn` lies inside an allocated extent.
   bool IsAllocated(Mfn mfn) const;
   // Owner of the extent containing `mfn`, or error when free/out of range.
@@ -139,6 +164,38 @@ class PhysicalMemory {
   // Merges [base, base+count) into the free map, coalescing neighbors.
   void InsertFree(Mfn base, uint64_t count);
 
+  // Backing storage: default-initialized so BackExtent can zero only the
+  // bytes its caller will not overwrite (std::vector would memset it all).
+  // Deep-copies so PhysicalMemory (and Machine) stay copyable.
+  struct BackingBytes {
+    std::unique_ptr<uint8_t[]> data;
+    size_t size = 0;
+
+    BackingBytes() = default;
+    BackingBytes(BackingBytes&&) = default;
+    BackingBytes& operator=(BackingBytes&&) = default;
+    BackingBytes(const BackingBytes& other)
+        : data(other.size > 0 ? new uint8_t[other.size] : nullptr), size(other.size) {
+      if (size > 0) {
+        std::copy(other.data.get(), other.data.get() + size, data.get());
+      }
+    }
+    BackingBytes& operator=(const BackingBytes& other) {
+      if (this != &other) {
+        BackingBytes copy(other);
+        data = std::move(copy.data);
+        size = copy.size;
+      }
+      return *this;
+    }
+  };
+
+  // Drops extent backings overlapping [base, base+count) (frames going away).
+  void DropBackingsIn(Mfn base, uint64_t count);
+  // The backing containing `mfn`, or nullptr. Non-const twin for writes.
+  const BackingBytes* BackingFor(Mfn mfn, Mfn* backing_base) const;
+  BackingBytes* BackingFor(Mfn mfn, Mfn* backing_base);
+
   uint64_t total_frames_;
   uint64_t free_frames_;
   // base -> count of free holes, disjoint and coalesced.
@@ -149,6 +206,9 @@ class PhysicalMemory {
   std::unordered_map<Mfn, uint64_t> content_;
   // Sparse full-page payloads for metadata frames.
   std::unordered_map<Mfn, std::vector<uint8_t>> pages_;
+  // Contiguous multi-frame backings (base -> frames * kPageSize bytes),
+  // disjoint from each other; frames here never also appear in pages_.
+  std::map<Mfn, BackingBytes> backed_;
 };
 
 }  // namespace hypertp

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/base/bytes.h"
+#include "src/pram/frame_writer.h"
 #include "src/sim/worker_pool.h"
 #include "src/uisr/codec.h"
 
@@ -13,28 +14,32 @@ namespace hypertp {
 namespace pipeline {
 namespace {
 
+// Unit note: despite the `_per_gb` field names, HostCostProfile scales by the
+// binary gibibyte (1 GiB = 1 << 30 bytes), not the decimal gigabyte. ToGiB /
+// ScalePerGiB spell it out so the cost model can't be mis-tuned by reading
+// "gb" as 10^9. See the matching comment on HostCostProfile.
 double ToGiB(uint64_t bytes) { return static_cast<double>(bytes) / static_cast<double>(1ull << 30); }
 
-SimDuration ScalePerGb(SimDuration per_gb, uint64_t bytes) {
-  return static_cast<SimDuration>(static_cast<double>(per_gb) * ToGiB(bytes));
+SimDuration ScalePerGiB(SimDuration per_gib, uint64_t bytes) {
+  return static_cast<SimDuration>(static_cast<double>(per_gib) * ToGiB(bytes));
 }
 
 }  // namespace
 
 SimDuration PramStageCost(const HostCostProfile& costs, uint64_t memory_bytes) {
-  return costs.pram_fixed + ScalePerGb(costs.pram_per_gb, memory_bytes);
+  return costs.pram_fixed + ScalePerGiB(costs.pram_per_gb, memory_bytes);
 }
 
 SimDuration TranslateStageCost(const HostCostProfile& costs, uint32_t vcpus,
                                uint64_t memory_bytes) {
   return costs.translate_per_vm + costs.translate_per_vcpu * static_cast<int>(vcpus) +
-         ScalePerGb(costs.translate_per_gb, memory_bytes);
+         ScalePerGiB(costs.translate_per_gb, memory_bytes);
 }
 
 SimDuration RestoreStageCost(const HostCostProfile& costs, HypervisorKind target,
                              uint32_t vcpus, uint64_t memory_bytes) {
   SimDuration cost = costs.restore_per_vm + costs.restore_per_vcpu * static_cast<int>(vcpus) +
-                     ScalePerGb(costs.restore_per_gb, memory_bytes);
+                     ScalePerGiB(costs.restore_per_gb, memory_bytes);
   if (target == HypervisorKind::kXen) {
     cost *= 2;  // xl/libxl domain creation is heavier than kvmtool's.
   }
@@ -56,25 +61,118 @@ std::vector<std::vector<uint8_t>> EncodeVmStates(const std::vector<UisrVm>& vms,
   return blobs;
 }
 
-Result<StoredUisrBlob> StoreUisrBlob(PhysicalMemory& memory, PramBuilder& builder,
-                                     uint64_t vm_uid, std::span<const uint8_t> blob) {
-  const uint64_t frames = (blob.size() + kPageSize - 1) / kPageSize;
-  const FrameOwner owner{FrameOwnerKind::kUisr, vm_uid};
-  HYPERTP_ASSIGN_OR_RETURN(Mfn base, memory.Alloc(frames, 1, owner));
+namespace {
+
+// The PRAM entries of a parked blob: per-frame order-0, gfn 0..frames-1.
+// (kUisr extents are allocated with alignment 1, so their base is generally
+// not 512-aligned and order-9 entries — which AddFile validates as aligned —
+// cannot apply. Guest memory files are where 2 MiB entries happen.)
+std::vector<PramPageEntry> UisrFileEntries(Mfn base, uint64_t frames) {
   std::vector<PramPageEntry> entries;
   entries.reserve(frames);
   for (uint64_t i = 0; i < frames; ++i) {
-    const size_t begin = i * kPageSize;
-    const size_t end = std::min(begin + kPageSize, blob.size());
-    std::vector<uint8_t> page(blob.begin() + static_cast<ptrdiff_t>(begin),
-                              blob.begin() + static_cast<ptrdiff_t>(end));
-    HYPERTP_RETURN_IF_ERROR(memory.WritePage(base + i, std::move(page)));
     entries.push_back(PramPageEntry{i, base + i, 0});
   }
+  return entries;
+}
+
+// Serial half of the zero-copy store: allocate + back the extent and register
+// the PRAM file. The writer is ready for an encode that must produce exactly
+// `encoded_size` bytes.
+Result<std::pair<PramFrameWriter, StoredUisrBlob>> OpenUisrFrames(PhysicalMemory& memory,
+                                                                 PramBuilder& builder,
+                                                                 uint64_t vm_uid,
+                                                                 size_t encoded_size) {
+  HYPERTP_ASSIGN_OR_RETURN(PramFrameWriter writer,
+                           PramFrameWriter::Create(memory, vm_uid, encoded_size));
+  const FrameExtent& ext = writer.frames();
+  auto file_id = builder.AddFile("uisr:" + std::to_string(vm_uid), encoded_size, false,
+                                 UisrFileEntries(ext.base, ext.count));
+  if (!file_id.ok()) {
+    (void)memory.Free(ext.base, ext.count);
+    return file_id.error();
+  }
+  return std::make_pair(writer, StoredUisrBlob{ext, *file_id, encoded_size});
+}
+
+}  // namespace
+
+Result<StoredUisrBlob> StoreUisrBlob(PhysicalMemory& memory, PramBuilder& builder,
+                                     uint64_t vm_uid, std::span<const uint8_t> blob) {
+  HYPERTP_ASSIGN_OR_RETURN(FrameExtent parked, ParkUisrBlob(memory, vm_uid, blob));
+  return RegisterParkedBlob(builder, vm_uid, parked, blob.size());
+}
+
+Result<FrameExtent> ParkUisrBlob(PhysicalMemory& memory, uint64_t vm_uid,
+                                 std::span<const uint8_t> blob) {
+  const uint64_t frames = (blob.size() + kPageSize - 1) / kPageSize;
+  const FrameOwner owner{FrameOwnerKind::kUisr, vm_uid};
+  HYPERTP_ASSIGN_OR_RETURN(Mfn base, memory.Alloc(frames, 1, owner));
+  const FrameExtent parked{base, frames, owner};
+  // One contiguous backing + one copy instead of a vector per page; the
+  // trailing bytes of the last frame stay zero. ViewUisrBlob can then serve
+  // the restore side without reassembly.
+  HYPERTP_RETURN_IF_ERROR(RewriteParkedBlob(memory, parked, blob));
+  return parked;
+}
+
+Result<StoredUisrBlob> RegisterParkedBlob(PramBuilder& builder, uint64_t vm_uid,
+                                          const FrameExtent& parked, uint64_t bytes) {
   HYPERTP_ASSIGN_OR_RETURN(uint64_t file_id,
-                           builder.AddFile("uisr:" + std::to_string(vm_uid), blob.size(),
-                                           false, entries));
-  return StoredUisrBlob{FrameExtent{base, frames, owner}, file_id};
+                           builder.AddFile("uisr:" + std::to_string(vm_uid), bytes, false,
+                                           UisrFileEntries(parked.base, parked.count)));
+  return StoredUisrBlob{parked, file_id, bytes};
+}
+
+Result<void> RewriteParkedBlob(PhysicalMemory& memory, const FrameExtent& parked,
+                               std::span<const uint8_t> blob) {
+  if ((blob.size() + kPageSize - 1) / kPageSize != parked.count) {
+    return InvalidArgumentError("parked blob rewrite changes the frame count");
+  }
+  // Re-backing zeroes everything past the blob, so the trailing bytes of the
+  // last frame are deterministic even after a rewrite; the blob prefix is
+  // overwritten in full right here, so it skips the zero pass.
+  HYPERTP_ASSIGN_OR_RETURN(std::span<uint8_t> dest,
+                           memory.BackExtent(parked.base, parked.count, blob.size()));
+  std::copy(blob.begin(), blob.end(), dest.begin());
+  return OkResult();
+}
+
+Result<StoredUisrBlob> EncodeUisrVmIntoPram(PhysicalMemory& memory, PramBuilder& builder,
+                                            const UisrVm& vm) {
+  HYPERTP_ASSIGN_OR_RETURN(auto opened,
+                           OpenUisrFrames(memory, builder, vm.vm_uid, EncodedUisrSize(vm)));
+  EncodeUisrVm(vm, static_cast<SpanWriter&>(opened.first));
+  return opened.second;
+}
+
+Result<std::vector<StoredUisrBlob>> EncodeVmStatesIntoPram(PhysicalMemory& memory,
+                                                           PramBuilder& builder,
+                                                           const std::vector<UisrVm>& vms,
+                                                           int threads) {
+  // Serial: allocation + registration in input order, so the frame layout and
+  // PRAM metadata match a legacy store-by-copy loop byte for byte.
+  std::vector<PramFrameWriter> writers;
+  std::vector<StoredUisrBlob> stored;
+  writers.reserve(vms.size());
+  stored.reserve(vms.size());
+  for (const UisrVm& vm : vms) {
+    HYPERTP_ASSIGN_OR_RETURN(auto opened,
+                             OpenUisrFrames(memory, builder, vm.vm_uid, EncodedUisrSize(vm)));
+    writers.push_back(opened.first);
+    stored.push_back(opened.second);
+  }
+
+  // Parallel: pure encodes into disjoint pre-mapped extents. No task touches
+  // PhysicalMemory bookkeeping, only its own span.
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(vms.size());
+  for (size_t i = 0; i < vms.size(); ++i) {
+    tasks.push_back(
+        [&vms, &writers, i] { EncodeUisrVm(vms[i], static_cast<SpanWriter&>(writers[i])); });
+  }
+  RunOnWorkerPool(tasks, threads);
+  return stored;
 }
 
 Result<std::vector<uint8_t>> LoadUisrBlob(const PhysicalMemory& memory, const PramFile& file) {
@@ -88,7 +186,29 @@ Result<std::vector<uint8_t>> LoadUisrBlob(const PhysicalMemory& memory, const Pr
   return blob;
 }
 
-std::vector<Result<UisrVm>> DecodeVmStates(const std::vector<std::vector<uint8_t>>& blobs,
+Result<std::span<const uint8_t>> ViewUisrBlob(const PhysicalMemory& memory,
+                                              const PramFile& file) {
+  if (file.entries.empty()) {
+    return NotFoundError("uisr file '" + file.name + "' has no entries");
+  }
+  // The view needs one contiguous frame run covering gfn 0..n-1 in order —
+  // exactly what the store paths emit. Anything else falls back to LoadUisrBlob.
+  const Mfn base = file.entries.front().mfn;
+  uint64_t frames = 0;
+  for (const PramPageEntry& e : file.entries) {
+    if (e.gfn != frames || e.mfn != base + frames || e.order != 0) {
+      return NotFoundError("uisr file '" + file.name + "' is not a contiguous frame run");
+    }
+    ++frames;
+  }
+  if (frames * kPageSize < file.size_bytes) {
+    return DataLossError("uisr file '" + file.name + "' entries cover fewer bytes than its size");
+  }
+  HYPERTP_ASSIGN_OR_RETURN(std::span<const uint8_t> backing, memory.BackedExtent(base, frames));
+  return backing.first(file.size_bytes);
+}
+
+std::vector<Result<UisrVm>> DecodeVmStates(const std::vector<std::span<const uint8_t>>& blobs,
                                            int threads) {
   // Pre-size the output with placeholder errors so each task only ever
   // assigns its own slot (Result<UisrVm> has no default constructor).
@@ -101,6 +221,12 @@ std::vector<Result<UisrVm>> DecodeVmStates(const std::vector<std::vector<uint8_t
   }
   RunOnWorkerPool(tasks, threads);
   return decoded;
+}
+
+std::vector<Result<UisrVm>> DecodeVmStates(const std::vector<std::vector<uint8_t>>& blobs,
+                                           int threads) {
+  std::vector<std::span<const uint8_t>> views(blobs.begin(), blobs.end());
+  return DecodeVmStates(views, threads);
 }
 
 Result<VmId> RestoreVmState(Hypervisor& hv, const UisrVm& uisr,

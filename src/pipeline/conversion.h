@@ -60,23 +60,74 @@ std::vector<std::vector<uint8_t>> EncodeVmStates(const std::vector<UisrVm>& vms,
 // PramStore: park one encoded blob in fresh kUisr frames and register it as
 // the PRAM file "uisr:<vm_uid>" so it survives the micro-reboot. Serial
 // stage (allocates from PhysicalMemory).
+//
+// This is the legacy blob path: the caller already holds the bytes in a
+// vector (pre-translation cache adoption, migration's wire copy, tests) and
+// they are copied into a contiguous backed extent. The hot save path avoids
+// materializing the vector at all — see EncodeVmStatesIntoPram.
 struct StoredUisrBlob {
   FrameExtent frames;
   uint64_t file_id = 0;
+  uint64_t bytes = 0;  // Encoded blob size (file size_bytes).
 };
 Result<StoredUisrBlob> StoreUisrBlob(PhysicalMemory& memory, PramBuilder& builder,
                                      uint64_t vm_uid, std::span<const uint8_t> blob);
 
+// Zero-copy PramStore: registers "uisr:<vm.vm_uid>" and encodes the VM's
+// wire bytes straight into a pre-sized, contiguously backed kUisr extent via
+// a PramFrameWriter — no intermediate vector, no page-by-page copy. Frame
+// allocation and file registration are serial and happen in exactly the
+// order/sizes of the legacy path, so PRAM metadata and frame layout are
+// byte-identical to StoreUisrBlob(EncodeUisrVm(vm)).
+Result<StoredUisrBlob> EncodeUisrVmIntoPram(PhysicalMemory& memory, PramBuilder& builder,
+                                            const UisrVm& vm);
+
+// Batched zero-copy PramStore: allocates and registers every VM's extent
+// serially (in `vms` order), then runs the encodes on up to `threads` real
+// OS threads — each task writes only its own pre-mapped extent, so the
+// fan-out is data-race-free and the bytes are independent of `threads`.
+Result<std::vector<StoredUisrBlob>> EncodeVmStatesIntoPram(PhysicalMemory& memory,
+                                                           PramBuilder& builder,
+                                                           const std::vector<UisrVm>& vms,
+                                                           int threads);
+
+// Split PramStore for speculative pre-translation. ParkUisrBlob performs the
+// allocate-and-fill half outside the pause window (no PRAM registration — at
+// park time there may not even be a builder yet); RegisterParkedBlob performs
+// the registration half inside it, moving zero blob bytes. RewriteParkedBlob
+// refills a parked extent with a same-size patched blob.
+// StoreUisrBlob == ParkUisrBlob + RegisterParkedBlob, and the extent/entry
+// layout is identical.
+Result<FrameExtent> ParkUisrBlob(PhysicalMemory& memory, uint64_t vm_uid,
+                                 std::span<const uint8_t> blob);
+Result<StoredUisrBlob> RegisterParkedBlob(PramBuilder& builder, uint64_t vm_uid,
+                                          const FrameExtent& parked, uint64_t bytes);
+Result<void> RewriteParkedBlob(PhysicalMemory& memory, const FrameExtent& parked,
+                               std::span<const uint8_t> blob);
+
 // --- Restore side. ---------------------------------------------------------
 
 // PramLoad: reassemble one parked UISR blob from its in-RAM pages. Serial
-// stage (reads PhysicalMemory).
+// stage (reads PhysicalMemory). Fallback for blobs whose frames are not
+// contiguously backed; the zero-copy restore prefers ViewUisrBlob.
 Result<std::vector<uint8_t>> LoadUisrBlob(const PhysicalMemory& memory, const PramFile& file);
+
+// Zero-copy PramLoad: a borrowed view of the parked blob when its entries
+// form one contiguous frame run with contiguous backing (which everything
+// stored through StoreUisrBlob / EncodeUisrVmIntoPram has). kNotFound when
+// the file needs page-wise reassembly; the view is invalidated by freeing or
+// re-backing the extent.
+Result<std::span<const uint8_t>> ViewUisrBlob(const PhysicalMemory& memory,
+                                              const PramFile& file);
 
 // UisrDecode: decode a batch of blobs. Pure; runs on up to `threads` real OS
 // threads. Output order == input order; per-blob errors come back in place
 // so the caller reports the first failure in input order, exactly as a
-// serial loop would.
+// serial loop would. The span form is the zero-copy restore path (views
+// straight into PRAM frames); the vector form copies nothing either, it just
+// borrows from the vectors.
+std::vector<Result<UisrVm>> DecodeVmStates(const std::vector<std::span<const uint8_t>>& blobs,
+                                           int threads);
 std::vector<Result<UisrVm>> DecodeVmStates(const std::vector<std::vector<uint8_t>>& blobs,
                                            int threads);
 

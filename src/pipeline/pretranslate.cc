@@ -5,6 +5,7 @@
 #include <span>
 #include <utility>
 
+#include "src/base/bytes.h"
 #include "src/pipeline/conversion.h"
 
 namespace hypertp {
@@ -22,7 +23,8 @@ const PreTranslatedVm* PreTranslationCache::Find(uint64_t vm_uid) const {
 Result<WorkSchedule> PreTranslateVms(Hypervisor& source, const HostCostProfile& costs,
                                      const std::vector<PreTranslateRequest>& requests,
                                      int workers, int real_threads,
-                                     PreTranslationCache* cache) {
+                                     PreTranslationCache* cache,
+                                     PhysicalMemory* park_memory) {
   cache->vms.clear();
   cache->vms.reserve(requests.size());
   std::vector<SimDuration> stage_costs;
@@ -72,11 +74,25 @@ Result<WorkSchedule> PreTranslateVms(Hypervisor& source, const HostCostProfile& 
   }
   RunOnWorkerPool(tasks, real_threads);
 
+  // Park the blobs in kUisr frames now, while guests still run. Serial and
+  // in request order — the same allocation order/sizes a pause-time store
+  // would perform, so the frame layout (and thus PRAM metadata) is identical
+  // whether a blob is adopted from its parking spot or stored at pause time.
+  if (park_memory != nullptr) {
+    for (PreTranslatedVm& entry : cache->vms) {
+      HYPERTP_ASSIGN_OR_RETURN(entry.parked,
+                               ParkUisrBlob(*park_memory, entry.vm_uid, entry.blob));
+    }
+  }
+
   return ScheduleWork(stage_costs, workers);
 }
 
 Result<ReconcileResult> ReconcilePreTranslated(const PreTranslatedVm& cached,
-                                               const UisrVm& fresh) {
+                                               const UisrVm& fresh, Arena* scratch) {
+  Arena local_scratch;
+  Arena& arena = scratch != nullptr ? *scratch : local_scratch;
+
   ReconcileResult out;
   for (const UisrSectionSpan& span : cached.layout.sections) {
     out.total_payload_bytes += span.payload_size;
@@ -97,7 +113,9 @@ Result<ReconcileResult> ReconcilePreTranslated(const PreTranslatedVm& cached,
   // and rewrite only the ones that differ. Patching every differing section
   // with the fresh payload makes the result byte-identical to a from-scratch
   // EncodeUisrVm(fresh) — same sections, same order, same lengths — once the
-  // CRC trailer is resealed.
+  // CRC trailer is resealed. Scratch payloads come out of the arena (sized
+  // first, encoded second), so a whole batch of VMs reconciles without a
+  // heap allocation per section.
   std::vector<uint8_t> blob = cached.blob;
   size_t ordinal_vcpu = 0;
   size_t ordinal_device = 0;
@@ -108,16 +126,19 @@ Result<ReconcileResult> ReconcilePreTranslated(const PreTranslatedVm& cached,
     } else if (span.type == UisrSectionType::kDevice) {
       ordinal = ordinal_device++;
     }
-    const std::vector<uint8_t> payload = EncodeUisrSectionPayload(fresh, span.type, ordinal);
-    if (payload.size() != span.payload_size) {
+    if (UisrSectionPayloadSize(fresh, span.type, ordinal) != span.payload_size) {
       // A section changed size (e.g. device opaque state grew): the TLV
-      // lengths shift, so patching in place is impossible.
+      // lengths shift, so patching in place is impossible. The size check is
+      // pure counting — no payload was encoded for the doomed comparison.
       out.kind = ReconcileKind::kReencoded;
       out.blob = EncodeUisrVm(fresh);
       out.patched_sections = 0;
       out.patched_bytes = out.total_payload_bytes;
       return out;
     }
+    std::span<uint8_t> payload = arena.Alloc(span.payload_size);
+    SpanWriter payload_writer(payload);
+    EncodeUisrSectionPayloadTo(fresh, span.type, ordinal, payload_writer);
     const auto cached_payload =
         std::span<const uint8_t>(blob).subspan(span.payload_offset, span.payload_size);
     if (std::equal(payload.begin(), payload.end(), cached_payload.begin())) {

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/base/arena.h"
 #include "src/base/result.h"
 #include "src/hv/hypervisor.h"
 #include "src/hw/machine.h"
@@ -40,6 +41,15 @@ struct PreTranslatedVm {
   std::vector<uint8_t> blob;     // EncodeUisrVm(state).
   UisrSectionLayout layout;      // Section-offset table of `blob`.
   FixupLog fixups;               // Fixups the speculative extract recorded.
+
+  // Where `blob`'s bytes already sit in PRAM-destined kUisr frames, parked
+  // outside the pause window (count == 0 when no park_memory was supplied).
+  // On a pause-time generation hit the translation phase only registers the
+  // PRAM file over this extent — zero blob bytes move inside the window. A
+  // patched blob is rewritten into the same extent; a size-changing
+  // invalidation frees it and re-parks. The extent is owned by the transplant
+  // (kUisr, vm_uid), so abort/cleanup reclaim it like any other UISR extent.
+  FrameExtent parked;
 };
 
 // The cache the pause-time translation phase consults. Built once per
@@ -69,10 +79,17 @@ struct PreTranslateRequest {
 // on up to `real_threads` OS threads (wall-clock only). The returned schedule
 // lays one full TranslateStageCost per VM over `workers` modeled workers;
 // the caller charges its makespan outside the pause window.
+//
+// With a non-null `park_memory`, each encoded blob is additionally parked in
+// a freshly allocated kUisr extent there (serially, in request order — the
+// same order/sizes the pause-time store would use, so frame layout matches
+// the legacy path). A pause-time generation hit then registers the PRAM file
+// over the parked extent instead of copying the blob inside the window.
 Result<WorkSchedule> PreTranslateVms(Hypervisor& source, const HostCostProfile& costs,
                                      const std::vector<PreTranslateRequest>& requests,
                                      int workers, int real_threads,
-                                     PreTranslationCache* cache);
+                                     PreTranslationCache* cache,
+                                     PhysicalMemory* park_memory = nullptr);
 
 // How one VM's pause-time translation was satisfied.
 enum class ReconcileKind : uint8_t {
@@ -93,8 +110,13 @@ struct ReconcileResult {
 // patches only the sections whose payloads differ when the section structure
 // still matches, otherwise re-encodes from scratch. The returned blob is
 // byte-identical to EncodeUisrVm(fresh) either way.
+//
+// Per-section scratch payloads are bump-allocated from `scratch` when given
+// (Reset() between VMs is the caller's job) so a batch reconcile reuses one
+// arena instead of allocating a vector per section; with nullptr an internal
+// arena is used.
 Result<ReconcileResult> ReconcilePreTranslated(const PreTranslatedVm& cached,
-                                               const UisrVm& fresh);
+                                               const UisrVm& fresh, Arena* scratch = nullptr);
 
 }  // namespace pipeline
 }  // namespace hypertp

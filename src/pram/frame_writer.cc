@@ -1,0 +1,24 @@
+#include "src/pram/frame_writer.h"
+
+namespace hypertp {
+
+Result<PramFrameWriter> PramFrameWriter::Create(PhysicalMemory& memory, uint64_t vm_uid,
+                                                size_t capacity_bytes) {
+  if (capacity_bytes == 0) {
+    return InvalidArgumentError("pram frame writer: capacity must be positive");
+  }
+  const uint64_t frames = (capacity_bytes + kPageSize - 1) / kPageSize;
+  const FrameOwner owner{FrameOwnerKind::kUisr, vm_uid};
+  HYPERTP_ASSIGN_OR_RETURN(Mfn base, memory.Alloc(frames, 1, owner));
+  // The encoder writes exactly `capacity_bytes` (pre-sized via
+  // EncodedUisrSize), so only the page-padding tail needs zeroing.
+  auto backing = memory.BackExtent(base, frames, capacity_bytes);
+  if (!backing.ok()) {
+    // Unwind the allocation; a failed backing must not leak the extent.
+    (void)memory.Free(base, frames);
+    return backing.error();
+  }
+  return PramFrameWriter(backing->first(capacity_bytes), FrameExtent{base, frames, owner});
+}
+
+}  // namespace hypertp

@@ -361,30 +361,58 @@ Result<std::vector<FrameExtent>> PramPreservationList(const PhysicalMemory& ram,
   return merged;
 }
 
+void BuildEntriesForRange(Gfn gfn, Mfn mfn, uint64_t frames, bool huge_pages,
+                          std::vector<PramPageEntry>& out) {
+  // Huge entries need gfn and mfn 512-aligned at the same spot. Advancing
+  // moves both by the same amount, so the alignment gap (gfn - mfn) mod 512
+  // is invariant across the run: either some boundary aligns both, or none
+  // ever will and the whole run is order-0.
+  const bool alignable =
+      huge_pages && (gfn % kFramesPerHugePage) == (mfn % kFramesPerHugePage);
+  if (!alignable) {
+    out.reserve(out.size() + frames);
+    for (uint64_t i = 0; i < frames; ++i) {
+      out.push_back(PramPageEntry{gfn + i, mfn + i, 0});
+    }
+    return;
+  }
+
+  // Head singles up to the first huge boundary.
+  uint64_t head = (kFramesPerHugePage - gfn % kFramesPerHugePage) % kFramesPerHugePage;
+  head = std::min(head, frames);
+  const uint64_t huge_count = (frames - head) / kFramesPerHugePage;
+  const uint64_t tail = frames - head - huge_count * kFramesPerHugePage;
+  out.reserve(out.size() + head + huge_count + tail);
+  for (uint64_t i = 0; i < head; ++i) {
+    out.push_back(PramPageEntry{gfn + i, mfn + i, 0});
+  }
+  gfn += head;
+  mfn += head;
+  for (uint64_t i = 0; i < huge_count; ++i) {
+    out.push_back(PramPageEntry{gfn, mfn, kHugePageOrder});
+    gfn += kFramesPerHugePage;
+    mfn += kFramesPerHugePage;
+  }
+  for (uint64_t i = 0; i < tail; ++i) {
+    out.push_back(PramPageEntry{gfn + i, mfn + i, 0});
+  }
+}
+
 std::vector<PramPageEntry> BuildPageEntries(const std::vector<std::pair<Gfn, Mfn>>& map,
                                             bool huge_pages) {
   std::vector<PramPageEntry> entries;
+  // One pass: find each maximal run contiguous in both address spaces, then
+  // let BuildEntriesForRange carve it. The old code re-scanned 512 pairs at
+  // every candidate boundary, quadratic on fragmented maps.
   size_t i = 0;
   while (i < map.size()) {
-    const auto [gfn, mfn] = map[i];
-    if (huge_pages && gfn % kFramesPerHugePage == 0 && mfn % kFramesPerHugePage == 0 &&
-        i + kFramesPerHugePage <= map.size()) {
-      // Check the next 512 mappings are contiguous in both spaces.
-      bool contiguous = true;
-      for (uint64_t j = 1; j < kFramesPerHugePage; ++j) {
-        if (map[i + j].first != gfn + j || map[i + j].second != mfn + j) {
-          contiguous = false;
-          break;
-        }
-      }
-      if (contiguous) {
-        entries.push_back(PramPageEntry{gfn, mfn, kHugePageOrder});
-        i += kFramesPerHugePage;
-        continue;
-      }
+    size_t end = i + 1;
+    while (end < map.size() && map[end].first == map[i].first + (end - i) &&
+           map[end].second == map[i].second + (end - i)) {
+      ++end;
     }
-    entries.push_back(PramPageEntry{gfn, mfn, 0});
-    ++i;
+    BuildEntriesForRange(map[i].first, map[i].second, end - i, huge_pages, entries);
+    i = end;
   }
   return entries;
 }

@@ -110,9 +110,22 @@ Result<PramImage> ParsePram(const PhysicalMemory& ram, Mfn root_mfn);
 Result<std::vector<FrameExtent>> PramPreservationList(const PhysicalMemory& ram, Mfn root_mfn,
                                                       const PramImage& image);
 
+// Appends entries covering `frames` contiguous pages starting at (gfn, mfn):
+// order-0 singles up to the first huge boundary, one order-9 entry per
+// aligned 2 MiB run, order-0 singles for the tail. Emits exactly the entries
+// the old per-frame greedy loop produced (pram_test pins equivalence), but
+// decides alignment once per run instead of once per frame, so a terabyte
+// mapping costs a few thousand entry pushes rather than 2^28 loop
+// iterations. With `huge_pages` false (or gfn/mfn misaligned relative to
+// each other, which no amount of advancing can fix), every entry is order-0.
+void BuildEntriesForRange(Gfn gfn, Mfn mfn, uint64_t frames, bool huge_pages,
+                          std::vector<PramPageEntry>& out);
+
 // Converts a guest physical address space layout into PRAM page entries,
 // merging adjacent 4K mappings into huge-page entries when `huge_pages` and
-// alignment permit. `map` is (gfn, mfn) pairs sorted by gfn.
+// alignment permit. `map` is (gfn, mfn) pairs sorted by gfn. Internally
+// splits the map into maximal contiguous runs and defers to
+// BuildEntriesForRange, so discovery of each run is a single pass.
 std::vector<PramPageEntry> BuildPageEntries(const std::vector<std::pair<Gfn, Mfn>>& map,
                                             bool huge_pages);
 

@@ -297,17 +297,21 @@ size_t EncodedUisrSize(const UisrVm& vm) {
   return counter.size() + kEndTrailerBytes;
 }
 
-void EncodeUisrVm(const UisrVm& vm, ByteWriter& w) {
+template <typename Writer>
+void EncodeUisrVm(const UisrVm& vm, Writer& w) {
   const size_t start = w.size();
   w.Reserve(start + EncodedUisrSize(vm));
   EncodeUisrBody(w, vm, nullptr);
   // CRC trailer over this VM's bytes only, so the blob decodes identically
   // whether it stands alone or sits embedded in a larger stream.
-  const uint32_t crc = Crc32(std::span<const uint8_t>(w.bytes()).subspan(start));
+  const uint32_t crc = Crc32(w.Written(start));
   w.PutU16(static_cast<uint16_t>(UisrSectionType::kEnd));
   w.PutU32(4);
   w.PutU32(crc);
 }
+
+template void EncodeUisrVm<ByteWriter>(const UisrVm& vm, ByteWriter& w);
+template void EncodeUisrVm<SpanWriter>(const UisrVm& vm, SpanWriter& w);
 
 std::vector<uint8_t> EncodeUisrVm(const UisrVm& vm) {
   ByteWriter w;
@@ -365,9 +369,9 @@ Result<UisrSectionLayout> IndexUisrSections(std::span<const uint8_t> blob) {
   return DataLossError("uisr: missing end/CRC section");
 }
 
-std::vector<uint8_t> EncodeUisrSectionPayload(const UisrVm& vm, UisrSectionType type,
-                                              size_t ordinal) {
-  ByteWriter w;
+template <typename Writer>
+void EncodeUisrSectionPayloadTo(const UisrVm& vm, UisrSectionType type, size_t ordinal,
+                                Writer& w) {
   switch (type) {
     case UisrSectionType::kVmHeader:
       EncodeVmHeader(w, vm);
@@ -391,6 +395,23 @@ std::vector<uint8_t> EncodeUisrSectionPayload(const UisrVm& vm, UisrSectionType 
     case UisrSectionType::kEnd:
       break;
   }
+}
+
+template void EncodeUisrSectionPayloadTo<ByteWriter>(const UisrVm&, UisrSectionType, size_t,
+                                                     ByteWriter&);
+template void EncodeUisrSectionPayloadTo<SpanWriter>(const UisrVm&, UisrSectionType, size_t,
+                                                     SpanWriter&);
+
+size_t UisrSectionPayloadSize(const UisrVm& vm, UisrSectionType type, size_t ordinal) {
+  ByteCounter counter;
+  EncodeUisrSectionPayloadTo(vm, type, ordinal, counter);
+  return counter.size();
+}
+
+std::vector<uint8_t> EncodeUisrSectionPayload(const UisrVm& vm, UisrSectionType type,
+                                              size_t ordinal) {
+  ByteWriter w;
+  EncodeUisrSectionPayloadTo(vm, type, ordinal, w);
   return w.TakeBytes();
 }
 

@@ -42,6 +42,7 @@ struct UisrSizeBreakdown {
 };
 
 class ByteWriter;
+class SpanWriter;
 
 // Byte offsets of one encoded TLV section inside a UISR blob.
 struct UisrSectionSpan {
@@ -75,7 +76,18 @@ std::vector<uint8_t> EncodeUisrVm(const UisrVm& vm, UisrSectionLayout* layout);
 // CRC trailer covers only this VM's bytes, starting at the writer's current
 // position, so blobs can be embedded mid-stream (checkpoint files, PRAM
 // framing) without a temporary copy. Reserves the exact size up front.
-void EncodeUisrVm(const UisrVm& vm, ByteWriter& w);
+//
+// Templated over the writer type: ByteWriter appends to a growing buffer
+// (checkpoint embedding, migration's wire copy); SpanWriter writes into
+// caller-owned storage, which is how the zero-copy save path encodes straight
+// into PRAM-resident frames (PramFrameWriter). Any writer with the
+// Put*/PatchU32/size/Reserve/Written interface works; these two are
+// instantiated in codec.cc.
+template <typename Writer>
+void EncodeUisrVm(const UisrVm& vm, Writer& w);
+
+extern template void EncodeUisrVm<ByteWriter>(const UisrVm& vm, ByteWriter& w);
+extern template void EncodeUisrVm<SpanWriter>(const UisrVm& vm, SpanWriter& w);
 
 // Exact byte count EncodeUisrVm produces for `vm`, without encoding.
 size_t EncodedUisrSize(const UisrVm& vm);
@@ -96,6 +108,23 @@ Result<UisrSectionLayout> IndexUisrSections(std::span<const uint8_t> blob);
 // header and the next header in a full encode.
 std::vector<uint8_t> EncodeUisrSectionPayload(const UisrVm& vm, UisrSectionType type,
                                               size_t ordinal);
+
+// Exact byte count EncodeUisrSectionPayload would produce, without encoding.
+// Lets reconcile pre-size arena scratch (and reject a size drift) before
+// paying for the encode.
+size_t UisrSectionPayloadSize(const UisrVm& vm, UisrSectionType type, size_t ordinal);
+
+// Writer-targeted form of EncodeUisrSectionPayload: appends the payload bytes
+// to `w` instead of materializing a vector. Instantiated for ByteWriter and
+// SpanWriter (arena scratch) in codec.cc.
+template <typename Writer>
+void EncodeUisrSectionPayloadTo(const UisrVm& vm, UisrSectionType type, size_t ordinal,
+                                Writer& w);
+
+extern template void EncodeUisrSectionPayloadTo<ByteWriter>(const UisrVm&, UisrSectionType,
+                                                            size_t, ByteWriter&);
+extern template void EncodeUisrSectionPayloadTo<SpanWriter>(const UisrVm&, UisrSectionType,
+                                                            size_t, SpanWriter&);
 
 // Overwrites one section's payload in place. The replacement must be exactly
 // `span.payload_size` bytes (section lengths are fixed by the TLV header);

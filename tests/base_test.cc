@@ -3,10 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "src/base/arena.h"
 #include "src/base/bytes.h"
 #include "src/base/crc32.h"
 #include "src/base/json.h"
@@ -128,6 +131,71 @@ TEST(Crc32Test, DetectsSingleBitFlip) {
   EXPECT_NE(Crc32(data), before);
 }
 
+std::vector<uint8_t> PatternBytes(size_t n, uint32_t seed) {
+  std::vector<uint8_t> data(n);
+  uint32_t x = seed;
+  for (size_t i = 0; i < n; ++i) {
+    x = x * 1664525u + 1013904223u;  // LCG; any fixed mixing works.
+    data[i] = static_cast<uint8_t>(x >> 24);
+  }
+  return data;
+}
+
+// The streaming composition property the UISR/PRAM CRC users rely on:
+// Crc32Update(Crc32(a), b) == Crc32(a || b), for every split — including the
+// degenerate ones. Pinned before slice-by-8 landed, so a table bug that
+// breaks composition (not just absolute values) can't slip through.
+TEST(Crc32Test, StreamingComposition) {
+  const std::vector<uint8_t> whole = PatternBytes(257, 0x5EED);
+  const uint32_t expected = Crc32(whole);
+  for (size_t split : {size_t{0}, size_t{1}, size_t{7}, size_t{8}, size_t{9}, size_t{64},
+                       size_t{100}, size_t{256}, size_t{257}}) {
+    const auto a = std::span<const uint8_t>(whole).first(split);
+    const auto b = std::span<const uint8_t>(whole).subspan(split);
+    EXPECT_EQ(Crc32Update(Crc32(a), b), expected) << "split at " << split;
+  }
+}
+
+TEST(Crc32Test, EmptyAndSingleByte) {
+  EXPECT_EQ(Crc32(std::span<const uint8_t>{}), 0u);
+  // CRC of one zero byte (standard reflected CRC-32).
+  const uint8_t zero = 0;
+  EXPECT_EQ(Crc32(std::span<const uint8_t>(&zero, 1)), 0xD202EF8Du);
+  const uint8_t ff = 0xFF;
+  EXPECT_EQ(Crc32(std::span<const uint8_t>(&ff, 1)), 0xFF000000u);
+  // Updating with an empty span is the identity.
+  EXPECT_EQ(Crc32Update(0x12345678u, std::span<const uint8_t>{}), 0x12345678u);
+}
+
+// Slice-by-8 processes 8-byte words with scalar head/tail loops; lengths
+// around the word boundary exercise every head/body/tail combination.
+TEST(Crc32Test, UnalignedHeadAndTailMatchBitwise) {
+  for (size_t n = 0; n <= 40; ++n) {
+    const std::vector<uint8_t> data = PatternBytes(n, static_cast<uint32_t>(n) * 7919u);
+    EXPECT_EQ(Crc32(data), Crc32UpdateBitwise(0, data)) << "length " << n;
+    // Composition with an unaligned head chunk too.
+    if (n >= 3) {
+      const auto head = std::span<const uint8_t>(data).first(3);
+      const auto tail = std::span<const uint8_t>(data).subspan(3);
+      EXPECT_EQ(Crc32Update(Crc32Update(0, head), tail), Crc32(data)) << "length " << n;
+    }
+  }
+}
+
+TEST(Crc32Test, BitwiseReferenceMatchesKnownVector) {
+  const char* s = "123456789";
+  std::vector<uint8_t> data(s, s + std::strlen(s));
+  EXPECT_EQ(Crc32UpdateBitwise(0, data), 0xCBF43926u);
+  EXPECT_EQ(Crc32UpdateBitwise(0, data), Crc32(data));
+}
+
+TEST(Crc32Test, SlicedMatchesBitwiseOnLargeBuffers) {
+  for (size_t n : {size_t{1000}, size_t{4096}, size_t{65536 + 13}}) {
+    const std::vector<uint8_t> data = PatternBytes(n, 0xC0FFEE);
+    EXPECT_EQ(Crc32(data), Crc32UpdateBitwise(0, data)) << "length " << n;
+  }
+}
+
 TEST(BytesTest, IntegerRoundTrip) {
   ByteWriter w;
   w.PutU8(0x12);
@@ -187,6 +255,150 @@ TEST(BytesTest, SkipAdvancesAndBoundsChecks) {
   EXPECT_TRUE(r.Skip(4).ok());
   EXPECT_EQ(r.remaining(), 4u);
   EXPECT_FALSE(r.Skip(5).ok());
+}
+
+// A span claiming more bytes than the u32 length prefix can carry. The data
+// pointer backs only a handful of real bytes — safe because the writers'
+// guard fires on size() before any byte is touched.
+std::span<const uint8_t> OversizedSpan(const std::vector<uint8_t>& storage) {
+  return std::span<const uint8_t>(storage.data(), kMaxLengthPrefixedBytes + 1);
+}
+
+TEST(BytesDeathTest, ByteWriterRejectsOversizedLengthPrefixed) {
+  const std::vector<uint8_t> storage(8, 0xAA);
+  EXPECT_DEATH(
+      {
+        ByteWriter w;
+        w.PutLengthPrefixed(OversizedSpan(storage));
+      },
+      "check failed");
+}
+
+TEST(BytesDeathTest, ByteWriterRejectsOversizedString) {
+  const std::vector<uint8_t> storage(8, 0x41);
+  EXPECT_DEATH(
+      {
+        ByteWriter w;
+        w.PutString(std::string_view(reinterpret_cast<const char*>(storage.data()),
+                                     kMaxLengthPrefixedBytes + 1));
+      },
+      "check failed");
+}
+
+TEST(BytesDeathTest, ByteCounterMirrorsTheGuard) {
+  // The pre-pass must fail exactly where the real encode would; a counter
+  // that silently wraps would mis-size the frame extent instead.
+  const std::vector<uint8_t> storage(8, 0xAA);
+  EXPECT_DEATH(
+      {
+        ByteCounter c;
+        c.PutLengthPrefixed(OversizedSpan(storage));
+      },
+      "check failed");
+}
+
+TEST(BytesTest, SpanWriterMatchesByteWriterByteForByte) {
+  const std::vector<uint8_t> blob = {9, 8, 7, 6, 5};
+  auto encode = [&](auto& w) {
+    w.PutU8(0x12);
+    w.PutU16(0x3456);
+    w.PutU32(0);  // Placeholder for the patch below.
+    w.PutU64(0x0123456789ABCDEFull);
+    w.PutString("hypertp");
+    w.PutLengthPrefixed(blob);
+    w.PatchU32(3, static_cast<uint32_t>(w.size()));
+  };
+
+  ByteWriter reference;
+  encode(reference);
+
+  ByteCounter counter;
+  encode(counter);
+  ASSERT_EQ(counter.size(), reference.size());
+
+  std::vector<uint8_t> storage(counter.size());
+  SpanWriter sw{std::span<uint8_t>(storage)};
+  sw.Reserve(counter.size());
+  encode(sw);
+  EXPECT_EQ(sw.size(), storage.size());
+  EXPECT_EQ(storage, reference.bytes());
+}
+
+TEST(BytesTest, SpanWriterWrittenViewsSuffix) {
+  std::vector<uint8_t> storage(16);
+  SpanWriter w{std::span<uint8_t>(storage)};
+  w.PutU32(0xAABBCCDD);
+  w.PutU32(0x11223344);
+  const auto all = w.Written(0);
+  EXPECT_EQ(all.size(), 8u);
+  const auto tail = w.Written(4);
+  ASSERT_EQ(tail.size(), 4u);
+  EXPECT_EQ(tail[0], 0x44);
+}
+
+TEST(BytesDeathTest, SpanWriterAbortsOnOverflow) {
+  std::vector<uint8_t> storage(3);
+  EXPECT_DEATH(
+      {
+        SpanWriter w{std::span<uint8_t>(storage)};
+        w.PutU32(1);  // 4 bytes into a 3-byte span.
+      },
+      "check failed");
+}
+
+TEST(BytesDeathTest, SpanWriterReserveRejectsUndersizedStorage) {
+  std::vector<uint8_t> storage(8);
+  EXPECT_DEATH(
+      {
+        SpanWriter w{std::span<uint8_t>(storage)};
+        w.Reserve(9);
+      },
+      "check failed");
+}
+
+TEST(ArenaTest, AllocationsAreZeroedAndDisjoint) {
+  Arena arena(64);
+  std::span<uint8_t> a = arena.Alloc(16);
+  std::span<uint8_t> b = arena.Alloc(16);
+  ASSERT_EQ(a.size(), 16u);
+  ASSERT_EQ(b.size(), 16u);
+  for (uint8_t byte : a) {
+    EXPECT_EQ(byte, 0);
+  }
+  std::fill(a.begin(), a.end(), 0xAA);
+  for (uint8_t byte : b) {
+    EXPECT_EQ(byte, 0) << "neighbouring allocation clobbered";
+  }
+  EXPECT_EQ(arena.allocated(), 32u);
+}
+
+TEST(ArenaTest, GrowsPastTheInitialBlock) {
+  Arena arena(32);
+  (void)arena.Alloc(24);
+  std::span<uint8_t> big = arena.Alloc(1000);  // Larger than any block so far.
+  ASSERT_EQ(big.size(), 1000u);
+  big[999] = 0x5A;
+  EXPECT_GE(arena.capacity(), 1024u);
+}
+
+TEST(ArenaTest, ResetRecyclesAndRezeroes) {
+  Arena arena(64);
+  std::span<uint8_t> first = arena.Alloc(48);
+  std::fill(first.begin(), first.end(), 0xFF);
+  arena.Reset();
+  EXPECT_EQ(arena.allocated(), 0u);
+  std::span<uint8_t> again = arena.Alloc(48);
+  ASSERT_EQ(again.size(), 48u);
+  // Same storage may be handed back, but never the previous contents.
+  for (uint8_t byte : again) {
+    EXPECT_EQ(byte, 0);
+  }
+}
+
+TEST(ArenaTest, ZeroByteAllocIsEmpty) {
+  Arena arena;
+  EXPECT_TRUE(arena.Alloc(0).empty());
+  EXPECT_EQ(arena.allocated(), 0u);
 }
 
 std::string JsonString(std::string_view s) {

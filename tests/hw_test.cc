@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "src/hw/machine.h"
 #include "src/hw/physical_memory.h"
 
@@ -150,6 +152,100 @@ TEST(PhysicalMemoryTest, ReassignChangesOwner) {
   ASSERT_TRUE(ram.Reassign(m, 4, kGuest2).ok());
   EXPECT_EQ(ram.OwnerOf(m).value(), kGuest2);
   EXPECT_FALSE(ram.Reassign(m, 3, kGuest1).ok());
+}
+
+TEST(PhysicalMemoryTest, BackExtentProvidesZeroedContiguousStorage) {
+  PhysicalMemory ram(1 << 20);
+  Mfn base = ram.Alloc(4, 1, kGuest1).value();
+  auto backing = ram.BackExtent(base, 4);
+  ASSERT_TRUE(backing.ok()) << backing.error().ToString();
+  ASSERT_EQ(backing->size(), 4 * kPageSize);
+  for (uint8_t b : *backing) {
+    ASSERT_EQ(b, 0);
+  }
+
+  // Bytes written through the span are visible to page reads at the right
+  // frame offset, and page writes land back in the span.
+  (*backing)[kPageSize + 5] = 0xAB;
+  auto page = ram.ReadPage(base + 1);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ((*page)[5], 0xAB);
+  ASSERT_TRUE(ram.WritePage(base + 2, {0x11, 0x22}).ok());
+  EXPECT_EQ((*backing)[2 * kPageSize], 0x11);
+  EXPECT_EQ((*backing)[2 * kPageSize + 1], 0x22);
+}
+
+TEST(PhysicalMemoryTest, BackExtentRejectsInvalidRanges) {
+  PhysicalMemory ram(1 << 20);
+  Mfn base = ram.Alloc(4, 1, kGuest1).value();
+  EXPECT_FALSE(ram.BackExtent(base, 0).ok());
+  EXPECT_FALSE(ram.BackExtent(base, 5).ok());       // Runs past the extent.
+  EXPECT_FALSE(ram.BackExtent(base + 100, 1).ok()); // Unallocated.
+  // A range straddling two separately allocated extents is rejected even if
+  // the frames happen to be adjacent.
+  Mfn second = ram.Alloc(4, 1, kGuest1).value();
+  if (second == base + 4) {
+    EXPECT_FALSE(ram.BackExtent(base, 8).ok());
+  }
+}
+
+TEST(PhysicalMemoryTest, BackedExtentRequiresExactKey) {
+  PhysicalMemory ram(1 << 20);
+  Mfn base = ram.Alloc(4, 1, kGuest1).value();
+  ASSERT_TRUE(ram.BackExtent(base, 4).ok());
+  EXPECT_TRUE(ram.BackedExtent(base, 4).ok());
+  EXPECT_FALSE(ram.BackedExtent(base, 2).ok());      // Size mismatch.
+  EXPECT_FALSE(ram.BackedExtent(base + 1, 3).ok());  // Interior start.
+  EXPECT_FALSE(ram.BackedExtent(base + 4, 1).ok());  // Never backed.
+}
+
+TEST(PhysicalMemoryTest, FreeDropsBacking) {
+  PhysicalMemory ram(1 << 20);
+  Mfn base = ram.Alloc(4, 1, kGuest1).value();
+  auto backing = ram.BackExtent(base, 4);
+  ASSERT_TRUE(backing.ok());
+  (*backing)[0] = 0xEE;
+  ASSERT_TRUE(ram.Free(base, 4).ok());
+  EXPECT_FALSE(ram.BackedExtent(base, 4).ok());
+  // Re-allocating and re-backing the same frames yields fresh zeroed storage.
+  Mfn again = ram.Alloc(4, 1, kGuest1).value();
+  ASSERT_EQ(again, base);  // First-fit returns the same hole.
+  auto fresh = ram.BackExtent(again, 4);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ((*fresh)[0], 0);
+}
+
+TEST(PhysicalMemoryTest, BackExtentSkipZeroPrefixStillZeroesTheTail) {
+  PhysicalMemory ram(1 << 20);
+  Mfn base = ram.Alloc(2, 1, kGuest1).value();
+  const size_t prefix = kPageSize + 100;
+  auto backing = ram.BackExtent(base, 2, prefix);
+  ASSERT_TRUE(backing.ok());
+  // The prefix is the caller's to fill; everything past it must be zero.
+  for (size_t i = prefix; i < backing->size(); ++i) {
+    ASSERT_EQ((*backing)[i], 0) << "offset " << i;
+  }
+  std::fill(backing->begin(), backing->begin() + static_cast<ptrdiff_t>(prefix), 0x77);
+  auto page = ram.ReadPage(base + 1);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ((*page)[99], 0x77);
+  EXPECT_EQ((*page)[100], 0x00);
+  // A skip larger than the backing is clamped, not an error.
+  Mfn other = ram.Alloc(1, 1, kGuest1).value();
+  EXPECT_TRUE(ram.BackExtent(other, 1, 10 * kPageSize).ok());
+}
+
+TEST(PhysicalMemoryTest, ReBackingResetsContents) {
+  PhysicalMemory ram(1 << 20);
+  Mfn base = ram.Alloc(2, 1, kGuest1).value();
+  auto first = ram.BackExtent(base, 2);
+  ASSERT_TRUE(first.ok());
+  std::fill(first->begin(), first->end(), 0x5A);
+  auto second = ram.BackExtent(base, 2);
+  ASSERT_TRUE(second.ok());
+  for (uint8_t b : *second) {
+    ASSERT_EQ(b, 0);
+  }
 }
 
 TEST(MachineTest, ProfilesMatchTable3) {

@@ -264,6 +264,82 @@ TEST(PramPreservationTest, SurvivesScrubWithHostileNeighbors) {
   EXPECT_EQ(guest_alloc, guest_frames);
 }
 
+// Reference implementation of entry construction: the original per-frame
+// greedy loop. BuildEntriesForRange must emit exactly these entries.
+std::vector<PramPageEntry> GreedyEntries(Gfn gfn, Mfn mfn, uint64_t frames, bool huge_pages) {
+  std::vector<PramPageEntry> out;
+  uint64_t i = 0;
+  while (i < frames) {
+    if (huge_pages && (gfn + i) % kFramesPerHugePage == 0 &&
+        (mfn + i) % kFramesPerHugePage == 0 && frames - i >= kFramesPerHugePage) {
+      out.push_back(PramPageEntry{gfn + i, mfn + i, 9});
+      i += kFramesPerHugePage;
+    } else {
+      out.push_back(PramPageEntry{gfn + i, mfn + i, 0});
+      ++i;
+    }
+  }
+  return out;
+}
+
+TEST(BuildEntriesTest, RangeMatchesGreedyReference) {
+  struct Case {
+    Gfn gfn;
+    Mfn mfn;
+    uint64_t frames;
+    bool huge_pages;
+  };
+  const Case cases[] = {
+      {0, 0, 0, true},            // Empty range.
+      {0, 1024, 1, true},         // Single frame.
+      {0, 512, 512, true},        // Exactly one aligned huge page.
+      {0, 512, 1536, true},       // Three aligned huge pages.
+      {3, 515, 1200, true},       // Misaligned head, aligned middle, tail.
+      {3, 515, 508, true},        // Head only, never reaches a boundary.
+      {0, 512, 511, true},        // One short of a huge page: all singles.
+      {7, 512, 2048, true},       // gfn%512 != mfn%512: unalignable forever.
+      {512, 513, 4096, true},     // Off by one: also unalignable.
+      {0, 512, 1536, false},      // huge_pages off: all order-0.
+      {100, 700, 1500, true},     // Same misalignment offset: alignable.
+      {511, 1023, 1025, true},    // Single head frame then huge pages.
+  };
+  for (const Case& c : cases) {
+    std::vector<PramPageEntry> got;
+    BuildEntriesForRange(c.gfn, c.mfn, c.frames, c.huge_pages, got);
+    EXPECT_EQ(got, GreedyEntries(c.gfn, c.mfn, c.frames, c.huge_pages))
+        << "gfn " << c.gfn << " mfn " << c.mfn << " frames " << c.frames << " huge "
+        << c.huge_pages;
+  }
+}
+
+TEST(BuildEntriesTest, BuildPageEntriesMatchesPerRunGreedy) {
+  // A scattered map: several contiguous runs with gfn holes and one
+  // mfn discontinuity inside a gfn-contiguous stretch.
+  std::vector<std::pair<Gfn, Mfn>> map;
+  auto add_run = [&map](Gfn gfn, Mfn mfn, uint64_t frames) {
+    for (uint64_t i = 0; i < frames; ++i) {
+      map.emplace_back(gfn + i, mfn + i);
+    }
+  };
+  add_run(0, 1024, 700);       // Aligned start, partial tail.
+  add_run(700, 4096, 324);     // gfn contiguous with previous but mfn jumps.
+  add_run(2048, 10240, 1024);  // gfn hole before an aligned run.
+  add_run(4000, 20001, 600);   // Unalignable run.
+
+  for (bool huge_pages : {false, true}) {
+    std::vector<PramPageEntry> expected;
+    auto append = [&](Gfn gfn, Mfn mfn, uint64_t frames) {
+      auto e = GreedyEntries(gfn, mfn, frames, huge_pages);
+      expected.insert(expected.end(), e.begin(), e.end());
+    };
+    append(0, 1024, 700);
+    append(700, 4096, 324);
+    append(2048, 10240, 1024);
+    append(4000, 20001, 600);
+    EXPECT_EQ(BuildPageEntries(map, huge_pages), expected) << "huge " << huge_pages;
+  }
+}
+
 TEST(PramImageTest, FindFile) {
   PramImage image;
   image.files.push_back(PramFile{7, "a", 0, false, {}});

@@ -52,6 +52,13 @@ HYPERTP_BENCH_DIR="${bench_out}" \
   "${build_dir}/bench/bench_fault_storm" --smoke > /dev/null
 test -s "${bench_out}/BENCH_fault_storm_smoke.json" \
   || { echo "missing BENCH_fault_storm_smoke.json" >&2; exit 1; }
+# The micro-primitives bench drives the zero-copy encode-to-PRAM path
+# (PramFrameWriter + SpanWriter) and the sliced CRC against raw buffers —
+# exactly the pointer arithmetic ASan/UBSan exist to check.
+HYPERTP_BENCH_DIR="${bench_out}" \
+  "${build_dir}/bench/bench_micro_primitives" --smoke > /dev/null
+test -s "${bench_out}/BENCH_micro_primitives.json" \
+  || { echo "missing BENCH_micro_primitives.json" >&2; exit 1; }
 echo "sanitized bench smoke-run OK (${bench_out})"
 
 # --- ThreadSanitizer stage -------------------------------------------------
@@ -68,6 +75,9 @@ cmake --build "${tsan_dir}" -j "$(nproc)" \
 
 export TSAN_OPTIONS="halt_on_error=1"
 HYPERTP_PARALLEL=4 "${tsan_dir}/tests/worker_pool_test"
+# pipeline_test includes the batched zero-copy encode (EncodeVmStatesIntoPram)
+# parity test at 4 threads: each worker encodes into its own pre-mapped PRAM
+# frame span, so TSan proves the spans really are disjoint.
 HYPERTP_PARALLEL=4 "${tsan_dir}/tests/pipeline_test"
 # Pre-translation runs Extract+UisrEncode on the real worker pool while the
 # transplant bookkeeping continues on the caller thread — race it too.
