@@ -1,6 +1,7 @@
 #include "src/campaign/campaign.h"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -30,6 +31,7 @@ FleetConfig ShardFleetConfig(const CampaignConfig& config) {
   fleet.post_pause_fraction = config.post_pause_fraction;
   fleet.rollback_failure_probability = config.rollback_failure_probability;
   fleet.rollback_time = config.rollback_time;
+  fleet.policy = config.policy;
   return fleet;
 }
 
@@ -57,6 +59,14 @@ Result<CampaignPlan> PlanCampaign(const CampaignConfig& config) {
     if (dc.bandwidth_slots < 0) {
       return InvalidArgumentError(where + ": bandwidth_slots must be >= 0, got " +
                                   std::to_string(dc.bandwidth_slots));
+    }
+    if (!(dc.link_gbps >= 0.0) || !std::isfinite(dc.link_gbps)) {
+      return InvalidArgumentError(where + ": link_gbps must be finite and >= 0, got " +
+                                  std::to_string(dc.link_gbps));
+    }
+    if (!(dc.host_headroom >= 0.0 && dc.host_headroom <= 1.0)) {
+      return InvalidArgumentError(where + ": host_headroom must be a fraction in [0, 1], got " +
+                                  std::to_string(dc.host_headroom));
     }
     // Per-DC crash storms fail fast with the fleet layer's own field-naming
     // errors, prefixed with the datacenter they came from.
@@ -167,6 +177,17 @@ std::string CampaignReportToJson(const CampaignReport& report) {
   j.Key("crash_upgrades").Number(static_cast<int64_t>(report.crash_upgrades));
   j.Key("crash_data_loss").Number(static_cast<int64_t>(report.crash_data_loss));
   j.Key("lost").Number(static_cast<int64_t>(report.lost));
+  // Adaptive-only block: kFixed campaign JSON stays byte-identical.
+  if (report.policy_adaptive) {
+    j.Key("refused").Number(static_cast<int64_t>(report.refused));
+    j.Key("policy").BeginObject();
+    j.Key("mode").String("adaptive");
+    j.Key("inplace_vms").Number(static_cast<int64_t>(report.policy_inplace_vms));
+    j.Key("migrate_vms").Number(static_cast<int64_t>(report.policy_migrate_vms));
+    j.Key("refused_vms").Number(static_cast<int64_t>(report.policy_refused_vms));
+    j.Key("vm_downtime_ms").Number(ToMillis(report.policy_vm_downtime));
+    j.EndObject();
+  }
   j.Key("aborted").Bool(report.aborted);
   j.Key("complete").Bool(report.complete);
   j.Key("makespan_ms").Number(ToMillis(report.makespan));
@@ -222,6 +243,9 @@ std::string CampaignReportToJson(const CampaignReport& report) {
     j.Key("crashes").Number(static_cast<int64_t>(shard.crashes));
     j.Key("crash_rollbacks").Number(static_cast<int64_t>(shard.crash_rollbacks));
     j.Key("lost").Number(static_cast<int64_t>(shard.lost));
+    if (report.policy_adaptive) {
+      j.Key("refused").Number(static_cast<int64_t>(shard.refused));
+    }
     j.Key("aborted").Bool(shard.aborted);
     j.Key("complete").Bool(shard.complete);
     j.Key("admitted_ms").Number(shard.admitted < 0 ? -1.0 : ToMillis(shard.admitted));
@@ -272,6 +296,13 @@ Result<CampaignReport> CampaignPlanner::Run() {
   };
   std::vector<std::unique_ptr<ShardRuntime>> shards;
   shards.reserve(plan.shards.size());
+  // Campaign-global host numbering base per datacenter (cumulative hosts of
+  // the DCs before it): the adaptive policy keys every host plan on this id,
+  // so decisions are invariant under resharding.
+  std::vector<int64_t> dc_base(config_.datacenters.size(), 0);
+  for (size_t d = 1; d < config_.datacenters.size(); ++d) {
+    dc_base[d] = dc_base[d - 1] + config_.datacenters[d - 1].hosts();
+  }
   Rng root(config_.seed);
   for (const CampaignShardPlan& shard_plan : plan.shards) {
     auto rt = std::make_unique<ShardRuntime>();
@@ -292,6 +323,23 @@ Result<CampaignReport> CampaignPlanner::Run() {
       fleet.crash_storm = dc.crash_storm;
       fleet.crash_storm.rate_per_hour *=
           static_cast<double>(shard_plan.hosts) / static_cast<double>(dc.hosts());
+    }
+    // Adaptive policy: the DC's environment signals override the config
+    // defaults, and shard-local host i maps to its campaign-global id via the
+    // rack layout (fault domain j == owned rack racks[j]; hosts round-robin
+    // over domains). Pure topology, so any shard count prices the same VMs.
+    if (config_.policy.adaptive()) {
+      fleet.policy.link_gbps = dc.link_gbps;
+      fleet.policy.host_headroom = dc.host_headroom;
+      fleet.policy.vms_per_host = dc.vms_per_host;
+      const int nracks = static_cast<int>(shard_plan.racks.size());
+      fleet.policy_host_global_ids.reserve(static_cast<size_t>(shard_plan.hosts));
+      for (int i = 0; i < shard_plan.hosts; ++i) {
+        const int rack = shard_plan.racks[static_cast<size_t>(i % nracks)];
+        fleet.policy_host_global_ids.push_back(
+            dc_base[static_cast<size_t>(shard_plan.datacenter)] +
+            static_cast<int64_t>(rack) * dc.hosts_per_rack + i / nracks);
+      }
     }
     fleet.seed = root.Fork().NextU64();  // Id-order forks: shard-independent.
     fleet.trace_capacity = static_cast<size_t>(std::max(shard_plan.hosts, 128)) * 8;
@@ -608,6 +656,7 @@ Result<CampaignReport> CampaignPlanner::Run() {
     summary.crashes = r.crashes;
     summary.crash_rollbacks = r.crash_rollbacks;
     summary.lost = r.lost;
+    summary.refused = r.refused;
     summary.aborted = r.aborted;
     summary.complete = r.complete;
     summary.admitted = rt->admitted ? rt->admitted_at : -1;
@@ -626,6 +675,11 @@ Result<CampaignReport> CampaignPlanner::Run() {
     report.crash_upgrades += r.crash_upgrades;
     report.crash_data_loss += r.crash_data_loss;
     report.lost += r.lost;
+    report.refused += r.refused;
+    report.policy_inplace_vms += r.policy_inplace_vms;
+    report.policy_migrate_vms += r.policy_migrate_vms;
+    report.policy_refused_vms += r.policy_refused_vms;
+    report.policy_vm_downtime += r.policy_vm_downtime;
     // Shard-id-order merge keeps the percentile bytes thread-count invariant.
     for (const double sample : r.recovery_latency_seconds.samples()) {
       report.recovery_latency_seconds.Add(sample);
@@ -638,6 +692,18 @@ Result<CampaignReport> CampaignPlanner::Run() {
   }
   report.makespan = end;
   report.complete = !report.aborted && report.upgraded == report.hosts;
+  report.policy_adaptive = config_.policy.adaptive();
+  // Campaign-scope decision counters. Shard controllers get no registry of
+  // their own (Counter::Increment is not atomic and shards advance on real
+  // threads), so the totals land here, once, at the coordinator.
+  if (report.policy_adaptive && config_.metrics != nullptr) {
+    config_.metrics->GetCounter("hypertp_policy_inplace")
+        .Increment(static_cast<uint64_t>(report.policy_inplace_vms));
+    config_.metrics->GetCounter("hypertp_policy_migrate")
+        .Increment(static_cast<uint64_t>(report.policy_migrate_vms));
+    config_.metrics->GetCounter("hypertp_policy_refused")
+        .Increment(static_cast<uint64_t>(report.policy_refused_vms));
+  }
 
   stream.Seal(std::max(now, end));
   report.final_fraction_vulnerable = stream.fraction_vulnerable();

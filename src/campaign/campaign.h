@@ -52,6 +52,12 @@ struct CampaignDatacenter {
   // DC's shards transplant concurrently (0 = unconstrained). Further shards
   // queue in id order and are admitted as slots free up.
   int bandwidth_slots = 0;
+  // Per-DC environment signals for the adaptive mechanism policy: migration
+  // link bandwidth and spare host capacity. Only consulted when
+  // CampaignConfig::policy is adaptive; a congested DC (low link_gbps or
+  // headroom) shifts its VMs toward InPlaceTP or refusal.
+  double link_gbps = 10.0;
+  double host_headroom = 0.5;
   // Seeded hypervisor-crash storm over this datacenter's hosts (disabled by
   // default). The DC-wide Poisson rate is split across the DC's shards in
   // proportion to their host counts (Poisson thinning), so the storm's
@@ -119,6 +125,14 @@ struct CampaignConfig {
   double rollback_failure_probability = 0.0;
   SimDuration rollback_time = Seconds(5);
 
+  // Adaptive mechanism selection (src/policy/), threaded into every shard's
+  // FleetController. The planner overrides the policy's environment defaults
+  // per datacenter (CampaignDatacenter::link_gbps / host_headroom) and keys
+  // every host plan on the host's campaign-global id, so decisions are
+  // byte-identical across shard counts and thread counts. kFixed (the
+  // default) keeps legacy behavior byte for byte.
+  policy::PolicyConfig policy;
+
   CampaignSlo slo;
   uint64_t seed = 1;
   // Real OS threads for epoch advancement (wall-clock only — output bytes
@@ -175,6 +189,7 @@ struct CampaignShardSummary {
   int crashes = 0;
   int crash_rollbacks = 0;
   int lost = 0;
+  int refused = 0;  // Hosts the adaptive policy excluded (0 under kFixed).
   bool aborted = false;
   bool complete = false;
   SimTime admitted = -1;  // -1: the campaign aborted before admission.
@@ -205,6 +220,14 @@ struct CampaignReport {
   int crash_upgrades = 0;
   int crash_data_loss = 0;
   int lost = 0;
+  // Adaptive mechanism policy totals (all zero/false under kFixed; absent
+  // from the JSON then, so legacy output stays byte-identical).
+  int refused = 0;
+  bool policy_adaptive = false;
+  int policy_inplace_vms = 0;
+  int policy_migrate_vms = 0;
+  int policy_refused_vms = 0;
+  SimDuration policy_vm_downtime = 0;
   int epochs = 0;
   int throttled_epochs = 0;
   bool aborted = false;   // SLO (or horizon) abort.

@@ -82,6 +82,52 @@ ClusterModel ClusterModel::PaperCluster(double inplace_fraction, uint64_t seed) 
   return cluster;
 }
 
+policy::VmActivity ToVmActivity(ClusterVmRole role) {
+  switch (role) {
+    case ClusterVmRole::kStreaming:
+      return policy::VmActivity::kStreaming;
+    case ClusterVmRole::kCpuMem:
+      return policy::VmActivity::kCpuMem;
+    case ClusterVmRole::kIdle:
+      return policy::VmActivity::kIdle;
+  }
+  return policy::VmActivity::kIdle;
+}
+
+policy::VmSignals ClusterVmSignals(const ClusterVm& vm) {
+  policy::VmSignals signals;
+  signals.memory_bytes = vm.memory_bytes;
+  signals.vcpus = vm.vcpus;
+  signals.activity = ToVmActivity(vm.role);
+  signals.dirty_fraction = policy::ActivityDirtyFraction(signals.activity);
+  signals.dirty_factor = policy::ActivityDirtyFactor(signals.activity);
+  return signals;
+}
+
+ClusterPolicyOutcome ApplyMechanismPolicy(ClusterModel& cluster,
+                                          const policy::MechanismPolicy& policy,
+                                          const policy::EnvSignals& env,
+                                          HypervisorKind target) {
+  ClusterPolicyOutcome outcome;
+  for (size_t v = 0; v < cluster.vms().size(); ++v) {
+    const policy::MechanismDecision decision =
+        policy.Decide(ClusterVmSignals(cluster.vms()[v]), env, target);
+    cluster.SetInplaceCompatible(v, decision.mechanism == policy::Mechanism::kInPlaceTP);
+    switch (decision.mechanism) {
+      case policy::Mechanism::kInPlaceTP:
+        ++outcome.inplace_vms;
+        break;
+      case policy::Mechanism::kMigrationTP:
+        ++outcome.migrate_vms;
+        break;
+      case policy::Mechanism::kRefuse:
+        ++outcome.refused_vms;
+        break;
+    }
+  }
+  return outcome;
+}
+
 int UpgradePlan::total_migrations() const {
   int n = 0;
   for (const UpgradeStep& step : steps) {
@@ -185,7 +231,6 @@ Result<UpgradePlan> PlanClusterUpgrade(const ClusterModel& cluster, int group_si
 Result<PlanExecutionStats> ExecuteClusterUpgrade(ClusterModel& cluster, const UpgradePlan& plan,
                                                  const ClusterExecutionParams& params) {
   PlanExecutionStats stats;
-  const double link_bytes_per_sec = params.network_gbps * 1e9 / 8.0 * 0.94;
 
   for (const UpgradeStep& step : plan.steps) {
     // Migrations first: `parallel_streams` run concurrently over the shared
@@ -198,23 +243,11 @@ Result<PlanExecutionStats> ExecuteClusterUpgrade(ClusterModel& cluster, const Up
     for (const MigrationOp& op : step.migrations) {
       HYPERTP_RETURN_IF_ERROR(cluster.MoveVm(op.vm, op.to_host));
       const auto& vm = cluster.vms()[op.vm];
-      // Dirty-rate inflation by workload role: streaming VMs rewrite buffers
-      // continuously and need extra pre-copy rounds; CPU+memory VMs less so.
-      double dirty_factor = 1.0;
-      switch (vm.role) {
-        case ClusterVmRole::kStreaming:
-          dirty_factor = 1.30;
-          break;
-        case ClusterVmRole::kCpuMem:
-          dirty_factor = 1.15;
-          break;
-        case ClusterVmRole::kIdle:
-          dirty_factor = 1.0;
-          break;
-      }
-      const SimDuration copy = static_cast<SimDuration>(
-          static_cast<double>(vm.memory_bytes) * dirty_factor / link_bytes_per_sec * 1e9);
-      const SimDuration migration = copy + params.per_migration_overhead;
+      // Dirty-rate inflation by workload role and the link arithmetic both
+      // live in the shared cost model now (same values, same expression).
+      const SimDuration migration = policy::TransplantCostModel::MigrationDuration(
+          vm.memory_bytes, policy::ActivityDirtyFactor(ToVmActivity(vm.role)),
+          params.network_gbps, params.per_migration_overhead);
       stats.migration_time += migration;
       auto slot = std::min_element(streams.begin(), streams.end());
       *slot += migration;

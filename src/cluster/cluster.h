@@ -1,13 +1,23 @@
 // Cluster-scale orchestration of HyperTP (paper §5.4).
 //
 // A BtrPlace-like reconfiguration planner: to upgrade the whole cluster's
-// hypervisor, hosts are taken offline in groups. VMs that tolerate a few
-// seconds of downtime are tagged InPlaceTP-compatible and simply stay on
-// their host through the micro-reboot; the rest must be live-migrated to
-// another host before their host's group goes offline. The planner produces
-// the migration plan; the executor computes the resulting wall-clock, which
-// reproduces Fig. 13: migrations (and total time) fall steeply as the
-// InPlaceTP-compatible share grows.
+// hypervisor, hosts are taken offline in groups. VMs tagged
+// InPlaceTP-compatible stay on their host through the micro-reboot; the rest
+// are live-migrated to another host before their host's group goes offline.
+// The planner produces the migration plan; the executor computes the
+// resulting wall-clock, which reproduces Fig. 13: migrations (and total
+// time) fall steeply as the InPlaceTP-compatible share grows.
+//
+// Two tagging modes feed the planner:
+//  - Legacy/static (the paper's): PaperCluster tags a fixed random fraction
+//    of VMs InPlaceTP-compatible. This stays the default, and replays are
+//    byte-identical to earlier builds.
+//  - Policy-driven: ApplyMechanismPolicy retags every VM from a per-VM
+//    MechanismPolicy decision (src/policy/) priced from the VM's memory
+//    size, dirty behavior, link bandwidth, headroom and rollback risk.
+// The executor's migration pricing itself delegates to the shared
+// TransplantCostModel, so a costing change lands here and in the fleet and
+// window-model layers at once.
 
 #ifndef HYPERTP_SRC_CLUSTER_CLUSTER_H_
 #define HYPERTP_SRC_CLUSTER_CLUSTER_H_
@@ -17,6 +27,7 @@
 
 #include "src/base/result.h"
 #include "src/hv/hypervisor.h"
+#include "src/policy/policy.h"
 #include "src/sim/rng.h"
 #include "src/sim/time.h"
 
@@ -60,6 +71,9 @@ class ClusterModel {
   // Moves a VM between hosts (capacity-checked).
   Result<void> MoveVm(size_t vm, size_t to_host);
   void MarkUpgraded(size_t host) { hosts_[host].upgraded = true; }
+  void SetInplaceCompatible(size_t vm, bool compatible) {
+    vms_[vm].inplace_compatible = compatible;
+  }
 
   // The paper's evaluation cluster: 10 hosts, 10 VMs each (1 vCPU / 4 GB),
   // 30% streaming / 30% CPU+mem / 40% idle, with `inplace_fraction` of the
@@ -70,6 +84,35 @@ class ClusterModel {
   std::vector<ClusterHost> hosts_;
   std::vector<ClusterVm> vms_;
 };
+
+// Cluster role → policy activity class (same three-way mix, different enum
+// order; the policy layer sits below cluster and cannot share the type).
+policy::VmActivity ToVmActivity(ClusterVmRole role);
+
+// Policy-layer view of one cluster VM: memory/vCPUs plus the dirty behavior
+// implied by its role.
+policy::VmSignals ClusterVmSignals(const ClusterVm& vm);
+
+// Tally of one ApplyMechanismPolicy pass.
+struct ClusterPolicyOutcome {
+  int inplace_vms = 0;
+  int migrate_vms = 0;
+  // VMs the policy refused (neither mechanism met its budget). The cluster
+  // planner has no refuse path — a refused VM is left untagged and will be
+  // evacuated like a MigrationTP one — but the count surfaces so callers can
+  // see the policy disagreed with executing at all.
+  int refused_vms = 0;
+};
+
+// Replaces the static tagging with per-VM policy decisions: every VM's
+// inplace_compatible flag is recomputed from MechanismPolicy::Decide on its
+// ClusterVmSignals. Deterministic (no RNG); with policy mode == kFixed the
+// caller should simply not call this, which preserves the legacy tagging
+// byte for byte.
+ClusterPolicyOutcome ApplyMechanismPolicy(ClusterModel& cluster,
+                                          const policy::MechanismPolicy& policy,
+                                          const policy::EnvSignals& env,
+                                          HypervisorKind target = HypervisorKind::kKvm);
 
 // One live migration in the plan.
 struct MigrationOp {

@@ -139,6 +139,16 @@ std::string OperationalReportToJson(const OperationalReport& report) {
   j.Key("lost").Number(static_cast<int64_t>(report.fleet_lost));
   j.Key("throttled_epochs").Number(static_cast<int64_t>(report.fleet_throttled_epochs));
   j.EndObject();
+  // Adaptive-only block: kFixed operational JSON stays byte-identical.
+  if (report.policy_adaptive) {
+    j.Key("policy").BeginObject();
+    j.Key("mode").String("adaptive");
+    j.Key("refused_hosts").Number(static_cast<int64_t>(report.fleet_refused_hosts));
+    j.Key("inplace_vms").Number(static_cast<int64_t>(report.policy_inplace_vms));
+    j.Key("migrate_vms").Number(static_cast<int64_t>(report.policy_migrate_vms));
+    j.Key("refused_vms").Number(static_cast<int64_t>(report.policy_refused_vms));
+    j.EndObject();
+  }
   j.Key("event_log").BeginArray();
   for (const std::string& line : report.event_log) {
     j.String(line);

@@ -6,6 +6,7 @@
 #include "src/base/json.h"
 #include "src/base/logging.h"
 #include "src/cluster/cluster.h"
+#include "src/obs/metrics.h"
 #include "src/pipeline/conversion.h"
 #include "src/sim/worker_pool.h"
 
@@ -33,6 +34,18 @@ std::string FleetRolloutReportToJson(const FleetRolloutReport& report) {
   j.Key("crash_data_loss").Number(static_cast<int64_t>(report.crash_data_loss));
   j.Key("crash_recovery_retries").Number(static_cast<int64_t>(report.crash_recovery_retries));
   j.Key("lost").Number(static_cast<int64_t>(report.lost));
+  // The policy block appears only for adaptive rollouts: kFixed reports stay
+  // byte-identical to pre-policy builds.
+  if (report.policy_adaptive) {
+    j.Key("refused").Number(static_cast<int64_t>(report.refused));
+    j.Key("policy").BeginObject();
+    j.Key("mode").String("adaptive");
+    j.Key("inplace_vms").Number(static_cast<int64_t>(report.policy_inplace_vms));
+    j.Key("migrate_vms").Number(static_cast<int64_t>(report.policy_migrate_vms));
+    j.Key("refused_vms").Number(static_cast<int64_t>(report.policy_refused_vms));
+    j.Key("vm_downtime_ms").Number(ToMillis(report.policy_vm_downtime));
+    j.EndObject();
+  }
   j.Key("aborted").Bool(report.aborted);
   j.Key("complete").Bool(report.complete);
   j.Key("makespan_ms").Number(ToMillis(report.makespan));
@@ -230,6 +243,23 @@ Result<void> ValidateFleetConfig(const FleetConfig& config) {
           std::to_string(mix));
     }
   }
+  if (auto r = policy::ValidatePolicyConfig(config.policy, "FleetConfig::policy."); !r.ok()) {
+    return r;
+  }
+  if (!config.policy_host_global_ids.empty()) {
+    if (static_cast<int>(config.policy_host_global_ids.size()) != config.hosts) {
+      return InvalidArgumentError(
+          "FleetConfig::policy_host_global_ids must be empty or have one entry per host, got " +
+          std::to_string(config.policy_host_global_ids.size()) + " for " +
+          std::to_string(config.hosts) + " hosts");
+    }
+    for (int64_t id : config.policy_host_global_ids) {
+      if (id < 0) {
+        return InvalidArgumentError("FleetConfig::policy_host_global_ids must be >= 0, got " +
+                                    std::to_string(id));
+      }
+    }
+  }
   return OkResult();
 }
 
@@ -269,6 +299,40 @@ FleetController::FleetController(SimExecutor& executor, FleetConfig config)
   // never perturbs the per-host draw sequences of an existing seed.
   if (config_.crash_storm.enabled()) {
     storm_rng_.emplace(root.Fork());
+  }
+  // Adaptive mechanism policy: plan every host up front. Plans are pure
+  // functions of (PolicyConfig, global host id, env) — no RNG — so the
+  // decision set is identical however the fleet is partitioned or scheduled.
+  if (config_.policy.adaptive()) {
+    policy_.emplace(config_.policy);
+    policy::EnvSignals env;
+    env.link_gbps = config_.policy.link_gbps;
+    env.host_headroom = config_.policy.host_headroom;
+    env.rollback_risk =
+        policy::LedgerRollbackRisk(config_.failure_probability, config_.post_pause_fraction);
+    env.migration_overhead = config_.policy.migration_overhead;
+    host_plans_.reserve(static_cast<size_t>(config_.hosts));
+    report_.policy_adaptive = true;
+    for (int i = 0; i < config_.hosts; ++i) {
+      const int64_t global_id = config_.policy_host_global_ids.empty()
+                                    ? i
+                                    : config_.policy_host_global_ids[static_cast<size_t>(i)];
+      host_plans_.push_back(policy_->PlanHost(global_id, env, config_.per_host_transplant,
+                                              config_.drain_time, config_.conversion_workers));
+      const policy::HostPolicyPlan& plan = host_plans_.back();
+      report_.policy_inplace_vms += plan.inplace_vms;
+      report_.policy_migrate_vms += plan.migrate_vms;
+      report_.policy_refused_vms += plan.refused_vms;
+      report_.refused += plan.refused();
+    }
+    if (config_.metrics != nullptr) {
+      config_.metrics->GetCounter("hypertp_policy_inplace")
+          .Increment(static_cast<uint64_t>(report_.policy_inplace_vms));
+      config_.metrics->GetCounter("hypertp_policy_migrate")
+          .Increment(static_cast<uint64_t>(report_.policy_migrate_vms));
+      config_.metrics->GetCounter("hypertp_policy_refused")
+          .Increment(static_cast<uint64_t>(report_.policy_refused_vms));
+    }
   }
   report_.hosts = config_.hosts;
 }
@@ -351,6 +415,13 @@ void FleetController::Start() {
   Emit(FleetEventType::kRolloutStart, -1);
   trace_.RecordExposure(base_, exposed_);
   for (int i = 0; i < config_.hosts; ++i) {
+    // A host with a refused guest never enters the rollout: it keeps serving
+    // the vulnerable hypervisor (and keeps accruing exposure). Emitted in id
+    // order, before any wave work, so the trace is partition-independent.
+    if (policy_.has_value() && host_plans_[static_cast<size_t>(i)].refused()) {
+      Emit(FleetEventType::kHostRefused, i);
+      continue;
+    }
     pending_.push_back(i);
   }
   if (storm_rng_.has_value()) {
@@ -412,6 +483,20 @@ void FleetController::StartNextWave() {
     config_.tracer->SetAttribute(wave_span_, "hosts_in_wave",
                                  static_cast<int64_t>(wave_hosts.size()));
   }
+  // Per-wave policy decision marker: what the adaptive policy resolved for
+  // this wave's guests (summed over the wave's hosts).
+  if (policy_.has_value() && config_.tracer != nullptr) {
+    int64_t wave_inplace = 0;
+    int64_t wave_migrate = 0;
+    for (int host : wave_hosts) {
+      wave_inplace += host_plans_[static_cast<size_t>(host)].inplace_vms;
+      wave_migrate += host_plans_[static_cast<size_t>(host)].migrate_vms;
+    }
+    const SpanId mark = config_.tracer->AddInstant("policy:decision", executor_.now(), "policy");
+    config_.tracer->SetAttribute(mark, "wave", static_cast<int64_t>(wave_));
+    config_.tracer->SetAttribute(mark, "inplace_vms", wave_inplace);
+    config_.tracer->SetAttribute(mark, "migrate_vms", wave_migrate);
+  }
   Emit(FleetEventType::kWaveStart, -1);
   for (int host : wave_hosts) {
     StartDrain(host);
@@ -424,7 +509,10 @@ void FleetController::StartDrain(int host) {
   h.drain_started = executor_.now();
   RollHostSpan(host, "drain");
   Emit(FleetEventType::kDrainStart, host);
-  executor_.ScheduleAfter(Jittered(config_.drain_time, host_rngs_[static_cast<size_t>(host)]),
+  const SimDuration drain = policy_.has_value()
+                                ? host_plans_[static_cast<size_t>(host)].drain_time
+                                : config_.drain_time;
+  executor_.ScheduleAfter(Jittered(drain, host_rngs_[static_cast<size_t>(host)]),
                           Guarded(&FleetController::StartTransplant, host));
 }
 
@@ -437,9 +525,11 @@ void FleetController::StartTransplant(int host) {
     config_.tracer->SetAttribute(span, "attempt", static_cast<int64_t>(h.attempts));
   }
   Emit(FleetEventType::kTransplantStart, host, h.attempts);
-  executor_.ScheduleAfter(
-      Jittered(config_.per_host_transplant, host_rngs_[static_cast<size_t>(host)]),
-      Guarded(&FleetController::FinishAttempt, host));
+  const SimDuration transplant = policy_.has_value()
+                                     ? host_plans_[static_cast<size_t>(host)].transplant_time
+                                     : config_.per_host_transplant;
+  executor_.ScheduleAfter(Jittered(transplant, host_rngs_[static_cast<size_t>(host)]),
+                          Guarded(&FleetController::FinishAttempt, host));
 }
 
 void FleetController::FinishAttempt(int host) {
@@ -450,6 +540,9 @@ void FleetController::FinishAttempt(int host) {
     h.finished = executor_.now();
     ++report_.upgraded;
     ++report_.transplant_successes;
+    if (policy_.has_value()) {
+      report_.policy_vm_downtime += host_plans_[static_cast<size_t>(host)].vm_downtime;
+    }
     if (config_.tracer != nullptr) {
       config_.tracer->SetAttribute(host_spans_[static_cast<size_t>(host)], "outcome", "upgraded");
     }
@@ -564,7 +657,8 @@ void FleetController::AccrueExposure() {
 void FleetController::Finalize(FleetEventType terminal) {
   finished_ = true;
   AccrueExposure();
-  report_.untouched = report_.hosts - report_.upgraded - report_.failed - report_.lost;
+  report_.untouched =
+      report_.hosts - report_.upgraded - report_.failed - report_.lost - report_.refused;
   report_.aborted = terminal == FleetEventType::kRolloutAborted;
   report_.complete = report_.upgraded == report_.hosts;
   report_.makespan = executor_.now() - base_;

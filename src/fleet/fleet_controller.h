@@ -60,6 +60,16 @@ struct FleetRolloutReport {
   int crash_recovery_retries = 0;
   int lost = 0;  // Hosts permanently down from crashes: ledger data loss,
                  // recovery budget exhausted, or a fleet that cannot recover.
+  // Adaptive mechanism policy (all zero/false with policy mode kFixed, and
+  // absent from the report JSON so legacy output stays byte-identical).
+  int refused = 0;             // Hosts excluded: a guest refused both mechanisms.
+  bool policy_adaptive = false;
+  int policy_inplace_vms = 0;  // Per-VM decisions across the whole fleet.
+  int policy_migrate_vms = 0;
+  int policy_refused_vms = 0;
+  // Per-VM downtime actually charged by upgraded hosts' plans (each in-place
+  // guest's expected pause + each migrated guest's switchover brownout).
+  SimDuration policy_vm_downtime = 0;
   bool aborted = false;
   bool complete = false;  // Every host upgraded.
   SimDuration makespan = 0;
@@ -188,6 +198,11 @@ class FleetController {
   SimExecutor& executor_;
   FleetConfig config_;
   std::optional<Error> config_error_;
+  // Adaptive mechanism policy (engaged when config_.policy.mode == kAdaptive):
+  // per-host plans are computed once at construction from each host's global
+  // id — pure functions of config, so any partition of the fleet agrees.
+  std::optional<policy::MechanismPolicy> policy_;
+  std::vector<policy::HostPolicyPlan> host_plans_;
   std::vector<FleetHost> hosts_;
   std::vector<Rng> host_rngs_;  // Forked in id order: interleaving-independent.
   FleetTrace trace_;

@@ -68,6 +68,8 @@ std::string_view FleetEventTypeName(FleetEventType type) {
       return "crash_rollback";
     case FleetEventType::kHostLost:
       return "host_lost";
+    case FleetEventType::kHostRefused:
+      return "host_refused";
   }
   return "unknown";
 }

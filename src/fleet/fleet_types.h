@@ -15,12 +15,15 @@
 #include <cstdint>
 #include <functional>
 #include <string_view>
+#include <vector>
 
+#include "src/policy/policy.h"
 #include "src/pram/ledger.h"
 #include "src/sim/time.h"
 
 namespace hypertp {
 
+class MetricsRegistry;
 class Tracer;
 
 // Host lifecycle: kServing -> kDraining -> kTransplanting -> kServing
@@ -89,6 +92,10 @@ enum class FleetEventType : uint8_t {
                        // source kind (crash-induced rollback; re-exposes).
   kHostLost,           // VMs lost: torn/stale ledger, recovery budget
                        // exhausted, or a fixed fleet that cannot recover.
+  // Appended: adaptive mechanism policy (src/policy/).
+  kHostRefused,        // Policy refused a guest on this host: neither
+                       // mechanism met its budget. Host keeps serving the
+                       // vulnerable hypervisor, never enters a wave.
 };
 
 std::string_view FleetEventTypeName(FleetEventType type);
@@ -233,6 +240,24 @@ struct FleetConfig {
   // Injected hypervisor-crash storm + unplanned recovery policy. Disabled by
   // default (rate 0): legacy configs keep their exact draw sequences.
   CrashStormConfig crash_storm;
+
+  // Adaptive mechanism selection (src/policy/). With the default mode
+  // (kFixed) the policy is inert: timings, draws, events and reports are
+  // byte-identical to pre-policy builds. With kAdaptive, every host's guests
+  // are priced per VM (SyntheticVmSignals over the host's *global* id) and
+  // the per-host drain/transplant durations and per-VM downtime come from
+  // the resulting HostPolicyPlan; hosts with a refused guest are excluded
+  // from the rollout and emit kHostRefused.
+  policy::PolicyConfig policy;
+  // Global host ids for partition invariance: entry i is the fleet-wide id
+  // of local host i. Empty = identity (local id == global id). The campaign
+  // planner fills this from the datacenter rack layout so a fleet split into
+  // any number of shards prices the same VM population identically.
+  std::vector<int64_t> policy_host_global_ids;
+  // Adaptive-mode decision counters (hypertp_policy_{inplace,migrate,
+  // refused}). Null records nothing. Must not be shared across concurrently
+  // running controllers (counters are not atomic).
+  MetricsRegistry* metrics = nullptr;
 
   uint64_t seed = 1;
   size_t trace_capacity = 65536;  // Ring buffer: oldest events drop first.

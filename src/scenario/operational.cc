@@ -35,6 +35,11 @@ OperationalReport RunOperationalSimulation(const OperationalConfig& config) {
   // Dedicated stream for fleet rollouts, forked unconditionally so the
   // disclosure sequence is identical across fleet modes for one seed.
   Rng fleet_stream = rng.Fork();
+  // Adaptive mechanism policy: only the event-driven modes execute per-host
+  // work the policy can adapt; the closed form stays a pure multiplication.
+  const bool adaptive = config.fleet_policy.adaptive() &&
+                        config.fleet_mode != FleetExecutionMode::kClosedForm;
+  report.policy_adaptive = adaptive;
   // One nested executor reused across every rollout of the year (an aborted
   // rollout's Stop() must not poison the next one).
   SimExecutor fleet_executor;
@@ -58,6 +63,10 @@ OperationalReport RunOperationalSimulation(const OperationalConfig& config) {
     if (config.fleet_mode == FleetExecutionMode::kFaultStorm) {
       fleet_config.crash_storm = config.fleet_storm;
     }
+    if (adaptive) {
+      fleet_config.policy = config.fleet_policy;
+      fleet_config.policy.vms_per_host = config.vms_per_host;
+    }
     fleet_config.seed = fleet_stream.NextU64();
     FleetController controller(fleet_executor, fleet_config);
     const FleetRolloutReport& rollout = controller.Run();
@@ -73,6 +82,15 @@ OperationalReport RunOperationalSimulation(const OperationalConfig& config) {
     report.fleet_crash_live_recoveries += rollout.crash_live_recoveries;
     report.fleet_crash_rollbacks += rollout.crash_rollbacks;
     report.fleet_lost += rollout.lost;
+    if (adaptive) {
+      report.fleet_refused_hosts += rollout.refused;
+      report.policy_inplace_vms += rollout.policy_inplace_vms;
+      report.policy_migrate_vms += rollout.policy_migrate_vms;
+      report.policy_refused_vms += rollout.policy_refused_vms;
+      // Per-VM downtime is what the plans actually charged, not the flat
+      // per_vm_downtime constant (the call sites skip that charge).
+      report.vm_downtime_paid += rollout.policy_vm_downtime;
+    }
     if (fleet_config.hosts > 0 && !rollout.complete) {
       // Lost hosts are dead, not exposed; only stranded-but-running hosts
       // keep accruing the residual patch wait.
@@ -106,6 +124,12 @@ OperationalReport RunOperationalSimulation(const OperationalConfig& config) {
     cc.rollback_failure_probability = config.fleet_rollback_failure_probability;
     cc.rollback_time = config.fleet_rollback_time;
     cc.slo = config.campaign_slo;
+    if (adaptive) {
+      cc.policy = config.fleet_policy;
+      // The single synthetic DC carries the policy's environment signals.
+      cc.datacenters[0].link_gbps = config.fleet_policy.link_gbps;
+      cc.datacenters[0].host_headroom = config.fleet_policy.host_headroom;
+    }
     cc.seed = fleet_stream.NextU64();
     CampaignPlanner planner(std::move(cc));
     Result<CampaignReport> run = planner.Run();
@@ -122,6 +146,13 @@ OperationalReport RunOperationalSimulation(const OperationalConfig& config) {
     report.fleet_rollbacks += campaign.rollbacks;
     report.fleet_rollback_failures += campaign.rollback_failures;
     report.fleet_throttled_epochs += campaign.throttled_epochs;
+    if (adaptive) {
+      report.fleet_refused_hosts += campaign.refused;
+      report.policy_inplace_vms += campaign.policy_inplace_vms;
+      report.policy_migrate_vms += campaign.policy_migrate_vms;
+      report.policy_refused_vms += campaign.policy_refused_vms;
+      report.vm_downtime_paid += campaign.policy_vm_downtime;
+    }
     if (campaign.hosts > 0 && !campaign.complete) {
       const double stranded_fraction =
           static_cast<double>(campaign.hosts - campaign.upgraded) / campaign.hosts;
@@ -220,7 +251,11 @@ OperationalReport RunOperationalSimulation(const OperationalConfig& config) {
             tracer->SetAttribute(rollout, "target", HypervisorKindName(current));
           }
           report.exposure_days_hypertp += ToSeconds(exposed) / kDaySeconds;
-          report.vm_downtime_paid += config.per_vm_downtime * total_vms;
+          if (!adaptive) {
+            // Flat Fig. 6 charge; adaptive rollouts charged their modeled
+            // per-VM downtime inside the rollout lambda instead.
+            report.vm_downtime_paid += config.per_vm_downtime * total_vms;
+          }
           safe_until = at + Days(window);
           report.event_log.push_back(Stamp(at) + ": " + cve->id + " — fleet -> " +
                                      std::string(HypervisorKindName(current)));
@@ -244,7 +279,9 @@ OperationalReport RunOperationalSimulation(const OperationalConfig& config) {
                     tracer->AddSpan("rollout:back", when, back_time, 0, "fleet");
                 tracer->SetAttribute(rollout, "target", HypervisorKindName(config.home));
               }
-              report.vm_downtime_paid += config.per_vm_downtime * total_vms;
+              if (!adaptive) {
+                report.vm_downtime_paid += config.per_vm_downtime * total_vms;
+              }
               report.event_log.push_back(Stamp(when) + ": patch applied — fleet -> " +
                                          std::string(HypervisorKindName(config.home)));
             }

@@ -75,6 +75,17 @@ struct OperationalConfig {
   // the other modes so their byte-exact outputs never move.
   CrashStormConfig fleet_storm;
 
+  // Adaptive mechanism selection (src/policy/) for every rollout of the
+  // year. With kFixed (the default) nothing changes: per-VM downtime is the
+  // flat per_vm_downtime charge and rollout timings are the configured
+  // constants, byte-identical to earlier builds. With kAdaptive (and any
+  // event-driven fleet_mode — kClosedForm has no per-host execution to
+  // adapt), each rollout prices every VM individually: in-place guests are
+  // charged their modeled pause, migrated guests the switchover brownout,
+  // and hosts with refused guests stay exposed. vms_per_host above feeds the
+  // policy's per-host population.
+  policy::PolicyConfig fleet_policy;
+
   // kCampaign mode: shard count and fleet-wide SLO budgets for the sharded
   // campaign control plane. The per-shard wave width is
   // fleet.parallel_hosts / campaign_shards (at least 1), so total in-flight
@@ -119,6 +130,13 @@ struct OperationalReport {
   // kCampaign mode: epoch barriers the SLO governor spent throttled, summed
   // over every campaign of the year.
   int fleet_throttled_epochs = 0;
+  // Adaptive mechanism policy (all zero/false under kFixed, and absent from
+  // the report JSON then).
+  bool policy_adaptive = false;
+  int fleet_refused_hosts = 0;  // Hosts excluded by refusals, summed over rollouts.
+  int policy_inplace_vms = 0;   // Per-VM decisions, summed over rollouts.
+  int policy_migrate_vms = 0;
+  int policy_refused_vms = 0;
   std::vector<std::string> event_log;
 
   double exposure_reduction_factor() const {

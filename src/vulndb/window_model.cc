@@ -3,13 +3,13 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/policy/policy.h"
+
 namespace hypertp {
 
 SimDuration FleetTransplantTime(const FleetProfile& fleet) {
-  const int hosts = std::max(fleet.hosts, 0);  // Negative hosts: empty fleet.
-  const int parallel = std::max(fleet.parallel_hosts, 1);
-  const int waves = (hosts + parallel - 1) / parallel;
-  return fleet.per_host_transplant * waves;
+  return policy::TransplantCostModel::FleetMakespan(fleet.hosts, fleet.parallel_hosts,
+                                                    fleet.per_host_transplant);
 }
 
 ExposureComparison CompareExposure(const CveRecord& cve, HypervisorKind current,

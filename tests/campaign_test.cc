@@ -628,5 +628,123 @@ TEST(CampaignStormTest, PlanRejectsMalformedStormWithDatacenterContext) {
   EXPECT_NE(planned.error().message().find("pre_pause_fraction"), std::string::npos);
 }
 
+TEST(CampaignPolicyTest, FixedModeReportJsonCarriesNoPolicyKeys) {
+  Result<CampaignReport> run = CampaignPlanner(BaseConfig()).Run();
+  ASSERT_TRUE(run.ok()) << run.error().ToString();
+  EXPECT_FALSE(run->policy_adaptive);
+  EXPECT_EQ(run->refused, 0);
+  const std::string json = CampaignReportToJson(*run);
+  EXPECT_EQ(json.find("\"policy\""), std::string::npos);
+  EXPECT_EQ(json.find("\"refused\""), std::string::npos);
+}
+
+TEST(CampaignPolicyTest, AdaptiveDecisionsAreInvariantAcrossShardCounts) {
+  // The tentpole's resharding contract: per-VM decisions key on the host's
+  // campaign-global id, so any shard partition of the same topology reaches
+  // the identical decision multiset (and identical per-DC refusals).
+  CampaignReport reports[3];
+  const int shard_counts[3] = {2, 3, 6};
+  for (int i = 0; i < 3; ++i) {
+    CampaignConfig config = BaseConfig();
+    config.policy.mode = policy::PolicyMode::kAdaptive;
+    // One congested DC so the decision mix differs per datacenter.
+    config.datacenters[1].link_gbps = 0.5;
+    config.shards = shard_counts[i];
+    Result<CampaignReport> run = CampaignPlanner(config).Run();
+    ASSERT_TRUE(run.ok()) << run.error().ToString();
+    reports[i] = *run;
+  }
+  for (int i = 1; i < 3; ++i) {
+    EXPECT_EQ(reports[i].policy_inplace_vms, reports[0].policy_inplace_vms);
+    EXPECT_EQ(reports[i].policy_migrate_vms, reports[0].policy_migrate_vms);
+    EXPECT_EQ(reports[i].policy_refused_vms, reports[0].policy_refused_vms);
+    EXPECT_EQ(reports[i].refused, reports[0].refused);
+    EXPECT_EQ(reports[i].policy_vm_downtime, reports[0].policy_vm_downtime);
+  }
+  EXPECT_TRUE(reports[0].policy_adaptive);
+  EXPECT_GT(reports[0].policy_inplace_vms, 0);
+  EXPECT_GT(reports[0].policy_migrate_vms, 0);
+  // The congested west DC refuses its fat dirty guests; east refuses none.
+  EXPECT_GT(reports[0].refused, 0);
+}
+
+TEST(CampaignPolicyTest, AdaptiveReportIsByteIdenticalAcrossThreadCounts) {
+  std::string report_json[2];
+  std::string trace_json[2];
+  std::string metrics_json[2];
+  const int threads[2] = {1, 4};
+  for (int i = 0; i < 2; ++i) {
+    Tracer tracer;
+    MetricsRegistry metrics;
+    CampaignConfig config = BaseConfig();
+    config.policy.mode = policy::PolicyMode::kAdaptive;
+    config.datacenters[1].link_gbps = 0.5;
+    config.latency_jitter = 0.3;
+    config.real_threads = threads[i];
+    config.tracer = &tracer;
+    config.metrics = &metrics;
+    Result<CampaignReport> run = CampaignPlanner(config).Run();
+    ASSERT_TRUE(run.ok()) << run.error().ToString();
+    report_json[i] = CampaignReportToJson(*run);
+    trace_json[i] = tracer.ToChromeTraceJson();
+    metrics_json[i] = metrics.ToJson();
+  }
+  EXPECT_EQ(report_json[0], report_json[1]);
+  EXPECT_EQ(trace_json[0], trace_json[1]);
+  EXPECT_EQ(metrics_json[0], metrics_json[1]);
+  // The adaptive block actually made it into the compared bytes.
+  EXPECT_NE(report_json[0].find("\"policy\""), std::string::npos);
+}
+
+TEST(CampaignPolicyTest, RefusedHostsSurfaceInShardSummariesAndMetrics) {
+  Tracer tracer;
+  MetricsRegistry metrics;
+  CampaignConfig config = BaseConfig();
+  config.policy.mode = policy::PolicyMode::kAdaptive;
+  config.datacenters[1].link_gbps = 0.5;
+  config.tracer = &tracer;
+  config.metrics = &metrics;
+  Result<CampaignReport> run = CampaignPlanner(config).Run();
+  ASSERT_TRUE(run.ok()) << run.error().ToString();
+
+  int summed_refused = 0;
+  for (const CampaignShardSummary& shard : run->shard_summaries) {
+    summed_refused += shard.refused;
+    // Refusals only happen in the congested west DC (datacenter 1).
+    if (shard.datacenter == 0) {
+      EXPECT_EQ(shard.refused, 0);
+    }
+  }
+  EXPECT_EQ(summed_refused, run->refused);
+  EXPECT_GT(run->refused, 0);
+  EXPECT_FALSE(run->complete);  // Refused hosts were never upgraded.
+  EXPECT_EQ(metrics.GetCounter("hypertp_policy_refused").value(),
+            static_cast<uint64_t>(run->policy_refused_vms));
+  EXPECT_EQ(metrics.GetCounter("hypertp_policy_inplace").value(),
+            static_cast<uint64_t>(run->policy_inplace_vms));
+}
+
+TEST(CampaignPolicyTest, PlanRejectsMalformedDatacenterPolicySignals) {
+  CampaignConfig config = BaseConfig();
+  config.datacenters[1].link_gbps = -1.0;
+  Result<CampaignPlan> planned = PlanCampaign(config);
+  ASSERT_FALSE(planned.ok());
+  EXPECT_NE(planned.error().message().find("west"), std::string::npos);
+  EXPECT_NE(planned.error().message().find("link_gbps"), std::string::npos);
+
+  config = BaseConfig();
+  config.datacenters[0].host_headroom = 1.5;
+  Result<CampaignPlan> headroom = PlanCampaign(config);
+  ASSERT_FALSE(headroom.ok());
+  EXPECT_NE(headroom.error().message().find("east"), std::string::npos);
+  EXPECT_NE(headroom.error().message().find("host_headroom"), std::string::npos);
+
+  config = BaseConfig();
+  config.policy.max_vm_pause = -Millis(5);
+  Result<CampaignPlan> knob = PlanCampaign(config);
+  ASSERT_FALSE(knob.ok());
+  EXPECT_NE(knob.error().message().find("max_vm_pause"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace hypertp

@@ -233,5 +233,52 @@ TEST(ExecutorTest2, StreamingVmsMigrateSlower) {
   EXPECT_GT(run(ClusterVmRole::kStreaming), run(ClusterVmRole::kIdle));
 }
 
+TEST(ClusterPolicyTest, ApplyMechanismPolicyRetagsFromPerVmDecisions) {
+  ClusterModel cluster = ClusterModel::PaperCluster(0.3);
+  policy::PolicyConfig config;
+  config.mode = policy::PolicyMode::kAdaptive;
+  policy::MechanismPolicy policy{config};
+
+  const ClusterPolicyOutcome outcome =
+      ApplyMechanismPolicy(cluster, policy, policy.DefaultEnv());
+  EXPECT_EQ(outcome.inplace_vms + outcome.migrate_vms + outcome.refused_vms,
+            static_cast<int>(cluster.vms().size()));
+  // Paper-cluster guests are 1 vCPU / 4 GiB: idle and cpumem pauses fit the
+  // default 200 ms budget, streaming ones (235.55 ms) migrate; nothing is
+  // refused on a healthy 10 Gbps link.
+  EXPECT_EQ(outcome.inplace_vms, 70);
+  EXPECT_EQ(outcome.migrate_vms, 30);
+  EXPECT_EQ(outcome.refused_vms, 0);
+  // The tags replaced the Bernoulli coin flips: every streaming VM untagged,
+  // everyone else in place.
+  for (const ClusterVm& vm : cluster.vms()) {
+    EXPECT_EQ(vm.inplace_compatible, vm.role != ClusterVmRole::kStreaming);
+  }
+
+  // Re-applying is idempotent — pure function of the signals.
+  const ClusterPolicyOutcome again =
+      ApplyMechanismPolicy(cluster, policy, policy.DefaultEnv());
+  EXPECT_EQ(again.inplace_vms, outcome.inplace_vms);
+  EXPECT_EQ(again.migrate_vms, outcome.migrate_vms);
+}
+
+TEST(ClusterPolicyTest, RefusedVmsAreLeftUntaggedForEvacuation) {
+  ClusterModel cluster = ClusterModel::PaperCluster(1.0);  // All tagged.
+  policy::PolicyConfig config;
+  config.mode = policy::PolicyMode::kAdaptive;
+  config.max_vm_pause = 0;  // Nothing fits in place.
+  policy::MechanismPolicy policy{config};
+  policy::EnvSignals env = policy.DefaultEnv();
+  env.host_headroom = 0.0;  // And nothing can migrate: refuse everything.
+
+  const ClusterPolicyOutcome outcome = ApplyMechanismPolicy(cluster, policy, env);
+  EXPECT_EQ(outcome.refused_vms, static_cast<int>(cluster.vms().size()));
+  // The cluster planner has no refuse path: refused VMs read as untagged and
+  // will be evacuated like MigrationTP ones; only the count says otherwise.
+  for (const ClusterVm& vm : cluster.vms()) {
+    EXPECT_FALSE(vm.inplace_compatible);
+  }
+}
+
 }  // namespace
 }  // namespace hypertp

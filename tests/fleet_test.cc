@@ -8,6 +8,7 @@
 #include <map>
 
 #include "src/fleet/fleet_controller.h"
+#include "src/obs/metrics.h"
 #include "src/vulndb/window_model.h"
 
 namespace hypertp {
@@ -727,6 +728,176 @@ TEST(FleetControllerTest, WavePacerDefersWaveComposition) {
   EXPECT_EQ(consulted[0], 0);
   EXPECT_EQ(consulted[1], 1);
   EXPECT_EQ(consulted[2], 1);  // Re-consulted when the hold fired.
+}
+
+TEST(FleetPolicyTest, FixedModeReportJsonCarriesNoPolicyKeys) {
+  SimExecutor executor;
+  FleetController controller(executor, BaseConfig());  // mode == kFixed.
+  const FleetRolloutReport& report = controller.Run();
+  EXPECT_FALSE(report.policy_adaptive);
+  EXPECT_EQ(report.refused, 0);
+  const std::string json = FleetRolloutReportToJson(report);
+  // The adaptive-only keys must be absent so legacy output stays
+  // byte-identical.
+  EXPECT_EQ(json.find("\"policy\""), std::string::npos);
+  EXPECT_EQ(json.find("\"refused\""), std::string::npos);
+}
+
+TEST(FleetPolicyTest, AdaptiveRolloutPricesEveryVmAndReportsDecisions) {
+  SimExecutor executor;
+  FleetConfig config = BaseConfig();
+  config.policy.mode = policy::PolicyMode::kAdaptive;
+  MetricsRegistry metrics;
+  Tracer tracer;
+  config.metrics = &metrics;
+  config.tracer = &tracer;
+  FleetController controller(executor, config);
+  const FleetRolloutReport& report = controller.Run();
+
+  EXPECT_TRUE(report.policy_adaptive);
+  EXPECT_TRUE(report.complete);
+  EXPECT_EQ(report.refused, 0);  // Default budgets refuse nothing.
+  // Every guest of every host got a decision.
+  EXPECT_EQ(report.policy_inplace_vms + report.policy_migrate_vms + report.policy_refused_vms,
+            config.hosts * config.policy.vms_per_host);
+  // The synthetic mix has streaming and fat guests, so both mechanisms fire.
+  EXPECT_GT(report.policy_inplace_vms, 0);
+  EXPECT_GT(report.policy_migrate_vms, 0);
+  EXPECT_GT(report.policy_vm_downtime, 0);
+  // Decision counters surface once, at construction.
+  EXPECT_EQ(metrics.GetCounter("hypertp_policy_inplace").value(),
+            static_cast<uint64_t>(report.policy_inplace_vms));
+  EXPECT_EQ(metrics.GetCounter("hypertp_policy_migrate").value(),
+            static_cast<uint64_t>(report.policy_migrate_vms));
+  EXPECT_EQ(metrics.GetCounter("hypertp_policy_refused").value(), 0u);
+
+  const std::string json = FleetRolloutReportToJson(report);
+  EXPECT_NE(json.find("\"policy\":{\"mode\":\"adaptive\""), std::string::npos);
+
+  // One policy:decision instant per wave on the "policy" track.
+  const std::string trace = tracer.ToChromeTraceJson();
+  size_t decisions = 0;
+  for (size_t at = trace.find("policy:decision"); at != std::string::npos;
+       at = trace.find("policy:decision", at + 1)) {
+    ++decisions;
+  }
+  EXPECT_EQ(decisions, static_cast<size_t>(report.waves));
+}
+
+TEST(FleetPolicyTest, RefusedHostsStayExposedAndAreNeverTouched) {
+  SimExecutor executor;
+  FleetConfig config = BaseConfig();
+  config.policy.mode = policy::PolicyMode::kAdaptive;
+  config.policy.max_vm_pause = 0;  // No pause fits...
+  config.policy.link_gbps = 0.0;   // ...and no migration link: refuse all.
+  FleetController controller(executor, config);
+  const FleetRolloutReport& report = controller.Run();
+
+  EXPECT_EQ(report.refused, config.hosts);
+  EXPECT_EQ(report.upgraded, 0);
+  EXPECT_EQ(report.untouched, 0);  // Refused is its own disposition.
+  EXPECT_FALSE(report.complete);
+  EXPECT_EQ(report.policy_refused_vms, config.hosts * config.policy.vms_per_host);
+  // Refused hosts keep serving the vulnerable hypervisor.
+  for (const FleetHost& host : controller.hosts()) {
+    EXPECT_EQ(host.state, FleetHostState::kServing);
+    EXPECT_FALSE(host.upgraded);
+  }
+  // One kHostRefused event per host, in id order, before any wave work.
+  int refused_events = 0;
+  int last_host = -1;
+  for (const FleetEvent& event : controller.trace().Events()) {
+    if (event.type == FleetEventType::kHostRefused) {
+      EXPECT_GT(event.host, last_host);
+      last_host = event.host;
+      ++refused_events;
+    }
+    EXPECT_NE(event.type, FleetEventType::kTransplantStart);
+  }
+  EXPECT_EQ(refused_events, config.hosts);
+}
+
+TEST(FleetPolicyTest, PartialRefusalUpgradesTheRestOfTheFleet) {
+  SimExecutor executor;
+  FleetConfig config = BaseConfig();
+  config.policy.mode = policy::PolicyMode::kAdaptive;
+  // A congested 0.5 Gbps link: fat cpumem/streaming guests can neither pause
+  // nor evacuate within budget, so their hosts are refused; everyone else
+  // upgrades.
+  config.policy.link_gbps = 0.5;
+  FleetController controller(executor, config);
+  const FleetRolloutReport& report = controller.Run();
+
+  EXPECT_GT(report.refused, 0);
+  EXPECT_LT(report.refused, config.hosts);
+  EXPECT_EQ(report.upgraded, config.hosts - report.refused);
+  EXPECT_EQ(report.untouched, 0);
+  EXPECT_FALSE(report.complete);
+}
+
+TEST(FleetPolicyTest, AdaptiveDecisionsAreInvariantUnderHostIdRelabeling) {
+  // The same global ids in a different local order must produce the same
+  // decision multiset — the property campaign sharding relies on.
+  FleetConfig config = BaseConfig();
+  config.hosts = 20;
+  config.policy.mode = policy::PolicyMode::kAdaptive;
+
+  SimExecutor a_exec;
+  FleetConfig a = config;
+  for (int i = 0; i < config.hosts; ++i) {
+    a.policy_host_global_ids.push_back(i);
+  }
+  FleetController a_ctrl(a_exec, a);
+  const FleetRolloutReport& a_report = a_ctrl.Run();
+
+  SimExecutor b_exec;
+  FleetConfig b = config;
+  for (int i = config.hosts - 1; i >= 0; --i) {
+    b.policy_host_global_ids.push_back(i);  // Reversed local assignment.
+  }
+  FleetController b_ctrl(b_exec, b);
+  const FleetRolloutReport& b_report = b_ctrl.Run();
+
+  EXPECT_EQ(a_report.policy_inplace_vms, b_report.policy_inplace_vms);
+  EXPECT_EQ(a_report.policy_migrate_vms, b_report.policy_migrate_vms);
+  EXPECT_EQ(a_report.policy_refused_vms, b_report.policy_refused_vms);
+  EXPECT_EQ(a_report.policy_vm_downtime, b_report.policy_vm_downtime);
+}
+
+TEST(FleetConfigValidationTest, RejectsOutOfRangePolicyKnobsAndStaysInert) {
+  FleetConfig config = BaseConfig();
+  config.policy.link_gbps = -2.0;
+  Result<void> valid = ValidateFleetConfig(config);
+  ASSERT_FALSE(valid.ok());
+  EXPECT_NE(valid.error().ToString().find("FleetConfig::policy.link_gbps"), std::string::npos)
+      << valid.error().ToString();
+
+  // The controller built from it is inert: config_error set, nothing runs.
+  SimExecutor executor;
+  FleetController controller(executor, config);
+  ASSERT_TRUE(controller.config_error().has_value());
+  const FleetRolloutReport& report = controller.Run();
+  EXPECT_EQ(report.upgraded, 0);
+  EXPECT_FALSE(report.complete);
+
+  config = BaseConfig();
+  config.policy.vms_per_host = 0;
+  ExpectRejected(config, "policy.vms_per_host");
+
+  config = BaseConfig();
+  config.policy.min_migration_headroom = 2.0;
+  ExpectRejected(config, "policy.min_migration_headroom");
+}
+
+TEST(FleetConfigValidationTest, RejectsMalformedPolicyHostGlobalIds) {
+  FleetConfig config = BaseConfig();
+  config.policy_host_global_ids = {1, 2, 3};  // Wrong size for 100 hosts.
+  ExpectRejected(config, "policy_host_global_ids");
+
+  config = BaseConfig();
+  config.policy_host_global_ids.assign(static_cast<size_t>(config.hosts), 0);
+  config.policy_host_global_ids[5] = -7;
+  ExpectRejected(config, "policy_host_global_ids");
 }
 
 }  // namespace

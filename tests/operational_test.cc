@@ -273,5 +273,40 @@ TEST(OperationalTest, MultiYearRunsScaleEvents) {
   EXPECT_GT(d5, d1);
 }
 
+TEST(OperationalPolicyTest, AdaptivePolicyReplacesTheFlatDowntimeCharge) {
+  // Same seeded year, fixed vs adaptive: the adaptive arm prices every VM
+  // (sub-second in-place pauses, 300 ms migration brownouts) instead of the
+  // flat 1.7 s per VM per pass, so whenever a transplant happened it pays
+  // strictly less and reports its decision mix.
+  OperationalConfig config = BaseConfig(3);
+  config.fleet_mode = FleetExecutionMode::kFleetController;
+  const OperationalReport fixed = RunOperationalSimulation(config);
+
+  config.fleet_policy.mode = policy::PolicyMode::kAdaptive;
+  const OperationalReport adaptive = RunOperationalSimulation(config);
+
+  EXPECT_FALSE(fixed.policy_adaptive);
+  EXPECT_TRUE(adaptive.policy_adaptive);
+  ASSERT_GT(fixed.transplants_away, 0);
+  EXPECT_GT(adaptive.vm_downtime_paid, 0);
+  EXPECT_LT(adaptive.vm_downtime_paid, fixed.vm_downtime_paid);
+  EXPECT_GT(adaptive.policy_inplace_vms + adaptive.policy_migrate_vms, 0);
+  // Same disclosure stream either way: the policy only reprices rollouts.
+  EXPECT_EQ(adaptive.disclosures, fixed.disclosures);
+  EXPECT_EQ(adaptive.transplants_away, fixed.transplants_away);
+}
+
+TEST(OperationalPolicyTest, ClosedFormModeIgnoresTheAdaptivePolicy) {
+  // kClosedForm has no per-host execution to adapt: the policy knob must be
+  // inert there, bit for bit.
+  OperationalConfig config = BaseConfig(3);
+  const OperationalReport fixed = RunOperationalSimulation(config);
+  config.fleet_policy.mode = policy::PolicyMode::kAdaptive;
+  const OperationalReport adaptive = RunOperationalSimulation(config);
+  EXPECT_FALSE(adaptive.policy_adaptive);
+  EXPECT_EQ(adaptive.vm_downtime_paid, fixed.vm_downtime_paid);
+  EXPECT_EQ(adaptive.event_log, fixed.event_log);
+}
+
 }  // namespace
 }  // namespace hypertp

@@ -59,6 +59,14 @@ HYPERTP_BENCH_DIR="${bench_out}" \
   "${build_dir}/bench/bench_micro_primitives" --smoke > /dev/null
 test -s "${bench_out}/BENCH_micro_primitives.json" \
   || { echo "missing BENCH_micro_primitives.json" >&2; exit 1; }
+# The adaptive-year bench runs the fixed-vs-adaptive mechanism-policy replay
+# through the event-driven fleet path — per-host plans, refusal bookkeeping
+# and the policy JSON/metrics surfaces the fault-free unit tests cover only
+# at toy scale.
+HYPERTP_BENCH_DIR="${bench_out}" \
+  "${build_dir}/bench/bench_operational_year" --smoke > /dev/null
+test -s "${bench_out}/BENCH_operational_year_smoke.json" \
+  || { echo "missing BENCH_operational_year_smoke.json" >&2; exit 1; }
 echo "sanitized bench smoke-run OK (${bench_out})"
 
 # --- ThreadSanitizer stage -------------------------------------------------
@@ -71,7 +79,7 @@ cmake -B "${tsan_dir}" -S "${repo_root}" \
   -DHYPERTP_SANITIZE=thread
 cmake --build "${tsan_dir}" -j "$(nproc)" \
   --target worker_pool_test pipeline_test pretranslate_test campaign_test \
-  fault_storm_test bench_pipeline_scaling
+  fault_storm_test policy_test bench_pipeline_scaling
 
 export TSAN_OPTIONS="halt_on_error=1"
 HYPERTP_PARALLEL=4 "${tsan_dir}/tests/worker_pool_test"
@@ -90,6 +98,10 @@ HYPERTP_PARALLEL=4 "${tsan_dir}/tests/campaign_test"
 # the storm RNG, recovery queue and exposure re-feeds must all stay
 # shard-private for the determinism contract to survive real threads.
 HYPERTP_PARALLEL=4 "${tsan_dir}/tests/fault_storm_test"
+# Policy decisions are pure functions consumed by campaign shards on real
+# threads; campaign_test's adaptive byte-identity tests race them above, and
+# policy_test pins the decision table itself under TSan's instrumented build.
+HYPERTP_PARALLEL=4 "${tsan_dir}/tests/policy_test"
 HYPERTP_PARALLEL=4 HYPERTP_TRACE=1 HYPERTP_BENCH_DIR="${bench_out}" \
   "${tsan_dir}/bench/bench_pipeline_scaling" > /dev/null
 test -s "${bench_out}/BENCH_pipeline_scaling.json" \
