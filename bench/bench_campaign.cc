@@ -6,6 +6,7 @@
 //
 // `--smoke` shrinks every section ~100x for sanitizer runs.
 
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -20,6 +21,11 @@ struct Scale {
   int hosts_per_rack = 12500;  // 8 racks x 12.5k = 100k hosts, 1M VMs.
   int parallel_per_shard = 1000;
   int storm_hosts_per_rack = 1000;  // 8k-host storm fleet.
+  // Skewed-DC steal section: 4 DCs x 100 racks x 250 = 100k hosts, 1M VMs.
+  int skew_racks = 100;
+  int skew_hosts_per_rack = 250;
+  int skew_width = 250;
+  bool assert_criteria = true;  // Full scale only: --smoke skips the gate.
 };
 
 CampaignConfig FleetOfRacks(const Scale& scale) {
@@ -170,21 +176,105 @@ void StormSection(const Scale& scale, bench::BenchReport& bench_report) {
   }
 }
 
+void SkewedSection(const Scale& scale, bench::BenchReport& bench_report) {
+  bench::Section("Straggler tail — 4 DCs with 1x..4x host classes, fixed vs work-stealing");
+  // Four equal-size DCs whose host classes span a hardware generation: the
+  // slowest DC's shards are 4x stragglers under fixed ownership. The
+  // work-conserving bound is total scaled work spread over every execution
+  // slot; the acceptance gate is stealing >= 1.3x over fixed AND within 10%
+  // of that bound.
+  const double host_class[4] = {1.0, 1.5, 2.0, 4.0};
+  const int shards = 8;
+  CampaignConfig base;
+  for (int d = 0; d < 4; ++d) {
+    CampaignDatacenter dc;
+    dc.name = "dc" + std::to_string(d);
+    dc.racks = scale.skew_racks;
+    dc.hosts_per_rack = scale.skew_hosts_per_rack;
+    dc.vms_per_host = 10;
+    dc.timing.host_class = host_class[d];
+    base.datacenters.push_back(dc);
+  }
+  base.shards = shards;
+  base.parallel_hosts_per_shard = scale.skew_width;
+  base.per_host_transplant = Seconds(10);
+  base.latency_jitter = 0.0;  // Exact wave math: the bound below is tight.
+  base.epoch = Seconds(5);
+  base.steal.threshold_epochs = 2.0;
+  base.seed = 2026;
+
+  double total_work_s = 0.0;
+  for (int d = 0; d < 4; ++d) {
+    total_work_s += static_cast<double>(base.datacenters[d].hosts()) * 10.0 * host_class[d];
+  }
+  const double bound_s = total_work_s / (static_cast<double>(shards) * scale.skew_width);
+
+  bench::Row("%-14s %10s %9s %8s %8s %10s %10s", "ownership", "makespan", "vs-bound",
+             "steals", "stolen", "idle-skip", "wall");
+  double fixed_s = 0.0;
+  double steal_s = 0.0;
+  for (bool stealing : {false, true}) {
+    CampaignConfig config = base;
+    config.steal.enabled = stealing;
+    Result<CampaignReport> run = CampaignPlanner(config).Run();
+    if (!run.ok()) {
+      bench::Row("%s rejected: %s", stealing ? "stealing" : "fixed",
+                 run.error().ToString().c_str());
+      return;
+    }
+    bool monotone = true;
+    for (size_t i = 1; i < run->exposure_curve.size(); ++i) {
+      monotone &= run->exposure_curve[i].fraction <= run->exposure_curve[i - 1].fraction;
+    }
+    const double makespan_s = bench::Sec(run->makespan);
+    bench::Row("%-14s %9.1fs %8.2fx %8d %8d %10d %9.0fms %s",
+               stealing ? "work-stealing" : "fixed", makespan_s, makespan_s / bound_s,
+               run->steals, run->stolen_hosts, run->idle_epochs_skipped, run->wall_ms,
+               monotone ? "" : "NON-MONOTONE!");
+    if (stealing) {
+      steal_s = makespan_s;
+      bench_report.SetScalar("skew_makespan_steal_s", makespan_s);
+      bench_report.SetScalar("skew_steals", run->steals);
+      bench_report.SetScalar("skew_idle_epochs_skipped", run->idle_epochs_skipped);
+      bench_report.SetScalar("skew_curve_monotone", monotone ? 1.0 : 0.0);
+    } else {
+      fixed_s = makespan_s;
+      bench_report.SetScalar("skew_makespan_fixed_s", makespan_s);
+    }
+  }
+  const double speedup = steal_s > 0.0 ? fixed_s / steal_s : 0.0;
+  bench::Row("  work-conserving bound %.1fs, speedup %.2fx", bound_s, speedup);
+  bench_report.SetScalar("skew_bound_s", bound_s);
+  bench_report.SetScalar("skew_speedup", speedup);
+  if (scale.assert_criteria && !(speedup >= 1.3 && steal_s <= 1.1 * bound_s)) {
+    bench::Row("FAIL: steal criterion missed (need >=1.30x over fixed and <=1.10x bound, "
+               "got %.2fx and %.2fx)",
+               speedup, steal_s / bound_s);
+    std::exit(1);
+  }
+}
+
 void Run(bool smoke) {
   bench::Banner("Campaign control plane — 100k hosts / 1M VMs, sharded and SLO-governed",
                 "10 s/host transplant, 20% jitter, 30 s epochs, seed 2026. Sections: shard "
-                "scaling 1->8, bandwidth-aware multi-DC pacing, rollback-storm governance.");
+                "scaling 1->8, bandwidth-aware multi-DC pacing, rollback-storm governance, "
+                "heterogeneous-DC straggler tail with rack work-stealing.");
   Scale scale;
   if (smoke) {
     scale.hosts_per_rack = 125;  // 1k hosts / 10k VMs: sanitizer-friendly.
     scale.parallel_per_shard = 10;
     scale.storm_hosts_per_rack = 50;
+    scale.skew_racks = 8;
+    scale.skew_hosts_per_rack = 25;
+    scale.skew_width = 25;
+    scale.assert_criteria = false;
     bench::Row("(--smoke: 1k-host fleet)");
   }
   bench::BenchReport bench_report(smoke ? "campaign_smoke" : "campaign");
   ScalingSweep(scale, bench_report);
   BandwidthSection(scale, bench_report);
   StormSection(scale, bench_report);
+  SkewedSection(scale, bench_report);
   bench_report.WriteJsonArtifact();
 }
 

@@ -1,6 +1,7 @@
 #include "src/campaign/campaign.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <deque>
 #include <functional>
@@ -8,6 +9,7 @@
 #include <utility>
 
 #include "src/base/json.h"
+#include "src/base/logging.h"
 #include "src/fleet/fleet_controller.h"
 #include "src/sim/executor.h"
 #include "src/sim/rng.h"
@@ -68,6 +70,20 @@ Result<CampaignPlan> PlanCampaign(const CampaignConfig& config) {
       return InvalidArgumentError(where + ": host_headroom must be a fraction in [0, 1], got " +
                                   std::to_string(dc.host_headroom));
     }
+    // Heterogeneous timing multipliers must be finite and positive (1.0 = the
+    // homogeneous default).
+    if (!(dc.timing.host_class > 0.0) || !std::isfinite(dc.timing.host_class)) {
+      return InvalidArgumentError(where + ": timing.host_class must be finite and > 0, got " +
+                                  std::to_string(dc.timing.host_class));
+    }
+    if (!(dc.timing.reboot_cost > 0.0) || !std::isfinite(dc.timing.reboot_cost)) {
+      return InvalidArgumentError(where + ": timing.reboot_cost must be finite and > 0, got " +
+                                  std::to_string(dc.timing.reboot_cost));
+    }
+    if (!(dc.timing.link_generation > 0.0) || !std::isfinite(dc.timing.link_generation)) {
+      return InvalidArgumentError(where + ": timing.link_generation must be finite and > 0, got " +
+                                  std::to_string(dc.timing.link_generation));
+    }
     // Per-DC crash storms fail fast with the fleet layer's own field-naming
     // errors, prefixed with the datacenter they came from.
     FleetConfig storm_probe;
@@ -100,6 +116,38 @@ Result<CampaignPlan> PlanCampaign(const CampaignConfig& config) {
   }
   if (config.slo.rate_window_epochs <= 0) {
     return InvalidArgumentError("CampaignSlo::rate_window_epochs must be > 0");
+  }
+  if (!(config.steal.threshold_epochs > 0.0) || !std::isfinite(config.steal.threshold_epochs)) {
+    return InvalidArgumentError("CampaignStealConfig::threshold_epochs must be finite and > 0");
+  }
+  if (config.steal.max_racks_per_epoch < 0) {
+    return InvalidArgumentError("CampaignStealConfig::max_racks_per_epoch must be >= 0");
+  }
+  if (config.steal.enabled) {
+    // Work-stealing re-homes whole racks between shards. A stolen rack must
+    // mean the same thing everywhere: uniform per-VM weight (exposure
+    // accounting), no adaptive per-host plans (plans are keyed to the owning
+    // shard's topology), and no crash storms (a fully-unstarted rack is only
+    // well-defined when hosts can't crash out from under the steal planner).
+    if (config.policy.adaptive()) {
+      return InvalidArgumentError(
+          "CampaignStealConfig::enabled requires the fixed mechanism policy "
+          "(adaptive per-host plans cannot travel between shards)");
+    }
+    for (size_t d = 0; d < config.datacenters.size(); ++d) {
+      if (config.datacenters[d].crash_storm.enabled()) {
+        return InvalidArgumentError("CampaignStealConfig::enabled is incompatible with "
+                                    "crash storms (datacenter '" +
+                                    config.datacenters[d].name + "')");
+      }
+      if (config.datacenters[d].vms_per_host != config.datacenters[0].vms_per_host) {
+        return InvalidArgumentError(
+            "CampaignStealConfig::enabled requires a uniform vms_per_host across "
+            "datacenters (racks re-home across DCs), got " +
+            std::to_string(config.datacenters[d].vms_per_host) + " vs " +
+            std::to_string(config.datacenters[0].vms_per_host));
+      }
+    }
   }
   // Per-shard fleet knobs fail fast here, with the same field-naming errors
   // the controller itself would produce.
@@ -188,9 +236,23 @@ std::string CampaignReportToJson(const CampaignReport& report) {
     j.Key("vm_downtime_ms").Number(ToMillis(report.policy_vm_downtime));
     j.EndObject();
   }
+  // Stealing block only when enabled, the stride tally only when it skipped
+  // anything, wall_ms only when measured: default-config reports stay
+  // byte-identical to pre-stealing builds (and byte-comparable across runs —
+  // determinism tests reset wall_ms to -1).
+  if (report.steal_enabled) {
+    j.Key("steals").Number(static_cast<int64_t>(report.steals));
+    j.Key("stolen_hosts").Number(static_cast<int64_t>(report.stolen_hosts));
+  }
+  if (report.idle_epochs_skipped > 0) {
+    j.Key("idle_epochs_skipped").Number(static_cast<int64_t>(report.idle_epochs_skipped));
+  }
   j.Key("aborted").Bool(report.aborted);
   j.Key("complete").Bool(report.complete);
   j.Key("makespan_ms").Number(ToMillis(report.makespan));
+  if (report.wall_ms >= 0) {
+    j.Key("wall_ms").Number(report.wall_ms);
+  }
   j.Key("slo").BeginObject();
   j.Key("epochs").Number(static_cast<int64_t>(report.epochs));
   j.Key("throttled_epochs").Number(static_cast<int64_t>(report.throttled_epochs));
@@ -246,6 +308,10 @@ std::string CampaignReportToJson(const CampaignReport& report) {
     if (report.policy_adaptive) {
       j.Key("refused").Number(static_cast<int64_t>(shard.refused));
     }
+    if (report.steal_enabled) {
+      j.Key("stolen_in").Number(static_cast<int64_t>(shard.stolen_in));
+      j.Key("stolen_out").Number(static_cast<int64_t>(shard.stolen_out));
+    }
     j.Key("aborted").Bool(shard.aborted);
     j.Key("complete").Bool(shard.complete);
     j.Key("admitted_ms").Number(shard.admitted < 0 ? -1.0 : ToMillis(shard.admitted));
@@ -264,6 +330,7 @@ Result<CampaignReport> CampaignPlanner::Run() {
     return FailedPreconditionError("CampaignPlanner::Run is single-shot");
   }
   ran_ = true;
+  const auto wall_start = std::chrono::steady_clock::now();
   Result<CampaignPlan> planned = PlanCampaign(config_);
   if (!planned.ok()) {
     return planned.error();
@@ -319,6 +386,15 @@ Result<CampaignReport> CampaignPlanner::Run() {
     // under resharding and every draw stays in one shard's stream.
     const CampaignDatacenter& dc =
         config_.datacenters[static_cast<size_t>(shard_plan.datacenter)];
+    // Heterogeneous per-DC timing: scale this shard's per-host durations by
+    // its datacenter's host class / reboot cost / link generation. Uniform
+    // multipliers short-circuit to the exact legacy durations.
+    fleet.drain_time = policy::TransplantCostModel::ScaledDrain(fleet.drain_time, dc.timing);
+    fleet.per_host_transplant =
+        policy::TransplantCostModel::ScaledTransplant(fleet.per_host_transplant, dc.timing);
+    // Work-stealing keeps drained shards alive (hold-open) so the barrier
+    // steal planner can re-home racks into them or finalize them.
+    fleet.hold_open = config_.steal.enabled;
     if (dc.crash_storm.enabled() && dc.hosts() > 0) {
       fleet.crash_storm = dc.crash_storm;
       fleet.crash_storm.rate_per_hour *=
@@ -394,6 +470,10 @@ Result<CampaignReport> CampaignPlanner::Run() {
   };
   std::deque<RateSample> rate_window;
   bool throttled = false;
+  // Registered lazily (first steal / first skipped epoch) so metric
+  // snapshots of campaigns that never steal or stride stay byte-identical.
+  Counter* steals_counter = nullptr;
+  Counter* idle_counter = nullptr;
 
   // Admission under the global concurrency cap and per-DC bandwidth slots,
   // in shard-id order (deferred shards keep their place in line).
@@ -467,7 +547,20 @@ Result<CampaignReport> CampaignPlanner::Run() {
     std::vector<std::function<void()>> tasks;
     tasks.reserve(running.size());
     for (ShardRuntime* rt : running) {
-      tasks.push_back([rt, now] { rt->executor->RunUntil(now); });
+      if (rt->executor->pending_events() == 0) {
+        // Nothing queued (a drained hold-open shard, or a shard idling toward
+        // a far-future retry): advance its clock inline instead of paying a
+        // worker-pool task — the steal planner still needs the executor at
+        // barrier time.
+        rt->executor->AdvanceTo(now);
+        continue;
+      }
+      tasks.push_back([rt, now] {
+        // Finished shards must never reach the parallel section (TSan races
+        // the barrier bookkeeping otherwise); `running` excludes them above.
+        HYPERTP_CHECK(!rt->controller->finished());
+        rt->executor->RunUntil(now);
+      });
     }
     RunOnWorkerPool(tasks, threads);
 
@@ -510,6 +603,124 @@ Result<CampaignReport> CampaignPlanner::Run() {
     for (ShardRuntime* rt : running) {
       if (rt->controller->finished()) {
         finish_shard(*rt);
+      }
+    }
+
+    // Deterministic rack work-stealing, decided only here at the barrier
+    // (coordinator-only: no shard is advancing). The plan is a pure function
+    // of barrier state — remaining-work estimates with id-order tie-breaks —
+    // so every output byte is independent of thread count. Under hold_open,
+    // drained shards wait here to either adopt a rack or be finalized, which
+    // doubles as the progress guarantee: no barrier leaves a drained shard
+    // both unfed and unfinalized.
+    if (config_.steal.enabled) {
+      std::vector<ShardRuntime*> live;
+      for (auto& rt : shards) {
+        if (rt->admitted && !rt->done) {
+          live.push_back(rt.get());
+        }
+      }
+      std::vector<SimDuration> rem(live.size(), 0);
+      for (size_t i = 0; i < live.size(); ++i) {
+        rem[i] = policy::TransplantCostModel::RemainingEstimate(
+            live[i]->controller->PendingWork(), live[i]->controller->config().parallel_hosts);
+      }
+      const auto threshold = static_cast<SimDuration>(
+          config_.steal.threshold_epochs * static_cast<double>(config_.epoch));
+      // Unlimited mode still caps one barrier at total_racks moves — a
+      // deterministic backstop far above any sane rebalance.
+      const int barrier_cap = config_.steal.max_racks_per_epoch > 0
+                                  ? config_.steal.max_racks_per_epoch
+                                  : plan.total_racks;
+      int moved = 0;
+      while (moved < barrier_cap) {
+        // Thief: the least-loaded shard under the threshold (tie: lowest id).
+        int thief = -1;
+        for (int i = 0; i < static_cast<int>(live.size()); ++i) {
+          if (rem[static_cast<size_t>(i)] < threshold &&
+              (thief < 0 || rem[static_cast<size_t>(i)] < rem[static_cast<size_t>(thief)])) {
+            thief = i;
+          }
+        }
+        if (thief < 0) {
+          break;
+        }
+        // Donors in descending remaining work (tie: lowest id); take the
+        // first one owning a stealable rack whose move helps — the thief must
+        // stay at or below the donor's pre-move load, or the move would just
+        // relocate the straggler.
+        std::vector<int> donors;
+        for (int i = 0; i < static_cast<int>(live.size()); ++i) {
+          if (i != thief && rem[static_cast<size_t>(i)] > rem[static_cast<size_t>(thief)]) {
+            donors.push_back(i);
+          }
+        }
+        std::sort(donors.begin(), donors.end(), [&rem](int a, int b) {
+          const SimDuration ra = rem[static_cast<size_t>(a)];
+          const SimDuration rb = rem[static_cast<size_t>(b)];
+          return ra != rb ? ra > rb : a < b;
+        });
+        bool stole = false;
+        for (const int di : donors) {
+          ShardRuntime* donor_rt = live[static_cast<size_t>(di)];
+          ShardRuntime* thief_rt = live[static_cast<size_t>(thief)];
+          const std::vector<StealableDomain> domains =
+              donor_rt->controller->StealableDomains();
+          if (domains.empty()) {
+            continue;
+          }
+          const StealableDomain& d = domains.front();  // Lowest rack id.
+          const SimDuration rack_work =
+              static_cast<SimDuration>(d.hosts) * (d.drain_time + d.transplant_time);
+          const SimDuration thief_cost = policy::TransplantCostModel::RemainingEstimate(
+              rack_work, thief_rt->controller->config().parallel_hosts);
+          // Strict improvement only: the thief must land strictly below the
+          // donor's pre-move load. Allowing equality lets an equal-cost rack
+          // ping-pong between two shards inside one barrier; with strictness
+          // every re-move lowers the holder's (integer) load, so the loop
+          // provably terminates even without the cap.
+          if (rem[static_cast<size_t>(thief)] + thief_cost >= rem[static_cast<size_t>(di)]) {
+            continue;
+          }
+          const DetachedRack rack = donor_rt->controller->DetachDomain(d.domain);
+          thief_rt->controller->AdoptHosts(rack);
+          // Ownership moved; exposure did not. Re-point both drain cursors'
+          // last-seen counts so neither side synthesizes a phantom
+          // safe/re-expose event at the next barrier.
+          donor_rt->last_exposed -= rack.hosts;
+          thief_rt->last_exposed += rack.hosts;
+          stream.OnHostsRehomed(now, rack.hosts,
+                                static_cast<int64_t>(rack.hosts) * donor_rt->plan->vms_per_host);
+          rem[static_cast<size_t>(di)] -= policy::TransplantCostModel::RemainingEstimate(
+              rack_work, donor_rt->controller->config().parallel_hosts);
+          rem[static_cast<size_t>(thief)] += thief_cost;
+          ++report.steals;
+          report.stolen_hosts += rack.hosts;
+          ++moved;
+          if (config_.metrics != nullptr) {
+            if (steals_counter == nullptr) {
+              steals_counter = &config_.metrics->GetCounter("campaign_steals");
+            }
+            steals_counter->Increment();
+          }
+          if (tracer != nullptr) {
+            const SpanId mark = tracer->AddInstant("campaign_steal", now, "steal");
+            tracer->SetAttribute(mark, "donor", static_cast<int64_t>(donor_rt->plan->id));
+            tracer->SetAttribute(mark, "thief", static_cast<int64_t>(thief_rt->plan->id));
+            tracer->SetAttribute(mark, "hosts", static_cast<int64_t>(rack.hosts));
+          }
+          stole = true;
+          break;
+        }
+        if (!stole) {
+          break;
+        }
+      }
+      for (ShardRuntime* rt : live) {
+        if (!rt->done && rt->controller->drained()) {
+          rt->controller->FinalizeDrained();
+          finish_shard(*rt);
+        }
       }
     }
 
@@ -619,6 +830,60 @@ Result<CampaignReport> CampaignPlanner::Run() {
     }
 
     admit();
+
+    // Adaptive epoch stride: when every queued event sits beyond the next
+    // barrier and the governor is provably quiescent (not throttled, no hold,
+    // zero faults/rollbacks in the trailing window — so the empty barriers
+    // could neither throttle nor abort), jump straight to the last empty
+    // barrier. Skipped epochs count as executed — same epoch totals, same
+    // rate-window contents, same `now` — so every output byte matches the
+    // unstrided run; only idle_epochs_skipped records the shortcut.
+    if (config_.adaptive_stride && !throttled && governor_hold_ == 0 &&
+        window_post_pause == 0 && window_crash_rollbacks == 0 && finished < shards.size()) {
+      SimTime next_event = -1;
+      for (auto& rt : shards) {
+        if (!rt->admitted || rt->done) {
+          continue;
+        }
+        const SimTime t = rt->executor->NextEventTime();
+        if (t >= 0 && (next_event < 0 || t < next_event)) {
+          next_event = t;
+        }
+      }
+      if (next_event > now + config_.epoch) {
+        // First interesting barrier: smallest now + k*epoch >= next_event;
+        // the k-1 before it are empty. (a-1)/b == ceil(a/b)-1 for a > 0.
+        int64_t skip = (next_event - now - 1) / config_.epoch;
+        if (config_.max_epochs > 0) {
+          // Never stride past the horizon: the abort must fire at the same
+          // epoch count (and the same `now`) as the unstrided run.
+          skip = std::min<int64_t>(skip, config_.max_epochs - report.epochs);
+        }
+        if (skip > 0) {
+          now += skip * config_.epoch;
+          report.epochs += static_cast<int>(skip);
+          report.idle_epochs_skipped += static_cast<int>(skip);
+          if (epochs_counter != nullptr) {
+            epochs_counter->Increment(static_cast<uint64_t>(skip));
+          }
+          if (config_.metrics != nullptr) {
+            if (idle_counter == nullptr) {
+              idle_counter = &config_.metrics->GetCounter("campaign_idle_epochs_skipped");
+            }
+            idle_counter->Increment(static_cast<uint64_t>(skip));
+          }
+          // The skipped barriers' all-zero rate samples still slide the
+          // trailing window.
+          const int64_t pushes = std::min<int64_t>(skip, config_.slo.rate_window_epochs);
+          for (int64_t i = 0; i < pushes; ++i) {
+            rate_window.push_back({});
+          }
+          while (static_cast<int>(rate_window.size()) > config_.slo.rate_window_epochs) {
+            rate_window.pop_front();
+          }
+        }
+      }
+    }
   }
 
   if (!abort_reason.empty()) {
@@ -644,7 +909,11 @@ Result<CampaignReport> CampaignPlanner::Run() {
     CampaignShardSummary summary;
     summary.id = rt->plan->id;
     summary.datacenter = rt->plan->datacenter;
-    summary.hosts = rt->plan->hosts;
+    // The controller's count is the final responsibility set (initial plan
+    // +/- stolen racks); without stealing it equals the plan's.
+    summary.hosts = r.hosts;
+    summary.stolen_in = r.adopted_hosts;
+    summary.stolen_out = r.detached_hosts;
     summary.upgraded = r.upgraded;
     summary.failed = r.failed;
     summary.untouched = r.untouched;
@@ -693,6 +962,7 @@ Result<CampaignReport> CampaignPlanner::Run() {
   report.makespan = end;
   report.complete = !report.aborted && report.upgraded == report.hosts;
   report.policy_adaptive = config_.policy.adaptive();
+  report.steal_enabled = config_.steal.enabled;
   // Campaign-scope decision counters. Shard controllers get no registry of
   // their own (Counter::Increment is not atomic and shards advance on real
   // threads), so the totals land here, once, at the coordinator.
@@ -717,6 +987,9 @@ Result<CampaignReport> CampaignPlanner::Run() {
                          report.aborted ? "aborted" : (report.complete ? "complete" : "partial"));
     tracer->EndSpan(campaign_span, std::max(now, end));
   }
+  report.wall_ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                             wall_start)
+                       .count();
   return report;
 }
 

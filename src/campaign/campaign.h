@@ -64,6 +64,11 @@ struct CampaignDatacenter {
   // expected intensity is independent of the sharding and every draw stays
   // inside one shard's deterministic stream.
   CrashStormConfig crash_storm;
+  // Heterogeneous per-DC timing: host class (CPU generation), reboot cost
+  // (firmware/microcode path) and link generation scale this DC's per-host
+  // transplant and drain durations (policy::DcTimingModel). Defaults are all
+  // 1.0 — byte-identical to the homogeneous campaign.
+  policy::DcTimingModel timing;
 
   int hosts() const { return racks * hosts_per_rack; }
   int64_t vms() const { return static_cast<int64_t>(hosts()) * vms_per_host; }
@@ -100,6 +105,21 @@ struct CampaignSlo {
   double abort_crash_loss_fraction = 1.0;
 };
 
+// Deterministic rack work-stealing, decided only at epoch barriers: when a
+// shard's remaining-work estimate (pending per-host cost / wave width) falls
+// below `threshold_epochs` epochs, the planner re-homes whole fully-unstarted
+// racks from the most-loaded shard to it. Rack-integral moves preserve
+// cross-shard anti-affinity by construction; id-order tie-breaking keeps the
+// steal plan — and every output byte — independent of thread count.
+struct CampaignStealConfig {
+  bool enabled = false;
+  // A shard becomes a thief when its remaining-work estimate drops under
+  // threshold_epochs * epoch.
+  double threshold_epochs = 2.0;
+  // Cap on racks re-homed per barrier (0 = unlimited).
+  int max_racks_per_epoch = 0;
+};
+
 struct CampaignConfig {
   std::vector<CampaignDatacenter> datacenters;
   // Shard count: >= datacenters (every DC runs at least one shard) and
@@ -132,6 +152,17 @@ struct CampaignConfig {
   // byte-identical across shard counts and thread counts. kFixed (the
   // default) keeps legacy behavior byte for byte.
   policy::PolicyConfig policy;
+
+  // Straggler-tail mitigation (both off/neutral by default — disabled they
+  // keep every existing output byte-identical).
+  CampaignStealConfig steal;
+  // Adaptive epoch stride: when no admitted shard has an event before the
+  // next k epoch boundaries and the governor is quiescent, the coordinator
+  // strides straight to the next interesting boundary instead of running k
+  // empty barriers. Skipped epochs count as executed (identical reports);
+  // the campaign_idle_epochs_skipped counter and the report's
+  // idle_epochs_skipped field tally them.
+  bool adaptive_stride = true;
 
   CampaignSlo slo;
   uint64_t seed = 1;
@@ -190,6 +221,10 @@ struct CampaignShardSummary {
   int crash_rollbacks = 0;
   int lost = 0;
   int refused = 0;  // Hosts the adaptive policy excluded (0 under kFixed).
+  // Work-stealing traffic: hosts adopted from / handed to sibling shards.
+  // `hosts` above is the final responsibility set (initial + in - out).
+  int stolen_in = 0;
+  int stolen_out = 0;
   bool aborted = false;
   bool complete = false;
   SimTime admitted = -1;  // -1: the campaign aborted before admission.
@@ -228,6 +263,17 @@ struct CampaignReport {
   int policy_migrate_vms = 0;
   int policy_refused_vms = 0;
   SimDuration policy_vm_downtime = 0;
+  // Work-stealing totals (JSON keys appear only when stealing was enabled,
+  // so legacy reports stay byte-identical).
+  bool steal_enabled = false;
+  int steals = 0;        // Rack moves across all barriers.
+  int stolen_hosts = 0;  // Hosts those racks carried.
+  // Epoch barriers the adaptive stride skipped (JSON key only when > 0).
+  int idle_epochs_skipped = 0;
+  // Wall-clock of CampaignPlanner::Run() in milliseconds; -1 = not measured.
+  // Excluded from byte-identity comparisons (JSON key only when >= 0) —
+  // determinism tests reset it to -1 before serializing.
+  double wall_ms = -1.0;
   int epochs = 0;
   int throttled_epochs = 0;
   bool aborted = false;   // SLO (or horizon) abort.

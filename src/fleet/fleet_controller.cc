@@ -282,6 +282,7 @@ FleetController::FleetController(SimExecutor& executor, FleetConfig config)
     config_.per_host_transplant = timing.transplant_per_host;
   }
 
+  fault_domain_count_ = config_.fault_domains;
   hosts_.reserve(static_cast<size_t>(config_.hosts));
   host_rngs_.reserve(static_cast<size_t>(config_.hosts));
   host_spans_.resize(static_cast<size_t>(config_.hosts), 0);
@@ -424,6 +425,16 @@ void FleetController::Start() {
     }
     pending_.push_back(i);
   }
+  if (config_.hold_open) {
+    // Work-stealing mode: fill domain-major so waves pack into the lowest
+    // racks and whole high racks stay fully unstarted — the unit a barrier
+    // steal can re-home. Id-order fill would touch every rack in wave one.
+    std::sort(pending_.begin(), pending_.end(), [this](int a, int b) {
+      const int da = hosts_[static_cast<size_t>(a)].fault_domain;
+      const int db = hosts_[static_cast<size_t>(b)].fault_domain;
+      return da != db ? da < db : a < b;
+    });
+  }
   if (storm_rng_.has_value()) {
     const CrashStormConfig& storm = config_.crash_storm;
     storm_end_ = storm.duration > 0 ? base_ + storm.start + storm.duration : -1;
@@ -460,7 +471,7 @@ void FleetController::StartNextWave() {
   // Compose the wave: first-come order under the width and per-fault-domain
   // caps. Deferred hosts keep their queue position for the next wave.
   std::vector<int> wave_hosts;
-  std::vector<int> domain_in_flight(static_cast<size_t>(config_.fault_domains), 0);
+  std::vector<int> domain_in_flight(static_cast<size_t>(fault_domain_count_), 0);
   for (auto it = pending_.begin();
        it != pending_.end() && static_cast<int>(wave_hosts.size()) < width;) {
     int& domain_count = domain_in_flight[static_cast<size_t>(hosts_[*it].fault_domain)];
@@ -509,10 +520,7 @@ void FleetController::StartDrain(int host) {
   h.drain_started = executor_.now();
   RollHostSpan(host, "drain");
   Emit(FleetEventType::kDrainStart, host);
-  const SimDuration drain = policy_.has_value()
-                                ? host_plans_[static_cast<size_t>(host)].drain_time
-                                : config_.drain_time;
-  executor_.ScheduleAfter(Jittered(drain, host_rngs_[static_cast<size_t>(host)]),
+  executor_.ScheduleAfter(Jittered(HostDrainTime(host), host_rngs_[static_cast<size_t>(host)]),
                           Guarded(&FleetController::StartTransplant, host));
 }
 
@@ -525,11 +533,9 @@ void FleetController::StartTransplant(int host) {
     config_.tracer->SetAttribute(span, "attempt", static_cast<int64_t>(h.attempts));
   }
   Emit(FleetEventType::kTransplantStart, host, h.attempts);
-  const SimDuration transplant = policy_.has_value()
-                                     ? host_plans_[static_cast<size_t>(host)].transplant_time
-                                     : config_.per_host_transplant;
-  executor_.ScheduleAfter(Jittered(transplant, host_rngs_[static_cast<size_t>(host)]),
-                          Guarded(&FleetController::FinishAttempt, host));
+  executor_.ScheduleAfter(
+      Jittered(HostTransplantTime(host), host_rngs_[static_cast<size_t>(host)]),
+      Guarded(&FleetController::FinishAttempt, host));
 }
 
 void FleetController::FinishAttempt(int host) {
@@ -661,12 +667,15 @@ void FleetController::Finalize(FleetEventType terminal) {
       report_.hosts - report_.upgraded - report_.failed - report_.lost - report_.refused;
   report_.aborted = terminal == FleetEventType::kRolloutAborted;
   report_.complete = report_.upgraded == report_.hosts;
-  report_.makespan = executor_.now() - base_;
+  // A drained hold-open rollout finalizes at a later barrier; its makespan is
+  // the instant the last work finished, not when the coordinator got to it.
+  const SimTime rollout_end = (drained_ && drained_at_ >= 0) ? drained_at_ : executor_.now();
+  report_.makespan = rollout_end - base_;
   report_.exposed_host_days = exposed_host_seconds_ / (24.0 * 3600.0);
   if (config_.tracer != nullptr) {
     // An abort leaves in-flight hosts mid-state: close their spans where the
     // rollout stopped so every track ends at the terminal event.
-    for (int i = 0; i < config_.hosts; ++i) {
+    for (int i = 0; i < static_cast<int>(hosts_.size()); ++i) {
       RollHostSpan(i, {});
     }
     config_.tracer->EndSpan(wave_span_, executor_.now());
@@ -915,8 +924,153 @@ void FleetController::LoseHost(int host, bool ledger_data_loss) {
 
 void FleetController::MaybeFinishRollout() {
   if (pending_.empty() && wave_in_flight_ == 0 && recovering_ == 0 && recovery_queue_.empty()) {
+    if (config_.hold_open) {
+      // Work-stealing mode: stay alive for the coordinator, which either
+      // adopts more work into this controller or finalizes it at a barrier.
+      // Close the exposure integral at the drain instant either way.
+      if (!drained_) {
+        drained_ = true;
+        drained_at_ = executor_.now();
+        AccrueExposure();
+      }
+      return;
+    }
     Finalize(FleetEventType::kRolloutComplete);
   }
+}
+
+SimDuration FleetController::HostDrainTime(int host) const {
+  if (policy_.has_value()) {
+    return host_plans_[static_cast<size_t>(host)].drain_time;
+  }
+  if (!host_drain_override_.empty()) {
+    return host_drain_override_[static_cast<size_t>(host)];
+  }
+  return config_.drain_time;
+}
+
+SimDuration FleetController::HostTransplantTime(int host) const {
+  if (policy_.has_value()) {
+    return host_plans_[static_cast<size_t>(host)].transplant_time;
+  }
+  if (!host_transplant_override_.empty()) {
+    return host_transplant_override_[static_cast<size_t>(host)];
+  }
+  return config_.per_host_transplant;
+}
+
+SimDuration FleetController::PendingWork() const {
+  SimDuration total = 0;
+  for (const int host : pending_) {
+    total += HostDrainTime(host) + HostTransplantTime(host);
+  }
+  return total;
+}
+
+std::vector<StealableDomain> FleetController::StealableDomains() const {
+  // Precondition (enforced by PlanCampaign): no crash storm and no adaptive
+  // policy, so "kServing with zero attempts" is exactly "still queued".
+  std::vector<int> members(static_cast<size_t>(fault_domain_count_), 0);
+  std::vector<int> unstarted(static_cast<size_t>(fault_domain_count_), 0);
+  std::vector<int> first_host(static_cast<size_t>(fault_domain_count_), -1);
+  for (const FleetHost& h : hosts_) {
+    if (h.state == FleetHostState::kDetached) {
+      continue;
+    }
+    const auto d = static_cast<size_t>(h.fault_domain);
+    ++members[d];
+    if (first_host[d] < 0) {
+      first_host[d] = h.id;
+    }
+    unstarted[d] +=
+        h.state == FleetHostState::kServing && !h.upgraded && h.attempts == 0;
+  }
+  std::vector<StealableDomain> out;
+  for (int d = 0; d < fault_domain_count_; ++d) {
+    const auto i = static_cast<size_t>(d);
+    if (members[i] > 0 && members[i] == unstarted[i]) {
+      out.push_back(StealableDomain{d, members[i], HostDrainTime(first_host[i]),
+                                    HostTransplantTime(first_host[i])});
+    }
+  }
+  return out;
+}
+
+DetachedRack FleetController::DetachDomain(int domain) {
+  HYPERTP_CHECK(config_.hold_open && !policy_.has_value() && started_ && !finished_);
+  std::vector<int> member_ids;
+  for (const FleetHost& h : hosts_) {
+    if (h.fault_domain == domain && h.state != FleetHostState::kDetached) {
+      HYPERTP_CHECK(h.state == FleetHostState::kServing && !h.upgraded && h.attempts == 0);
+      member_ids.push_back(h.id);
+    }
+  }
+  HYPERTP_CHECK(!member_ids.empty());
+  DetachedRack rack;
+  rack.hosts = static_cast<int>(member_ids.size());
+  rack.drain_time = HostDrainTime(member_ids.front());
+  rack.transplant_time = HostTransplantTime(member_ids.front());
+  rack.rngs.reserve(member_ids.size());
+  // Ownership moves; global exposure does not change. Accrue to the barrier
+  // instant, then drop the hosts from this controller's count *silently* (no
+  // exposure-timeline entry) — the campaign re-points the weight at the
+  // adopting shard so the stream never sees a phantom safe/re-expose event.
+  AccrueExposure();
+  std::vector<char> leaving(hosts_.size(), 0);
+  for (const int id : member_ids) {
+    FleetHost& h = hosts_[static_cast<size_t>(id)];
+    h.state = FleetHostState::kDetached;
+    leaving[static_cast<size_t>(id)] = 1;
+    rack.rngs.push_back(host_rngs_[static_cast<size_t>(id)]);
+    Emit(FleetEventType::kHostDetached, id);
+    --exposed_;
+  }
+  pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
+                                [&leaving](int id) { return leaving[static_cast<size_t>(id)]; }),
+                 pending_.end());
+  report_.hosts -= rack.hosts;
+  report_.detached_hosts += rack.hosts;
+  return rack;
+}
+
+void FleetController::AdoptHosts(const DetachedRack& rack) {
+  HYPERTP_CHECK(config_.hold_open && !policy_.has_value() && started_ && !finished_);
+  HYPERTP_CHECK(rack.hosts > 0 && static_cast<int>(rack.rngs.size()) == rack.hosts);
+  if (host_drain_override_.empty()) {
+    host_drain_override_.assign(hosts_.size(), config_.drain_time);
+    host_transplant_override_.assign(hosts_.size(), config_.per_host_transplant);
+  }
+  const int domain = fault_domain_count_++;
+  const int first_id = static_cast<int>(hosts_.size());
+  AccrueExposure();
+  for (int i = 0; i < rack.hosts; ++i) {
+    FleetHost host;
+    host.id = first_id + i;
+    host.fault_domain = domain;
+    hosts_.push_back(host);
+    host_rngs_.push_back(rack.rngs[static_cast<size_t>(i)]);
+    host_spans_.push_back(0);
+    host_drain_override_.push_back(rack.drain_time);
+    host_transplant_override_.push_back(rack.transplant_time);
+    pending_.push_back(host.id);
+    ++exposed_;
+  }
+  report_.hosts += rack.hosts;
+  report_.adopted_hosts += rack.hosts;
+  Emit(FleetEventType::kHostsAdopted, first_id, rack.hosts);
+  if (drained_) {
+    drained_ = false;
+    drained_at_ = -1;
+    executor_.ScheduleAt(executor_.now(), Guarded(&FleetController::StartNextWave));
+  }
+}
+
+void FleetController::FinalizeDrained() {
+  if (finished_) {
+    return;
+  }
+  HYPERTP_CHECK(config_.hold_open && drained_);
+  Finalize(FleetEventType::kRolloutComplete);
 }
 
 SimDuration FleetController::Jittered(SimDuration base, Rng& rng) {

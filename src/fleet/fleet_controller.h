@@ -70,6 +70,12 @@ struct FleetRolloutReport {
   // Per-VM downtime actually charged by upgraded hosts' plans (each in-place
   // guest's expected pause + each migrated guest's switchover brownout).
   SimDuration policy_vm_downtime = 0;
+  // Campaign work-stealing traffic (zero without FleetConfig::hold_open):
+  // hosts this controller handed to / received from sibling shards. `hosts`
+  // above tracks the *current* responsibility set, so after steals
+  // hosts == initial + adopted - detached.
+  int adopted_hosts = 0;
+  int detached_hosts = 0;
   bool aborted = false;
   bool complete = false;  // Every host upgraded.
   SimDuration makespan = 0;
@@ -118,6 +124,28 @@ FleetTimingModel DeriveFleetTiming(double inplace_fraction, uint64_t seed,
 // the abort) but not be negative.
 Result<void> ValidateFleetConfig(const FleetConfig& config);
 
+// One fully-unstarted fault domain (rack) a barrier steal could re-home:
+// every non-detached member host is still queued with zero attempts.
+struct StealableDomain {
+  int domain = 0;
+  int hosts = 0;
+  // Uniform per-host durations of the rack's hosts (DC-scaled by the campaign
+  // at construction, or carried along from a previous adoption).
+  SimDuration drain_time = 0;
+  SimDuration transplant_time = 0;
+};
+
+// A rack in flight between two controllers: DetachDomain() produces it,
+// AdoptHosts() consumes it. Each host's RNG stream travels with the host, so
+// its jitter/failure draws are a function of the steal plan, not of which
+// controller happens to schedule it — deterministic for any thread count.
+struct DetachedRack {
+  int hosts = 0;
+  SimDuration drain_time = 0;
+  SimDuration transplant_time = 0;
+  std::vector<Rng> rngs;
+};
+
 class FleetController {
  public:
   // The executor is borrowed, not owned: the operational scenario reuses one
@@ -154,6 +182,41 @@ class FleetController {
   const std::vector<FleetHost>& hosts() const { return hosts_; }
   const FleetConfig& config() const { return config_; }
 
+  // --- Campaign work-stealing surface (FleetConfig::hold_open mode). All of
+  // these are coordinator-only calls, made strictly at epoch barriers while
+  // no shard is advancing, so they need no synchronization.
+
+  // True when the rollout ran dry under hold_open: no pending, in-flight or
+  // recovery work, but not finalized — awaiting adoption or FinalizeDrained().
+  bool drained() const { return drained_; }
+  // Sim time the rollout ran dry (-1 while it has work).
+  SimTime drained_at() const { return drained_at_; }
+
+  // Aggregate (drain + transplant) cost of every unstarted host — the
+  // numerator of the shard's remaining-work estimate.
+  SimDuration PendingWork() const;
+  int pending_hosts() const { return static_cast<int>(pending_.size()); }
+
+  // Fault domains whose every live member is still unstarted, in ascending
+  // domain order — the racks a barrier steal may re-home without ever
+  // splitting one across shards.
+  std::vector<StealableDomain> StealableDomains() const;
+
+  // Re-homes the whole (fully-unstarted) domain out of this controller: hosts
+  // become kDetached, leave the pending queue, the report totals and the
+  // exposure count (silently — ownership moves, exposure does not change).
+  DetachedRack DetachDomain(int domain);
+
+  // Adopts a stolen rack as a fresh fault domain: new hosts appended with the
+  // rack's per-host durations and travelling RNG streams, queued behind the
+  // existing pending work. Restarts the wave loop if the rollout was drained.
+  void AdoptHosts(const DetachedRack& rack);
+
+  // Finalizes a drained hold-open rollout as complete, with the makespan
+  // stamped at drained_at() — the instant the last work actually finished —
+  // not at the barrier that got around to calling this.
+  void FinalizeDrained();
+
  private:
   void Emit(FleetEventType type, int host, int attempt = 0);
   void StartNextWave();
@@ -169,6 +232,10 @@ class FleetController {
   void HostDone(int host);
   void AccrueExposure();
   void Finalize(FleetEventType terminal);
+  // Per-host durations: adopted hosts carry their origin rack's (DC-scaled)
+  // timings; native hosts use the config (or policy plan) values.
+  SimDuration HostDrainTime(int host) const;
+  SimDuration HostTransplantTime(int host) const;
   // ReHype-mode crash recovery (active only when config_.crash_storm is
   // enabled). Crash arrivals draw from storm_rng_, recovery durations and
   // outcome draws from the struck host's own rng.
@@ -214,6 +281,15 @@ class FleetController {
   std::vector<SpanId> host_spans_;  // The one open span per host.
 
   std::deque<int> pending_;
+  // Work-stealing state (hold_open mode): live fault-domain count (grows as
+  // racks are adopted), the drained-but-not-finalized flag/instant, and the
+  // per-host duration overrides (empty until the first adoption; then entry i
+  // is host i's duration — adopted hosts differ from the config values).
+  int fault_domain_count_ = 1;
+  bool drained_ = false;
+  SimTime drained_at_ = -1;
+  std::vector<SimDuration> host_drain_override_;
+  std::vector<SimDuration> host_transplant_override_;
   // Crash-storm state: a dedicated RNG stream (forked after all host rngs, so
   // legacy configs keep their exact sequences), the queue of crashed hosts
   // awaiting an unplanned recovery, how many recoveries hold worker slots,

@@ -22,6 +22,8 @@ std::string_view FleetHostStateName(FleetHostState state) {
       return "crashed";
     case FleetHostState::kRecovering:
       return "recovering";
+    case FleetHostState::kDetached:
+      return "detached";
   }
   return "unknown";
 }
@@ -70,6 +72,10 @@ std::string_view FleetEventTypeName(FleetEventType type) {
       return "host_lost";
     case FleetEventType::kHostRefused:
       return "host_refused";
+    case FleetEventType::kHostDetached:
+      return "host_detached";
+    case FleetEventType::kHostsAdopted:
+      return "hosts_adopted";
   }
   return "unknown";
 }

@@ -45,6 +45,11 @@ enum class FleetHostState : uint8_t {
   // (priority over upgrade waves); kRecovering hosts are mid-recovery.
   kCrashed,
   kRecovering,
+  // Appended (campaign work-stealing): the host's whole rack was re-homed to
+  // another shard's controller at an epoch barrier. A detached host is no
+  // longer this controller's responsibility — it leaves the report totals and
+  // the exposure count, and no event ever targets it again.
+  kDetached,
 };
 
 std::string_view FleetHostStateName(FleetHostState state);
@@ -96,6 +101,11 @@ enum class FleetEventType : uint8_t {
   kHostRefused,        // Policy refused a guest on this host: neither
                        // mechanism met its budget. Host keeps serving the
                        // vulnerable hypervisor, never enters a wave.
+  // Appended: campaign work-stealing (whole-rack re-homing at barriers).
+  kHostDetached,       // This unstarted host's rack was stolen by another
+                       // shard; it leaves this controller's books.
+  kHostsAdopted,       // A stolen rack arrived: `attempt` carries the host
+                       // count, `host` the first adopted local id.
 };
 
 std::string_view FleetEventTypeName(FleetEventType type);
@@ -215,6 +225,17 @@ struct FleetConfig {
   // (0 = unconstrained).
   int fault_domains = 1;
   int max_per_domain_in_flight = 0;
+
+  // Campaign work-stealing mode. Two coupled behavior changes, both off by
+  // default so every existing seeded replay is byte-identical:
+  //   1. The pending queue fills domain-major (rack 0's hosts first) instead
+  //      of id-order, so waves pack into the lowest racks and whole high
+  //      racks stay fully unstarted — the unit a barrier steal can re-home.
+  //   2. A drained rollout (no pending, in-flight or recovery work) does NOT
+  //      self-finalize; it records drained_at() and waits for the coordinator
+  //      to either AdoptHosts() more work or FinalizeDrained() it, with the
+  //      makespan stamped at the drain instant, not the barrier.
+  bool hold_open = false;
 
   // Fault injection (all draws come from per-host forks of `seed`, so the
   // outcome of host i never depends on scheduling order).

@@ -67,6 +67,24 @@ struct VmSignals {
   double dirty_factor = 1.0;
 };
 
+// Heterogeneous per-datacenter timing: multiplicative factors a DC's hardware
+// generation applies to the baseline per-host durations. `host_class` scales
+// everything (older CPUs run the whole drain+micro-reboot slower),
+// `reboot_cost` additionally scales the transplant leg (firmware / kexec
+// latency of the host generation), and `link_generation` divides the drain
+// leg (newer NICs evacuate faster). All-1.0 (the default) is the homogeneous
+// fleet and must leave every consumer byte-identical, so the scaling helpers
+// short-circuit on it instead of round-tripping through double.
+struct DcTimingModel {
+  double host_class = 1.0;
+  double reboot_cost = 1.0;
+  double link_generation = 1.0;
+
+  bool uniform() const {
+    return host_class == 1.0 && reboot_cost == 1.0 && link_generation == 1.0;
+  }
+};
+
 // Environment signals: what the datacenter around the VM looks like.
 struct EnvSignals {
   double link_gbps = 10.0;       // Per-DC migration link bandwidth.
@@ -174,6 +192,17 @@ class TransplantCostModel {
   // Closed-form fleet makespan: ceil(hosts / parallel) waves of `per_host`.
   // FleetTransplantTime (window_model) delegates here.
   static SimDuration FleetMakespan(int hosts, int parallel_hosts, SimDuration per_host);
+
+  // Heterogeneous-DC scaling of the baseline per-host durations (campaign
+  // layer). Uniform timing returns `base` unchanged — no double round-trip —
+  // so homogeneous configs keep their exact legacy durations.
+  static SimDuration ScaledTransplant(SimDuration base, const DcTimingModel& timing);
+  static SimDuration ScaledDrain(SimDuration base, const DcTimingModel& timing);
+
+  // Remaining-work estimate of a shard mid-rollout: the unstarted hosts'
+  // aggregate (drain + transplant) cost spread over the shard's wave width —
+  // the quantity the campaign StealPlanner balances across shards.
+  static SimDuration RemainingEstimate(SimDuration pending_work, int parallel_hosts);
 
  private:
   HostCostProfile costs_;

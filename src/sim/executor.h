@@ -47,6 +47,11 @@ class SimExecutor {
 
   size_t pending_events() const { return queue_.size(); }
 
+  // Timestamp of the earliest queued event, or -1 when the queue is empty.
+  // Lets a coordinator that advances many executors in lockstep (the campaign
+  // planner) stride over barriers it can prove would dispatch nothing.
+  SimTime NextEventTime() const { return queue_.empty() ? -1 : queue_.top().time; }
+
  private:
   struct Event {
     SimTime time;

@@ -80,6 +80,22 @@ void ExposureStream::OnHostsExposed(SimTime t, int64_t hosts, int64_t vms) {
   MaybeRecordPoint(last_update_, /*force=*/false);
 }
 
+void ExposureStream::OnHostsRehomed(SimTime t, int64_t hosts, int64_t vms) {
+  Accrue(t);
+  hosts_rehomed_ += std::max<int64_t>(hosts, 0);
+  vms_rehomed_ += std::max<int64_t>(vms, 0);
+  if (options_.metrics != nullptr) {
+    if (hosts_rehomed_counter_ == nullptr) {
+      hosts_rehomed_counter_ =
+          &options_.metrics->GetCounter(options_.metric_prefix + "_hosts_rehomed");
+      vms_rehomed_counter_ = &options_.metrics->GetCounter(options_.metric_prefix + "_vms_rehomed");
+    }
+    hosts_rehomed_counter_->Increment(static_cast<uint64_t>(std::max<int64_t>(hosts, 0)));
+    vms_rehomed_counter_->Increment(static_cast<uint64_t>(std::max<int64_t>(vms, 0)));
+  }
+  // Exposure-neutral by definition: counts, fraction and curve are untouched.
+}
+
 void ExposureStream::AdvanceTo(SimTime t) { Accrue(t); }
 
 void ExposureStream::Seal(SimTime t) {

@@ -70,6 +70,13 @@ class ExposureStream {
   // counters, created lazily so storm-free runs keep their exact metric set.
   void OnHostsExposed(SimTime t, int64_t hosts, int64_t vms);
 
+  // Exposure-neutral ownership move: `hosts`/`vms` changed which shard owns
+  // them at `t` (campaign rack work-stealing) without changing whether they
+  // are exposed. Accrues the integral to `t` and tallies the traffic into
+  // <prefix>_hosts_rehomed / <prefix>_vms_rehomed counters (created lazily,
+  // so steal-free runs keep their exact metric set); the curve is untouched.
+  void OnHostsRehomed(SimTime t, int64_t hosts, int64_t vms);
+
   // Advances the exposure integral to `t` with no membership change (epoch
   // barriers, and the campaign end).
   void AdvanceTo(SimTime t);
@@ -82,6 +89,9 @@ class ExposureStream {
   int64_t total_vms() const { return total_vms_; }
   int64_t exposed_hosts() const { return exposed_hosts_; }
   int64_t exposed_vms() const { return exposed_vms_; }
+  // Cumulative rack-steal traffic fed through OnHostsRehomed.
+  int64_t hosts_rehomed() const { return hosts_rehomed_; }
+  int64_t vms_rehomed() const { return vms_rehomed_; }
   SimTime last_update() const { return last_update_; }
   // VM-weighted fraction of the fleet still on the vulnerable hypervisor.
   double fraction_vulnerable() const;
@@ -113,6 +123,11 @@ class ExposureStream {
   // Created on the first OnHostsExposed (see its comment).
   Counter* hosts_reexposed_ = nullptr;
   Counter* vms_reexposed_ = nullptr;
+  // Created on the first OnHostsRehomed.
+  int64_t hosts_rehomed_ = 0;
+  int64_t vms_rehomed_ = 0;
+  Counter* hosts_rehomed_counter_ = nullptr;
+  Counter* vms_rehomed_counter_ = nullptr;
 };
 
 }  // namespace hypertp

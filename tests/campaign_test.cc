@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <set>
 
 #include "src/campaign/campaign.h"
@@ -33,6 +34,14 @@ CampaignConfig BaseConfig() {
   config.epoch = Seconds(5);
   config.seed = 42;
   return config;
+}
+
+// Byte-identity comparisons must exclude wall-clock: wall_ms is the one
+// intentionally nondeterministic report field (its JSON key is omitted when
+// reset to the unmeasured sentinel).
+std::string DeterministicJson(CampaignReport report) {
+  report.wall_ms = -1.0;
+  return CampaignReportToJson(report);
 }
 
 TEST(CampaignPlanTest, ShardsPartitionRacksWithoutSplitting) {
@@ -323,7 +332,7 @@ TEST(CampaignTest, ReportAndObservabilityAreByteIdenticalAcrossThreadCounts) {
     config.metrics = &metrics;
     Result<CampaignReport> run = CampaignPlanner(config).Run();
     ASSERT_TRUE(run.ok()) << run.error().ToString();
-    report_json[i] = CampaignReportToJson(*run);
+    report_json[i] = DeterministicJson(*run);
     trace_json[i] = tracer.ToChromeTraceJson();
     metrics_json[i] = metrics.ToJson();
   }
@@ -546,7 +555,7 @@ TEST(CampaignStormTest, StormReportsAreByteIdenticalAcrossThreadCounts) {
     config.real_threads = i == 0 ? 1 : 4;
     Result<CampaignReport> run = CampaignPlanner(config).Run();
     ASSERT_TRUE(run.ok()) << run.error().ToString();
-    json[i] = CampaignReportToJson(*run);
+    json[i] = DeterministicJson(*run);
   }
   EXPECT_EQ(json[0], json[1]);
 }
@@ -614,7 +623,7 @@ TEST(CampaignStormTest, QuietStormConfigKeepsLegacyBytes) {
   zeroed.datacenters[0].crash_storm = CrashStormConfig{};
   Result<CampaignReport> same = CampaignPlanner(zeroed).Run();
   ASSERT_TRUE(same.ok());
-  EXPECT_EQ(CampaignReportToJson(*base), CampaignReportToJson(*same));
+  EXPECT_EQ(DeterministicJson(*base), DeterministicJson(*same));
 }
 
 TEST(CampaignStormTest, PlanRejectsMalformedStormWithDatacenterContext) {
@@ -685,7 +694,7 @@ TEST(CampaignPolicyTest, AdaptiveReportIsByteIdenticalAcrossThreadCounts) {
     config.metrics = &metrics;
     Result<CampaignReport> run = CampaignPlanner(config).Run();
     ASSERT_TRUE(run.ok()) << run.error().ToString();
-    report_json[i] = CampaignReportToJson(*run);
+    report_json[i] = DeterministicJson(*run);
     trace_json[i] = tracer.ToChromeTraceJson();
     metrics_json[i] = metrics.ToJson();
   }
@@ -744,6 +753,293 @@ TEST(CampaignPolicyTest, PlanRejectsMalformedDatacenterPolicySignals) {
   Result<CampaignPlan> knob = PlanCampaign(config);
   ASSERT_FALSE(knob.ok());
   EXPECT_NE(knob.error().message().find("max_vm_pause"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Straggler-tail mitigation: heterogeneous per-DC timing, deterministic rack
+// work-stealing at epoch barriers, and the adaptive epoch stride.
+
+// Two equal-size DCs, one of them 4x slower (old host class): without
+// stealing the slow DC's shard is a 4x straggler.
+CampaignConfig SkewedConfig() {
+  CampaignConfig config;
+  CampaignDatacenter fast;
+  fast.name = "fast";
+  fast.racks = 4;
+  fast.hosts_per_rack = 10;
+  CampaignDatacenter slow = fast;
+  slow.name = "slow";
+  slow.timing.host_class = 4.0;
+  config.datacenters = {fast, slow};
+  config.shards = 2;
+  config.parallel_hosts_per_shard = 10;
+  config.per_host_transplant = Seconds(10);
+  config.epoch = Seconds(5);
+  config.seed = 42;
+  return config;
+}
+
+TEST(CampaignTimingTest, HeterogeneousTimingScalesShardMakespans) {
+  CampaignConfig config = BaseConfig();
+  config.datacenters[1].timing.host_class = 2.0;  // West hosts are 2x slower.
+  Result<CampaignReport> run = CampaignPlanner(config).Run();
+  ASSERT_TRUE(run.ok()) << run.error().ToString();
+  EXPECT_TRUE(run->complete);
+  // East shards: 20 hosts / 5 wide x 10 s = 40 s. West: same shape at 20 s
+  // per host = 80 s.
+  for (const CampaignShardSummary& shard : run->shard_summaries) {
+    EXPECT_EQ(shard.makespan, shard.datacenter == 0 ? Seconds(40) : Seconds(80))
+        << "shard " << shard.id;
+  }
+  EXPECT_EQ(run->makespan, Seconds(80));
+}
+
+TEST(CampaignTimingTest, UniformTimingKeepsLegacyBytes) {
+  // Explicit all-1.0 multipliers must be byte-identical to the default.
+  CampaignConfig unit = BaseConfig();
+  for (CampaignDatacenter& dc : unit.datacenters) {
+    dc.timing = policy::DcTimingModel{};
+  }
+  Result<CampaignReport> base = CampaignPlanner(BaseConfig()).Run();
+  Result<CampaignReport> same = CampaignPlanner(unit).Run();
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(same.ok());
+  EXPECT_EQ(DeterministicJson(*base), DeterministicJson(*same));
+}
+
+TEST(CampaignTimingTest, PlanRejectsMalformedTimingWithDatacenterContext) {
+  CampaignConfig config = BaseConfig();
+  config.datacenters[0].timing.host_class = 0.0;
+  Result<CampaignPlan> planned = PlanCampaign(config);
+  ASSERT_FALSE(planned.ok());
+  EXPECT_NE(planned.error().message().find("east"), std::string::npos);
+  EXPECT_NE(planned.error().message().find("timing.host_class"), std::string::npos);
+
+  config = BaseConfig();
+  config.datacenters[1].timing.reboot_cost = -1.0;
+  Result<CampaignPlan> reboot = PlanCampaign(config);
+  ASSERT_FALSE(reboot.ok());
+  EXPECT_NE(reboot.error().message().find("west"), std::string::npos);
+  EXPECT_NE(reboot.error().message().find("timing.reboot_cost"), std::string::npos);
+
+  config = BaseConfig();
+  config.datacenters[0].timing.link_generation =
+      std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(PlanCampaign(config).ok());
+}
+
+TEST(CampaignStealTest, StealingRebalancesSkewedDatacenters) {
+  CampaignConfig fixed = SkewedConfig();
+  CampaignConfig stealing = SkewedConfig();
+  stealing.steal.enabled = true;
+
+  Result<CampaignReport> fixed_run = CampaignPlanner(fixed).Run();
+  Result<CampaignReport> steal_run = CampaignPlanner(stealing).Run();
+  ASSERT_TRUE(fixed_run.ok()) << fixed_run.error().ToString();
+  ASSERT_TRUE(steal_run.ok()) << steal_run.error().ToString();
+
+  // Fixed: fast shard 4 waves x 10 s = 40 s, slow shard 4 waves x 40 s.
+  EXPECT_EQ(fixed_run->makespan, Seconds(160));
+  EXPECT_EQ(fixed_run->steals, 0);
+  // Stealing re-homes slow racks into the drained fast shard and beats the
+  // straggler tail. Same hosts upgraded either way.
+  EXPECT_GT(steal_run->steals, 0);
+  EXPECT_EQ(steal_run->stolen_hosts, steal_run->steals * 10);
+  EXPECT_LT(steal_run->makespan, fixed_run->makespan);
+  EXPECT_TRUE(steal_run->complete);
+  EXPECT_EQ(steal_run->upgraded, fixed_run->upgraded);
+  EXPECT_EQ(steal_run->final_fraction_vulnerable, 0.0);
+  // The exposure curve stays monotone: steals are exposure-neutral.
+  for (size_t i = 1; i < steal_run->exposure_curve.size(); ++i) {
+    EXPECT_LE(steal_run->exposure_curve[i].fraction,
+              steal_run->exposure_curve[i - 1].fraction);
+  }
+  // Responsibility conservation: summary hosts are the final sets, and the
+  // steal traffic balances.
+  int total_hosts = 0;
+  int total_in = 0;
+  int total_out = 0;
+  for (const CampaignShardSummary& shard : steal_run->shard_summaries) {
+    total_hosts += shard.hosts;
+    total_in += shard.stolen_in;
+    total_out += shard.stolen_out;
+  }
+  EXPECT_EQ(total_hosts, steal_run->hosts);
+  EXPECT_EQ(total_in, total_out);
+  EXPECT_EQ(total_in, steal_run->stolen_hosts);
+}
+
+TEST(CampaignStealTest, GoldenStealDecisions) {
+  // The full deterministic steal plan for SkewedConfig, derived by hand:
+  // fast shard drains its native racks at t=30 (last wave in flight, queue
+  // empty, rem 0 < 2 epochs) and adopts one slow rack (10 hosts x 40 s / 10
+  // wide = 40 s thief cost against the slow shard's 120 s backlog). Every
+  // later barrier fails the strict-improvement test, so exactly one rack
+  // moves; the fast shard finishes its adopted work at t=80 and the slow
+  // shard its remaining three racks at t=120 (vs 160 s unstolen).
+  CampaignConfig config = SkewedConfig();
+  config.steal.enabled = true;
+  Result<CampaignReport> run = CampaignPlanner(config).Run();
+  ASSERT_TRUE(run.ok()) << run.error().ToString();
+
+  EXPECT_EQ(run->steals, 1);
+  EXPECT_EQ(run->stolen_hosts, 10);
+  EXPECT_EQ(run->makespan, Seconds(120));
+  ASSERT_EQ(run->shard_summaries.size(), 2u);
+  const CampaignShardSummary& fast = run->shard_summaries[0];
+  const CampaignShardSummary& slow = run->shard_summaries[1];
+  EXPECT_EQ(fast.stolen_in, 10);
+  EXPECT_EQ(fast.stolen_out, 0);
+  EXPECT_EQ(fast.hosts, 50);
+  EXPECT_EQ(fast.makespan, Seconds(80));
+  EXPECT_EQ(slow.stolen_in, 0);
+  EXPECT_EQ(slow.stolen_out, 10);
+  EXPECT_EQ(slow.hosts, 30);
+  EXPECT_EQ(slow.makespan, Seconds(120));
+  // The JSON carries the steal block (and only then).
+  const std::string json = DeterministicJson(*run);
+  EXPECT_NE(json.find("\"steals\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"stolen_in\":10"), std::string::npos);
+}
+
+TEST(CampaignStealTest, StealReportsAreByteIdenticalAcrossThreadAndShardCounts) {
+  // The determinism contract under stealing: for every shard count, any
+  // thread count produces the same bytes (reports, traces, metrics). Jitter
+  // draws travel with each stolen host's RNG stream, so this also pins the
+  // travelling-stream design.
+  for (int shard_count : {2, 4, 8}) {
+    std::string report_json[3];
+    std::string trace_json[3];
+    std::string metrics_json[3];
+    const int threads[3] = {1, 4, 8};
+    for (int i = 0; i < 3; ++i) {
+      Tracer tracer;
+      MetricsRegistry metrics;
+      CampaignConfig config = SkewedConfig();
+      config.steal.enabled = true;
+      config.latency_jitter = 0.3;
+      config.shards = shard_count;
+      config.real_threads = threads[i];
+      config.tracer = &tracer;
+      config.metrics = &metrics;
+      Result<CampaignReport> run = CampaignPlanner(config).Run();
+      ASSERT_TRUE(run.ok()) << run.error().ToString();
+      EXPECT_TRUE(run->complete);
+      report_json[i] = DeterministicJson(*run);
+      trace_json[i] = tracer.ToChromeTraceJson();
+      metrics_json[i] = metrics.ToJson();
+    }
+    for (int i = 1; i < 3; ++i) {
+      EXPECT_EQ(report_json[i], report_json[0]) << "shards=" << shard_count;
+      EXPECT_EQ(trace_json[i], trace_json[0]) << "shards=" << shard_count;
+      EXPECT_EQ(metrics_json[i], metrics_json[0]) << "shards=" << shard_count;
+    }
+  }
+}
+
+TEST(CampaignStealTest, StealPreservesRackAntiAffinity) {
+  // Rack-integral moves: stolen host counts are whole racks, and the per-rack
+  // in-flight cap holds on adopted racks too (the adopting controller gives
+  // each one a fresh fault domain).
+  CampaignConfig config = SkewedConfig();
+  config.steal.enabled = true;
+  config.max_per_rack_in_flight = 5;
+  Result<CampaignReport> run = CampaignPlanner(config).Run();
+  ASSERT_TRUE(run.ok()) << run.error().ToString();
+  EXPECT_TRUE(run->complete);
+  EXPECT_GT(run->steals, 0);
+  for (const CampaignShardSummary& shard : run->shard_summaries) {
+    EXPECT_EQ(shard.stolen_in % 10, 0) << "shard " << shard.id << " split a rack";
+    EXPECT_EQ(shard.stolen_out % 10, 0) << "shard " << shard.id << " split a rack";
+  }
+  EXPECT_EQ(run->stolen_hosts % 10, 0);
+}
+
+TEST(CampaignStealTest, StealDisabledKeepsLegacyBytes) {
+  // The default config (stealing off, stride on) must keep the exact legacy
+  // bytes: no steal keys, no hold-open behavior changes.
+  Result<CampaignReport> run = CampaignPlanner(SkewedConfig()).Run();
+  ASSERT_TRUE(run.ok());
+  const std::string json = DeterministicJson(*run);
+  EXPECT_EQ(json.find("\"steals\""), std::string::npos);
+  EXPECT_EQ(json.find("\"stolen_in\""), std::string::npos);
+  EXPECT_EQ(json.find("\"wall_ms\""), std::string::npos);
+}
+
+TEST(CampaignStealTest, PlanRejectsStealWithIncompatibleModes) {
+  // Stealing + crash storm: undefined rack states under the steal planner.
+  CampaignConfig config = CrashStormCampaignConfig();
+  config.steal.enabled = true;
+  Result<CampaignPlan> storm = PlanCampaign(config);
+  ASSERT_FALSE(storm.ok());
+  EXPECT_NE(storm.error().message().find("crash storms"), std::string::npos);
+
+  // Stealing + adaptive policy: per-host plans cannot travel.
+  config = BaseConfig();
+  config.steal.enabled = true;
+  config.policy.mode = policy::PolicyMode::kAdaptive;
+  Result<CampaignPlan> adaptive = PlanCampaign(config);
+  ASSERT_FALSE(adaptive.ok());
+  EXPECT_NE(adaptive.error().message().find("adaptive"), std::string::npos);
+
+  // Stealing across unequal per-host VM weights breaks exposure accounting.
+  config = BaseConfig();
+  config.steal.enabled = true;
+  config.datacenters[1].vms_per_host = 20;
+  Result<CampaignPlan> weights = PlanCampaign(config);
+  ASSERT_FALSE(weights.ok());
+  EXPECT_NE(weights.error().message().find("vms_per_host"), std::string::npos);
+
+  // Steal knobs validate even when disabled.
+  config = BaseConfig();
+  config.steal.threshold_epochs = 0.0;
+  EXPECT_FALSE(PlanCampaign(config).ok());
+  config = BaseConfig();
+  config.steal.max_racks_per_epoch = -1;
+  EXPECT_FALSE(PlanCampaign(config).ok());
+}
+
+TEST(CampaignStrideTest, StrideSkipsIdleEpochsWithoutChangingOutput) {
+  // StormConfig's retry backoffs leave multi-epoch gaps with no events; the
+  // stride must jump them while producing byte-identical output (epoch totals
+  // included — skipped epochs count as executed).
+  CampaignReport reports[2];
+  for (int i = 0; i < 2; ++i) {
+    CampaignConfig config = StormConfig();
+    config.adaptive_stride = i == 1;
+    Result<CampaignReport> run = CampaignPlanner(config).Run();
+    ASSERT_TRUE(run.ok()) << run.error().ToString();
+    reports[i] = *run;
+  }
+  EXPECT_EQ(reports[0].idle_epochs_skipped, 0);
+  EXPECT_GT(reports[1].idle_epochs_skipped, 0);
+  EXPECT_EQ(reports[0].epochs, reports[1].epochs);
+  EXPECT_EQ(reports[0].makespan, reports[1].makespan);
+  // Full byte-identity once the stride tally (the one intentional delta) is
+  // cleared alongside wall_ms.
+  reports[1].idle_epochs_skipped = 0;
+  EXPECT_EQ(DeterministicJson(reports[0]), DeterministicJson(reports[1]));
+}
+
+TEST(ExposureStreamTest, RehomedTrafficIsExposureNeutral) {
+  MetricsRegistry metrics;
+  ExposureStreamOptions options;
+  options.metrics = &metrics;
+  ExposureStream stream(10, 100, 0, options);
+  stream.OnHostsSafe(Seconds(10), 2, 20);
+  const size_t points = stream.curve().size();
+  stream.OnHostsRehomed(Seconds(20), 5, 50);
+  // Counts, fraction and curve untouched; only the tallies moved.
+  EXPECT_EQ(stream.exposed_hosts(), 8);
+  EXPECT_EQ(stream.exposed_vms(), 80);
+  EXPECT_EQ(stream.hosts_rehomed(), 5);
+  EXPECT_EQ(stream.vms_rehomed(), 50);
+  EXPECT_EQ(stream.curve().size(), points);
+  EXPECT_EQ(metrics.GetCounter("campaign_hosts_rehomed").value(), 5u);
+  EXPECT_EQ(metrics.GetCounter("campaign_vms_rehomed").value(), 50u);
+  // The integral accrued to t=20 at the unchanged exposure level.
+  stream.Seal(Seconds(20));
+  EXPECT_DOUBLE_EQ(stream.exposed_host_days(), (10.0 * 10 + 8.0 * 10) / 86400.0);
 }
 
 }  // namespace

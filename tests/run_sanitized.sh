@@ -40,7 +40,9 @@ for artifact in BENCH_fig6_breakdown.json TRACE_fig6_M1.json TRACE_fig6_M2.json;
 done
 # A traced mini-campaign: the sharded control plane exercises per-shard
 # executors, the SLO governor and the exposure stream — error paths the unit
-# tests reach only at small scale.
+# tests reach only at small scale. The skewed-DC section runs rack
+# work-stealing (DetachDomain/AdoptHosts re-homing with travelling RNG
+# streams) and the adaptive epoch stride under the sanitizers too.
 HYPERTP_BENCH_DIR="${bench_out}" \
   "${build_dir}/bench/bench_campaign" --smoke > /dev/null
 test -s "${bench_out}/BENCH_campaign_smoke.json" \
@@ -92,7 +94,9 @@ HYPERTP_PARALLEL=4 "${tsan_dir}/tests/pipeline_test"
 HYPERTP_PARALLEL=4 "${tsan_dir}/tests/pretranslate_test"
 # Campaigns run one shard per worker-pool task between barriers; TSan with
 # real threads proves the byte-identical-across-thread-counts contract holds
-# because the shards genuinely share no mutable state mid-epoch.
+# because the shards genuinely share no mutable state mid-epoch. The steal
+# byte-identity tests race the coordinator-side rack re-homing (detach on the
+# donor shard, adopt on the thief) against the per-shard epoch tasks.
 HYPERTP_PARALLEL=4 "${tsan_dir}/tests/campaign_test"
 # Fault storms add crash/recovery traffic inside each shard's epoch slice —
 # the storm RNG, recovery queue and exposure re-feeds must all stay
